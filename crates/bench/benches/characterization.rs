@@ -1,0 +1,42 @@
+//! Characterization cost across module families and sizes — the "once per
+//! library" investment the paper's §4.1 flow amortizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdpm_core::{characterize, CharacterizationConfig};
+use hdpm_netlist::{ModuleKind, ModuleSpec};
+
+fn bench_characterization(c: &mut Criterion) {
+    let config = CharacterizationConfig {
+        max_patterns: 1000,
+        convergence_tol: 0.0, // fixed budget: measure the full run
+        ..CharacterizationConfig::default()
+    };
+
+    let mut group = c.benchmark_group("characterize_1k_patterns");
+    for (kind, width) in [
+        (ModuleKind::RippleAdder, 8usize),
+        (ModuleKind::RippleAdder, 16),
+        (ModuleKind::ClaAdder, 16),
+        (ModuleKind::CsaMultiplier, 8),
+        (ModuleKind::BoothWallaceMultiplier, 8),
+    ] {
+        let netlist = ModuleSpec::new(kind, width)
+            .build()
+            .expect("valid spec")
+            .validate()
+            .expect("valid module");
+        group.bench_with_input(
+            BenchmarkId::new(kind.id(), width),
+            &netlist,
+            |b, netlist| b.iter(|| characterize(netlist, &config)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_characterization
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! The paper's closing motivation: the macro-model enables *fast* power
+//! estimation. This bench quantifies the speedup of the three estimation
+//! modes over the gate-level reference simulation for an 8×8
+//! csa-multiplier under a speech stream.
+//!
+//! Expected ordering (per cycle): gate-level simulation ≫ trace-based
+//! model lookup ≫ distribution-based estimate (O(m) once per stream) ≈
+//! average-Hd estimate (O(1) once per stream).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hdpm_core::{characterize, predict_trace, CharacterizationConfig};
+use hdpm_datamodel::{region_model, HdDistribution, WordModel};
+use hdpm_netlist::{ModuleKind, ModuleSpec};
+use hdpm_sim::{patterns_from_words, run_patterns, DelayModel};
+use hdpm_streams::DataType;
+
+const WIDTH: usize = 8;
+const CYCLES: usize = 1000;
+
+fn bench_estimation(c: &mut Criterion) {
+    let spec = ModuleSpec::new(ModuleKind::CsaMultiplier, WIDTH);
+    let netlist = spec
+        .build()
+        .expect("valid spec")
+        .validate()
+        .expect("valid module");
+    let model = characterize(
+        &netlist,
+        &CharacterizationConfig {
+            max_patterns: 4000,
+            ..CharacterizationConfig::default()
+        },
+    )
+    .model;
+
+    let streams = DataType::Speech.generate_operands(2, WIDTH, CYCLES, 3);
+    let patterns = patterns_from_words(netlist.netlist(), &streams);
+    let reference = run_patterns(&netlist, &patterns, DelayModel::Unit);
+    let word_models: Vec<WordModel> = streams
+        .iter()
+        .map(|w| WordModel::from_words(w, WIDTH))
+        .collect();
+
+    let mut group = c.benchmark_group("estimation_per_1k_cycles");
+    group.throughput(Throughput::Elements(CYCLES as u64));
+
+    group.bench_function("gate_level_simulation", |b| {
+        b.iter_batched(
+            || patterns.clone(),
+            |p| run_patterns(&netlist, &p, DelayModel::Unit),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("gate_level_zero_delay", |b| {
+        b.iter_batched(
+            || patterns.clone(),
+            |p| run_patterns(&netlist, &p, DelayModel::Zero),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("model_trace_based", |b| {
+        b.iter(|| predict_trace(&model, &reference).expect("width matches"))
+    });
+
+    group.bench_function("model_distribution_based", |b| {
+        b.iter(|| {
+            let dists: Vec<HdDistribution> = word_models
+                .iter()
+                .map(|wm| HdDistribution::from_regions(&region_model(wm)))
+                .collect();
+            let dist = HdDistribution::convolve_all(&dists);
+            model.estimate_distribution(&dist).expect("width matches")
+        })
+    });
+
+    group.bench_function("model_average_hd", |b| {
+        b.iter(|| {
+            let hd_avg: f64 = word_models
+                .iter()
+                .map(|wm| region_model(wm).average_hd())
+                .sum();
+            model.estimate_interpolated(hd_avg)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_estimation
+}
+criterion_main!(benches);

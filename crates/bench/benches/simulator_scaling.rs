@@ -1,0 +1,59 @@
+//! Reference-simulator throughput versus module size: how the unit-delay
+//! event-driven engine scales with gate count, and what register clocking
+//! costs. Quantifies the wall the macro-model removes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hdpm_netlist::{modules, ValidatedNetlist};
+use hdpm_sim::{random_patterns, run_patterns, DelayModel};
+
+fn bench_scaling(c: &mut Criterion) {
+    let cases: Vec<(String, ValidatedNetlist)> = vec![
+        (
+            "ripple_adder_16".into(),
+            modules::ripple_adder(16).unwrap().validate().unwrap(),
+        ),
+        (
+            "csa_mul_8x8".into(),
+            modules::csa_multiplier(8, 8).unwrap().validate().unwrap(),
+        ),
+        (
+            "csa_mul_16x16".into(),
+            modules::csa_multiplier(16, 16).unwrap().validate().unwrap(),
+        ),
+        (
+            "booth_wallace_16x16".into(),
+            modules::booth_wallace_multiplier(16, 16)
+                .unwrap()
+                .validate()
+                .unwrap(),
+        ),
+        ("mac_8".into(), modules::mac(8).unwrap().validate().unwrap()),
+    ];
+
+    let mut group = c.benchmark_group("simulate_200_cycles");
+    for (name, netlist) in &cases {
+        let m = netlist.netlist().input_bit_count();
+        let patterns = random_patterns(m, 200, 1);
+        group.throughput(Throughput::Elements(
+            200 * netlist.netlist().gate_count() as u64,
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("unit_delay", name),
+            &patterns,
+            |b, patterns| b.iter(|| run_patterns(netlist, patterns, DelayModel::Unit)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("zero_delay", name),
+            &patterns,
+            |b, patterns| b.iter(|| run_patterns(netlist, patterns, DelayModel::Zero)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scaling
+}
+criterion_main!(benches);

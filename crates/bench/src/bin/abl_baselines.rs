@@ -1,0 +1,138 @@
+//! Ablation: the Hd macro-model against two alternative estimators built
+//! in this suite —
+//!
+//! * the **bitwise least-squares model** (`w₀ + Σ w_i·δ_i`, same parameter
+//!   count as the basic Hd model but aware of *which* bit toggles), and
+//! * **gate-level activity propagation** (zero-delay probabilistic power
+//!   from per-bit signal/transition statistics; no characterization at
+//!   all).
+//!
+//! Reported per data type: signed average-charge error ε and average
+//! absolute cycle error ε_a (the activity baseline only produces stream
+//! averages, so its cycle column is `-`).
+
+use hdpm_bench::{header, reference_trace, save_artifact, standard_config};
+use hdpm_core::{
+    characterize, evaluate, evaluate_enhanced, BitwiseModel, StimulusKind,
+};
+use hdpm_netlist::{ModuleKind, ModuleSpec, ModuleWidth};
+use hdpm_sim::{propagate_activity, random_patterns, run_patterns, DelayModel};
+use hdpm_streams::{bit_stats, DataType};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BaselineRow {
+    module: String,
+    data_type: String,
+    estimator: String,
+    parameters: usize,
+    average_error_pct: f64,
+    cycle_error_pct: Option<f64>,
+}
+
+const EVAL_TYPES: [DataType; 4] = [
+    DataType::Random,
+    DataType::Music,
+    DataType::Speech,
+    DataType::Counter,
+];
+
+fn main() {
+    header(
+        "Ablation",
+        "Hd model vs bitwise regression vs activity propagation",
+    );
+    let mut rows = Vec::new();
+
+    for (kind, w) in [
+        (ModuleKind::CsaMultiplier, 8usize),
+        (ModuleKind::RippleAdder, 8),
+    ] {
+        let width = ModuleWidth::Uniform(w);
+        let spec = ModuleSpec::new(kind, width);
+        let netlist = spec.build().unwrap().validate().unwrap();
+        let m = netlist.netlist().input_bit_count();
+
+        // Characterize the Hd models (stratified stimulus, so the enhanced
+        // subgroups are populated) and fit the bitwise model from a
+        // uniform-random characterization trace of the same budget.
+        let mut config = standard_config();
+        config.stimulus = StimulusKind::SignalProbSweep;
+        config.max_patterns = 24_000;
+        let hd_char = characterize(&netlist, &config);
+        let char_trace = run_patterns(
+            &netlist,
+            &random_patterns(m, standard_config().max_patterns, 0xB17),
+            DelayModel::Unit,
+        );
+        let bitwise = BitwiseModel::fit_from_trace(&char_trace).expect("fit");
+
+        println!(
+            "\n{kind} ({w}-bit operands) — estimator errors per data type:",
+        );
+        println!(
+            "{:>10} | {:>22} | {:>10} {:>10}",
+            "data type", "estimator (params)", "eps[%]", "eps_a[%]"
+        );
+        for dt in EVAL_TYPES {
+            let trace = reference_trace(kind, width, dt, 15);
+            // Per-bit stream statistics drive the activity baseline.
+            let streams = dt.generate_operands(kind.operand_count(), w, 5000, 7 + w as u64);
+            let mut signal = Vec::new();
+            let mut transition = Vec::new();
+            for s in &streams {
+                let bs = bit_stats(s, w);
+                signal.extend(bs.signal_probs);
+                transition.extend(bs.transition_probs);
+            }
+            let activity = propagate_activity(&netlist, &signal, &transition);
+            let activity_err = 100.0
+                * (activity.charge_per_cycle - trace.average_charge())
+                / trace.average_charge();
+
+            let basic = evaluate(&hd_char.model, &trace).expect("width");
+            let enhanced = evaluate_enhanced(&hd_char.enhanced, &trace).expect("width");
+            let bw = bitwise.evaluate(&trace).expect("width");
+
+            let entries: [(&str, usize, f64, Option<f64>); 4] = [
+                ("Hd basic", m, basic.average_error_pct, Some(basic.cycle_error_pct)),
+                (
+                    "Hd enhanced",
+                    hd_char.enhanced.coefficient_count(),
+                    enhanced.average_error_pct,
+                    Some(enhanced.cycle_error_pct),
+                ),
+                ("bitwise LSQ", m + 1, bw.average_error_pct, Some(bw.cycle_error_pct)),
+                ("activity prop.", 0, activity_err, None),
+            ];
+            for (name, params, avg, cyc) in entries {
+                println!(
+                    "{:>10} | {:>16} ({:>3}) | {:>10.1} {:>10}",
+                    dt.roman(),
+                    name,
+                    params,
+                    avg,
+                    cyc.map(|c| format!("{c:.0}")).unwrap_or_else(|| "-".into())
+                );
+                rows.push(BaselineRow {
+                    module: kind.to_string(),
+                    data_type: dt.roman().to_string(),
+                    estimator: name.to_string(),
+                    parameters: params,
+                    average_error_pct: avg,
+                    cycle_error_pct: cyc,
+                });
+            }
+        }
+    }
+
+    save_artifact("abl_baselines", &rows);
+    println!(
+        "\nReading guide: the bitwise model matches the basic Hd model on\n\
+         the characterization statistics (type I) and improves where bit\n\
+         position matters; activity propagation needs no characterization\n\
+         but misses glitch power and inter-bit correlation, so it\n\
+         underestimates structurally glitchy modules and drifts on\n\
+         correlated streams."
+    );
+}

@@ -1,0 +1,99 @@
+//! Ablation: accuracy of the enhanced model versus the number of
+//! stable-zero clusters.
+//!
+//! §3 notes that "for modules with a high input bit-width the number of
+//! coefficients may be too large \[so\] it is also possible to cluster event
+//! classes". This ablation quantifies the trade-off: coefficient count
+//! versus estimation error, from 1 cluster (equivalent to the basic model)
+//! through the full `(m² + m)/2` table.
+
+use hdpm_bench::{header, reference_trace, save_artifact, standard_config};
+use hdpm_core::{characterize, evaluate, evaluate_enhanced, StimulusKind, ZeroClustering};
+use hdpm_netlist::{ModuleKind, ModuleSpec, ModuleWidth};
+use hdpm_streams::DataType;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblRow {
+    clusters: String,
+    coefficients: usize,
+    cycle_error_i: f64,
+    cycle_error_v: f64,
+    average_error_i: f64,
+    average_error_v: f64,
+}
+
+fn main() {
+    header(
+        "Ablation",
+        "enhanced-model accuracy vs stable-zero cluster count (csa 8x8)",
+    );
+    let kind = ModuleKind::CsaMultiplier;
+    let width = ModuleWidth::Uniform(8);
+    let netlist = ModuleSpec::new(kind, width)
+        .build()
+        .expect("valid spec")
+        .validate()
+        .expect("valid module");
+
+    let trace_i = reference_trace(kind, width, DataType::Random, 15);
+    let trace_v = reference_trace(kind, width, DataType::Counter, 15);
+
+    println!(
+        "\n{:>10} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+        "clusters", "coeffs", "eps_a I", "eps_a V", "eps I", "eps V"
+    );
+
+    let mut rows = Vec::new();
+    let schemes = [
+        ("basic", None),
+        ("2", Some(ZeroClustering::Clustered(2))),
+        ("3", Some(ZeroClustering::Clustered(3))),
+        ("5", Some(ZeroClustering::Clustered(5))),
+        ("full", Some(ZeroClustering::Full)),
+    ];
+    for (label, clustering) in schemes {
+        let mut config = standard_config();
+        config.stimulus = StimulusKind::SignalProbSweep;
+        config.max_patterns = 24_000;
+        if let Some(c) = clustering {
+            config.clustering = c;
+        }
+        let characterization = characterize(&netlist, &config);
+        let (coeffs, rep_i, rep_v) = match clustering {
+            None => (
+                characterization.model.coefficient_count(),
+                evaluate(&characterization.model, &trace_i).expect("width"),
+                evaluate(&characterization.model, &trace_v).expect("width"),
+            ),
+            Some(_) => (
+                characterization.enhanced.coefficient_count(),
+                evaluate_enhanced(&characterization.enhanced, &trace_i).expect("width"),
+                evaluate_enhanced(&characterization.enhanced, &trace_v).expect("width"),
+            ),
+        };
+        println!(
+            "{label:>10} {coeffs:>8} | {:>8.1} {:>8.1} | {:>8.2} {:>8.2}",
+            rep_i.cycle_error_pct,
+            rep_v.cycle_error_pct,
+            rep_i.average_error_pct.abs(),
+            rep_v.average_error_pct.abs()
+        );
+        rows.push(AblRow {
+            clusters: label.to_string(),
+            coefficients: coeffs,
+            cycle_error_i: rep_i.cycle_error_pct,
+            cycle_error_v: rep_v.cycle_error_pct,
+            average_error_i: rep_i.average_error_pct,
+            average_error_v: rep_v.average_error_pct,
+        });
+    }
+
+    save_artifact("abl_clustering", &rows);
+    println!(
+        "\nExpectation: error on the counter stream (V) falls as clusters\n\
+         are added, with diminishing returns well before the full table —\n\
+         the clustering knob buys most of the enhanced model's benefit at a\n\
+         fraction of its (m²+m)/2 coefficients."
+    );
+}

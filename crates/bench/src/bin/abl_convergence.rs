@@ -1,0 +1,79 @@
+//! Ablation: characterization length versus coefficient convergence
+//! (eq. 4: "the characterization can be finished after the coefficient
+//! values have converged").
+//!
+//! Tracks the maximum relative coefficient change between checkpoints and
+//! the downstream estimation error as the pattern budget grows.
+
+use hdpm_bench::{header, reference_trace, save_artifact};
+use hdpm_core::{characterize, evaluate, CharacterizationConfig};
+use hdpm_netlist::{ModuleKind, ModuleSpec, ModuleWidth};
+use hdpm_streams::DataType;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ConvRow {
+    module: String,
+    patterns: usize,
+    max_relative_change: Option<f64>,
+    average_error_speech: f64,
+}
+
+fn main() {
+    header(
+        "Ablation",
+        "characterization budget vs coefficient convergence",
+    );
+    let mut rows = Vec::new();
+
+    for (kind, width) in [
+        (ModuleKind::RippleAdder, ModuleWidth::Uniform(8)),
+        (ModuleKind::CsaMultiplier, ModuleWidth::Uniform(8)),
+    ] {
+        let netlist = ModuleSpec::new(kind, width)
+            .build()
+            .expect("valid spec")
+            .validate()
+            .expect("valid module");
+        let trace = reference_trace(kind, width, DataType::Speech, 15);
+
+        println!("\n{kind} ({width}-bit operands):");
+        println!(
+            "  {:>9} {:>18} {:>14}",
+            "patterns", "max rel. change", "|eps| speech"
+        );
+        for budget in [500usize, 1000, 2000, 4000, 8000, 16000, 32000] {
+            let config = CharacterizationConfig {
+                max_patterns: budget,
+                check_interval: (budget / 4).max(250),
+                convergence_tol: 0.0, // never stop early: measure the budget
+                ..CharacterizationConfig::default()
+            };
+            let c = characterize(&netlist, &config);
+            let last_change = c.history.last().map(|h| h.max_relative_change);
+            let report = evaluate(&c.model, &trace).expect("width matches");
+            println!(
+                "  {budget:>9} {:>18} {:>14.2}",
+                last_change
+                    .map(|v| format!("{:.4}", v))
+                    .unwrap_or_else(|| "-".into()),
+                report.average_error_pct.abs()
+            );
+            rows.push(ConvRow {
+                module: kind.to_string(),
+                patterns: budget,
+                max_relative_change: last_change,
+                average_error_speech: report.average_error_pct,
+            });
+        }
+    }
+
+    save_artifact("abl_convergence", &rows);
+    println!(
+        "\nExpectation: the inter-checkpoint coefficient change decays\n\
+         roughly as 1/sqrt(n) and the estimation error stabilizes once the\n\
+         populated classes have converged — a few thousand patterns\n\
+         suffice, matching the paper's 'characterization is simple and\n\
+         efficient' claim."
+    );
+}

@@ -1,0 +1,85 @@
+//! Ablation: the Hd model's combinational-module premise, probed with a
+//! sequential multiply-accumulate unit.
+//!
+//! The paper scopes the macro-model to combinational datapath components:
+//! cycle charge is assumed to be a function of the input transition alone
+//! (§2's ideal-transition conditions). A MAC violates that premise — its
+//! charge also depends on the accumulator state — so characterizing it
+//! with the same flow measures how much accuracy the premise is worth.
+//! The 8×8 array multiplier (the MAC's combinational core) serves as the
+//! control.
+
+use hdpm_bench::{header, save_artifact, standard_config};
+use hdpm_core::{characterize, evaluate};
+use hdpm_netlist::{ModuleKind, ModuleSpec, ModuleWidth};
+use hdpm_sim::{run_words, DelayModel};
+use hdpm_streams::DataType;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SeqRow {
+    module: String,
+    data_type: String,
+    cycle_error_pct: f64,
+    average_error_pct: f64,
+    mean_class_deviation_pct: f64,
+}
+
+const EVAL_TYPES: [DataType; 3] = [DataType::Random, DataType::Speech, DataType::Counter];
+
+fn main() {
+    header(
+        "Ablation",
+        "Hd model on a sequential MAC vs its combinational multiplier core",
+    );
+    let mut rows = Vec::new();
+
+    println!(
+        "\n{:<16} {:>10} | {:>10} {:>10} | {:>14}",
+        "module", "data type", "eps_a[%]", "eps[%]", "mean eps_i[%]"
+    );
+    for kind in [ModuleKind::CsaMultiplier, ModuleKind::Mac] {
+        let width = ModuleWidth::Uniform(8);
+        let netlist = ModuleSpec::new(kind, width)
+            .build()
+            .expect("valid spec")
+            .validate()
+            .expect("valid module");
+        let characterization = characterize(&netlist, &standard_config());
+        let model = &characterization.model;
+
+        for dt in EVAL_TYPES {
+            let streams = dt.generate_operands(2, 8, 5000, 15);
+            let trace = run_words(&netlist, &streams, DelayModel::Unit);
+            let report = evaluate(model, &trace).expect("width matches");
+            println!(
+                "{:<16} {:>10} | {:>10.1} {:>10.2} | {:>14.1}",
+                kind.to_string(),
+                dt.roman(),
+                report.cycle_error_pct,
+                report.average_error_pct.abs(),
+                100.0 * model.mean_deviation()
+            );
+            rows.push(SeqRow {
+                module: kind.to_string(),
+                data_type: dt.roman().to_string(),
+                cycle_error_pct: report.cycle_error_pct,
+                average_error_pct: report.average_error_pct,
+                mean_class_deviation_pct: 100.0 * model.mean_deviation(),
+            });
+        }
+    }
+
+    save_artifact("abl_sequential", &rows);
+    println!(
+        "\nReading guide: the accumulator state adds charge variance that no\n\
+         function of the input transition can explain — but the register\n\
+         bank also adds a large *constant* clock charge every cycle, which\n\
+         acts as a deterministic floor under every class and damps the\n\
+         relative metrics. Net effect (measured): the MAC's relative errors\n\
+         match or slightly undercut the multiplier's, i.e. the Hd model\n\
+         degrades gracefully on this register-dominated sequential module\n\
+         rather than breaking — the state-dependence is real but small\n\
+         next to the clock floor."
+    );
+}

@@ -1,0 +1,73 @@
+//! Figure 1: model coefficients `p_i` with deviation errorbars `ε_i` for
+//! 16-input-bit prototypes of the analyzed modules, characterized with
+//! random patterns.
+//!
+//! The paper plots `p_i ± ε_i` over `i = 1..16` for DesignWare modules; we
+//! regenerate the same series for our generators: 8-bit two-operand
+//! modules (16 input bits) and the 16-bit absolute-value unit.
+
+use hdpm_bench::{ascii_bars, characterize_cached, header, save_artifact, standard_config};
+use hdpm_netlist::{ModuleKind, ModuleWidth};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig1Row {
+    module: String,
+    hd: usize,
+    coefficient: f64,
+    deviation: f64,
+    samples: u64,
+}
+
+fn main() {
+    header(
+        "Figure 1",
+        "coefficients p_i (± ε_i) for 16-input-bit prototypes",
+    );
+    let config = standard_config();
+    // 16 model input bits: width 8 for two-operand modules, 16 for absval.
+    let cases = [
+        (ModuleKind::RippleAdder, ModuleWidth::Uniform(8)),
+        (ModuleKind::ClaAdder, ModuleWidth::Uniform(8)),
+        (ModuleKind::AbsVal, ModuleWidth::Uniform(16)),
+        (ModuleKind::CsaMultiplier, ModuleWidth::Uniform(8)),
+        (ModuleKind::BoothWallaceMultiplier, ModuleWidth::Uniform(8)),
+    ];
+
+    let mut rows = Vec::new();
+    for (kind, width) in cases {
+        let result = characterize_cached(kind, width, &config);
+        let model = &result.model;
+        println!(
+            "\n{kind} ({width}-bit operands, m = {} input bits, mean ε = {:.1}%)",
+            model.input_bits(),
+            100.0 * model.mean_deviation()
+        );
+        println!("  {:>4} {:>12} {:>8} {:>8}", "Hd", "p_i", "ε_i[%]", "n");
+        let mut series = Vec::new();
+        for i in 1..=model.input_bits() {
+            let (p, e, n) = (
+                model.coefficient(i),
+                model.deviation(i),
+                model.sample_counts()[i],
+            );
+            println!("  {i:>4} {p:>12.2} {:>8.1} {n:>8}", 100.0 * e);
+            series.push((format!("Hd={i}"), p));
+            rows.push(Fig1Row {
+                module: kind.to_string(),
+                hd: i,
+                coefficient: p,
+                deviation: e,
+                samples: n,
+            });
+        }
+        ascii_bars(&format!("p_i versus Hd — {kind}"), &series, 40);
+    }
+
+    save_artifact("fig1_coefficients", &rows);
+    println!(
+        "\nShape check (paper §4.1): coefficients rise with Hd over the\n\
+         populated bulk and the relative deviations ε_i decrease for larger\n\
+         Hamming distances."
+    );
+}

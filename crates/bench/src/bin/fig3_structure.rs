@@ -1,0 +1,74 @@
+//! Figure 3: structural differences between a 4×4-bit and a 6×4-bit
+//! csa-multiplier.
+//!
+//! The paper's figure illustrates why the multiplication array scales with
+//! `m1·m2` and the final adder with `m1` (eq. 7/8). We regenerate the
+//! structural evidence: cell histograms, gate counts and capacitance of
+//! the two instances, plus the scaling fit across a width sweep.
+
+use hdpm_bench::{header, save_artifact};
+use hdpm_core::linalg::{least_squares, r_squared};
+use hdpm_netlist::{modules, NetlistStats};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig3Row {
+    instance: String,
+    gates: usize,
+    nets: usize,
+    transistors: u64,
+    capacitance: f64,
+}
+
+fn main() {
+    header(
+        "Figure 3",
+        "structure of 4x4-bit vs 6x4-bit csa-multipliers",
+    );
+
+    let mut rows = Vec::new();
+    for (m1, m2) in [(4usize, 4usize), (6, 4)] {
+        let nl = modules::csa_multiplier(m1, m2).expect("valid widths");
+        let stats = NetlistStats::of(&nl);
+        println!("\n{stats}");
+        rows.push(Fig3Row {
+            instance: format!("{m1}x{m2}"),
+            gates: stats.gate_count,
+            nets: stats.net_count,
+            transistors: stats.transistors,
+            capacitance: stats.total_capacitance,
+        });
+    }
+
+    // Fit gate count against the complexity features [m1*m2, m1, 1] over a
+    // sweep, demonstrating the regression basis of §5.
+    let sweep: Vec<(usize, usize)> = (2..=16)
+        .flat_map(|m1| [(m1, 4usize), (m1, m1)])
+        .collect();
+    let rows_x: Vec<Vec<f64>> = sweep
+        .iter()
+        .map(|&(m1, m2)| vec![(m1 * m2) as f64, m1 as f64, 1.0])
+        .collect();
+    let y: Vec<f64> = sweep
+        .iter()
+        .map(|&(m1, m2)| {
+            NetlistStats::of(&modules::csa_multiplier(m1, m2).expect("valid")).gate_count as f64
+        })
+        .collect();
+    let beta = least_squares(&rows_x, &y).expect("well-conditioned design");
+    let r2 = r_squared(&rows_x, &y, &beta).expect("non-degenerate targets");
+    println!(
+        "\nGate-count law over a {}-instance sweep:\n  gates ≈ {:.2}·(m1·m2) + {:.2}·m1 + {:.2}",
+        sweep.len(),
+        beta[0],
+        beta[1],
+        beta[2]
+    );
+    println!(
+        "The multiplication array contributes the m1·m2 term, the final\n\
+         carry-propagate adder the linear term — the complexity split the\n\
+         paper's Figure 3 illustrates and eq. 7/8 exploit. (R² = {r2:.5})"
+    );
+
+    save_artifact("fig3_structure", &rows);
+}

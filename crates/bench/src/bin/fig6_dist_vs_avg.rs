@@ -1,0 +1,130 @@
+//! Figure 6: estimation error caused by using the average Hamming distance
+//! instead of the full Hd distribution, for a field multiplier stimulated
+//! by an audio signal.
+//!
+//! The figure's three fields are regenerated: (I) the Hd distribution of
+//! the stream, (II) the model coefficients versus Hd, (III) their product,
+//! whose sum is the average power. A single-point estimate at `Hd_avg`
+//! misses the distribution's spread whenever the coefficients are
+//! non-linear — the Jensen gap `E[p(Hd)] ≠ p(E[Hd])`.
+//!
+//! Two coefficient sources are compared: (a) our characterized GF(2^8)
+//! field multiplier (whose gate-level curve saturates, i.e. is concave, so
+//! the average *over*-estimates), and (b) the "nearly quadratical"
+//! coefficient growth the paper reports for its field multiplier, which
+//! reproduces the paper's ≈30 % penalty exactly.
+
+use hdpm_bench::{ascii_bars, header, save_artifact, standard_config};
+use hdpm_core::{characterize, distribution_vs_average, HdModel};
+use hdpm_datamodel::{region_model, HdDistribution, WordModel};
+use hdpm_netlist::{ModuleKind, ModuleSpec};
+use hdpm_streams::{Ar1Gaussian, Quantizer};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig6Report {
+    average_hd: f64,
+    via_distribution_gate_level: f64,
+    via_average_gate_level: f64,
+    penalty_gate_level_pct: f64,
+    penalty_quadratic_pct: f64,
+    distribution: Vec<f64>,
+    coefficients: Vec<f64>,
+}
+
+const WORD_BITS: usize = 8;
+const STREAM_LEN: usize = 40_000;
+
+fn main() {
+    header(
+        "Figure 6",
+        "average-Hd estimate vs Hd-distribution estimate (field multiplier + audio)",
+    );
+
+    // The paper's module for this figure is a *field* multiplier: GF(2^8).
+    let spec = ModuleSpec::new(ModuleKind::GfMultiplier, WORD_BITS);
+    let netlist = spec
+        .build()
+        .expect("valid spec")
+        .validate()
+        .expect("valid module");
+    let model = characterize(&netlist, &standard_config()).model;
+
+    // Quiet, strongly correlated audio: most transitions touch only a few
+    // low bits, with occasional sign switches — a strongly asymmetric,
+    // bimodal Hd distribution (field I of the figure).
+    let quantizer = Quantizer::new(WORD_BITS, 1.0);
+    let mut gen_a = Ar1Gaussian::new(0.0, 0.03, 0.99, 31);
+    let mut gen_b = Ar1Gaussian::new(0.0, 0.03, 0.99, 77);
+    let words_a = quantizer.quantize_signal(&mut gen_a, STREAM_LEN);
+    let words_b = quantizer.quantize_signal(&mut gen_b, STREAM_LEN);
+    let dist_a = HdDistribution::from_regions(&region_model(&WordModel::from_words(
+        &words_a, WORD_BITS,
+    )));
+    let dist_b = HdDistribution::from_regions(&region_model(&WordModel::from_words(
+        &words_b, WORD_BITS,
+    )));
+    let dist = dist_a.convolve(&dist_b);
+
+    let bars = |title: &str, values: &[f64]| {
+        let series: Vec<(String, f64)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (format!("Hd={i:>2}"), p))
+            .collect();
+        ascii_bars(title, &series, 40);
+    };
+    bars("Field I — p(Hd = i)", dist.probs());
+    bars("Field II — coefficients p_i (characterized GF(2^8))", model.coefficients());
+    let products: Vec<f64> = dist
+        .probs()
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| p * model.coefficient(i))
+        .collect();
+    bars("Field III — p(Hd=i) · p_i", &products);
+
+    let cmp = distribution_vs_average(&model, &dist).expect("widths agree");
+    println!("\naverage Hd of the stream:      {:.2}", cmp.average_hd);
+    println!("avg power via distribution:    {:.2}", cmp.via_distribution);
+    println!("avg power via average Hd only: {:.2}", cmp.via_average);
+    println!(
+        "penalty of the average-only estimate: {:.1}% (gate-level curve,\n\
+         concave/saturating, so the average over-estimates)",
+        cmp.average_penalty_pct()
+    );
+
+    // The paper reports the coefficients of its field multiplier "increase
+    // nearly quadratical" under PowerMill; with that premise the same
+    // distribution yields the paper's ≈30 % penalty.
+    let m = model.input_bits();
+    let quad: Vec<f64> = (0..=m).map(|i| (i * i) as f64).collect();
+    let quad_model = HdModel::from_parts(
+        "quadratic_field_multiplier",
+        m,
+        quad,
+        vec![0.0; m + 1],
+        std::iter::once(0).chain(std::iter::repeat_n(1, m)).collect(),
+    );
+    let quad_cmp = distribution_vs_average(&quad_model, &dist).expect("widths agree");
+    println!(
+        "\nwith the paper's 'nearly quadratical' coefficient premise the\n\
+         same stream yields a penalty of {:.1}% (paper: \"about 30%\") —\n\
+         the average-only estimate then *under*-estimates, since for a\n\
+         convex curve E[p(Hd)] > p(E[Hd]).",
+        quad_cmp.average_penalty_pct()
+    );
+
+    save_artifact(
+        "fig6_dist_vs_avg",
+        &Fig6Report {
+            average_hd: cmp.average_hd,
+            via_distribution_gate_level: cmp.via_distribution,
+            via_average_gate_level: cmp.via_average,
+            penalty_gate_level_pct: cmp.average_penalty_pct(),
+            penalty_quadratic_pct: quad_cmp.average_penalty_pct(),
+            distribution: dist.probs().to_vec(),
+            coefficients: model.coefficients().to_vec(),
+        },
+    );
+}

@@ -1,0 +1,116 @@
+//! Figure 9: Hamming-distance distribution of a typical speech signal —
+//! extracted directly from the data stream versus calculated from the
+//! two-region model (eq. 18).
+
+use hdpm_bench::{ascii_bars, header, save_artifact, STREAM_LEN};
+use hdpm_datamodel::{region_model, HdDistribution, WordModel};
+use hdpm_streams::{bit_stats, hd_histogram, DataType};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig9Report {
+    width: usize,
+    extracted: Vec<f64>,
+    estimated: Vec<f64>,
+    independent_bits: Vec<f64>,
+    total_variation: f64,
+    total_variation_independent: f64,
+    mean_extracted: f64,
+    mean_estimated: f64,
+}
+
+fn main() {
+    header(
+        "Figure 9",
+        "extracted vs estimated Hd distribution of a speech signal",
+    );
+    const WIDTH: usize = 16;
+    let words = DataType::Speech.generate(WIDTH, 8 * STREAM_LEN, 123);
+
+    let extracted = HdDistribution::from_histogram(&hd_histogram(&words, WIDTH));
+    let model = WordModel::from_words(&words, WIDTH);
+    let regions = region_model(&model);
+    let estimated = HdDistribution::from_regions(&regions);
+    // Baseline: same *measured* per-bit activities, but bits treated as
+    // independent (Poisson-binomial) — no sign-block correlation.
+    let measured_bits = bit_stats(&words, WIDTH);
+    let independent = HdDistribution::from_bit_activities(&measured_bits.transition_probs);
+
+    println!(
+        "\nword statistics: mu = {:.1}, sigma = {:.1}, rho = {:.3}",
+        model.mu, model.sigma, model.rho
+    );
+    println!(
+        "two-region model: n_rand = {}, n_sign = {}, t_sign = {:.3}",
+        regions.n_rand, regions.n_sign, regions.t_sign
+    );
+
+    println!(
+        "\n  {:>4} {:>12} {:>12}",
+        "Hd", "extracted", "estimated"
+    );
+    for i in 0..=WIDTH {
+        println!(
+            "  {i:>4} {:>12.4} {:>12.4}",
+            extracted.prob(i),
+            estimated.prob(i)
+        );
+    }
+
+    let series: Vec<(String, f64)> = extracted
+        .probs()
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (format!("Hd={i:>2}"), p))
+        .collect();
+    ascii_bars("extracted", &series, 40);
+    let series: Vec<(String, f64)> = estimated
+        .probs()
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (format!("Hd={i:>2}"), p))
+        .collect();
+    ascii_bars("estimated (eq. 18)", &series, 40);
+
+    let series: Vec<(String, f64)> = independent
+        .probs()
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (format!("Hd={i:>2}"), p))
+        .collect();
+    ascii_bars("independent-bit baseline (Poisson-binomial)", &series, 40);
+
+    let tv = extracted.total_variation(&estimated);
+    let tv_indep = extracted.total_variation(&independent);
+    println!(
+        "\nmean Hd:   extracted {:.2}  estimated {:.2}  independent {:.2}",
+        extracted.mean(),
+        estimated.mean(),
+        independent.mean()
+    );
+    println!("total-variation distance: eq. 18 {tv:.3}  vs independent-bit {tv_indep:.3}");
+    println!(
+        "(the independent-bit baseline uses the *measured* activities and\n\
+         still misses the sign-switch correlation; eq. 18 needs only three\n\
+         word-level statistics)"
+    );
+
+    save_artifact(
+        "fig9_hd_distribution",
+        &Fig9Report {
+            width: WIDTH,
+            extracted: extracted.probs().to_vec(),
+            estimated: estimated.probs().to_vec(),
+            independent_bits: independent.probs().to_vec(),
+            total_variation: tv,
+            total_variation_independent: tv_indep,
+            mean_extracted: extracted.mean(),
+            mean_estimated: estimated.mean(),
+        },
+    );
+    println!(
+        "\nShape check (paper Fig. 9): \"the curves fit well\" — both show\n\
+         the binomial bulk from the random bits plus the small sign-switch\n\
+         copy shifted up by n_sign."
+    );
+}

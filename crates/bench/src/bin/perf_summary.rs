@@ -1,0 +1,89 @@
+//! Tabulate the Criterion results under `target/criterion/` into the
+//! performance summary of `EXPERIMENTS.md` — run after
+//! `cargo bench --workspace`.
+
+use std::path::{Path, PathBuf};
+
+struct Entry {
+    group: String,
+    bench: String,
+    nanos: f64,
+}
+
+fn main() {
+    let root = PathBuf::from("target/criterion");
+    if !root.is_dir() {
+        eprintln!("no criterion results at {}; run `cargo bench --workspace` first", root.display());
+        std::process::exit(1);
+    }
+    let mut entries = Vec::new();
+    collect(&root, &mut entries);
+    entries.sort_by_key(|e| (e.group.clone(), e.nanos as u64));
+
+    println!("{:<28} {:<42} {:>14}", "group", "benchmark", "median time");
+    let mut last_group = String::new();
+    for e in &entries {
+        let group = if e.group == last_group { String::new() } else { e.group.clone() };
+        last_group = e.group.clone();
+        println!("{:<28} {:<42} {:>14}", group, e.bench, humanize(e.nanos));
+    }
+    println!("\n{} benchmarks summarized from {}", entries.len(), root.display());
+}
+
+/// Walk `target/criterion/**/new/estimates.json`, reading the median
+/// point estimate from each.
+fn collect(dir: &Path, entries: &mut Vec<Entry>) {
+    let Ok(read_dir) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in read_dir.flatten() {
+        let path = entry.path();
+        if !path.is_dir() {
+            continue;
+        }
+        let estimates = path.join("new/estimates.json");
+        if estimates.is_file() {
+            if let Some(nanos) = read_median(&estimates) {
+                let bench = path
+                    .file_name()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                let group = path
+                    .parent()
+                    .and_then(Path::file_name)
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                entries.push(Entry {
+                    group: if group == "criterion" { String::new() } else { group },
+                    bench,
+                    nanos,
+                });
+            }
+        } else {
+            collect(&path, entries);
+        }
+    }
+}
+
+/// Extract `median.point_estimate` from a Criterion estimates file without
+/// deserializing the full schema.
+fn read_median(path: &Path) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value: serde_json::Value = serde_json::from_str(&text).ok()?;
+    value
+        .get("median")?
+        .get("point_estimate")?
+        .as_f64()
+}
+
+fn humanize(nanos: f64) -> String {
+    if nanos < 1e3 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1e6 {
+        format!("{:.2} µs", nanos / 1e3)
+    } else if nanos < 1e9 {
+        format!("{:.2} ms", nanos / 1e6)
+    } else {
+        format!("{:.2} s", nanos / 1e9)
+    }
+}

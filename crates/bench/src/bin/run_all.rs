@@ -1,0 +1,58 @@
+//! Convenience driver: regenerate every table, figure and ablation in
+//! sequence by invoking the sibling experiment binaries. Equivalent to
+//! running each `--bin` target by hand; artifacts land in
+//! `target/experiments/` as usual.
+
+use std::process::Command;
+
+/// Experiment binaries in report order.
+const EXPERIMENTS: [&str; 14] = [
+    "fig1_coefficients",
+    "fig2_enhanced",
+    "fig3_structure",
+    "tab1_accuracy",
+    "tab2_enhanced",
+    "fig4_regression",
+    "tab3_regression",
+    "fig5_regions",
+    "fig6_dist_vs_avg",
+    "fig7_regions",
+    "fig9_hd_distribution",
+    "abl_clustering",
+    "abl_convergence",
+    "abl_sequential",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin directory");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n##### running {name} #####");
+        let status = Command::new(bin_dir.join(name)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failures.push(name);
+            }
+            Err(e) => {
+                eprintln!("{name} failed to launch: {e}");
+                failures.push(name);
+            }
+        }
+    }
+    // abl_baselines runs last: it is the most expensive.
+    println!("\n##### running abl_baselines #####");
+    let status = Command::new(bin_dir.join("abl_baselines")).status();
+    if !matches!(status, Ok(s) if s.success()) {
+        failures.push("abl_baselines");
+    }
+
+    if failures.is_empty() {
+        println!("\nall experiments regenerated; artifacts in target/experiments/");
+    } else {
+        eprintln!("\nfailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Minimal command-line argument parsing (no external dependencies).
+//!
+//! Supports `--key value` options and positional arguments, with typed
+//! accessors and error messages that name the offending flag.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments: a subcommand, positional arguments and
+/// `--key value` options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The first positional token (the subcommand), if any.
+    pub command: Option<String>,
+    /// Remaining positional tokens.
+    pub positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Errors from argument parsing and typed access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A required option was absent.
+    MissingOption(String),
+    /// An option value failed to parse.
+    InvalidValue {
+        /// The option name.
+        option: String,
+        /// The raw value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgsError::MissingOption(opt) => write!(f, "missing required option --{opt}"),
+            ArgsError::InvalidValue {
+                option,
+                value,
+                expected,
+            } => write!(f, "--{option} {value}: expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl ParsedArgs {
+    /// Parse a token stream (without the program name).
+    ///
+    /// Tokens starting with `--` become options if followed by a
+    /// non-option token, else boolean flags; everything else is
+    /// positional, with the first positional token promoted to the
+    /// subcommand.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgsError> {
+        let mut parsed = ParsedArgs::default();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            if let Some(name) = token.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        parsed.options.insert(name.to_string(), value);
+                    }
+                    _ => parsed.flags.push(name.to_string()),
+                }
+            } else if parsed.command.is_none() {
+                parsed.command = Some(token);
+            } else {
+                parsed.positional.push(token);
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Raw option value.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Whether a boolean flag was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Required string option.
+    pub fn require(&self, name: &str) -> Result<&str, ArgsError> {
+        self.option(name)
+            .ok_or_else(|| ArgsError::MissingOption(name.to_string()))
+    }
+
+    /// Typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgsError> {
+        match self.option(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgsError::InvalidValue {
+                option: name.to_string(),
+                value: raw.to_string(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn subcommand_and_options() {
+        let a = parse(&["characterize", "--module", "csa_multiplier", "--width", "8"]);
+        assert_eq!(a.command.as_deref(), Some("characterize"));
+        assert_eq!(a.option("module"), Some("csa_multiplier"));
+        assert_eq!(a.get_or("width", 0usize).unwrap(), 8);
+    }
+
+    #[test]
+    fn flags_without_values() {
+        let a = parse(&["estimate", "--simulate", "--model", "m.json"]);
+        assert!(a.flag("simulate"));
+        assert_eq!(a.option("model"), Some("m.json"));
+        assert!(!a.flag("verbose"));
+    }
+
+    #[test]
+    fn trailing_option_becomes_flag() {
+        let a = parse(&["emit", "--out"]);
+        assert!(a.flag("out"));
+    }
+
+    #[test]
+    fn typed_errors_name_the_option() {
+        let a = parse(&["x", "--width", "eight"]);
+        let err = a.get_or("width", 0usize).unwrap_err();
+        assert!(err.to_string().contains("--width eight"));
+    }
+
+    #[test]
+    fn required_option_errors() {
+        let a = parse(&["x"]);
+        let err = a.require("module").unwrap_err();
+        assert_eq!(err, ArgsError::MissingOption("module".into()));
+    }
+
+    #[test]
+    fn defaults_pass_through() {
+        let a = parse(&["x"]);
+        assert_eq!(a.get_or("patterns", 12_000usize).unwrap(), 12_000);
+    }
+}

@@ -1,0 +1,351 @@
+//! `hdpm` — command-line front end for the Hamming-distance power
+//! macro-model suite.
+//!
+//! ```text
+//! hdpm list
+//! hdpm characterize --module csa_multiplier --width 8 --out model.json
+//! hdpm estimate     --model model.json --module csa_multiplier --width 8 \
+//!                   --data speech --simulate
+//! hdpm stats        --data speech --width 16
+//! hdpm emit         --module ripple_adder --width 8 --out adder.v
+//! hdpm vcd          --module ripple_adder --width 4 --data counter \
+//!                   --cycles 64 --out waves.vcd
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::ParsedArgs;
+use hdpm_core::{
+    characterize, evaluate, persist, CharacterizationConfig, HdModel, StimulusKind,
+};
+use hdpm_datamodel::{breakpoints, region_model, HdDistribution, WordModel};
+use hdpm_netlist::{emit_verilog, ModuleKind, ModuleSpec, ModuleWidth, NetlistStats};
+use hdpm_sim::{dump_vcd, patterns_from_words, run_words, DelayModel, PowerReport};
+use hdpm_streams::{bit_stats, word_stats, DataType, ALL_DATA_TYPES};
+
+const USAGE: &str = "\
+hdpm — Hamming-distance power macro-model suite
+
+USAGE:
+  hdpm list
+  hdpm characterize --module <kind> --width <m> [--width2 <m2>]
+                    [--patterns <n>] [--seed <s>] [--sweep | --stratified]
+                    [--out <file>]
+  hdpm estimate     --model <file> --module <kind> --width <m> --data <type>
+                    [--cycles <n>] [--seed <s>] [--simulate]
+  hdpm stats        (--data <type> | --wav <file>) --width <m>
+                    [--cycles <n>] [--seed <s>]
+  hdpm emit         --module <kind> --width <m> [--width2 <m2>] [--out <file>]
+  hdpm report       --module <kind> --width <m> --data <type>
+                    [--cycles <n>] [--seed <s>]
+  hdpm vcd          --module <kind> --width <m> --data <type>
+                    [--cycles <n>] [--seed <s>] --out <file>
+
+  <kind>: ripple_adder cla_adder absval csa_multiplier booth_wallace_mult
+          incrementer subtractor comparator carry_select_adder
+          carry_skip_adder barrel_shifter gf_multiplier mac divider
+  <type>: random music speech video counter
+";
+
+fn main() -> ExitCode {
+    let args = match ParsedArgs::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("list") => cmd_list(),
+        Some("characterize") => cmd_characterize(&args),
+        Some("estimate") => cmd_estimate(&args),
+        Some("stats") => cmd_stats(&args),
+        Some("emit") => cmd_emit(&args),
+        Some("report") => cmd_report(&args),
+        Some("vcd") => cmd_vcd(&args),
+        _ => {
+            print!("{USAGE}");
+            Ok(())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn module_kind(name: &str) -> Result<ModuleKind, String> {
+    const ALL: [ModuleKind; 14] = [
+        ModuleKind::RippleAdder,
+        ModuleKind::ClaAdder,
+        ModuleKind::AbsVal,
+        ModuleKind::CsaMultiplier,
+        ModuleKind::BoothWallaceMultiplier,
+        ModuleKind::Incrementer,
+        ModuleKind::Subtractor,
+        ModuleKind::Comparator,
+        ModuleKind::CarrySelectAdder,
+        ModuleKind::CarrySkipAdder,
+        ModuleKind::BarrelShifter,
+        ModuleKind::GfMultiplier,
+        ModuleKind::Mac,
+        ModuleKind::Divider,
+    ];
+    ALL.iter()
+        .copied()
+        .find(|k| k.id() == name)
+        .ok_or_else(|| format!("unknown module kind `{name}`"))
+}
+
+fn data_type(name: &str) -> Result<DataType, String> {
+    ALL_DATA_TYPES
+        .iter()
+        .copied()
+        .find(|d| d.name() == name || d.roman() == name)
+        .ok_or_else(|| format!("unknown data type `{name}`"))
+}
+
+fn spec_from(args: &ParsedArgs) -> Result<ModuleSpec, Box<dyn std::error::Error>> {
+    let kind = module_kind(args.require("module")?)?;
+    let width: usize = args
+        .require("width")?
+        .parse()
+        .map_err(|_| "width must be an integer")?;
+    let width = match args.option("width2") {
+        Some(w2) => ModuleWidth::Rect(width, w2.parse().map_err(|_| "width2 must be an integer")?),
+        None => ModuleWidth::Uniform(width),
+    };
+    Ok(ModuleSpec::new(kind, width))
+}
+
+fn cmd_list() -> CliResult {
+    println!(
+        "{:<22} {:>8} {:>8} {:>8}  complexity features",
+        "module", "g(8)", "g(12)", "g(16)"
+    );
+    for kind in [
+        ModuleKind::RippleAdder,
+        ModuleKind::ClaAdder,
+        ModuleKind::CarrySelectAdder,
+        ModuleKind::CarrySkipAdder,
+        ModuleKind::AbsVal,
+        ModuleKind::CsaMultiplier,
+        ModuleKind::BoothWallaceMultiplier,
+        ModuleKind::Incrementer,
+        ModuleKind::Subtractor,
+        ModuleKind::Comparator,
+        ModuleKind::BarrelShifter,
+        ModuleKind::GfMultiplier,
+        ModuleKind::Mac,
+        ModuleKind::Divider,
+    ] {
+        let gates = |m: usize| -> String {
+            kind.build(ModuleWidth::Uniform(m))
+                .map(|nl| nl.gate_count().to_string())
+                .unwrap_or_else(|_| "-".into())
+        };
+        println!(
+            "{:<22} {:>8} {:>8} {:>8}  [{}]",
+            kind.id(),
+            gates(8),
+            gates(12),
+            gates(16),
+            kind.feature_names().join(", ")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_characterize(args: &ParsedArgs) -> CliResult {
+    let spec = spec_from(args)?;
+    let config = CharacterizationConfig {
+        max_patterns: args.get_or("patterns", 12_000usize)?,
+        seed: args.get_or("seed", 0xC0FFEEu64)?,
+        stimulus: if args.flag("sweep") {
+            StimulusKind::SignalProbSweep
+        } else if args.flag("stratified") {
+            StimulusKind::UniformHd
+        } else {
+            StimulusKind::UniformRandom
+        },
+        ..CharacterizationConfig::default()
+    };
+    let netlist = spec.build()?.validate()?;
+    eprintln!(
+        "characterizing {} ({} gates, {} input bits)...",
+        spec,
+        netlist.netlist().gate_count(),
+        netlist.netlist().input_bit_count()
+    );
+    let result = characterize(&netlist, &config);
+    println!(
+        "{:>4} {:>14} {:>8} {:>8}",
+        "Hd", "p_i", "eps_i[%]", "samples"
+    );
+    for i in 1..=result.model.input_bits() {
+        println!(
+            "{i:>4} {:>14.2} {:>8.1} {:>8}",
+            result.model.coefficient(i),
+            100.0 * result.model.deviation(i),
+            result.model.sample_counts()[i]
+        );
+    }
+    if let Some(at) = result.converged_after {
+        eprintln!("converged after {at} patterns");
+    }
+    if let Some(path) = args.option("out") {
+        persist::save(&result, path)?;
+        eprintln!("model written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_estimate(args: &ParsedArgs) -> CliResult {
+    let spec = spec_from(args)?;
+    let dt = data_type(args.require("data")?)?;
+    let cycles = args.get_or("cycles", 5000usize)?;
+    let seed = args.get_or("seed", 7u64)?;
+    let model_path = args.require("model")?;
+    // Accept either a bare HdModel or a full Characterization artifact.
+    let model: HdModel = persist::load(model_path).or_else(|_| {
+        persist::load::<hdpm_core::Characterization>(model_path).map(|c| c.model)
+    })?;
+
+    let (m1, _) = spec.width.operand_widths();
+    let streams = dt.generate_operands(spec.kind.operand_count(), m1, cycles, seed);
+
+    // Simulation-free estimate via the analytic Hd distribution.
+    let dists: Vec<HdDistribution> = streams
+        .iter()
+        .map(|w| HdDistribution::from_regions(&region_model(&WordModel::from_words(w, m1))))
+        .collect();
+    let dist = HdDistribution::convolve_all(&dists);
+    if dist.width() == model.input_bits() {
+        let estimate = model.estimate_distribution(&dist)?;
+        println!("analytic estimate: {estimate:.2} charge/cycle (Hd distribution, eq. 18)");
+        println!(
+            "average-Hd estimate: {:.2} charge/cycle (interpolated at Hd = {:.2})",
+            model.estimate_interpolated(dist.mean()),
+            dist.mean()
+        );
+    } else {
+        eprintln!(
+            "note: analytic path skipped (distribution width {} != model width {})",
+            dist.width(),
+            model.input_bits()
+        );
+    }
+
+    if args.flag("simulate") {
+        let netlist = spec.build()?.validate()?;
+        let trace = run_words(&netlist, &streams, DelayModel::Unit);
+        let report = evaluate(&model, &trace)?;
+        println!(
+            "reference simulation: {:.2} charge/cycle over {} cycles",
+            trace.average_charge(),
+            trace.samples.len()
+        );
+        println!(
+            "trace-based model error: eps = {:+.1}%, eps_a = {:.1}%",
+            report.average_error_pct, report.cycle_error_pct
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &ParsedArgs) -> CliResult {
+    let width = args.get_or("width", 16usize)?;
+    let cycles = args.get_or("cycles", 20_000usize)?;
+    let seed = args.get_or("seed", 7u64)?;
+    let (words, label) = if let Some(path) = args.option("wav") {
+        let file = std::fs::File::open(path)?;
+        let stream = hdpm_streams::read_wav(file)?;
+        let mut words = hdpm_streams::requantize(&stream.samples, width);
+        words.truncate(cycles);
+        (words, format!("wav file {path}"))
+    } else {
+        let dt = data_type(args.require("data")?)?;
+        (dt.generate(width, cycles, seed), dt.to_string())
+    };
+    let ws = word_stats(&words);
+    let model = WordModel::from_stats(&ws, width);
+    let bps = breakpoints(&model);
+    let regions = region_model(&model);
+    println!("stream {label} at {width} bits over {} samples:", words.len());
+    println!("  mu = {:.2}, sigma = {:.2}, rho = {:.4}", ws.mean, ws.sigma(), ws.rho1);
+    println!("  BP0 = {:.2}, BP1 = {:.2}", bps.bp0, bps.bp1);
+    println!(
+        "  n_rand = {}, n_sign = {}, t_sign = {:.4}, Hd_avg = {:.3}",
+        regions.n_rand,
+        regions.n_sign,
+        regions.t_sign,
+        regions.average_hd()
+    );
+    let bits = bit_stats(&words, width);
+    println!("  per-bit transition probabilities (LSB first):");
+    print!("   ");
+    for t in &bits.transition_probs {
+        print!(" {t:.2}");
+    }
+    println!();
+    let dist = HdDistribution::from_regions(&regions);
+    println!("  analytic p(Hd = i):");
+    for (i, &p) in dist.probs().iter().enumerate() {
+        if p > 0.0005 {
+            println!("    Hd={i:<3} {p:.4}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_emit(args: &ParsedArgs) -> CliResult {
+    let spec = spec_from(args)?;
+    let netlist = spec.build()?;
+    let text = emit_verilog(&netlist);
+    match args.option("out") {
+        Some(path) => {
+            std::fs::write(path, &text)?;
+            eprintln!("{}", NetlistStats::of(&netlist));
+            eprintln!("written to {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &ParsedArgs) -> CliResult {
+    let spec = spec_from(args)?;
+    let dt = data_type(args.require("data")?)?;
+    let cycles = args.get_or("cycles", 2000usize)?;
+    let seed = args.get_or("seed", 7u64)?;
+    let netlist = spec.build()?.validate()?;
+    let (m1, _) = spec.width.operand_widths();
+    let streams = dt.generate_operands(spec.kind.operand_count(), m1, cycles, seed);
+    let patterns = patterns_from_words(netlist.netlist(), &streams);
+    let report = PowerReport::from_run(&netlist, &patterns, DelayModel::Unit);
+    print!("{report}");
+    Ok(())
+}
+
+fn cmd_vcd(args: &ParsedArgs) -> CliResult {
+    let spec = spec_from(args)?;
+    let dt = data_type(args.require("data")?)?;
+    let cycles = args.get_or("cycles", 256usize)?;
+    let seed = args.get_or("seed", 7u64)?;
+    let out = args.require("out")?;
+    let netlist = spec.build()?.validate()?;
+    let (m1, _) = spec.width.operand_widths();
+    let streams = dt.generate_operands(spec.kind.operand_count(), m1, cycles, seed);
+    let patterns = patterns_from_words(netlist.netlist(), &streams);
+    let file = std::fs::File::create(out)?;
+    dump_vcd(&netlist, &patterns, file)?;
+    eprintln!("{cycles} cycles dumped to {out}");
+    Ok(())
+}

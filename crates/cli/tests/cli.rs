@@ -1,0 +1,166 @@
+//! End-to-end tests of the `hdpm` binary: every subcommand is driven
+//! through a real process, with artifacts flowing between invocations.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn hdpm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hdpm"))
+        .args(args)
+        .output()
+        .expect("binary launches")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hdpm_cli_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let out = hdpm(&[]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE:"));
+}
+
+#[test]
+fn list_names_every_module_family() {
+    let out = hdpm(&["list"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for module in [
+        "ripple_adder",
+        "cla_adder",
+        "carry_select_adder",
+        "carry_skip_adder",
+        "absval",
+        "csa_multiplier",
+        "booth_wallace_mult",
+        "barrel_shifter",
+        "gf_multiplier",
+        "mac",
+        "divider",
+    ] {
+        assert!(text.contains(module), "missing {module} in:\n{text}");
+    }
+}
+
+#[test]
+fn characterize_then_estimate_round_trip() {
+    let model_path = temp_path("model.json");
+    let out = hdpm(&[
+        "characterize",
+        "--module",
+        "ripple_adder",
+        "--width",
+        "4",
+        "--patterns",
+        "1500",
+        "--out",
+        model_path.to_str().expect("utf8 temp path"),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("p_i"));
+    assert!(model_path.exists());
+
+    let out = hdpm(&[
+        "estimate",
+        "--model",
+        model_path.to_str().expect("utf8 temp path"),
+        "--module",
+        "ripple_adder",
+        "--width",
+        "4",
+        "--data",
+        "music",
+        "--cycles",
+        "500",
+        "--simulate",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("analytic estimate"));
+    assert!(text.contains("reference simulation"));
+    let _ = std::fs::remove_file(&model_path);
+}
+
+#[test]
+fn stats_reports_regions() {
+    let out = hdpm(&["stats", "--data", "speech", "--width", "12", "--cycles", "4000"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("BP0"));
+    assert!(text.contains("n_rand"));
+    assert!(text.contains("p(Hd = i)"));
+}
+
+#[test]
+fn emit_writes_verilog() {
+    let v_path = temp_path("adder.v");
+    let out = hdpm(&[
+        "emit",
+        "--module",
+        "cla_adder",
+        "--width",
+        "4",
+        "--out",
+        v_path.to_str().expect("utf8 temp path"),
+    ]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&v_path).expect("file written");
+    assert!(text.starts_with("module cla_adder_4"));
+    assert!(text.ends_with("endmodule\n"));
+    let _ = std::fs::remove_file(&v_path);
+}
+
+#[test]
+fn report_breaks_down_power() {
+    let out = hdpm(&[
+        "report", "--module", "csa_multiplier", "--width", "4", "--data", "random",
+        "--cycles", "300",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("by driver kind"));
+    assert!(text.contains("top nets"));
+}
+
+#[test]
+fn vcd_produces_waveforms() {
+    let vcd_path = temp_path("waves.vcd");
+    let out = hdpm(&[
+        "vcd",
+        "--module",
+        "ripple_adder",
+        "--width",
+        "4",
+        "--data",
+        "counter",
+        "--cycles",
+        "16",
+        "--out",
+        vcd_path.to_str().expect("utf8 temp path"),
+    ]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&vcd_path).expect("file written");
+    assert!(text.contains("$enddefinitions"));
+    assert!(text.contains("#160"));
+    let _ = std::fs::remove_file(&vcd_path);
+}
+
+#[test]
+fn unknown_module_fails_with_message() {
+    let out = hdpm(&["emit", "--module", "flux_capacitor", "--width", "4"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown module kind"));
+}
+
+#[test]
+fn missing_required_option_fails() {
+    let out = hdpm(&["characterize", "--width", "4"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--module"));
+}

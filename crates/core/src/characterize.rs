@@ -1,0 +1,515 @@
+//! Model characterization (§4.1).
+//!
+//! Module prototypes are stimulated with random patterns; the reference
+//! simulator reports the charge of every transition; coefficients are the
+//! per-class averages of eq. 4, with the per-class average absolute
+//! deviation `ε_i` of eq. 5. Characterization stops early once the
+//! coefficients have converged.
+
+use hdpm_netlist::ValidatedNetlist;
+use hdpm_sim::{BitPattern, DelayModel, Simulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::model::{EnhancedHdModel, HdModel, ZeroClustering};
+
+/// The statistics of the characterization pattern stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StimulusKind {
+    /// Uniform random patterns — the paper's §4.1 stimulus (every bit is
+    /// an independent fair coin).
+    #[default]
+    UniformRandom,
+    /// Stratified stimulus: the per-bit one-probability cycles through a
+    /// sweep of values, so that zero-rich and one-rich transitions are
+    /// well represented. Recommended when the *enhanced* model's
+    /// stable-zero subgroups must be populated (uniform random patterns
+    /// almost never produce transitions where most stable bits are zero).
+    SignalProbSweep,
+    /// Hd-stratified stimulus: every transition flips a uniformly chosen
+    /// number of uniformly chosen bits of the previous pattern. The
+    /// conditional law of a transition given its class `E_i` is identical
+    /// to uniform random patterns (uniform state, uniform `i`-subset of
+    /// flipped positions), but every class receives `≈ n/(m+1)` samples
+    /// instead of the binomial tail starving `p_1` and `p_m` — importance
+    /// sampling over the event classes of eq. 4.
+    UniformHd,
+}
+
+/// Configuration of a characterization run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizationConfig {
+    /// Maximum number of random characterization patterns.
+    pub max_patterns: usize,
+    /// Statistics of the characterization stream.
+    pub stimulus: StimulusKind,
+    /// RNG seed for the pattern stream.
+    pub seed: u64,
+    /// Reference-simulator timing discipline.
+    pub delay_model: DelayModel,
+    /// Convergence tolerance: characterization stops when no populated
+    /// class coefficient moved by more than this relative amount between
+    /// checkpoints.
+    pub convergence_tol: f64,
+    /// Patterns between convergence checkpoints.
+    pub check_interval: usize,
+    /// Minimum samples a class needs before it participates in the
+    /// convergence check.
+    pub min_class_samples: u64,
+    /// Subgroup layout of the enhanced model.
+    pub clustering: ZeroClustering,
+}
+
+impl Default for CharacterizationConfig {
+    fn default() -> Self {
+        CharacterizationConfig {
+            max_patterns: 12_000,
+            stimulus: StimulusKind::UniformRandom,
+            seed: 0xC0FFEE,
+            delay_model: DelayModel::Unit,
+            convergence_tol: 0.02,
+            check_interval: 2_000,
+            min_class_samples: 8,
+            clustering: ZeroClustering::Full,
+        }
+    }
+}
+
+/// One convergence checkpoint: patterns seen so far and the largest
+/// relative coefficient change since the previous checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergencePoint {
+    /// Patterns applied up to this checkpoint.
+    pub patterns: usize,
+    /// Maximum relative coefficient change across populated classes.
+    pub max_relative_change: f64,
+}
+
+/// The result of characterizing one module prototype.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Characterization {
+    /// The basic Hd model (eq. 2).
+    pub model: HdModel,
+    /// The enhanced Hd model (eq. 3).
+    pub enhanced: EnhancedHdModel,
+    /// Number of transitions actually used.
+    pub transitions: usize,
+    /// Pattern count after which the convergence criterion held, if it did
+    /// before `max_patterns` ran out.
+    pub converged_after: Option<usize>,
+    /// Convergence history (for the convergence-ablation bench).
+    pub history: Vec<ConvergencePoint>,
+}
+
+/// Characterize a module prototype with random patterns (§4.1).
+///
+/// # Examples
+///
+/// ```
+/// use hdpm_core::{characterize, CharacterizationConfig};
+/// use hdpm_netlist::modules;
+///
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// let adder = modules::ripple_adder(4)?.validate()?;
+/// let config = CharacterizationConfig {
+///     max_patterns: 2000,
+///     ..CharacterizationConfig::default()
+/// };
+/// let result = characterize(&adder, &config);
+/// // Coefficients grow with the Hamming distance.
+/// assert!(result.model.coefficient(8) > result.model.coefficient(2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn characterize(netlist: &ValidatedNetlist, config: &CharacterizationConfig) -> Characterization {
+    let m = netlist.netlist().input_bit_count();
+    let mut sim = Simulator::with_delay_model(netlist, config.delay_model);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Per-sample records for the deviation pass.
+    let mut records: Vec<(u16, u16, f64)> = Vec::with_capacity(config.max_patterns);
+
+    // Running per-class sums for the convergence check.
+    let mut sums = vec![0.0f64; m + 1];
+    let mut counts = vec![0u64; m + 1];
+    let mut last_snapshot: Option<Vec<f64>> = None;
+    let mut history = Vec::new();
+    let mut converged_after = None;
+
+    // Signal-probability levels of the stratified stimulus; each level
+    // holds for a block of patterns so transitions within a block carry
+    // the level's statistics.
+    const SWEEP_LEVELS: [f64; 7] = [0.5, 0.15, 0.85, 0.3, 0.7, 0.05, 0.95];
+    const SWEEP_BLOCK: usize = 200;
+
+    let mut prev: Option<BitPattern> = None;
+    // Scratch index pool for the Hd-stratified subset draw.
+    let mut positions: Vec<usize> = (0..m).collect();
+    let mut applied = 0usize;
+    while applied < config.max_patterns {
+        let pattern = match (config.stimulus, prev) {
+            (StimulusKind::UniformRandom, _) | (_, None) => {
+                BitPattern::from_masked(rng.gen::<u64>(), m)
+            }
+            (StimulusKind::SignalProbSweep, _) => {
+                let level = SWEEP_LEVELS[(applied / SWEEP_BLOCK) % SWEEP_LEVELS.len()];
+                let mut bits = 0u64;
+                for i in 0..m {
+                    if rng.gen_bool(level) {
+                        bits |= 1 << i;
+                    }
+                }
+                BitPattern::new(bits, m)
+            }
+            (StimulusKind::UniformHd, Some(prev)) => {
+                let k = rng.gen_range(0..=m);
+                // Partial Fisher-Yates: the first k entries become a
+                // uniform k-subset of bit positions.
+                for i in 0..k {
+                    let j = rng.gen_range(i..m);
+                    positions.swap(i, j);
+                }
+                let mut bits = prev.bits();
+                for &pos in &positions[..k] {
+                    bits ^= 1 << pos;
+                }
+                BitPattern::new(bits, m)
+            }
+        };
+        let result = sim.apply(pattern);
+        if let Some(prev) = prev {
+            let hd = prev.hamming_distance(pattern);
+            let zeros = prev.stable_zeros(pattern);
+            records.push((hd as u16, zeros as u16, result.charge));
+            sums[hd] += result.charge;
+            counts[hd] += 1;
+        }
+        prev = Some(pattern);
+        applied += 1;
+
+        if applied.is_multiple_of(config.check_interval) || applied == config.max_patterns {
+            let snapshot: Vec<f64> = (0..=m)
+                .map(|i| {
+                    if counts[i] >= config.min_class_samples {
+                        sums[i] / counts[i] as f64
+                    } else {
+                        f64::NAN
+                    }
+                })
+                .collect();
+            if let Some(last) = &last_snapshot {
+                let mut max_change: f64 = 0.0;
+                for (new, old) in snapshot.iter().zip(last) {
+                    if new.is_nan() || old.is_nan() || *old == 0.0 {
+                        continue;
+                    }
+                    max_change = max_change.max(((new - old) / old).abs());
+                }
+                history.push(ConvergencePoint {
+                    patterns: applied,
+                    max_relative_change: max_change,
+                });
+                if converged_after.is_none() && max_change < config.convergence_tol {
+                    converged_after = Some(applied);
+                    break;
+                }
+            }
+            last_snapshot = Some(snapshot);
+        }
+    }
+
+    build_characterization(
+        netlist.netlist().name(),
+        m,
+        &records,
+        config.clustering,
+        converged_after,
+        history,
+    )
+}
+
+/// Build the models from classified `(hd, stable_zeros, charge)` records.
+/// Exposed for reuse by the adaptation and trace-replay paths.
+pub(crate) fn build_characterization(
+    module: &str,
+    m: usize,
+    records: &[(u16, u16, f64)],
+    clustering: ZeroClustering,
+    converged_after: Option<usize>,
+    history: Vec<ConvergencePoint>,
+) -> Characterization {
+    // Basic model: eq. 4 means.
+    let mut sums = vec![0.0f64; m + 1];
+    let mut counts = vec![0u64; m + 1];
+    for &(hd, _zeros, q) in records {
+        sums[hd as usize] += q;
+        counts[hd as usize] += 1;
+    }
+    let coeffs: Vec<f64> = (0..=m)
+        .map(|i| if counts[i] > 0 { sums[i] / counts[i] as f64 } else { 0.0 })
+        .collect();
+
+    // Eq. 5 deviations.
+    let mut dev_sums = vec![0.0f64; m + 1];
+    for &(hd, _zeros, q) in records {
+        let p = coeffs[hd as usize];
+        if p > 0.0 {
+            dev_sums[hd as usize] += ((q - p) / p).abs();
+        }
+    }
+    let deviations: Vec<f64> = (0..=m)
+        .map(|i| if counts[i] > 0 { dev_sums[i] / counts[i] as f64 } else { 0.0 })
+        .collect();
+
+    let basic = HdModel::from_parts(module, m, coeffs, deviations, counts);
+
+    // Enhanced model: eq. 3 subgroups.
+    let mut e_sums: Vec<Vec<f64>> = (1..=m)
+        .map(|i| vec![0.0; clustering.groups(m, i)])
+        .collect();
+    let mut e_counts: Vec<Vec<u64>> = (1..=m)
+        .map(|i| vec![0; clustering.groups(m, i)])
+        .collect();
+    for &(hd, zeros, q) in records {
+        let (hd, zeros) = (hd as usize, zeros as usize);
+        if hd == 0 {
+            continue;
+        }
+        let g = clustering.group_of(m, hd, zeros);
+        e_sums[hd - 1][g] += q;
+        e_counts[hd - 1][g] += 1;
+    }
+    let e_coeffs: Vec<Vec<f64>> = e_sums
+        .iter()
+        .zip(&e_counts)
+        .map(|(srow, crow)| {
+            srow.iter()
+                .zip(crow)
+                .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    let mut e_dev_sums: Vec<Vec<f64>> = e_counts
+        .iter()
+        .map(|row| vec![0.0; row.len()])
+        .collect();
+    for &(hd, zeros, q) in records {
+        let (hd, zeros) = (hd as usize, zeros as usize);
+        if hd == 0 {
+            continue;
+        }
+        let g = clustering.group_of(m, hd, zeros);
+        let p = e_coeffs[hd - 1][g];
+        if p > 0.0 {
+            e_dev_sums[hd - 1][g] += ((q - p) / p).abs();
+        }
+    }
+    let e_devs: Vec<Vec<f64>> = e_dev_sums
+        .iter()
+        .zip(&e_counts)
+        .map(|(srow, crow)| {
+            srow.iter()
+                .zip(crow)
+                .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+                .collect()
+        })
+        .collect();
+
+    let enhanced =
+        EnhancedHdModel::from_parts(basic.clone(), clustering, e_coeffs, e_devs, e_counts);
+
+    Characterization {
+        model: basic,
+        enhanced,
+        transitions: records.len(),
+        converged_after,
+        history,
+    }
+}
+
+/// Characterize from an existing reference [`hdpm_sim::Trace`] instead of
+/// generating fresh random patterns — useful for replaying recorded or
+/// application-specific characterization stimuli.
+pub fn characterize_trace(trace: &hdpm_sim::Trace, clustering: ZeroClustering) -> Characterization {
+    let records: Vec<(u16, u16, f64)> = trace
+        .samples
+        .iter()
+        .map(|s| (s.hd as u16, s.stable_zeros as u16, s.charge))
+        .collect();
+    build_characterization(
+        &trace.module,
+        trace.input_width,
+        &records,
+        clustering,
+        None,
+        Vec::new(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdpm_netlist::modules;
+
+    fn quick_config() -> CharacterizationConfig {
+        CharacterizationConfig {
+            max_patterns: 4000,
+            check_interval: 1000,
+            ..CharacterizationConfig::default()
+        }
+    }
+
+    #[test]
+    fn coefficients_increase_with_hd() {
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        let c = characterize(&adder, &quick_config());
+        let model = &c.model;
+        // The curve rises over the well-populated bulk of the binomial Hd
+        // range (it saturates and rolls off at the extreme classes, where
+        // complementing every input leaves the XOR propagate chains
+        // invariant — visible in the paper's Fig. 1 saturation too).
+        assert!(model.coefficient(1) > 0.0);
+        assert!(model.coefficient(2) > model.coefficient(1));
+        assert!(model.coefficient(4) > model.coefficient(2));
+        assert!(model.coefficient(5) > model.coefficient(3));
+    }
+
+    #[test]
+    fn deviations_shrink_for_large_hd() {
+        // §4.1: "the relative coefficient deviations are decreasing for
+        // larger values of the Hamming-distance."
+        let mul = modules::csa_multiplier(6, 6).unwrap().validate().unwrap();
+        let c = characterize(&mul, &quick_config());
+        let low = c.model.deviation(2);
+        let high = c.model.deviation(10);
+        assert!(
+            high < low,
+            "deviation at Hd 10 ({high}) should be below Hd 2 ({low})"
+        );
+    }
+
+    #[test]
+    fn characterization_converges() {
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        let config = CharacterizationConfig {
+            max_patterns: 60_000,
+            check_interval: 4_000,
+            convergence_tol: 0.05,
+            ..CharacterizationConfig::default()
+        };
+        let c = characterize(&adder, &config);
+        assert!(
+            c.converged_after.is_some(),
+            "expected convergence, history: {:?}",
+            c.history
+        );
+    }
+
+    #[test]
+    fn enhanced_model_separates_zero_rich_transitions() {
+        // For an adder, transitions among low (zero-heavy) operand values
+        // exercise less of the carry chain than transitions among high
+        // values: the all-stable-zeros subgroup should sit below the
+        // no-stable-zeros subgroup for small Hd.
+        let adder = modules::ripple_adder(8).unwrap().validate().unwrap();
+        let config = CharacterizationConfig {
+            max_patterns: 12_000,
+            ..quick_config()
+        };
+        let c = characterize(&adder, &config);
+        let m = 16;
+        let hd = 2;
+        let row = c.enhanced.coefficient_row(hd);
+        let counts = c.enhanced.sample_count_row(hd);
+        let groups = row.len();
+        assert_eq!(groups, m - hd + 1);
+        // Compare low-zeros vs high-zeros ends where populated.
+        let low_zero = (0..groups / 4)
+            .filter(|&g| counts[g] > 3)
+            .map(|g| row[g])
+            .fold(f64::NAN, f64::max);
+        let high_zero = (3 * groups / 4..groups)
+            .filter(|&g| counts[g] > 3)
+            .map(|g| row[g])
+            .fold(f64::NAN, f64::min);
+        if low_zero.is_finite() && high_zero.is_finite() {
+            assert!(
+                high_zero < low_zero,
+                "all-zeros subgroup {high_zero} should be below no-zeros {low_zero}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_hd_stimulus_balances_class_counts() {
+        let adder = modules::ripple_adder(8).unwrap().validate().unwrap();
+        let config = CharacterizationConfig {
+            max_patterns: 8000,
+            stimulus: StimulusKind::UniformHd,
+            convergence_tol: 0.0,
+            ..CharacterizationConfig::default()
+        };
+        let c = characterize(&adder, &config);
+        let counts = c.model.sample_counts();
+        // Every class (1..=16) should be populated with roughly
+        // n/(m+1) = ~470 samples; allow wide slack.
+        for (i, &count) in counts.iter().enumerate().skip(1) {
+            assert!(
+                count > 200,
+                "class {i} starved under UniformHd: {count} samples"
+            );
+        }
+        // The extreme classes must be far better sampled than under a
+        // uniform random stream, where P(Hd = 1) = 16/2^16.
+        assert!(counts[1] > 100);
+        assert!(counts[16] > 100);
+    }
+
+    #[test]
+    fn uniform_hd_class_means_match_uniform_random() {
+        // Both stimuli must estimate the same class-conditional means
+        // (the UniformHd draw is the exact conditional law).
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        let base = CharacterizationConfig {
+            max_patterns: 40_000,
+            convergence_tol: 0.0,
+            ..CharacterizationConfig::default()
+        };
+        let uniform = characterize(&adder, &base);
+        let stratified = characterize(
+            &adder,
+            &CharacterizationConfig {
+                stimulus: StimulusKind::UniformHd,
+                ..base
+            },
+        );
+        // Compare the well-populated central classes.
+        for i in 3..=5 {
+            let a = uniform.model.coefficient(i);
+            let b = stratified.model.coefficient(i);
+            assert!(
+                ((a - b) / a).abs() < 0.05,
+                "class {i}: uniform {a} vs stratified {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_replay_matches_direct_characterization() {
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        let patterns = hdpm_sim::random_patterns(8, 3000, 42);
+        let trace = hdpm_sim::run_patterns(&adder, &patterns, DelayModel::Unit);
+        let c = characterize_trace(&trace, ZeroClustering::Full);
+        assert_eq!(c.transitions, 2999);
+        assert!(c.model.coefficient(4) > 0.0);
+    }
+
+    #[test]
+    fn characterization_is_deterministic() {
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        let a = characterize(&adder, &quick_config());
+        let b = characterize(&adder, &quick_config());
+        assert_eq!(a.model, b.model);
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type of the macro-model crate.
+
+use crate::linalg::LinalgError;
+
+/// Errors produced by characterization, regression, estimation and
+/// persistence.
+#[derive(Debug)]
+pub enum ModelError {
+    /// Netlist construction failed.
+    Netlist(hdpm_netlist::NetlistError),
+    /// The coefficient regression failed (e.g. too few prototypes).
+    Regression(LinalgError),
+    /// A model was queried with a pattern/width it was not built for.
+    WidthMismatch {
+        /// Width the model was characterized at.
+        model_width: usize,
+        /// Width of the offending query.
+        query_width: usize,
+    },
+    /// Not enough prototypes to fit the requested feature set.
+    InsufficientPrototypes {
+        /// Prototypes supplied.
+        supplied: usize,
+        /// Minimum required (the number of complexity features).
+        required: usize,
+    },
+    /// Mixed module kinds in a single regression task.
+    MixedModuleKinds,
+    /// Model (de)serialization failed.
+    Persist(serde_json::Error),
+    /// Filesystem error while persisting a model.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::Netlist(e) => write!(f, "netlist error: {e}"),
+            ModelError::Regression(e) => write!(f, "regression failed: {e}"),
+            ModelError::WidthMismatch {
+                model_width,
+                query_width,
+            } => write!(
+                f,
+                "model characterized for {model_width} input bits was queried with {query_width}"
+            ),
+            ModelError::InsufficientPrototypes { supplied, required } => write!(
+                f,
+                "{supplied} prototypes cannot determine {required} regression coefficients"
+            ),
+            ModelError::MixedModuleKinds => {
+                write!(f, "regression prototypes must share one module kind")
+            }
+            ModelError::Persist(e) => write!(f, "model serialization failed: {e}"),
+            ModelError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Netlist(e) => Some(e),
+            ModelError::Regression(e) => Some(e),
+            ModelError::Persist(e) => Some(e),
+            ModelError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hdpm_netlist::NetlistError> for ModelError {
+    fn from(e: hdpm_netlist::NetlistError) -> Self {
+        ModelError::Netlist(e)
+    }
+}
+
+impl From<LinalgError> for ModelError {
+    fn from(e: LinalgError) -> Self {
+        ModelError::Regression(e)
+    }
+}
+
+impl From<serde_json::Error> for ModelError {
+    fn from(e: serde_json::Error) -> Self {
+        ModelError::Persist(e)
+    }
+}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        ModelError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::WidthMismatch {
+            model_width: 16,
+            query_width: 8,
+        };
+        assert!(e.to_string().contains("16"));
+        assert!(e.to_string().contains("8"));
+        let e = ModelError::InsufficientPrototypes {
+            supplied: 2,
+            required: 3,
+        };
+        assert!(e.to_string().contains("2 prototypes"));
+    }
+
+    #[test]
+    fn conversions_work() {
+        let e: ModelError = crate::linalg::LinalgError::SingularMatrix.into();
+        assert!(matches!(e, ModelError::Regression(_)));
+    }
+}

@@ -1,0 +1,88 @@
+//! # hdpm-core
+//!
+//! The Hamming-distance power macro-model of *"A New Parameterizable Power
+//! Macro-Model for Datapath Components"* (Jochens, Kruse, Schmidt, Nebel —
+//! DATE 1999), implemented end to end:
+//!
+//! * the **basic model** (eq. 2) and the **enhanced model** split by
+//!   stable-zero counts (eq. 3): [`HdModel`], [`EnhancedHdModel`];
+//! * **characterization** from random patterns against the gate-level
+//!   reference simulator, with convergence detection (eq. 4/5):
+//!   [`characterize`];
+//! * **bit-width parameterization** by complexity-feature regression
+//!   (eq. 6–10): [`ParameterizableModel`];
+//! * **estimation** in trace, distribution and average-Hd modes, with the
+//!   §4.2 error metrics: [`evaluate`], [`distribution_vs_average`];
+//! * **LMS coefficient adaptation** (the §4.2 pointer to Bogliolo et al.):
+//!   [`AdaptiveHdModel`];
+//! * JSON **persistence** of every model type: [`persist`].
+//!
+//! ## Example: characterize, parameterize, estimate
+//!
+//! ```
+//! use hdpm_core::{
+//!     characterize, evaluate, CharacterizationConfig, ParameterizableModel, Prototype,
+//! };
+//! use hdpm_netlist::{ModuleKind, ModuleSpec};
+//! use hdpm_sim::{run_words, DelayModel};
+//! use hdpm_streams::DataType;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Characterize three small ripple-adder prototypes...
+//! let config = CharacterizationConfig {
+//!     max_patterns: 1500,
+//!     ..CharacterizationConfig::default()
+//! };
+//! let mut prototypes = Vec::new();
+//! for width in [4usize, 6, 8] {
+//!     let spec = ModuleSpec::new(ModuleKind::RippleAdder, width);
+//!     let netlist = spec.build()?.validate()?;
+//!     prototypes.push(Prototype {
+//!         spec,
+//!         model: characterize(&netlist, &config).model,
+//!     });
+//! }
+//!
+//! // ...fit the width regression (eq. 9)...
+//! let family = ParameterizableModel::fit(&prototypes)?;
+//!
+//! // ...and estimate the power of an unseen 7-bit adder under speech data.
+//! let spec = ModuleSpec::new(ModuleKind::RippleAdder, 7usize);
+//! let netlist = spec.build()?.validate()?;
+//! let streams = DataType::Speech.generate_operands(2, 7, 500, 1);
+//! let reference = run_words(&netlist, &streams, DelayModel::Unit);
+//! let predicted = family.predict_model(spec.width);
+//! let report = evaluate(&predicted, &reference)?;
+//! assert!(report.average_error_pct.abs() < 60.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod adapt;
+mod bitwise;
+mod characterize;
+mod error;
+mod estimate;
+mod library;
+pub mod linalg;
+mod model;
+pub mod persist;
+mod regress;
+
+pub use adapt::AdaptiveHdModel;
+pub use bitwise::BitwiseModel;
+pub use characterize::{
+    characterize, characterize_trace, Characterization, CharacterizationConfig, ConvergencePoint,
+    StimulusKind,
+};
+pub use error::ModelError;
+pub use library::ModelLibrary;
+pub use estimate::{
+    accuracy, distribution_vs_average, evaluate, evaluate_enhanced, predict_trace,
+    predict_trace_enhanced, AccuracyReport, DistributionVsAverage,
+};
+pub use model::{EnhancedHdModel, HdModel, ZeroClustering};
+pub use regress::{ParameterizableModel, Prototype, PrototypeSet};

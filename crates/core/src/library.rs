@@ -1,0 +1,196 @@
+//! Model libraries: persistent, load-or-characterize collections of
+//! module models — the shipped form of a characterized macro-model
+//! library, with parallel characterization for prototype sweeps.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use hdpm_netlist::ModuleSpec;
+
+use crate::characterize::{characterize, Characterization, CharacterizationConfig};
+use crate::error::ModelError;
+use crate::persist;
+
+/// A directory-backed library of characterized models.
+///
+/// Every [`ModuleSpec`] maps to one JSON artifact keyed by the module, its
+/// width and the characterization configuration; [`ModelLibrary::get`]
+/// loads the artifact if present and characterizes (then stores) it
+/// otherwise, so the expensive gate-level runs happen once per library.
+///
+/// # Examples
+///
+/// ```no_run
+/// use hdpm_core::{CharacterizationConfig, ModelLibrary};
+/// use hdpm_netlist::{ModuleKind, ModuleSpec};
+///
+/// # fn main() -> Result<(), hdpm_core::ModelError> {
+/// let library = ModelLibrary::new("models", CharacterizationConfig::default());
+/// let c = library.get(ModuleSpec::new(ModuleKind::RippleAdder, 8usize))?;
+/// println!("p_4 = {}", c.model.coefficient(4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ModelLibrary {
+    root: PathBuf,
+    config: CharacterizationConfig,
+}
+
+impl ModelLibrary {
+    /// Create a library rooted at `root` (created on first store).
+    pub fn new(root: impl Into<PathBuf>, config: CharacterizationConfig) -> Self {
+        ModelLibrary {
+            root: root.into(),
+            config,
+        }
+    }
+
+    /// The library's characterization configuration.
+    pub fn config(&self) -> &CharacterizationConfig {
+        &self.config
+    }
+
+    /// The artifact path a spec maps to.
+    pub fn path_for(&self, spec: ModuleSpec) -> PathBuf {
+        self.root.join(format!(
+            "{}_p{}_s{}_{:?}.json",
+            spec, self.config.max_patterns, self.config.seed, self.config.stimulus
+        ))
+    }
+
+    /// Load the characterization of `spec`, characterizing and storing it
+    /// if the artifact does not exist yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Netlist`] if the module cannot be built, or a
+    /// persistence error if the artifact cannot be written.
+    pub fn get(&self, spec: ModuleSpec) -> Result<Characterization, ModelError> {
+        let path = self.path_for(spec);
+        if let Ok(cached) = persist::load::<Characterization>(&path) {
+            return Ok(cached);
+        }
+        let netlist = spec.build()?.validate()?;
+        let result = characterize(&netlist, &self.config);
+        persist::save(&result, &path)?;
+        Ok(result)
+    }
+
+    /// Whether the artifact for `spec` already exists on disk.
+    pub fn contains(&self, spec: ModuleSpec) -> bool {
+        self.path_for(spec).exists()
+    }
+
+    /// Characterize many specs, running uncached ones in parallel across
+    /// up to `threads` worker threads (capped by the spec count). Results
+    /// come back in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered; remaining work is abandoned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn get_all(
+        &self,
+        specs: &[ModuleSpec],
+        threads: usize,
+    ) -> Result<Vec<Characterization>, ModelError> {
+        assert!(threads > 0, "need at least one worker thread");
+        let worker_count = threads.min(specs.len()).max(1);
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Result<Characterization, ModelError>>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..worker_count {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= specs.len() {
+                        break;
+                    }
+                    let outcome = self.get(specs[index]);
+                    *results[index].lock().expect("no poisoned workers") = Some(outcome);
+                });
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker completed")
+                    .expect("every index visited")
+            })
+            .collect()
+    }
+
+    /// The library root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdpm_netlist::ModuleKind;
+
+    fn temp_library() -> ModelLibrary {
+        let dir = std::env::temp_dir().join(format!(
+            "hdpm_library_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        ModelLibrary::new(
+            dir,
+            CharacterizationConfig {
+                max_patterns: 1500,
+                ..CharacterizationConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn get_caches_on_disk() {
+        let lib = temp_library();
+        let spec = ModuleSpec::new(ModuleKind::RippleAdder, 4usize);
+        assert!(!lib.contains(spec));
+        let first = lib.get(spec).unwrap();
+        assert!(lib.contains(spec));
+        let second = lib.get(spec).unwrap();
+        assert_eq!(first.model, second.model);
+        let _ = std::fs::remove_dir_all(lib.root());
+    }
+
+    #[test]
+    fn get_all_preserves_order_and_matches_serial() {
+        let lib = temp_library();
+        let specs: Vec<ModuleSpec> = [4usize, 5, 6, 7]
+            .iter()
+            .map(|&w| ModuleSpec::new(ModuleKind::RippleAdder, w))
+            .collect();
+        let parallel = lib.get_all(&specs, 4).unwrap();
+        for (spec, c) in specs.iter().zip(&parallel) {
+            let serial = lib.get(*spec).unwrap();
+            assert_eq!(serial.model, c.model, "{spec}");
+            assert_eq!(
+                c.model.input_bits(),
+                spec.kind.input_bits(spec.width),
+                "order preserved"
+            );
+        }
+        let _ = std::fs::remove_dir_all(lib.root());
+    }
+
+    #[test]
+    fn invalid_spec_surfaces_netlist_error() {
+        let lib = temp_library();
+        let spec = ModuleSpec::new(ModuleKind::CsaMultiplier, 1usize);
+        assert!(matches!(lib.get(spec), Err(ModelError::Netlist(_))));
+        let _ = std::fs::remove_dir_all(lib.root());
+    }
+}

@@ -1,0 +1,280 @@
+//! Minimal dense linear algebra for the §5 coefficient regression:
+//! least-mean-square fitting via normal equations and Gaussian elimination
+//! with partial pivoting. Self-contained — no external math crates.
+
+/// Errors from the linear solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The system matrix is singular (or numerically so).
+    SingularMatrix,
+    /// Fewer observations than unknowns.
+    Underdetermined {
+        /// Number of observations provided.
+        observations: usize,
+        /// Number of unknowns requested.
+        unknowns: usize,
+    },
+    /// Rows of the design matrix have inconsistent lengths.
+    RaggedDesignMatrix,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::SingularMatrix => write!(f, "system matrix is singular"),
+            LinalgError::Underdetermined {
+                observations,
+                unknowns,
+            } => write!(
+                f,
+                "{observations} observations cannot determine {unknowns} unknowns"
+            ),
+            LinalgError::RaggedDesignMatrix => {
+                write!(f, "design matrix rows have inconsistent lengths")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Solve the square system `A·x = b` in place by Gaussian elimination with
+/// partial pivoting. `a` is row-major `n×n`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::SingularMatrix`] if a pivot is (numerically)
+/// zero.
+///
+/// # Panics
+///
+/// Panics if `a.len() != n*n` or `b.len() != n`.
+pub fn solve(a: &mut [f64], b: &mut [f64], n: usize) -> Result<Vec<f64>, LinalgError> {
+    assert_eq!(a.len(), n * n, "matrix must be n*n");
+    assert_eq!(b.len(), n, "rhs must have length n");
+    const PIVOT_EPS: f64 = 1e-12;
+
+    for col in 0..n {
+        // Partial pivoting: bring the largest remaining |entry| up.
+        let mut pivot_row = col;
+        let mut pivot_mag = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let mag = a[row * n + col].abs();
+            if mag > pivot_mag {
+                pivot_mag = mag;
+                pivot_row = row;
+            }
+        }
+        if pivot_mag < PIVOT_EPS {
+            return Err(LinalgError::SingularMatrix);
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot_row * n + k);
+            }
+            b.swap(col, pivot_row);
+        }
+        let pivot = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    Ok(x)
+}
+
+/// Ordinary least squares: find `beta` minimizing `‖X·beta − y‖²` via the
+/// normal equations `(XᵀX)·beta = Xᵀy`.
+///
+/// `rows` are the observations (each a feature vector of equal length);
+/// `y` the targets.
+///
+/// # Errors
+///
+/// * [`LinalgError::Underdetermined`] — fewer rows than features.
+/// * [`LinalgError::RaggedDesignMatrix`] — rows of unequal length.
+/// * [`LinalgError::SingularMatrix`] — collinear features.
+///
+/// # Examples
+///
+/// ```
+/// use hdpm_core::linalg::least_squares;
+///
+/// # fn main() -> Result<(), hdpm_core::linalg::LinalgError> {
+/// // y = 3x + 2 exactly.
+/// let rows = vec![vec![1.0, 1.0], vec![2.0, 1.0], vec![3.0, 1.0]];
+/// let beta = least_squares(&rows, &[5.0, 8.0, 11.0])?;
+/// assert!((beta[0] - 3.0).abs() < 1e-9);
+/// assert!((beta[1] - 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn least_squares(rows: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    assert_eq!(rows.len(), y.len(), "one target per observation");
+    let n = rows.len();
+    let k = rows.first().map_or(0, Vec::len);
+    if rows.iter().any(|r| r.len() != k) {
+        return Err(LinalgError::RaggedDesignMatrix);
+    }
+    if n < k {
+        return Err(LinalgError::Underdetermined {
+            observations: n,
+            unknowns: k,
+        });
+    }
+    // Normal equations.
+    let mut xtx = vec![0.0; k * k];
+    let mut xty = vec![0.0; k];
+    for (row, &target) in rows.iter().zip(y) {
+        for i in 0..k {
+            xty[i] += row[i] * target;
+            for j in 0..k {
+                xtx[i * k + j] += row[i] * row[j];
+            }
+        }
+    }
+    solve(&mut xtx, &mut xty, k)
+}
+
+/// Coefficient of determination `R²` of a fitted linear model on the given
+/// data; `None` when the target variance is zero.
+pub fn r_squared(rows: &[Vec<f64>], y: &[f64], beta: &[f64]) -> Option<f64> {
+    assert_eq!(rows.len(), y.len(), "one target per observation");
+    let n = y.len();
+    if n == 0 {
+        return None;
+    }
+    let mean = y.iter().sum::<f64>() / n as f64;
+    let ss_tot: f64 = y.iter().map(|&t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        return None;
+    }
+    let ss_res: f64 = rows
+        .iter()
+        .zip(y)
+        .map(|(row, &t)| {
+            let pred: f64 = row.iter().zip(beta).map(|(&x, &b)| x * b).sum();
+            (t - pred) * (t - pred)
+        })
+        .sum();
+    Some(1.0 - ss_res / ss_tot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solve_identity() {
+        let mut a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut b = vec![3.0, 4.0];
+        let x = solve(&mut a, &mut b, 2).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let mut b = vec![2.0, 5.0];
+        let x = solve(&mut a, &mut b, 2).unwrap();
+        assert!((x[0] - 5.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        assert_eq!(solve(&mut a, &mut b, 2), Err(LinalgError::SingularMatrix));
+    }
+
+    #[test]
+    fn least_squares_overdetermined_noisy() {
+        // y = 2x + 1 with symmetric noise: exact recovery of the averages.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 1.0]).collect();
+        let y: Vec<f64> = (0..10)
+            .map(|i| 2.0 * i as f64 + 1.0 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let beta = least_squares(&rows, &y).unwrap();
+        assert!((beta[0] - 2.0).abs() < 0.02);
+        assert!((beta[1] - 1.0).abs() < 0.15);
+        let r2 = r_squared(&rows, &y, &beta).unwrap();
+        assert!(r2 > 0.99);
+    }
+
+    #[test]
+    fn least_squares_rejects_underdetermined() {
+        let rows = vec![vec![1.0, 2.0, 3.0]];
+        assert!(matches!(
+            least_squares(&rows, &[1.0]),
+            Err(LinalgError::Underdetermined { .. })
+        ));
+    }
+
+    #[test]
+    fn least_squares_rejects_ragged() {
+        let rows = vec![vec![1.0, 2.0], vec![1.0]];
+        assert_eq!(
+            least_squares(&rows, &[1.0, 2.0]),
+            Err(LinalgError::RaggedDesignMatrix)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn exact_fit_recovers_coefficients(
+            b0 in -100.0f64..100.0,
+            b1 in -100.0f64..100.0,
+            b2 in -100.0f64..100.0,
+        ) {
+            // Quadratic design exactly like the csa-multiplier regression.
+            let widths = [4.0f64, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0];
+            let rows: Vec<Vec<f64>> = widths.iter().map(|&m| vec![m * m, m, 1.0]).collect();
+            let y: Vec<f64> = widths.iter().map(|&m| b2 * m * m + b1 * m + b0).collect();
+            let beta = least_squares(&rows, &y).unwrap();
+            prop_assert!((beta[0] - b2).abs() < 1e-6 * (1.0 + b2.abs()));
+            prop_assert!((beta[1] - b1).abs() < 1e-5 * (1.0 + b1.abs()) + 1e-6);
+            prop_assert!((beta[2] - b0).abs() < 1e-4 * (1.0 + b0.abs()) + 1e-6);
+        }
+
+        #[test]
+        fn solve_then_multiply_round_trips(
+            seed_vals in prop::collection::vec(-10.0f64..10.0, 9),
+            x_true in prop::collection::vec(-10.0f64..10.0, 3),
+        ) {
+            let n = 3;
+            // Diagonal dominance guarantees a well-conditioned system.
+            let mut a: Vec<f64> = seed_vals.clone();
+            for i in 0..n {
+                a[i * n + i] += 40.0;
+            }
+            let b: Vec<f64> = (0..n)
+                .map(|i| (0..n).map(|j| a[i * n + j] * x_true[j]).sum())
+                .collect();
+            let mut a_copy = a.clone();
+            let mut b_copy = b.clone();
+            let x = solve(&mut a_copy, &mut b_copy, n).unwrap();
+            for i in 0..n {
+                prop_assert!((x[i] - x_true[i]).abs() < 1e-8);
+            }
+        }
+    }
+}

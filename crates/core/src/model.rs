@@ -1,0 +1,628 @@
+//! The Hd power macro-models of §3.
+//!
+//! * [`HdModel`] — the basic model (eq. 2): one coefficient `p_i` per
+//!   Hamming-distance class `E_i`, `1 ≤ i ≤ m`.
+//! * [`EnhancedHdModel`] — the enhanced model (eq. 3): each class `E_i`
+//!   split by the number of stable-zero bits into up to `m − i + 1`
+//!   subgroups `E_{i,z}` (optionally clustered to bound the coefficient
+//!   count, as the paper suggests for wide modules).
+
+use hdpm_datamodel::HdDistribution;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// The basic Hamming-distance power model: `Q[j] = p_{Hd(j)}` (eq. 2).
+///
+/// Coefficients are indexed by Hamming distance; `p_0 = 0` (an unchanged
+/// input vector draws no dynamic charge under the ideal-transition
+/// assumption of §2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HdModel {
+    module: String,
+    input_bits: usize,
+    /// `coeffs[i]` = p_i for `0..=m`; `coeffs[0] == 0`.
+    coeffs: Vec<f64>,
+    /// `deviations[i]` = ε_i (eq. 5), average absolute relative deviation
+    /// of class members around `p_i`; 0 where undefined.
+    deviations: Vec<f64>,
+    /// Characterization sample count per class.
+    sample_counts: Vec<u64>,
+}
+
+impl HdModel {
+    /// Assemble a model from per-class coefficients.
+    ///
+    /// `coeffs`, `deviations` and `sample_counts` are indexed by Hamming
+    /// distance `0..=input_bits`. Classes with zero samples are filled by
+    /// linear interpolation/extrapolation over the populated classes (wide
+    /// modules never see every class under finite characterization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if vector lengths differ from `input_bits + 1` or no class is
+    /// populated.
+    pub fn from_parts(
+        module: impl Into<String>,
+        input_bits: usize,
+        mut coeffs: Vec<f64>,
+        deviations: Vec<f64>,
+        sample_counts: Vec<u64>,
+    ) -> Self {
+        assert_eq!(coeffs.len(), input_bits + 1, "coefficient vector length");
+        assert_eq!(deviations.len(), input_bits + 1, "deviation vector length");
+        assert_eq!(sample_counts.len(), input_bits + 1, "count vector length");
+        assert!(
+            sample_counts.iter().skip(1).any(|&c| c > 0),
+            "at least one Hd class must be populated"
+        );
+        coeffs[0] = 0.0;
+        fill_gaps(&mut coeffs, &sample_counts);
+        HdModel {
+            module: module.into(),
+            input_bits,
+            coeffs,
+            deviations,
+            sample_counts,
+        }
+    }
+
+    /// Name of the module the model was characterized on.
+    pub fn module(&self) -> &str {
+        &self.module
+    }
+
+    /// Number of model input bits `m`.
+    pub fn input_bits(&self) -> usize {
+        self.input_bits
+    }
+
+    /// Number of stored coefficients (excluding the implicit `p_0`): `m`.
+    pub fn coefficient_count(&self) -> usize {
+        self.input_bits
+    }
+
+    /// Coefficient `p_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > m`.
+    pub fn coefficient(&self, i: usize) -> f64 {
+        assert!(
+            i <= self.input_bits,
+            "Hd {i} exceeds model width {}",
+            self.input_bits
+        );
+        self.coeffs[i]
+    }
+
+    /// All coefficients `p_0..=p_m`.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Class deviation `ε_i` (eq. 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > m`.
+    pub fn deviation(&self, i: usize) -> f64 {
+        assert!(i <= self.input_bits, "Hd {i} exceeds model width");
+        self.deviations[i]
+    }
+
+    /// All deviations.
+    pub fn deviations(&self) -> &[f64] {
+        &self.deviations
+    }
+
+    /// Characterization sample counts per class.
+    pub fn sample_counts(&self) -> &[u64] {
+        &self.sample_counts
+    }
+
+    /// Mean class deviation `ε = (1/m)·Σ ε_i` over populated classes — the
+    /// paper's "total average coefficient deviation" (§4.1).
+    pub fn mean_deviation(&self) -> f64 {
+        let populated: Vec<f64> = (1..=self.input_bits)
+            .filter(|&i| self.sample_counts[i] > 0)
+            .map(|i| self.deviations[i])
+            .collect();
+        if populated.is_empty() {
+            0.0
+        } else {
+            populated.iter().sum::<f64>() / populated.len() as f64
+        }
+    }
+
+    /// Estimate the cycle charge of a transition with Hamming distance
+    /// `hd` (eq. 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::WidthMismatch`] if `hd > m`.
+    pub fn estimate(&self, hd: usize) -> Result<f64, ModelError> {
+        if hd > self.input_bits {
+            return Err(ModelError::WidthMismatch {
+                model_width: self.input_bits,
+                query_width: hd,
+            });
+        }
+        Ok(self.coeffs[hd])
+    }
+
+    /// Estimate the cycle charge at a real-valued Hamming distance by
+    /// linear interpolation between the neighbouring coefficients — the
+    /// §6.2 recipe for using the (real-valued) average Hd.
+    ///
+    /// Values outside `[0, m]` clamp to the boundary coefficients.
+    pub fn estimate_interpolated(&self, hd: f64) -> f64 {
+        if !hd.is_finite() || hd <= 0.0 {
+            return 0.0;
+        }
+        let max = self.input_bits as f64;
+        if hd >= max {
+            return self.coeffs[self.input_bits];
+        }
+        let lo = hd.floor() as usize;
+        let frac = hd - lo as f64;
+        self.coeffs[lo] * (1.0 - frac) + self.coeffs[lo + 1] * frac
+    }
+
+    /// Expected cycle charge under a Hamming-distance distribution — the
+    /// §6.3 estimator (the paper's Fig. 6 field III summation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::WidthMismatch`] if the distribution width
+    /// differs from the model width.
+    pub fn estimate_distribution(&self, dist: &HdDistribution) -> Result<f64, ModelError> {
+        if dist.width() != self.input_bits {
+            return Err(ModelError::WidthMismatch {
+                model_width: self.input_bits,
+                query_width: dist.width(),
+            });
+        }
+        Ok(dist
+            .probs()
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p * self.coeffs[i])
+            .sum())
+    }
+}
+
+/// Fill unpopulated classes by linear interpolation between populated
+/// neighbours (and nearest-edge extrapolation at the ends). `coeffs[0]` is
+/// pinned to 0 and never counts as populated.
+fn fill_gaps(coeffs: &mut [f64], counts: &[u64]) {
+    let m = coeffs.len() - 1;
+    let populated: Vec<usize> = (1..=m).filter(|&i| counts[i] > 0).collect();
+    if populated.is_empty() {
+        return;
+    }
+    for i in 1..=m {
+        if counts[i] > 0 {
+            continue;
+        }
+        let prev = populated.iter().copied().rfind(|&p| p < i);
+        let next = populated.iter().copied().find(|&p| p > i);
+        coeffs[i] = match (prev, next) {
+            (Some(a), Some(b)) => {
+                let t = (i - a) as f64 / (b - a) as f64;
+                coeffs[a] * (1.0 - t) + coeffs[b] * t
+            }
+            // Below the first populated class: interpolate toward p_0 = 0.
+            (None, Some(b)) => coeffs[b] * i as f64 / b as f64,
+            // Above the last populated class: linear extrapolation from the
+            // last two populated classes (or proportional from one).
+            (Some(a), None) => {
+                if let Some(&a2) = populated.iter().rev().nth(1) {
+                    let slope = (coeffs[a] - coeffs[a2]) / (a - a2) as f64;
+                    (coeffs[a] + slope * (i - a) as f64).max(0.0)
+                } else {
+                    coeffs[a] * i as f64 / a as f64
+                }
+            }
+            (None, None) => unreachable!("populated is non-empty"),
+        };
+    }
+}
+
+/// How the enhanced model maps a stable-zero count to a coefficient
+/// subgroup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ZeroClustering {
+    /// One subgroup per possible stable-zero count: the full eq. 3 model
+    /// with `M = (m² + m)/2` coefficients.
+    Full,
+    /// At most this many subgroups per Hd class; stable-zero counts are
+    /// range-clustered (the paper's suggestion for large `m`).
+    Clustered(usize),
+}
+
+impl ZeroClustering {
+    /// Number of subgroups for Hd class `i` of an `m`-bit model.
+    pub fn groups(self, m: usize, i: usize) -> usize {
+        let natural = m - i + 1;
+        match self {
+            ZeroClustering::Full => natural,
+            ZeroClustering::Clustered(k) => natural.min(k.max(1)),
+        }
+    }
+
+    /// Map a stable-zero count to its subgroup index for Hd class `i`.
+    pub fn group_of(self, m: usize, i: usize, zeros: usize) -> usize {
+        let natural = m - i + 1;
+        debug_assert!(zeros < natural + usize::from(i == 0));
+        let groups = self.groups(m, i);
+        if groups == natural {
+            zeros.min(natural - 1)
+        } else {
+            (zeros * groups / natural).min(groups - 1)
+        }
+    }
+}
+
+/// Minimum characterization samples a subgroup needs before its coefficient
+/// is trusted over the basic fallback; below this, one or two outlier
+/// transitions would dominate the subgroup mean.
+const MIN_TRUSTED_SAMPLES: u64 = 3;
+
+/// The enhanced Hd model (eq. 3): coefficients indexed by
+/// `(Hd, stable-zero subgroup)`.
+///
+/// Sparse subgroups (fewer than `MIN_TRUSTED_SAMPLES` (3) characterization
+/// samples) fall back to the embedded basic model, so estimation is total
+/// even when characterization never visited a subgroup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnhancedHdModel {
+    basic: HdModel,
+    clustering: ZeroClustering,
+    /// `coeffs[i - 1][g]` = p_{i,g} for Hd class `i` in `1..=m`.
+    coeffs: Vec<Vec<f64>>,
+    /// Matching per-subgroup deviations.
+    deviations: Vec<Vec<f64>>,
+    /// Matching per-subgroup sample counts.
+    sample_counts: Vec<Vec<u64>>,
+}
+
+impl EnhancedHdModel {
+    /// Assemble an enhanced model around a basic fallback.
+    ///
+    /// Outer index: Hd class `i − 1`; inner index: subgroup per
+    /// `clustering`. Subgroups with zero samples fall back to the basic
+    /// coefficient at lookup time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nesting does not match the clustering layout.
+    pub fn from_parts(
+        basic: HdModel,
+        clustering: ZeroClustering,
+        coeffs: Vec<Vec<f64>>,
+        deviations: Vec<Vec<f64>>,
+        sample_counts: Vec<Vec<u64>>,
+    ) -> Self {
+        let m = basic.input_bits();
+        assert_eq!(coeffs.len(), m, "one coefficient row per Hd class");
+        assert_eq!(deviations.len(), m, "one deviation row per Hd class");
+        assert_eq!(sample_counts.len(), m, "one count row per Hd class");
+        for i in 1..=m {
+            let expected = clustering.groups(m, i);
+            assert_eq!(
+                coeffs[i - 1].len(),
+                expected,
+                "Hd class {i} must have {expected} subgroups"
+            );
+            assert_eq!(deviations[i - 1].len(), expected);
+            assert_eq!(sample_counts[i - 1].len(), expected);
+        }
+        EnhancedHdModel {
+            basic,
+            clustering,
+            coeffs,
+            deviations,
+            sample_counts,
+        }
+    }
+
+    /// The embedded basic model.
+    pub fn basic(&self) -> &HdModel {
+        &self.basic
+    }
+
+    /// The clustering scheme.
+    pub fn clustering(&self) -> ZeroClustering {
+        self.clustering
+    }
+
+    /// Number of model input bits `m`.
+    pub fn input_bits(&self) -> usize {
+        self.basic.input_bits()
+    }
+
+    /// Total number of stored coefficients `M` (the paper's
+    /// `(m² + m)/2` for [`ZeroClustering::Full`]).
+    pub fn coefficient_count(&self) -> usize {
+        self.coeffs.iter().map(Vec::len).sum()
+    }
+
+    /// Coefficient `p_{i,z}` for Hd class `i` and stable-zero count
+    /// `zeros`, falling back to the basic `p_i` when the subgroup was never
+    /// characterized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::WidthMismatch`] if `hd > m`.
+    pub fn estimate(&self, hd: usize, zeros: usize) -> Result<f64, ModelError> {
+        let m = self.input_bits();
+        if hd > m {
+            return Err(ModelError::WidthMismatch {
+                model_width: m,
+                query_width: hd,
+            });
+        }
+        if hd == 0 {
+            return Ok(0.0);
+        }
+        let g = self.clustering.group_of(m, hd, zeros.min(m - hd));
+        if self.sample_counts[hd - 1][g] >= MIN_TRUSTED_SAMPLES {
+            Ok(self.coeffs[hd - 1][g])
+        } else {
+            self.basic.estimate(hd)
+        }
+    }
+
+    /// Per-subgroup coefficient row for Hd class `i` (diagnostics,
+    /// Fig. 2 reporting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is 0 or exceeds `m`.
+    pub fn coefficient_row(&self, i: usize) -> &[f64] {
+        assert!(i >= 1 && i <= self.input_bits(), "Hd class out of range");
+        &self.coeffs[i - 1]
+    }
+
+    /// Per-subgroup sample-count row for Hd class `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is 0 or exceeds `m`.
+    pub fn sample_count_row(&self, i: usize) -> &[u64] {
+        assert!(i >= 1 && i <= self.input_bits(), "Hd class out of range");
+        &self.sample_counts[i - 1]
+    }
+
+    /// Per-subgroup deviation row for Hd class `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is 0 or exceeds `m`.
+    pub fn deviation_row(&self, i: usize) -> &[f64] {
+        assert!(i >= 1 && i <= self.input_bits(), "Hd class out of range");
+        &self.deviations[i - 1]
+    }
+
+    /// Expected cycle charge under a joint `(Hd, stable-zeros)`
+    /// distribution — the enhanced model's analytic estimator, extending
+    /// the §6.3 distribution approach to the eq. 3 model. Subgroups the
+    /// characterization never populated fall back to the basic
+    /// coefficient, exactly as in [`EnhancedHdModel::estimate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::WidthMismatch`] if the distribution width
+    /// differs from the model width.
+    pub fn estimate_joint_distribution(
+        &self,
+        joint: &hdpm_datamodel::JointHdZeroDistribution,
+    ) -> Result<f64, ModelError> {
+        if joint.width() != self.input_bits() {
+            return Err(ModelError::WidthMismatch {
+                model_width: self.input_bits(),
+                query_width: joint.width(),
+            });
+        }
+        let mut expected = 0.0;
+        for (hd, zeros, p) in joint.iter() {
+            expected += p * self.estimate(hd, zeros)?;
+        }
+        Ok(expected)
+    }
+
+    /// Mean deviation over populated subgroups (the enhanced counterpart of
+    /// [`HdModel::mean_deviation`]).
+    pub fn mean_deviation(&self) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (drow, crow) in self.deviations.iter().zip(&self.sample_counts) {
+            for (&d, &c) in drow.iter().zip(crow) {
+                if c > 0 {
+                    total += d;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> HdModel {
+        // m = 4, linear coefficients 10·i, all populated.
+        HdModel::from_parts(
+            "toy",
+            4,
+            vec![0.0, 10.0, 20.0, 30.0, 40.0],
+            vec![0.0; 5],
+            vec![0, 5, 5, 5, 5],
+        )
+    }
+
+    #[test]
+    fn basic_lookup_and_interpolation() {
+        let model = toy_model();
+        assert_eq!(model.estimate(0).unwrap(), 0.0);
+        assert_eq!(model.estimate(3).unwrap(), 30.0);
+        assert!((model.estimate_interpolated(2.5) - 25.0).abs() < 1e-12);
+        assert_eq!(model.estimate_interpolated(-1.0), 0.0);
+        assert_eq!(model.estimate_interpolated(99.0), 40.0);
+        assert!(model.estimate(5).is_err());
+    }
+
+    #[test]
+    fn gaps_are_interpolated() {
+        let model = HdModel::from_parts(
+            "gappy",
+            4,
+            vec![0.0, 10.0, 0.0, 30.0, 0.0],
+            vec![0.0; 5],
+            vec![0, 5, 0, 5, 0],
+        );
+        // Hd 2 interpolated between 10 and 30; Hd 4 extrapolated.
+        assert!((model.coefficient(2) - 20.0).abs() < 1e-12);
+        assert!((model.coefficient(4) - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leading_gap_interpolates_toward_zero() {
+        let model = HdModel::from_parts(
+            "lead",
+            4,
+            vec![0.0, 0.0, 20.0, 0.0, 0.0],
+            vec![0.0; 5],
+            vec![0, 0, 5, 0, 0],
+        );
+        assert!((model.coefficient(1) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_expectation_is_linear() {
+        let model = toy_model();
+        let dist = HdDistribution::from_histogram(&[0, 1, 2, 1, 0]);
+        // E[p] = (10 + 2*20 + 30)/4 = 20.
+        assert!((model.estimate_distribution(&dist).unwrap() - 20.0).abs() < 1e-12);
+        // Interpolated at the mean Hd = 2 gives the same for a linear model.
+        assert!((model.estimate_interpolated(dist.mean()) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_width_mismatch_is_rejected() {
+        let model = toy_model();
+        let dist = HdDistribution::from_histogram(&[1, 1]);
+        assert!(model.estimate_distribution(&dist).is_err());
+    }
+
+    #[test]
+    fn clustering_layout() {
+        let full = ZeroClustering::Full;
+        assert_eq!(full.groups(8, 1), 8);
+        assert_eq!(full.groups(8, 8), 1);
+        let total: usize = (1..=8).map(|i| full.groups(8, i)).sum();
+        assert_eq!(total, (8 * 8 + 8) / 2, "eq. 3 coefficient count");
+
+        let clustered = ZeroClustering::Clustered(3);
+        assert_eq!(clustered.groups(8, 1), 3);
+        assert_eq!(clustered.groups(8, 7), 2);
+        assert_eq!(clustered.group_of(8, 1, 0), 0);
+        assert_eq!(clustered.group_of(8, 1, 7), 2);
+    }
+
+    #[test]
+    fn enhanced_falls_back_to_basic() {
+        let basic = toy_model();
+        let m = 4;
+        let clustering = ZeroClustering::Full;
+        let mut coeffs = Vec::new();
+        let mut devs = Vec::new();
+        let mut counts = Vec::new();
+        for i in 1..=m {
+            let g = clustering.groups(m, i);
+            // Only the all-zeros subgroup is characterized, at value 100*i.
+            let mut row = vec![0.0; g];
+            let mut cnt = vec![0u64; g];
+            row[g - 1] = 100.0 * i as f64;
+            cnt[g - 1] = 9;
+            coeffs.push(row);
+            devs.push(vec![0.0; g]);
+            counts.push(cnt);
+        }
+        let model = EnhancedHdModel::from_parts(basic, clustering, coeffs, devs, counts);
+        assert_eq!(model.coefficient_count(), 10);
+        // Populated subgroup: all stable bits zero.
+        assert_eq!(model.estimate(1, 3).unwrap(), 100.0);
+        // Unpopulated subgroup falls back to basic.
+        assert_eq!(model.estimate(1, 0).unwrap(), 10.0);
+        assert_eq!(model.estimate(0, 0).unwrap(), 0.0);
+        assert!(model.estimate(9, 0).is_err());
+    }
+
+    #[test]
+    fn joint_distribution_estimate_is_the_weighted_sum() {
+        use hdpm_datamodel::JointHdZeroDistribution;
+
+        let basic = toy_model();
+        let m = 4;
+        let clustering = ZeroClustering::Full;
+        // Fully populated enhanced table: p_{i,z} = 10·i + z.
+        let mut coeffs = Vec::new();
+        let mut devs = Vec::new();
+        let mut counts = Vec::new();
+        for i in 1..=m {
+            let g = clustering.groups(m, i);
+            coeffs.push((0..g).map(|z| 10.0 * i as f64 + z as f64).collect());
+            devs.push(vec![0.0; g]);
+            counts.push(vec![9; g]);
+        }
+        let model = EnhancedHdModel::from_parts(basic, clustering, coeffs, devs, counts);
+
+        // A 4-bit joint distribution: two random bits plus two constant
+        // zeros.
+        let joint = JointHdZeroDistribution::empty()
+            .with_random_bits(2)
+            .with_constant_bits(2, 0);
+        let expected: f64 = joint
+            .iter()
+            .map(|(hd, zeros, p)| p * model.estimate(hd, zeros).unwrap())
+            .sum();
+        let estimated = model.estimate_joint_distribution(&joint).unwrap();
+        assert!((estimated - expected).abs() < 1e-12);
+        assert!(estimated > 0.0);
+
+        // Width mismatch is rejected.
+        let narrow = JointHdZeroDistribution::empty().with_random_bits(3);
+        assert!(model.estimate_joint_distribution(&narrow).is_err());
+    }
+
+    #[test]
+    fn interpolation_is_exact_at_integer_points() {
+        let model = toy_model();
+        for i in 0..=4usize {
+            assert_eq!(
+                model.estimate_interpolated(i as f64),
+                model.estimate(i).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn mean_deviation_ignores_unpopulated_classes() {
+        let model = HdModel::from_parts(
+            "t",
+            4,
+            vec![0.0, 10.0, 20.0, 30.0, 40.0],
+            vec![0.0, 0.2, 0.4, 0.0, 0.0],
+            vec![0, 5, 5, 0, 0],
+        );
+        assert!((model.mean_deviation() - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,125 @@
+//! Model persistence: save and load characterized models as JSON, so
+//! characterization (the expensive step) runs once per library, exactly as
+//! a deployed macro-model library would be shipped.
+
+use std::fs;
+use std::path::Path;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::error::ModelError;
+
+/// Serialize any model type of this crate to a JSON string.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Persist`] on serialization failure.
+///
+/// # Examples
+///
+/// ```
+/// use hdpm_core::{persist, HdModel};
+///
+/// # fn main() -> Result<(), hdpm_core::ModelError> {
+/// let model = HdModel::from_parts(
+///     "demo", 2, vec![0.0, 1.0, 2.0], vec![0.0; 3], vec![0, 4, 4],
+/// );
+/// let json = persist::to_json(&model)?;
+/// let back: HdModel = persist::from_json(&json)?;
+/// assert_eq!(model, back);
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_json<T: Serialize>(value: &T) -> Result<String, ModelError> {
+    Ok(serde_json::to_string_pretty(value)?)
+}
+
+/// Deserialize a model from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Persist`] on malformed input.
+pub fn from_json<T: DeserializeOwned>(json: &str) -> Result<T, ModelError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+/// Write a model to a JSON file, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Io`] on filesystem failure or
+/// [`ModelError::Persist`] on serialization failure.
+pub fn save<T: Serialize>(value: &T, path: impl AsRef<Path>) -> Result<(), ModelError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, to_json(value)?)?;
+    Ok(())
+}
+
+/// Load a model from a JSON file.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Io`] if the file cannot be read or
+/// [`ModelError::Persist`] if it does not parse.
+pub fn load<T: DeserializeOwned>(path: impl AsRef<Path>) -> Result<T, ModelError> {
+    let text = fs::read_to_string(path)?;
+    from_json(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{HdModel, ZeroClustering};
+
+    fn model() -> HdModel {
+        HdModel::from_parts(
+            "persist_test",
+            3,
+            vec![0.0, 1.5, 3.0, 4.5],
+            vec![0.0, 0.1, 0.1, 0.1],
+            vec![0, 10, 10, 10],
+        )
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = model();
+        let json = to_json(&m).unwrap();
+        let back: HdModel = from_json(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("hdpm_persist_test");
+        let path = dir.join("nested/model.json");
+        let m = model();
+        save(&m, &path).unwrap();
+        let back: HdModel = load(&path).unwrap();
+        assert_eq!(m, back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_json_is_a_persist_error() {
+        let err = from_json::<HdModel>("{not json").unwrap_err();
+        assert!(matches!(err, ModelError::Persist(_)));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load::<HdModel>("/nonexistent/hdpm/model.json").unwrap_err();
+        assert!(matches!(err, ModelError::Io(_)));
+    }
+
+    #[test]
+    fn clustering_enum_round_trips() {
+        let json = to_json(&ZeroClustering::Clustered(4)).unwrap();
+        let back: ZeroClustering = from_json(&json).unwrap();
+        assert_eq!(back, ZeroClustering::Clustered(4));
+    }
+}

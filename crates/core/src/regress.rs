@@ -1,0 +1,333 @@
+//! Bit-width parameterization of the model coefficients (§5).
+//!
+//! For each Hamming-distance class `i`, the coefficient `p_i[m]` is fitted
+//! by least-mean-square regression over the *complexity features* of the
+//! module family (eq. 6–10): `[m, 1]` for linearly scaling structures,
+//! `[m1·m2, m1, 1]` for array multipliers. A handful of characterized
+//! prototypes then parameterizes the model over arbitrary widths.
+
+use hdpm_netlist::{ModuleKind, ModuleSpec, ModuleWidth};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::linalg::least_squares;
+use crate::model::HdModel;
+
+/// One characterized prototype: its spec and its basic Hd model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prototype {
+    /// The module instance the model was characterized on.
+    pub spec: ModuleSpec,
+    /// The characterized basic model.
+    pub model: HdModel,
+}
+
+/// Prototype sub-set selections of the §5 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrototypeSet {
+    /// Every generated prototype (widths 4..=16 step 2 in the paper).
+    All,
+    /// Every second prototype (e.g. 4, 8, 12, 16).
+    Sec,
+    /// Every third prototype (e.g. 4, 10, 16).
+    Thi,
+}
+
+impl PrototypeSet {
+    /// Paper label of the set.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PrototypeSet::All => "ALL",
+            PrototypeSet::Sec => "SEC",
+            PrototypeSet::Thi => "THI",
+        }
+    }
+
+    /// Select the sub-set of a width list this set keeps.
+    pub fn select(self, widths: &[usize]) -> Vec<usize> {
+        let stride = match self {
+            PrototypeSet::All => 1,
+            PrototypeSet::Sec => 2,
+            PrototypeSet::Thi => 3,
+        };
+        widths.iter().copied().step_by(stride).collect()
+    }
+}
+
+/// A bit-width-parameterizable Hd model for one module family: the
+/// regression vectors `R_i` of eq. 9, ready to produce `p_i = R_iᵀ·M` for
+/// any width.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParameterizableModel {
+    kind: ModuleKind,
+    /// `regressions[i - 1]` = `R_i` for Hd class `i` in `1..=fitted_hd`.
+    regressions: Vec<Vec<f64>>,
+    /// Width list (total input bits) of the prototypes used.
+    prototype_bits: Vec<usize>,
+}
+
+impl ParameterizableModel {
+    /// Fit regression vectors from characterized prototypes of one module
+    /// family.
+    ///
+    /// For each Hd class, only prototypes wide enough to exhibit that class
+    /// contribute; classes with fewer observations than regression features
+    /// are dropped (predictions there extrapolate in `i`).
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::MixedModuleKinds`] — prototypes of different kinds.
+    /// * [`ModelError::InsufficientPrototypes`] — fewer prototypes than
+    ///   complexity features.
+    ///
+    /// # Examples
+    ///
+    /// See the crate-level example in [`crate`].
+    pub fn fit(prototypes: &[Prototype]) -> Result<Self, ModelError> {
+        let kind = prototypes
+            .first()
+            .map(|p| p.spec.kind)
+            .ok_or(ModelError::InsufficientPrototypes {
+                supplied: 0,
+                required: 1,
+            })?;
+        if prototypes.iter().any(|p| p.spec.kind != kind) {
+            return Err(ModelError::MixedModuleKinds);
+        }
+        let features = kind.feature_names().len();
+        if prototypes.len() < features {
+            return Err(ModelError::InsufficientPrototypes {
+                supplied: prototypes.len(),
+                required: features,
+            });
+        }
+
+        let max_hd = prototypes
+            .iter()
+            .map(|p| p.model.input_bits())
+            .max()
+            .unwrap_or(0);
+
+        let mut regressions = Vec::new();
+        for i in 1..=max_hd {
+            let rows: Vec<Vec<f64>> = prototypes
+                .iter()
+                .filter(|p| p.model.input_bits() >= i)
+                .map(|p| p.spec.complexity_features())
+                .collect();
+            let y: Vec<f64> = prototypes
+                .iter()
+                .filter(|p| p.model.input_bits() >= i)
+                .map(|p| p.model.coefficient(i))
+                .collect();
+            if rows.len() < features {
+                break;
+            }
+            regressions.push(least_squares(&rows, &y)?);
+        }
+        if regressions.is_empty() {
+            return Err(ModelError::InsufficientPrototypes {
+                supplied: prototypes.len(),
+                required: features,
+            });
+        }
+        Ok(ParameterizableModel {
+            kind,
+            regressions,
+            prototype_bits: prototypes.iter().map(|p| p.model.input_bits()).collect(),
+        })
+    }
+
+    /// The module family.
+    pub fn kind(&self) -> ModuleKind {
+        self.kind
+    }
+
+    /// Highest Hd class with a fitted regression vector.
+    pub fn fitted_hd(&self) -> usize {
+        self.regressions.len()
+    }
+
+    /// The regression vector `R_i` for Hd class `i`, if fitted.
+    pub fn regression_vector(&self, i: usize) -> Option<&[f64]> {
+        if i == 0 {
+            return None;
+        }
+        self.regressions.get(i - 1).map(Vec::as_slice)
+    }
+
+    /// Predict the coefficient `p_i` for an instance at `width` (eq. 9).
+    /// Classes beyond the fitted range extrapolate linearly in `i`.
+    /// Negative predictions clamp to 0.
+    pub fn predict_coefficient(&self, width: ModuleWidth, i: usize) -> f64 {
+        if i == 0 {
+            return 0.0;
+        }
+        let features = self.kind.complexity_features(width);
+        let eval = |r: &[f64]| -> f64 {
+            r.iter().zip(&features).map(|(&a, &b)| a * b).sum::<f64>()
+        };
+        let fitted = self.regressions.len();
+        if i <= fitted {
+            eval(&self.regressions[i - 1]).max(0.0)
+        } else if fitted >= 2 {
+            let last = eval(&self.regressions[fitted - 1]);
+            let prev = eval(&self.regressions[fitted - 2]);
+            (last + (last - prev) * (i - fitted) as f64).max(0.0)
+        } else {
+            eval(&self.regressions[fitted - 1]).max(0.0)
+        }
+    }
+
+    /// Produce a full [`HdModel`] for an instance at `width` without any
+    /// characterization — the parameterizable-module workflow of §5.
+    pub fn predict_model(&self, width: ModuleWidth) -> HdModel {
+        let m = self.kind.input_bits(width);
+        let coeffs: Vec<f64> = (0..=m)
+            .map(|i| self.predict_coefficient(width, i))
+            .collect();
+        HdModel::from_parts(
+            format!("{}_{}(regression)", self.kind, width),
+            m,
+            coeffs,
+            vec![0.0; m + 1],
+            // Synthetic counts: every class "populated" so no gap-filling
+            // reshapes the regression output.
+            std::iter::once(0).chain(std::iter::repeat_n(1, m)).collect(),
+        )
+    }
+
+    /// Relative coefficient errors (in percent) of the regression against a
+    /// directly characterized instance model, per Hd class `1..=m` — the
+    /// Table 3 "parameter error" columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MixedModuleKinds`] if the instance is from a
+    /// different family.
+    pub fn coefficient_errors(
+        &self,
+        spec: ModuleSpec,
+        instance: &HdModel,
+    ) -> Result<Vec<f64>, ModelError> {
+        if spec.kind != self.kind {
+            return Err(ModelError::MixedModuleKinds);
+        }
+        Ok((1..=instance.input_bits())
+            .map(|i| {
+                let inst = instance.coefficient(i);
+                if inst == 0.0 {
+                    0.0
+                } else {
+                    100.0 * (self.predict_coefficient(spec.width, i) - inst).abs() / inst
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthesize an "instance model" whose coefficients follow an exact
+    /// complexity law, so regression must recover it perfectly.
+    fn synthetic_prototype(kind: ModuleKind, width: usize) -> Prototype {
+        let spec = ModuleSpec::new(kind, width);
+        let m = kind.input_bits(spec.width);
+        let features = spec.complexity_features();
+        // p_i = i * (2*f0 + 0.5*f1 + ... ) — linear in the features, linear
+        // in i.
+        let base: f64 = features
+            .iter()
+            .enumerate()
+            .map(|(k, &f)| f * (2.0 - k as f64 * 0.5))
+            .sum();
+        let coeffs: Vec<f64> = (0..=m).map(|i| i as f64 * base).collect();
+        Prototype {
+            spec,
+            model: HdModel::from_parts(
+                spec.to_string(),
+                m,
+                coeffs,
+                vec![0.0; m + 1],
+                std::iter::once(0).chain(std::iter::repeat_n(1, m)).collect(),
+            ),
+        }
+    }
+
+    #[test]
+    fn exact_law_is_recovered() {
+        let prototypes: Vec<Prototype> = [4usize, 6, 8, 10, 12, 14, 16]
+            .iter()
+            .map(|&w| synthetic_prototype(ModuleKind::RippleAdder, w))
+            .collect();
+        let model = ParameterizableModel::fit(&prototypes).unwrap();
+        // Predict an unseen width and compare to the law.
+        let unseen = synthetic_prototype(ModuleKind::RippleAdder, 11);
+        let errors = model.coefficient_errors(unseen.spec, &unseen.model).unwrap();
+        for (i, e) in errors.iter().enumerate() {
+            assert!(*e < 1e-6, "class {} error {e}%", i + 1);
+        }
+    }
+
+    #[test]
+    fn quadratic_family_uses_three_features() {
+        let prototypes: Vec<Prototype> = [4usize, 8, 12, 16]
+            .iter()
+            .map(|&w| synthetic_prototype(ModuleKind::CsaMultiplier, w))
+            .collect();
+        let model = ParameterizableModel::fit(&prototypes).unwrap();
+        assert_eq!(model.regression_vector(1).unwrap().len(), 3);
+        let predicted = model.predict_model(ModuleWidth::Uniform(10));
+        assert_eq!(predicted.input_bits(), 20);
+        assert!(predicted.coefficient(10) > 0.0);
+    }
+
+    #[test]
+    fn prototype_sets_select_expected_widths() {
+        let widths = vec![4, 6, 8, 10, 12, 14, 16];
+        assert_eq!(PrototypeSet::All.select(&widths), widths);
+        assert_eq!(PrototypeSet::Sec.select(&widths), vec![4, 8, 12, 16]);
+        assert_eq!(PrototypeSet::Thi.select(&widths), vec![4, 10, 16]);
+    }
+
+    #[test]
+    fn mixed_kinds_are_rejected() {
+        let protos = vec![
+            synthetic_prototype(ModuleKind::RippleAdder, 4),
+            synthetic_prototype(ModuleKind::ClaAdder, 8),
+        ];
+        assert!(matches!(
+            ParameterizableModel::fit(&protos),
+            Err(ModelError::MixedModuleKinds)
+        ));
+    }
+
+    #[test]
+    fn too_few_prototypes_are_rejected() {
+        let protos = vec![synthetic_prototype(ModuleKind::CsaMultiplier, 8)];
+        assert!(matches!(
+            ParameterizableModel::fit(&protos),
+            Err(ModelError::InsufficientPrototypes { .. })
+        ));
+    }
+
+    #[test]
+    fn extrapolation_beyond_fitted_classes_is_monotone_for_linear_law() {
+        // Prototypes up to 8 input bits; predict a 24-input-bit instance.
+        let prototypes: Vec<Prototype> = [4usize, 6, 8]
+            .iter()
+            .map(|&w| synthetic_prototype(ModuleKind::RippleAdder, w))
+            .collect();
+        let model = ParameterizableModel::fit(&prototypes).unwrap();
+        let wide = model.predict_model(ModuleWidth::Uniform(12));
+        assert_eq!(wide.input_bits(), 24);
+        for i in 2..=24 {
+            assert!(
+                wide.coefficient(i) >= wide.coefficient(i - 1),
+                "coefficients should stay monotone under linear extrapolation"
+            );
+        }
+    }
+}

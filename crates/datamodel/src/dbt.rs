@@ -1,0 +1,394 @@
+//! Dual-bit-type (DBT) word model: breakpoints and bit regions.
+//!
+//! Landman's observation (§6.1, Fig. 5): the bits of a two's-complement DSP
+//! data word split into three regions —
+//!
+//! * **LSB region** (`0 .. BP0`): uncorrelated in space and time; signal and
+//!   transition probability ½;
+//! * **intermediate region** (`BP0 .. BP1`): linearly interpolated activity;
+//! * **sign region** (`BP1 .. m`): all bits equal the sign; activity set by
+//!   the word-level sign-change statistics.
+//!
+//! The reduced two-region form of §6.3 shifts the breakpoints together by
+//! half the intermediate width, leaving `n_rand` random bits and `n_sign`
+//! sign bits with the same average activity.
+
+use serde::{Deserialize, Serialize};
+
+use hdpm_streams::{BitStats, WordStats};
+
+use crate::normal::{negative_probability, sign_change_probability};
+
+/// Word-level description of one operand stream, as consumed by the data
+/// model: mean, standard deviation, lag-1 correlation, and word width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WordModel {
+    /// Mean µ of the word values.
+    pub mu: f64,
+    /// Standard deviation σ.
+    pub sigma: f64,
+    /// Lag-1 autocorrelation ρ.
+    pub rho: f64,
+    /// Word width in bits.
+    pub width: usize,
+}
+
+impl WordModel {
+    /// Create a word model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0`, `rho` is outside `[-1, 1]`, or `width` is not
+    /// in `2..=64`.
+    pub fn new(mu: f64, sigma: f64, rho: f64, width: usize) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        assert!((-1.0..=1.0).contains(&rho), "rho {rho} outside [-1, 1]");
+        assert!(
+            (2..=64).contains(&width),
+            "word width {width} out of range 2..=64"
+        );
+        WordModel {
+            mu,
+            sigma,
+            rho,
+            width,
+        }
+    }
+
+    /// Build a word model from measured stream statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in `2..=64`.
+    pub fn from_stats(stats: &WordStats, width: usize) -> Self {
+        WordModel::new(stats.mean, stats.sigma(), stats.rho1, width)
+    }
+
+    /// Estimate a word model directly from a word stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in `2..=64`.
+    pub fn from_words(words: &[i64], width: usize) -> Self {
+        WordModel::from_stats(&hdpm_streams::word_stats(words), width)
+    }
+}
+
+/// The analytic breakpoints of the DBT model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Breakpoints {
+    /// Highest bit position (exclusive) of the uncorrelated LSB region.
+    pub bp0: f64,
+    /// Lowest bit position of the sign region.
+    pub bp1: f64,
+}
+
+/// Compute the DBT breakpoints from word-level statistics.
+///
+/// `BP0` tracks the magnitude of the per-step innovation
+/// (`σ·√(1−ρ²)`) — bits below it are re-randomized every cycle — while
+/// `BP1` tracks the dynamic range (`|µ| + 3σ`) — bits above it carry only
+/// sign information. Both follow the empirical formulations of Landman
+/// \[2,3\] and Ramprasad et al. \[10\].
+///
+/// Results are clamped to `[0, width]` and ordered (`bp0 <= bp1`).
+pub fn breakpoints(model: &WordModel) -> Breakpoints {
+    let m = model.width as f64;
+    // Degenerate (constant) streams: no random bits, all sign bits.
+    if model.sigma <= 0.0 {
+        return Breakpoints { bp0: 0.0, bp1: 0.0 };
+    }
+    let innovation = model.sigma * (1.0 - model.rho * model.rho).sqrt();
+    let bp0 = if innovation <= 1.0 {
+        0.0
+    } else {
+        innovation.log2()
+    };
+    let range = model.mu.abs() + 3.0 * model.sigma;
+    let bp1 = if range <= 1.0 { 1.0 } else { range.log2() + 1.0 };
+    let bp0 = bp0.clamp(0.0, m);
+    let bp1 = bp1.clamp(bp0, m);
+    Breakpoints { bp0, bp1 }
+}
+
+/// The reduced two-region model of §6.3: `n_rand` uncorrelated bits and
+/// `n_sign` sign bits, with the associated transition activities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionModel {
+    /// Number of uncorrelated ("random") bits.
+    pub n_rand: usize,
+    /// Number of sign bits (`width - n_rand`).
+    pub n_sign: usize,
+    /// Transition activity of a random bit (½ by construction).
+    pub t_rand: f64,
+    /// Transition activity of the sign region (probability that the sign
+    /// flips between consecutive words).
+    pub t_sign: f64,
+    /// Signal probability of the sign bits (probability of a negative
+    /// word).
+    pub p_sign: f64,
+}
+
+impl RegionModel {
+    /// Total word width.
+    pub fn width(&self) -> usize {
+        self.n_rand + self.n_sign
+    }
+
+    /// The model's average Hamming distance (eq. 11, reduced to two
+    /// regions): `t_rand·n_rand + t_sign·n_sign`.
+    pub fn average_hd(&self) -> f64 {
+        self.t_rand * self.n_rand as f64 + self.t_sign * self.n_sign as f64
+    }
+}
+
+/// Derive the reduced two-region model from word-level statistics.
+///
+/// The §6.3 reduction shifts BP0 and BP1 together by half the intermediate
+/// width: `n_rand = BP0 + (BP1 − BP0)/2`, with the sign region covering the
+/// remainder of the word.
+pub fn region_model(model: &WordModel) -> RegionModel {
+    let bps = breakpoints(model);
+    let n_rand_f = bps.bp0 + (bps.bp1 - bps.bp0) / 2.0;
+    let n_rand = (n_rand_f.round() as usize).min(model.width);
+    let n_sign = model.width - n_rand;
+    RegionModel {
+        n_rand,
+        n_sign,
+        t_rand: 0.5,
+        t_sign: sign_change_probability(model.mu, model.sigma, model.rho),
+        p_sign: negative_probability(model.mu, model.sigma),
+    }
+}
+
+/// The full three-region decomposition of eq. 11 (before the §6.3
+/// reduction): uncorrelated LSBs at activity ½, an intermediate region
+/// whose activity interpolates linearly between ½ and the sign activity
+/// (Landman's approximation), and the sign region at `t_sign`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThreeRegionModel {
+    /// Number of uncorrelated LSBs (`⌊BP0⌋` clamped to the word).
+    pub n_rand: usize,
+    /// Number of intermediate (correlated) bits between the breakpoints.
+    pub n_corr: usize,
+    /// Number of sign bits.
+    pub n_sign: usize,
+    /// Activity of an uncorrelated bit (½).
+    pub t_rand: f64,
+    /// Mean activity of the intermediate bits (linear interpolation
+    /// between `t_rand` and `t_sign`).
+    pub t_corr: f64,
+    /// Sign-region activity.
+    pub t_sign: f64,
+}
+
+impl ThreeRegionModel {
+    /// The eq. 11 average Hamming distance:
+    /// `t_rand·n_rand + t_sign·n_sign + t_corr·n_corr`.
+    pub fn average_hd(&self) -> f64 {
+        self.t_rand * self.n_rand as f64
+            + self.t_corr * self.n_corr as f64
+            + self.t_sign * self.n_sign as f64
+    }
+
+    /// Total word width.
+    pub fn width(&self) -> usize {
+        self.n_rand + self.n_corr + self.n_sign
+    }
+
+    /// Per-bit transition activities, LSB first (the piecewise profile of
+    /// Fig. 5): ½ in the LSB region, linear through the intermediate
+    /// region, `t_sign` in the sign region.
+    pub fn bit_activities(&self) -> Vec<f64> {
+        let mut activities = Vec::with_capacity(self.width());
+        activities.extend(std::iter::repeat_n(self.t_rand, self.n_rand));
+        for k in 0..self.n_corr {
+            let t = (k + 1) as f64 / (self.n_corr + 1) as f64;
+            activities.push(self.t_rand + t * (self.t_sign - self.t_rand));
+        }
+        activities.extend(std::iter::repeat_n(self.t_sign, self.n_sign));
+        activities
+    }
+}
+
+/// Derive the full three-region model of eq. 11 from word-level
+/// statistics.
+pub fn three_region_model(model: &WordModel) -> ThreeRegionModel {
+    let bps = breakpoints(model);
+    let n_rand = (bps.bp0.floor() as usize).min(model.width);
+    let bp1 = (bps.bp1.round() as usize).clamp(n_rand, model.width);
+    let n_corr = bp1 - n_rand;
+    let n_sign = model.width - bp1;
+    let t_rand = 0.5;
+    let t_sign = sign_change_probability(model.mu, model.sigma, model.rho);
+    ThreeRegionModel {
+        n_rand,
+        n_corr,
+        n_sign,
+        t_rand,
+        // Linear interpolation midpoint: the average of the intermediate
+        // profile.
+        t_corr: (t_rand + t_sign) / 2.0,
+        t_sign,
+    }
+}
+
+/// Extract an *empirical* region model from measured per-bit statistics:
+/// `n_rand` counts bits whose transition activity is close to ½ (plus half
+/// of the intermediate bits), and `t_sign` is the measured MSB activity.
+/// Used to validate the analytic model (Fig. 5 experiment).
+pub fn empirical_region_model(bits: &BitStats) -> RegionModel {
+    let m = bits.width;
+    let t_msb = *bits
+        .transition_probs
+        .last()
+        .expect("width >= 1 guaranteed by BitStats");
+    // Walk from the LSB while activity stays near 1/2 -> BP0; walk from the
+    // MSB while activity stays near the MSB activity -> BP1.
+    let mut bp0 = 0usize;
+    while bp0 < m && (bits.transition_probs[bp0] - 0.5).abs() < 0.05 {
+        bp0 += 1;
+    }
+    let mut bp1 = m;
+    while bp1 > bp0 && (bits.transition_probs[bp1 - 1] - t_msb).abs() < 0.05 {
+        bp1 -= 1;
+    }
+    let n_rand = ((bp0 as f64 + (bp1 as f64 - bp0 as f64) / 2.0).round() as usize).min(m);
+    let p_msb = *bits
+        .signal_probs
+        .last()
+        .expect("width >= 1 guaranteed by BitStats");
+    RegionModel {
+        n_rand,
+        n_sign: m - n_rand,
+        t_rand: 0.5,
+        t_sign: t_msb,
+        p_sign: p_msb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdpm_streams::{bit_stats, DataType};
+
+    #[test]
+    fn random_stream_is_all_random_bits() {
+        // Uniform over the full 16-bit range: sigma ~ 2^16/sqrt(12), rho ~ 0.
+        let words = DataType::Random.generate(16, 20_000, 3);
+        let model = WordModel::from_words(&words, 16);
+        let regions = region_model(&model);
+        assert!(
+            regions.n_rand >= 14,
+            "random stream should be nearly all random bits, got n_rand = {}",
+            regions.n_rand
+        );
+        assert!((regions.average_hd() - 8.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn speech_stream_has_sign_region() {
+        let words = DataType::Speech.generate(16, 20_000, 3);
+        let model = WordModel::from_words(&words, 16);
+        let regions = region_model(&model);
+        assert!(regions.n_sign >= 2, "n_sign = {}", regions.n_sign);
+        assert!(regions.t_sign < 0.3, "t_sign = {}", regions.t_sign);
+    }
+
+    #[test]
+    fn analytic_average_hd_tracks_empirical() {
+        for (dt, tol) in [
+            (DataType::Random, 1.0),
+            (DataType::Music, 2.0),
+            (DataType::Speech, 2.0),
+        ] {
+            let words = dt.generate(16, 20_000, 11);
+            let model = WordModel::from_words(&words, 16);
+            let analytic = region_model(&model).average_hd();
+            let empirical = hdpm_streams::average_hd(&words, 16);
+            assert!(
+                (analytic - empirical).abs() < tol,
+                "{dt:?}: analytic {analytic} vs empirical {empirical}"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_regions_agree_with_analytic_for_ar1() {
+        let words = DataType::Speech.generate(16, 40_000, 5);
+        let model = WordModel::from_words(&words, 16);
+        let analytic = region_model(&model);
+        let empirical = empirical_region_model(&bit_stats(&words, 16));
+        let diff = analytic.n_rand as i64 - empirical.n_rand as i64;
+        assert!(
+            diff.abs() <= 3,
+            "analytic n_rand {} vs empirical {}",
+            analytic.n_rand,
+            empirical.n_rand
+        );
+        assert!((analytic.t_sign - empirical.t_sign).abs() < 0.05);
+    }
+
+    #[test]
+    fn three_region_average_matches_reduced_model() {
+        // §6.3: shifting the breakpoints together by half the intermediate
+        // width preserves the average transition activity — the reduced
+        // two-region model and the full eq. 11 must agree on Hd_avg up to
+        // the integer rounding of the region boundaries.
+        for (mu, sigma, rho) in [
+            (0.0, 800.0, 0.95),
+            (100.0, 2000.0, 0.8),
+            (0.0, 50.0, 0.5),
+        ] {
+            let model = WordModel::new(mu, sigma, rho, 16);
+            let reduced = region_model(&model).average_hd();
+            let full = three_region_model(&model).average_hd();
+            assert!(
+                (reduced - full).abs() < 0.8,
+                "mu={mu} sigma={sigma} rho={rho}: reduced {reduced} vs full {full}"
+            );
+        }
+    }
+
+    #[test]
+    fn three_region_bit_activities_are_monotone_profile() {
+        let model = WordModel::new(0.0, 800.0, 0.95, 16);
+        let regions = three_region_model(&model);
+        let activities = regions.bit_activities();
+        assert_eq!(activities.len(), 16);
+        // Non-increasing from LSB to MSB (t_sign < 0.5 here).
+        for pair in activities.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-12);
+        }
+        assert!((activities[0] - 0.5).abs() < 1e-12);
+        assert!((activities[15] - regions.t_sign).abs() < 1e-12);
+        // The profile's sum is the eq. 11 average.
+        let sum: f64 = activities.iter().sum();
+        assert!((sum - regions.average_hd()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_stream_degenerates_to_sign_only() {
+        let model = WordModel::new(100.0, 0.0, 0.0, 16);
+        let regions = region_model(&model);
+        assert_eq!(regions.n_rand, 0);
+        assert_eq!(regions.n_sign, 16);
+        assert_eq!(regions.t_sign, 0.0);
+        assert_eq!(regions.average_hd(), 0.0);
+    }
+
+    #[test]
+    fn breakpoints_are_ordered_and_clamped() {
+        for (mu, sigma, rho) in [
+            (0.0, 1.0, 0.0),
+            (0.0, 1e9, 0.999),
+            (1e6, 10.0, -0.5),
+            (-5.0, 0.1, 0.9),
+        ] {
+            let model = WordModel::new(mu, sigma, rho, 16);
+            let bps = breakpoints(&model);
+            assert!(bps.bp0 >= 0.0 && bps.bp0 <= 16.0);
+            assert!(bps.bp1 >= bps.bp0 && bps.bp1 <= 16.0);
+        }
+    }
+}

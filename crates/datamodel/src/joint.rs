@@ -1,0 +1,330 @@
+//! Joint (Hamming-distance, stable-zeros) distributions — the analytic
+//! companion of the paper's *enhanced* model (eq. 3).
+//!
+//! §6.3 derives the Hd distribution needed by the basic model; the
+//! enhanced model additionally conditions on the number of *stable-zero*
+//! bits, so its analytic estimator needs the joint distribution of both
+//! quantities. Under the two-region word model each bit group contributes
+//! independently:
+//!
+//! * a **random-region bit** flips with probability ½ and otherwise holds
+//!   0 or 1 with probability ¼ each;
+//! * the **sign region** acts as a block: all `n_sign` bits flip together
+//!   (probability `t_sign`), or all hold at the current sign — zero with
+//!   probability `(1 − t_sign)(1 − p_sign)`;
+//! * **constant bits** (e.g. a constant-coefficient operand) are always
+//!   stable at their known values.
+//!
+//! The joint distribution is built by 2-D convolution of these group
+//! contributions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dbt::RegionModel;
+use crate::hd_dist::HdDistribution;
+
+/// A joint probability distribution over `(Hd, stable_zeros)` pairs of one
+/// input vector (or a group of its bits).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointHdZeroDistribution {
+    /// Number of bits covered.
+    width: usize,
+    /// `probs[hd * (width + 1) + zeros]`.
+    probs: Vec<f64>,
+}
+
+impl JointHdZeroDistribution {
+    /// The empty distribution over zero bits: `(0, 0)` with probability 1.
+    pub fn empty() -> Self {
+        JointHdZeroDistribution {
+            width: 0,
+            probs: vec![1.0],
+        }
+    }
+
+    /// Build the joint distribution of a single-stream operand described
+    /// by a [`RegionModel`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hdpm_datamodel::{region_model, JointHdZeroDistribution, WordModel};
+    ///
+    /// let model = WordModel::new(0.0, 500.0, 0.9, 16);
+    /// let joint = JointHdZeroDistribution::from_regions(&region_model(&model));
+    /// assert_eq!(joint.width(), 16);
+    /// assert!((joint.total() - 1.0).abs() < 1e-9);
+    /// ```
+    pub fn from_regions(regions: &RegionModel) -> Self {
+        JointHdZeroDistribution::empty()
+            .with_random_bits(regions.n_rand)
+            .with_sign_region(regions.n_sign, regions.t_sign, regions.p_sign)
+    }
+
+    fn index(width: usize, hd: usize, zeros: usize) -> usize {
+        hd * (width + 1) + zeros
+    }
+
+    /// Number of bits covered by the distribution.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Probability of exactly `(hd, zeros)` (0 outside the support).
+    pub fn prob(&self, hd: usize, zeros: usize) -> f64 {
+        if hd > self.width || zeros > self.width {
+            return 0.0;
+        }
+        self.probs[Self::index(self.width, hd, zeros)]
+    }
+
+    /// Sum of all probabilities (1 up to rounding).
+    pub fn total(&self) -> f64 {
+        self.probs.iter().sum()
+    }
+
+    /// Append `n` uncorrelated random-region bits (flip ½, stable-0 ¼,
+    /// stable-1 ¼).
+    pub fn with_random_bits(self, n: usize) -> Self {
+        let mut out = self;
+        for _ in 0..n {
+            out = out.with_bit(0.5, 0.25);
+        }
+        out
+    }
+
+    /// Append one bit with the given flip and stable-zero probabilities
+    /// (the stable-one probability is the remainder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities are invalid or sum above 1.
+    pub fn with_bit(self, p_flip: f64, p_stable_zero: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_flip) && (0.0..=1.0).contains(&p_stable_zero),
+            "bit probabilities must lie in [0, 1]"
+        );
+        assert!(
+            p_flip + p_stable_zero <= 1.0 + 1e-12,
+            "flip + stable-zero probability exceeds 1"
+        );
+        let new_width = self.width + 1;
+        let mut probs = vec![0.0; (new_width + 1) * (new_width + 1)];
+        let p_stable_one = (1.0 - p_flip - p_stable_zero).max(0.0);
+        #[allow(clippy::needless_range_loop)] // indexing dense per-net/HD tables
+        for hd in 0..=self.width {
+            for zeros in 0..=self.width {
+                let p = self.probs[Self::index(self.width, hd, zeros)];
+                if p == 0.0 {
+                    continue;
+                }
+                probs[Self::index(new_width, hd + 1, zeros)] += p * p_flip;
+                probs[Self::index(new_width, hd, zeros + 1)] += p * p_stable_zero;
+                probs[Self::index(new_width, hd, zeros)] += p * p_stable_one;
+            }
+        }
+        JointHdZeroDistribution {
+            width: new_width,
+            probs,
+        }
+    }
+
+    /// Append a sign region of `n_sign` bits that flip as a block with
+    /// probability `t_sign` and otherwise all hold at zero with
+    /// probability `(1 − t_sign)(1 − p_sign)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities are outside `[0, 1]`.
+    pub fn with_sign_region(self, n_sign: usize, t_sign: f64, p_sign: f64) -> Self {
+        assert!((0.0..=1.0).contains(&t_sign), "t_sign must lie in [0, 1]");
+        assert!((0.0..=1.0).contains(&p_sign), "p_sign must lie in [0, 1]");
+        if n_sign == 0 {
+            return self;
+        }
+        let block = [
+            // (hd contribution, zeros contribution, probability)
+            (n_sign, 0, t_sign),
+            (0, n_sign, (1.0 - t_sign) * (1.0 - p_sign)),
+            (0, 0, (1.0 - t_sign) * p_sign),
+        ];
+        self.with_block(n_sign, &block)
+    }
+
+    /// Append constant bits: `zeros` bits frozen at 0 and `ones` bits
+    /// frozen at 1 (e.g. a constant operand of a multiplier).
+    pub fn with_constant_bits(self, zeros: usize, ones: usize) -> Self {
+        let n = zeros + ones;
+        if n == 0 {
+            return self;
+        }
+        self.with_block(n, &[(0, zeros, 1.0)])
+    }
+
+    /// Append an `n`-bit block with arbitrary joint outcomes
+    /// `(hd, zeros, probability)`.
+    fn with_block(self, n: usize, outcomes: &[(usize, usize, f64)]) -> Self {
+        let new_width = self.width + n;
+        let mut probs = vec![0.0; (new_width + 1) * (new_width + 1)];
+        #[allow(clippy::needless_range_loop)] // indexing dense per-net/HD tables
+        for hd in 0..=self.width {
+            for zeros in 0..=self.width {
+                let p = self.probs[Self::index(self.width, hd, zeros)];
+                if p == 0.0 {
+                    continue;
+                }
+                for &(dh, dz, q) in outcomes {
+                    probs[Self::index(new_width, hd + dh, zeros + dz)] += p * q;
+                }
+            }
+        }
+        JointHdZeroDistribution {
+            width: new_width,
+            probs,
+        }
+    }
+
+    /// Combine with the joint distribution of an independent operand: the
+    /// pair distributions convolve in both coordinates.
+    pub fn combine(&self, other: &JointHdZeroDistribution) -> Self {
+        let new_width = self.width + other.width;
+        let mut probs = vec![0.0; (new_width + 1) * (new_width + 1)];
+        for hd_a in 0..=self.width {
+            for z_a in 0..=self.width {
+                let pa = self.probs[Self::index(self.width, hd_a, z_a)];
+                if pa == 0.0 {
+                    continue;
+                }
+                for hd_b in 0..=other.width {
+                    for z_b in 0..=other.width {
+                        let pb = other.probs[Self::index(other.width, hd_b, z_b)];
+                        if pb == 0.0 {
+                            continue;
+                        }
+                        probs[Self::index(new_width, hd_a + hd_b, z_a + z_b)] += pa * pb;
+                    }
+                }
+            }
+        }
+        JointHdZeroDistribution {
+            width: new_width,
+            probs,
+        }
+    }
+
+    /// Marginalize to the plain Hd distribution of §6.3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the joint distribution is not normalized (a construction
+    /// bug, not a caller error).
+    pub fn hd_marginal(&self) -> HdDistribution {
+        let mut marginal = vec![0.0; self.width + 1];
+        #[allow(clippy::needless_range_loop)] // indexing dense per-net/HD tables
+        for hd in 0..=self.width {
+            for zeros in 0..=self.width {
+                marginal[hd] += self.probs[Self::index(self.width, hd, zeros)];
+            }
+        }
+        HdDistribution::new(marginal)
+    }
+
+    /// Iterate over the populated `(hd, zeros, probability)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let width = self.width;
+        self.probs.iter().enumerate().filter_map(move |(idx, &p)| {
+            if p > 0.0 {
+                Some((idx / (width + 1), idx % (width + 1), p))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Mean Hamming distance.
+    pub fn mean_hd(&self) -> f64 {
+        self.iter().map(|(hd, _, p)| hd as f64 * p).sum()
+    }
+
+    /// Mean stable-zero count.
+    pub fn mean_zeros(&self) -> f64 {
+        self.iter().map(|(_, z, p)| z as f64 * p).sum()
+    }
+}
+
+impl Default for JointHdZeroDistribution {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbt::{region_model, WordModel};
+
+    #[test]
+    fn single_random_bit() {
+        let j = JointHdZeroDistribution::empty().with_random_bits(1);
+        assert_eq!(j.width(), 1);
+        assert!((j.prob(1, 0) - 0.5).abs() < 1e-12);
+        assert!((j.prob(0, 1) - 0.25).abs() < 1e-12);
+        assert!((j.prob(0, 0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_matches_hd_distribution_of_regions() {
+        let model = WordModel::new(0.0, 800.0, 0.92, 16);
+        let regions = region_model(&model);
+        let joint = JointHdZeroDistribution::from_regions(&regions);
+        let marginal = joint.hd_marginal();
+        let direct = HdDistribution::from_regions(&regions);
+        for i in 0..=16 {
+            assert!(
+                (marginal.prob(i) - direct.prob(i)).abs() < 1e-9,
+                "Hd {i}: {} vs {}",
+                marginal.prob(i),
+                direct.prob(i)
+            );
+        }
+    }
+
+    #[test]
+    fn constant_bits_are_all_stable() {
+        let j = JointHdZeroDistribution::empty().with_constant_bits(5, 3);
+        assert_eq!(j.width(), 8);
+        assert!((j.prob(0, 5) - 1.0).abs() < 1e-12);
+        assert_eq!(j.mean_hd(), 0.0);
+        assert_eq!(j.mean_zeros(), 5.0);
+    }
+
+    #[test]
+    fn combine_adds_means() {
+        let a = JointHdZeroDistribution::empty().with_random_bits(4);
+        let b = JointHdZeroDistribution::empty().with_constant_bits(3, 1);
+        let c = a.combine(&b);
+        assert_eq!(c.width(), 8);
+        assert!((c.total() - 1.0).abs() < 1e-9);
+        assert!((c.mean_hd() - (a.mean_hd() + b.mean_hd())).abs() < 1e-9);
+        assert!((c.mean_zeros() - (a.mean_zeros() + b.mean_zeros())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sign_region_block_outcomes() {
+        let j = JointHdZeroDistribution::empty().with_sign_region(6, 0.2, 0.3);
+        assert_eq!(j.width(), 6);
+        assert!((j.prob(6, 0) - 0.2).abs() < 1e-12);
+        assert!((j.prob(0, 6) - 0.8 * 0.7).abs() < 1e-12);
+        assert!((j.prob(0, 0) - 0.8 * 0.3).abs() < 1e-12);
+        assert!((j.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hd_plus_zeros_never_exceed_width() {
+        let model = WordModel::new(50.0, 300.0, 0.8, 12);
+        let joint = JointHdZeroDistribution::from_regions(&region_model(&model));
+        for (hd, zeros, p) in joint.iter() {
+            assert!(hd + zeros <= 12, "impossible pair ({hd}, {zeros}) with p = {p}");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Gaussian numerics implemented from scratch: error function, normal CDF,
+//! and the sign-change probability of a lag-1 pair of a Gaussian AR(1)
+//! process (the quantity behind the sign-region transition activity
+//! `t_sign` of §6.1/§6.3).
+
+/// Error function via the Abramowitz & Stegun 7.1.26 rational approximation
+/// (maximum absolute error ≈ 1.5e-7, ample for activity estimates).
+///
+/// # Examples
+///
+/// ```
+/// let e = hdpm_datamodel::erf(1.0);
+/// assert!((e - 0.8427007).abs() < 1e-5);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal density.
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (std::f64::consts::TAU).sqrt()
+}
+
+/// Probability that two consecutive samples of a stationary Gaussian AR(1)
+/// process with mean `mu`, standard deviation `sigma` and lag-1 correlation
+/// `rho` have different signs.
+///
+/// For `mu == 0` this is the classical orthant result `arccos(ρ)/π`; for
+/// non-zero mean the probability is evaluated by numerically integrating
+/// the conditional normal over the stationary density.
+///
+/// Degenerate `sigma == 0` streams never change sign.
+///
+/// # Panics
+///
+/// Panics if `rho` is outside `[-1, 1]` or `sigma < 0`.
+///
+/// # Examples
+///
+/// ```
+/// use hdpm_datamodel::sign_change_probability;
+///
+/// // Uncorrelated zero-mean: signs are independent coin flips.
+/// let p = sign_change_probability(0.0, 1.0, 0.0);
+/// assert!((p - 0.5).abs() < 1e-9);
+///
+/// // Strong correlation: sign rarely flips.
+/// let p = sign_change_probability(0.0, 1.0, 0.95);
+/// assert!(p < 0.12);
+/// ```
+pub fn sign_change_probability(mu: f64, sigma: f64, rho: f64) -> f64 {
+    assert!((-1.0..=1.0).contains(&rho), "rho {rho} outside [-1, 1]");
+    assert!(sigma >= 0.0, "sigma must be non-negative, got {sigma}");
+    if sigma == 0.0 {
+        return 0.0;
+    }
+    if rho >= 1.0 {
+        return 0.0;
+    }
+    if mu == 0.0 {
+        return rho.acos() / std::f64::consts::PI;
+    }
+    // P(sign change) = ∫ φ(z) · q(z) dz where, conditioned on x = µ + σz,
+    // the next sample is N(µ + ρσz, σ²(1-ρ²)) and q is the probability it
+    // falls on the other side of zero.
+    let cond_sd = sigma * (1.0 - rho * rho).sqrt();
+    let steps = 2000;
+    let lo = -8.0f64;
+    let hi = 8.0f64;
+    let h = (hi - lo) / steps as f64;
+    let mut acc = 0.0;
+    for k in 0..=steps {
+        let z = lo + h * k as f64;
+        let x = mu + sigma * z;
+        let cond_mean = mu + rho * sigma * z;
+        // Probability the next sample has opposite sign to x.
+        let q = if x >= 0.0 {
+            normal_cdf((0.0 - cond_mean) / cond_sd)
+        } else {
+            1.0 - normal_cdf((0.0 - cond_mean) / cond_sd)
+        };
+        // Composite Simpson weights.
+        let simpson = if k == 0 || k == steps {
+            1.0
+        } else if k % 2 == 1 {
+            4.0
+        } else {
+            2.0
+        };
+        acc += simpson * normal_pdf(z) * q;
+    }
+    (acc * h / 3.0).clamp(0.0, 1.0)
+}
+
+/// Probability that a single sample of `N(mu, sigma²)` is negative (the
+/// stationary sign-bit signal probability).
+pub fn negative_probability(mu: f64, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return if mu < 0.0 { 1.0 } else { 0.0 };
+    }
+    normal_cdf((0.0 - mu) / sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_8).abs() < 1e-5);
+        assert!((erf(2.0) - 0.995_322_3).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.842_700_8).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_symmetric() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!(normal_cdf(-1.0) < normal_cdf(1.0));
+        assert!((normal_cdf(1.0) + normal_cdf(-1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn orthant_formula_matches_integration() {
+        // The numeric path (mu != 0) should agree with the closed form as
+        // mu -> 0.
+        for rho in [0.0, 0.3, 0.7, 0.95] {
+            let closed = sign_change_probability(0.0, 1.0, rho);
+            let numeric = sign_change_probability(1e-9, 1.0, rho);
+            assert!(
+                (closed - numeric).abs() < 1e-4,
+                "rho {rho}: closed {closed} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_offset_reduces_sign_activity() {
+        let centered = sign_change_probability(0.0, 1.0, 0.5);
+        let offset = sign_change_probability(2.0, 1.0, 0.5);
+        assert!(offset < centered / 2.0);
+    }
+
+    #[test]
+    fn monte_carlo_cross_check() {
+        // Empirical sign-change rate of an AR(1) stream matches the formula.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let (mu, sigma, rho) = (0.6, 1.3, 0.8);
+        let mut rng = StdRng::seed_from_u64(10);
+        let gauss = move |rng: &mut StdRng| {
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen::<f64>();
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        let mut x = mu + sigma * gauss(&mut rng);
+        let mut changes = 0u64;
+        let n = 400_000;
+        for _ in 0..n {
+            let next = mu + rho * (x - mu) + sigma * (1.0f64 - rho * rho).sqrt() * gauss(&mut rng);
+            if (x >= 0.0) != (next >= 0.0) {
+                changes += 1;
+            }
+            x = next;
+        }
+        let empirical = changes as f64 / n as f64;
+        let predicted = sign_change_probability(mu, sigma, rho);
+        assert!(
+            (empirical - predicted).abs() < 0.01,
+            "empirical {empirical} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn degenerate_sigma_never_changes_sign() {
+        assert_eq!(sign_change_probability(1.0, 0.0, 0.5), 0.0);
+        assert_eq!(negative_probability(1.0, 0.0), 0.0);
+        assert_eq!(negative_probability(-1.0, 0.0), 1.0);
+    }
+}

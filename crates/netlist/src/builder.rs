@@ -1,0 +1,220 @@
+//! Mid-level construction helpers shared by the module generators.
+//!
+//! These functions expand common arithmetic building blocks (half/full
+//! adders, carry chains, reduction trees) into primitive gates on a
+//! [`Netlist`].
+
+use crate::gate::CellKind;
+use crate::netlist::{NetId, Netlist};
+
+/// Sum and carry produced by an adder cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdderBit {
+    /// The sum output net.
+    pub sum: NetId,
+    /// The carry output net.
+    pub carry: NetId,
+}
+
+/// Expand a half adder (`sum = a ^ b`, `carry = a & b`).
+pub fn half_adder(nl: &mut Netlist, a: NetId, b: NetId) -> AdderBit {
+    let sum = nl.add_gate(CellKind::Xor2, &[a, b]);
+    let carry = nl.add_gate(CellKind::And2, &[a, b]);
+    AdderBit { sum, carry }
+}
+
+/// Expand a full adder using the classical 5-gate XOR/AND/OR mapping:
+/// `p = a ^ b`, `sum = p ^ cin`, `carry = (a & b) | (p & cin)`.
+pub fn full_adder(nl: &mut Netlist, a: NetId, b: NetId, cin: NetId) -> AdderBit {
+    let p = nl.add_gate(CellKind::Xor2, &[a, b]);
+    let sum = nl.add_gate(CellKind::Xor2, &[p, cin]);
+    let g = nl.add_gate(CellKind::And2, &[a, b]);
+    let t = nl.add_gate(CellKind::And2, &[p, cin]);
+    let carry = nl.add_gate(CellKind::Or2, &[g, t]);
+    AdderBit { sum, carry }
+}
+
+/// Ripple-carry chain over two equal-width bit vectors. Returns the sum bits
+/// (LSB first) and the final carry-out.
+///
+/// # Panics
+///
+/// Panics if `a.len() != b.len()` or the vectors are empty.
+pub fn ripple_chain(
+    nl: &mut Netlist,
+    a: &[NetId],
+    b: &[NetId],
+    cin: NetId,
+) -> (Vec<NetId>, NetId) {
+    assert_eq!(a.len(), b.len(), "operand widths must match");
+    assert!(!a.is_empty(), "operands must be at least one bit wide");
+    let mut sum = Vec::with_capacity(a.len());
+    let mut carry = cin;
+    for (&ai, &bi) in a.iter().zip(b) {
+        let bit = full_adder(nl, ai, bi, carry);
+        sum.push(bit.sum);
+        carry = bit.carry;
+    }
+    (sum, carry)
+}
+
+/// Increment a bit vector by a 1-bit condition: `y = x + cond`.
+/// Returns the result bits (same width as `x`) and the final carry.
+pub fn conditional_increment(
+    nl: &mut Netlist,
+    x: &[NetId],
+    cond: NetId,
+) -> (Vec<NetId>, NetId) {
+    assert!(!x.is_empty(), "operand must be at least one bit wide");
+    let mut out = Vec::with_capacity(x.len());
+    let mut carry = cond;
+    for &xi in x {
+        let bit = half_adder(nl, xi, carry);
+        out.push(bit.sum);
+        carry = bit.carry;
+    }
+    (out, carry)
+}
+
+/// Bitwise XOR of a vector with a single control net (conditional inversion).
+pub fn xor_with(nl: &mut Netlist, x: &[NetId], ctrl: NetId) -> Vec<NetId> {
+    x.iter()
+        .map(|&xi| nl.add_gate(CellKind::Xor2, &[xi, ctrl]))
+        .collect()
+}
+
+/// Bitwise AND of every element of `x` with a single control net.
+pub fn and_with(nl: &mut Netlist, x: &[NetId], ctrl: NetId) -> Vec<NetId> {
+    x.iter()
+        .map(|&xi| nl.add_gate(CellKind::And2, &[xi, ctrl]))
+        .collect()
+}
+
+/// Balanced AND-reduction tree over arbitrarily many nets, using AND4/AND3/
+/// AND2 cells. Returns the single reduced net.
+///
+/// # Panics
+///
+/// Panics if `nets` is empty.
+pub fn and_tree(nl: &mut Netlist, nets: &[NetId]) -> NetId {
+    reduce_tree(nl, nets, CellKind::And2, CellKind::And3, CellKind::And4)
+}
+
+/// Balanced OR-reduction tree over arbitrarily many nets.
+///
+/// # Panics
+///
+/// Panics if `nets` is empty.
+pub fn or_tree(nl: &mut Netlist, nets: &[NetId]) -> NetId {
+    reduce_tree(nl, nets, CellKind::Or2, CellKind::Or3, CellKind::Or4)
+}
+
+fn reduce_tree(
+    nl: &mut Netlist,
+    nets: &[NetId],
+    two: CellKind,
+    three: CellKind,
+    four: CellKind,
+) -> NetId {
+    assert!(!nets.is_empty(), "reduction tree over zero nets");
+    let mut level: Vec<NetId> = nets.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(4));
+        let mut chunk = level.as_slice();
+        while !chunk.is_empty() {
+            let take = match chunk.len() {
+                1 => 1,
+                2 => 2,
+                3 => 3,
+                // Avoid leaving a lone straggler: 5 -> 3 + 2.
+                5 => 3,
+                _ => 4,
+            };
+            let (head, rest) = chunk.split_at(take);
+            let reduced = match take {
+                1 => head[0],
+                2 => nl.add_gate(two, head),
+                3 => nl.add_gate(three, head),
+                4 => nl.add_gate(four, head),
+                _ => unreachable!(),
+            };
+            next.push(reduced);
+            chunk = rest;
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// 2:1 multiplexer over bit vectors: `y[i] = sel ? b[i] : a[i]`.
+///
+/// # Panics
+///
+/// Panics if widths differ.
+pub fn mux_vec(nl: &mut Netlist, a: &[NetId], b: &[NetId], sel: NetId) -> Vec<NetId> {
+    assert_eq!(a.len(), b.len(), "mux operand widths must match");
+    a.iter()
+        .zip(b)
+        .map(|(&ai, &bi)| nl.add_gate(CellKind::Mux2, &[ai, bi, sel]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_adder_gate_budget() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input_port("a", 1)[0];
+        let b = nl.add_input_port("b", 1)[0];
+        let c = nl.add_input_port("c", 1)[0];
+        full_adder(&mut nl, a, b, c);
+        assert_eq!(nl.gate_count(), 5);
+    }
+
+    #[test]
+    fn and_tree_sizes() {
+        for n in 1..=17 {
+            let mut nl = Netlist::new("t");
+            let bits = nl.add_input_port("x", n);
+            let y = and_tree(&mut nl, &bits);
+            nl.add_output_port("y", &[y]);
+            nl.validate().expect("tree must validate");
+        }
+    }
+
+    #[test]
+    fn ripple_chain_width_matches() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input_port("a", 4);
+        let b = nl.add_input_port("b", 4);
+        let cin = nl.const_zero();
+        let (sum, cout) = ripple_chain(&mut nl, &a, &b, cin);
+        assert_eq!(sum.len(), 4);
+        nl.add_output_port("sum", &sum);
+        nl.add_output_port("cout", &[cout]);
+        nl.validate().expect("valid");
+    }
+
+    #[test]
+    #[should_panic(expected = "widths must match")]
+    fn ripple_chain_rejects_mismatch() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input_port("a", 4);
+        let b = nl.add_input_port("b", 3);
+        let cin = nl.const_zero();
+        ripple_chain(&mut nl, &a, &b, cin);
+    }
+
+    #[test]
+    fn mux_vec_builds_one_mux_per_bit() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input_port("a", 8);
+        let b = nl.add_input_port("b", 8);
+        let s = nl.add_input_port("s", 1)[0];
+        let y = mux_vec(&mut nl, &a, &b, s);
+        assert_eq!(y.len(), 8);
+        assert_eq!(nl.gate_count(), 8);
+    }
+}

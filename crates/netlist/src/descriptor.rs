@@ -1,0 +1,325 @@
+//! Module family descriptors and complexity features.
+//!
+//! Section 5 of the paper parameterizes the power coefficients `p_i[m]` over
+//! the input bit-width by regressing on *complexity features* of the module
+//! family: `[m, 1]` for structures that scale linearly (ripple adder),
+//! `[m1·m2, m1, 1]` for array multipliers whose multiplication array scales
+//! with the product of the operand widths and whose final adder scales
+//! linearly (eq. 6–9). [`ModuleKind`] centralizes that knowledge and acts as
+//! the factory for prototype netlists.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetlistError;
+use crate::modules;
+use crate::netlist::Netlist;
+
+/// The datapath module families of the evaluation (Table 1) plus the extra
+/// catalogue entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ModuleKind {
+    /// Ripple-carry adder (`a[m] + b[m]`).
+    RippleAdder,
+    /// Carry-lookahead adder (`a[m] + b[m]`).
+    ClaAdder,
+    /// Two's-complement absolute value (`|x[m]|`).
+    AbsVal,
+    /// Signed carry-save-array multiplier (`a[m1] * b[m2]`).
+    CsaMultiplier,
+    /// Signed Booth-encoded Wallace-tree multiplier (`a[m1] * b[m2]`).
+    BoothWallaceMultiplier,
+    /// Incrementer (`x[m] + 1`).
+    Incrementer,
+    /// Two's-complement subtractor (`a[m] - b[m]`).
+    Subtractor,
+    /// Unsigned comparator (`a[m] <=> b[m]`).
+    Comparator,
+    /// Carry-select adder (`a[m] + b[m]`, speculative 4-bit blocks).
+    CarrySelectAdder,
+    /// Carry-skip adder (`a[m] + b[m]`, block-propagate skip paths).
+    CarrySkipAdder,
+    /// Logical-left barrel shifter (`x[m] << s`).
+    BarrelShifter,
+    /// GF(2^m) field multiplier (carry-free AND/XOR array).
+    GfMultiplier,
+    /// Sequential multiply-accumulate unit (`acc += a·b`).
+    Mac,
+    /// Unsigned restoring array divider (`x / d`, `x % d`).
+    Divider,
+}
+
+/// The five module kinds evaluated in the paper's Table 1, in table order.
+pub const TABLE1_MODULE_KINDS: [ModuleKind; 5] = [
+    ModuleKind::RippleAdder,
+    ModuleKind::ClaAdder,
+    ModuleKind::AbsVal,
+    ModuleKind::CsaMultiplier,
+    ModuleKind::BoothWallaceMultiplier,
+];
+
+impl ModuleKind {
+    /// Short identifier used in reports, e.g. `"ripple_adder"`.
+    pub const fn id(self) -> &'static str {
+        match self {
+            ModuleKind::RippleAdder => "ripple_adder",
+            ModuleKind::ClaAdder => "cla_adder",
+            ModuleKind::AbsVal => "absval",
+            ModuleKind::CsaMultiplier => "csa_multiplier",
+            ModuleKind::BoothWallaceMultiplier => "booth_wallace_mult",
+            ModuleKind::Incrementer => "incrementer",
+            ModuleKind::Subtractor => "subtractor",
+            ModuleKind::Comparator => "comparator",
+            ModuleKind::CarrySelectAdder => "carry_select_adder",
+            ModuleKind::CarrySkipAdder => "carry_skip_adder",
+            ModuleKind::BarrelShifter => "barrel_shifter",
+            ModuleKind::GfMultiplier => "gf_multiplier",
+            ModuleKind::Mac => "mac",
+            ModuleKind::Divider => "divider",
+        }
+    }
+
+    /// Number of word-level operands the module consumes.
+    pub const fn operand_count(self) -> usize {
+        match self {
+            ModuleKind::AbsVal | ModuleKind::Incrementer => 1,
+            ModuleKind::RippleAdder
+            | ModuleKind::ClaAdder
+            | ModuleKind::CsaMultiplier
+            | ModuleKind::BoothWallaceMultiplier
+            | ModuleKind::Subtractor
+            | ModuleKind::Comparator
+            | ModuleKind::CarrySelectAdder
+            | ModuleKind::CarrySkipAdder
+            | ModuleKind::BarrelShifter
+            | ModuleKind::GfMultiplier
+            | ModuleKind::Mac
+            | ModuleKind::Divider => 2,
+        }
+    }
+
+    /// Total number of primary input bits (`m` of the Hd model) of an
+    /// instance at the given width — the sum of the operand widths.
+    pub fn input_bits(self, width: ModuleWidth) -> usize {
+        let (m1, m2) = width.operand_widths();
+        match self {
+            // The shifter's second operand is the shift amount, not a
+            // data word of equal width.
+            ModuleKind::BarrelShifter => m1 + crate::modules::shift_amount_bits(m1),
+            _ => match self.operand_count() {
+                1 => m1,
+                _ => m1 + m2,
+            },
+        }
+    }
+
+    /// Whether the module interprets its operands as signed two's-complement
+    /// words.
+    pub const fn signed_operands(self) -> bool {
+        !matches!(
+            self,
+            ModuleKind::Comparator | ModuleKind::BarrelShifter | ModuleKind::GfMultiplier
+        )
+    }
+
+    /// Names of the complexity features (for reporting), matching
+    /// [`ModuleKind::complexity_features`].
+    pub const fn feature_names(self) -> &'static [&'static str] {
+        match self {
+            ModuleKind::CsaMultiplier
+            | ModuleKind::BoothWallaceMultiplier
+            | ModuleKind::GfMultiplier
+            | ModuleKind::Mac
+            | ModuleKind::Divider => &["m1*m2", "m1", "1"],
+            ModuleKind::BarrelShifter => &["m*log2(m)", "m", "1"],
+            _ => &["m", "1"],
+        }
+    }
+
+    /// Complexity feature vector `M` of eq. 9 for a module instance with the
+    /// given [`ModuleWidth`]: the regressors the coefficient model
+    /// `p_i = Rᵀ·M` is fitted over.
+    pub fn complexity_features(self, width: ModuleWidth) -> Vec<f64> {
+        let (m1, m2) = width.operand_widths();
+        match self {
+            ModuleKind::CsaMultiplier
+            | ModuleKind::BoothWallaceMultiplier
+            | ModuleKind::GfMultiplier
+            | ModuleKind::Mac
+            | ModuleKind::Divider => {
+                vec![(m1 * m2) as f64, m1 as f64, 1.0]
+            }
+            ModuleKind::BarrelShifter => {
+                let stages = crate::modules::shift_amount_bits(m1);
+                vec![(m1 * stages) as f64, m1 as f64, 1.0]
+            }
+            _ => vec![m1 as f64, 1.0],
+        }
+    }
+
+    /// Build the gate-level netlist of an instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError::UnsupportedWidth`] from the generator.
+    pub fn build(self, width: ModuleWidth) -> Result<Netlist, NetlistError> {
+        let (m1, m2) = width.operand_widths();
+        match self {
+            ModuleKind::RippleAdder => modules::ripple_adder(m1),
+            ModuleKind::ClaAdder => modules::cla_adder(m1),
+            ModuleKind::AbsVal => modules::absval(m1),
+            ModuleKind::CsaMultiplier => modules::csa_multiplier(m1, m2),
+            ModuleKind::BoothWallaceMultiplier => modules::booth_wallace_multiplier(m1, m2),
+            ModuleKind::Incrementer => modules::incrementer(m1),
+            ModuleKind::Subtractor => modules::subtractor(m1),
+            ModuleKind::Comparator => modules::comparator(m1),
+            ModuleKind::CarrySelectAdder => modules::carry_select_adder(m1),
+            ModuleKind::CarrySkipAdder => modules::carry_skip_adder(m1),
+            ModuleKind::BarrelShifter => modules::barrel_shifter(m1),
+            ModuleKind::GfMultiplier => modules::gf_multiplier(m1),
+            ModuleKind::Mac => modules::mac(m1),
+            ModuleKind::Divider => modules::divider(m1),
+        }
+    }
+}
+
+impl std::fmt::Display for ModuleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Operand width parameterization of a module instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ModuleWidth {
+    /// All operands share one width `m` (e.g. `8` means an 8-bit adder or an
+    /// 8×8 multiplier).
+    Uniform(usize),
+    /// Distinct operand widths `m1 × m2` (rectangular multipliers, the
+    /// paper's eq. 8).
+    Rect(usize, usize),
+}
+
+impl ModuleWidth {
+    /// The `(m1, m2)` pair; `Uniform(m)` yields `(m, m)`.
+    pub fn operand_widths(self) -> (usize, usize) {
+        match self {
+            ModuleWidth::Uniform(m) => (m, m),
+            ModuleWidth::Rect(m1, m2) => (m1, m2),
+        }
+    }
+}
+
+impl From<usize> for ModuleWidth {
+    fn from(m: usize) -> Self {
+        ModuleWidth::Uniform(m)
+    }
+}
+
+impl std::fmt::Display for ModuleWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModuleWidth::Uniform(m) => write!(f, "{m}"),
+            ModuleWidth::Rect(m1, m2) => write!(f, "{m1}x{m2}"),
+        }
+    }
+}
+
+/// A fully specified module instance: family plus width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModuleSpec {
+    /// The module family.
+    pub kind: ModuleKind,
+    /// The operand widths.
+    pub width: ModuleWidth,
+}
+
+impl ModuleSpec {
+    /// Create a spec.
+    pub fn new(kind: ModuleKind, width: impl Into<ModuleWidth>) -> Self {
+        ModuleSpec {
+            kind,
+            width: width.into(),
+        }
+    }
+
+    /// Build the netlist of this instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError::UnsupportedWidth`] from the generator.
+    pub fn build(self) -> Result<Netlist, NetlistError> {
+        self.kind.build(self.width)
+    }
+
+    /// Complexity feature vector of this instance (see
+    /// [`ModuleKind::complexity_features`]).
+    pub fn complexity_features(self) -> Vec<f64> {
+        self.kind.complexity_features(self.width)
+    }
+}
+
+impl std::fmt::Display for ModuleSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}_{}", self.kind, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_at_width_8() {
+        for kind in [
+            ModuleKind::RippleAdder,
+            ModuleKind::ClaAdder,
+            ModuleKind::AbsVal,
+            ModuleKind::CsaMultiplier,
+            ModuleKind::BoothWallaceMultiplier,
+            ModuleKind::Incrementer,
+            ModuleKind::Subtractor,
+            ModuleKind::Comparator,
+            ModuleKind::CarrySelectAdder,
+            ModuleKind::CarrySkipAdder,
+            ModuleKind::BarrelShifter,
+            ModuleKind::GfMultiplier,
+            ModuleKind::Mac,
+            ModuleKind::Divider,
+        ] {
+            let nl = kind.build(ModuleWidth::Uniform(8)).expect("build");
+            nl.validate().expect("validate");
+        }
+    }
+
+    #[test]
+    fn features_match_names() {
+        for kind in TABLE1_MODULE_KINDS {
+            let feats = kind.complexity_features(ModuleWidth::Uniform(8));
+            assert_eq!(feats.len(), kind.feature_names().len());
+            assert_eq!(*feats.last().unwrap(), 1.0, "last feature is the bias");
+        }
+    }
+
+    #[test]
+    fn rect_width_feeds_eq8() {
+        let feats =
+            ModuleKind::CsaMultiplier.complexity_features(ModuleWidth::Rect(6, 4));
+        assert_eq!(feats, vec![24.0, 6.0, 1.0]);
+    }
+
+    #[test]
+    fn spec_display_is_informative() {
+        let spec = ModuleSpec::new(ModuleKind::CsaMultiplier, ModuleWidth::Rect(6, 4));
+        assert_eq!(spec.to_string(), "csa_multiplier_6x4");
+        let spec = ModuleSpec::new(ModuleKind::RippleAdder, 8);
+        assert_eq!(spec.to_string(), "ripple_adder_8");
+    }
+
+    #[test]
+    fn input_bits_are_operand_sum() {
+        let nl = ModuleSpec::new(ModuleKind::CsaMultiplier, ModuleWidth::Rect(6, 4))
+            .build()
+            .unwrap();
+        assert_eq!(nl.input_bit_count(), 10);
+    }
+}

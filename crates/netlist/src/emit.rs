@@ -1,0 +1,197 @@
+//! Structural Verilog emission.
+//!
+//! Exports a netlist as a flat structural Verilog-2001 module over a small
+//! behavioural cell library, so generated datapath blocks can be inspected,
+//! linted or re-simulated with third-party tools.
+
+use std::fmt::Write as _;
+
+use crate::gate::CellKind;
+use crate::netlist::{NetDriver, Netlist};
+
+/// Render the netlist as structural Verilog.
+///
+/// Gate primitives map to Verilog's built-in gate instantiations where one
+/// exists (`and`, `nand`, `or`, `nor`, `xor`, `xnor`, `not`, `buf`);
+/// compound cells (AOI/OAI/MUX) expand into `assign` expressions.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// use hdpm_netlist::{emit_verilog, modules};
+///
+/// let text = emit_verilog(&modules::ripple_adder(2)?);
+/// assert!(text.starts_with("module ripple_adder_2"));
+/// assert!(text.contains("endmodule"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn emit_verilog(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let name = |idx: usize| format!("n{idx}");
+
+    // Port list.
+    let ports: Vec<String> = netlist
+        .input_ports()
+        .iter()
+        .chain(netlist.output_ports())
+        .map(|p| p.name().to_string())
+        .collect();
+    let _ = writeln!(out, "module {} ({});", netlist.name(), ports.join(", "));
+
+    for port in netlist.input_ports() {
+        let _ = writeln!(out, "  input  [{}:0] {};", port.width() - 1, port.name());
+    }
+    for port in netlist.output_ports() {
+        let _ = writeln!(out, "  output [{}:0] {};", port.width() - 1, port.name());
+    }
+
+    // Internal wires.
+    let _ = writeln!(out, "  wire [{}:0] nets;", netlist.net_count() - 1);
+    for idx in 0..netlist.net_count() {
+        let net = netlist.net_id(idx);
+        match netlist.driver(net) {
+            NetDriver::Constant(v) => {
+                let _ = writeln!(out, "  wire {} = 1'b{};", name(idx), u8::from(v));
+            }
+            _ => {
+                let _ = writeln!(out, "  wire {};", name(idx));
+            }
+        }
+    }
+
+    // Input port bindings.
+    for port in netlist.input_ports() {
+        for (bit, net) in port.bits().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  assign {} = {}[{}];",
+                name(net.index()),
+                port.name(),
+                bit
+            );
+        }
+    }
+
+    // Gates.
+    for (gi, gate) in netlist.gates().iter().enumerate() {
+        let y = name(gate.output().index());
+        let ins: Vec<String> = gate
+            .inputs()
+            .iter()
+            .map(|n| name(n.index()))
+            .collect();
+        let line = match gate.kind() {
+            CellKind::Inv => format!("  not g{gi} ({y}, {});", ins[0]),
+            CellKind::Buf => format!("  buf g{gi} ({y}, {});", ins[0]),
+            CellKind::Nand2 | CellKind::Nand3 => {
+                format!("  nand g{gi} ({y}, {});", ins.join(", "))
+            }
+            CellKind::Nor2 | CellKind::Nor3 => {
+                format!("  nor g{gi} ({y}, {});", ins.join(", "))
+            }
+            CellKind::And2 | CellKind::And3 | CellKind::And4 => {
+                format!("  and g{gi} ({y}, {});", ins.join(", "))
+            }
+            CellKind::Or2 | CellKind::Or3 | CellKind::Or4 => {
+                format!("  or g{gi} ({y}, {});", ins.join(", "))
+            }
+            CellKind::Xor2 => format!("  xor g{gi} ({y}, {});", ins.join(", ")),
+            CellKind::Xnor2 => format!("  xnor g{gi} ({y}, {});", ins.join(", ")),
+            CellKind::Aoi21 => format!(
+                "  assign {y} = ~(({} & {}) | {}); // AOI21 g{gi}",
+                ins[0], ins[1], ins[2]
+            ),
+            CellKind::Oai21 => format!(
+                "  assign {y} = ~(({} | {}) & {}); // OAI21 g{gi}",
+                ins[0], ins[1], ins[2]
+            ),
+            CellKind::Mux2 => format!(
+                "  assign {y} = {} ? {} : {}; // MUX2 g{gi}",
+                ins[2], ins[1], ins[0]
+            ),
+        };
+        let _ = writeln!(out, "{line}");
+    }
+
+    // Registers: non-standard `hdpm_dff` instances (q, d), clocked
+    // implicitly once per applied pattern.
+    for (ri, reg) in netlist.registers().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  hdpm_dff r{ri} ({}, {});",
+            name(reg.q().index()),
+            name(reg.d().index())
+        );
+    }
+
+    // Output port bindings.
+    for port in netlist.output_ports() {
+        for (bit, net) in port.bits().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  assign {}[{}] = {};",
+                port.name(),
+                bit,
+                name(net.index())
+            );
+        }
+    }
+
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules;
+
+    #[test]
+    fn emits_all_gates_and_ports() {
+        let nl = modules::cla_adder(4).unwrap();
+        let text = emit_verilog(&nl);
+        assert!(text.starts_with("module cla_adder_4 (a, b, sum, cout);"));
+        assert!(text.contains("input  [3:0] a;"));
+        assert!(text.contains("output [3:0] sum;"));
+        assert!(text.contains("endmodule"));
+        // One instantiation or assign per gate.
+        let instances = text
+            .lines()
+            .filter(|l| {
+                let t = l.trim_start();
+                t.starts_with("and ")
+                    || t.starts_with("or ")
+                    || t.starts_with("nand ")
+                    || t.starts_with("nor ")
+                    || t.starts_with("xor ")
+                    || t.starts_with("xnor ")
+                    || t.starts_with("not ")
+                    || t.starts_with("buf ")
+                    || t.contains("// AOI21")
+                    || t.contains("// OAI21")
+                    || t.contains("// MUX2")
+            })
+            .count();
+        assert_eq!(instances, nl.gate_count());
+    }
+
+    #[test]
+    fn mux_heavy_module_uses_assigns() {
+        let nl = modules::barrel_shifter(4).unwrap();
+        let text = emit_verilog(&nl);
+        assert_eq!(
+            text.matches("// MUX2").count(),
+            nl.gate_count(),
+            "every mux becomes a conditional assign"
+        );
+    }
+
+    #[test]
+    fn constants_are_tied_off() {
+        let nl = modules::csa_multiplier(2, 2).unwrap();
+        let text = emit_verilog(&nl);
+        assert!(text.contains("= 1'b0;") || text.contains("= 1'b1;"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types for netlist construction and validation.
+
+use crate::netlist::{GateId, NetId};
+
+/// Errors produced when building or validating a [`crate::Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate was created with the wrong number of input nets.
+    ArityMismatch {
+        /// Offending gate.
+        gate: GateId,
+        /// Number of pins the cell kind requires.
+        expected: usize,
+        /// Number of nets supplied.
+        actual: usize,
+    },
+    /// A net is referenced that does not exist in the netlist.
+    UnknownNet(NetId),
+    /// A net has more than one driver (gate output, primary input or
+    /// constant).
+    MultipleDrivers(NetId),
+    /// A net used as a gate input or primary output has no driver.
+    FloatingNet(NetId),
+    /// The gate graph contains a combinational cycle through the given net.
+    CombinationalCycle(NetId),
+    /// A port was declared with zero bits.
+    EmptyPort(String),
+    /// Two ports share the same name.
+    DuplicatePort(String),
+    /// A module generator was asked for an unsupported parameterization.
+    UnsupportedWidth {
+        /// The module family that rejected the width.
+        module: &'static str,
+        /// The requested width.
+        width: usize,
+        /// Explanation of the constraint.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetlistError::ArityMismatch {
+                gate,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "gate {gate:?} expects {expected} input nets but was given {actual}"
+            ),
+            NetlistError::UnknownNet(net) => write!(f, "net {net:?} does not exist"),
+            NetlistError::MultipleDrivers(net) => {
+                write!(f, "net {net:?} has more than one driver")
+            }
+            NetlistError::FloatingNet(net) => write!(f, "net {net:?} has no driver"),
+            NetlistError::CombinationalCycle(net) => {
+                write!(f, "combinational cycle through net {net:?}")
+            }
+            NetlistError::EmptyPort(name) => write!(f, "port `{name}` has zero bits"),
+            NetlistError::DuplicatePort(name) => {
+                write!(f, "port name `{name}` declared twice")
+            }
+            NetlistError::UnsupportedWidth {
+                module,
+                width,
+                reason,
+            } => write!(f, "{module} does not support width {width}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors: Vec<NetlistError> = vec![
+            NetlistError::UnknownNet(NetId(3)),
+            NetlistError::MultipleDrivers(NetId(0)),
+            NetlistError::FloatingNet(NetId(9)),
+            NetlistError::CombinationalCycle(NetId(1)),
+            NetlistError::EmptyPort("a".into()),
+            NetlistError::DuplicatePort("b".into()),
+            NetlistError::ArityMismatch {
+                gate: GateId(0),
+                expected: 2,
+                actual: 3,
+            },
+            NetlistError::UnsupportedWidth {
+                module: "cla_adder",
+                width: 0,
+                reason: "width must be at least 1",
+            },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+        }
+    }
+}

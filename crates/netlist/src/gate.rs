@@ -1,0 +1,348 @@
+//! Primitive cell library.
+//!
+//! The library is a small CMOS-flavoured standard-cell set. Every cell knows
+//! its Boolean function, the capacitance each of its input pins presents to
+//! the driving net, and the intrinsic (diffusion) capacitance of its output.
+//! The numbers are loosely based on a generic 0.35 µm library normalized so
+//! that a minimum inverter input weighs `1.0`; only ratios matter for the
+//! power macro-model, never absolute units (see `DESIGN.md` §6).
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a primitive logic cell.
+///
+/// Pin order for the `eval` and `input_cap` methods is the natural order of
+/// the cell name: `Aoi21` computes `!((a & b) | c)` with pins `[a, b, c]`,
+/// `Mux2` computes `sel ? b : a` with pins `[a, b, sel]`.
+///
+/// # Examples
+///
+/// ```
+/// use hdpm_netlist::CellKind;
+///
+/// assert_eq!(CellKind::Xor2.eval(&[true, false]), true);
+/// assert_eq!(CellKind::Nand2.arity(), 2);
+/// assert!(CellKind::Xor2.input_cap(0) > CellKind::Inv.input_cap(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Inverter: `!a`.
+    Inv,
+    /// Buffer: `a`.
+    Buf,
+    /// 2-input NAND: `!(a & b)`.
+    Nand2,
+    /// 3-input NAND: `!(a & b & c)`.
+    Nand3,
+    /// 2-input NOR: `!(a | b)`.
+    Nor2,
+    /// 3-input NOR: `!(a | b | c)`.
+    Nor3,
+    /// 2-input AND: `a & b`.
+    And2,
+    /// 3-input AND: `a & b & c`.
+    And3,
+    /// 4-input AND: `a & b & c & d`.
+    And4,
+    /// 2-input OR: `a | b`.
+    Or2,
+    /// 3-input OR: `a | b | c`.
+    Or3,
+    /// 4-input OR: `a | b | c | d`.
+    Or4,
+    /// 2-input XOR: `a ^ b`.
+    Xor2,
+    /// 2-input XNOR: `!(a ^ b)`.
+    Xnor2,
+    /// AND-OR-invert: `!((a & b) | c)`.
+    Aoi21,
+    /// OR-AND-invert: `!((a | b) & c)`.
+    Oai21,
+    /// 2:1 multiplexer: `if sel { b } else { a }`, pins `[a, b, sel]`.
+    Mux2,
+}
+
+/// All cell kinds, in a stable order (useful for iteration and reporting).
+pub const ALL_CELL_KINDS: [CellKind; 17] = [
+    CellKind::Inv,
+    CellKind::Buf,
+    CellKind::Nand2,
+    CellKind::Nand3,
+    CellKind::Nor2,
+    CellKind::Nor3,
+    CellKind::And2,
+    CellKind::And3,
+    CellKind::And4,
+    CellKind::Or2,
+    CellKind::Or3,
+    CellKind::Or4,
+    CellKind::Xor2,
+    CellKind::Xnor2,
+    CellKind::Aoi21,
+    CellKind::Oai21,
+    CellKind::Mux2,
+];
+
+impl CellKind {
+    /// Number of input pins of this cell.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hdpm_netlist::CellKind;
+    /// assert_eq!(CellKind::Mux2.arity(), 3);
+    /// ```
+    pub const fn arity(self) -> usize {
+        match self {
+            CellKind::Inv | CellKind::Buf => 1,
+            CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::And2
+            | CellKind::Or2
+            | CellKind::Xor2
+            | CellKind::Xnor2 => 2,
+            CellKind::Nand3
+            | CellKind::Nor3
+            | CellKind::And3
+            | CellKind::Or3
+            | CellKind::Aoi21
+            | CellKind::Oai21
+            | CellKind::Mux2 => 3,
+            CellKind::And4 | CellKind::Or4 => 4,
+        }
+    }
+
+    /// Evaluate the Boolean function of the cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hdpm_netlist::CellKind;
+    /// // Mux2 pins are [a, b, sel].
+    /// assert_eq!(CellKind::Mux2.eval(&[true, false, false]), true);
+    /// assert_eq!(CellKind::Mux2.eval(&[true, false, true]), false);
+    /// ```
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.arity(),
+            "cell {self:?} expects {} inputs, got {}",
+            self.arity(),
+            inputs.len()
+        );
+        match self {
+            CellKind::Inv => !inputs[0],
+            CellKind::Buf => inputs[0],
+            CellKind::Nand2 => !(inputs[0] & inputs[1]),
+            CellKind::Nand3 => !(inputs[0] & inputs[1] & inputs[2]),
+            CellKind::Nor2 => !(inputs[0] | inputs[1]),
+            CellKind::Nor3 => !(inputs[0] | inputs[1] | inputs[2]),
+            CellKind::And2 => inputs[0] & inputs[1],
+            CellKind::And3 => inputs[0] & inputs[1] & inputs[2],
+            CellKind::And4 => inputs[0] & inputs[1] & inputs[2] & inputs[3],
+            CellKind::Or2 => inputs[0] | inputs[1],
+            CellKind::Or3 => inputs[0] | inputs[1] | inputs[2],
+            CellKind::Or4 => inputs[0] | inputs[1] | inputs[2] | inputs[3],
+            CellKind::Xor2 => inputs[0] ^ inputs[1],
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellKind::Aoi21 => !((inputs[0] & inputs[1]) | inputs[2]),
+            CellKind::Oai21 => !((inputs[0] | inputs[1]) & inputs[2]),
+            CellKind::Mux2 => {
+                if inputs[2] {
+                    inputs[1]
+                } else {
+                    inputs[0]
+                }
+            }
+        }
+    }
+
+    /// Capacitance presented by input pin `pin` to the net that drives it,
+    /// in normalized units (a minimum inverter input = 1.0).
+    ///
+    /// XOR/XNOR pins are heavier because their transmission-gate style
+    /// realization loads both the true and complement signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin >= self.arity()`.
+    pub fn input_cap(self, pin: usize) -> f64 {
+        assert!(
+            pin < self.arity(),
+            "cell {self:?} has {} pins, pin index {pin} out of range",
+            self.arity()
+        );
+        match self {
+            CellKind::Inv => 1.0,
+            CellKind::Buf => 1.0,
+            CellKind::Nand2 | CellKind::Nor2 => 1.2,
+            CellKind::Nand3 | CellKind::Nor3 => 1.4,
+            CellKind::And2 | CellKind::Or2 => 1.2,
+            CellKind::And3 | CellKind::Or3 => 1.4,
+            CellKind::And4 | CellKind::Or4 => 1.6,
+            CellKind::Xor2 | CellKind::Xnor2 => 2.2,
+            CellKind::Aoi21 | CellKind::Oai21 => 1.3,
+            // The select pin of a mux drives both pass branches.
+            CellKind::Mux2 => {
+                if pin == 2 {
+                    2.0
+                } else {
+                    1.4
+                }
+            }
+        }
+    }
+
+    /// Intrinsic (diffusion) capacitance at the output of the cell, in the
+    /// same normalized units as [`CellKind::input_cap`].
+    pub fn output_cap(self) -> f64 {
+        match self {
+            CellKind::Inv => 0.8,
+            CellKind::Buf => 1.0,
+            CellKind::Nand2 | CellKind::Nor2 => 1.1,
+            CellKind::Nand3 | CellKind::Nor3 => 1.3,
+            // AND/OR are NAND/NOR + inverter internally: slightly heavier.
+            CellKind::And2 | CellKind::Or2 => 1.3,
+            CellKind::And3 | CellKind::Or3 => 1.5,
+            CellKind::And4 | CellKind::Or4 => 1.7,
+            CellKind::Xor2 | CellKind::Xnor2 => 1.9,
+            CellKind::Aoi21 | CellKind::Oai21 => 1.4,
+            CellKind::Mux2 => 1.6,
+        }
+    }
+
+    /// Internal switched capacitance charged on an *output* transition, over
+    /// and above the external load. Models the internal nodes of compound
+    /// cells (the hidden inverter of AND/OR, the complement rail of XOR).
+    pub fn internal_cap(self) -> f64 {
+        match self {
+            CellKind::Inv | CellKind::Buf => 0.2,
+            CellKind::Nand2 | CellKind::Nor2 => 0.3,
+            CellKind::Nand3 | CellKind::Nor3 => 0.4,
+            CellKind::And2 | CellKind::Or2 => 0.7,
+            CellKind::And3 | CellKind::Or3 => 0.8,
+            CellKind::And4 | CellKind::Or4 => 0.9,
+            CellKind::Xor2 | CellKind::Xnor2 => 1.2,
+            CellKind::Aoi21 | CellKind::Oai21 => 0.5,
+            CellKind::Mux2 => 0.9,
+        }
+    }
+
+    /// Rough transistor count of the cell, used for complexity reporting.
+    pub const fn transistor_count(self) -> u32 {
+        match self {
+            CellKind::Inv => 2,
+            CellKind::Buf => 4,
+            CellKind::Nand2 | CellKind::Nor2 => 4,
+            CellKind::Nand3 | CellKind::Nor3 => 6,
+            CellKind::And2 | CellKind::Or2 => 6,
+            CellKind::And3 | CellKind::Or3 => 8,
+            CellKind::And4 | CellKind::Or4 => 10,
+            CellKind::Xor2 | CellKind::Xnor2 => 10,
+            CellKind::Aoi21 | CellKind::Oai21 => 6,
+            CellKind::Mux2 => 10,
+        }
+    }
+
+    /// Short library-style name, e.g. `"NAND2"`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CellKind::Inv => "INV",
+            CellKind::Buf => "BUF",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nand3 => "NAND3",
+            CellKind::Nor2 => "NOR2",
+            CellKind::Nor3 => "NOR3",
+            CellKind::And2 => "AND2",
+            CellKind::And3 => "AND3",
+            CellKind::And4 => "AND4",
+            CellKind::Or2 => "OR2",
+            CellKind::Or3 => "OR3",
+            CellKind::Or4 => "OR4",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Xnor2 => "XNOR2",
+            CellKind::Aoi21 => "AOI21",
+            CellKind::Oai21 => "OAI21",
+            CellKind::Mux2 => "MUX2",
+        }
+    }
+}
+
+impl std::fmt::Display for CellKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_input_combinations(n: usize) -> impl Iterator<Item = Vec<bool>> {
+        (0..(1u32 << n)).map(move |bits| (0..n).map(|i| (bits >> i) & 1 == 1).collect())
+    }
+
+    #[test]
+    fn arity_matches_eval_expectations() {
+        for kind in ALL_CELL_KINDS {
+            for combo in all_input_combinations(kind.arity()) {
+                // Must not panic; output is a plain bool.
+                let _ = kind.eval(&combo);
+            }
+        }
+    }
+
+    #[test]
+    fn truth_tables_of_compound_cells() {
+        assert!(!CellKind::Aoi21.eval(&[true, true, false]));
+        assert!(CellKind::Aoi21.eval(&[true, false, false]));
+        assert!(!CellKind::Aoi21.eval(&[false, false, true]));
+        assert!(CellKind::Oai21.eval(&[false, false, true]));
+        assert!(!CellKind::Oai21.eval(&[true, false, true]));
+        assert!(CellKind::Oai21.eval(&[true, true, false]));
+    }
+
+    #[test]
+    fn inverting_pairs_agree() {
+        for combo in all_input_combinations(2) {
+            assert_eq!(CellKind::And2.eval(&combo), !CellKind::Nand2.eval(&combo));
+            assert_eq!(CellKind::Or2.eval(&combo), !CellKind::Nor2.eval(&combo));
+            assert_eq!(CellKind::Xor2.eval(&combo), !CellKind::Xnor2.eval(&combo));
+        }
+    }
+
+    #[test]
+    fn capacitances_are_positive_and_bounded() {
+        for kind in ALL_CELL_KINDS {
+            for pin in 0..kind.arity() {
+                let c = kind.input_cap(pin);
+                assert!((1.0..=3.0).contains(&c), "{kind:?} pin {pin} cap {c}");
+            }
+            assert!(kind.output_cap() > 0.0);
+            assert!(kind.internal_cap() >= 0.0);
+            assert!(kind.transistor_count() >= 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn eval_panics_on_bad_arity() {
+        CellKind::Nand2.eval(&[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn input_cap_panics_on_bad_pin() {
+        CellKind::Inv.input_cap(1);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(CellKind::Nand3.to_string(), "NAND3");
+        assert_eq!(format!("{}", CellKind::Mux2), "MUX2");
+    }
+}

@@ -1,0 +1,56 @@
+//! # hdpm-netlist
+//!
+//! Gate-level netlist IR and parameterizable datapath module generators —
+//! the stand-in for the SYNOPSYS DesignWare library used by the paper
+//! *"A New Parameterizable Power Macro-Model for Datapath Components"*
+//! (Jochens, Kruse, Schmidt, Nebel, DATE 1999).
+//!
+//! The crate provides:
+//!
+//! * a small standard-cell library with per-pin capacitances ([`CellKind`]),
+//! * a flat netlist graph with bus ports, validation, topological ordering
+//!   and load-capacitance queries ([`Netlist`], [`ValidatedNetlist`]),
+//! * construction helpers ([`builder`]),
+//! * generators for the paper's module families ([`modules`]): ripple-carry
+//!   and carry-lookahead adders, absolute value, carry-save-array and
+//!   Booth-encoded Wallace-tree multipliers, and a few extras,
+//! * module family descriptors with the §5 complexity features
+//!   ([`ModuleKind`], [`ModuleSpec`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use hdpm_netlist::{ModuleKind, ModuleSpec, NetlistStats};
+//!
+//! # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+//! let spec = ModuleSpec::new(ModuleKind::CsaMultiplier, 8);
+//! let netlist = spec.build()?;
+//! let validated = netlist.validate()?;
+//! let stats = NetlistStats::of(validated.netlist());
+//! assert_eq!(stats.input_bits, 16);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+mod descriptor;
+mod emit;
+mod error;
+mod parse;
+mod random;
+mod gate;
+pub mod modules;
+mod netlist;
+mod stats;
+
+pub use emit::emit_verilog;
+pub use parse::{parse_verilog, ParseVerilogError};
+pub use random::{random_netlist, used_cell_kinds, RandomNetlistConfig};
+pub use descriptor::{ModuleKind, ModuleSpec, ModuleWidth, TABLE1_MODULE_KINDS};
+pub use error::NetlistError;
+pub use gate::{CellKind, ALL_CELL_KINDS};
+pub use netlist::{Gate, GateId, NetDriver, NetId, Netlist, Port, RegId, Register, ValidatedNetlist};
+pub use stats::NetlistStats;

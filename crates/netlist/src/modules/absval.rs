@@ -1,0 +1,68 @@
+//! Absolute-value unit generator.
+
+use crate::builder::{conditional_increment, xor_with};
+use crate::error::NetlistError;
+use crate::netlist::Netlist;
+
+/// Generate an `m`-bit two's-complement absolute-value unit.
+///
+/// Computes `y = |x|` as `(x XOR sign) + sign`: every bit is conditionally
+/// inverted by the sign bit, then a ripple incrementer adds the sign bit
+/// back. The most negative value wraps (`|-2^(m-1)| = -2^(m-1)`), matching
+/// datapath-library behaviour.
+///
+/// Ports: input `x[m]`; output `y[m]`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnsupportedWidth`] if `m == 0`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// let unit = hdpm_netlist::modules::absval(16)?;
+/// assert_eq!(unit.input_bit_count(), 16);
+/// # Ok(())
+/// # }
+/// ```
+pub fn absval(m: usize) -> Result<Netlist, NetlistError> {
+    if m == 0 {
+        return Err(NetlistError::UnsupportedWidth {
+            module: "absval",
+            width: m,
+            reason: "width must be at least 1",
+        });
+    }
+    let mut nl = Netlist::new(format!("absval_{m}"));
+    let x = nl.add_input_port("x", m);
+    let sign = x[m - 1];
+    let flipped = xor_with(&mut nl, &x, sign);
+    let (y, _carry) = conditional_increment(&mut nl, &flipped, sign);
+    nl.add_output_port("y", &y);
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates() {
+        for m in [1, 2, 8, 12, 16] {
+            absval(m).unwrap().validate().expect("valid absval");
+        }
+    }
+
+    #[test]
+    fn gate_count_is_linear() {
+        let g8 = absval(8).unwrap().gate_count();
+        let g16 = absval(16).unwrap().gate_count();
+        assert_eq!(g16, 2 * g8);
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(absval(0).is_err());
+    }
+}

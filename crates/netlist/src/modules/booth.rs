@@ -1,0 +1,195 @@
+//! Booth-encoded Wallace-tree multiplier generator.
+//!
+//! Radix-4 (modified) Booth encoding halves the number of partial products;
+//! the resulting rows are compressed by a balanced Wallace tree of 3:2 and
+//! 2:2 counters and resolved by a carry-lookahead final adder. Together with
+//! the array multiplier of [`crate::modules::csa_multiplier`] this covers
+//! the "booth-cod. wallace-tree mult." row of the paper's Table 1.
+
+use crate::error::NetlistError;
+use crate::gate::CellKind;
+use crate::modules::cla::cla_chain;
+use crate::modules::columns::{push_bit, wallace_reduce, Columns};
+use crate::netlist::{NetId, Netlist};
+
+/// Generate a signed (two's-complement) `m1 × m2`-bit Booth-encoded
+/// Wallace-tree multiplier.
+///
+/// Ports: inputs `a[m1]` (multiplicand), `b[m2]` (multiplier); output
+/// `p[m1+m2]`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnsupportedWidth`] if either width is below 2.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// let mul = hdpm_netlist::modules::booth_wallace_multiplier(8, 8)?;
+/// assert_eq!(mul.input_bit_count(), 16);
+/// assert_eq!(mul.output_bit_count(), 16);
+/// # Ok(())
+/// # }
+/// ```
+pub fn booth_wallace_multiplier(m1: usize, m2: usize) -> Result<Netlist, NetlistError> {
+    if m1 < 2 {
+        return Err(NetlistError::UnsupportedWidth {
+            module: "booth_wallace_multiplier",
+            width: m1,
+            reason: "signed operands need at least 2 bits",
+        });
+    }
+    if m2 < 2 {
+        return Err(NetlistError::UnsupportedWidth {
+            module: "booth_wallace_multiplier",
+            width: m2,
+            reason: "signed operands need at least 2 bits",
+        });
+    }
+    let mut nl = Netlist::new(format!("booth_wallace_{m1}x{m2}"));
+    let a = nl.add_input_port("a", m1);
+    let b = nl.add_input_port("b", m2);
+    let width = m1 + m2;
+    let digits = m2.div_ceil(2);
+
+    let mut columns: Columns = vec![Vec::new(); width];
+    // Constant corrections accumulate here and are injected as ones.
+    let mut constant: u128 = 0;
+
+    for k in 0..digits {
+        let enc = booth_encoder(&mut nl, &b, k, m2);
+        // Partial product magnitude bits pp_j for j in 0..=m1:
+        //   pp_j = (single & a_j) | (double & a_{j-1}), sign-extended a.
+        // followed by conditional inversion with `neg`.
+        let mut pp = Vec::with_capacity(m1 + 1);
+        for j in 0..=m1 {
+            let a_cur = if j < m1 { Some(a[j]) } else { Some(a[m1 - 1]) };
+            let a_prev = if j == 0 { None } else { Some(a[j.min(m1) - 1]) };
+            let val = match (a_cur, a_prev) {
+                (Some(ac), Some(ap)) => {
+                    let s_term = nl.add_gate(CellKind::And2, &[enc.single, ac]);
+                    let d_term = nl.add_gate(CellKind::And2, &[enc.double, ap]);
+                    nl.add_gate(CellKind::Or2, &[s_term, d_term])
+                }
+                (Some(ac), None) => nl.add_gate(CellKind::And2, &[enc.single, ac]),
+                _ => unreachable!("a_cur is always present"),
+            };
+            pp.push(nl.add_gate(CellKind::Xor2, &[val, enc.neg]));
+        }
+
+        let base = 2 * k;
+        // Two's complement of the (m1+1)-bit digit value: value = U - s*2^(m1+1)
+        // where s is the sign bit pp[m1]. Using -s*2^(W+1) = ~s*2^(W+1) - 2^(W+1)
+        // with W = base + m1, the sign extension collapses to a single ~s bit
+        // plus a constant, instead of replicated sign bits.
+        for (j, &bit) in pp.iter().enumerate() {
+            if base + j < width {
+                push_bit(&mut columns, base + j, bit);
+            }
+        }
+        let ext_w = base + m1 + 1;
+        if ext_w < width {
+            let not_sign = nl.add_gate(CellKind::Inv, &[pp[m1]]);
+            push_bit(&mut columns, ext_w, not_sign);
+            constant = constant.wrapping_sub(1u128 << ext_w);
+        }
+        // The +neg LSB correction completes the two's complement negation.
+        if base < width {
+            push_bit(&mut columns, base, enc.neg);
+        }
+    }
+
+    constant &= (1u128 << width) - 1;
+    let one = nl.const_one();
+    for w in 0..width {
+        if (constant >> w) & 1 == 1 {
+            push_bit(&mut columns, w, one);
+        }
+    }
+
+    let (s, c) = wallace_reduce(&mut nl, columns, width);
+    let cin = nl.const_zero();
+    let (p, _cout) = cla_chain(&mut nl, &s, &c, cin);
+    nl.add_output_port("p", &p);
+    Ok(nl)
+}
+
+/// Booth digit control signals.
+struct BoothDigit {
+    /// Magnitude 1 selected.
+    single: NetId,
+    /// Magnitude 2 selected.
+    double: NetId,
+    /// Digit is negative.
+    neg: NetId,
+}
+
+/// Build the radix-4 Booth encoder for digit `k` of multiplier `b`.
+///
+/// The digit examines bits `b[2k+1], b[2k], b[2k-1]` (with `b[-1] = 0` and
+/// sign extension past the MSB) and encodes the value
+/// `-2·b[2k+1] + b[2k] + b[2k-1]` into one-hot-ish `single`/`double` plus a
+/// `neg` flag.
+fn booth_encoder(nl: &mut Netlist, b: &[NetId], k: usize, m2: usize) -> BoothDigit {
+    let bit = |nl: &mut Netlist, idx: isize| -> NetId {
+        if idx < 0 {
+            nl.const_zero()
+        } else if (idx as usize) < m2 {
+            b[idx as usize]
+        } else {
+            b[m2 - 1] // sign extension
+        }
+    };
+    let b_lo = bit(nl, 2 * k as isize - 1);
+    let b_mid = bit(nl, 2 * k as isize);
+    let b_hi = bit(nl, 2 * k as isize + 1);
+
+    // single = b_mid ^ b_lo                      (|digit| == 1)
+    // double = !single & (b_hi ^ b_mid)          (|digit| == 2)
+    // neg    = b_hi & !(b_mid & b_lo)            (digit < 0, and 0 for -0)
+    let single = nl.add_gate(CellKind::Xor2, &[b_mid, b_lo]);
+    let hi_xor_mid = nl.add_gate(CellKind::Xor2, &[b_hi, b_mid]);
+    let not_single = nl.add_gate(CellKind::Inv, &[single]);
+    let double = nl.add_gate(CellKind::And2, &[not_single, hi_xor_mid]);
+    let nand_mid_lo = nl.add_gate(CellKind::Nand2, &[b_mid, b_lo]);
+    let neg = nl.add_gate(CellKind::And2, &[b_hi, nand_mid_lo]);
+    BoothDigit {
+        single,
+        double,
+        neg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_for_various_widths() {
+        for (m1, m2) in [(2, 2), (3, 3), (4, 4), (5, 7), (8, 8), (12, 12)] {
+            booth_wallace_multiplier(m1, m2)
+                .unwrap()
+                .validate()
+                .expect("valid booth-wallace multiplier");
+        }
+    }
+
+    #[test]
+    fn fewer_gates_than_array_at_large_widths() {
+        // Booth halves the partial products; at 16x16 this outweighs the
+        // encoder overhead.
+        let booth = booth_wallace_multiplier(16, 16).unwrap().gate_count();
+        let array = crate::modules::csa_multiplier(16, 16).unwrap().gate_count();
+        assert!(
+            booth < array + array / 4,
+            "booth {booth} should not dwarf array {array}"
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_widths() {
+        assert!(booth_wallace_multiplier(1, 4).is_err());
+        assert!(booth_wallace_multiplier(4, 1).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Carry-lookahead adder generator (4-bit lookahead blocks, rippled between
+//! blocks).
+
+use crate::builder::and_tree;
+use crate::error::NetlistError;
+use crate::gate::CellKind;
+use crate::netlist::{NetId, Netlist};
+
+/// Generate an `m`-bit carry-lookahead adder.
+///
+/// The adder is organised as 4-bit lookahead blocks. Within a block, carries
+/// are computed in two gate levels from the generate/propagate signals
+/// (`c_{i+1} = g_i | p_i g_{i-1} | ... | p_i..p_0 c_0`); blocks are chained
+/// through their block carry-out. A trailing partial block covers widths
+/// that are not multiples of four.
+///
+/// Ports: inputs `a[m]`, `b[m]`; outputs `sum[m]`, `cout[1]`; carry-in tied
+/// to 0.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnsupportedWidth`] if `m == 0`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// let adder = hdpm_netlist::modules::cla_adder(12)?;
+/// assert_eq!(adder.input_bit_count(), 24);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cla_adder(m: usize) -> Result<Netlist, NetlistError> {
+    if m == 0 {
+        return Err(NetlistError::UnsupportedWidth {
+            module: "cla_adder",
+            width: m,
+            reason: "width must be at least 1",
+        });
+    }
+    let mut nl = Netlist::new(format!("cla_adder_{m}"));
+    let a = nl.add_input_port("a", m);
+    let b = nl.add_input_port("b", m);
+    let cin = nl.const_zero();
+    let (sum, cout) = cla_chain(&mut nl, &a, &b, cin);
+    nl.add_output_port("sum", &sum);
+    nl.add_output_port("cout", &[cout]);
+    Ok(nl)
+}
+
+/// Expand a carry-lookahead addition (4-bit blocks, rippled between blocks)
+/// over two equal-width operand vectors. Returns the sum bits (LSB first)
+/// and the final carry-out.
+///
+/// This is the same logic [`cla_adder`] wraps in a module; it is exposed so
+/// other generators (e.g. the Wallace-tree multiplier's final adder) can
+/// reuse it inside a larger netlist.
+///
+/// # Panics
+///
+/// Panics if `a.len() != b.len()` or the vectors are empty.
+pub fn cla_chain(
+    nl: &mut Netlist,
+    a: &[NetId],
+    b: &[NetId],
+    cin: NetId,
+) -> (Vec<NetId>, NetId) {
+    assert_eq!(a.len(), b.len(), "operand widths must match");
+    assert!(!a.is_empty(), "operands must be at least one bit wide");
+    let m = a.len();
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(m);
+    let mut lo = 0;
+    while lo < m {
+        let hi = (lo + 4).min(m);
+        let (block_sum, block_cout) = lookahead_block(nl, &a[lo..hi], &b[lo..hi], carry);
+        sum.extend(block_sum);
+        carry = block_cout;
+        lo = hi;
+    }
+    (sum, carry)
+}
+
+/// One lookahead block of up to 4 bits. Returns the sum bits and carry-out.
+fn lookahead_block(
+    nl: &mut Netlist,
+    a: &[NetId],
+    b: &[NetId],
+    cin: NetId,
+) -> (Vec<NetId>, NetId) {
+    let n = a.len();
+    debug_assert!((1..=4).contains(&n));
+
+    // Generate and propagate per bit.
+    let g: Vec<NetId> = a
+        .iter()
+        .zip(b)
+        .map(|(&ai, &bi)| nl.add_gate(CellKind::And2, &[ai, bi]))
+        .collect();
+    let p: Vec<NetId> = a
+        .iter()
+        .zip(b)
+        .map(|(&ai, &bi)| nl.add_gate(CellKind::Xor2, &[ai, bi]))
+        .collect();
+
+    // Carries: c[0] = cin; c[i+1] = g_i | p_i g_{i-1} | ... | p_i..p_0 cin.
+    let mut carries = Vec::with_capacity(n + 1);
+    carries.push(cin);
+    for i in 0..n {
+        // Terms of c_{i+1}: for each k in 0..=i, the product
+        // p_i p_{i-1} ... p_{k+1} g_k, plus the all-propagate term with cin.
+        let mut terms = Vec::with_capacity(i + 2);
+        for k in (0..=i).rev() {
+            let mut factors = vec![g[k]];
+            factors.extend(p[(k + 1)..=i].iter().copied());
+            terms.push(and_tree(nl, &factors));
+        }
+        let mut cin_factors = vec![cin];
+        cin_factors.extend(p[0..=i].iter().copied());
+        terms.push(and_tree(nl, &cin_factors));
+        let c_next = crate::builder::or_tree(nl, &terms);
+        carries.push(c_next);
+    }
+
+    let sum: Vec<NetId> = (0..n)
+        .map(|i| nl.add_gate(CellKind::Xor2, &[p[i], carries[i]]))
+        .collect();
+    (sum, carries[n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_for_various_widths() {
+        for m in [1, 3, 4, 5, 8, 12, 16, 17] {
+            cla_adder(m).unwrap().validate().expect("valid cla");
+        }
+    }
+
+    #[test]
+    fn has_more_gates_than_ripple() {
+        // Lookahead logic costs extra gates compared to a ripple chain.
+        let cla = cla_adder(16).unwrap().gate_count();
+        let rpl = crate::modules::ripple_adder(16).unwrap().gate_count();
+        assert!(cla > rpl, "cla {cla} vs ripple {rpl}");
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(cla_adder(0).is_err());
+    }
+
+    #[test]
+    fn scales_roughly_linearly() {
+        let g8 = cla_adder(8).unwrap().gate_count() as f64;
+        let g16 = cla_adder(16).unwrap().gate_count() as f64;
+        let ratio = g16 / g8;
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+    }
+}

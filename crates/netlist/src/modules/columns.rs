@@ -1,0 +1,243 @@
+//! Carry-save machinery shared by the multiplier generators.
+//!
+//! Partial-product bits are organised into *columns* by arithmetic weight.
+//! Two reduction disciplines are provided:
+//!
+//! * [`CarrySaveAccumulator`] — row-by-row carry-save addition, producing the
+//!   long sequential full-adder chains of a classical *array* (CSA)
+//!   multiplier;
+//! * [`wallace_reduce`] — parallel column compression with balanced depth, as
+//!   in a *Wallace tree* multiplier.
+//!
+//! The two produce the same Boolean function but very different glitch
+//! profiles under the unit-delay power simulation, which is exactly the
+//! structural difference the paper's module set probes.
+
+use crate::builder::{full_adder, half_adder};
+use crate::netlist::{NetId, Netlist};
+
+/// One addend bit at an absolute arithmetic weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightedBit {
+    /// Arithmetic weight: the bit contributes `2^weight`.
+    pub weight: usize,
+    /// The net carrying the bit.
+    pub net: NetId,
+}
+
+/// Row-by-row carry-save accumulator (the "array" discipline).
+///
+/// Holds at most one saved sum bit and one saved carry bit per weight; each
+/// [`CarrySaveAccumulator::add_row`] call merges a new addend row with one
+/// full-adder/half-adder per populated weight.
+#[derive(Debug, Clone, Default)]
+pub struct CarrySaveAccumulator {
+    sums: Vec<Option<NetId>>,
+    carries: Vec<Option<NetId>>,
+}
+
+impl CarrySaveAccumulator {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, weight: usize) {
+        if self.sums.len() <= weight + 1 {
+            self.sums.resize(weight + 2, None);
+            self.carries.resize(weight + 2, None);
+        }
+    }
+
+    /// Add one row of weighted bits (at most one bit per weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row contains two bits of equal weight.
+    pub fn add_row(&mut self, nl: &mut Netlist, row: &[WeightedBit]) {
+        let mut seen = Vec::new();
+        for bit in row {
+            assert!(
+                !seen.contains(&bit.weight),
+                "row has two bits at weight {}",
+                bit.weight
+            );
+            seen.push(bit.weight);
+            self.ensure(bit.weight);
+            let s = self.sums[bit.weight].take();
+            let c = self.carries[bit.weight].take();
+            match (s, c) {
+                (Some(s), Some(c)) => {
+                    let fa = full_adder(nl, s, c, bit.net);
+                    self.sums[bit.weight] = Some(fa.sum);
+                    self.place_carry(nl, bit.weight + 1, fa.carry);
+                }
+                (Some(x), None) | (None, Some(x)) => {
+                    let ha = half_adder(nl, x, bit.net);
+                    self.sums[bit.weight] = Some(ha.sum);
+                    self.place_carry(nl, bit.weight + 1, ha.carry);
+                }
+                (None, None) => {
+                    self.sums[bit.weight] = Some(bit.net);
+                }
+            }
+        }
+    }
+
+    /// Deposit a carry at `weight`, compressing on collision so the
+    /// one-pending-carry-per-weight invariant holds for arbitrary row shapes.
+    fn place_carry(&mut self, nl: &mut Netlist, weight: usize, carry: NetId) {
+        self.ensure(weight);
+        match self.carries[weight].take() {
+            None => self.carries[weight] = Some(carry),
+            Some(existing) => {
+                // Two carries of equal weight equal one sum bit of the same
+                // weight... no: c1 + c2 at weight w = HA -> sum at w, carry
+                // at w+1. Merge through a half adder.
+                let ha = half_adder(nl, existing, carry);
+                match self.sums[weight].take() {
+                    None => self.sums[weight] = Some(ha.sum),
+                    Some(s) => {
+                        let ha2 = half_adder(nl, s, ha.sum);
+                        self.sums[weight] = Some(ha2.sum);
+                        self.place_carry(nl, weight + 1, ha2.carry);
+                    }
+                }
+                self.place_carry(nl, weight + 1, ha.carry);
+            }
+        }
+    }
+
+    /// Resolve the accumulator into two aligned addend vectors `(s, c)` of
+    /// equal length starting at weight 0, padding holes with constant 0.
+    /// `s + c` equals the accumulated value.
+    pub fn into_vectors(self, nl: &mut Netlist, width: usize) -> (Vec<NetId>, Vec<NetId>) {
+        let mut s = Vec::with_capacity(width);
+        let mut c = Vec::with_capacity(width);
+        for w in 0..width {
+            let sb = self.sums.get(w).copied().flatten();
+            let cb = self.carries.get(w).copied().flatten();
+            s.push(sb.unwrap_or_else(|| nl.const_zero()));
+            c.push(cb.unwrap_or_else(|| nl.const_zero()));
+        }
+        (s, c)
+    }
+}
+
+/// Column stacks for Wallace-style reduction: `columns[w]` holds every bit
+/// of weight `w` awaiting compression.
+pub type Columns = Vec<Vec<NetId>>;
+
+/// Push a bit into the column stacks, growing them as needed.
+pub fn push_bit(columns: &mut Columns, weight: usize, net: NetId) {
+    if columns.len() <= weight {
+        columns.resize(weight + 1, Vec::new());
+    }
+    columns[weight].push(net);
+}
+
+/// Wallace-style parallel column compression: repeatedly compress every
+/// column with 3:2 (full adder) and 2:2 (half adder) counters until no
+/// column holds more than two bits. Returns two aligned addend vectors of
+/// length `width` (holes padded with constant 0) whose sum is the total.
+pub fn wallace_reduce(
+    nl: &mut Netlist,
+    mut columns: Columns,
+    width: usize,
+) -> (Vec<NetId>, Vec<NetId>) {
+    if columns.len() < width {
+        columns.resize(width, Vec::new());
+    }
+    while columns.iter().any(|c| c.len() > 2) {
+        let mut next: Columns = vec![Vec::new(); columns.len() + 1];
+        for (w, col) in columns.iter().enumerate() {
+            let mut i = 0;
+            while col.len() - i >= 3 {
+                let fa = full_adder(nl, col[i], col[i + 1], col[i + 2]);
+                next[w].push(fa.sum);
+                next[w + 1].push(fa.carry);
+                i += 3;
+            }
+            if col.len() - i == 2 {
+                let ha = half_adder(nl, col[i], col[i + 1]);
+                next[w].push(ha.sum);
+                next[w + 1].push(ha.carry);
+            } else if col.len() - i == 1 {
+                next[w].push(col[i]);
+            }
+        }
+        // Drop overflow columns beyond the requested product width: their
+        // bits have weight >= 2^width and vanish modulo 2^width.
+        next.truncate(width.max(1));
+        columns = next;
+    }
+    let zero = nl.const_zero();
+    let mut a = vec![zero; width];
+    let mut b = vec![zero; width];
+    for (w, col) in columns.iter().enumerate().take(width) {
+        if let Some(&bit) = col.first() {
+            a[w] = bit;
+        }
+        if let Some(&bit) = col.get(1) {
+            b[w] = bit;
+        }
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_handles_disjoint_rows() {
+        let mut nl = Netlist::new("t");
+        let x = nl.add_input_port("x", 4);
+        let mut acc = CarrySaveAccumulator::new();
+        acc.add_row(
+            &mut nl,
+            &[
+                WeightedBit { weight: 0, net: x[0] },
+                WeightedBit { weight: 1, net: x[1] },
+            ],
+        );
+        acc.add_row(
+            &mut nl,
+            &[
+                WeightedBit { weight: 1, net: x[2] },
+                WeightedBit { weight: 2, net: x[3] },
+            ],
+        );
+        let (s, c) = acc.into_vectors(&mut nl, 4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "two bits at weight")]
+    fn accumulator_rejects_duplicate_weight_in_row() {
+        let mut nl = Netlist::new("t");
+        let x = nl.add_input_port("x", 2);
+        let mut acc = CarrySaveAccumulator::new();
+        acc.add_row(
+            &mut nl,
+            &[
+                WeightedBit { weight: 0, net: x[0] },
+                WeightedBit { weight: 0, net: x[1] },
+            ],
+        );
+    }
+
+    #[test]
+    fn wallace_reduces_to_two_rows() {
+        let mut nl = Netlist::new("t");
+        let x = nl.add_input_port("x", 9);
+        let mut cols: Columns = Vec::new();
+        for (i, &net) in x.iter().enumerate() {
+            push_bit(&mut cols, i % 3, net);
+        }
+        let (a, b) = wallace_reduce(&mut nl, cols, 6);
+        assert_eq!(a.len(), 6);
+        assert_eq!(b.len(), 6);
+    }
+}

@@ -1,0 +1,238 @@
+//! Carry-save-array (CSA) multiplier generators.
+//!
+//! The array multiplier accumulates one partial-product row at a time with a
+//! row of carry-save adders and resolves the final sum/carry pair with a
+//! ripple-carry adder — the structure of the paper's Figure 3, whose
+//! multiplication array scales with `m1·m2` and whose adder part scales
+//! linearly, motivating the quadratic regression of eq. 7/8.
+
+use crate::builder::ripple_chain;
+use crate::error::NetlistError;
+use crate::gate::CellKind;
+use crate::modules::columns::{CarrySaveAccumulator, WeightedBit};
+use crate::netlist::Netlist;
+
+/// Generate an unsigned `m1 × m2`-bit carry-save-array multiplier.
+///
+/// Ports: inputs `a[m1]`, `b[m2]`; output `p[m1+m2]`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnsupportedWidth`] if either width is zero.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// let mul = hdpm_netlist::modules::csa_multiplier_unsigned(4, 4)?;
+/// assert_eq!(mul.input_bit_count(), 8);
+/// assert_eq!(mul.output_bit_count(), 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn csa_multiplier_unsigned(m1: usize, m2: usize) -> Result<Netlist, NetlistError> {
+    check_widths("csa_multiplier_unsigned", m1, m2)?;
+    let mut nl = Netlist::new(format!("csa_mul_u_{m1}x{m2}"));
+    let a = nl.add_input_port("a", m1);
+    let b = nl.add_input_port("b", m2);
+    let width = m1 + m2;
+
+    let mut acc = CarrySaveAccumulator::new();
+    for (i, &bi) in b.iter().enumerate() {
+        let row: Vec<WeightedBit> = a
+            .iter()
+            .enumerate()
+            .map(|(j, &aj)| WeightedBit {
+                weight: i + j,
+                net: nl.add_gate(CellKind::And2, &[aj, bi]),
+            })
+            .collect();
+        acc.add_row(&mut nl, &row);
+    }
+    let (s, c) = acc.into_vectors(&mut nl, width);
+    let cin = nl.const_zero();
+    let (p, _cout) = ripple_chain(&mut nl, &s, &c, cin);
+    nl.add_output_port("p", &p);
+    Ok(nl)
+}
+
+/// Generate a signed (two's-complement) `m1 × m2`-bit carry-save-array
+/// multiplier using the Baugh-Wooley scheme.
+///
+/// Partial products involving exactly one operand MSB are complemented
+/// (NAND instead of AND) and constant correction ones are injected at
+/// columns `m1-1`, `m2-1` and `m1+m2-1`; the corner MSB×MSB term stays
+/// positive. The result is exact two's-complement multiplication over the
+/// full `m1+m2`-bit product range.
+///
+/// Ports: inputs `a[m1]`, `b[m2]`; output `p[m1+m2]`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnsupportedWidth`] if either width is below 2
+/// (a 1-bit two's-complement operand can only express 0 and -1; the
+/// Baugh-Wooley identities still require a distinct sign position).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// let mul = hdpm_netlist::modules::csa_multiplier(8, 8)?;
+/// assert_eq!(mul.input_bit_count(), 16);
+/// # Ok(())
+/// # }
+/// ```
+pub fn csa_multiplier(m1: usize, m2: usize) -> Result<Netlist, NetlistError> {
+    if m1 < 2 {
+        return Err(NetlistError::UnsupportedWidth {
+            module: "csa_multiplier",
+            width: m1,
+            reason: "signed operands need at least 2 bits",
+        });
+    }
+    if m2 < 2 {
+        return Err(NetlistError::UnsupportedWidth {
+            module: "csa_multiplier",
+            width: m2,
+            reason: "signed operands need at least 2 bits",
+        });
+    }
+    let mut nl = Netlist::new(format!("csa_mul_{m1}x{m2}"));
+    let a = nl.add_input_port("a", m1);
+    let b = nl.add_input_port("b", m2);
+    let p = baugh_wooley_core(&mut nl, &a, &b);
+    nl.add_output_port("p", &p);
+    Ok(nl)
+}
+
+/// Expand the signed Baugh-Wooley carry-save array over existing operand
+/// nets and return the `a.len() + b.len()` product bits — the multiplier
+/// core shared by [`csa_multiplier`] and the multiply-accumulate module.
+///
+/// # Panics
+///
+/// Panics if either operand has fewer than 2 bits.
+pub(crate) fn baugh_wooley_core(
+    nl: &mut Netlist,
+    a: &[crate::netlist::NetId],
+    b: &[crate::netlist::NetId],
+) -> Vec<crate::netlist::NetId> {
+    let (m1, m2) = (a.len(), b.len());
+    assert!(m1 >= 2 && m2 >= 2, "signed operands need at least 2 bits");
+    let width = m1 + m2;
+
+    let mut acc = CarrySaveAccumulator::new();
+    for (i, &bi) in b.iter().enumerate() {
+        let row: Vec<WeightedBit> = a
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| i + j < width)
+            .map(|(j, &aj)| {
+                // Exactly one MSB involved -> complemented partial product.
+                let msb_a = j == m1 - 1;
+                let msb_b = i == m2 - 1;
+                let kind = if msb_a ^ msb_b {
+                    CellKind::Nand2
+                } else {
+                    CellKind::And2
+                };
+                WeightedBit {
+                    weight: i + j,
+                    net: nl.add_gate(kind, &[aj, bi]),
+                }
+            })
+            .collect();
+        acc.add_row(nl, &row);
+    }
+
+    // Baugh-Wooley correction constants: +2^(m1-1) + 2^(m2-1) + 2^(m1+m2-1),
+    // folded modulo 2^(m1+m2). Coincident weights (m1 == m2) combine
+    // arithmetically before injection.
+    let mut constant: u128 = 0;
+    for w in [m1 - 1, m2 - 1, width - 1] {
+        constant = constant.wrapping_add(1u128 << w);
+    }
+    constant &= (1u128 << width) - 1;
+    let one = nl.const_one();
+    let const_row: Vec<WeightedBit> = (0..width)
+        .filter(|w| (constant >> w) & 1 == 1)
+        .map(|w| WeightedBit { weight: w, net: one })
+        .collect();
+    if !const_row.is_empty() {
+        acc.add_row(nl, &const_row);
+    }
+
+    let (s, c) = acc.into_vectors(nl, width);
+    let cin = nl.const_zero();
+    let (p, _cout) = ripple_chain(nl, &s, &c, cin);
+    p
+}
+
+fn check_widths(module: &'static str, m1: usize, m2: usize) -> Result<(), NetlistError> {
+    if m1 == 0 {
+        return Err(NetlistError::UnsupportedWidth {
+            module,
+            width: m1,
+            reason: "width must be at least 1",
+        });
+    }
+    if m2 == 0 {
+        return Err(NetlistError::UnsupportedWidth {
+            module,
+            width: m2,
+            reason: "width must be at least 1",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_validates() {
+        for (m1, m2) in [(1, 1), (2, 3), (4, 4), (6, 4), (8, 8)] {
+            csa_multiplier_unsigned(m1, m2)
+                .unwrap()
+                .validate()
+                .expect("valid unsigned csa multiplier");
+        }
+    }
+
+    #[test]
+    fn signed_validates() {
+        for (m1, m2) in [(2, 2), (3, 5), (4, 4), (6, 4), (8, 8), (12, 12)] {
+            csa_multiplier(m1, m2)
+                .unwrap()
+                .validate()
+                .expect("valid signed csa multiplier");
+        }
+    }
+
+    #[test]
+    fn gate_count_scales_quadratically() {
+        let g4 = csa_multiplier(4, 4).unwrap().gate_count() as f64;
+        let g8 = csa_multiplier(8, 8).unwrap().gate_count() as f64;
+        let g16 = csa_multiplier(16, 16).unwrap().gate_count() as f64;
+        // Doubling the width should roughly quadruple the array.
+        assert!((3.0..5.0).contains(&(g8 / g4)), "g8/g4 = {}", g8 / g4);
+        assert!((3.0..5.0).contains(&(g16 / g8)), "g16/g8 = {}", g16 / g8);
+    }
+
+    #[test]
+    fn rectangular_structure_differs_from_square() {
+        // The paper's Figure 3 contrasts 4x4 against 6x4.
+        let sq = csa_multiplier(4, 4).unwrap().gate_count();
+        let rect = csa_multiplier(6, 4).unwrap().gate_count();
+        assert!(rect > sq);
+    }
+
+    #[test]
+    fn rejects_degenerate_widths() {
+        assert!(csa_multiplier(1, 4).is_err());
+        assert!(csa_multiplier(4, 1).is_err());
+        assert!(csa_multiplier_unsigned(0, 4).is_err());
+        assert!(csa_multiplier_unsigned(4, 0).is_err());
+    }
+}

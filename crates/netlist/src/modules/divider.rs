@@ -1,0 +1,115 @@
+//! Restoring array divider generator.
+//!
+//! The classical restoring division array: one conditional-subtract stage
+//! per quotient bit, each built from a ripple subtractor and a mux row.
+//! Depth and area both scale with `m²` — another distinct complexity
+//! profile for the regression experiments, and the deepest combinational
+//! module of the catalogue (a stress case for the unit-delay simulator).
+
+use crate::builder::mux_vec;
+use crate::error::NetlistError;
+use crate::gate::CellKind;
+use crate::netlist::{NetId, Netlist};
+
+/// Generate an `m`-bit unsigned restoring divider.
+///
+/// Computes `q = x / d` and `r = x % d` for unsigned operands. For the
+/// degenerate divisor `d = 0` the array produces `q = 2^m − 1` and
+/// `r = x` (no stage ever restores), the conventional behaviour of this
+/// structure.
+///
+/// Ports: inputs `x[m]` (dividend), `d[m]` (divisor); outputs `q[m]`,
+/// `r[m]`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnsupportedWidth`] if `m == 0`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// let div = hdpm_netlist::modules::divider(8)?;
+/// assert_eq!(div.input_bit_count(), 16);
+/// assert_eq!(div.output_bit_count(), 16);
+/// # Ok(())
+/// # }
+/// ```
+pub fn divider(m: usize) -> Result<Netlist, NetlistError> {
+    if m == 0 {
+        return Err(NetlistError::UnsupportedWidth {
+            module: "divider",
+            width: m,
+            reason: "width must be at least 1",
+        });
+    }
+    let mut nl = Netlist::new(format!("divider_{m}"));
+    let x = nl.add_input_port("x", m);
+    let d = nl.add_input_port("d", m);
+    let zero = nl.const_zero();
+
+    // Partial remainder, m+1 bits so the trial subtraction's borrow-out is
+    // the quotient decision.
+    let mut remainder: Vec<NetId> = vec![zero; m + 1];
+    let mut quotient = vec![zero; m];
+
+    // Divisor extended to m+1 bits.
+    let mut d_ext = d.clone();
+    d_ext.push(zero);
+
+    for i in (0..m).rev() {
+        // Shift in the next dividend bit: R = (R << 1) | x_i.
+        let mut shifted = Vec::with_capacity(m + 1);
+        shifted.push(x[i]);
+        shifted.extend_from_slice(&remainder[..m]);
+
+        // Trial subtraction S = shifted - d_ext via ripple borrow:
+        // s_k = a ^ b ^ borrow_in; borrow_out = (!a & b) | (!(a ^ b) & borrow_in).
+        let mut borrow = zero;
+        let mut trial = Vec::with_capacity(m + 1);
+        for k in 0..=m {
+            let (a, b) = (shifted[k], d_ext[k]);
+            let axb = nl.add_gate(CellKind::Xor2, &[a, b]);
+            let s = nl.add_gate(CellKind::Xor2, &[axb, borrow]);
+            let not_a = nl.add_gate(CellKind::Inv, &[a]);
+            let t1 = nl.add_gate(CellKind::And2, &[not_a, b]);
+            let nxab = nl.add_gate(CellKind::Inv, &[axb]);
+            let t2 = nl.add_gate(CellKind::And2, &[nxab, borrow]);
+            borrow = nl.add_gate(CellKind::Or2, &[t1, t2]);
+            trial.push(s);
+        }
+
+        // No final borrow -> the subtraction fits: keep it and set q_i.
+        let fits = nl.add_gate(CellKind::Inv, &[borrow]);
+        quotient[i] = fits;
+        remainder = mux_vec(&mut nl, &shifted, &trial, fits);
+    }
+
+    nl.add_output_port("q", &quotient);
+    nl.add_output_port("r", &remainder[..m]);
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_across_widths() {
+        for m in [1, 2, 4, 8, 12] {
+            divider(m).unwrap().validate().expect("valid divider");
+        }
+    }
+
+    #[test]
+    fn area_scales_quadratically() {
+        let g4 = divider(4).unwrap().gate_count() as f64;
+        let g8 = divider(8).unwrap().gate_count() as f64;
+        assert!((3.0..5.0).contains(&(g8 / g4)), "ratio {}", g8 / g4);
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(divider(0).is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! Galois-field multiplier generator — the "field multiplier" of the
+//! paper's Figure 6.
+//!
+//! A GF(2^m) multiplier forms the AND partial-product array of an integer
+//! multiplier but reduces it with pure XOR trees (carry-free addition)
+//! followed by the modular reduction by a fixed irreducible polynomial.
+//! Because XOR logic never masks a toggle the way carry logic does, its
+//! power rises steeply (convexly) with the number of switching inputs —
+//! the non-linear coefficient curve that makes the Hd *distribution*
+//! visibly more accurate than the Hd *average* (§6.2/Fig. 6).
+
+use crate::error::NetlistError;
+use crate::gate::CellKind;
+use crate::netlist::{NetId, Netlist};
+
+/// Default irreducible polynomials per field degree `m` (2..=16), given as
+/// the tap mask of the low terms (the implicit `x^m` is not stored).
+/// E.g. GF(2^8) uses `x^8 + x^4 + x^3 + x + 1` → mask `0b0001_1011`.
+pub fn default_polynomial(m: usize) -> Option<u64> {
+    let taps: u64 = match m {
+        2 => 0b111,
+        3 => 0b1011,
+        4 => 0b1_0011,
+        5 => 0b10_0101,
+        6 => 0b100_0011,
+        7 => 0b1000_0011,
+        8 => 0b1_0001_1011,
+        9 => 0b10_0001_0001,
+        10 => 0b100_0000_1001,
+        11 => 0b1000_0000_0101,
+        12 => 0b1_0000_0101_0011,
+        13 => 0b10_0000_0001_1011,
+        14 => 0b100_0100_0100_0011,
+        15 => 0b1000_0000_0000_0011,
+        16 => 0b1_0001_0000_0000_1011,
+        _ => return None,
+    };
+    Some(taps & !(1 << m)) // strip the leading x^m term
+}
+
+/// Software reference: multiply two GF(2^m) elements under the reduction
+/// polynomial `poly` (low-term mask, without the `x^m` term).
+///
+/// # Panics
+///
+/// Panics if `m` is 0 or greater than 32.
+pub fn gf_mul_reference(a: u64, b: u64, m: usize, poly: u64) -> u64 {
+    assert!((1..=32).contains(&m), "field degree {m} out of range");
+    let mask = (1u64 << m) - 1;
+    let (a, b) = (a & mask, b & mask);
+    // Carry-less multiply.
+    let mut product: u128 = 0;
+    for i in 0..m {
+        if (b >> i) & 1 == 1 {
+            product ^= (a as u128) << i;
+        }
+    }
+    // Modular reduction.
+    for bit in (m..2 * m).rev() {
+        if (product >> bit) & 1 == 1 {
+            product ^= 1u128 << bit;
+            product ^= (poly as u128) << (bit - m);
+        }
+    }
+    (product as u64) & mask
+}
+
+/// Generate a GF(2^m) field multiplier over the default irreducible
+/// polynomial for the degree (see [`default_polynomial`]).
+///
+/// Ports: inputs `a[m]`, `b[m]`; output `p[m]`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnsupportedWidth`] if no default polynomial is
+/// tabulated for `m` (supported: 2..=16).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// let mul = hdpm_netlist::modules::gf_multiplier(8)?;
+/// assert_eq!(mul.input_bit_count(), 16);
+/// assert_eq!(mul.output_bit_count(), 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gf_multiplier(m: usize) -> Result<Netlist, NetlistError> {
+    let poly = default_polynomial(m).ok_or(NetlistError::UnsupportedWidth {
+        module: "gf_multiplier",
+        width: m,
+        reason: "no tabulated irreducible polynomial (supported degrees: 2..=16)",
+    })?;
+    let mut nl = Netlist::new(format!("gf_mul_{m}"));
+    let a = nl.add_input_port("a", m);
+    let b = nl.add_input_port("b", m);
+
+    // Carry-less partial-product columns: column w holds a_j & b_i for
+    // i + j == w.
+    let mut columns: Vec<Vec<NetId>> = vec![Vec::new(); 2 * m - 1];
+    for (i, &bi) in b.iter().enumerate() {
+        for (j, &aj) in a.iter().enumerate() {
+            columns[i + j].push(nl.add_gate(CellKind::And2, &[aj, bi]));
+        }
+    }
+
+    // Column XOR compression (tree of XOR2 via the half-adder sum path
+    // without keeping the carries — GF addition is carry-free).
+    let c: Vec<NetId> = columns
+        .iter()
+        .map(|col| xor_tree(&mut nl, col))
+        .collect();
+
+    // Reduction: x^i mod p(x) for i >= m folds the high column bits back
+    // into the low columns. Precompute the reduction masks in software.
+    let mut residue = vec![0u64; 2 * m - 1];
+    for (i, r) in residue.iter_mut().enumerate().take(m) {
+        *r = 1 << i;
+    }
+    for i in m..2 * m - 1 {
+        // residue(x^i) = residue(x^(i-1)) * x mod p(x)
+        let prev = residue[i - 1];
+        let shifted = prev << 1;
+        residue[i] = if shifted >> m & 1 == 1 {
+            (shifted ^ (1 << m)) ^ poly
+        } else {
+            shifted
+        } & ((1 << m) - 1);
+    }
+
+    let mut out = Vec::with_capacity(m);
+    for j in 0..m {
+        let contributors: Vec<NetId> = (0..2 * m - 1)
+            .filter(|&i| (residue[i] >> j) & 1 == 1)
+            .map(|i| c[i])
+            .collect();
+        out.push(xor_tree(&mut nl, &contributors));
+    }
+
+    nl.add_output_port("p", &out);
+    Ok(nl)
+}
+
+/// Balanced XOR reduction of arbitrarily many nets (constant 0 for none).
+fn xor_tree(nl: &mut Netlist, nets: &[NetId]) -> NetId {
+    match nets.len() {
+        0 => nl.const_zero(),
+        1 => nets[0],
+        _ => {
+            let mut level = nets.to_vec();
+            while level.len() > 1 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                for pair in level.chunks(2) {
+                    next.push(if pair.len() == 2 {
+                        nl.add_gate(CellKind::Xor2, pair)
+                    } else {
+                        pair[0]
+                    });
+                }
+                level = next;
+            }
+            level[0]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_for_supported_degrees() {
+        for m in 2..=16 {
+            gf_multiplier(m).unwrap().validate().expect("valid gf multiplier");
+        }
+        assert!(gf_multiplier(17).is_err());
+        assert!(gf_multiplier(1).is_err());
+    }
+
+    #[test]
+    fn reference_agrees_with_known_aes_values() {
+        // AES field: 0x57 * 0x83 = 0xC1 (FIPS-197 example).
+        let poly = default_polynomial(8).unwrap();
+        assert_eq!(gf_mul_reference(0x57, 0x83, 8, poly), 0xC1);
+        // Multiplication by 1 is identity.
+        assert_eq!(gf_mul_reference(0xAB, 1, 8, poly), 0xAB);
+        // Multiplication by 0 annihilates.
+        assert_eq!(gf_mul_reference(0xAB, 0, 8, poly), 0);
+    }
+
+    #[test]
+    fn area_scales_quadratically() {
+        let g4 = gf_multiplier(4).unwrap().gate_count() as f64;
+        let g8 = gf_multiplier(8).unwrap().gate_count() as f64;
+        assert!((3.0..5.5).contains(&(g8 / g4)), "ratio {}", g8 / g4);
+    }
+}

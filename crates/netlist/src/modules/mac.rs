@@ -1,0 +1,106 @@
+//! Multiply-accumulate (MAC) generator — the suite's sequential datapath
+//! module.
+//!
+//! `acc[t+1] = acc[t] + a[t]·b[t]` over a signed Baugh-Wooley multiplier
+//! core, a ripple accumulator adder with guard bits, and a register bank.
+//! The paper's macro-model assumes combinational modules whose charge is a
+//! function of the input transition alone; a MAC violates that premise
+//! (charge also depends on the accumulator state), which makes it the
+//! natural probe for the model's scope — see the `abl_sequential`
+//! experiment.
+
+use crate::builder::ripple_chain;
+use crate::error::NetlistError;
+use crate::modules::csa::baugh_wooley_core;
+use crate::netlist::Netlist;
+
+/// Guard bits added on top of the full product width, so short bursts do
+/// not overflow the accumulator.
+pub const MAC_GUARD_BITS: usize = 4;
+
+/// Generate a signed `m × m`-bit multiply-accumulate unit with a
+/// `2m + 4`-bit accumulator.
+///
+/// Ports: inputs `a[m]`, `b[m]`; output `acc[2m+4]` (the register bank).
+/// On every applied pattern the register first captures the previous
+/// cycle's `acc + a·b`, then the new operands propagate — so after `n`
+/// applied patterns the output holds the wrapped sum of the first `n − 1`
+/// products.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnsupportedWidth`] if `m < 2`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// let mac = hdpm_netlist::modules::mac(4)?;
+/// assert!(mac.is_sequential());
+/// assert_eq!(mac.register_count(), 12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mac(m: usize) -> Result<Netlist, NetlistError> {
+    if m < 2 {
+        return Err(NetlistError::UnsupportedWidth {
+            module: "mac",
+            width: m,
+            reason: "signed operands need at least 2 bits",
+        });
+    }
+    let acc_width = 2 * m + MAC_GUARD_BITS;
+    let mut nl = Netlist::new(format!("mac_{m}"));
+    let a = nl.add_input_port("a", m);
+    let b = nl.add_input_port("b", m);
+
+    // Multiplier core: 2m-bit signed product.
+    let product = baugh_wooley_core(&mut nl, &a, &b);
+
+    // Sign-extend the product to the accumulator width by reusing its MSB
+    // net on the upper adder inputs.
+    let sign = product[2 * m - 1];
+    let mut p_ext = product;
+    p_ext.extend(std::iter::repeat_n(sign, MAC_GUARD_BITS));
+
+    // Accumulator feedback: allocate the register outputs first, then the
+    // adder computing the next state, then bind the registers.
+    let q: Vec<_> = (0..acc_width).map(|_| nl.add_net()).collect();
+    let cin = nl.const_zero();
+    let (next, _cout) = ripple_chain(&mut nl, &p_ext, &q, cin);
+    for (&d, &qn) in next.iter().zip(&q) {
+        nl.bind_register(d, qn);
+    }
+
+    nl.add_output_port("acc", &q);
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_and_counts_registers() {
+        for m in [2, 4, 8] {
+            let nl = mac(m).unwrap();
+            assert_eq!(nl.register_count(), 2 * m + MAC_GUARD_BITS);
+            assert!(nl.is_sequential());
+            nl.validate().expect("valid mac");
+        }
+    }
+
+    #[test]
+    fn feedback_loop_is_broken_by_registers() {
+        // The accumulator adder reads the register outputs that its own
+        // outputs feed — only legal because registers break the cycle.
+        let nl = mac(4).unwrap();
+        let v = nl.validate().expect("registers break the loop");
+        assert_eq!(v.topo_order().len(), v.netlist().gate_count());
+    }
+
+    #[test]
+    fn rejects_degenerate_width() {
+        assert!(mac(1).is_err());
+    }
+}

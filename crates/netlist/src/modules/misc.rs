@@ -1,0 +1,132 @@
+//! Additional small datapath generators: incrementer, subtractor,
+//! comparator. These round out the library the way a DesignWare-style
+//! catalogue would, and give the test suite and the optimizer extra module
+//! families with distinct complexity profiles.
+
+use crate::builder::{conditional_increment, full_adder, or_tree, xor_with};
+use crate::error::NetlistError;
+use crate::gate::CellKind;
+use crate::netlist::Netlist;
+
+/// Generate an `m`-bit incrementer: `y = x + 1` (wrapping).
+///
+/// Ports: input `x[m]`; outputs `y[m]`, `cout[1]`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnsupportedWidth`] if `m == 0`.
+pub fn incrementer(m: usize) -> Result<Netlist, NetlistError> {
+    if m == 0 {
+        return Err(NetlistError::UnsupportedWidth {
+            module: "incrementer",
+            width: m,
+            reason: "width must be at least 1",
+        });
+    }
+    let mut nl = Netlist::new(format!("incrementer_{m}"));
+    let x = nl.add_input_port("x", m);
+    let one = nl.const_one();
+    let (y, cout) = conditional_increment(&mut nl, &x, one);
+    nl.add_output_port("y", &y);
+    nl.add_output_port("cout", &[cout]);
+    Ok(nl)
+}
+
+/// Generate an `m`-bit two's-complement subtractor: `d = a - b` (wrapping).
+///
+/// Implemented as `a + ~b + 1` with a ripple chain of full adders.
+///
+/// Ports: inputs `a[m]`, `b[m]`; outputs `d[m]`, `cout[1]` (the borrow-free
+/// flag for unsigned interpretation).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnsupportedWidth`] if `m == 0`.
+pub fn subtractor(m: usize) -> Result<Netlist, NetlistError> {
+    if m == 0 {
+        return Err(NetlistError::UnsupportedWidth {
+            module: "subtractor",
+            width: m,
+            reason: "width must be at least 1",
+        });
+    }
+    let mut nl = Netlist::new(format!("subtractor_{m}"));
+    let a = nl.add_input_port("a", m);
+    let b = nl.add_input_port("b", m);
+    let one = nl.const_one();
+    let not_b = xor_with(&mut nl, &b, one);
+    let mut carry = one;
+    let mut d = Vec::with_capacity(m);
+    for (&ai, &nbi) in a.iter().zip(&not_b) {
+        let bit = full_adder(&mut nl, ai, nbi, carry);
+        d.push(bit.sum);
+        carry = bit.carry;
+    }
+    nl.add_output_port("d", &d);
+    nl.add_output_port("cout", &[carry]);
+    Ok(nl)
+}
+
+/// Generate an `m`-bit equality/magnitude comparator for unsigned operands.
+///
+/// Ports: inputs `a[m]`, `b[m]`; outputs `eq[1]`, `gt[1]` (`a > b`).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnsupportedWidth`] if `m == 0`.
+pub fn comparator(m: usize) -> Result<Netlist, NetlistError> {
+    if m == 0 {
+        return Err(NetlistError::UnsupportedWidth {
+            module: "comparator",
+            width: m,
+            reason: "width must be at least 1",
+        });
+    }
+    let mut nl = Netlist::new(format!("comparator_{m}"));
+    let a = nl.add_input_port("a", m);
+    let b = nl.add_input_port("b", m);
+
+    // Per-bit equality, then prefix products from the MSB down:
+    // gt = OR_i ( a_i & !b_i & AND_{j>i} eq_j ).
+    let eq_bits: Vec<_> = a
+        .iter()
+        .zip(&b)
+        .map(|(&ai, &bi)| nl.add_gate(CellKind::Xnor2, &[ai, bi]))
+        .collect();
+    let eq = crate::builder::and_tree(&mut nl, &eq_bits);
+
+    let mut gt_terms = Vec::with_capacity(m);
+    for i in (0..m).rev() {
+        let not_b = nl.add_gate(CellKind::Inv, &[b[i]]);
+        let local = nl.add_gate(CellKind::And2, &[a[i], not_b]);
+        let mut factors = vec![local];
+        factors.extend(eq_bits[(i + 1)..].iter().copied());
+        gt_terms.push(crate::builder::and_tree(&mut nl, &factors));
+    }
+    let gt = or_tree(&mut nl, &gt_terms);
+
+    nl.add_output_port("eq", &[eq]);
+    nl.add_output_port("gt", &[gt]);
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_validate() {
+        for m in [1, 2, 5, 8, 16] {
+            incrementer(m).unwrap().validate().expect("incrementer");
+            subtractor(m).unwrap().validate().expect("subtractor");
+            comparator(m).unwrap().validate().expect("comparator");
+        }
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(incrementer(0).is_err());
+        assert!(subtractor(0).is_err());
+        assert!(comparator(0).is_err());
+    }
+}

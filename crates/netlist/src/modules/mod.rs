@@ -1,0 +1,32 @@
+//! Parameterizable gate-level generators for the datapath module families of
+//! the paper's evaluation (§4.2, Table 1) plus a few extra catalogue
+//! entries.
+//!
+//! Every generator returns a plain [`crate::Netlist`]; call
+//! [`crate::Netlist::validate`] to obtain a simulatable
+//! [`crate::ValidatedNetlist`].
+
+mod absval;
+mod booth;
+mod cla;
+pub(crate) mod columns;
+mod csa;
+mod divider;
+mod gf;
+mod mac;
+mod misc;
+mod ripple;
+mod select;
+mod shifter;
+
+pub use absval::absval;
+pub use booth::booth_wallace_multiplier;
+pub use cla::{cla_adder, cla_chain};
+pub use csa::{csa_multiplier, csa_multiplier_unsigned};
+pub use divider::divider;
+pub use gf::{default_polynomial, gf_mul_reference, gf_multiplier};
+pub use mac::{mac, MAC_GUARD_BITS};
+pub use misc::{comparator, incrementer, subtractor};
+pub use ripple::ripple_adder;
+pub use select::{carry_select_adder, carry_skip_adder};
+pub use shifter::{barrel_shifter, shift_amount_bits};

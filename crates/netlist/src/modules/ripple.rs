@@ -1,0 +1,75 @@
+//! Ripple-carry adder generator.
+
+use crate::builder::ripple_chain;
+use crate::error::NetlistError;
+use crate::netlist::Netlist;
+
+/// Generate an `m`-bit ripple-carry adder.
+///
+/// Ports: inputs `a[m]`, `b[m]`; outputs `sum[m]`, `cout[1]`. The carry-in
+/// is tied to constant 0 so that the module input vector is exactly the two
+/// operands, as assumed by the paper's characterization setup.
+///
+/// Complexity scales linearly in `m` (one full adder per bit), which is the
+/// property §5 of the paper exploits with a linear regression for `p_i[m]`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnsupportedWidth`] if `m == 0`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// let adder = hdpm_netlist::modules::ripple_adder(8)?;
+/// assert_eq!(adder.input_bit_count(), 16);
+/// assert_eq!(adder.gate_count(), 8 * 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ripple_adder(m: usize) -> Result<Netlist, NetlistError> {
+    if m == 0 {
+        return Err(NetlistError::UnsupportedWidth {
+            module: "ripple_adder",
+            width: m,
+            reason: "width must be at least 1",
+        });
+    }
+    let mut nl = Netlist::new(format!("ripple_adder_{m}"));
+    let a = nl.add_input_port("a", m);
+    let b = nl.add_input_port("b", m);
+    let cin = nl.const_zero();
+    let (sum, cout) = ripple_chain(&mut nl, &a, &b, cin);
+    nl.add_output_port("sum", &sum);
+    nl.add_output_port("cout", &[cout]);
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_count_is_linear() {
+        let g4 = ripple_adder(4).unwrap().gate_count();
+        let g8 = ripple_adder(8).unwrap().gate_count();
+        let g16 = ripple_adder(16).unwrap().gate_count();
+        assert_eq!(g8, 2 * g4);
+        assert_eq!(g16, 2 * g8);
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(matches!(
+            ripple_adder(0),
+            Err(NetlistError::UnsupportedWidth { .. })
+        ));
+    }
+
+    #[test]
+    fn validates() {
+        for m in [1, 2, 7, 16] {
+            ripple_adder(m).unwrap().validate().expect("acyclic, driven");
+        }
+    }
+}

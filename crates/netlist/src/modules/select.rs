@@ -1,0 +1,164 @@
+//! Carry-select and carry-skip adder generators — additional adder
+//! implementations with the same function as the ripple/CLA adders but
+//! different structure, glitch profile and complexity constants. They
+//! widen the module catalogue for regression and binding experiments.
+
+use crate::builder::{and_tree, mux_vec, ripple_chain};
+use crate::error::NetlistError;
+use crate::gate::CellKind;
+use crate::netlist::Netlist;
+
+/// Block size of the select/skip structures.
+const BLOCK: usize = 4;
+
+/// Generate an `m`-bit carry-select adder.
+///
+/// Bits are grouped into 4-bit blocks. Every block beyond the first
+/// computes two speculative ripple sums (carry-in 0 and carry-in 1); the
+/// arriving block carry selects the correct one through a multiplexer row,
+/// cutting the carry path from `m` to `m/4` stages at the cost of
+/// duplicated adder hardware.
+///
+/// Ports: inputs `a[m]`, `b[m]`; outputs `sum[m]`, `cout[1]`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnsupportedWidth`] if `m == 0`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// let adder = hdpm_netlist::modules::carry_select_adder(12)?;
+/// assert_eq!(adder.input_bit_count(), 24);
+/// # Ok(())
+/// # }
+/// ```
+pub fn carry_select_adder(m: usize) -> Result<Netlist, NetlistError> {
+    if m == 0 {
+        return Err(NetlistError::UnsupportedWidth {
+            module: "carry_select_adder",
+            width: m,
+            reason: "width must be at least 1",
+        });
+    }
+    let mut nl = Netlist::new(format!("carry_select_adder_{m}"));
+    let a = nl.add_input_port("a", m);
+    let b = nl.add_input_port("b", m);
+    let zero = nl.const_zero();
+    let one = nl.const_one();
+
+    let mut sum = Vec::with_capacity(m);
+    let mut carry = zero;
+    let mut lo = 0;
+    let mut first = true;
+    while lo < m {
+        let hi = (lo + BLOCK).min(m);
+        if first {
+            // The first block needs no speculation: its carry-in is 0.
+            let (block_sum, block_cout) = ripple_chain(&mut nl, &a[lo..hi], &b[lo..hi], zero);
+            sum.extend(block_sum);
+            carry = block_cout;
+            first = false;
+        } else {
+            let (sum0, cout0) = ripple_chain(&mut nl, &a[lo..hi], &b[lo..hi], zero);
+            let (sum1, cout1) = ripple_chain(&mut nl, &a[lo..hi], &b[lo..hi], one);
+            let selected = mux_vec(&mut nl, &sum0, &sum1, carry);
+            sum.extend(selected);
+            carry = nl.add_gate(CellKind::Mux2, &[cout0, cout1, carry]);
+        }
+        lo = hi;
+    }
+
+    nl.add_output_port("sum", &sum);
+    nl.add_output_port("cout", &[carry]);
+    Ok(nl)
+}
+
+/// Generate an `m`-bit carry-skip adder.
+///
+/// Each 4-bit block ripples internally; a block-propagate signal
+/// (`AND` of the per-bit propagates) lets an incoming carry skip the block
+/// entirely through a multiplexer, shortening the worst-case carry chain
+/// with almost no extra hardware.
+///
+/// Ports: inputs `a[m]`, `b[m]`; outputs `sum[m]`, `cout[1]`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnsupportedWidth`] if `m == 0`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// let adder = hdpm_netlist::modules::carry_skip_adder(16)?;
+/// assert_eq!(adder.output_port("sum").map(|p| p.width()), Some(16));
+/// # Ok(())
+/// # }
+/// ```
+pub fn carry_skip_adder(m: usize) -> Result<Netlist, NetlistError> {
+    if m == 0 {
+        return Err(NetlistError::UnsupportedWidth {
+            module: "carry_skip_adder",
+            width: m,
+            reason: "width must be at least 1",
+        });
+    }
+    let mut nl = Netlist::new(format!("carry_skip_adder_{m}"));
+    let a = nl.add_input_port("a", m);
+    let b = nl.add_input_port("b", m);
+    let mut carry = nl.const_zero();
+
+    let mut sum = Vec::with_capacity(m);
+    let mut lo = 0;
+    while lo < m {
+        let hi = (lo + BLOCK).min(m);
+        // Per-bit propagate signals for the block-skip condition.
+        let propagates: Vec<_> = a[lo..hi]
+            .iter()
+            .zip(&b[lo..hi])
+            .map(|(&ai, &bi)| nl.add_gate(CellKind::Xor2, &[ai, bi]))
+            .collect();
+        let block_propagate = and_tree(&mut nl, &propagates);
+        let (block_sum, ripple_cout) = ripple_chain(&mut nl, &a[lo..hi], &b[lo..hi], carry);
+        sum.extend(block_sum);
+        // If every bit propagates, the carry-out is the carry-in (skip);
+        // otherwise it is the rippled carry.
+        carry = nl.add_gate(CellKind::Mux2, &[ripple_cout, carry, block_propagate]);
+        lo = hi;
+    }
+
+    nl.add_output_port("sum", &sum);
+    nl.add_output_port("cout", &[carry]);
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_validate_across_widths() {
+        for m in [1, 3, 4, 5, 8, 12, 16, 19] {
+            carry_select_adder(m).unwrap().validate().expect("select");
+            carry_skip_adder(m).unwrap().validate().expect("skip");
+        }
+    }
+
+    #[test]
+    fn select_duplicates_hardware_skip_does_not() {
+        let ripple = crate::modules::ripple_adder(16).unwrap().gate_count();
+        let select = carry_select_adder(16).unwrap().gate_count();
+        let skip = carry_skip_adder(16).unwrap().gate_count();
+        assert!(select > ripple + ripple / 2, "select {select} vs ripple {ripple}");
+        assert!(skip < select, "skip {skip} should be leaner than select {select}");
+        assert!(skip > ripple, "skip {skip} still pays for skip logic");
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(carry_select_adder(0).is_err());
+        assert!(carry_skip_adder(0).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Barrel shifter generator — a mux-only datapath module with
+//! `m·⌈log₂ m⌉` complexity, exercising a third complexity law (beyond the
+//! linear adders and quadratic multipliers) in the §5 regression
+//! experiments.
+
+use crate::builder::mux_vec;
+use crate::error::NetlistError;
+use crate::netlist::Netlist;
+
+/// Number of shift-amount bits for an `m`-bit shifter.
+pub fn shift_amount_bits(m: usize) -> usize {
+    let mut bits = 0;
+    while (1usize << bits) < m {
+        bits += 1;
+    }
+    bits.max(1)
+}
+
+/// Generate an `m`-bit logical-left barrel shifter.
+///
+/// Stage `k` shifts by `2^k` positions when shift-amount bit `k` is set;
+/// vacated positions fill with 0. Shift amounts ≥ `m` therefore produce 0.
+///
+/// Ports: inputs `x[m]`, `s[⌈log₂ m⌉]`; output `y[m]`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnsupportedWidth`] if `m < 2` (a 1-bit shifter
+/// has no shift amount).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// let shifter = hdpm_netlist::modules::barrel_shifter(16)?;
+/// assert_eq!(shifter.input_bit_count(), 16 + 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn barrel_shifter(m: usize) -> Result<Netlist, NetlistError> {
+    if m < 2 {
+        return Err(NetlistError::UnsupportedWidth {
+            module: "barrel_shifter",
+            width: m,
+            reason: "shifter needs at least 2 data bits",
+        });
+    }
+    let stages = shift_amount_bits(m);
+    let mut nl = Netlist::new(format!("barrel_shifter_{m}"));
+    let x = nl.add_input_port("x", m);
+    let s = nl.add_input_port("s", stages);
+    let zero = nl.const_zero();
+
+    let mut current = x;
+    for (k, &sel) in s.iter().enumerate() {
+        let shift = 1usize << k;
+        // Shifted candidate: y[i] = current[i - shift], zero-filled.
+        let shifted: Vec<_> = (0..m)
+            .map(|i| if i >= shift { current[i - shift] } else { zero })
+            .collect();
+        current = mux_vec(&mut nl, &current, &shifted, sel);
+    }
+
+    nl.add_output_port("y", &current);
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_and_counts_muxes() {
+        for m in [2, 4, 8, 16, 20] {
+            let nl = barrel_shifter(m).unwrap();
+            assert_eq!(nl.gate_count(), m * shift_amount_bits(m));
+            nl.validate().expect("valid shifter");
+        }
+    }
+
+    #[test]
+    fn shift_amount_bits_is_ceil_log2() {
+        assert_eq!(shift_amount_bits(2), 1);
+        assert_eq!(shift_amount_bits(4), 2);
+        assert_eq!(shift_amount_bits(5), 3);
+        assert_eq!(shift_amount_bits(16), 4);
+        assert_eq!(shift_amount_bits(17), 5);
+    }
+
+    #[test]
+    fn tiny_width_rejected() {
+        assert!(barrel_shifter(1).is_err());
+    }
+}

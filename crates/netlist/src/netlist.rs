@@ -1,0 +1,762 @@
+//! The gate-level netlist IR.
+//!
+//! A [`Netlist`] is a flat graph of primitive gates connected by nets.
+//! Primary inputs and outputs are grouped into named, ordered *ports*
+//! (buses); the concatenation of all input ports, in declaration order and
+//! LSB-first within each port, defines the *module input vector* whose
+//! Hamming distance the power macro-model consumes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetlistError;
+use crate::gate::CellKind;
+
+/// Identifier of a net (a wire) within one [`Netlist`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The index of this net inside its netlist's dense net array.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a gate instance within one [`Netlist`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct GateId(pub(crate) u32);
+
+impl GateId {
+    /// The index of this gate inside its netlist's dense gate array.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a register (D flip-flop) within one [`Netlist`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct RegId(pub(crate) u32);
+
+impl RegId {
+    /// The index of this register inside its netlist's dense register
+    /// array.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One D flip-flop: samples `d` at every cycle boundary and drives `q`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Register {
+    pub(crate) d: NetId,
+    pub(crate) q: NetId,
+}
+
+impl Register {
+    /// The data-input net, sampled at the cycle boundary.
+    pub fn d(&self) -> NetId {
+        self.d
+    }
+
+    /// The register output net.
+    pub fn q(&self) -> NetId {
+        self.q
+    }
+}
+
+/// One primitive gate instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    kind: CellKind,
+    inputs: Vec<NetId>,
+    output: NetId,
+}
+
+impl Gate {
+    /// The cell kind of this gate.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// The input nets, in pin order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The output net.
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetDriver {
+    /// Nothing drives the net yet (illegal in a validated netlist).
+    None,
+    /// The net is a primary input.
+    PrimaryInput,
+    /// The net is tied to a constant logic value.
+    Constant(bool),
+    /// The net is driven by the output of the given gate.
+    Gate(GateId),
+    /// The net is the Q output of the given register.
+    Register(RegId),
+}
+
+/// A named, ordered group of nets forming a bus port. Bit 0 is the LSB.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Port {
+    name: String,
+    bits: Vec<NetId>,
+}
+
+impl Port {
+    /// The port name, e.g. `"a"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The nets of the port, LSB first.
+    pub fn bits(&self) -> &[NetId] {
+        &self.bits
+    }
+
+    /// Number of bits in the port.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+/// A flat gate-level netlist.
+///
+/// # Examples
+///
+/// Build a 1-bit half adder by hand:
+///
+/// ```
+/// use hdpm_netlist::{CellKind, Netlist};
+///
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// let mut nl = Netlist::new("half_adder");
+/// let a = nl.add_input_port("a", 1)[0];
+/// let b = nl.add_input_port("b", 1)[0];
+/// let sum = nl.add_gate(CellKind::Xor2, &[a, b]);
+/// let carry = nl.add_gate(CellKind::And2, &[a, b]);
+/// nl.add_output_port("sum", &[sum]);
+/// nl.add_output_port("carry", &[carry]);
+/// let nl = nl.validate()?;
+/// assert_eq!(nl.netlist().gate_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    drivers: Vec<NetDriver>,
+    gates: Vec<Gate>,
+    input_ports: Vec<Port>,
+    output_ports: Vec<Port>,
+    registers: Vec<Register>,
+    const_zero: Option<NetId>,
+    const_one: Option<NetId>,
+}
+
+impl Netlist {
+    /// Create an empty netlist with the given module name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            drivers: Vec::new(),
+            gates: Vec::new(),
+            input_ports: Vec::new(),
+            output_ports: Vec::new(),
+            registers: Vec::new(),
+            const_zero: None,
+            const_one: None,
+        }
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the module.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Allocate a fresh, undriven net.
+    pub fn add_net(&mut self) -> NetId {
+        let id = NetId(self.drivers.len() as u32);
+        self.drivers.push(NetDriver::None);
+        id
+    }
+
+    /// Allocate `n` fresh undriven nets.
+    pub fn add_nets(&mut self, n: usize) -> Vec<NetId> {
+        (0..n).map(|_| self.add_net()).collect()
+    }
+
+    /// The net tied to constant logic 0, created on first use.
+    pub fn const_zero(&mut self) -> NetId {
+        if let Some(id) = self.const_zero {
+            return id;
+        }
+        let id = self.add_net();
+        self.drivers[id.index()] = NetDriver::Constant(false);
+        self.const_zero = Some(id);
+        id
+    }
+
+    /// The net tied to constant logic 1, created on first use.
+    pub fn const_one(&mut self) -> NetId {
+        if let Some(id) = self.const_one {
+            return id;
+        }
+        let id = self.add_net();
+        self.drivers[id.index()] = NetDriver::Constant(true);
+        self.const_one = Some(id);
+        id
+    }
+
+    /// Net for an arbitrary constant value.
+    pub fn constant(&mut self, value: bool) -> NetId {
+        if value {
+            self.const_one()
+        } else {
+            self.const_zero()
+        }
+    }
+
+    /// Declare a primary input bus of `width` bits and return its nets,
+    /// LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or if the name is already taken; generator code
+    /// treats these as programming errors. Use [`Netlist::validate`] for the
+    /// fallible end-of-construction check.
+    pub fn add_input_port(&mut self, name: impl Into<String>, width: usize) -> Vec<NetId> {
+        let name = name.into();
+        assert!(width > 0, "input port `{name}` must have at least one bit");
+        assert!(
+            !self.port_name_taken(&name),
+            "port name `{name}` declared twice"
+        );
+        let bits = self.add_nets(width);
+        for &bit in &bits {
+            self.drivers[bit.index()] = NetDriver::PrimaryInput;
+        }
+        self.input_ports.push(Port {
+            name,
+            bits: bits.clone(),
+        });
+        bits
+    }
+
+    /// Declare a primary output bus over existing nets, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty, refers to unknown nets, or the name is
+    /// already taken.
+    pub fn add_output_port(&mut self, name: impl Into<String>, bits: &[NetId]) {
+        let name = name.into();
+        assert!(!bits.is_empty(), "output port `{name}` must have at least one bit");
+        assert!(
+            !self.port_name_taken(&name),
+            "port name `{name}` declared twice"
+        );
+        for &bit in bits {
+            assert!(
+                bit.index() < self.drivers.len(),
+                "output port `{name}` refers to unknown net {bit:?}"
+            );
+        }
+        self.output_ports.push(Port {
+            name,
+            bits: bits.to_vec(),
+        });
+    }
+
+    fn port_name_taken(&self, name: &str) -> bool {
+        self.input_ports
+            .iter()
+            .chain(self.output_ports.iter())
+            .any(|p| p.name == name)
+    }
+
+    /// Instantiate a gate of `kind` over the given input nets; a fresh output
+    /// net is allocated and returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs does not match
+    /// [`CellKind::arity`], or an input net does not exist.
+    pub fn add_gate(&mut self, kind: CellKind, inputs: &[NetId]) -> NetId {
+        assert_eq!(
+            inputs.len(),
+            kind.arity(),
+            "cell {kind} expects {} inputs, got {}",
+            kind.arity(),
+            inputs.len()
+        );
+        for &input in inputs {
+            assert!(
+                input.index() < self.drivers.len(),
+                "gate input {input:?} does not exist"
+            );
+        }
+        let output = self.add_net();
+        let gate_id = GateId(self.gates.len() as u32);
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        self.drivers[output.index()] = NetDriver::Gate(gate_id);
+        output
+    }
+
+    /// Instantiate a D flip-flop sampling net `d`; a fresh Q net is
+    /// allocated and returned. Registers sample on the cycle boundary of
+    /// [`crate::ValidatedNetlist`]-based simulation, breaking combinational
+    /// feedback loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` does not exist.
+    pub fn add_register(&mut self, d: NetId) -> NetId {
+        assert!(
+            d.index() < self.drivers.len(),
+            "register input {d:?} does not exist"
+        );
+        let q = self.add_net();
+        let reg_id = RegId(self.registers.len() as u32);
+        self.registers.push(Register { d, q });
+        self.drivers[q.index()] = NetDriver::Register(reg_id);
+        q
+    }
+
+    /// Bind a register between an existing data net `d` and a
+    /// previously allocated, undriven net `q` — the feedback form of
+    /// [`Netlist::add_register`] for accumulator-style loops where the Q
+    /// net must exist before the logic computing D can be built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either net does not exist or `q` already has a driver.
+    pub fn bind_register(&mut self, d: NetId, q: NetId) {
+        assert!(
+            d.index() < self.drivers.len(),
+            "register input {d:?} does not exist"
+        );
+        assert!(
+            q.index() < self.drivers.len(),
+            "register output {q:?} does not exist"
+        );
+        assert!(
+            matches!(self.drivers[q.index()], NetDriver::None),
+            "register output {q:?} already has a driver"
+        );
+        let reg_id = RegId(self.registers.len() as u32);
+        self.registers.push(Register { d, q });
+        self.drivers[q.index()] = NetDriver::Register(reg_id);
+    }
+
+    /// All registers, indexable by [`RegId::index`].
+    pub fn registers(&self) -> &[Register] {
+        &self.registers
+    }
+
+    /// Number of registers in the netlist.
+    pub fn register_count(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Whether the netlist contains registers (is sequential).
+    pub fn is_sequential(&self) -> bool {
+        !self.registers.is_empty()
+    }
+
+    /// Number of gates in the netlist.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of nets in the netlist.
+    pub fn net_count(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// The [`NetId`] with the given dense index.
+    ///
+    /// Net ids are dense: every index in `0..self.net_count()` names a net.
+    /// This is the inverse of [`NetId::index`] and lets simulators iterate
+    /// per-net state arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.net_count()`.
+    pub fn net_id(&self, index: usize) -> NetId {
+        assert!(
+            index < self.drivers.len(),
+            "net index {index} out of range (netlist has {} nets)",
+            self.drivers.len()
+        );
+        NetId(index as u32)
+    }
+
+    /// All gates, indexable by [`GateId::index`].
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Gate by id.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Driver of a net.
+    pub fn driver(&self, net: NetId) -> NetDriver {
+        self.drivers[net.index()]
+    }
+
+    /// Input ports in declaration order.
+    pub fn input_ports(&self) -> &[Port] {
+        &self.input_ports
+    }
+
+    /// Output ports in declaration order.
+    pub fn output_ports(&self) -> &[Port] {
+        &self.output_ports
+    }
+
+    /// Find an input port by name.
+    pub fn input_port(&self, name: &str) -> Option<&Port> {
+        self.input_ports.iter().find(|p| p.name == name)
+    }
+
+    /// Find an output port by name.
+    pub fn output_port(&self, name: &str) -> Option<&Port> {
+        self.output_ports.iter().find(|p| p.name == name)
+    }
+
+    /// The concatenated primary-input nets: all input ports in declaration
+    /// order, LSB first within each port. The bit positions of this vector
+    /// are the bit positions the Hd power model counts over.
+    pub fn input_vector(&self) -> Vec<NetId> {
+        self.input_ports
+            .iter()
+            .flat_map(|p| p.bits.iter().copied())
+            .collect()
+    }
+
+    /// Total number of primary input bits (`m` in the paper).
+    pub fn input_bit_count(&self) -> usize {
+        self.input_ports.iter().map(Port::width).sum()
+    }
+
+    /// Total number of primary output bits.
+    pub fn output_bit_count(&self) -> usize {
+        self.output_ports.iter().map(Port::width).sum()
+    }
+
+    /// Validate the netlist and compute a topological gate order, consuming
+    /// `self` and returning a [`ValidatedNetlist`] ready for simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a net used by a gate or an output port has no
+    /// driver, or if the gate graph contains a combinational cycle.
+    pub fn validate(self) -> Result<ValidatedNetlist, NetlistError> {
+        // Every register data input must be driven.
+        for reg in &self.registers {
+            if matches!(self.drivers[reg.d.index()], NetDriver::None) {
+                return Err(NetlistError::FloatingNet(reg.d));
+            }
+        }
+        // Every gate input and output-port bit must be driven.
+        for gate in &self.gates {
+            for &input in &gate.inputs {
+                if matches!(self.drivers[input.index()], NetDriver::None) {
+                    return Err(NetlistError::FloatingNet(input));
+                }
+            }
+        }
+        for port in &self.output_ports {
+            for &bit in &port.bits {
+                if matches!(self.drivers[bit.index()], NetDriver::None) {
+                    return Err(NetlistError::FloatingNet(bit));
+                }
+            }
+        }
+
+        // Kahn topological sort over gates: gate A precedes gate B when A's
+        // output feeds one of B's inputs.
+        let mut indegree = vec![0usize; self.gates.len()];
+        let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); self.gates.len()];
+        for (gi, gate) in self.gates.iter().enumerate() {
+            for &input in &gate.inputs {
+                if let NetDriver::Gate(pred) = self.drivers[input.index()] {
+                    dependents[pred.index()].push(gi as u32);
+                    indegree[gi] += 1;
+                }
+            }
+        }
+        let mut ready: Vec<u32> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut order = Vec::with_capacity(self.gates.len());
+        while let Some(gi) = ready.pop() {
+            order.push(GateId(gi));
+            for &dep in &dependents[gi as usize] {
+                indegree[dep as usize] -= 1;
+                if indegree[dep as usize] == 0 {
+                    ready.push(dep);
+                }
+            }
+        }
+        if order.len() != self.gates.len() {
+            // Some gate is stuck in a cycle; report via its output net.
+            let stuck = indegree
+                .iter()
+                .position(|&d| d > 0)
+                .expect("cycle implies a gate with positive indegree");
+            return Err(NetlistError::CombinationalCycle(self.gates[stuck].output));
+        }
+
+        // Fanout lists: for each net, the (gate, pin) loads it drives.
+        let mut fanout: Vec<Vec<(GateId, u8)>> = vec![Vec::new(); self.drivers.len()];
+        for (gi, gate) in self.gates.iter().enumerate() {
+            for (pin, &input) in gate.inputs.iter().enumerate() {
+                fanout[input.index()].push((GateId(gi as u32), pin as u8));
+            }
+        }
+
+        Ok(ValidatedNetlist {
+            netlist: self,
+            topo_order: order,
+            fanout,
+        })
+    }
+}
+
+/// A netlist that passed [`Netlist::validate`]: acyclic, fully driven, with a
+/// precomputed topological order and fanout map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidatedNetlist {
+    netlist: Netlist,
+    topo_order: Vec<GateId>,
+    fanout: Vec<Vec<(GateId, u8)>>,
+}
+
+impl ValidatedNetlist {
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Gates in a valid evaluation order (inputs before dependents).
+    pub fn topo_order(&self) -> &[GateId] {
+        &self.topo_order
+    }
+
+    /// The `(gate, pin)` loads driven by each net, indexable by
+    /// [`NetId::index`].
+    pub fn fanout(&self, net: NetId) -> &[(GateId, u8)] {
+        &self.fanout[net.index()]
+    }
+
+    /// Effective load capacitance of a net: intrinsic driver output
+    /// capacitance, plus the input capacitance of every fanout pin, plus a
+    /// wire contribution per fanout branch.
+    ///
+    /// Nets listed in output ports carry an additional primary-output load.
+    pub fn net_load(&self, net: NetId) -> f64 {
+        /// Wire capacitance per fanout branch (normalized units).
+        const WIRE_CAP_PER_FANOUT: f64 = 0.3;
+        /// Load presented by a primary output pad.
+        const OUTPUT_PORT_CAP: f64 = 2.0;
+
+        /// Intrinsic output capacitance of a register's Q pin.
+        const DFF_Q_CAP: f64 = 1.4;
+        /// Capacitance presented by a register's D pin.
+        const DFF_D_CAP: f64 = 1.2;
+
+        let mut cap = match self.netlist.driver(net) {
+            NetDriver::Gate(g) => self.netlist.gate(g).kind().output_cap(),
+            NetDriver::PrimaryInput => 0.5, // input pad diffusion
+            NetDriver::Register(_) => DFF_Q_CAP,
+            NetDriver::Constant(_) | NetDriver::None => 0.0,
+        };
+        for &(gate, pin) in &self.fanout[net.index()] {
+            cap += self.netlist.gate(gate).kind().input_cap(pin as usize);
+            cap += WIRE_CAP_PER_FANOUT;
+        }
+        for reg in self.netlist.registers() {
+            if reg.d() == net {
+                cap += DFF_D_CAP + WIRE_CAP_PER_FANOUT;
+            }
+        }
+        if self
+            .netlist
+            .output_ports()
+            .iter()
+            .any(|p| p.bits().contains(&net))
+        {
+            cap += OUTPUT_PORT_CAP;
+        }
+        cap
+    }
+
+    /// Give up validation and return the raw netlist for further editing.
+    pub fn into_netlist(self) -> Netlist {
+        self.netlist
+    }
+}
+
+impl AsRef<Netlist> for ValidatedNetlist {
+    fn as_ref(&self) -> &Netlist {
+        &self.netlist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn half_adder() -> Netlist {
+        let mut nl = Netlist::new("ha");
+        let a = nl.add_input_port("a", 1)[0];
+        let b = nl.add_input_port("b", 1)[0];
+        let s = nl.add_gate(CellKind::Xor2, &[a, b]);
+        let c = nl.add_gate(CellKind::And2, &[a, b]);
+        nl.add_output_port("s", &[s]);
+        nl.add_output_port("c", &[c]);
+        nl
+    }
+
+    #[test]
+    fn build_and_validate_half_adder() {
+        let v = half_adder().validate().expect("valid");
+        assert_eq!(v.netlist().gate_count(), 2);
+        assert_eq!(v.netlist().input_bit_count(), 2);
+        assert_eq!(v.netlist().output_bit_count(), 2);
+        assert_eq!(v.topo_order().len(), 2);
+    }
+
+    #[test]
+    fn input_vector_concatenates_ports_in_order() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input_port("a", 2);
+        let b = nl.add_input_port("b", 3);
+        let vec = nl.input_vector();
+        assert_eq!(vec.len(), 5);
+        assert_eq!(&vec[..2], &a[..]);
+        assert_eq!(&vec[2..], &b[..]);
+    }
+
+    #[test]
+    fn floating_net_is_rejected() {
+        let mut nl = Netlist::new("t");
+        let dangling = nl.add_net();
+        let a = nl.add_input_port("a", 1)[0];
+        let out = nl.add_gate(CellKind::And2, &[a, dangling]);
+        nl.add_output_port("y", &[out]);
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::FloatingNet(_))
+        ));
+    }
+
+    #[test]
+    fn constants_are_shared() {
+        let mut nl = Netlist::new("t");
+        let z1 = nl.const_zero();
+        let z2 = nl.const_zero();
+        let o1 = nl.const_one();
+        assert_eq!(z1, z2);
+        assert_ne!(z1, o1);
+        assert_eq!(nl.driver(z1), NetDriver::Constant(false));
+        assert_eq!(nl.driver(o1), NetDriver::Constant(true));
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input_port("a", 1)[0];
+        let mut cur = a;
+        for _ in 0..10 {
+            cur = nl.add_gate(CellKind::Inv, &[cur]);
+        }
+        nl.add_output_port("y", &[cur]);
+        let v = nl.validate().expect("valid");
+        let mut seen = vec![false; v.netlist().gate_count()];
+        for &g in v.topo_order() {
+            for &input in v.netlist().gate(g).inputs() {
+                if let NetDriver::Gate(pred) = v.netlist().driver(input) {
+                    assert!(seen[pred.index()], "gate evaluated before its driver");
+                }
+            }
+            seen[g.index()] = true;
+        }
+    }
+
+    #[test]
+    fn net_load_counts_fanout() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input_port("a", 1)[0];
+        let x = nl.add_gate(CellKind::Inv, &[a]);
+        let y1 = nl.add_gate(CellKind::Inv, &[x]);
+        let y2 = nl.add_gate(CellKind::Inv, &[x]);
+        nl.add_output_port("y1", &[y1]);
+        nl.add_output_port("y2", &[y2]);
+        let v = nl.validate().expect("valid");
+        // x drives two inverter pins; more load than y1 which drives nothing
+        // but the output pad.
+        assert!(v.net_load(x) > CellKind::Inv.output_cap());
+        let single_pin = v.net_load(x) - CellKind::Inv.output_cap();
+        assert!(single_pin > 2.0 * CellKind::Inv.input_cap(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_port_names_panic() {
+        let mut nl = Netlist::new("t");
+        nl.add_input_port("a", 1);
+        nl.add_input_port("a", 1);
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        // Construct a cycle by hand: gate reads its own output. The public
+        // API cannot express this (outputs are always fresh nets), so splice
+        // the driver table via a crafted sequence: a -> inv -> x, then make a
+        // second inverter read x and overwrite x's driver to form a loop is
+        // not expressible either. Instead simulate the only reachable cycle
+        // case: two gates reading each other via serde round-trip editing.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input_port("a", 1)[0];
+        let x = nl.add_gate(CellKind::Inv, &[a]);
+        let y = nl.add_gate(CellKind::Inv, &[x]);
+        nl.add_output_port("y", &[y]);
+        // Rewire gate 0 to read gate 1's output, forming a 2-cycle.
+        nl.gates[0].inputs[0] = y;
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+}

@@ -1,0 +1,514 @@
+//! Structural Verilog parsing — the inverse of [`crate::emit_verilog`].
+//!
+//! Accepts the flat structural subset the emitter produces (built-in gate
+//! instantiations plus the `assign` forms used for AOI/OAI/MUX cells and
+//! port/constant bindings), so netlists can round-trip through text for
+//! storage, diffing or interchange with external tools.
+
+use std::collections::HashMap;
+
+use crate::gate::CellKind;
+use crate::netlist::{NetId, Netlist};
+
+/// Errors produced when parsing structural Verilog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseVerilogError {
+    /// The module header is missing or malformed.
+    MissingModuleHeader,
+    /// A line could not be interpreted.
+    UnsupportedSyntax {
+        /// 1-based source line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A referenced wire was never declared.
+    UnknownWire {
+        /// 1-based source line number.
+        line: usize,
+        /// The wire name.
+        name: String,
+    },
+    /// A wire was assigned/driven more than once.
+    DoubleDriven {
+        /// 1-based source line number.
+        line: usize,
+        /// The wire name.
+        name: String,
+    },
+    /// The `endmodule` keyword is missing.
+    MissingEndmodule,
+}
+
+impl std::fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseVerilogError::MissingModuleHeader => {
+                write!(f, "missing or malformed module header")
+            }
+            ParseVerilogError::UnsupportedSyntax { line, text } => {
+                write!(f, "line {line}: unsupported syntax `{text}`")
+            }
+            ParseVerilogError::UnknownWire { line, name } => {
+                write!(f, "line {line}: unknown wire `{name}`")
+            }
+            ParseVerilogError::DoubleDriven { line, name } => {
+                write!(f, "line {line}: wire `{name}` driven twice")
+            }
+            ParseVerilogError::MissingEndmodule => write!(f, "missing `endmodule`"),
+        }
+    }
+}
+
+impl std::error::Error for ParseVerilogError {}
+
+/// Parse the structural-Verilog subset produced by
+/// [`crate::emit_verilog`] back into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns a [`ParseVerilogError`] describing the first offending line.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use hdpm_netlist::{emit_verilog, modules, parse_verilog};
+///
+/// let original = modules::cla_adder(4)?;
+/// let reparsed = parse_verilog(&emit_verilog(&original))?;
+/// assert_eq!(reparsed.gate_count(), original.gate_count());
+/// assert_eq!(reparsed.input_bit_count(), original.input_bit_count());
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_verilog(text: &str) -> Result<Netlist, ParseVerilogError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, strip_comment(l).trim().to_string()))
+        .filter(|(_, l)| !l.is_empty());
+
+    // Header: `module <name> (p1, p2, ...);`
+    let (_, header) = lines.next().ok_or(ParseVerilogError::MissingModuleHeader)?;
+    let header = header
+        .strip_prefix("module ")
+        .ok_or(ParseVerilogError::MissingModuleHeader)?;
+    let open = header
+        .find('(')
+        .ok_or(ParseVerilogError::MissingModuleHeader)?;
+    let name = header[..open].trim().to_string();
+    let mut netlist = Netlist::new(name);
+
+    // Wires by name; ports recorded for later binding.
+    let mut wires: HashMap<String, NetId> = HashMap::new();
+    let mut driven: HashMap<String, bool> = HashMap::new();
+    // Output ports buffer their bit -> wire bindings until the end.
+    let mut output_ports: Vec<(String, Vec<Option<String>>)> = Vec::new();
+    // Input port bit nets by `port[bit]` reference.
+    let mut input_bits: HashMap<String, NetId> = HashMap::new();
+    let mut saw_end = false;
+
+    for (line_no, line) in lines {
+        let unsupported = || ParseVerilogError::UnsupportedSyntax {
+            line: line_no,
+            text: line.clone(),
+        };
+        if line == "endmodule" {
+            saw_end = true;
+            break;
+        }
+        if let Some(rest) = line.strip_prefix("input ") {
+            let (width, port) = parse_port_decl(rest).ok_or_else(unsupported)?;
+            let bits = netlist.add_input_port(&port, width);
+            for (bit, &net) in bits.iter().enumerate() {
+                input_bits.insert(format!("{port}[{bit}]"), net);
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("output ") {
+            let (width, port) = parse_port_decl(rest).ok_or_else(unsupported)?;
+            output_ports.push((port, vec![None; width]));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("wire ") {
+            let rest = rest.trim_end_matches(';').trim();
+            if rest.starts_with('[') {
+                // The emitter's decorative `wire [N:0] nets;` marker.
+                continue;
+            }
+            if let Some((wname, value)) = rest.split_once('=') {
+                // Constant tie-off: `wire nK = 1'b0;`
+                let wname = wname.trim();
+                let value = match value.trim() {
+                    "1'b0" => false,
+                    "1'b1" => true,
+                    _ => return Err(unsupported()),
+                };
+                let net = netlist.constant(value);
+                wires.insert(wname.to_string(), net);
+                driven.insert(wname.to_string(), true);
+            } else {
+                let net = netlist.add_net();
+                wires.insert(rest.to_string(), net);
+                driven.insert(rest.to_string(), false);
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("assign ") {
+            let rest = rest.trim_end_matches(';');
+            let (lhs, rhs) = rest.split_once('=').ok_or_else(unsupported)?;
+            let (lhs, rhs) = (lhs.trim(), rhs.trim());
+            parse_assign(
+                &mut netlist,
+                &mut wires,
+                &mut driven,
+                &mut output_ports,
+                &input_bits,
+                line_no,
+                lhs,
+                rhs,
+            )?;
+            continue;
+        }
+        // Register instantiation: `hdpm_dff rN (q, d);`
+        if let Some(rest) = line.strip_prefix("hdpm_dff ") {
+            let args = rest
+                .trim_end_matches(';')
+                .split_once('(')
+                .map(|(_, a)| a.trim_end_matches(')'))
+                .ok_or_else(unsupported)?;
+            let mut names = args.split(',').map(str::trim);
+            let q_name = names.next().ok_or_else(unsupported)?;
+            let d_name = names.next().ok_or_else(unsupported)?;
+            let d = lookup(&wires, d_name, line_no)?;
+            let q = lookup(&wires, q_name, line_no)?;
+            match driven.get_mut(q_name) {
+                Some(flag) if *flag => {
+                    return Err(ParseVerilogError::DoubleDriven {
+                        line: line_no,
+                        name: q_name.to_string(),
+                    })
+                }
+                Some(flag) => *flag = true,
+                None => {
+                    return Err(ParseVerilogError::UnknownWire {
+                        line: line_no,
+                        name: q_name.to_string(),
+                    })
+                }
+            }
+            netlist.bind_register(d, q);
+            continue;
+        }
+        // Gate instantiation: `<prim> gN (y, a, b, ...);`
+        if let Some((prim, rest)) = line.split_once(' ') {
+            if let Some(kinds) = primitive_kinds(prim) {
+                let args = rest
+                    .trim_end_matches(';')
+                    .split_once('(')
+                    .map(|(_, a)| a.trim_end_matches(')'))
+                    .ok_or_else(unsupported)?;
+                let mut nets = Vec::new();
+                let mut arg_names = Vec::new();
+                for arg in args.split(',') {
+                    let arg = arg.trim();
+                    arg_names.push(arg.to_string());
+                    nets.push(lookup(&wires, arg, line_no)?);
+                }
+                if nets.len() < 2 {
+                    return Err(unsupported());
+                }
+                let kind = kinds
+                    .iter()
+                    .copied()
+                    .find(|k| k.arity() == nets.len() - 1)
+                    .ok_or_else(unsupported)?;
+                let out = netlist.add_gate(kind, &nets[1..]);
+                bind_driver(
+                    &mut netlist,
+                    &mut wires,
+                    &mut driven,
+                    &arg_names[0],
+                    out,
+                    line_no,
+                )?;
+                continue;
+            }
+        }
+        return Err(unsupported());
+    }
+
+    if !saw_end {
+        return Err(ParseVerilogError::MissingEndmodule);
+    }
+
+    // Materialize output ports.
+    for (port, bits) in output_ports {
+        let mut nets = Vec::with_capacity(bits.len());
+        for (bit, source) in bits.into_iter().enumerate() {
+            let source = source.ok_or(ParseVerilogError::UnknownWire {
+                line: 0,
+                name: format!("{port}[{bit}]"),
+            })?;
+            nets.push(lookup(&wires, &source, 0)?);
+        }
+        netlist.add_output_port(&port, &nets);
+    }
+    Ok(netlist)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Parse `[N:0] name` into `(N + 1, name)`.
+fn parse_port_decl(rest: &str) -> Option<(usize, String)> {
+    let rest = rest.trim().trim_end_matches(';').trim();
+    let rest = rest.strip_prefix('[')?;
+    let (range, name) = rest.split_once(']')?;
+    let (hi, lo) = range.split_once(':')?;
+    let hi: usize = hi.trim().parse().ok()?;
+    let lo: usize = lo.trim().parse().ok()?;
+    if lo != 0 {
+        return None;
+    }
+    Some((hi + 1, name.trim().to_string()))
+}
+
+fn primitive_kinds(prim: &str) -> Option<&'static [CellKind]> {
+    Some(match prim {
+        "not" => &[CellKind::Inv],
+        "buf" => &[CellKind::Buf],
+        "and" => &[CellKind::And2, CellKind::And3, CellKind::And4],
+        "or" => &[CellKind::Or2, CellKind::Or3, CellKind::Or4],
+        "nand" => &[CellKind::Nand2, CellKind::Nand3],
+        "nor" => &[CellKind::Nor2, CellKind::Nor3],
+        "xor" => &[CellKind::Xor2],
+        "xnor" => &[CellKind::Xnor2],
+        _ => return None,
+    })
+}
+
+fn lookup(
+    wires: &HashMap<String, NetId>,
+    name: &str,
+    line: usize,
+) -> Result<NetId, ParseVerilogError> {
+    wires
+        .get(name)
+        .copied()
+        .ok_or_else(|| ParseVerilogError::UnknownWire {
+            line,
+            name: name.to_string(),
+        })
+}
+
+/// Record `target` as now being driven by `net` (for gate outputs the wire
+/// was pre-declared; we alias the declared name to the freshly created
+/// output net).
+fn bind_driver(
+    _netlist: &mut Netlist,
+    wires: &mut HashMap<String, NetId>,
+    driven: &mut HashMap<String, bool>,
+    target: &str,
+    net: NetId,
+    line: usize,
+) -> Result<(), ParseVerilogError> {
+    match driven.get_mut(target) {
+        Some(flag) if *flag => Err(ParseVerilogError::DoubleDriven {
+            line,
+            name: target.to_string(),
+        }),
+        Some(flag) => {
+            *flag = true;
+            wires.insert(target.to_string(), net);
+            Ok(())
+        }
+        None => Err(ParseVerilogError::UnknownWire {
+            line,
+            name: target.to_string(),
+        }),
+    }
+}
+
+/// Handle the emitter's `assign` forms.
+#[allow(clippy::too_many_arguments)]
+fn parse_assign(
+    netlist: &mut Netlist,
+    wires: &mut HashMap<String, NetId>,
+    driven: &mut HashMap<String, bool>,
+    output_ports: &mut [(String, Vec<Option<String>>)],
+    input_bits: &HashMap<String, NetId>,
+    line: usize,
+    lhs: &str,
+    rhs: &str,
+) -> Result<(), ParseVerilogError> {
+    let unsupported = || ParseVerilogError::UnsupportedSyntax {
+        line,
+        text: format!("assign {lhs} = {rhs};"),
+    };
+
+    // Output-port binding: `assign port[bit] = wire;`
+    if let Some((port, bit)) = split_indexed(lhs) {
+        if let Some(entry) = output_ports.iter_mut().find(|(p, _)| *p == port) {
+            if bit >= entry.1.len() {
+                return Err(unsupported());
+            }
+            entry.1[bit] = Some(rhs.to_string());
+            return Ok(());
+        }
+        return Err(unsupported());
+    }
+
+    // Input-port binding: `assign wire = port[bit];`
+    if let Some(&net) = input_bits.get(rhs) {
+        match driven.get_mut(lhs) {
+            Some(flag) if *flag => {
+                return Err(ParseVerilogError::DoubleDriven {
+                    line,
+                    name: lhs.to_string(),
+                })
+            }
+            Some(flag) => {
+                *flag = true;
+                wires.insert(lhs.to_string(), net);
+                return Ok(());
+            }
+            None => {
+                return Err(ParseVerilogError::UnknownWire {
+                    line,
+                    name: lhs.to_string(),
+                })
+            }
+        }
+    }
+
+    // Compound cells: `~((a & b) | c)`, `~((a | b) & c)`, `s ? b : a`.
+    let rhs_compact: String = rhs.chars().filter(|c| !c.is_whitespace()).collect();
+    let (kind, operands) = parse_compound(&rhs_compact).ok_or_else(unsupported)?;
+    let nets: Vec<NetId> = operands
+        .iter()
+        .map(|op| lookup(wires, op, line))
+        .collect::<Result<_, _>>()?;
+    let out = netlist.add_gate(kind, &nets);
+    bind_driver(netlist, wires, driven, lhs, out, line)
+}
+
+/// Split `name[3]` into `("name", 3)`.
+fn split_indexed(s: &str) -> Option<(String, usize)> {
+    let open = s.find('[')?;
+    let close = s.find(']')?;
+    let bit: usize = s[open + 1..close].trim().parse().ok()?;
+    Some((s[..open].trim().to_string(), bit))
+}
+
+/// Recognize the compound-cell expression forms the emitter writes.
+fn parse_compound(rhs: &str) -> Option<(CellKind, Vec<String>)> {
+    // MUX2: `sel?b:a` with pin order [a, b, sel].
+    if let Some(q) = rhs.find('?') {
+        let c = rhs.find(':')?;
+        let sel = rhs[..q].to_string();
+        let b = rhs[q + 1..c].to_string();
+        let a = rhs[c + 1..].to_string();
+        return Some((CellKind::Mux2, vec![a, b, sel]));
+    }
+    // AOI21: `~((a&b)|c)`; OAI21: `~((a|b)&c)`.
+    let inner = rhs.strip_prefix("~((")?;
+    if let Some((ab, c)) = inner.split_once(")|") {
+        let (a, b) = ab.split_once('&')?;
+        let c = c.strip_suffix(')')?;
+        return Some((
+            CellKind::Aoi21,
+            vec![a.to_string(), b.to_string(), c.to_string()],
+        ));
+    }
+    if let Some((ab, c)) = inner.split_once(")&") {
+        let (a, b) = ab.split_once('|')?;
+        let c = c.strip_suffix(')')?;
+        return Some((
+            CellKind::Oai21,
+            vec![a.to_string(), b.to_string(), c.to_string()],
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::emit_verilog;
+    use crate::modules;
+
+    #[test]
+    fn round_trips_every_module_family() {
+        for nl in [
+            modules::ripple_adder(4).unwrap(),
+            modules::cla_adder(5).unwrap(),
+            modules::absval(6).unwrap(),
+            modules::csa_multiplier(4, 4).unwrap(),
+            modules::booth_wallace_multiplier(4, 4).unwrap(),
+            modules::barrel_shifter(8).unwrap(),
+            modules::gf_multiplier(4).unwrap(),
+            modules::comparator(4).unwrap(),
+            modules::mac(4).unwrap(),
+        ] {
+            let text = emit_verilog(&nl);
+            let back = parse_verilog(&text).expect("parse emitted text");
+            assert_eq!(back.gate_count(), nl.gate_count(), "{}", nl.name());
+            assert_eq!(back.input_bit_count(), nl.input_bit_count());
+            assert_eq!(back.output_bit_count(), nl.output_bit_count());
+            assert_eq!(back.register_count(), nl.register_count());
+            back.validate().expect("round-tripped netlist is valid");
+        }
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert_eq!(
+            parse_verilog("wire a;\nendmodule"),
+            Err(ParseVerilogError::MissingModuleHeader)
+        );
+    }
+
+    #[test]
+    fn rejects_missing_endmodule() {
+        assert_eq!(
+            parse_verilog("module t (a);\n  input [0:0] a;\n"),
+            Err(ParseVerilogError::MissingEndmodule)
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_wire() {
+        let text = "module t (y);\n  output [0:0] y;\n  wire n0;\n  not g0 (n0, n1);\nendmodule";
+        assert!(matches!(
+            parse_verilog(text),
+            Err(ParseVerilogError::UnknownWire { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_double_driver() {
+        let text = "module t (a, y);\n  input [0:0] a;\n  output [0:0] y;\n  \
+                    wire n0;\n  wire n1;\n  assign n0 = a[0];\n  \
+                    not g0 (n1, n0);\n  not g1 (n1, n0);\n\
+                    assign y[0] = n1;\nendmodule";
+        assert!(matches!(
+            parse_verilog(text),
+            Err(ParseVerilogError::DoubleDriven { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ParseVerilogError::UnsupportedSyntax {
+            line: 7,
+            text: "always @(posedge clk)".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

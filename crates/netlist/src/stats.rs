@@ -1,0 +1,122 @@
+//! Structural statistics and complexity reports for netlists.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::gate::CellKind;
+use crate::netlist::Netlist;
+
+/// Structural summary of a netlist: cell histogram, transistor estimate,
+/// total capacitance. Used by the Figure-3 structure report and by the
+/// regression sanity checks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Module name.
+    pub name: String,
+    /// Total number of gates.
+    pub gate_count: usize,
+    /// Total number of nets.
+    pub net_count: usize,
+    /// Primary input bits.
+    pub input_bits: usize,
+    /// Primary output bits.
+    pub output_bits: usize,
+    /// Gate count per cell kind.
+    pub cells: BTreeMap<CellKind, usize>,
+    /// Estimated transistor count.
+    pub transistors: u64,
+    /// Sum of intrinsic output capacitances plus input-pin capacitances —
+    /// a proxy for module area/switched-capacitance potential.
+    pub total_capacitance: f64,
+}
+
+impl NetlistStats {
+    /// Compute the statistics of a netlist.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+    /// use hdpm_netlist::{modules, NetlistStats};
+    /// let stats = NetlistStats::of(&modules::ripple_adder(8)?);
+    /// assert_eq!(stats.gate_count, 40);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut cells = BTreeMap::new();
+        let mut transistors = 0u64;
+        let mut total_capacitance = 0.0;
+        for gate in netlist.gates() {
+            *cells.entry(gate.kind()).or_insert(0) += 1;
+            transistors += u64::from(gate.kind().transistor_count());
+            total_capacitance += gate.kind().output_cap();
+            for pin in 0..gate.kind().arity() {
+                total_capacitance += gate.kind().input_cap(pin);
+            }
+        }
+        NetlistStats {
+            name: netlist.name().to_string(),
+            gate_count: netlist.gate_count(),
+            net_count: netlist.net_count(),
+            input_bits: netlist.input_bit_count(),
+            output_bits: netlist.output_bit_count(),
+            cells,
+            transistors,
+            total_capacitance,
+        }
+    }
+}
+
+impl std::fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}: {} gates, {} nets, {} -> {} bits, ~{} transistors, C = {:.1}",
+            self.name,
+            self.gate_count,
+            self.net_count,
+            self.input_bits,
+            self.output_bits,
+            self.transistors,
+            self.total_capacitance
+        )?;
+        for (kind, count) in &self.cells {
+            writeln!(f, "  {kind:<6} x {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules;
+
+    #[test]
+    fn ripple_adder_histogram() {
+        let stats = NetlistStats::of(&modules::ripple_adder(4).unwrap());
+        // 4 full adders of 2 XOR + 2 AND + 1 OR each.
+        assert_eq!(stats.cells[&CellKind::Xor2], 8);
+        assert_eq!(stats.cells[&CellKind::And2], 8);
+        assert_eq!(stats.cells[&CellKind::Or2], 4);
+        assert_eq!(stats.gate_count, 20);
+        assert!(stats.total_capacitance > 0.0);
+    }
+
+    #[test]
+    fn multiplier_capacitance_grows_with_area() {
+        let small = NetlistStats::of(&modules::csa_multiplier(4, 4).unwrap());
+        let large = NetlistStats::of(&modules::csa_multiplier(8, 8).unwrap());
+        assert!(large.total_capacitance > 2.0 * small.total_capacitance);
+    }
+
+    #[test]
+    fn display_contains_name_and_cells() {
+        let stats = NetlistStats::of(&modules::ripple_adder(2).unwrap());
+        let text = stats.to_string();
+        assert!(text.contains("ripple_adder_2"));
+        assert!(text.contains("XOR2"));
+    }
+}

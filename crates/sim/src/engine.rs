@@ -1,0 +1,410 @@
+//! Event-driven gate-level simulation with switched-capacitance power
+//! accounting — the reference ("golden") power source standing in for the
+//! transistor-level PowerMill runs of the paper's characterization and
+//! evaluation flows.
+//!
+//! Two timing disciplines are provided:
+//!
+//! * [`DelayModel::Unit`] — every gate has one unit of delay; hazards and
+//!   glitches propagate and are charged, as in a real circuit. This is the
+//!   default reference model.
+//! * [`DelayModel::Zero`] — gates settle instantly in topological order;
+//!   only functional (final-value) transitions are charged. Useful as an
+//!   ablation of glitch power.
+
+use hdpm_netlist::{NetDriver, NetId, ValidatedNetlist};
+use serde::{Deserialize, Serialize};
+
+use crate::pattern::BitPattern;
+
+/// Timing discipline of the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DelayModel {
+    /// Unit delay per gate; glitches are simulated and charged.
+    #[default]
+    Unit,
+    /// Zero delay; only final-value transitions are charged.
+    Zero,
+}
+
+/// Per-cycle outcome of applying one input pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleResult {
+    /// Charge drawn in this cycle (normalized capacitance × Vdd units).
+    pub charge: f64,
+    /// Total number of net toggles, including glitches.
+    pub toggles: u64,
+}
+
+/// The gate-level simulator. Owns the mutable per-net state for one
+/// validated netlist.
+///
+/// # Examples
+///
+/// ```
+/// use hdpm_netlist::modules;
+/// use hdpm_sim::{BitPattern, Simulator};
+///
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// let adder = modules::ripple_adder(4)?.validate()?;
+/// let mut sim = Simulator::new(&adder);
+/// // a = 3, b = 5 -> sum = 8.
+/// let pattern = BitPattern::new((5 << 4) | 3, 8);
+/// sim.apply(pattern);
+/// let sum = sim.output_port_value("sum").expect("port exists");
+/// assert_eq!(sum, 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a ValidatedNetlist,
+    delay_model: DelayModel,
+    /// Current logic value per net.
+    values: Vec<bool>,
+    /// Energy charged when the given net toggles: load capacitance plus the
+    /// internal capacitance of the driving cell.
+    toggle_energy: Vec<f64>,
+    /// Cumulative toggle count per net (diagnostics, node-level breakdown).
+    toggle_counts: Vec<u64>,
+    /// Input-vector nets in model bit order.
+    input_nets: Vec<NetId>,
+    /// Whether the state has been initialized by a first pattern.
+    initialized: bool,
+    /// Scratch: event queue buckets for the unit-delay walk.
+    current_events: Vec<u32>,
+    next_events: Vec<u32>,
+    /// Scratch: per-gate "already scheduled" flags.
+    scheduled: Vec<bool>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Create a simulator over a validated netlist with the default
+    /// unit-delay model.
+    pub fn new(netlist: &'a ValidatedNetlist) -> Self {
+        Self::with_delay_model(netlist, DelayModel::Unit)
+    }
+
+    /// Create a simulator with an explicit [`DelayModel`].
+    pub fn with_delay_model(netlist: &'a ValidatedNetlist, delay_model: DelayModel) -> Self {
+        let nets = netlist.netlist().net_count();
+        let gates = netlist.netlist().gate_count();
+        let mut toggle_energy = vec![0.0; nets];
+        let mut values = vec![false; nets];
+        for idx in 0..nets {
+            let net = netlist.netlist().net_id(idx);
+            let internal = match netlist.netlist().driver(net) {
+                NetDriver::Gate(g) => netlist.netlist().gate(g).kind().internal_cap(),
+                _ => 0.0,
+            };
+            toggle_energy[idx] = netlist.net_load(net) + internal;
+            // Constants hold their value from the start and never toggle.
+            if let NetDriver::Constant(v) = netlist.netlist().driver(net) {
+                values[idx] = v;
+            }
+        }
+
+        let mut sim = Simulator {
+            netlist,
+            delay_model,
+            values,
+            toggle_energy,
+            toggle_counts: vec![0; nets],
+            input_nets: netlist.netlist().input_vector(),
+            initialized: false,
+            current_events: Vec::new(),
+            next_events: Vec::new(),
+            scheduled: vec![false; gates],
+        };
+        sim.settle_quietly();
+        sim
+    }
+
+    /// Settle all combinational logic for the current input state without
+    /// charging anything (used at power-on and by [`Simulator::reset`]).
+    fn settle_quietly(&mut self) {
+        for &gid in self.netlist.topo_order() {
+            let gate = self.netlist.netlist().gate(gid);
+            let mut ins = [false; 4];
+            for (k, &inp) in gate.inputs().iter().enumerate() {
+                ins[k] = self.values[inp.index()];
+            }
+            self.values[gate.output().index()] =
+                gate.kind().eval(&ins[..gate.inputs().len()]);
+        }
+    }
+
+    /// The delay model in use.
+    pub fn delay_model(&self) -> DelayModel {
+        self.delay_model
+    }
+
+    /// Number of input bits the patterns must have.
+    pub fn input_width(&self) -> usize {
+        self.input_nets.len()
+    }
+
+    /// Apply one input pattern and settle the circuit, returning the charge
+    /// drawn by the resulting transition.
+    ///
+    /// The very first pattern initializes the circuit: the settle from the
+    /// power-on all-zero state is *not* charged (matching the convention
+    /// that characterization counts pattern-to-pattern transitions only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width does not match
+    /// [`Simulator::input_width`].
+    pub fn apply(&mut self, pattern: BitPattern) -> CycleResult {
+        assert_eq!(
+            pattern.width(),
+            self.input_width(),
+            "pattern width {} does not match module input width {}",
+            pattern.width(),
+            self.input_width()
+        );
+        let count_energy = self.initialized;
+        // Clock edge: registers sample their D nets (the settled values of
+        // the previous cycle) before the new inputs arrive.
+        let clock = self.clock_registers(count_energy);
+        let mut result = match self.delay_model {
+            DelayModel::Unit => self.apply_unit_delay(pattern, count_energy),
+            DelayModel::Zero => self.apply_zero_delay(pattern, count_energy),
+        };
+        result.charge += clock.charge;
+        result.toggles += clock.toggles;
+        self.initialized = true;
+        result
+    }
+
+    /// Advance every register by one clock edge: capture D, update Q, and
+    /// seed the fanout of changed Q nets for the coming propagation. The
+    /// clock tree itself charges a fixed per-register capacitance every
+    /// cycle (both clock edges toggle the local clock buffer).
+    fn clock_registers(&mut self, count_energy: bool) -> CycleResult {
+        /// Clock-pin capacitance charged per register per cycle.
+        const DFF_CLK_CAP: f64 = 1.6;
+
+        let registers = self.netlist.netlist().registers();
+        if registers.is_empty() {
+            return CycleResult {
+                charge: 0.0,
+                toggles: 0,
+            };
+        }
+        let mut charge = 0.0;
+        let mut toggles = 0u64;
+        if count_energy {
+            charge += DFF_CLK_CAP * registers.len() as f64;
+        }
+        // Capture all D values first (simultaneous clocking).
+        let captured: Vec<bool> = registers
+            .iter()
+            .map(|r| self.values[r.d().index()])
+            .collect();
+        for (reg, new) in registers.iter().zip(captured) {
+            let q = reg.q().index();
+            if self.values[q] != new {
+                self.values[q] = new;
+                if count_energy {
+                    charge += self.toggle_energy[q];
+                    toggles += 1;
+                    self.toggle_counts[q] += 1;
+                }
+                for &(gate, _pin) in self.netlist.fanout(reg.q()) {
+                    if !self.scheduled[gate.index()] {
+                        self.scheduled[gate.index()] = true;
+                        self.current_events.push(gate.index() as u32);
+                    }
+                }
+            }
+        }
+        CycleResult { charge, toggles }
+    }
+
+    fn apply_unit_delay(&mut self, pattern: BitPattern, count_energy: bool) -> CycleResult {
+        let mut charge = 0.0;
+        let mut toggles = 0u64;
+
+        // The clock step may already have seeded events for changed Q
+        // nets; input events merge into the same first wave.
+        // Flip changed primary inputs and seed their fanout gates.
+        for (i, &net) in self.input_nets.iter().enumerate() {
+            let new = pattern.bit(i);
+            let idx = net.index();
+            if self.values[idx] != new {
+                self.values[idx] = new;
+                if count_energy {
+                    charge += self.toggle_energy[idx];
+                    toggles += 1;
+                    self.toggle_counts[idx] += 1;
+                }
+                for &(gate, _pin) in self.netlist.fanout(net) {
+                    if !self.scheduled[gate.index()] {
+                        self.scheduled[gate.index()] = true;
+                        self.current_events.push(gate.index() as u32);
+                    }
+                }
+            }
+        }
+
+        // Unit-delay waves: all gates scheduled for this time step evaluate
+        // against the *current* net state; output changes take effect now
+        // and schedule dependents for the next step.
+        let mut guard = 0usize;
+        let max_steps = self.netlist.netlist().gate_count() + 2;
+        while !self.current_events.is_empty() {
+            guard += 1;
+            assert!(
+                guard <= max_steps,
+                "unit-delay simulation did not settle within {max_steps} steps; \
+                 netlist is acyclic so this is a bug"
+            );
+            // Evaluate the wave front.
+            let mut front = std::mem::take(&mut self.current_events);
+            for &gi in &front {
+                self.scheduled[gi as usize] = false;
+            }
+            // Compute new outputs first (simultaneous evaluation semantics),
+            // then commit, so gates within one wave see a consistent state.
+            let mut updates: Vec<(u32, bool)> = Vec::with_capacity(front.len());
+            for &gi in &front {
+                let gate = &self.netlist.netlist().gates()[gi as usize];
+                let mut ins = [false; 4];
+                for (k, &inp) in gate.inputs().iter().enumerate() {
+                    ins[k] = self.values[inp.index()];
+                }
+                let new = gate.kind().eval(&ins[..gate.inputs().len()]);
+                if new != self.values[gate.output().index()] {
+                    updates.push((gi, new));
+                }
+            }
+            for &(gi, new) in &updates {
+                let gate = &self.netlist.netlist().gates()[gi as usize];
+                let out = gate.output();
+                self.values[out.index()] = new;
+                if count_energy {
+                    charge += self.toggle_energy[out.index()];
+                    toggles += 1;
+                    self.toggle_counts[out.index()] += 1;
+                }
+                for &(dep, _pin) in self.netlist.fanout(out) {
+                    if !self.scheduled[dep.index()] {
+                        self.scheduled[dep.index()] = true;
+                        self.next_events.push(dep.index() as u32);
+                    }
+                }
+            }
+            front.clear();
+            std::mem::swap(&mut self.current_events, &mut self.next_events);
+        }
+
+        CycleResult { charge, toggles }
+    }
+
+    fn apply_zero_delay(&mut self, pattern: BitPattern, count_energy: bool) -> CycleResult {
+        // Zero-delay evaluation walks every gate in topological order, so
+        // the event seeds from the clock step are not needed.
+        for gi in self.current_events.drain(..) {
+            self.scheduled[gi as usize] = false;
+        }
+        let mut charge = 0.0;
+        let mut toggles = 0u64;
+        for (i, &net) in self.input_nets.iter().enumerate() {
+            let new = pattern.bit(i);
+            let idx = net.index();
+            if self.values[idx] != new {
+                self.values[idx] = new;
+                if count_energy {
+                    charge += self.toggle_energy[idx];
+                    toggles += 1;
+                    self.toggle_counts[idx] += 1;
+                }
+            }
+        }
+        for &gid in self.netlist.topo_order() {
+            let gate = self.netlist.netlist().gate(gid);
+            let mut ins = [false; 4];
+            for (k, &inp) in gate.inputs().iter().enumerate() {
+                ins[k] = self.values[inp.index()];
+            }
+            let new = gate.kind().eval(&ins[..gate.inputs().len()]);
+            let idx = gate.output().index();
+            if self.values[idx] != new {
+                self.values[idx] = new;
+                if count_energy {
+                    charge += self.toggle_energy[idx];
+                    toggles += 1;
+                    self.toggle_counts[idx] += 1;
+                }
+            }
+        }
+        CycleResult { charge, toggles }
+    }
+
+    /// Current logic value of a net.
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Value of a named output port interpreted as an unsigned integer,
+    /// LSB-first, or `None` if the port does not exist.
+    pub fn output_port_value(&self, name: &str) -> Option<u64> {
+        let port = self.netlist.netlist().output_port(name)?;
+        let mut value = 0u64;
+        for (i, &bit) in port.bits().iter().enumerate() {
+            if self.values[bit.index()] {
+                value |= 1 << i;
+            }
+        }
+        Some(value)
+    }
+
+    /// Value of a named output port sign-extended as a two's-complement
+    /// word, or `None` if the port does not exist.
+    pub fn output_port_value_signed(&self, name: &str) -> Option<i64> {
+        let port = self.netlist.netlist().output_port(name)?;
+        let width = port.width();
+        let raw = self.output_port_value(name)?;
+        Some(sign_extend(raw, width))
+    }
+
+    /// Cumulative per-net toggle counts (diagnostics).
+    pub fn toggle_counts(&self) -> &[u64] {
+        &self.toggle_counts
+    }
+
+    /// Energy charged per toggle of each net: load capacitance plus the
+    /// driving cell's internal capacitance, indexed by net index.
+    pub fn toggle_energies(&self) -> &[f64] {
+        &self.toggle_energy
+    }
+
+    /// Reset all state to power-on (inputs low, registers cleared,
+    /// counters cleared), so the next pattern initializes again without
+    /// being charged.
+    pub fn reset(&mut self) {
+        for idx in 0..self.values.len() {
+            self.values[idx] = matches!(
+                self.netlist.netlist().driver(self.netlist.netlist().net_id(idx)),
+                NetDriver::Constant(true)
+            );
+        }
+        self.settle_quietly();
+        self.toggle_counts.iter_mut().for_each(|c| *c = 0);
+        self.initialized = false;
+    }
+}
+
+fn sign_extend(raw: u64, width: usize) -> i64 {
+    debug_assert!((1..=64).contains(&width));
+    if width == 64 {
+        return raw as i64;
+    }
+    let sign = 1u64 << (width - 1);
+    if raw & sign != 0 {
+        (raw | !((1u64 << width) - 1)) as i64
+    } else {
+        raw as i64
+    }
+}

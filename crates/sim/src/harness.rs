@@ -1,0 +1,286 @@
+//! Stream-to-trace harness: drive pattern or word sequences through a
+//! module and collect the per-cycle reference data the macro-model is
+//! characterized and evaluated against.
+
+use hdpm_netlist::ValidatedNetlist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{DelayModel, Simulator};
+use crate::pattern::{concat_patterns, pack_word, BitPattern};
+
+/// One observed input transition: the pattern that was applied, its
+/// classification features, and the reference charge it drew.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleSample {
+    /// The input pattern applied in this cycle.
+    pub pattern: BitPattern,
+    /// Hamming distance to the previous pattern (eq. 1).
+    pub hd: usize,
+    /// Number of stable-zero bits relative to the previous pattern (the
+    /// enhanced model's secondary criterion, §3).
+    pub stable_zeros: usize,
+    /// Reference charge drawn by this transition.
+    pub charge: f64,
+    /// Total net toggles, including glitches.
+    pub toggles: u64,
+}
+
+/// A complete reference trace of a module under one input stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Module name the trace was recorded on.
+    pub module: String,
+    /// Module input width `m`.
+    pub input_width: usize,
+    /// One sample per applied transition (the initializing first pattern is
+    /// not a transition and produces no sample).
+    pub samples: Vec<CycleSample>,
+}
+
+impl Trace {
+    /// Total charge over the trace.
+    pub fn total_charge(&self) -> f64 {
+        self.samples.iter().map(|s| s.charge).sum()
+    }
+
+    /// Average charge per cycle.
+    pub fn average_charge(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.total_charge() / self.samples.len() as f64
+        }
+    }
+
+    /// Empirical Hamming-distance histogram: `hist[i]` counts transitions
+    /// with `Hd = i`, for `i` in `0..=input_width`.
+    pub fn hd_histogram(&self) -> Vec<u64> {
+        let mut hist = vec![0u64; self.input_width + 1];
+        for s in &self.samples {
+            hist[s.hd] += 1;
+        }
+        hist
+    }
+
+    /// Empirical Hamming-distance distribution (histogram normalized to
+    /// probabilities). Empty traces yield an all-zero distribution.
+    pub fn hd_distribution(&self) -> Vec<f64> {
+        let hist = self.hd_histogram();
+        let n = self.samples.len() as f64;
+        hist.iter()
+            .map(|&c| if n > 0.0 { c as f64 / n } else { 0.0 })
+            .collect()
+    }
+
+    /// Average Hamming distance over the trace.
+    pub fn average_hd(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.hd as f64).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// Run a pattern sequence through a module under the given delay model.
+///
+/// The first pattern initializes the circuit; every subsequent pattern
+/// produces one [`CycleSample`].
+///
+/// # Panics
+///
+/// Panics if any pattern's width does not match the module input width.
+///
+/// # Examples
+///
+/// ```
+/// use hdpm_netlist::modules;
+/// use hdpm_sim::{run_patterns, BitPattern, DelayModel};
+///
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// let adder = modules::ripple_adder(2)?.validate()?;
+/// let patterns = vec![
+///     BitPattern::new(0b0000, 4),
+///     BitPattern::new(0b1111, 4),
+///     BitPattern::new(0b0000, 4),
+/// ];
+/// let trace = run_patterns(&adder, &patterns, DelayModel::Unit);
+/// assert_eq!(trace.samples.len(), 2);
+/// assert!(trace.total_charge() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_patterns(
+    netlist: &ValidatedNetlist,
+    patterns: &[BitPattern],
+    delay_model: DelayModel,
+) -> Trace {
+    let mut sim = Simulator::with_delay_model(netlist, delay_model);
+    let mut samples = Vec::with_capacity(patterns.len().saturating_sub(1));
+    let mut prev: Option<BitPattern> = None;
+    for &p in patterns {
+        let result = sim.apply(p);
+        if let Some(prev) = prev {
+            samples.push(CycleSample {
+                pattern: p,
+                hd: prev.hamming_distance(p),
+                stable_zeros: prev.stable_zeros(p),
+                charge: result.charge,
+                toggles: result.toggles,
+            });
+        }
+        prev = Some(p);
+    }
+    Trace {
+        module: netlist.netlist().name().to_string(),
+        input_width: netlist.netlist().input_bit_count(),
+        samples,
+    }
+}
+
+/// Convert per-operand word streams into module input patterns.
+///
+/// `operand_words[k]` is the word stream for the `k`-th input port of the
+/// module (declaration order); each word is packed two's-complement into the
+/// port's width. All streams must have equal length.
+///
+/// # Panics
+///
+/// Panics if the number of streams does not match the number of input
+/// ports, or the streams have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use hdpm_netlist::modules;
+/// use hdpm_sim::patterns_from_words;
+///
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// let adder = modules::ripple_adder(4)?;
+/// let patterns = patterns_from_words(&adder, &[vec![3, -1], vec![5, 0]]);
+/// assert_eq!(patterns.len(), 2);
+/// assert_eq!(patterns[0].bits(), (5 << 4) | 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn patterns_from_words(
+    netlist: &hdpm_netlist::Netlist,
+    operand_words: &[Vec<i64>],
+) -> Vec<BitPattern> {
+    let ports = netlist.input_ports();
+    assert_eq!(
+        operand_words.len(),
+        ports.len(),
+        "module `{}` has {} input ports but {} word streams were supplied",
+        netlist.name(),
+        ports.len(),
+        operand_words.len()
+    );
+    let len = operand_words.first().map_or(0, Vec::len);
+    for (k, stream) in operand_words.iter().enumerate() {
+        assert_eq!(
+            stream.len(),
+            len,
+            "word stream {k} has length {} but stream 0 has length {len}",
+            stream.len()
+        );
+    }
+    (0..len)
+        .map(|j| {
+            let parts: Vec<BitPattern> = operand_words
+                .iter()
+                .zip(ports)
+                .map(|(stream, port)| pack_word(stream[j], port.width()))
+                .collect();
+            concat_patterns(&parts)
+        })
+        .collect()
+}
+
+/// Run word streams through a module (convenience composition of
+/// [`patterns_from_words`] and [`run_patterns`]).
+///
+/// # Panics
+///
+/// See [`patterns_from_words`].
+pub fn run_words(
+    netlist: &ValidatedNetlist,
+    operand_words: &[Vec<i64>],
+    delay_model: DelayModel,
+) -> Trace {
+    let patterns = patterns_from_words(netlist.netlist(), operand_words);
+    run_patterns(netlist, &patterns, delay_model)
+}
+
+/// Generate `n` uniformly random patterns of the given width — the
+/// characterization stimulus of §4.1 (data type I).
+///
+/// # Panics
+///
+/// Panics if `width` is zero or exceeds
+/// [`crate::pattern::MAX_PATTERN_BITS`].
+pub fn random_patterns(width: usize, n: usize, seed: u64) -> Vec<BitPattern> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| BitPattern::from_masked(rng.gen::<u64>(), width))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdpm_netlist::modules;
+
+    #[test]
+    fn trace_statistics_are_consistent() {
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        let patterns = random_patterns(8, 200, 7);
+        let trace = run_patterns(&adder, &patterns, DelayModel::Unit);
+        assert_eq!(trace.samples.len(), 199);
+        let hist = trace.hd_histogram();
+        assert_eq!(hist.iter().sum::<u64>(), 199);
+        let dist = trace.hd_distribution();
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(trace.average_hd() > 0.0);
+        assert!(trace.average_charge() > 0.0);
+    }
+
+    #[test]
+    fn identical_patterns_draw_no_charge() {
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        let p = BitPattern::new(0b1010_0101, 8);
+        let trace = run_patterns(&adder, &[p, p, p], DelayModel::Unit);
+        assert_eq!(trace.samples.len(), 2);
+        for s in &trace.samples {
+            assert_eq!(s.hd, 0);
+            assert_eq!(s.charge, 0.0);
+            assert_eq!(s.toggles, 0);
+        }
+    }
+
+    #[test]
+    fn words_round_trip_through_ports() {
+        let mul = modules::csa_multiplier(4, 4).unwrap();
+        let patterns = patterns_from_words(&mul, &[vec![-3], vec![2]]);
+        // a = -3 -> 0b1101, b = 2 -> 0b0010.
+        assert_eq!(patterns[0].bits(), (0b0010 << 4) | 0b1101);
+    }
+
+    #[test]
+    fn random_patterns_are_reproducible() {
+        let a = random_patterns(16, 50, 42);
+        let b = random_patterns(16, 50, 42);
+        let c = random_patterns(16, 50, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "word streams were supplied")]
+    fn wrong_stream_count_panics() {
+        let adder = modules::ripple_adder(4).unwrap();
+        patterns_from_words(&adder, &[vec![1]]);
+    }
+}

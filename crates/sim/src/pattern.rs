@@ -1,0 +1,278 @@
+//! Packed input patterns and Hamming-distance primitives.
+//!
+//! A module input vector (the concatenation of all input ports, LSB first —
+//! see [`hdpm_netlist::Netlist::input_vector`]) is packed into a single
+//! `u64`, which covers every module in the paper's evaluation (a 16×16
+//! multiplier has 32 input bits) with room to spare. Hamming distances and
+//! stable-zero counts — the classification criteria of the basic and
+//! enhanced Hd models (§3) — are single popcount instructions on this
+//! representation.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of input bits a packed pattern can hold.
+pub const MAX_PATTERN_BITS: usize = 64;
+
+/// A packed input bit pattern of up to 64 bits.
+///
+/// Bit `i` of [`BitPattern::bits`] is input-vector position `i`.
+///
+/// # Examples
+///
+/// ```
+/// use hdpm_sim::BitPattern;
+///
+/// let a = BitPattern::new(0b1010, 4);
+/// let b = BitPattern::new(0b0110, 4);
+/// assert_eq!(a.hamming_distance(b), 2);
+/// assert_eq!(a.stable_zeros(b), 1); // only bit 0 is 0 in both
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitPattern {
+    bits: u64,
+    width: u8,
+}
+
+impl BitPattern {
+    /// Create a pattern of `width` bits from the low bits of `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_PATTERN_BITS`], or if
+    /// `bits` has bits set beyond `width`.
+    pub fn new(bits: u64, width: usize) -> Self {
+        assert!(
+            (1..=MAX_PATTERN_BITS).contains(&width),
+            "pattern width {width} out of range 1..={MAX_PATTERN_BITS}"
+        );
+        if width < 64 {
+            assert_eq!(
+                bits >> width,
+                0,
+                "bits 0x{bits:x} exceed declared width {width}"
+            );
+        }
+        BitPattern {
+            bits,
+            width: width as u8,
+        }
+    }
+
+    /// Create a pattern of `width` bits, masking away any higher bits.
+    pub fn from_masked(bits: u64, width: usize) -> Self {
+        assert!(
+            (1..=MAX_PATTERN_BITS).contains(&width),
+            "pattern width {width} out of range 1..={MAX_PATTERN_BITS}"
+        );
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        BitPattern {
+            bits: bits & mask,
+            width: width as u8,
+        }
+    }
+
+    /// The all-zero pattern of the given width.
+    pub fn zero(width: usize) -> Self {
+        BitPattern::new(0, width)
+    }
+
+    /// Raw packed bits.
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Number of valid bits.
+    pub fn width(self) -> usize {
+        self.width as usize
+    }
+
+    /// Value of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn bit(self, i: usize) -> bool {
+        assert!(i < self.width(), "bit index {i} out of range");
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// Hamming distance to another pattern (eq. 1 of the paper): the number
+    /// of bit positions in which the two patterns differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn hamming_distance(self, other: BitPattern) -> usize {
+        assert_eq!(self.width, other.width, "pattern widths must match");
+        (self.bits ^ other.bits).count_ones() as usize
+    }
+
+    /// Number of *stable zero* bits between consecutive patterns: positions
+    /// that hold logic 0 in both — the secondary classification criterion of
+    /// the enhanced Hd model (§3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn stable_zeros(self, other: BitPattern) -> usize {
+        assert_eq!(self.width, other.width, "pattern widths must match");
+        let stable_zero = !(self.bits | other.bits);
+        let mask = if self.width() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width()) - 1
+        };
+        (stable_zero & mask).count_ones() as usize
+    }
+
+    /// Number of *stable one* bits between consecutive patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn stable_ones(self, other: BitPattern) -> usize {
+        assert_eq!(self.width, other.width, "pattern widths must match");
+        (self.bits & other.bits).count_ones() as usize
+    }
+
+    /// Iterate over the bits, LSB first.
+    pub fn iter_bits(self) -> impl Iterator<Item = bool> {
+        (0..self.width()).map(move |i| (self.bits >> i) & 1 == 1)
+    }
+}
+
+impl std::fmt::Display for BitPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in (0..self.width()).rev() {
+            write!(f, "{}", u8::from(self.bit(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Binary for BitPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Binary::fmt(&self.bits, f)
+    }
+}
+
+impl std::fmt::LowerHex for BitPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.bits, f)
+    }
+}
+
+/// Pack a two's-complement word into `width` bits (masking to the word
+/// range), LSB first — the conversion used when driving module operands
+/// from stream words.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or exceeds [`MAX_PATTERN_BITS`].
+///
+/// # Examples
+///
+/// ```
+/// use hdpm_sim::pack_word;
+///
+/// assert_eq!(pack_word(-1, 4).bits(), 0b1111);
+/// assert_eq!(pack_word(5, 4).bits(), 0b0101);
+/// ```
+pub fn pack_word(value: i64, width: usize) -> BitPattern {
+    BitPattern::from_masked(value as u64, width)
+}
+
+/// Concatenate patterns into one wider pattern; `parts[0]` occupies the
+/// least-significant positions.
+///
+/// # Panics
+///
+/// Panics if the total width exceeds [`MAX_PATTERN_BITS`] or `parts` is
+/// empty.
+pub fn concat_patterns(parts: &[BitPattern]) -> BitPattern {
+    assert!(!parts.is_empty(), "cannot concatenate zero patterns");
+    let total: usize = parts.iter().map(|p| p.width()).sum();
+    assert!(
+        total <= MAX_PATTERN_BITS,
+        "concatenated width {total} exceeds {MAX_PATTERN_BITS}"
+    );
+    let mut bits = 0u64;
+    let mut shift = 0;
+    for p in parts {
+        bits |= p.bits() << shift;
+        shift += p.width();
+    }
+    BitPattern::new(bits, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_distance_is_symmetric_and_zero_on_self() {
+        let a = BitPattern::new(0b1100_1010, 8);
+        let b = BitPattern::new(0b0110_0110, 8);
+        assert_eq!(a.hamming_distance(b), b.hamming_distance(a));
+        assert_eq!(a.hamming_distance(a), 0);
+    }
+
+    #[test]
+    fn stable_counts_partition_the_word() {
+        let a = BitPattern::new(0b1100, 4);
+        let b = BitPattern::new(0b1010, 4);
+        let hd = a.hamming_distance(b);
+        let z = a.stable_zeros(b);
+        let o = a.stable_ones(b);
+        assert_eq!(hd + z + o, 4);
+        assert_eq!(z, 1);
+        assert_eq!(o, 1);
+        assert_eq!(hd, 2);
+    }
+
+    #[test]
+    fn pack_word_two_complement() {
+        assert_eq!(pack_word(-8, 4).bits(), 0b1000);
+        assert_eq!(pack_word(7, 4).bits(), 0b0111);
+        assert_eq!(pack_word(-1, 16).bits(), 0xFFFF);
+    }
+
+    #[test]
+    fn concat_orders_lsb_first() {
+        let lo = BitPattern::new(0b01, 2);
+        let hi = BitPattern::new(0b11, 2);
+        let cat = concat_patterns(&[lo, hi]);
+        assert_eq!(cat.bits(), 0b1101);
+        assert_eq!(cat.width(), 4);
+    }
+
+    #[test]
+    fn width_64_is_supported() {
+        let a = BitPattern::new(u64::MAX, 64);
+        let b = BitPattern::zero(64);
+        assert_eq!(a.hamming_distance(b), 64);
+        assert_eq!(a.stable_zeros(a), 0);
+        assert_eq!(b.stable_zeros(b), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed declared width")]
+    fn new_rejects_overflowing_bits() {
+        BitPattern::new(0b10000, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths must match")]
+    fn hd_rejects_mixed_widths() {
+        BitPattern::zero(4).hamming_distance(BitPattern::zero(5));
+    }
+
+    #[test]
+    fn display_is_msb_first() {
+        assert_eq!(BitPattern::new(0b0011, 4).to_string(), "0011");
+    }
+}

@@ -1,0 +1,414 @@
+//! Functional correctness of every module generator, checked against plain
+//! integer arithmetic through the gate-level simulator, plus cross-checks
+//! between the two delay models.
+
+use hdpm_netlist::{modules, ValidatedNetlist};
+use hdpm_sim::{concat_patterns, pack_word, BitPattern, DelayModel, Simulator};
+use proptest::prelude::*;
+
+fn signed_range(m: usize) -> std::ops::RangeInclusive<i64> {
+    -(1i64 << (m - 1))..=(1i64 << (m - 1)) - 1
+}
+
+/// Apply two operand words and return the named output port (unsigned).
+fn eval2(sim: &mut Simulator<'_>, m1: usize, m2: usize, a: i64, b: i64, port: &str) -> u64 {
+    let pattern = concat_patterns(&[pack_word(a, m1), pack_word(b, m2)]);
+    sim.apply(pattern);
+    sim.output_port_value(port).expect("port exists")
+}
+
+fn eval1(sim: &mut Simulator<'_>, m: usize, x: i64, port: &str) -> u64 {
+    sim.apply(pack_word(x, m));
+    sim.output_port_value(port).expect("port exists")
+}
+
+fn mask(m: usize) -> u64 {
+    if m == 64 {
+        u64::MAX
+    } else {
+        (1u64 << m) - 1
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ripple_adder_adds(m in 1usize..=12, seed in any::<u64>()) {
+        let nl = modules::ripple_adder(m).unwrap().validate().unwrap();
+        let mut sim = Simulator::new(&nl);
+        let mut rng_state = seed;
+        for _ in 0..8 {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (rng_state >> 8) as i64 & mask(m) as i64;
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = (rng_state >> 8) as i64 & mask(m) as i64;
+            let sum = eval2(&mut sim, m, m, a, b, "sum");
+            let cout = eval2(&mut sim, m, m, a, b, "cout");
+            prop_assert_eq!(sum, (a + b) as u64 & mask(m));
+            prop_assert_eq!(cout, ((a + b) as u64 >> m) & 1);
+        }
+    }
+
+    #[test]
+    fn cla_matches_ripple(m in 1usize..=10, a in 0i64..1024, b in 0i64..1024) {
+        let a = a & mask(m) as i64;
+        let b = b & mask(m) as i64;
+        let rpl = modules::ripple_adder(m).unwrap().validate().unwrap();
+        let cla = modules::cla_adder(m).unwrap().validate().unwrap();
+        let mut s1 = Simulator::new(&rpl);
+        let mut s2 = Simulator::new(&cla);
+        prop_assert_eq!(
+            eval2(&mut s1, m, m, a, b, "sum"),
+            eval2(&mut s2, m, m, a, b, "sum")
+        );
+        prop_assert_eq!(
+            eval2(&mut s1, m, m, a, b, "cout"),
+            eval2(&mut s2, m, m, a, b, "cout")
+        );
+    }
+
+    #[test]
+    fn absval_is_absolute_value(m in 2usize..=12, x in any::<i64>()) {
+        let x = {
+            let lo = *signed_range(m).start();
+            let hi = *signed_range(m).end();
+            lo + (x.rem_euclid(hi - lo + 1))
+        };
+        let nl = modules::absval(m).unwrap().validate().unwrap();
+        let mut sim = Simulator::new(&nl);
+        let y = eval1(&mut sim, m, x, "y");
+        // |min| wraps to min in two's complement.
+        let expected = if x == *signed_range(m).start() {
+            x as u64 & mask(m)
+        } else {
+            x.unsigned_abs() & mask(m)
+        };
+        prop_assert_eq!(y, expected);
+    }
+
+    #[test]
+    fn unsigned_csa_multiplies(m1 in 1usize..=8, m2 in 1usize..=8,
+                               a in any::<u64>(), b in any::<u64>()) {
+        let a = (a & mask(m1)) as i64;
+        let b = (b & mask(m2)) as i64;
+        let nl = modules::csa_multiplier_unsigned(m1, m2).unwrap().validate().unwrap();
+        let mut sim = Simulator::new(&nl);
+        let p = eval2(&mut sim, m1, m2, a, b, "p");
+        prop_assert_eq!(p, (a as u64 * b as u64) & mask(m1 + m2));
+    }
+
+    #[test]
+    fn signed_csa_multiplies(m1 in 2usize..=8, m2 in 2usize..=8,
+                             a in any::<i64>(), b in any::<i64>()) {
+        let a = *signed_range(m1).start()
+            + a.rem_euclid(signed_range(m1).end() - signed_range(m1).start() + 1);
+        let b = *signed_range(m2).start()
+            + b.rem_euclid(signed_range(m2).end() - signed_range(m2).start() + 1);
+        let nl = modules::csa_multiplier(m1, m2).unwrap().validate().unwrap();
+        let mut sim = Simulator::new(&nl);
+        let p = eval2(&mut sim, m1, m2, a, b, "p");
+        prop_assert_eq!(p, (a.wrapping_mul(b)) as u64 & mask(m1 + m2));
+    }
+
+    #[test]
+    fn booth_wallace_multiplies(m1 in 2usize..=8, m2 in 2usize..=8,
+                                a in any::<i64>(), b in any::<i64>()) {
+        let a = *signed_range(m1).start()
+            + a.rem_euclid(signed_range(m1).end() - signed_range(m1).start() + 1);
+        let b = *signed_range(m2).start()
+            + b.rem_euclid(signed_range(m2).end() - signed_range(m2).start() + 1);
+        let nl = modules::booth_wallace_multiplier(m1, m2).unwrap().validate().unwrap();
+        let mut sim = Simulator::new(&nl);
+        let p = eval2(&mut sim, m1, m2, a, b, "p");
+        prop_assert_eq!(p, (a.wrapping_mul(b)) as u64 & mask(m1 + m2));
+    }
+
+    #[test]
+    fn carry_select_matches_ripple(m in 1usize..=14, a in any::<u64>(), b in any::<u64>()) {
+        let a = (a & mask(m)) as i64;
+        let b = (b & mask(m)) as i64;
+        let rpl = modules::ripple_adder(m).unwrap().validate().unwrap();
+        let sel = modules::carry_select_adder(m).unwrap().validate().unwrap();
+        let mut s1 = Simulator::new(&rpl);
+        let mut s2 = Simulator::new(&sel);
+        prop_assert_eq!(
+            eval2(&mut s1, m, m, a, b, "sum"),
+            eval2(&mut s2, m, m, a, b, "sum")
+        );
+        prop_assert_eq!(
+            eval2(&mut s1, m, m, a, b, "cout"),
+            eval2(&mut s2, m, m, a, b, "cout")
+        );
+    }
+
+    #[test]
+    fn carry_skip_matches_ripple(m in 1usize..=14, a in any::<u64>(), b in any::<u64>()) {
+        let a = (a & mask(m)) as i64;
+        let b = (b & mask(m)) as i64;
+        let rpl = modules::ripple_adder(m).unwrap().validate().unwrap();
+        let skip = modules::carry_skip_adder(m).unwrap().validate().unwrap();
+        let mut s1 = Simulator::new(&rpl);
+        let mut s2 = Simulator::new(&skip);
+        prop_assert_eq!(
+            eval2(&mut s1, m, m, a, b, "sum"),
+            eval2(&mut s2, m, m, a, b, "sum")
+        );
+        prop_assert_eq!(
+            eval2(&mut s1, m, m, a, b, "cout"),
+            eval2(&mut s2, m, m, a, b, "cout")
+        );
+    }
+
+    #[test]
+    fn barrel_shifter_shifts(m in 2usize..=16, x in any::<u64>(), s in 0usize..32) {
+        let nl = modules::barrel_shifter(m).unwrap().validate().unwrap();
+        let s_bits = modules::shift_amount_bits(m);
+        let s = s & ((1 << s_bits) - 1);
+        let x = x & mask(m);
+        let mut sim = Simulator::new(&nl);
+        let pattern = concat_patterns(&[
+            pack_word(x as i64, m),
+            pack_word(s as i64, s_bits),
+        ]);
+        sim.apply(pattern);
+        let y = sim.output_port_value("y").expect("port exists");
+        let expected = if s >= m { 0 } else { (x << s) & mask(m) };
+        prop_assert_eq!(y, expected);
+    }
+
+    #[test]
+    fn divider_divides(m in 1usize..=10, x in any::<u64>(), d in any::<u64>()) {
+        let x = x & mask(m);
+        let d = d & mask(m);
+        let nl = modules::divider(m).unwrap().validate().unwrap();
+        let mut sim = Simulator::new(&nl);
+        let q = eval2(&mut sim, m, m, x as i64, d as i64, "q");
+        let r = eval2(&mut sim, m, m, x as i64, d as i64, "r");
+        match (x.checked_div(d), x.checked_rem(d)) {
+            (Some(expected_q), Some(expected_r)) => {
+                prop_assert_eq!(q, expected_q);
+                prop_assert_eq!(r, expected_r);
+            }
+            _ => {
+                // Documented degenerate behaviour of the restoring array.
+                prop_assert_eq!(q, mask(m));
+                prop_assert_eq!(r, x);
+            }
+        }
+    }
+
+    #[test]
+    fn gf_multiplier_matches_reference(m in 2usize..=12, a in any::<u64>(), b in any::<u64>()) {
+        let a = a & mask(m);
+        let b = b & mask(m);
+        let poly = modules::default_polynomial(m).expect("tabulated");
+        let nl = modules::gf_multiplier(m).unwrap().validate().unwrap();
+        let mut sim = Simulator::new(&nl);
+        let p = eval2(&mut sim, m, m, a as i64, b as i64, "p");
+        prop_assert_eq!(p, modules::gf_mul_reference(a, b, m, poly));
+    }
+
+    #[test]
+    fn subtractor_subtracts(m in 1usize..=12, a in any::<u64>(), b in any::<u64>()) {
+        let a = (a & mask(m)) as i64;
+        let b = (b & mask(m)) as i64;
+        let nl = modules::subtractor(m).unwrap().validate().unwrap();
+        let mut sim = Simulator::new(&nl);
+        let d = eval2(&mut sim, m, m, a, b, "d");
+        prop_assert_eq!(d, (a - b) as u64 & mask(m));
+    }
+
+    #[test]
+    fn incrementer_increments(m in 1usize..=12, x in any::<u64>()) {
+        let x = (x & mask(m)) as i64;
+        let nl = modules::incrementer(m).unwrap().validate().unwrap();
+        let mut sim = Simulator::new(&nl);
+        let y = eval1(&mut sim, m, x, "y");
+        prop_assert_eq!(y, (x + 1) as u64 & mask(m));
+    }
+
+    #[test]
+    fn comparator_compares(m in 1usize..=10, a in any::<u64>(), b in any::<u64>()) {
+        let a = a & mask(m);
+        let b = b & mask(m);
+        let nl = modules::comparator(m).unwrap().validate().unwrap();
+        let mut sim = Simulator::new(&nl);
+        let eq = eval2(&mut sim, m, m, a as i64, b as i64, "eq");
+        let gt = eval2(&mut sim, m, m, a as i64, b as i64, "gt");
+        prop_assert_eq!(eq == 1, a == b);
+        prop_assert_eq!(gt == 1, a > b);
+    }
+
+    #[test]
+    fn delay_models_agree_functionally(seed in any::<u64>()) {
+        let nl = modules::booth_wallace_multiplier(6, 6).unwrap().validate().unwrap();
+        let patterns = hdpm_sim::random_patterns(12, 20, seed);
+        let outputs = |nl: &ValidatedNetlist, dm| {
+            let mut sim = Simulator::with_delay_model(nl, dm);
+            patterns
+                .iter()
+                .map(|&p| {
+                    sim.apply(p);
+                    sim.output_port_value("p").unwrap()
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(outputs(&nl, DelayModel::Unit), outputs(&nl, DelayModel::Zero));
+    }
+
+    #[test]
+    fn unit_delay_charges_at_least_zero_delay(seed in any::<u64>()) {
+        // Glitches can only add energy on top of the functional transitions.
+        let nl = modules::csa_multiplier(6, 6).unwrap().validate().unwrap();
+        let patterns = hdpm_sim::random_patterns(12, 30, seed);
+        let unit = hdpm_sim::run_patterns(&nl, &patterns, DelayModel::Unit);
+        let zero = hdpm_sim::run_patterns(&nl, &patterns, DelayModel::Zero);
+        prop_assert!(unit.total_charge() >= zero.total_charge() - 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mac_accumulates(m in 2usize..=6, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let nl = modules::mac(m).unwrap().validate().unwrap();
+        let acc_width = 2 * m + modules::MAC_GUARD_BITS;
+        let mut sim = Simulator::new(&nl);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let lo = -(1i64 << (m - 1));
+        let hi = (1i64 << (m - 1)) - 1;
+        let mut expected: i64 = 0;
+        let wrap = |v: i64| -> u64 { (v as u64) & mask(acc_width) };
+        for step in 0..12 {
+            let a = rng.gen_range(lo..=hi);
+            let b = rng.gen_range(lo..=hi);
+            let pattern = concat_patterns(&[pack_word(a, m), pack_word(b, m)]);
+            sim.apply(pattern);
+            // After this apply, the register holds the sum of all products
+            // captured so far (everything before the current operands).
+            prop_assert_eq!(
+                sim.output_port_value("acc").unwrap(),
+                wrap(expected),
+                "step {}", step
+            );
+            expected = expected.wrapping_add(a.wrapping_mul(b));
+        }
+    }
+}
+
+#[test]
+fn idle_mac_draws_only_clock_power() {
+    // Zero operands: the accumulator holds 0 forever, so per-cycle charge
+    // reduces to the clock-tree contribution.
+    let nl = modules::mac(4).unwrap().validate().unwrap();
+    let mut sim = Simulator::new(&nl);
+    let zero = BitPattern::zero(8);
+    sim.apply(zero);
+    let steady = sim.apply(zero);
+    assert!(steady.charge > 0.0, "clock power is never zero");
+    assert_eq!(steady.toggles, 0, "no data toggles while idle");
+    // Clock charge scales with the register count.
+    let per_reg = steady.charge / nl.netlist().register_count() as f64;
+    assert!((1.0..3.0).contains(&per_reg), "per-register clock charge {per_reg}");
+}
+
+#[test]
+fn mac_power_exceeds_multiplier_power() {
+    // The MAC contains the multiplier plus accumulator and clock tree.
+    let mul = modules::csa_multiplier(4, 4).unwrap().validate().unwrap();
+    let mac = modules::mac(4).unwrap().validate().unwrap();
+    let patterns = hdpm_sim::random_patterns(8, 500, 5);
+    let p_mul = hdpm_sim::run_patterns(&mul, &patterns, DelayModel::Unit).average_charge();
+    let p_mac = hdpm_sim::run_patterns(&mac, &patterns, DelayModel::Unit).average_charge();
+    assert!(p_mac > p_mul, "mac {p_mac} vs multiplier {p_mul}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn verilog_round_trip_preserves_behaviour_and_power(seed in any::<u64>()) {
+        // Emit -> parse -> simulate both netlists on the same stimulus:
+        // identical outputs, identical per-cycle charge.
+        let original = modules::booth_wallace_multiplier(4, 4)
+            .unwrap()
+            .validate()
+            .unwrap();
+        let text = hdpm_netlist::emit_verilog(original.netlist());
+        let reparsed = hdpm_netlist::parse_verilog(&text)
+            .expect("emitted text parses")
+            .validate()
+            .expect("round-tripped netlist validates");
+        let patterns = hdpm_sim::random_patterns(8, 50, seed);
+        let t1 = hdpm_sim::run_patterns(&original, &patterns, DelayModel::Unit);
+        let t2 = hdpm_sim::run_patterns(&reparsed, &patterns, DelayModel::Unit);
+        for (a, b) in t1.samples.iter().zip(&t2.samples) {
+            prop_assert_eq!(a.hd, b.hd);
+            prop_assert!((a.charge - b.charge).abs() < 1e-9,
+                "charge {} vs {}", a.charge, b.charge);
+        }
+        // And the functional outputs agree.
+        let mut s1 = Simulator::new(&original);
+        let mut s2 = Simulator::new(&reparsed);
+        for &p in &patterns {
+            s1.apply(p);
+            s2.apply(p);
+            prop_assert_eq!(
+                s1.output_port_value("p").unwrap(),
+                s2.output_port_value("p").unwrap()
+            );
+        }
+    }
+}
+
+#[test]
+fn reset_restores_power_on_state() {
+    let nl = modules::ripple_adder(4).unwrap().validate().unwrap();
+    let mut sim = Simulator::new(&nl);
+    let p = BitPattern::new(0xAB, 8);
+    let first = sim.apply(p);
+    assert_eq!(first.charge, 0.0, "initializing pattern is not charged");
+    let again = sim.apply(BitPattern::new(0x54, 8));
+    assert!(again.charge > 0.0);
+    sim.reset();
+    let after_reset = sim.apply(p);
+    assert_eq!(after_reset.charge, 0.0, "reset clears initialization");
+}
+
+#[test]
+fn glitch_power_exists_in_arrays() {
+    // A ripple-carry structure glitches: the unit-delay charge over a random
+    // stream should exceed the zero-delay charge by a visible margin.
+    let nl = modules::csa_multiplier(8, 8).unwrap().validate().unwrap();
+    let patterns = hdpm_sim::random_patterns(16, 300, 123);
+    let unit = hdpm_sim::run_patterns(&nl, &patterns, DelayModel::Unit);
+    let zero = hdpm_sim::run_patterns(&nl, &patterns, DelayModel::Zero);
+    assert!(
+        unit.total_charge() > 1.05 * zero.total_charge(),
+        "expected at least 5% glitch power, unit={} zero={}",
+        unit.total_charge(),
+        zero.total_charge()
+    );
+}
+
+#[test]
+fn power_grows_with_hamming_distance() {
+    // The paper's core premise: average charge rises with the Hd class.
+    let nl = modules::csa_multiplier(8, 8).unwrap().validate().unwrap();
+    let patterns = hdpm_sim::random_patterns(16, 4000, 9);
+    let trace = hdpm_sim::run_patterns(&nl, &patterns, DelayModel::Unit);
+    let mut sums = [0.0f64; 17];
+    let mut counts = [0u64; 17];
+    for s in &trace.samples {
+        sums[s.hd] += s.charge;
+        counts[s.hd] += 1;
+    }
+    // Compare well-populated low/mid/high classes.
+    let avg = |i: usize| sums[i] / counts[i] as f64;
+    assert!(counts[4] > 20 && counts[8] > 20 && counts[12] > 20);
+    assert!(avg(4) < avg(8));
+    assert!(avg(8) < avg(12));
+}

@@ -1,0 +1,104 @@
+//! Fuzz-style invariants: random netlists (combinational and sequential)
+//! driven with random patterns must satisfy the simulator's physical and
+//! semantic contracts regardless of structure.
+
+use hdpm_netlist::{emit_verilog, parse_verilog, random_netlist, RandomNetlistConfig};
+use hdpm_sim::{random_patterns, run_patterns, DelayModel, Simulator};
+use proptest::prelude::*;
+
+fn config_from(seed: u64, sequential: bool) -> RandomNetlistConfig {
+    RandomNetlistConfig {
+        inputs: 2 + (seed % 10) as usize,
+        gates: 5 + (seed % 150) as usize,
+        outputs: 1 + (seed % 4) as usize,
+        registers: if sequential { 1 + (seed % 6) as usize } else { 0 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn charges_are_finite_and_nonnegative(seed in any::<u64>(), sequential in any::<bool>()) {
+        let config = config_from(seed, sequential);
+        let nl = random_netlist(seed, config).validate().expect("generator is valid");
+        let patterns = random_patterns(config.inputs, 40, seed ^ 1);
+        let trace = run_patterns(&nl, &patterns, DelayModel::Unit);
+        for s in &trace.samples {
+            prop_assert!(s.charge.is_finite() && s.charge >= 0.0);
+            prop_assert!(s.hd <= config.inputs);
+            prop_assert!(s.stable_zeros <= config.inputs - s.hd);
+        }
+    }
+
+    #[test]
+    fn unit_delay_never_charges_less_than_zero_delay(seed in any::<u64>()) {
+        // Combinational only: with registers the two disciplines agree on
+        // the clocked charge but glitching still only adds.
+        let config = config_from(seed, false);
+        let nl = random_netlist(seed, config).validate().expect("valid");
+        let patterns = random_patterns(config.inputs, 40, seed ^ 2);
+        let unit = run_patterns(&nl, &patterns, DelayModel::Unit);
+        let zero = run_patterns(&nl, &patterns, DelayModel::Zero);
+        prop_assert!(unit.total_charge() >= zero.total_charge() - 1e-9);
+    }
+
+    #[test]
+    fn delay_models_agree_on_final_outputs(seed in any::<u64>(), sequential in any::<bool>()) {
+        let config = config_from(seed, sequential);
+        let nl = random_netlist(seed, config).validate().expect("valid");
+        let patterns = random_patterns(config.inputs, 30, seed ^ 3);
+        let mut unit = Simulator::with_delay_model(&nl, DelayModel::Unit);
+        let mut zero = Simulator::with_delay_model(&nl, DelayModel::Zero);
+        for &p in &patterns {
+            unit.apply(p);
+            zero.apply(p);
+            prop_assert_eq!(
+                unit.output_port_value("y"),
+                zero.output_port_value("y")
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(seed in any::<u64>(), sequential in any::<bool>()) {
+        let config = config_from(seed, sequential);
+        let nl = random_netlist(seed, config).validate().expect("valid");
+        let patterns = random_patterns(config.inputs, 25, seed ^ 4);
+        let a = run_patterns(&nl, &patterns, DelayModel::Unit);
+        let b = run_patterns(&nl, &patterns, DelayModel::Unit);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn verilog_round_trip_of_random_netlists(seed in any::<u64>(), sequential in any::<bool>()) {
+        let config = config_from(seed, sequential);
+        let original = random_netlist(seed, config).validate().expect("valid");
+        let text = emit_verilog(original.netlist());
+        let reparsed = parse_verilog(&text)
+            .expect("emitted random netlist parses")
+            .validate()
+            .expect("round-trip validates");
+        let patterns = random_patterns(config.inputs, 25, seed ^ 5);
+        let mut s1 = Simulator::new(&original);
+        let mut s2 = Simulator::new(&reparsed);
+        for &p in &patterns {
+            let r1 = s1.apply(p);
+            let r2 = s2.apply(p);
+            prop_assert_eq!(s1.output_port_value("y"), s2.output_port_value("y"));
+            prop_assert!((r1.charge - r2.charge).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reset_makes_runs_repeatable(seed in any::<u64>(), sequential in any::<bool>()) {
+        let config = config_from(seed, sequential);
+        let nl = random_netlist(seed, config).validate().expect("valid");
+        let patterns = random_patterns(config.inputs, 20, seed ^ 6);
+        let mut sim = Simulator::new(&nl);
+        let first: Vec<f64> = patterns.iter().map(|&p| sim.apply(p).charge).collect();
+        sim.reset();
+        let second: Vec<f64> = patterns.iter().map(|&p| sim.apply(p).charge).collect();
+        prop_assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,247 @@
+//! The five input-pattern classes of the paper's robustness evaluation
+//! (§4.2):
+//!
+//! I. random patterns (the characterization statistics),
+//! II. linear quantized music signals (weak correlation),
+//! III. linear quantized speech signals (strong correlation),
+//! IV. video signals (strong correlation),
+//! V. outputs of a binary counter.
+//!
+//! The music/speech/video classes are synthetic stand-ins with matching
+//! word-level statistics (see `DESIGN.md` §2 for the substitution
+//! rationale).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::quantize::Quantizer;
+use crate::signal::{Ar1Gaussian, BurstModulated, ScanlineVideo, SineMix};
+
+/// Number of patterns per evaluation stream, matching the paper's
+/// "5000 to 10000 input patterns".
+pub const DEFAULT_STREAM_LEN: usize = 5000;
+
+/// One of the paper's five data-stream classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataType {
+    /// I — uniformly random words (same statistics as the characterization
+    /// stimulus).
+    Random,
+    /// II — music-like signal: tonal mixture, weak temporal correlation.
+    Music,
+    /// III — speech-like signal: strongly correlated, bursty envelope.
+    Speech,
+    /// IV — video-like signal: raster-scan luminance, strongly correlated,
+    /// non-negative.
+    Video,
+    /// V — binary counter output (positive ramp; sign bits never switch).
+    Counter,
+}
+
+/// All five data types in the paper's column order.
+pub const ALL_DATA_TYPES: [DataType; 5] = [
+    DataType::Random,
+    DataType::Music,
+    DataType::Speech,
+    DataType::Video,
+    DataType::Counter,
+];
+
+impl DataType {
+    /// The roman-numeral label the paper uses for this class.
+    pub const fn roman(self) -> &'static str {
+        match self {
+            DataType::Random => "I",
+            DataType::Music => "II",
+            DataType::Speech => "III",
+            DataType::Video => "IV",
+            DataType::Counter => "V",
+        }
+    }
+
+    /// A descriptive name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DataType::Random => "random",
+            DataType::Music => "music",
+            DataType::Speech => "speech",
+            DataType::Video => "video",
+            DataType::Counter => "counter",
+        }
+    }
+
+    /// Generate `n` words of this class at the given two's-complement word
+    /// width. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in `2..=32`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hdpm_streams::DataType;
+    ///
+    /// let speech = DataType::Speech.generate(16, 5000, 42);
+    /// assert_eq!(speech.len(), 5000);
+    /// let stats = hdpm_streams::word_stats(&speech);
+    /// assert!(stats.rho1 > 0.8, "speech is strongly correlated");
+    /// ```
+    pub fn generate(self, width: usize, n: usize, seed: u64) -> Vec<i64> {
+        assert!(
+            (2..=32).contains(&width),
+            "stream word width {width} out of range 2..=32"
+        );
+        match self {
+            DataType::Random => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let lo = -(1i64 << (width - 1));
+                let hi = (1i64 << (width - 1)) - 1;
+                (0..n).map(|_| rng.gen_range(lo..=hi)).collect()
+            }
+            DataType::Music => {
+                // Tonal partials over a weakly correlated noise floor;
+                // peak amplitude around half scale.
+                let mut sig = SineMix::new(
+                    &[(0.28, 0.013), (0.17, 0.047), (0.09, 0.11)],
+                    0.05,
+                    0.3,
+                    seed,
+                );
+                Quantizer::new(width, 1.0).quantize_signal(&mut sig, n)
+            }
+            DataType::Speech => {
+                let carrier = Ar1Gaussian::new(0.0, 0.22, 0.97, seed);
+                let mut sig = BurstModulated::new(carrier, 400, seed);
+                Quantizer::new(width, 1.0).quantize_signal(&mut sig, n)
+            }
+            DataType::Video => {
+                let mut sig = ScanlineVideo::new(0.95, seed);
+                Quantizer::new(width, 1.0).quantize_signal(&mut sig, n)
+            }
+            DataType::Counter => {
+                // The seed sets the phase, so independent operand streams
+                // are offset copies of the same counter.
+                let modulus = 1i64 << (width - 1);
+                let phase = (seed % (modulus as u64)) as i64;
+                (0..n).map(|j| (j as i64 + phase) % modulus).collect()
+            }
+        }
+    }
+
+    /// Generate one independent word stream per operand, deriving each
+    /// operand's seed from `seed` (the paper's multi-input extension of §6.3
+    /// assumes uncorrelated input streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in `2..=32`.
+    pub fn generate_operands(
+        self,
+        operands: usize,
+        width: usize,
+        n: usize,
+        seed: u64,
+    ) -> Vec<Vec<i64>> {
+        (0..operands)
+            .map(|k| self.generate(width, n, seed.wrapping_add(0x9E37_79B9 * (k as u64 + 1))))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.roman(), self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{bit_stats, word_stats};
+
+    #[test]
+    fn all_classes_generate_requested_length() {
+        for dt in ALL_DATA_TYPES {
+            let words = dt.generate(16, 1000, 5);
+            assert_eq!(words.len(), 1000);
+            let (lo, hi) = (-(1i64 << 15), (1i64 << 15) - 1);
+            assert!(words.iter().all(|&w| (lo..=hi).contains(&w)));
+        }
+    }
+
+    #[test]
+    fn random_has_near_half_bit_activity() {
+        let words = DataType::Random.generate(16, 20_000, 1);
+        let b = bit_stats(&words, 16);
+        for (i, &t) in b.transition_probs.iter().enumerate() {
+            assert!((t - 0.5).abs() < 0.02, "bit {i} activity {t}");
+        }
+    }
+
+    #[test]
+    fn correlation_ordering_matches_paper_classes() {
+        let music = word_stats(&DataType::Music.generate(16, 20_000, 2));
+        let speech = word_stats(&DataType::Speech.generate(16, 20_000, 2));
+        let video = word_stats(&DataType::Video.generate(16, 20_000, 2));
+        assert!(
+            music.rho1 < speech.rho1,
+            "music should be weaker correlated than speech: {} vs {}",
+            music.rho1,
+            speech.rho1
+        );
+        assert!(speech.rho1 > 0.9, "speech rho {}", speech.rho1);
+        assert!(video.rho1 > 0.9, "video rho {}", video.rho1);
+    }
+
+    #[test]
+    fn counter_is_positive_ramp() {
+        let words = DataType::Counter.generate(8, 300, 0);
+        assert!(words.iter().all(|&w| w >= 0));
+        assert_eq!(words[0], 0);
+        assert_eq!(words[1], 1);
+        assert_eq!(words[128], 0, "wraps at 2^(m-1)");
+        let b = bit_stats(&words, 8);
+        assert_eq!(b.transition_probs[7], 0.0, "sign bit never switches");
+    }
+
+    #[test]
+    fn counter_sign_bits_stay_zero() {
+        let words = DataType::Counter.generate(12, 5000, 0);
+        let b = bit_stats(&words, 12);
+        assert_eq!(b.signal_probs[11], 0.0);
+    }
+
+    #[test]
+    fn operand_streams_are_independent() {
+        let ops = DataType::Speech.generate_operands(2, 16, 5000, 77);
+        assert_eq!(ops.len(), 2);
+        assert_ne!(ops[0], ops[1]);
+        // Cross-correlation at lag 0 should be small.
+        let s0 = word_stats(&ops[0]);
+        let s1 = word_stats(&ops[1]);
+        let n = ops[0].len() as f64;
+        let cross: f64 = ops[0]
+            .iter()
+            .zip(&ops[1])
+            .map(|(&a, &b)| (a as f64 - s0.mean) * (b as f64 - s1.mean))
+            .sum::<f64>()
+            / n
+            / (s0.sigma() * s1.sigma());
+        assert!(cross.abs() < 0.25, "cross-correlation {cross}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for dt in ALL_DATA_TYPES {
+            assert_eq!(dt.generate(16, 100, 9), dt.generate(16, 100, 9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_tiny_width()  {
+        DataType::Music.generate(1, 10, 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # hdpm-streams
+//!
+//! Synthetic DSP data-stream generation, linear quantization, and word/bit
+//! level statistics — the data substrate of the hdpm reproduction of
+//! *"A New Parameterizable Power Macro-Model for Datapath Components"*
+//! (DATE 1999).
+//!
+//! The paper evaluates its power macro-model under five stream classes
+//! (random, music, speech, video, binary counter). The recorded signals are
+//! replaced here by synthetic processes with matching word-level statistics
+//! ([`DataType`]); the statistics extractors ([`word_stats`], [`bit_stats`],
+//! [`hd_distribution`]) provide both the inputs to the dual-bit-type data
+//! model and the empirical ground truth it is validated against.
+//!
+//! ## Example
+//!
+//! ```
+//! use hdpm_streams::{bit_stats, word_stats, DataType};
+//!
+//! let speech = DataType::Speech.generate(16, 5000, 1);
+//! let words = word_stats(&speech);
+//! let bits = bit_stats(&speech, 16);
+//! assert!(words.rho1 > 0.8);
+//! assert!(bits.average_hd() < 8.0); // well below the random-stream value
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod datatype;
+mod quantize;
+mod signal;
+mod stats;
+mod wav;
+
+pub use datatype::{DataType, ALL_DATA_TYPES, DEFAULT_STREAM_LEN};
+pub use quantize::Quantizer;
+pub use signal::{Ar1Gaussian, BurstModulated, Constant, ScanlineVideo, Signal, SineMix};
+pub use stats::{
+    average_hd, bit_stats, hd_distribution, hd_histogram, word_stats, BitStats, WordStats,
+};
+pub use wav::{read_wav, requantize, write_wav, WavError, WavStream};

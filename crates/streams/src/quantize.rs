@@ -1,0 +1,137 @@
+//! Linear quantization of continuous signals into two's-complement words —
+//! the "linear quantized music/speech signals" preparation step of the
+//! paper's pattern sets (§4.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::signal::Signal;
+
+/// A linear two's-complement quantizer with saturation.
+///
+/// Maps the analog range `[-full_scale, +full_scale]` onto the
+/// representable range of an `width`-bit signed word; values outside the
+/// range clip.
+///
+/// # Examples
+///
+/// ```
+/// use hdpm_streams::Quantizer;
+///
+/// let q = Quantizer::new(8, 1.0);
+/// assert_eq!(q.quantize(0.0), 0);
+/// assert_eq!(q.quantize(1.0), 127);
+/// assert_eq!(q.quantize(-1.0), -128);
+/// assert_eq!(q.quantize(10.0), 127); // saturates
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    width: usize,
+    full_scale: f64,
+}
+
+impl Quantizer {
+    /// Create a quantizer for `width`-bit words with the given analog full
+    /// scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in `1..=63` or `full_scale <= 0`.
+    pub fn new(width: usize, full_scale: f64) -> Self {
+        assert!(
+            (1..=63).contains(&width),
+            "quantizer width {width} out of range 1..=63"
+        );
+        assert!(full_scale > 0.0, "full scale must be positive");
+        Quantizer { width, full_scale }
+    }
+
+    /// Word width in bits.
+    pub fn width(self) -> usize {
+        self.width
+    }
+
+    /// Analog full scale.
+    pub fn full_scale(self) -> f64 {
+        self.full_scale
+    }
+
+    /// Largest representable word value.
+    pub fn max_code(self) -> i64 {
+        (1i64 << (self.width - 1)) - 1
+    }
+
+    /// Smallest representable word value.
+    pub fn min_code(self) -> i64 {
+        -(1i64 << (self.width - 1))
+    }
+
+    /// Quantize one sample.
+    pub fn quantize(self, sample: f64) -> i64 {
+        let scaled = sample / self.full_scale * (self.max_code() as f64 + 1.0);
+        let rounded = scaled.round();
+        if rounded >= self.max_code() as f64 {
+            self.max_code()
+        } else if rounded <= self.min_code() as f64 {
+            self.min_code()
+        } else {
+            rounded as i64
+        }
+    }
+
+    /// Quantize a whole sample vector.
+    pub fn quantize_all(self, samples: &[f64]) -> Vec<i64> {
+        samples.iter().map(|&s| self.quantize(s)).collect()
+    }
+
+    /// Pull `n` samples from a [`Signal`] and quantize them.
+    pub fn quantize_signal<S: Signal>(self, signal: &mut S, n: usize) -> Vec<i64> {
+        (0..n).map(|_| self.quantize(signal.next_sample())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::Constant;
+    use proptest::prelude::*;
+
+    #[test]
+    fn codes_cover_the_range() {
+        let q = Quantizer::new(4, 8.0);
+        assert_eq!(q.max_code(), 7);
+        assert_eq!(q.min_code(), -8);
+        assert_eq!(q.quantize(7.0), 7);
+        assert_eq!(q.quantize(-8.0), -8);
+    }
+
+    #[test]
+    fn quantize_signal_pulls_n() {
+        let q = Quantizer::new(8, 1.0);
+        let mut sig = Constant(0.25);
+        let words = q.quantize_signal(&mut sig, 10);
+        assert_eq!(words.len(), 10);
+        assert!(words.iter().all(|&w| w == 32));
+    }
+
+    proptest! {
+        #[test]
+        fn output_always_in_range(width in 1usize..=16, sample in -1e12f64..1e12) {
+            let q = Quantizer::new(width, 100.0);
+            let code = q.quantize(sample);
+            prop_assert!(code >= q.min_code() && code <= q.max_code());
+        }
+
+        #[test]
+        fn quantization_is_monotone(width in 2usize..=16, a in -200.0f64..200.0, b in -200.0f64..200.0) {
+            let q = Quantizer::new(width, 100.0);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(q.quantize(lo) <= q.quantize(hi));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_width_zero() {
+        Quantizer::new(0, 1.0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Continuous-valued signal sources.
+//!
+//! The paper stimulates modules with recorded music, speech and video
+//! signals. Those recordings are proprietary; the sources here synthesize
+//! signals with the same *word-level statistics* (mean, variance, lag-1
+//! autocorrelation, burstiness) — which is all the dual-bit-type data model
+//! of §6.1 and therefore the paper's evaluation mechanics depend on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An infinite stream of `f64` samples. Implementors are deterministic
+/// given their seed, so every experiment is reproducible.
+pub trait Signal {
+    /// Produce the next sample.
+    fn next_sample(&mut self) -> f64;
+
+    /// Collect `n` samples into a vector.
+    fn take_samples(&mut self, n: usize) -> Vec<f64>
+    where
+        Self: Sized,
+    {
+        (0..n).map(|_| self.next_sample()).collect()
+    }
+}
+
+/// Draw a standard-normal variate via the Box-Muller transform.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    // Guard the logarithm away from 0.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// First-order autoregressive Gaussian process:
+/// `x[t] = µ + ρ·(x[t-1] − µ) + σ·√(1−ρ²)·w[t]` with white `w`.
+///
+/// Its stationary distribution is `N(µ, σ²)` with lag-1 autocorrelation `ρ`
+/// — exactly the word-level model class assumed by Landman's DBT data model
+/// (\[2,3\] of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use hdpm_streams::{Ar1Gaussian, Signal};
+///
+/// let mut speechlike = Ar1Gaussian::new(0.0, 1000.0, 0.95, 7);
+/// let samples = speechlike.take_samples(100);
+/// assert_eq!(samples.len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ar1Gaussian {
+    mu: f64,
+    sigma: f64,
+    rho: f64,
+    state: f64,
+    rng: StdRng,
+}
+
+impl Ar1Gaussian {
+    /// Create a process with mean `mu`, standard deviation `sigma` and
+    /// lag-1 autocorrelation `rho`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0` or `rho` is not in `(-1, 1)`.
+    pub fn new(mu: f64, sigma: f64, rho: f64, seed: u64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative, got {sigma}");
+        assert!(
+            rho > -1.0 && rho < 1.0,
+            "rho must lie strictly inside (-1, 1), got {rho}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Start in the stationary distribution.
+        let state = mu + sigma * standard_normal(&mut rng);
+        Ar1Gaussian {
+            mu,
+            sigma,
+            rho,
+            state,
+            rng,
+        }
+    }
+
+    /// The configured mean.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The configured standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The configured lag-1 autocorrelation.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+}
+
+impl Signal for Ar1Gaussian {
+    fn next_sample(&mut self) -> f64 {
+        let innovation = self.sigma
+            * (1.0 - self.rho * self.rho).sqrt()
+            * standard_normal(&mut self.rng);
+        self.state = self.mu + self.rho * (self.state - self.mu) + innovation;
+        self.state
+    }
+}
+
+/// A mixture of sinusoids plus a weakly correlated noise floor — a
+/// music-like signal (several tonal components, moderate temporal
+/// correlation).
+#[derive(Debug, Clone)]
+pub struct SineMix {
+    amplitudes: Vec<f64>,
+    angular_freqs: Vec<f64>,
+    phases: Vec<f64>,
+    noise: Ar1Gaussian,
+    t: u64,
+}
+
+impl SineMix {
+    /// Create a mixture of `(amplitude, frequency)` partials (frequency in
+    /// cycles/sample) over an AR(1) noise floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partials` is empty.
+    pub fn new(partials: &[(f64, f64)], noise_sigma: f64, noise_rho: f64, seed: u64) -> Self {
+        assert!(!partials.is_empty(), "SineMix needs at least one partial");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0123);
+        let phases = partials
+            .iter()
+            .map(|_| rng.gen_range(0.0..std::f64::consts::TAU))
+            .collect();
+        SineMix {
+            amplitudes: partials.iter().map(|&(a, _)| a).collect(),
+            angular_freqs: partials
+                .iter()
+                .map(|&(_, f)| std::f64::consts::TAU * f)
+                .collect(),
+            phases,
+            noise: Ar1Gaussian::new(0.0, noise_sigma, noise_rho, seed),
+            t: 0,
+        }
+    }
+}
+
+impl Signal for SineMix {
+    fn next_sample(&mut self) -> f64 {
+        let t = self.t as f64;
+        self.t += 1;
+        let tonal: f64 = self
+            .amplitudes
+            .iter()
+            .zip(&self.angular_freqs)
+            .zip(&self.phases)
+            .map(|((&a, &w), &ph)| a * (w * t + ph).sin())
+            .sum();
+        tonal + self.noise.next_sample()
+    }
+}
+
+/// Slow amplitude modulation wrapper producing bursty, speech-like envelope
+/// dynamics: the carrier is scaled by an envelope that random-walks between
+/// near-silence and full scale.
+#[derive(Debug, Clone)]
+pub struct BurstModulated<S> {
+    carrier: S,
+    envelope: f64,
+    target: f64,
+    hold: u32,
+    rate: f64,
+    rng: StdRng,
+}
+
+impl<S: Signal> BurstModulated<S> {
+    /// Wrap `carrier` with an envelope that drifts toward a new random
+    /// target every `hold_samples` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hold_samples == 0`.
+    pub fn new(carrier: S, hold_samples: u32, seed: u64) -> Self {
+        assert!(hold_samples > 0, "hold interval must be positive");
+        BurstModulated {
+            carrier,
+            envelope: 0.5,
+            target: 0.5,
+            hold: hold_samples,
+            rate: 1.0 / f64::from(hold_samples),
+            rng: StdRng::seed_from_u64(seed ^ 0xB00F_5EED),
+        }
+    }
+}
+
+impl<S: Signal> Signal for BurstModulated<S> {
+    fn next_sample(&mut self) -> f64 {
+        if self.rng.gen_ratio(1, self.hold) {
+            // Occasional pauses (near-zero envelope) mimic speech gaps.
+            self.target = if self.rng.gen_bool(0.3) {
+                0.05
+            } else {
+                self.rng.gen_range(0.3..1.0)
+            };
+        }
+        self.envelope += (self.target - self.envelope) * self.rate;
+        self.carrier.next_sample() * self.envelope
+    }
+}
+
+/// Scanline-style video luminance: piecewise-smooth regions separated by
+/// occasional sharp edges, plus sensor noise. Non-negative, strongly
+/// correlated — the statistics of a raster-scanned natural image.
+#[derive(Debug, Clone)]
+pub struct ScanlineVideo {
+    level: f64,
+    full_scale: f64,
+    edge_probability: f64,
+    noise_sigma: f64,
+    gradient: f64,
+    rng: StdRng,
+}
+
+impl ScanlineVideo {
+    /// Create a video-like source with the given peak level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full_scale <= 0`.
+    pub fn new(full_scale: f64, seed: u64) -> Self {
+        assert!(full_scale > 0.0, "full scale must be positive");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x71DE_0CAF);
+        let level = rng.gen_range(0.0..full_scale);
+        ScanlineVideo {
+            level,
+            full_scale,
+            edge_probability: 0.02,
+            noise_sigma: full_scale * 0.01,
+            gradient: 0.0,
+            rng,
+        }
+    }
+}
+
+impl Signal for ScanlineVideo {
+    fn next_sample(&mut self) -> f64 {
+        if self.rng.gen_bool(self.edge_probability) {
+            // Sharp object edge: jump to a new luminance region.
+            self.level = self.rng.gen_range(0.0..self.full_scale);
+            self.gradient = self.rng.gen_range(-0.01..0.01) * self.full_scale;
+        }
+        self.level = (self.level + self.gradient).clamp(0.0, self.full_scale);
+        let noise = self.noise_sigma * standard_normal(&mut self.rng);
+        (self.level + noise).clamp(0.0, self.full_scale)
+    }
+}
+
+/// A constant signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant(pub f64);
+
+impl Signal for Constant {
+    fn next_sample(&mut self) -> f64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::word_stats;
+
+    fn stats_of(samples: &[f64]) -> (f64, f64, f64) {
+        let words: Vec<i64> = samples.iter().map(|&x| x.round() as i64).collect();
+        let s = word_stats(&words);
+        (s.mean, s.variance.sqrt(), s.rho1)
+    }
+
+    #[test]
+    fn ar1_matches_configured_statistics() {
+        let mut sig = Ar1Gaussian::new(100.0, 500.0, 0.9, 11);
+        let samples = sig.take_samples(60_000);
+        let (mean, sd, rho) = stats_of(&samples);
+        assert!((mean - 100.0).abs() < 30.0, "mean {mean}");
+        assert!((sd - 500.0).abs() < 40.0, "sd {sd}");
+        assert!((rho - 0.9).abs() < 0.03, "rho {rho}");
+    }
+
+    #[test]
+    fn ar1_is_reproducible() {
+        let a = Ar1Gaussian::new(0.0, 1.0, 0.5, 3).take_samples(10);
+        let b = Ar1Gaussian::new(0.0, 1.0, 0.5, 3).take_samples(10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must lie strictly inside")]
+    fn ar1_rejects_unit_rho() {
+        Ar1Gaussian::new(0.0, 1.0, 1.0, 0);
+    }
+
+    #[test]
+    fn burst_modulation_reduces_power_without_killing_it() {
+        let carrier = Ar1Gaussian::new(0.0, 1000.0, 0.9, 5);
+        let mut bursty = BurstModulated::new(carrier, 200, 6);
+        let samples = bursty.take_samples(20_000);
+        let (_, sd, rho) = stats_of(&samples);
+        assert!(sd > 50.0 && sd < 1000.0, "sd {sd}");
+        // Envelope modulation preserves strong correlation.
+        assert!(rho > 0.8, "rho {rho}");
+    }
+
+    #[test]
+    fn video_is_nonnegative_and_correlated() {
+        let mut video = ScanlineVideo::new(255.0, 9);
+        let samples = video.take_samples(20_000);
+        assert!(samples.iter().all(|&x| (0.0..=255.0).contains(&x)));
+        let (_, _, rho) = stats_of(&samples);
+        assert!(rho > 0.8, "rho {rho}");
+    }
+
+    #[test]
+    fn sine_mix_oscillates() {
+        let mut music = SineMix::new(&[(1000.0, 0.01), (400.0, 0.037)], 50.0, 0.3, 4);
+        let samples = music.take_samples(5_000);
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > 500.0 && min < -500.0);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut c = Constant(42.0);
+        assert_eq!(c.take_samples(5), vec![42.0; 5]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Word-level and bit-level statistics of quantized streams.
+//!
+//! Word-level statistics (mean, variance, lag-1 autocorrelation) feed the
+//! dual-bit-type data model of §6.1; bit-level statistics (per-bit signal
+//! and transition probabilities, Hamming-distance histograms) are the
+//! ground truth the model's breakpoints and Hd distributions are validated
+//! against (Fig. 5, Fig. 9).
+
+use serde::{Deserialize, Serialize};
+
+/// Word-level statistics of a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WordStats {
+    /// Sample mean µ.
+    pub mean: f64,
+    /// Sample variance σ² (population convention).
+    pub variance: f64,
+    /// Lag-1 autocorrelation coefficient ρ.
+    pub rho1: f64,
+    /// Number of samples the statistics were estimated from.
+    pub count: usize,
+}
+
+impl WordStats {
+    /// Standard deviation σ.
+    pub fn sigma(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Estimate word-level statistics of a stream.
+///
+/// Empty or single-sample streams yield zero variance and zero correlation.
+///
+/// # Examples
+///
+/// ```
+/// use hdpm_streams::word_stats;
+///
+/// let s = word_stats(&[1, 2, 3, 4, 5]);
+/// assert_eq!(s.mean, 3.0);
+/// assert!(s.rho1 > 0.0); // a ramp is positively correlated
+/// ```
+pub fn word_stats(words: &[i64]) -> WordStats {
+    let n = words.len();
+    if n == 0 {
+        return WordStats {
+            mean: 0.0,
+            variance: 0.0,
+            rho1: 0.0,
+            count: 0,
+        };
+    }
+    let mean = words.iter().map(|&w| w as f64).sum::<f64>() / n as f64;
+    let variance = words
+        .iter()
+        .map(|&w| {
+            let d = w as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n as f64;
+    let rho1 = if n < 2 || variance == 0.0 {
+        0.0
+    } else {
+        let cov = words
+            .windows(2)
+            .map(|w| (w[0] as f64 - mean) * (w[1] as f64 - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        (cov / variance).clamp(-1.0, 1.0)
+    };
+    WordStats {
+        mean,
+        variance,
+        rho1,
+        count: n,
+    }
+}
+
+/// Per-bit statistics of a word stream at a given width.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitStats {
+    /// Word width the statistics were extracted at.
+    pub width: usize,
+    /// `signal_probs[i]`: probability that bit `i` is logic 1.
+    pub signal_probs: Vec<f64>,
+    /// `transition_probs[i]`: probability that bit `i` differs between
+    /// consecutive words.
+    pub transition_probs: Vec<f64>,
+}
+
+impl BitStats {
+    /// The average Hamming distance implied by the per-bit transition
+    /// probabilities (the sum over bits).
+    pub fn average_hd(&self) -> f64 {
+        self.transition_probs.iter().sum()
+    }
+}
+
+/// Extract per-bit signal and transition probabilities from a word stream
+/// interpreted as `width`-bit two's-complement values.
+///
+/// # Panics
+///
+/// Panics if `width` is not in `1..=64`.
+pub fn bit_stats(words: &[i64], width: usize) -> BitStats {
+    assert!(
+        (1..=64).contains(&width),
+        "bit width {width} out of range 1..=64"
+    );
+    let n = words.len();
+    let mut ones = vec![0u64; width];
+    let mut flips = vec![0u64; width];
+    let mut prev: Option<u64> = None;
+    for &w in words {
+        let bits = w as u64;
+        for (i, count) in ones.iter_mut().enumerate() {
+            if (bits >> i) & 1 == 1 {
+                *count += 1;
+            }
+        }
+        if let Some(p) = prev {
+            let diff = p ^ bits;
+            for (i, count) in flips.iter_mut().enumerate() {
+                if (diff >> i) & 1 == 1 {
+                    *count += 1;
+                }
+            }
+        }
+        prev = Some(bits);
+    }
+    let signal_probs = ones
+        .iter()
+        .map(|&c| if n > 0 { c as f64 / n as f64 } else { 0.0 })
+        .collect();
+    let transitions = n.saturating_sub(1);
+    let transition_probs = flips
+        .iter()
+        .map(|&c| {
+            if transitions > 0 {
+                c as f64 / transitions as f64
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    BitStats {
+        width,
+        signal_probs,
+        transition_probs,
+    }
+}
+
+/// Empirical Hamming-distance histogram of a single word stream at `width`
+/// bits: `hist[i]` counts consecutive pairs at distance `i`.
+///
+/// # Panics
+///
+/// Panics if `width` is not in `1..=64`.
+pub fn hd_histogram(words: &[i64], width: usize) -> Vec<u64> {
+    assert!(
+        (1..=64).contains(&width),
+        "bit width {width} out of range 1..=64"
+    );
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    let mut hist = vec![0u64; width + 1];
+    for pair in words.windows(2) {
+        let hd = ((pair[0] as u64 ^ pair[1] as u64) & mask).count_ones() as usize;
+        hist[hd] += 1;
+    }
+    hist
+}
+
+/// Normalized version of [`hd_histogram`]: an empirical Hd probability
+/// distribution over `0..=width`.
+///
+/// # Panics
+///
+/// Panics if `width` is not in `1..=64`.
+pub fn hd_distribution(words: &[i64], width: usize) -> Vec<f64> {
+    let hist = hd_histogram(words, width);
+    let total: u64 = hist.iter().sum();
+    hist.iter()
+        .map(|&c| {
+            if total > 0 {
+                c as f64 / total as f64
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Empirical average Hamming distance of consecutive words.
+///
+/// # Panics
+///
+/// Panics if `width` is not in `1..=64`.
+pub fn average_hd(words: &[i64], width: usize) -> f64 {
+    let dist = hd_distribution(words, width);
+    dist.iter().enumerate().map(|(i, &p)| i as f64 * p).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn word_stats_of_constant_stream() {
+        let s = word_stats(&[7; 100]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.rho1, 0.0);
+    }
+
+    #[test]
+    fn word_stats_of_alternating_stream_is_anticorrelated() {
+        let words: Vec<i64> = (0..1000).map(|i| if i % 2 == 0 { 5 } else { -5 }).collect();
+        let s = word_stats(&words);
+        assert!(s.rho1 < -0.99);
+    }
+
+    #[test]
+    fn bit_stats_of_counter_lsb_always_flips() {
+        let words: Vec<i64> = (0..256).collect();
+        let b = bit_stats(&words, 8);
+        assert!((b.transition_probs[0] - 1.0).abs() < 1e-12);
+        assert!((b.transition_probs[1] - 0.5).abs() < 0.01);
+        assert!((b.signal_probs[7] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn hd_histogram_of_counter() {
+        let words: Vec<i64> = (0..16).collect();
+        let hist = hd_histogram(&words, 4);
+        // Increment flips k+1 bits when k trailing ones roll over:
+        // 8 single-bit, 4 double-bit, 2 triple-bit, 1 quad-bit transitions.
+        assert_eq!(hist, vec![0, 8, 4, 2, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn distribution_sums_to_one(words in prop::collection::vec(-500i64..500, 2..200)) {
+            let dist = hd_distribution(&words, 12);
+            let total: f64 = dist.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn average_hd_matches_bit_stats(words in prop::collection::vec(-500i64..500, 2..200)) {
+            let via_dist = average_hd(&words, 12);
+            let via_bits = bit_stats(&words, 12).average_hd();
+            prop_assert!((via_dist - via_bits).abs() < 1e-9);
+        }
+
+        #[test]
+        fn signal_probs_bounded(words in prop::collection::vec(any::<i64>(), 1..100)) {
+            let b = bit_stats(&words, 16);
+            for p in b.signal_probs.iter().chain(&b.transition_probs) {
+                prop_assert!((0.0..=1.0).contains(p));
+            }
+        }
+    }
+}

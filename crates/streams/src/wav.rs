@@ -1,0 +1,291 @@
+//! Minimal 16-bit PCM WAV import/export.
+//!
+//! The paper stimulates modules with recorded music and speech; this
+//! module lets users substitute *actual* recordings for the synthetic
+//! stand-ins: a self-contained RIFF/WAVE reader and writer for the
+//! ubiquitous 16-bit PCM encoding (mono taken as-is, multi-channel
+//! imported as channel 0).
+
+use std::io::{self, Read, Write};
+
+/// Errors from WAV parsing.
+#[derive(Debug)]
+pub enum WavError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a RIFF/WAVE container.
+    NotRiffWave,
+    /// The fmt chunk is missing or precedes no data chunk.
+    MissingChunk(&'static str),
+    /// Unsupported encoding (only 16-bit integer PCM is handled).
+    Unsupported {
+        /// WAVE format tag found.
+        format_tag: u16,
+        /// Bits per sample found.
+        bits_per_sample: u16,
+    },
+}
+
+impl std::fmt::Display for WavError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WavError::Io(e) => write!(f, "i/o error: {e}"),
+            WavError::NotRiffWave => write!(f, "not a RIFF/WAVE file"),
+            WavError::MissingChunk(name) => write!(f, "missing `{name}` chunk"),
+            WavError::Unsupported {
+                format_tag,
+                bits_per_sample,
+            } => write!(
+                f,
+                "unsupported encoding (format tag {format_tag}, {bits_per_sample} bits); \
+                 only 16-bit integer PCM is supported"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WavError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WavError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WavError {
+    fn from(e: io::Error) -> Self {
+        WavError::Io(e)
+    }
+}
+
+/// A decoded 16-bit PCM stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WavStream {
+    /// Sample rate in Hz.
+    pub sample_rate: u32,
+    /// Channel count of the source file.
+    pub channels: u16,
+    /// Channel-0 samples as signed 16-bit values widened to `i64`
+    /// (directly usable as 16-bit stream words).
+    pub samples: Vec<i64>,
+}
+
+/// Read a 16-bit PCM WAV stream from any reader.
+///
+/// Multi-channel files are imported as channel 0. A mutable reference can
+/// be passed where a reader is needed.
+///
+/// # Errors
+///
+/// Returns [`WavError`] on malformed containers or unsupported encodings.
+///
+/// # Examples
+///
+/// ```
+/// use hdpm_streams::{read_wav, write_wav};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut bytes = Vec::new();
+/// write_wav(&mut bytes, &[0, 1000, -1000, 32767, -32768], 8000)?;
+/// let stream = read_wav(&bytes[..])?;
+/// assert_eq!(stream.sample_rate, 8000);
+/// assert_eq!(stream.samples, vec![0, 1000, -1000, 32767, -32768]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_wav<R: Read>(mut reader: R) -> Result<WavStream, WavError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    if bytes.len() < 12 || &bytes[0..4] != b"RIFF" || &bytes[8..12] != b"WAVE" {
+        return Err(WavError::NotRiffWave);
+    }
+
+    let mut format: Option<(u16, u16, u16, u32)> = None; // (tag, channels, bits, rate)
+    let mut data: Option<&[u8]> = None;
+    let mut pos = 12usize;
+    while pos + 8 <= bytes.len() {
+        let id = &bytes[pos..pos + 4];
+        let size = u32::from_le_bytes(
+            bytes[pos + 4..pos + 8].try_into().expect("4 bytes"),
+        ) as usize;
+        let body_end = (pos + 8 + size).min(bytes.len());
+        let body = &bytes[pos + 8..body_end];
+        match id {
+            b"fmt " if body.len() >= 16 => {
+                let tag = u16::from_le_bytes([body[0], body[1]]);
+                let channels = u16::from_le_bytes([body[2], body[3]]);
+                let rate = u32::from_le_bytes([body[4], body[5], body[6], body[7]]);
+                let bits = u16::from_le_bytes([body[14], body[15]]);
+                format = Some((tag, channels, bits, rate));
+            }
+            b"data" => data = Some(body),
+            _ => {}
+        }
+        // Chunks are word-aligned.
+        pos = body_end + (size & 1);
+    }
+
+    let (tag, channels, bits, rate) = format.ok_or(WavError::MissingChunk("fmt "))?;
+    if tag != 1 || bits != 16 {
+        return Err(WavError::Unsupported {
+            format_tag: tag,
+            bits_per_sample: bits,
+        });
+    }
+    let data = data.ok_or(WavError::MissingChunk("data"))?;
+    let channels = channels.max(1);
+    let frame = 2 * channels as usize;
+    let samples: Vec<i64> = data
+        .chunks_exact(frame)
+        .map(|f| i16::from_le_bytes([f[0], f[1]]) as i64)
+        .collect();
+
+    Ok(WavStream {
+        sample_rate: rate,
+        channels,
+        samples,
+    })
+}
+
+/// Write a mono 16-bit PCM WAV stream.
+///
+/// # Errors
+///
+/// Returns [`WavError::Io`] on write failure.
+///
+/// # Panics
+///
+/// Panics if a sample is outside the `i16` range.
+pub fn write_wav<W: Write>(
+    mut writer: W,
+    samples: &[i64],
+    sample_rate: u32,
+) -> Result<(), WavError> {
+    let data_len = (samples.len() * 2) as u32;
+    writer.write_all(b"RIFF")?;
+    writer.write_all(&(36 + data_len).to_le_bytes())?;
+    writer.write_all(b"WAVE")?;
+    writer.write_all(b"fmt ")?;
+    writer.write_all(&16u32.to_le_bytes())?;
+    writer.write_all(&1u16.to_le_bytes())?; // PCM
+    writer.write_all(&1u16.to_le_bytes())?; // mono
+    writer.write_all(&sample_rate.to_le_bytes())?;
+    writer.write_all(&(sample_rate * 2).to_le_bytes())?; // byte rate
+    writer.write_all(&2u16.to_le_bytes())?; // block align
+    writer.write_all(&16u16.to_le_bytes())?; // bits per sample
+    writer.write_all(b"data")?;
+    writer.write_all(&data_len.to_le_bytes())?;
+    for &s in samples {
+        let s = i16::try_from(s).expect("sample fits in 16-bit PCM");
+        writer.write_all(&s.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Requantize 16-bit WAV samples to a narrower word width by arithmetic
+/// right shift (the linear quantization of the paper's "linear quantized
+/// music/speech signals").
+///
+/// # Panics
+///
+/// Panics if `width` is not in `2..=16`.
+pub fn requantize(samples: &[i64], width: usize) -> Vec<i64> {
+    assert!(
+        (2..=16).contains(&width),
+        "target width {width} out of range 2..=16"
+    );
+    let shift = 16 - width;
+    samples.iter().map(|&s| s >> shift).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_samples() {
+        let samples: Vec<i64> = (-100..100).map(|k| k * 300).collect();
+        let mut bytes = Vec::new();
+        write_wav(&mut bytes, &samples, 16_000).unwrap();
+        let back = read_wav(&bytes[..]).unwrap();
+        assert_eq!(back.samples, samples);
+        assert_eq!(back.sample_rate, 16_000);
+        assert_eq!(back.channels, 1);
+    }
+
+    #[test]
+    fn stereo_imports_channel_zero() {
+        // Hand-build a 2-channel file: frames (L, R) = (k, -k).
+        let mut body = Vec::new();
+        for k in 0i16..50 {
+            body.extend_from_slice(&k.to_le_bytes());
+            body.extend_from_slice(&(-k).to_le_bytes());
+        }
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"RIFF");
+        bytes.extend_from_slice(&(36 + body.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(b"WAVE");
+        bytes.extend_from_slice(b"fmt ");
+        bytes.extend_from_slice(&16u32.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&2u16.to_le_bytes()); // stereo
+        bytes.extend_from_slice(&8000u32.to_le_bytes());
+        bytes.extend_from_slice(&32000u32.to_le_bytes());
+        bytes.extend_from_slice(&4u16.to_le_bytes());
+        bytes.extend_from_slice(&16u16.to_le_bytes());
+        bytes.extend_from_slice(b"data");
+        bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&body);
+
+        let stream = read_wav(&bytes[..]).unwrap();
+        assert_eq!(stream.channels, 2);
+        assert_eq!(stream.samples, (0i64..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_non_wave() {
+        assert!(matches!(
+            read_wav(&b"OGGSsomething"[..]),
+            Err(WavError::NotRiffWave)
+        ));
+    }
+
+    #[test]
+    fn rejects_float_pcm() {
+        let mut bytes = Vec::new();
+        write_wav(&mut bytes, &[0, 1, 2], 8000).unwrap();
+        bytes[20] = 3; // format tag -> IEEE float
+        assert!(matches!(
+            read_wav(&bytes[..]),
+            Err(WavError::Unsupported { format_tag: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn requantize_shifts_linearly() {
+        let samples = vec![-32768, -256, 0, 255, 32767];
+        let q8 = requantize(&samples, 8);
+        assert_eq!(q8, vec![-128, -1, 0, 0, 127]);
+    }
+
+    #[test]
+    fn requantized_stream_statistics_survive() {
+        use crate::signal::{Ar1Gaussian, Signal};
+        use crate::stats::word_stats;
+        // Synthesize "a recording", round-trip it through WAV, requantize
+        // to 12 bits: correlation must survive the pipeline.
+        let mut sig = Ar1Gaussian::new(0.0, 8000.0, 0.95, 3);
+        let samples: Vec<i64> = sig
+            .take_samples(20_000)
+            .into_iter()
+            .map(|s| (s.round() as i64).clamp(-32768, 32767))
+            .collect();
+        let mut bytes = Vec::new();
+        write_wav(&mut bytes, &samples, 16_000).unwrap();
+        let words = requantize(&read_wav(&bytes[..]).unwrap().samples, 12);
+        let stats = word_stats(&words);
+        assert!(stats.rho1 > 0.9, "rho {}", stats.rho1);
+        assert!(stats.sigma() > 100.0);
+    }
+}

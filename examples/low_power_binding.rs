@@ -1,0 +1,132 @@
+//! Model-driven low-power binding (§1, refs [5–8]): assign dataflow
+//! operations with different stream statistics onto shared multiplier
+//! instances so that the macro-model-predicted power is minimal — then
+//! validate the chosen binding against gate-level simulation of the
+//! interleaved streams.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example low_power_binding
+//! ```
+
+use hdpm_suite::core::{characterize, CharacterizationConfig};
+use hdpm_suite::datamodel::{region_model, HdDistribution, WordModel};
+use hdpm_suite::netlist::{ModuleKind, ModuleSpec};
+use hdpm_suite::optim::{bind_shared, Binding, Operation};
+use hdpm_suite::sim::{run_words, DelayModel};
+use hdpm_suite::streams::{bit_stats, DataType};
+
+const WIDTH: usize = 8;
+const N: usize = 3000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Hardware: two 8x8 multiplier instances share four operations.
+    let spec = ModuleSpec::new(ModuleKind::CsaMultiplier, WIDTH);
+    let netlist = spec.build()?.validate()?;
+    let model = characterize(
+        &netlist,
+        &CharacterizationConfig {
+            max_patterns: 8000,
+            ..CharacterizationConfig::default()
+        },
+    )
+    .model;
+
+    // Four operations with distinct operand statistics: two quiet
+    // speech-band ops, one random op, one counter-driven op.
+    let op_streams: Vec<(&str, Vec<Vec<i64>>)> = vec![
+        ("speech_a", DataType::Speech.generate_operands(2, WIDTH, N, 1)),
+        ("speech_b", DataType::Speech.generate_operands(2, WIDTH, N, 2)),
+        ("random", DataType::Random.generate_operands(2, WIDTH, N, 3)),
+        ("counter", DataType::Counter.generate_operands(2, WIDTH, N, 4)),
+    ];
+
+    let operations: Vec<Operation> = op_streams
+        .iter()
+        .map(|(name, streams)| {
+            // Module-level distribution: convolution of the two operands.
+            let dists: Vec<HdDistribution> = streams
+                .iter()
+                .map(|w| {
+                    HdDistribution::from_regions(&region_model(&WordModel::from_words(
+                        w, WIDTH,
+                    )))
+                })
+                .collect();
+            let self_dist = HdDistribution::convolve_all(&dists);
+            // Per-bit signal probabilities over the concatenated operands.
+            let signal_probs: Vec<f64> = streams
+                .iter()
+                .flat_map(|w| bit_stats(w, WIDTH).signal_probs)
+                .collect();
+            Operation::new(*name, self_dist, signal_probs)
+        })
+        .collect();
+
+    let models = vec![model.clone(), model.clone()];
+
+    // Optimized binding vs the naive order [0,1] / [2,3].
+    let optimized = bind_shared(&operations, &models)?;
+    let naive = Binding {
+        groups: vec![vec![0, 2], vec![1, 3]],
+        power: f64::NAN,
+    };
+
+    let describe = |b: &Binding| -> Vec<String> {
+        b.groups
+            .iter()
+            .map(|g| {
+                g.iter()
+                    .map(|&i| op_streams[i].0)
+                    .collect::<Vec<_>>()
+                    .join("+")
+            })
+            .collect()
+    };
+    println!("naive binding:     {:?}", describe(&naive));
+    println!(
+        "optimized binding: {:?}  (predicted power {:.1})",
+        describe(&optimized),
+        optimized.power
+    );
+
+    // Validate with gate-level simulation of the interleaved streams.
+    let measure = |binding: &Binding| -> f64 {
+        binding
+            .groups
+            .iter()
+            .map(|group| {
+                if group.is_empty() {
+                    return 0.0;
+                }
+                // Round-robin interleave the member operations' streams.
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                for j in 0..N {
+                    for &op in group {
+                        a.push(op_streams[op].1[0][j]);
+                        b.push(op_streams[op].1[1][j]);
+                    }
+                }
+                run_words(&netlist, &[a, b], DelayModel::Unit).total_charge() / N as f64
+            })
+            .sum()
+    };
+
+    let naive_power = measure(&naive);
+    let optimized_power = measure(&optimized);
+    println!("\nsimulated power (charge per iteration):");
+    println!("  naive:     {naive_power:.1}");
+    println!("  optimized: {optimized_power:.1}");
+    println!(
+        "  saving:    {:.1}%",
+        100.0 * (naive_power - optimized_power) / naive_power
+    );
+    println!(
+        "\nThe optimizer groups statistically similar operations so that\n\
+         interleaved transitions stay cheap — the binding strategy the Hd\n\
+         model was designed to drive."
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Quickstart: characterize a datapath module, estimate power three ways,
+//! and compare against the gate-level reference simulation.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hdpm_suite::core::{
+    characterize, distribution_vs_average, evaluate, CharacterizationConfig,
+};
+use hdpm_suite::datamodel::{region_model, HdDistribution, WordModel};
+use hdpm_suite::netlist::{ModuleKind, ModuleSpec};
+use hdpm_suite::sim::{run_words, DelayModel};
+use hdpm_suite::streams::DataType;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build an 8x8-bit carry-save-array multiplier at the gate level.
+    let spec = ModuleSpec::new(ModuleKind::CsaMultiplier, 8usize);
+    let netlist = spec.build()?.validate()?;
+    println!(
+        "module {}: {} gates, {} input bits",
+        netlist.netlist().name(),
+        netlist.netlist().gate_count(),
+        netlist.netlist().input_bit_count()
+    );
+
+    // 2. Characterize the Hd power model with random patterns (§4.1).
+    let config = CharacterizationConfig {
+        max_patterns: 8000,
+        ..CharacterizationConfig::default()
+    };
+    let characterization = characterize(&netlist, &config);
+    let model = &characterization.model;
+    println!(
+        "characterized {} coefficients from {} transitions (mean class deviation {:.1}%)",
+        model.coefficient_count(),
+        characterization.transitions,
+        100.0 * model.mean_deviation()
+    );
+
+    // 3. Generate a speech-like operand stream pair and simulate the
+    //    reference power.
+    let streams = DataType::Speech.generate_operands(2, 8, 5000, 42);
+    let reference = run_words(&netlist, &streams, DelayModel::Unit);
+    println!(
+        "reference: average charge {:.1} per cycle over {} cycles",
+        reference.average_charge(),
+        reference.samples.len()
+    );
+
+    // 4a. Trace-based estimation: exact Hamming distances known.
+    let report = evaluate(model, &reference)?;
+    println!(
+        "trace-based estimate:        cycle error {:.1}%, average error {:+.1}%",
+        report.cycle_error_pct, report.average_error_pct
+    );
+
+    // 4b. Distribution-based estimation: only word-level statistics known
+    //     (µ, σ, ρ -> breakpoints -> Hd distribution, §6.3).
+    let dists: Vec<HdDistribution> = streams
+        .iter()
+        .map(|words| {
+            HdDistribution::from_regions(&region_model(&WordModel::from_words(words, 8)))
+        })
+        .collect();
+    let module_dist = HdDistribution::convolve_all(&dists);
+    let via_dist = model.estimate_distribution(&module_dist)?;
+    println!(
+        "distribution-based estimate: {:.1} per cycle ({:+.1}% vs reference)",
+        via_dist,
+        100.0 * (via_dist - reference.average_charge()) / reference.average_charge()
+    );
+
+    // 4c. Average-Hd-only estimation (§6.2) and the penalty it pays.
+    let cmp = distribution_vs_average(model, &module_dist)?;
+    println!(
+        "average-Hd-only estimate:    {:.1} per cycle (distribution vs average gap: {:.1}%)",
+        cmp.via_average,
+        cmp.average_penalty_pct()
+    );
+
+    Ok(())
+}

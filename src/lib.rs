@@ -1,0 +1,11 @@
+//! Umbrella crate for the `hdpm` workspace.
+//!
+//! Re-exports the member crates so that the runnable examples under
+//! `examples/` and the integration tests under `tests/` can exercise the full
+//! public API from one place, exactly as a downstream user would.
+pub use hdpm_core as core;
+pub use hdpm_datamodel as datamodel;
+pub use hdpm_netlist as netlist;
+pub use hdpm_optim as optim;
+pub use hdpm_sim as sim;
+pub use hdpm_streams as streams;

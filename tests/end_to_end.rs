@@ -1,0 +1,154 @@
+//! End-to-end pipeline tests spanning every crate: build module →
+//! characterize → generate streams → simulate reference → estimate →
+//! check the paper's qualitative claims.
+
+use hdpm_suite::core::{
+    characterize, evaluate, evaluate_enhanced, CharacterizationConfig, ParameterizableModel,
+    Prototype, StimulusKind,
+};
+use hdpm_suite::netlist::{ModuleKind, ModuleSpec};
+use hdpm_suite::sim::{run_words, DelayModel};
+use hdpm_suite::streams::DataType;
+
+fn quick_config() -> CharacterizationConfig {
+    CharacterizationConfig {
+        max_patterns: 5000,
+        ..CharacterizationConfig::default()
+    }
+}
+
+/// Characterize a module and evaluate under one data type.
+fn pipeline(kind: ModuleKind, width: usize, dt: DataType) -> hdpm_suite::core::AccuracyReport {
+    let spec = ModuleSpec::new(kind, width);
+    let netlist = spec.build().unwrap().validate().unwrap();
+    let model = characterize(&netlist, &quick_config()).model;
+    let streams = dt.generate_operands(kind.operand_count(), width, 2000, 11);
+    let trace = run_words(&netlist, &streams, DelayModel::Unit);
+    evaluate(&model, &trace).unwrap()
+}
+
+#[test]
+fn average_error_is_small_for_characterization_statistics() {
+    // Data type I matches the characterization stream: the paper reports
+    // 1-4% average error. Allow generous margins for the small test budget.
+    for kind in [ModuleKind::RippleAdder, ModuleKind::CsaMultiplier] {
+        let report = pipeline(kind, 6, DataType::Random);
+        assert!(
+            report.average_error_pct.abs() < 10.0,
+            "{kind}: average error {:.1}% too large for type I",
+            report.average_error_pct
+        );
+    }
+}
+
+#[test]
+fn cycle_error_exceeds_average_error() {
+    // The paper's central observation about the basic model (§4.2).
+    for dt in [DataType::Random, DataType::Music, DataType::Speech] {
+        let report = pipeline(ModuleKind::CsaMultiplier, 6, dt);
+        assert!(
+            report.cycle_error_pct > report.average_error_pct.abs(),
+            "{dt:?}: cycle {:.1}% should exceed average {:.1}%",
+            report.cycle_error_pct,
+            report.average_error_pct
+        );
+    }
+}
+
+#[test]
+fn counter_stream_is_the_hardest_for_the_basic_model() {
+    let random = pipeline(ModuleKind::RippleAdder, 8, DataType::Random);
+    let counter = pipeline(ModuleKind::RippleAdder, 8, DataType::Counter);
+    assert!(
+        counter.average_error_pct.abs() > random.average_error_pct.abs(),
+        "counter {:.1}% should beat random {:.1}%",
+        counter.average_error_pct,
+        random.average_error_pct
+    );
+}
+
+#[test]
+fn enhanced_model_reduces_cycle_error_with_sweep_characterization() {
+    let spec = ModuleSpec::new(ModuleKind::CsaMultiplier, 6usize);
+    let netlist = spec.build().unwrap().validate().unwrap();
+    let config = CharacterizationConfig {
+        max_patterns: 8000,
+        stimulus: StimulusKind::SignalProbSweep,
+        ..CharacterizationConfig::default()
+    };
+    let characterization = characterize(&netlist, &config);
+    let streams = DataType::Counter.generate_operands(2, 6, 2000, 5);
+    let trace = run_words(&netlist, &streams, DelayModel::Unit);
+    let basic = evaluate(&characterization.model, &trace).unwrap();
+    let enhanced = evaluate_enhanced(&characterization.enhanced, &trace).unwrap();
+    assert!(
+        enhanced.cycle_error_pct < basic.cycle_error_pct,
+        "enhanced {:.1}% should beat basic {:.1}% on the counter stream",
+        enhanced.cycle_error_pct,
+        basic.cycle_error_pct
+    );
+}
+
+#[test]
+fn regression_model_predicts_unseen_width() {
+    // Fit on 4/6/8-bit adders, predict a 7-bit adder, evaluate on speech.
+    let kind = ModuleKind::RippleAdder;
+    let mut prototypes = Vec::new();
+    for w in [4usize, 6, 8] {
+        let spec = ModuleSpec::new(kind, w);
+        let netlist = spec.build().unwrap().validate().unwrap();
+        prototypes.push(Prototype {
+            spec,
+            model: characterize(&netlist, &quick_config()).model,
+        });
+    }
+    let family = ParameterizableModel::fit(&prototypes).unwrap();
+
+    let spec = ModuleSpec::new(kind, 7usize);
+    let netlist = spec.build().unwrap().validate().unwrap();
+    let predicted = family.predict_model(spec.width);
+    let streams = DataType::Speech.generate_operands(2, 7, 2000, 3);
+    let trace = run_words(&netlist, &streams, DelayModel::Unit);
+    let report = evaluate(&predicted, &trace).unwrap();
+    assert!(
+        report.average_error_pct.abs() < 35.0,
+        "unseen-width prediction error {:.1}% too large",
+        report.average_error_pct
+    );
+
+    // And the regression coefficients should be close to a direct
+    // characterization of the same instance (paper: < 5-10%).
+    let direct = characterize(&netlist, &quick_config()).model;
+    let errors = family.coefficient_errors(spec, &direct).unwrap();
+    let mid = errors[errors.len() / 2];
+    assert!(mid < 25.0, "mid-class coefficient error {mid:.1}%");
+}
+
+#[test]
+fn power_trends_track_stream_statistics() {
+    // §4.2: "trends in the power consumption [...] are followed very well
+    // by the model". Random streams must draw more power than speech, and
+    // the model must reproduce that ordering.
+    let spec = ModuleSpec::new(ModuleKind::CsaMultiplier, 8usize);
+    let netlist = spec.build().unwrap().validate().unwrap();
+    let model = characterize(&netlist, &quick_config()).model;
+
+    let mut reference = Vec::new();
+    let mut estimated = Vec::new();
+    for dt in [DataType::Random, DataType::Music, DataType::Speech] {
+        let streams = dt.generate_operands(2, 8, 2000, 17);
+        let trace = run_words(&netlist, &streams, DelayModel::Unit);
+        reference.push(trace.average_charge());
+        let est: f64 = trace
+            .samples
+            .iter()
+            .map(|s| model.estimate(s.hd).unwrap())
+            .sum::<f64>()
+            / trace.samples.len() as f64;
+        estimated.push(est);
+    }
+    // Reference ordering: random > music > speech.
+    assert!(reference[0] > reference[1] && reference[1] > reference[2]);
+    // Model reproduces the ordering.
+    assert!(estimated[0] > estimated[1] && estimated[1] > estimated[2]);
+}

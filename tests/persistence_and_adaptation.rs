@@ -1,0 +1,98 @@
+//! Model lifecycle: persist a characterized library to JSON, reload it,
+//! and adapt it on-line to a mismatched stream — the deployment loop of a
+//! shipped macro-model library.
+
+use hdpm_suite::core::{
+    characterize, evaluate, persist, AdaptiveHdModel, Characterization,
+    CharacterizationConfig, HdModel,
+};
+use hdpm_suite::netlist::{ModuleKind, ModuleSpec};
+use hdpm_suite::sim::{run_words, DelayModel};
+use hdpm_suite::streams::DataType;
+
+fn characterized(kind: ModuleKind, width: usize) -> (Characterization, hdpm_suite::netlist::ValidatedNetlist) {
+    let netlist = ModuleSpec::new(kind, width).build().unwrap().validate().unwrap();
+    let c = characterize(
+        &netlist,
+        &CharacterizationConfig {
+            max_patterns: 5000,
+            ..CharacterizationConfig::default()
+        },
+    );
+    (c, netlist)
+}
+
+#[test]
+fn persisted_model_estimates_identically() {
+    let (c, netlist) = characterized(ModuleKind::RippleAdder, 6);
+    let json = persist::to_json(&c).unwrap();
+    let reloaded: Characterization = persist::from_json(&json).unwrap();
+    assert_eq!(c.model, reloaded.model);
+    assert_eq!(c.enhanced, reloaded.enhanced);
+
+    let streams = DataType::Music.generate_operands(2, 6, 1000, 3);
+    let trace = run_words(&netlist, &streams, DelayModel::Unit);
+    let a = evaluate(&c.model, &trace).unwrap();
+    let b = evaluate(&reloaded.model, &trace).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn model_library_round_trips_through_files() {
+    let dir = std::env::temp_dir().join(format!("hdpm_it_{}", std::process::id()));
+    let (c, _netlist) = characterized(ModuleKind::AbsVal, 8);
+    let path = dir.join("library/absval_8.json");
+    persist::save(&c.model, &path).unwrap();
+    let loaded: HdModel = persist::load(&path).unwrap();
+    assert_eq!(c.model, loaded);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lms_adaptation_fixes_counter_stream_bias() {
+    // The paper's §4.2 remedy for strongly mismatched inputs: adapt the
+    // coefficients on-line [4]. Feed the adaptive model the counter-stream
+    // reference and verify the bias shrinks.
+    let (c, netlist) = characterized(ModuleKind::RippleAdder, 8);
+    let streams = DataType::Counter.generate_operands(2, 8, 4000, 1);
+    let trace = run_words(&netlist, &streams, DelayModel::Unit);
+
+    // Static model bias on this stream.
+    let static_report = evaluate(&c.model, &trace).unwrap();
+
+    // On-line adaptation over the first three quarters; evaluate on the
+    // final quarter.
+    let split = 3 * trace.samples.len() / 4;
+    let mut adaptive = AdaptiveHdModel::new(&c.model, 0.05);
+    for s in &trace.samples[..split] {
+        adaptive.observe(s.hd, s.charge).unwrap();
+    }
+    let estimates: Vec<f64> = trace.samples[split..]
+        .iter()
+        .map(|s| adaptive.estimate(s.hd).unwrap())
+        .collect();
+    let references: Vec<f64> = trace.samples[split..].iter().map(|s| s.charge).collect();
+    let adapted_report = hdpm_suite::core::accuracy(&estimates, &references);
+
+    assert!(
+        adapted_report.average_error_pct.abs() < static_report.average_error_pct.abs() / 2.0,
+        "adaptation should at least halve the bias: static {:.1}% adapted {:.1}%",
+        static_report.average_error_pct,
+        adapted_report.average_error_pct
+    );
+}
+
+#[test]
+fn adapted_model_freezes_into_regular_model() {
+    let (c, netlist) = characterized(ModuleKind::RippleAdder, 6);
+    let streams = DataType::Counter.generate_operands(2, 6, 2000, 2);
+    let trace = run_words(&netlist, &streams, DelayModel::Unit);
+    let mut adaptive = AdaptiveHdModel::new(&c.model, 0.05);
+    for s in &trace.samples {
+        adaptive.observe(s.hd, s.charge).unwrap();
+    }
+    let frozen = adaptive.into_model("adapted_ripple_6");
+    let report = evaluate(&frozen, &trace).unwrap();
+    let original = evaluate(&c.model, &trace).unwrap();
+    assert!(report.average_error_pct.abs() <= original.average_error_pct.abs());
+}

@@ -1,0 +1,130 @@
+//! Cross-crate property-based tests: invariants that must hold for any
+//! module, width, stream or seed.
+
+use hdpm_suite::core::{
+    accuracy, characterize, characterize_trace, CharacterizationConfig, ZeroClustering,
+};
+use hdpm_suite::datamodel::{region_model, HdDistribution, WordModel};
+use hdpm_suite::netlist::{ModuleKind, ModuleSpec};
+use hdpm_suite::sim::{random_patterns, run_patterns, DelayModel};
+use proptest::prelude::*;
+
+fn any_kind() -> impl Strategy<Value = ModuleKind> {
+    prop_oneof![
+        Just(ModuleKind::RippleAdder),
+        Just(ModuleKind::ClaAdder),
+        Just(ModuleKind::AbsVal),
+        Just(ModuleKind::CsaMultiplier),
+        Just(ModuleKind::BoothWallaceMultiplier),
+        Just(ModuleKind::Incrementer),
+        Just(ModuleKind::Subtractor),
+        Just(ModuleKind::Comparator),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn characterized_coefficients_are_finite_and_nonnegative(
+        kind in any_kind(),
+        width in 2usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let netlist = ModuleSpec::new(kind, width)
+            .build()
+            .unwrap()
+            .validate()
+            .unwrap();
+        let config = CharacterizationConfig {
+            max_patterns: 800,
+            seed,
+            ..CharacterizationConfig::default()
+        };
+        let c = characterize(&netlist, &config);
+        for (i, &p) in c.model.coefficients().iter().enumerate() {
+            prop_assert!(p.is_finite() && p >= 0.0, "p_{i} = {p}");
+        }
+        prop_assert_eq!(c.model.coefficient(0), 0.0);
+        // The enhanced model is total: every (hd, zeros) query answers.
+        let m = c.model.input_bits();
+        for hd in 0..=m {
+            for zeros in 0..=(m - hd) {
+                let v = c.enhanced.estimate(hd, zeros).unwrap();
+                prop_assert!(v.is_finite() && v >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_characterization_reproduces_trace_average(
+        seed in any::<u64>(),
+    ) {
+        // The model's expected charge under the trace's own empirical Hd
+        // distribution equals the trace's average charge (means of means
+        // weighted by class population).
+        let netlist = ModuleSpec::new(ModuleKind::RippleAdder, 4usize)
+            .build()
+            .unwrap()
+            .validate()
+            .unwrap();
+        let patterns = random_patterns(8, 800, seed);
+        let trace = run_patterns(&netlist, &patterns, DelayModel::Unit);
+        let c = characterize_trace(&trace, ZeroClustering::Full);
+        let dist = HdDistribution::from_histogram(&trace.hd_histogram());
+        let expected = c.model.estimate_distribution(&dist).unwrap();
+        let actual = trace.average_charge();
+        prop_assert!(
+            (expected - actual).abs() < 1e-6 * actual.max(1.0),
+            "{expected} vs {actual}"
+        );
+    }
+
+    #[test]
+    fn perfect_predictions_have_zero_error(values in prop::collection::vec(0.01f64..1e6, 1..100)) {
+        let report = accuracy(&values, &values);
+        prop_assert!(report.cycle_error_pct.abs() < 1e-9);
+        prop_assert!(report.average_error_pct.abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_predictions_scales_average_error(
+        values in prop::collection::vec(0.01f64..1e6, 1..50),
+        factor in 0.5f64..2.0,
+    ) {
+        let scaled: Vec<f64> = values.iter().map(|v| v * factor).collect();
+        let report = accuracy(&scaled, &values);
+        prop_assert!((report.average_error_pct - 100.0 * (factor - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn region_distribution_mean_equals_eq11(
+        mu in -1000.0f64..1000.0,
+        sigma in 1.0f64..5000.0,
+        rho in -0.99f64..0.99,
+        width in 4usize..=24,
+    ) {
+        let model = WordModel::new(mu, sigma, rho, width);
+        let regions = region_model(&model);
+        let dist = HdDistribution::from_regions(&regions);
+        prop_assert!((dist.mean() - regions.average_hd()).abs() < 1e-9);
+        prop_assert!((dist.total() - 1.0).abs() < 1e-9);
+        prop_assert_eq!(dist.width(), width);
+    }
+
+    #[test]
+    fn zero_and_unit_delay_agree_on_totals_ordering(seed in any::<u64>()) {
+        // Unit delay includes glitches, so it can never charge less.
+        let netlist = ModuleSpec::new(ModuleKind::ClaAdder, 4usize)
+            .build()
+            .unwrap()
+            .validate()
+            .unwrap();
+        let patterns = random_patterns(8, 200, seed);
+        let unit = run_patterns(&netlist, &patterns, DelayModel::Unit);
+        let zero = run_patterns(&netlist, &patterns, DelayModel::Zero);
+        prop_assert!(unit.total_charge() >= zero.total_charge() - 1e-9);
+        // Same Hd classification either way.
+        prop_assert_eq!(unit.hd_histogram(), zero.hd_histogram());
+    }
+}

@@ -1,0 +1,200 @@
+//! Integration tests for the tooling and baseline subsystems: GF field
+//! multiplier end-to-end, activity propagation vs simulation, the bitwise
+//! baseline vs the Hd model, enhanced-model joint-distribution estimation,
+//! VCD export and Verilog emission.
+
+use hdpm_suite::core::{
+    characterize, evaluate, BitwiseModel, CharacterizationConfig, StimulusKind,
+};
+use hdpm_suite::datamodel::{region_model, JointHdZeroDistribution, WordModel};
+use hdpm_suite::netlist::{emit_verilog, modules, ModuleKind, ModuleSpec};
+use hdpm_suite::sim::{
+    dump_vcd, propagate_activity, random_patterns, run_patterns, run_words, DelayModel,
+};
+use hdpm_suite::streams::{bit_stats, DataType};
+
+#[test]
+fn gf_multiplier_full_pipeline() {
+    // Characterize, evaluate under random operands: the field multiplier
+    // should behave like the other modules on type-I data.
+    let netlist = ModuleSpec::new(ModuleKind::GfMultiplier, 8usize)
+        .build()
+        .unwrap()
+        .validate()
+        .unwrap();
+    let model = characterize(
+        &netlist,
+        &CharacterizationConfig {
+            max_patterns: 6000,
+            stimulus: StimulusKind::UniformHd,
+            ..CharacterizationConfig::default()
+        },
+    )
+    .model;
+    let streams = DataType::Random.generate_operands(2, 8, 2000, 9);
+    let trace = run_words(&netlist, &streams, DelayModel::Unit);
+    let report = evaluate(&model, &trace).unwrap();
+    assert!(
+        report.average_error_pct.abs() < 10.0,
+        "gf multiplier type-I error {:.1}%",
+        report.average_error_pct
+    );
+}
+
+#[test]
+fn activity_propagation_tracks_zero_delay_power_on_random_data() {
+    for kind in [ModuleKind::RippleAdder, ModuleKind::ClaAdder] {
+        let netlist = ModuleSpec::new(kind, 6usize)
+            .build()
+            .unwrap()
+            .validate()
+            .unwrap();
+        let m = netlist.netlist().input_bit_count();
+        let est = propagate_activity(&netlist, &vec![0.5; m], &vec![0.5; m]);
+        let patterns = random_patterns(m, 10_000, 4);
+        let trace = run_patterns(&netlist, &patterns, DelayModel::Zero);
+        let ratio = est.charge_per_cycle / trace.average_charge();
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "{kind}: analytic/simulated = {ratio:.3}"
+        );
+    }
+}
+
+#[test]
+fn activity_propagation_uses_measured_stream_statistics() {
+    // Speech streams: per-bit stats in, per-module charge out; should be
+    // within a factor ~2 of the zero-delay simulation despite ignored
+    // inter-bit correlation.
+    let netlist = ModuleSpec::new(ModuleKind::RippleAdder, 8usize)
+        .build()
+        .unwrap()
+        .validate()
+        .unwrap();
+    let streams = DataType::Speech.generate_operands(2, 8, 5000, 3);
+    let mut signal = Vec::new();
+    let mut transition = Vec::new();
+    for s in &streams {
+        let bs = bit_stats(s, 8);
+        signal.extend(bs.signal_probs);
+        transition.extend(bs.transition_probs);
+    }
+    let est = propagate_activity(&netlist, &signal, &transition);
+    let trace = run_words(&netlist, &streams, DelayModel::Zero);
+    let ratio = est.charge_per_cycle / trace.average_charge();
+    assert!((0.5..2.0).contains(&ratio), "ratio {ratio:.3}");
+}
+
+#[test]
+fn bitwise_model_matches_hd_model_on_characterization_statistics() {
+    let netlist = ModuleSpec::new(ModuleKind::CsaMultiplier, 6usize)
+        .build()
+        .unwrap()
+        .validate()
+        .unwrap();
+    let m = netlist.netlist().input_bit_count();
+    let char_trace = run_patterns(
+        &netlist,
+        &random_patterns(m, 8000, 5),
+        DelayModel::Unit,
+    );
+    let bitwise = BitwiseModel::fit_from_trace(&char_trace).unwrap();
+    let hd_model = hdpm_suite::core::characterize_trace(
+        &char_trace,
+        hdpm_suite::core::ZeroClustering::Full,
+    )
+    .model;
+
+    let eval_trace = run_words(
+        &netlist,
+        &DataType::Random.generate_operands(2, 6, 2000, 77),
+        DelayModel::Unit,
+    );
+    let bw = bitwise.evaluate(&eval_trace).unwrap();
+    let hd = evaluate(&hd_model, &eval_trace).unwrap();
+    assert!(bw.average_error_pct.abs() < 10.0, "bitwise {:.1}%", bw.average_error_pct);
+    assert!(hd.average_error_pct.abs() < 10.0, "hd {:.1}%", hd.average_error_pct);
+}
+
+#[test]
+fn joint_distribution_estimator_handles_constant_operands() {
+    // A multiplier with one constant operand: the enhanced model with the
+    // joint (Hd, zeros) distribution must estimate closer to the reference
+    // than the basic model with the plain Hd distribution.
+    let netlist = ModuleSpec::new(ModuleKind::CsaMultiplier, 6usize)
+        .build()
+        .unwrap()
+        .validate()
+        .unwrap();
+    let characterization = characterize(
+        &netlist,
+        &CharacterizationConfig {
+            max_patterns: 16_000,
+            stimulus: StimulusKind::SignalProbSweep,
+            ..CharacterizationConfig::default()
+        },
+    );
+
+    const TAP: i64 = 13; // 0b001101: 3 ones, 3 zeros
+    let x = DataType::Speech.generate(6, 4000, 8);
+    let constant = vec![TAP; x.len()];
+    let trace = run_words(&netlist, &[x.clone(), constant], DelayModel::Unit);
+    let reference = trace.average_charge();
+
+    let x_regions = region_model(&WordModel::from_words(&x, 6));
+    let x_joint = JointHdZeroDistribution::from_regions(&x_regions);
+    let const_joint = JointHdZeroDistribution::empty().with_constant_bits(3, 3);
+    let joint = x_joint.combine(&const_joint);
+
+    let enhanced_est = characterization
+        .enhanced
+        .estimate_joint_distribution(&joint)
+        .unwrap();
+    let basic_est = characterization
+        .model
+        .estimate_distribution(&joint.hd_marginal())
+        .unwrap();
+
+    let enhanced_err = (enhanced_est - reference).abs() / reference;
+    let basic_err = (basic_est - reference).abs() / reference;
+    assert!(
+        enhanced_err < basic_err,
+        "enhanced {enhanced_err:.3} should beat basic {basic_err:.3} \
+         (reference {reference:.1}, enhanced {enhanced_est:.1}, basic {basic_est:.1})"
+    );
+}
+
+#[test]
+fn vcd_export_covers_module_run() {
+    let netlist = modules::cla_adder(4).unwrap().validate().unwrap();
+    let patterns = random_patterns(8, 20, 3);
+    let mut out = Vec::new();
+    dump_vcd(&netlist, &patterns, &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert_eq!(
+        text.lines().filter(|l| l.starts_with("$var")).count(),
+        netlist.netlist().net_count()
+    );
+    assert!(text.contains("#200"), "20 cycles at 10 ticks each");
+}
+
+#[test]
+fn verilog_emission_names_every_port() {
+    for kind in [
+        ModuleKind::RippleAdder,
+        ModuleKind::BoothWallaceMultiplier,
+        ModuleKind::GfMultiplier,
+        ModuleKind::BarrelShifter,
+    ] {
+        let nl = kind.build(8usize.into()).unwrap();
+        let text = emit_verilog(&nl);
+        for port in nl.input_ports().iter().chain(nl.output_ports()) {
+            assert!(
+                text.contains(port.name()),
+                "{kind}: port {} missing from emission",
+                port.name()
+            );
+        }
+        assert!(text.ends_with("endmodule\n"));
+    }
+}
