@@ -51,9 +51,35 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Simulator hot loop with telemetry disabled versus enabled: the disabled
+/// cost must stay within noise of the un-instrumented engine (the ≤2%
+/// overhead budget), and the enabled cost shows what per-cycle timing and
+/// metric flushing add.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let netlist = modules::csa_multiplier(8, 8).unwrap().validate().unwrap();
+    let m = netlist.netlist().input_bit_count();
+    let patterns = random_patterns(m, 200, 1);
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.throughput(Throughput::Elements(200));
+    hdpm_telemetry::set_mode(hdpm_telemetry::Mode::Off);
+    group.bench_function("simulate_200_cycles/disabled", |b| {
+        b.iter(|| run_patterns(&netlist, &patterns, DelayModel::Unit))
+    });
+    // Error level keeps the event stream silent; only counters/histograms
+    // are live, which is the steady-state production configuration.
+    hdpm_telemetry::set_mode(hdpm_telemetry::Mode::Human);
+    hdpm_telemetry::set_level(hdpm_telemetry::Level::Error);
+    group.bench_function("simulate_200_cycles/enabled", |b| {
+        b.iter(|| run_patterns(&netlist, &patterns, DelayModel::Unit))
+    });
+    hdpm_telemetry::set_mode(hdpm_telemetry::Mode::Off);
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_scaling
+    targets = bench_scaling, bench_telemetry_overhead
 }
 criterion_main!(benches);

@@ -12,9 +12,7 @@
 //! averages, so its cycle column is `-`).
 
 use hdpm_bench::{header, reference_trace, save_artifact, standard_config};
-use hdpm_core::{
-    characterize, evaluate, evaluate_enhanced, BitwiseModel, StimulusKind,
-};
+use hdpm_core::{characterize, evaluate, evaluate_enhanced, BitwiseModel, StimulusKind};
 use hdpm_netlist::{ModuleKind, ModuleSpec, ModuleWidth};
 use hdpm_sim::{propagate_activity, random_patterns, run_patterns, DelayModel};
 use hdpm_streams::{bit_stats, DataType};
@@ -38,6 +36,7 @@ const EVAL_TYPES: [DataType; 4] = [
 ];
 
 fn main() {
+    let _telemetry = hdpm_bench::telemetry_scope("abl_baselines");
     header(
         "Ablation",
         "Hd model vs bitwise regression vs activity propagation",
@@ -67,9 +66,7 @@ fn main() {
         );
         let bitwise = BitwiseModel::fit_from_trace(&char_trace).expect("fit");
 
-        println!(
-            "\n{kind} ({w}-bit operands) — estimator errors per data type:",
-        );
+        println!("\n{kind} ({w}-bit operands) — estimator errors per data type:",);
         println!(
             "{:>10} | {:>22} | {:>10} {:>10}",
             "data type", "estimator (params)", "eps[%]", "eps_a[%]"
@@ -86,8 +83,7 @@ fn main() {
                 transition.extend(bs.transition_probs);
             }
             let activity = propagate_activity(&netlist, &signal, &transition);
-            let activity_err = 100.0
-                * (activity.charge_per_cycle - trace.average_charge())
+            let activity_err = 100.0 * (activity.charge_per_cycle - trace.average_charge())
                 / trace.average_charge();
 
             let basic = evaluate(&hd_char.model, &trace).expect("width");
@@ -95,14 +91,24 @@ fn main() {
             let bw = bitwise.evaluate(&trace).expect("width");
 
             let entries: [(&str, usize, f64, Option<f64>); 4] = [
-                ("Hd basic", m, basic.average_error_pct, Some(basic.cycle_error_pct)),
+                (
+                    "Hd basic",
+                    m,
+                    basic.average_error_pct,
+                    Some(basic.cycle_error_pct),
+                ),
                 (
                     "Hd enhanced",
                     hd_char.enhanced.coefficient_count(),
                     enhanced.average_error_pct,
                     Some(enhanced.cycle_error_pct),
                 ),
-                ("bitwise LSQ", m + 1, bw.average_error_pct, Some(bw.cycle_error_pct)),
+                (
+                    "bitwise LSQ",
+                    m + 1,
+                    bw.average_error_pct,
+                    Some(bw.cycle_error_pct),
+                ),
                 ("activity prop.", 0, activity_err, None),
             ];
             for (name, params, avg, cyc) in entries {

@@ -24,6 +24,7 @@ struct AblRow {
 }
 
 fn main() {
+    let _telemetry = hdpm_bench::telemetry_scope("abl_clustering");
     header(
         "Ablation",
         "enhanced-model accuracy vs stable-zero cluster count (csa 8x8)",

@@ -20,6 +20,7 @@ struct ConvRow {
 }
 
 fn main() {
+    let _telemetry = hdpm_bench::telemetry_scope("abl_convergence");
     header(
         "Ablation",
         "characterization budget vs coefficient convergence",

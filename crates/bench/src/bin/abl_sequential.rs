@@ -28,6 +28,7 @@ struct SeqRow {
 const EVAL_TYPES: [DataType; 3] = [DataType::Random, DataType::Speech, DataType::Counter];
 
 fn main() {
+    let _telemetry = hdpm_bench::telemetry_scope("abl_sequential");
     header(
         "Ablation",
         "Hd model on a sequential MAC vs its combinational multiplier core",

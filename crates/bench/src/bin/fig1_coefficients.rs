@@ -20,6 +20,7 @@ struct Fig1Row {
 }
 
 fn main() {
+    let _telemetry = hdpm_bench::telemetry_scope("fig1_coefficients");
     header(
         "Figure 1",
         "coefficients p_i (± ε_i) for 16-input-bit prototypes",

@@ -21,6 +21,7 @@ struct Fig2Row {
 }
 
 fn main() {
+    let _telemetry = hdpm_bench::telemetry_scope("fig2_enhanced");
     header(
         "Figure 2",
         "basic vs enhanced Hd-model coefficients, 8x8-bit csa-multiplier",

@@ -21,6 +21,7 @@ struct Fig3Row {
 }
 
 fn main() {
+    let _telemetry = hdpm_bench::telemetry_scope("fig3_structure");
     header(
         "Figure 3",
         "structure of 4x4-bit vs 6x4-bit csa-multipliers",
@@ -42,9 +43,7 @@ fn main() {
 
     // Fit gate count against the complexity features [m1*m2, m1, 1] over a
     // sweep, demonstrating the regression basis of §5.
-    let sweep: Vec<(usize, usize)> = (2..=16)
-        .flat_map(|m1| [(m1, 4usize), (m1, m1)])
-        .collect();
+    let sweep: Vec<(usize, usize)> = (2..=16).flat_map(|m1| [(m1, 4usize), (m1, m1)]).collect();
     let rows_x: Vec<Vec<f64>> = sweep
         .iter()
         .map(|&(m1, m2)| vec![(m1 * m2) as f64, m1 as f64, 1.0])

@@ -23,6 +23,7 @@ struct Fig4Row {
 const PROTOTYPE_WIDTHS: [usize; 7] = [4, 6, 8, 10, 12, 14, 16];
 
 fn main() {
+    let _telemetry = hdpm_bench::telemetry_scope("fig4_regression");
     header(
         "Figure 4",
         "instance-characterized vs regression coefficients (ALL/SEC/THI)",
@@ -31,10 +32,8 @@ fn main() {
     let mut rows = Vec::new();
 
     // Pre-characterize both prototype sweeps in parallel.
-    let library = hdpm_core::ModelLibrary::new(
-        hdpm_bench::experiments_dir().join("models"),
-        config,
-    );
+    let library =
+        hdpm_core::ModelLibrary::new(hdpm_bench::experiments_dir().join("models"), config);
     let all_specs: Vec<ModuleSpec> = [ModuleKind::CsaMultiplier, ModuleKind::RippleAdder]
         .iter()
         .flat_map(|&kind| {
@@ -123,7 +122,10 @@ fn main() {
     }) {
         println!(
             "  {:>6} {:>4} {:>14.2} {:>14.2} {:>8.1}",
-            row.width, row.hd, row.instance_coefficient, row.regression_coefficient,
+            row.width,
+            row.hd,
+            row.instance_coefficient,
+            row.regression_coefficient,
             row.relative_error_pct
         );
     }

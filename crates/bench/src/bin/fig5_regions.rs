@@ -21,6 +21,7 @@ struct Fig5Row {
 }
 
 fn main() {
+    let _telemetry = hdpm_bench::telemetry_scope("fig5_regions");
     header(
         "Figure 5",
         "bit-level regions of a data word (LSB/intermediate/sign)",

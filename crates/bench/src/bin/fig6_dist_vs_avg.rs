@@ -36,6 +36,7 @@ const WORD_BITS: usize = 8;
 const STREAM_LEN: usize = 40_000;
 
 fn main() {
+    let _telemetry = hdpm_bench::telemetry_scope("fig6_dist_vs_avg");
     header(
         "Figure 6",
         "average-Hd estimate vs Hd-distribution estimate (field multiplier + audio)",
@@ -58,12 +59,10 @@ fn main() {
     let mut gen_b = Ar1Gaussian::new(0.0, 0.03, 0.99, 77);
     let words_a = quantizer.quantize_signal(&mut gen_a, STREAM_LEN);
     let words_b = quantizer.quantize_signal(&mut gen_b, STREAM_LEN);
-    let dist_a = HdDistribution::from_regions(&region_model(&WordModel::from_words(
-        &words_a, WORD_BITS,
-    )));
-    let dist_b = HdDistribution::from_regions(&region_model(&WordModel::from_words(
-        &words_b, WORD_BITS,
-    )));
+    let dist_a =
+        HdDistribution::from_regions(&region_model(&WordModel::from_words(&words_a, WORD_BITS)));
+    let dist_b =
+        HdDistribution::from_regions(&region_model(&WordModel::from_words(&words_b, WORD_BITS)));
     let dist = dist_a.convolve(&dist_b);
 
     let bars = |title: &str, values: &[f64]| {
@@ -75,7 +74,10 @@ fn main() {
         ascii_bars(title, &series, 40);
     };
     bars("Field I — p(Hd = i)", dist.probs());
-    bars("Field II — coefficients p_i (characterized GF(2^8))", model.coefficients());
+    bars(
+        "Field II — coefficients p_i (characterized GF(2^8))",
+        model.coefficients(),
+    );
     let products: Vec<f64> = dist
         .probs()
         .iter()
@@ -104,7 +106,9 @@ fn main() {
         m,
         quad,
         vec![0.0; m + 1],
-        std::iter::once(0).chain(std::iter::repeat_n(1, m)).collect(),
+        std::iter::once(0)
+            .chain(std::iter::repeat_n(1, m))
+            .collect(),
     );
     let quad_cmp = distribution_vs_average(&quad_model, &dist).expect("widths agree");
     println!(

@@ -20,6 +20,7 @@ struct RegionBreakdown {
 }
 
 fn main() {
+    let _telemetry = hdpm_bench::telemetry_scope("fig7_regions");
     header(
         "Figures 7/8",
         "switching events of the two-region model and Hd-distribution regions",
@@ -37,7 +38,10 @@ fn main() {
     // Figure 7: event classes.
     println!("\nFig. 7 — switching events and probabilities:");
     println!("  sign region holds (prob {:.3}):", 1.0 - regions.t_sign);
-    println!("    Hd = Hd_rand                    (binomial over {} bits)", regions.n_rand);
+    println!(
+        "    Hd = Hd_rand                    (binomial over {} bits)",
+        regions.n_rand
+    );
     println!("  sign region switches (prob {:.3}):", regions.t_sign);
     println!(
         "    Hd = {} + Hd_rand               (all sign bits flip together)",
@@ -78,7 +82,11 @@ fn main() {
             "III"
         };
         let no_switch = binom(i) * (1.0 - t_sign);
-        let switch = if i >= n_sign { binom(i - n_sign) * t_sign } else { 0.0 };
+        let switch = if i >= n_sign {
+            binom(i - n_sign) * t_sign
+        } else {
+            0.0
+        };
         println!(
             "  {i:>4} {region:>8} {no_switch:>14.5} {switch:>14.5} {:>12.5}",
             dist.prob(i)

@@ -20,6 +20,7 @@ struct Fig9Report {
 }
 
 fn main() {
+    let _telemetry = hdpm_bench::telemetry_scope("fig9_hd_distribution");
     header(
         "Figure 9",
         "extracted vs estimated Hd distribution of a speech signal",
@@ -45,10 +46,7 @@ fn main() {
         regions.n_rand, regions.n_sign, regions.t_sign
     );
 
-    println!(
-        "\n  {:>4} {:>12} {:>12}",
-        "Hd", "extracted", "estimated"
-    );
+    println!("\n  {:>4} {:>12} {:>12}", "Hd", "extracted", "estimated");
     for i in 0..=WIDTH {
         println!(
             "  {i:>4} {:>12.4} {:>12.4}",

@@ -13,7 +13,10 @@ struct Entry {
 fn main() {
     let root = PathBuf::from("target/criterion");
     if !root.is_dir() {
-        eprintln!("no criterion results at {}; run `cargo bench --workspace` first", root.display());
+        eprintln!(
+            "no criterion results at {}; run `cargo bench --workspace` first",
+            root.display()
+        );
         std::process::exit(1);
     }
     let mut entries = Vec::new();
@@ -23,11 +26,19 @@ fn main() {
     println!("{:<28} {:<42} {:>14}", "group", "benchmark", "median time");
     let mut last_group = String::new();
     for e in &entries {
-        let group = if e.group == last_group { String::new() } else { e.group.clone() };
+        let group = if e.group == last_group {
+            String::new()
+        } else {
+            e.group.clone()
+        };
         last_group = e.group.clone();
         println!("{:<28} {:<42} {:>14}", group, e.bench, humanize(e.nanos));
     }
-    println!("\n{} benchmarks summarized from {}", entries.len(), root.display());
+    println!(
+        "\n{} benchmarks summarized from {}",
+        entries.len(),
+        root.display()
+    );
 }
 
 /// Walk `target/criterion/**/new/estimates.json`, reading the median
@@ -54,7 +65,11 @@ fn collect(dir: &Path, entries: &mut Vec<Entry>) {
                     .map(|s| s.to_string_lossy().into_owned())
                     .unwrap_or_default();
                 entries.push(Entry {
-                    group: if group == "criterion" { String::new() } else { group },
+                    group: if group == "criterion" {
+                        String::new()
+                    } else {
+                        group
+                    },
                     bench,
                     nanos,
                 });
@@ -70,10 +85,7 @@ fn collect(dir: &Path, entries: &mut Vec<Entry>) {
 fn read_median(path: &Path) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
     let value: serde_json::Value = serde_json::from_str(&text).ok()?;
-    value
-        .get("median")?
-        .get("point_estimate")?
-        .as_f64()
+    value.get("median")?.get("point_estimate")?.as_f64()
 }
 
 fn humanize(nanos: f64) -> String {

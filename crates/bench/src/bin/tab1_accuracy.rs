@@ -5,9 +5,7 @@
 //! Columns: average absolute cycle error `ε_a` and signed average-charge
 //! error `ε`, per data type I–V.
 
-use hdpm_bench::{
-    characterize_cached, header, reference_trace, save_artifact, standard_config,
-};
+use hdpm_bench::{characterize_cached, header, reference_trace, save_artifact, standard_config};
 use hdpm_core::evaluate;
 use hdpm_netlist::{ModuleWidth, TABLE1_MODULE_KINDS};
 use hdpm_streams::ALL_DATA_TYPES;
@@ -23,18 +21,14 @@ struct Tab1Row {
 }
 
 fn main() {
-    header(
-        "Table 1",
-        "estimation error of the basic Hd-model (in %)",
-    );
+    let _telemetry = hdpm_bench::telemetry_scope("tab1_accuracy");
+    header("Table 1", "estimation error of the basic Hd-model (in %)");
     let config = standard_config();
     let widths = [8usize, 12, 16];
 
     // Pre-characterize all fifteen module instances in parallel.
-    let library = hdpm_core::ModelLibrary::new(
-        hdpm_bench::experiments_dir().join("models"),
-        config,
-    );
+    let library =
+        hdpm_core::ModelLibrary::new(hdpm_bench::experiments_dir().join("models"), config);
     let specs: Vec<hdpm_netlist::ModuleSpec> = TABLE1_MODULE_KINDS
         .iter()
         .flat_map(|&kind| {

@@ -6,9 +6,7 @@
 //! are frozen at zero — exactly the statistic the basic model averages
 //! away.
 
-use hdpm_bench::{
-    characterize_cached, header, reference_trace, save_artifact, standard_config,
-};
+use hdpm_bench::{characterize_cached, header, reference_trace, save_artifact, standard_config};
 use hdpm_core::{evaluate, evaluate_enhanced, StimulusKind};
 use hdpm_netlist::{ModuleKind, ModuleWidth};
 use hdpm_streams::DataType;
@@ -24,6 +22,7 @@ struct Tab2Row {
 }
 
 fn main() {
+    let _telemetry = hdpm_bench::telemetry_scope("tab2_enhanced");
     header(
         "Table 2",
         "basic vs enhanced Hd-model for a csa-multiplier (8x8)",

@@ -3,9 +3,7 @@
 //! estimation errors for data types I, III and V, for an 8×8 csa-multiplier
 //! and an 8-bit ripple adder.
 
-use hdpm_bench::{
-    characterize_cached, header, reference_trace, save_artifact, standard_config,
-};
+use hdpm_bench::{characterize_cached, header, reference_trace, save_artifact, standard_config};
 use hdpm_core::{evaluate, HdModel, ParameterizableModel, Prototype, PrototypeSet};
 use hdpm_netlist::{ModuleKind, ModuleSpec, ModuleWidth};
 use hdpm_streams::DataType;
@@ -28,6 +26,7 @@ const PROTOTYPE_WIDTHS: [usize; 7] = [4, 6, 8, 10, 12, 14, 16];
 const EVAL_TYPES: [DataType; 3] = [DataType::Random, DataType::Speech, DataType::Counter];
 
 fn main() {
+    let _telemetry = hdpm_bench::telemetry_scope("tab3_regression");
     header(
         "Table 3",
         "coefficient and estimation errors for regression prototype sets",
@@ -110,7 +109,12 @@ fn main() {
             let avg_err = errors.iter().sum::<f64>() / errors.len() as f64;
             let pick = |i: usize| errors[i - 1];
             let predicted = family.predict_model(eval_width);
-            report(set.label(), &predicted, [pick(1), pick(5), pick(8)], avg_err);
+            report(
+                set.label(),
+                &predicted,
+                [pick(1), pick(5), pick(8)],
+                avg_err,
+            );
         }
     }
 

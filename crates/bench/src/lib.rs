@@ -32,6 +32,40 @@ pub fn experiments_dir() -> PathBuf {
     PathBuf::from("target/experiments")
 }
 
+/// Initialise telemetry from the environment (`HDPM_TELEMETRY`,
+/// `HDPM_LOG`) for an experiment binary and return a guard that writes a
+/// JSON metrics snapshot under the experiments directory when dropped.
+/// A no-op scope when telemetry is off.
+pub fn telemetry_scope(name: &'static str) -> TelemetryScope {
+    hdpm_telemetry::init_from_env();
+    TelemetryScope { name }
+}
+
+/// Drop guard returned by [`telemetry_scope`].
+#[must_use = "hold the scope for the lifetime of the experiment"]
+pub struct TelemetryScope {
+    name: &'static str,
+}
+
+impl Drop for TelemetryScope {
+    fn drop(&mut self) {
+        if !hdpm_telemetry::enabled() {
+            return;
+        }
+        let path = experiments_dir().join(format!("{}.telemetry.json", self.name));
+        match serde_json::to_string_pretty(&hdpm_telemetry::snapshot()) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("telemetry snapshot not written to {}: {e}", path.display());
+                } else {
+                    eprintln!("telemetry snapshot written to {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("telemetry snapshot serialization failed: {e}"),
+        }
+    }
+}
+
 /// Persist a JSON artifact under the experiments directory and report the
 /// path on stdout.
 ///

@@ -81,6 +81,16 @@ impl ParsedArgs {
         self.options.get(name).map(String::as_str)
     }
 
+    /// All `--key value` options, as parsed.
+    pub fn options(&self) -> &BTreeMap<String, String> {
+        &self.options
+    }
+
+    /// All boolean flags, as parsed.
+    pub fn flag_names(&self) -> &[String] {
+        &self.flags
+    }
+
     /// Whether a boolean flag was passed.
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)

@@ -17,13 +17,12 @@ mod args;
 use std::process::ExitCode;
 
 use args::ParsedArgs;
-use hdpm_core::{
-    characterize, evaluate, persist, CharacterizationConfig, HdModel, StimulusKind,
-};
+use hdpm_core::{characterize, evaluate, persist, CharacterizationConfig, HdModel, StimulusKind};
 use hdpm_datamodel::{breakpoints, region_model, HdDistribution, WordModel};
 use hdpm_netlist::{emit_verilog, ModuleKind, ModuleSpec, ModuleWidth, NetlistStats};
 use hdpm_sim::{dump_vcd, patterns_from_words, run_words, DelayModel, PowerReport};
 use hdpm_streams::{bit_stats, word_stats, DataType, ALL_DATA_TYPES};
+use hdpm_telemetry::{self as telemetry, RunManifest};
 
 const USAGE: &str = "\
 hdpm — Hamming-distance power macro-model suite
@@ -47,17 +46,41 @@ USAGE:
           incrementer subtractor comparator carry_select_adder
           carry_skip_adder barrel_shifter gf_multiplier mac divider
   <type>: random music speech video counter
+
+GLOBAL OPTIONS:
+  --telemetry <human|json>  emit metrics and events (default: off);
+                            `json` prints one JSON object per stdout line
+                            and writes a run manifest next to --out files
+
+ENVIRONMENT:
+  HDPM_LOG=<error|warn|info|debug|trace>  event filter (default: info)
+  HDPM_TELEMETRY=<off|human|json>         default telemetry mode
 ";
 
 fn main() -> ExitCode {
     let args = match ParsedArgs::parse(std::env::args().skip(1)) {
         Ok(args) => args,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return report_error(None, &e),
     };
+
+    telemetry::init_from_env();
+    if let Some(raw) = args.option("telemetry") {
+        match telemetry::Mode::parse(raw) {
+            Some(mode) => telemetry::set_mode(mode),
+            None => {
+                return report_error(
+                    args.command.as_deref(),
+                    &format!("unknown telemetry mode `{raw}` (expected off, human or json)"),
+                )
+            }
+        }
+    }
+
     let result = match args.command.as_deref() {
+        None => {
+            print!("{USAGE}");
+            Ok(())
+        }
         Some("list") => cmd_list(),
         Some("characterize") => cmd_characterize(&args),
         Some("estimate") => cmd_estimate(&args),
@@ -65,18 +88,27 @@ fn main() -> ExitCode {
         Some("emit") => cmd_emit(&args),
         Some("report") => cmd_report(&args),
         Some("vcd") => cmd_vcd(&args),
-        _ => {
-            print!("{USAGE}");
-            Ok(())
+        Some(other) => {
+            return report_error(None, &format!("unknown subcommand `{other}`"));
         }
     };
+    telemetry::emit_snapshot();
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
+        Err(e) => report_error(args.command.as_deref(), &e),
     }
+}
+
+/// Report a fatal error to stderr with the failing subcommand and a usage
+/// hint, returning the process exit code. The single error path of the
+/// CLI: every failure prints through here.
+fn report_error(command: Option<&str>, error: &dyn std::fmt::Display) -> ExitCode {
+    match command {
+        Some(cmd) => eprintln!("hdpm {cmd}: error: {error}"),
+        None => eprintln!("hdpm: error: {error}"),
+    }
+    eprintln!("run `hdpm` without arguments for usage");
+    ExitCode::FAILURE
 }
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
@@ -164,6 +196,7 @@ fn cmd_list() -> CliResult {
 }
 
 fn cmd_characterize(args: &ParsedArgs) -> CliResult {
+    let _span = telemetry::span("cli.characterize");
     let spec = spec_from(args)?;
     let config = CharacterizationConfig {
         max_patterns: args.get_or("patterns", 12_000usize)?,
@@ -185,17 +218,21 @@ fn cmd_characterize(args: &ParsedArgs) -> CliResult {
         netlist.netlist().input_bit_count()
     );
     let result = characterize(&netlist, &config);
-    println!(
-        "{:>4} {:>14} {:>8} {:>8}",
-        "Hd", "p_i", "eps_i[%]", "samples"
-    );
-    for i in 1..=result.model.input_bits() {
+    // In JSON telemetry mode stdout is reserved for JSON-lines; the same
+    // coefficient data is emitted there as `characterize.class_samples`.
+    if telemetry::mode() != telemetry::Mode::Json {
         println!(
-            "{i:>4} {:>14.2} {:>8.1} {:>8}",
-            result.model.coefficient(i),
-            100.0 * result.model.deviation(i),
-            result.model.sample_counts()[i]
+            "{:>4} {:>14} {:>8} {:>8}",
+            "Hd", "p_i", "eps_i[%]", "samples"
         );
+        for i in 1..=result.model.input_bits() {
+            println!(
+                "{i:>4} {:>14.2} {:>8.1} {:>8}",
+                result.model.coefficient(i),
+                100.0 * result.model.deviation(i),
+                result.model.sample_counts()[i]
+            );
+        }
     }
     if let Some(at) = result.converged_after {
         eprintln!("converged after {at} patterns");
@@ -203,20 +240,43 @@ fn cmd_characterize(args: &ParsedArgs) -> CliResult {
     if let Some(path) = args.option("out") {
         persist::save(&result, path)?;
         eprintln!("model written to {path}");
+        write_manifest("characterize", Some(config.seed), args, path)?;
     }
     Ok(())
 }
 
+/// Write a run manifest (config, seed, git revision, metrics snapshot)
+/// next to an `--out` artifact. No-op unless telemetry is enabled.
+fn write_manifest(
+    command: &str,
+    seed: Option<u64>,
+    args: &ParsedArgs,
+    artifact: &str,
+) -> CliResult {
+    if !telemetry::enabled() {
+        return Ok(());
+    }
+    let mut params: std::collections::BTreeMap<String, String> = args.options().clone();
+    for flag in args.flag_names() {
+        params.insert(flag.clone(), "true".into());
+    }
+    let manifest = RunManifest::capture(command, seed, params);
+    let path = RunManifest::path_for(std::path::Path::new(artifact));
+    std::fs::write(&path, serde_json::to_string_pretty(&manifest)?)?;
+    eprintln!("manifest written to {}", path.display());
+    Ok(())
+}
+
 fn cmd_estimate(args: &ParsedArgs) -> CliResult {
+    let _span = telemetry::span("cli.estimate");
     let spec = spec_from(args)?;
     let dt = data_type(args.require("data")?)?;
     let cycles = args.get_or("cycles", 5000usize)?;
     let seed = args.get_or("seed", 7u64)?;
     let model_path = args.require("model")?;
     // Accept either a bare HdModel or a full Characterization artifact.
-    let model: HdModel = persist::load(model_path).or_else(|_| {
-        persist::load::<hdpm_core::Characterization>(model_path).map(|c| c.model)
-    })?;
+    let model: HdModel = persist::load(model_path)
+        .or_else(|_| persist::load::<hdpm_core::Characterization>(model_path).map(|c| c.model))?;
 
     let (m1, _) = spec.width.operand_widths();
     let streams = dt.generate_operands(spec.kind.operand_count(), m1, cycles, seed);
@@ -227,14 +287,27 @@ fn cmd_estimate(args: &ParsedArgs) -> CliResult {
         .map(|w| HdDistribution::from_regions(&region_model(&WordModel::from_words(w, m1))))
         .collect();
     let dist = HdDistribution::convolve_all(&dists);
+    let json_mode = telemetry::mode() == telemetry::Mode::Json;
     if dist.width() == model.input_bits() {
         let estimate = model.estimate_distribution(&dist)?;
-        println!("analytic estimate: {estimate:.2} charge/cycle (Hd distribution, eq. 18)");
-        println!(
-            "average-Hd estimate: {:.2} charge/cycle (interpolated at Hd = {:.2})",
-            model.estimate_interpolated(dist.mean()),
-            dist.mean()
-        );
+        let via_average = model.estimate_interpolated(dist.mean());
+        if json_mode {
+            telemetry::event(
+                telemetry::Level::Info,
+                "estimate.analytic",
+                &[
+                    ("charge_per_cycle", estimate.into()),
+                    ("via_average", via_average.into()),
+                    ("average_hd", dist.mean().into()),
+                ],
+            );
+        } else {
+            println!("analytic estimate: {estimate:.2} charge/cycle (Hd distribution, eq. 18)");
+            println!(
+                "average-Hd estimate: {via_average:.2} charge/cycle (interpolated at Hd = {:.2})",
+                dist.mean()
+            );
+        }
     } else {
         eprintln!(
             "note: analytic path skipped (distribution width {} != model width {})",
@@ -247,20 +320,34 @@ fn cmd_estimate(args: &ParsedArgs) -> CliResult {
         let netlist = spec.build()?.validate()?;
         let trace = run_words(&netlist, &streams, DelayModel::Unit);
         let report = evaluate(&model, &trace)?;
-        println!(
-            "reference simulation: {:.2} charge/cycle over {} cycles",
-            trace.average_charge(),
-            trace.samples.len()
-        );
-        println!(
-            "trace-based model error: eps = {:+.1}%, eps_a = {:.1}%",
-            report.average_error_pct, report.cycle_error_pct
-        );
+        if json_mode {
+            telemetry::event(
+                telemetry::Level::Info,
+                "estimate.simulated",
+                &[
+                    ("charge_per_cycle", trace.average_charge().into()),
+                    ("cycles", trace.samples.len().into()),
+                    ("average_error_pct", report.average_error_pct.into()),
+                    ("cycle_error_pct", report.cycle_error_pct.into()),
+                ],
+            );
+        } else {
+            println!(
+                "reference simulation: {:.2} charge/cycle over {} cycles",
+                trace.average_charge(),
+                trace.samples.len()
+            );
+            println!(
+                "trace-based model error: eps = {:+.1}%, eps_a = {:.1}%",
+                report.average_error_pct, report.cycle_error_pct
+            );
+        }
     }
     Ok(())
 }
 
 fn cmd_stats(args: &ParsedArgs) -> CliResult {
+    let _span = telemetry::span("cli.stats");
     let width = args.get_or("width", 16usize)?;
     let cycles = args.get_or("cycles", 20_000usize)?;
     let seed = args.get_or("seed", 7u64)?;
@@ -278,8 +365,16 @@ fn cmd_stats(args: &ParsedArgs) -> CliResult {
     let model = WordModel::from_stats(&ws, width);
     let bps = breakpoints(&model);
     let regions = region_model(&model);
-    println!("stream {label} at {width} bits over {} samples:", words.len());
-    println!("  mu = {:.2}, sigma = {:.2}, rho = {:.4}", ws.mean, ws.sigma(), ws.rho1);
+    println!(
+        "stream {label} at {width} bits over {} samples:",
+        words.len()
+    );
+    println!(
+        "  mu = {:.2}, sigma = {:.2}, rho = {:.4}",
+        ws.mean,
+        ws.sigma(),
+        ws.rho1
+    );
     println!("  BP0 = {:.2}, BP1 = {:.2}", bps.bp0, bps.bp1);
     println!(
         "  n_rand = {}, n_sign = {}, t_sign = {:.4}, Hd_avg = {:.3}",
@@ -306,6 +401,7 @@ fn cmd_stats(args: &ParsedArgs) -> CliResult {
 }
 
 fn cmd_emit(args: &ParsedArgs) -> CliResult {
+    let _span = telemetry::span("cli.emit");
     let spec = spec_from(args)?;
     let netlist = spec.build()?;
     let text = emit_verilog(&netlist);
@@ -314,6 +410,7 @@ fn cmd_emit(args: &ParsedArgs) -> CliResult {
             std::fs::write(path, &text)?;
             eprintln!("{}", NetlistStats::of(&netlist));
             eprintln!("written to {path}");
+            write_manifest("emit", None, args, path)?;
         }
         None => print!("{text}"),
     }
@@ -321,6 +418,7 @@ fn cmd_emit(args: &ParsedArgs) -> CliResult {
 }
 
 fn cmd_report(args: &ParsedArgs) -> CliResult {
+    let _span = telemetry::span("cli.report");
     let spec = spec_from(args)?;
     let dt = data_type(args.require("data")?)?;
     let cycles = args.get_or("cycles", 2000usize)?;
@@ -335,6 +433,7 @@ fn cmd_report(args: &ParsedArgs) -> CliResult {
 }
 
 fn cmd_vcd(args: &ParsedArgs) -> CliResult {
+    let _span = telemetry::span("cli.vcd");
     let spec = spec_from(args)?;
     let dt = data_type(args.require("data")?)?;
     let cycles = args.get_or("cycles", 256usize)?;
@@ -347,5 +446,6 @@ fn cmd_vcd(args: &ParsedArgs) -> CliResult {
     let file = std::fs::File::create(out)?;
     dump_vcd(&netlist, &patterns, file)?;
     eprintln!("{cycles} cycles dumped to {out}");
+    write_manifest("vcd", Some(seed), args, out)?;
     Ok(())
 }

@@ -7,6 +7,9 @@ use std::process::{Command, Output};
 fn hdpm(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_hdpm"))
         .args(args)
+        // Keep the tests hermetic against the caller's telemetry settings.
+        .env_remove("HDPM_TELEMETRY")
+        .env_remove("HDPM_LOG")
         .output()
         .expect("binary launches")
 }
@@ -62,7 +65,11 @@ fn characterize_then_estimate_round_trip() {
         "--out",
         model_path.to_str().expect("utf8 temp path"),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout(&out).contains("p_i"));
     assert!(model_path.exists());
 
@@ -80,7 +87,11 @@ fn characterize_then_estimate_round_trip() {
         "500",
         "--simulate",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = stdout(&out);
     assert!(text.contains("analytic estimate"));
     assert!(text.contains("reference simulation"));
@@ -89,7 +100,9 @@ fn characterize_then_estimate_round_trip() {
 
 #[test]
 fn stats_reports_regions() {
-    let out = hdpm(&["stats", "--data", "speech", "--width", "12", "--cycles", "4000"]);
+    let out = hdpm(&[
+        "stats", "--data", "speech", "--width", "12", "--cycles", "4000",
+    ]);
     assert!(out.status.success());
     let text = stdout(&out);
     assert!(text.contains("BP0"));
@@ -119,8 +132,15 @@ fn emit_writes_verilog() {
 #[test]
 fn report_breaks_down_power() {
     let out = hdpm(&[
-        "report", "--module", "csa_multiplier", "--width", "4", "--data", "random",
-        "--cycles", "300",
+        "report",
+        "--module",
+        "csa_multiplier",
+        "--width",
+        "4",
+        "--data",
+        "random",
+        "--cycles",
+        "300",
     ]);
     assert!(out.status.success());
     let text = stdout(&out);
@@ -149,6 +169,125 @@ fn vcd_produces_waveforms() {
     assert!(text.contains("$enddefinitions"));
     assert!(text.contains("#160"));
     let _ = std::fs::remove_file(&vcd_path);
+}
+
+#[test]
+fn unknown_subcommand_fails_nonzero() {
+    let out = hdpm(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand `frobnicate`"), "{err}");
+    assert!(err.contains("usage"), "{err}");
+}
+
+#[test]
+fn invalid_telemetry_mode_fails_nonzero() {
+    let out = hdpm(&["list", "--telemetry", "bogus"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown telemetry mode `bogus`"), "{err}");
+}
+
+#[test]
+fn telemetry_json_emits_parseable_json_lines() {
+    let model_path = temp_path("telemetry_model.json");
+    let out = hdpm(&[
+        "characterize",
+        "--module",
+        "ripple_adder",
+        "--width",
+        "8",
+        "--patterns",
+        "5000",
+        "--telemetry",
+        "json",
+        "--out",
+        model_path.to_str().expect("utf8 temp path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Every stdout line must be a standalone JSON object.
+    let text = stdout(&out);
+    let mut checkpoints = 0usize;
+    let mut class_samples = 0usize;
+    let mut counters = std::collections::BTreeMap::new();
+    let mut saw_cycle_histogram = false;
+    for line in text.lines() {
+        let value: serde_json::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("bad JSON line {line:?}: {e}"));
+        let kind = value
+            .get("type")
+            .and_then(|t| t.as_str())
+            .expect("type tag");
+        let name = value.get("name").and_then(|n| n.as_str()).unwrap_or("");
+        match kind {
+            "event" if name == "characterize.checkpoint" => checkpoints += 1,
+            "event" if name == "characterize.class_samples" => class_samples += 1,
+            "counter" => {
+                let count = value.get("value").and_then(|v| v.as_u64()).expect("count");
+                counters.insert(name.to_string(), count);
+            }
+            "histogram" if name == "sim.cycle_ns" => {
+                saw_cycle_histogram = true;
+                assert!(value.get("p50_ns").and_then(|v| v.as_f64()).is_some());
+                assert!(value.get("p95_ns").and_then(|v| v.as_f64()).is_some());
+                assert_eq!(value.get("count").and_then(|v| v.as_u64()), Some(5000));
+            }
+            _ => {}
+        }
+    }
+    assert!(checkpoints >= 2, "expected >= 2 checkpoints in:\n{text}");
+    // One class_samples event per Hd class, 0..=16 for two 8-bit operands.
+    assert_eq!(class_samples, 17, "in:\n{text}");
+    assert!(counters["sim.gate_evals"] > 0);
+    assert!(counters["sim.net_toggles"] > 0);
+    assert_eq!(counters["sim.patterns"], 5000);
+    assert!(
+        saw_cycle_histogram,
+        "missing sim.cycle_ns histogram in:\n{text}"
+    );
+
+    // A run manifest lands next to the --out artifact.
+    let manifest_path = model_path.with_extension("json.manifest.json");
+    let manifest = std::fs::read_to_string(&manifest_path).expect("manifest written");
+    let manifest: serde_json::Value = serde_json::from_str(&manifest).expect("manifest parses");
+    assert_eq!(
+        manifest.get("command").and_then(|c| c.as_str()),
+        Some("characterize")
+    );
+    assert!(manifest.get("metrics").is_some());
+    let _ = std::fs::remove_file(&model_path);
+    let _ = std::fs::remove_file(&manifest_path);
+}
+
+#[test]
+fn telemetry_human_prints_metrics_table() {
+    let out = hdpm(&[
+        "characterize",
+        "--module",
+        "ripple_adder",
+        "--width",
+        "4",
+        "--patterns",
+        "800",
+        "--telemetry",
+        "human",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    // Human mode keeps the coefficient table and appends the metrics table.
+    assert!(text.contains("p_i"), "{text}");
+    assert!(text.contains("-- telemetry"), "{text}");
+    assert!(text.contains("sim.patterns"), "{text}");
+    assert!(text.contains("sim.cycle_ns"), "{text}");
 }
 
 #[test]

@@ -101,7 +101,9 @@ impl AdaptiveHdModel {
             m,
             self.coeffs,
             vec![0.0; m + 1],
-            std::iter::once(0).chain(std::iter::repeat_n(1, m)).collect(),
+            std::iter::once(0)
+                .chain(std::iter::repeat_n(1, m))
+                .collect(),
         )
     }
 }

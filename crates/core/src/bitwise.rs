@@ -117,8 +117,7 @@ impl BitwiseModel {
         // trace; approximate it with its own Hd-0 estimate of 0 unless it
         // toggled, in which case use the trace's own sample Hd through the
         // mean weight.
-        let mean_weight =
-            self.weights.iter().sum::<f64>() / self.weights.len().max(1) as f64;
+        let mean_weight = self.weights.iter().sum::<f64>() / self.weights.len().max(1) as f64;
         for (k, pair) in trace.samples.iter().enumerate() {
             if k == 0 {
                 let q = if pair.hd == 0 {
@@ -128,8 +127,7 @@ impl BitwiseModel {
                 };
                 estimates.push(q);
             } else {
-                let toggles =
-                    trace.samples[k - 1].pattern.bits() ^ pair.pattern.bits();
+                let toggles = trace.samples[k - 1].pattern.bits() ^ pair.pattern.bits();
                 estimates.push(self.estimate_toggles(toggles));
             }
         }

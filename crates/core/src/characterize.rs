@@ -8,9 +8,11 @@
 
 use hdpm_netlist::ValidatedNetlist;
 use hdpm_sim::{BitPattern, DelayModel, Simulator};
+use hdpm_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use telemetry::Level;
 
 use crate::model::{EnhancedHdModel, HdModel, ZeroClustering};
 
@@ -122,10 +124,26 @@ pub struct Characterization {
 /// # Ok(())
 /// # }
 /// ```
-pub fn characterize(netlist: &ValidatedNetlist, config: &CharacterizationConfig) -> Characterization {
+pub fn characterize(
+    netlist: &ValidatedNetlist,
+    config: &CharacterizationConfig,
+) -> Characterization {
     let m = netlist.netlist().input_bit_count();
     let mut sim = Simulator::with_delay_model(netlist, config.delay_model);
     let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let _span = telemetry::span("characterize");
+    telemetry::event(
+        Level::Info,
+        "characterize.start",
+        &[
+            ("module", netlist.netlist().name().into()),
+            ("input_bits", m.into()),
+            ("stimulus", format!("{:?}", config.stimulus).into()),
+            ("max_patterns", config.max_patterns.into()),
+            ("seed", config.seed.into()),
+        ],
+    );
 
     // Per-sample records for the deviation pass.
     let mut records: Vec<(u16, u16, f64)> = Vec::with_capacity(config.max_patterns);
@@ -210,23 +228,101 @@ pub fn characterize(netlist: &ValidatedNetlist, config: &CharacterizationConfig)
                     patterns: applied,
                     max_relative_change: max_change,
                 });
+                telemetry::event(
+                    Level::Info,
+                    "characterize.checkpoint",
+                    &[
+                        ("patterns", applied.into()),
+                        ("max_relative_change", max_change.into()),
+                        ("baseline", false.into()),
+                    ],
+                );
                 if converged_after.is_none() && max_change < config.convergence_tol {
                     converged_after = Some(applied);
                     break;
                 }
+            } else {
+                // Baseline checkpoint: first coefficient snapshot, no
+                // previous state to diff against.
+                telemetry::event(
+                    Level::Info,
+                    "characterize.checkpoint",
+                    &[("patterns", applied.into()), ("baseline", true.into())],
+                );
             }
             last_snapshot = Some(snapshot);
         }
     }
 
-    build_characterization(
+    telemetry::event(
+        Level::Info,
+        "characterize.stop",
+        &[
+            ("patterns", applied.into()),
+            ("transitions", records.len().into()),
+            (
+                "reason",
+                if converged_after.is_some() {
+                    "converged"
+                } else {
+                    "max_patterns"
+                }
+                .into(),
+            ),
+        ],
+    );
+    sim.flush_telemetry();
+
+    let result = build_characterization(
         netlist.netlist().name(),
         m,
         &records,
         config.clustering,
         converged_after,
         history,
-    )
+    );
+
+    if telemetry::enabled() {
+        telemetry::counter_add("characterize.transitions", result.transitions as u64);
+        let counts = result.model.sample_counts();
+        for (hd, &samples) in counts.iter().enumerate() {
+            telemetry::event(
+                Level::Info,
+                "characterize.class_samples",
+                &[
+                    ("hd", hd.into()),
+                    ("samples", samples.into()),
+                    ("coefficient", result.model.coefficient(hd).into()),
+                ],
+            );
+        }
+        // Under uniform random stimulus the binomial tail starves the
+        // extreme Hd classes; recommend the stratified stream when any
+        // class stayed under the configured minimum.
+        if config.stimulus == StimulusKind::UniformRandom {
+            for (hd, &samples) in counts.iter().enumerate().skip(1) {
+                if samples < config.min_class_samples {
+                    telemetry::event(
+                        Level::Warn,
+                        "characterize.class_starved",
+                        &[
+                            ("hd", hd.into()),
+                            ("samples", samples.into()),
+                            ("min_samples", config.min_class_samples.into()),
+                            (
+                                "hint",
+                                "class under-sampled by uniform random stimulus; \
+                                 use UniformHd (--stratified) for balanced class coverage"
+                                    .into(),
+                            ),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+
+    result
 }
 
 /// Build the models from classified `(hd, stable_zeros, charge)` records.
@@ -247,7 +343,13 @@ pub(crate) fn build_characterization(
         counts[hd as usize] += 1;
     }
     let coeffs: Vec<f64> = (0..=m)
-        .map(|i| if counts[i] > 0 { sums[i] / counts[i] as f64 } else { 0.0 })
+        .map(|i| {
+            if counts[i] > 0 {
+                sums[i] / counts[i] as f64
+            } else {
+                0.0
+            }
+        })
         .collect();
 
     // Eq. 5 deviations.
@@ -259,7 +361,13 @@ pub(crate) fn build_characterization(
         }
     }
     let deviations: Vec<f64> = (0..=m)
-        .map(|i| if counts[i] > 0 { dev_sums[i] / counts[i] as f64 } else { 0.0 })
+        .map(|i| {
+            if counts[i] > 0 {
+                dev_sums[i] / counts[i] as f64
+            } else {
+                0.0
+            }
+        })
         .collect();
 
     let basic = HdModel::from_parts(module, m, coeffs, deviations, counts);
@@ -268,9 +376,7 @@ pub(crate) fn build_characterization(
     let mut e_sums: Vec<Vec<f64>> = (1..=m)
         .map(|i| vec![0.0; clustering.groups(m, i)])
         .collect();
-    let mut e_counts: Vec<Vec<u64>> = (1..=m)
-        .map(|i| vec![0; clustering.groups(m, i)])
-        .collect();
+    let mut e_counts: Vec<Vec<u64>> = (1..=m).map(|i| vec![0; clustering.groups(m, i)]).collect();
     for &(hd, zeros, q) in records {
         let (hd, zeros) = (hd as usize, zeros as usize);
         if hd == 0 {
@@ -290,10 +396,7 @@ pub(crate) fn build_characterization(
                 .collect()
         })
         .collect();
-    let mut e_dev_sums: Vec<Vec<f64>> = e_counts
-        .iter()
-        .map(|row| vec![0.0; row.len()])
-        .collect();
+    let mut e_dev_sums: Vec<Vec<f64>> = e_counts.iter().map(|row| vec![0.0; row.len()]).collect();
     for &(hd, zeros, q) in records {
         let (hd, zeros) = (hd as usize, zeros as usize);
         if hd == 0 {

@@ -116,7 +116,30 @@ pub fn predict_trace_enhanced(
 pub fn evaluate(model: &HdModel, trace: &Trace) -> Result<AccuracyReport, ModelError> {
     let predictions = predict_trace(model, trace)?;
     let references: Vec<f64> = trace.samples.iter().map(|s| s.charge).collect();
-    Ok(accuracy(&predictions, &references))
+    let report = accuracy(&predictions, &references);
+    report_accuracy_telemetry("basic", &trace.module, &report);
+    Ok(report)
+}
+
+/// Push one evaluated stream's accuracy into telemetry: an event with the
+/// per-stream error metrics, plus the `estimate.cycles` counter.
+fn report_accuracy_telemetry(model_kind: &str, module: &str, report: &AccuracyReport) {
+    if !hdpm_telemetry::enabled() {
+        return;
+    }
+    hdpm_telemetry::counter_add("estimate.cycles", report.cycles as u64);
+    hdpm_telemetry::counter_add("estimate.streams", 1);
+    hdpm_telemetry::event(
+        hdpm_telemetry::Level::Debug,
+        "estimate.accuracy",
+        &[
+            ("model", model_kind.into()),
+            ("module", module.into()),
+            ("cycles", report.cycles.into()),
+            ("cycle_error_pct", report.cycle_error_pct.into()),
+            ("average_error_pct", report.average_error_pct.into()),
+        ],
+    );
 }
 
 /// Evaluate the enhanced model against a reference trace.
@@ -130,7 +153,9 @@ pub fn evaluate_enhanced(
 ) -> Result<AccuracyReport, ModelError> {
     let predictions = predict_trace_enhanced(model, trace)?;
     let references: Vec<f64> = trace.samples.iter().map(|s| s.charge).collect();
-    Ok(accuracy(&predictions, &references))
+    let report = accuracy(&predictions, &references);
+    report_accuracy_telemetry("enhanced", &trace.module, &report);
+    Ok(report)
 }
 
 /// Average-power estimate from an Hd distribution (the §6.3 estimator):
@@ -186,7 +211,7 @@ impl DistributionVsAverage {
 mod tests {
     use super::*;
     use hdpm_datamodel::HdDistribution;
-    use hdpm_sim::{CycleSample, BitPattern};
+    use hdpm_sim::{BitPattern, CycleSample};
 
     fn linear_model(m: usize) -> HdModel {
         let coeffs: Vec<f64> = (0..=m).map(|i| 10.0 * i as f64).collect();

@@ -79,10 +79,10 @@ pub use characterize::{
     StimulusKind,
 };
 pub use error::ModelError;
-pub use library::ModelLibrary;
 pub use estimate::{
     accuracy, distribution_vs_average, evaluate, evaluate_enhanced, predict_trace,
     predict_trace_enhanced, AccuracyReport, DistributionVsAverage,
 };
+pub use library::ModelLibrary;
 pub use model::{EnhancedHdModel, HdModel, ZeroClustering};
 pub use regress::{ParameterizableModel, Prototype, PrototypeSet};

@@ -84,13 +84,14 @@ impl ParameterizableModel {
     ///
     /// See the crate-level example in [`crate`].
     pub fn fit(prototypes: &[Prototype]) -> Result<Self, ModelError> {
-        let kind = prototypes
-            .first()
-            .map(|p| p.spec.kind)
-            .ok_or(ModelError::InsufficientPrototypes {
-                supplied: 0,
-                required: 1,
-            })?;
+        let kind =
+            prototypes
+                .first()
+                .map(|p| p.spec.kind)
+                .ok_or(ModelError::InsufficientPrototypes {
+                    supplied: 0,
+                    required: 1,
+                })?;
         if prototypes.iter().any(|p| p.spec.kind != kind) {
             return Err(ModelError::MixedModuleKinds);
         }
@@ -123,7 +124,30 @@ impl ParameterizableModel {
             if rows.len() < features {
                 break;
             }
-            regressions.push(least_squares(&rows, &y)?);
+            let beta = least_squares(&rows, &y)?;
+            if hdpm_telemetry::enabled() {
+                // RMS residual of the LMS fit for this Hd class.
+                let ss: f64 = rows
+                    .iter()
+                    .zip(&y)
+                    .map(|(row, &yi)| {
+                        let pred: f64 = row.iter().zip(&beta).map(|(r, b)| r * b).sum();
+                        (pred - yi) * (pred - yi)
+                    })
+                    .sum();
+                let rms = (ss / rows.len() as f64).sqrt();
+                hdpm_telemetry::counter_add("regress.classes_fitted", 1);
+                hdpm_telemetry::event(
+                    hdpm_telemetry::Level::Debug,
+                    "regress.fit",
+                    &[
+                        ("hd", i.into()),
+                        ("prototypes", rows.len().into()),
+                        ("rms_residual", rms.into()),
+                    ],
+                );
+            }
+            regressions.push(beta);
         }
         if regressions.is_empty() {
             return Err(ModelError::InsufficientPrototypes {
@@ -164,9 +188,8 @@ impl ParameterizableModel {
             return 0.0;
         }
         let features = self.kind.complexity_features(width);
-        let eval = |r: &[f64]| -> f64 {
-            r.iter().zip(&features).map(|(&a, &b)| a * b).sum::<f64>()
-        };
+        let eval =
+            |r: &[f64]| -> f64 { r.iter().zip(&features).map(|(&a, &b)| a * b).sum::<f64>() };
         let fitted = self.regressions.len();
         if i <= fitted {
             eval(&self.regressions[i - 1]).max(0.0)
@@ -193,7 +216,9 @@ impl ParameterizableModel {
             vec![0.0; m + 1],
             // Synthetic counts: every class "populated" so no gap-filling
             // reshapes the regression output.
-            std::iter::once(0).chain(std::iter::repeat_n(1, m)).collect(),
+            std::iter::once(0)
+                .chain(std::iter::repeat_n(1, m))
+                .collect(),
         )
     }
 
@@ -251,7 +276,9 @@ mod tests {
                 m,
                 coeffs,
                 vec![0.0; m + 1],
-                std::iter::once(0).chain(std::iter::repeat_n(1, m)).collect(),
+                std::iter::once(0)
+                    .chain(std::iter::repeat_n(1, m))
+                    .collect(),
             ),
         }
     }
@@ -265,7 +292,9 @@ mod tests {
         let model = ParameterizableModel::fit(&prototypes).unwrap();
         // Predict an unseen width and compare to the law.
         let unseen = synthetic_prototype(ModuleKind::RippleAdder, 11);
-        let errors = model.coefficient_errors(unseen.spec, &unseen.model).unwrap();
+        let errors = model
+            .coefficient_errors(unseen.spec, &unseen.model)
+            .unwrap();
         for (i, e) in errors.iter().enumerate() {
             assert!(*e < 1e-6, "class {} error {e}%", i + 1);
         }

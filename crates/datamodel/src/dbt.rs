@@ -105,7 +105,11 @@ pub fn breakpoints(model: &WordModel) -> Breakpoints {
         innovation.log2()
     };
     let range = model.mu.abs() + 3.0 * model.sigma;
-    let bp1 = if range <= 1.0 { 1.0 } else { range.log2() + 1.0 };
+    let bp1 = if range <= 1.0 {
+        1.0
+    } else {
+        range.log2() + 1.0
+    };
     let bp0 = bp0.clamp(0.0, m);
     let bp1 = bp1.clamp(bp0, m);
     Breakpoints { bp0, bp1 }
@@ -335,11 +339,7 @@ mod tests {
         // width preserves the average transition activity — the reduced
         // two-region model and the full eq. 11 must agree on Hd_avg up to
         // the integer rounding of the region boundaries.
-        for (mu, sigma, rho) in [
-            (0.0, 800.0, 0.95),
-            (100.0, 2000.0, 0.8),
-            (0.0, 50.0, 0.5),
-        ] {
+        for (mu, sigma, rho) in [(0.0, 800.0, 0.95), (100.0, 2000.0, 0.8), (0.0, 50.0, 0.5)] {
             let model = WordModel::new(mu, sigma, rho, 16);
             let reduced = region_model(&model).average_hd();
             let full = three_region_model(&model).average_hd();

@@ -324,7 +324,10 @@ mod tests {
         let model = WordModel::new(50.0, 300.0, 0.8, 12);
         let joint = JointHdZeroDistribution::from_regions(&region_model(&model));
         for (hd, zeros, p) in joint.iter() {
-            assert!(hd + zeros <= 12, "impossible pair ({hd}, {zeros}) with p = {p}");
+            assert!(
+                hd + zeros <= 12,
+                "impossible pair ({hd}, {zeros}) with p = {p}"
+            );
         }
     }
 }

@@ -127,9 +127,8 @@ pub fn abs(a: SignalMoments) -> SignalMoments {
     // pushes the signal away from the fold.
     let rho = a.rho.clamp(-1.0, 1.0);
     let two_over_pi = 2.0 / std::f64::consts::PI;
-    let rho_folded = (two_over_pi
-        * ((1.0 - rho * rho).sqrt() + rho * rho.asin() - 1.0))
-        / (1.0 - two_over_pi);
+    let rho_folded =
+        (two_over_pi * ((1.0 - rho * rho).sqrt() + rho * rho.asin() - 1.0)) / (1.0 - two_over_pi);
     let weight = (ratio.abs() / (1.0 + ratio.abs())).min(1.0);
     let rho_abs = (1.0 - weight) * rho_folded + weight * rho;
     SignalMoments::new(mean, variance, rho_abs.clamp(-1.0, 1.0))
@@ -340,9 +339,7 @@ impl DataflowGraph {
                     }
                     s
                 }
-                DataflowOp::Abs(a) => (0..n)
-                    .map(|j| streams[a.0][j].wrapping_abs())
-                    .collect(),
+                DataflowOp::Abs(a) => (0..n).map(|j| streams[a.0][j].wrapping_abs()).collect(),
                 DataflowOp::Mux(a, b, p_a) => (0..n)
                     .map(|j| {
                         if next_uniform() < p_a {
@@ -459,23 +456,26 @@ mod tests {
         let x_words = DataType::Speech.generate(14, 40_000, 5);
         let y_words = DataType::Music.generate(14, 40_000, 55);
         let z_words = DataType::Speech.generate(14, 40_000, 777);
-        let (xm, ym, zm) = (
+        let w_words = DataType::Music.generate(14, 40_000, 4242);
+        let (xm, ym, zm, wm) = (
             moments_of(&x_words),
             moments_of(&y_words),
             moments_of(&z_words),
+            moments_of(&w_words),
         );
 
         let mut g = DataflowGraph::new();
         let x = g.input(xm);
         let y = g.input(ym);
         let z = g.input(zm);
+        let w = g.input(wm);
         let xd = g.delay(x);
         let s = g.add(xd, y);
         let scaled = g.const_mul(s, 3.0);
         let diff = g.sub(scaled, z);
-        let muxed = g.mux(diff, y, 0.7);
+        let muxed = g.mux(diff, w, 0.7);
 
-        let streams = g.execute(&[x_words, y_words, z_words], 99);
+        let streams = g.execute(&[x_words, y_words, z_words, w_words], 99);
         for (node, label, var_tol, rho_tol) in [
             (s, "add", 0.10, 0.06),
             (scaled, "const_mul", 0.10, 0.06),

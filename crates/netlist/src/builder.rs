@@ -40,12 +40,7 @@ pub fn full_adder(nl: &mut Netlist, a: NetId, b: NetId, cin: NetId) -> AdderBit 
 /// # Panics
 ///
 /// Panics if `a.len() != b.len()` or the vectors are empty.
-pub fn ripple_chain(
-    nl: &mut Netlist,
-    a: &[NetId],
-    b: &[NetId],
-    cin: NetId,
-) -> (Vec<NetId>, NetId) {
+pub fn ripple_chain(nl: &mut Netlist, a: &[NetId], b: &[NetId], cin: NetId) -> (Vec<NetId>, NetId) {
     assert_eq!(a.len(), b.len(), "operand widths must match");
     assert!(!a.is_empty(), "operands must be at least one bit wide");
     let mut sum = Vec::with_capacity(a.len());
@@ -60,11 +55,7 @@ pub fn ripple_chain(
 
 /// Increment a bit vector by a 1-bit condition: `y = x + cond`.
 /// Returns the result bits (same width as `x`) and the final carry.
-pub fn conditional_increment(
-    nl: &mut Netlist,
-    x: &[NetId],
-    cond: NetId,
-) -> (Vec<NetId>, NetId) {
+pub fn conditional_increment(nl: &mut Netlist, x: &[NetId], cond: NetId) -> (Vec<NetId>, NetId) {
     assert!(!x.is_empty(), "operand must be at least one bit wide");
     let mut out = Vec::with_capacity(x.len());
     let mut carry = cond;

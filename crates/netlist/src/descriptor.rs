@@ -302,8 +302,7 @@ mod tests {
 
     #[test]
     fn rect_width_feeds_eq8() {
-        let feats =
-            ModuleKind::CsaMultiplier.complexity_features(ModuleWidth::Rect(6, 4));
+        let feats = ModuleKind::CsaMultiplier.complexity_features(ModuleWidth::Rect(6, 4));
         assert_eq!(feats, vec![24.0, 6.0, 1.0]);
     }
 

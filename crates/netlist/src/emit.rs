@@ -77,11 +77,7 @@ pub fn emit_verilog(netlist: &Netlist) -> String {
     // Gates.
     for (gi, gate) in netlist.gates().iter().enumerate() {
         let y = name(gate.output().index());
-        let ins: Vec<String> = gate
-            .inputs()
-            .iter()
-            .map(|n| name(n.index()))
-            .collect();
+        let ins: Vec<String> = gate.inputs().iter().map(|n| name(n.index())).collect();
         let line = match gate.kind() {
             CellKind::Inv => format!("  not g{gi} ({y}, {});", ins[0]),
             CellKind::Buf => format!("  buf g{gi} ({y}, {});", ins[0]),

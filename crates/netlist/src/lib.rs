@@ -39,18 +39,20 @@ pub mod builder;
 mod descriptor;
 mod emit;
 mod error;
-mod parse;
-mod random;
 mod gate;
 pub mod modules;
 mod netlist;
+mod parse;
+mod random;
 mod stats;
 
-pub use emit::emit_verilog;
-pub use parse::{parse_verilog, ParseVerilogError};
-pub use random::{random_netlist, used_cell_kinds, RandomNetlistConfig};
 pub use descriptor::{ModuleKind, ModuleSpec, ModuleWidth, TABLE1_MODULE_KINDS};
+pub use emit::emit_verilog;
 pub use error::NetlistError;
 pub use gate::{CellKind, ALL_CELL_KINDS};
-pub use netlist::{Gate, GateId, NetDriver, NetId, Netlist, Port, RegId, Register, ValidatedNetlist};
+pub use netlist::{
+    Gate, GateId, NetDriver, NetId, Netlist, Port, RegId, Register, ValidatedNetlist,
+};
+pub use parse::{parse_verilog, ParseVerilogError};
+pub use random::{random_netlist, used_cell_kinds, RandomNetlistConfig};
 pub use stats::NetlistStats;

@@ -59,12 +59,7 @@ pub fn cla_adder(m: usize) -> Result<Netlist, NetlistError> {
 /// # Panics
 ///
 /// Panics if `a.len() != b.len()` or the vectors are empty.
-pub fn cla_chain(
-    nl: &mut Netlist,
-    a: &[NetId],
-    b: &[NetId],
-    cin: NetId,
-) -> (Vec<NetId>, NetId) {
+pub fn cla_chain(nl: &mut Netlist, a: &[NetId], b: &[NetId], cin: NetId) -> (Vec<NetId>, NetId) {
     assert_eq!(a.len(), b.len(), "operand widths must match");
     assert!(!a.is_empty(), "operands must be at least one bit wide");
     let m = a.len();
@@ -82,12 +77,7 @@ pub fn cla_chain(
 }
 
 /// One lookahead block of up to 4 bits. Returns the sum bits and carry-out.
-fn lookahead_block(
-    nl: &mut Netlist,
-    a: &[NetId],
-    b: &[NetId],
-    cin: NetId,
-) -> (Vec<NetId>, NetId) {
+fn lookahead_block(nl: &mut Netlist, a: &[NetId], b: &[NetId], cin: NetId) -> (Vec<NetId>, NetId) {
     let n = a.len();
     debug_assert!((1..=4).contains(&n));
 

@@ -197,15 +197,27 @@ mod tests {
         acc.add_row(
             &mut nl,
             &[
-                WeightedBit { weight: 0, net: x[0] },
-                WeightedBit { weight: 1, net: x[1] },
+                WeightedBit {
+                    weight: 0,
+                    net: x[0],
+                },
+                WeightedBit {
+                    weight: 1,
+                    net: x[1],
+                },
             ],
         );
         acc.add_row(
             &mut nl,
             &[
-                WeightedBit { weight: 1, net: x[2] },
-                WeightedBit { weight: 2, net: x[3] },
+                WeightedBit {
+                    weight: 1,
+                    net: x[2],
+                },
+                WeightedBit {
+                    weight: 2,
+                    net: x[3],
+                },
             ],
         );
         let (s, c) = acc.into_vectors(&mut nl, 4);
@@ -222,8 +234,14 @@ mod tests {
         acc.add_row(
             &mut nl,
             &[
-                WeightedBit { weight: 0, net: x[0] },
-                WeightedBit { weight: 0, net: x[1] },
+                WeightedBit {
+                    weight: 0,
+                    net: x[0],
+                },
+                WeightedBit {
+                    weight: 0,
+                    net: x[1],
+                },
             ],
         );
     }

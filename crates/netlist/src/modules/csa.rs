@@ -156,7 +156,10 @@ pub(crate) fn baugh_wooley_core(
     let one = nl.const_one();
     let const_row: Vec<WeightedBit> = (0..width)
         .filter(|w| (constant >> w) & 1 == 1)
-        .map(|w| WeightedBit { weight: w, net: one })
+        .map(|w| WeightedBit {
+            weight: w,
+            net: one,
+        })
         .collect();
     if !const_row.is_empty() {
         acc.add_row(nl, &const_row);

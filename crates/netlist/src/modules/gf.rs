@@ -106,10 +106,7 @@ pub fn gf_multiplier(m: usize) -> Result<Netlist, NetlistError> {
 
     // Column XOR compression (tree of XOR2 via the half-adder sum path
     // without keeping the carries — GF addition is carry-free).
-    let c: Vec<NetId> = columns
-        .iter()
-        .map(|col| xor_tree(&mut nl, col))
-        .collect();
+    let c: Vec<NetId> = columns.iter().map(|col| xor_tree(&mut nl, col)).collect();
 
     // Reduction: x^i mod p(x) for i >= m folds the high column bits back
     // into the low columns. Precompute the reduction masks in software.
@@ -171,7 +168,10 @@ mod tests {
     #[test]
     fn validates_for_supported_degrees() {
         for m in 2..=16 {
-            gf_multiplier(m).unwrap().validate().expect("valid gf multiplier");
+            gf_multiplier(m)
+                .unwrap()
+                .validate()
+                .expect("valid gf multiplier");
         }
         assert!(gf_multiplier(17).is_err());
         assert!(gf_multiplier(1).is_err());

@@ -69,7 +69,10 @@ mod tests {
     #[test]
     fn validates() {
         for m in [1, 2, 7, 16] {
-            ripple_adder(m).unwrap().validate().expect("acyclic, driven");
+            ripple_adder(m)
+                .unwrap()
+                .validate()
+                .expect("acyclic, driven");
         }
     }
 }

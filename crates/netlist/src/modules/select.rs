@@ -151,8 +151,14 @@ mod tests {
         let ripple = crate::modules::ripple_adder(16).unwrap().gate_count();
         let select = carry_select_adder(16).unwrap().gate_count();
         let skip = carry_skip_adder(16).unwrap().gate_count();
-        assert!(select > ripple + ripple / 2, "select {select} vs ripple {ripple}");
-        assert!(skip < select, "skip {skip} should be leaner than select {select}");
+        assert!(
+            select > ripple + ripple / 2,
+            "select {select} vs ripple {ripple}"
+        );
+        assert!(
+            skip < select,
+            "skip {skip} should be leaner than select {select}"
+        );
         assert!(skip > ripple, "skip {skip} still pays for skip logic");
     }
 

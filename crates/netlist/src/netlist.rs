@@ -12,9 +12,7 @@ use crate::error::NetlistError;
 use crate::gate::CellKind;
 
 /// Identifier of a net (a wire) within one [`Netlist`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NetId(pub(crate) u32);
 
 impl NetId {
@@ -25,9 +23,7 @@ impl NetId {
 }
 
 /// Identifier of a gate instance within one [`Netlist`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct GateId(pub(crate) u32);
 
 impl GateId {
@@ -38,9 +34,7 @@ impl GateId {
 }
 
 /// Identifier of a register (D flip-flop) within one [`Netlist`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RegId(pub(crate) u32);
 
 impl RegId {
@@ -270,7 +264,10 @@ impl Netlist {
     /// already taken.
     pub fn add_output_port(&mut self, name: impl Into<String>, bits: &[NetId]) {
         let name = name.into();
-        assert!(!bits.is_empty(), "output port `{name}` must have at least one bit");
+        assert!(
+            !bits.is_empty(),
+            "output port `{name}` must have at least one bit"
+        );
         assert!(
             !self.port_name_taken(&name),
             "port name `{name}` declared twice"
@@ -675,10 +672,7 @@ mod tests {
         let a = nl.add_input_port("a", 1)[0];
         let out = nl.add_gate(CellKind::And2, &[a, dangling]);
         nl.add_output_port("y", &[out]);
-        assert!(matches!(
-            nl.validate(),
-            Err(NetlistError::FloatingNet(_))
-        ));
+        assert!(matches!(nl.validate(), Err(NetlistError::FloatingNet(_))));
     }
 
     #[test]

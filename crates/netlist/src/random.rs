@@ -83,7 +83,9 @@ pub fn random_netlist(seed: u64, config: RandomNetlistConfig) -> Netlist {
 
     let mut gate_outputs: Vec<NetId> = Vec::with_capacity(config.gates);
     for g in 0..config.gates {
-        if registers_placed < config.registers && reg_interval != usize::MAX && g % reg_interval == 0
+        if registers_placed < config.registers
+            && reg_interval != usize::MAX
+            && g % reg_interval == 0
         {
             let d = pool[(next() as usize) % pool.len()];
             let q = nl.add_register(d);

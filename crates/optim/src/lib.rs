@@ -46,11 +46,7 @@ impl Operation {
     ///
     /// Panics if `signal_probs` length differs from the distribution width
     /// or any probability is outside `[0, 1]`.
-    pub fn new(
-        name: impl Into<String>,
-        self_dist: HdDistribution,
-        signal_probs: Vec<f64>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, self_dist: HdDistribution, signal_probs: Vec<f64>) -> Self {
         assert_eq!(
             signal_probs.len(),
             self_dist.width(),
@@ -281,13 +277,10 @@ pub fn bind_shared(operations: &[Operation], models: &[HdModel]) -> Result<Bindi
             while pos < groups[src].len() {
                 let op = groups[src][pos];
                 let mut best: Option<(usize, f64)> = None;
-                let src_without: Vec<usize> = groups[src]
-                    .iter()
-                    .copied()
-                    .filter(|&o| o != op)
-                    .collect();
-                let src_gain = group_costs[src]
-                    - group_cost(&models[src], operations, &src_without)?;
+                let src_without: Vec<usize> =
+                    groups[src].iter().copied().filter(|&o| o != op).collect();
+                let src_gain =
+                    group_costs[src] - group_cost(&models[src], operations, &src_without)?;
                 for dst in 0..k {
                     if dst == src {
                         continue;
@@ -426,8 +419,7 @@ mod tests {
             let mut out = Vec::new();
             for p in permutations(n - 1) {
                 for k in 0..n {
-                    let mut q: Vec<usize> =
-                        p.iter().map(|&v| v + usize::from(v >= k)).collect();
+                    let mut q: Vec<usize> = p.iter().map(|&v| v + usize::from(v >= k)).collect();
                     q.push(k);
                     out.push(q);
                 }
@@ -439,9 +431,7 @@ mod tests {
             .map(|perm| {
                 perm.iter()
                     .enumerate()
-                    .map(|(i, &k)| {
-                        models[k].estimate_distribution(&ops[i].self_dist).unwrap()
-                    })
+                    .map(|(i, &k)| models[k].estimate_distribution(&ops[i].self_dist).unwrap())
                     .sum::<f64>()
             })
             .fold(f64::INFINITY, f64::min)

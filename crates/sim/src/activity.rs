@@ -142,7 +142,10 @@ pub fn propagate_activity(
     );
     for (&p, &t) in input_signal.iter().zip(input_transition) {
         assert!((0.0..=1.0).contains(&p), "signal probability {p} invalid");
-        assert!((0.0..=1.0).contains(&t), "transition probability {t} invalid");
+        assert!(
+            (0.0..=1.0).contains(&t),
+            "transition probability {t} invalid"
+        );
     }
 
     let nets = netlist.netlist().net_count();

@@ -12,6 +12,8 @@
 //!   only functional (final-value) transitions are charged. Useful as an
 //!   ablation of glitch power.
 
+use std::time::Instant;
+
 use hdpm_netlist::{NetDriver, NetId, ValidatedNetlist};
 use serde::{Deserialize, Serialize};
 
@@ -25,6 +27,25 @@ pub enum DelayModel {
     Unit,
     /// Zero delay; only final-value transitions are charged.
     Zero,
+}
+
+/// Cumulative work counters of one [`Simulator`] instance.
+///
+/// Maintained unconditionally (plain integer adds, no branches on the
+/// telemetry mode), and flushed to the global `hdpm-telemetry` registry
+/// by [`Simulator::flush_telemetry`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Input patterns applied ([`Simulator::apply`] calls).
+    pub cycles: u64,
+    /// Gate evaluations across all delay models.
+    pub gate_evals: u64,
+    /// Events dequeued from the unit-delay wave queue.
+    pub events_popped: u64,
+    /// Net toggles, including glitches and register clocking.
+    pub net_toggles: u64,
+    /// Total charge drawn (normalized capacitance × Vdd units).
+    pub total_charge: f64,
 }
 
 /// Per-cycle outcome of applying one input pattern.
@@ -76,6 +97,10 @@ pub struct Simulator<'a> {
     next_events: Vec<u32>,
     /// Scratch: per-gate "already scheduled" flags.
     scheduled: Vec<bool>,
+    /// Cumulative work counters (cheap, always maintained).
+    stats: SimStats,
+    /// Watermark of counters already flushed to the telemetry registry.
+    flushed: SimStats,
 }
 
 impl<'a> Simulator<'a> {
@@ -115,6 +140,8 @@ impl<'a> Simulator<'a> {
             current_events: Vec::new(),
             next_events: Vec::new(),
             scheduled: vec![false; gates],
+            stats: SimStats::default(),
+            flushed: SimStats::default(),
         };
         sim.settle_quietly();
         sim
@@ -129,8 +156,7 @@ impl<'a> Simulator<'a> {
             for (k, &inp) in gate.inputs().iter().enumerate() {
                 ins[k] = self.values[inp.index()];
             }
-            self.values[gate.output().index()] =
-                gate.kind().eval(&ins[..gate.inputs().len()]);
+            self.values[gate.output().index()] = gate.kind().eval(&ins[..gate.inputs().len()]);
         }
     }
 
@@ -163,6 +189,9 @@ impl<'a> Simulator<'a> {
             pattern.width(),
             self.input_width()
         );
+        // The clock read is the only telemetry cost on the hot path when
+        // disabled: one relaxed atomic load, no `Instant::now` call.
+        let start = hdpm_telemetry::enabled().then(Instant::now);
         let count_energy = self.initialized;
         // Clock edge: registers sample their D nets (the settled values of
         // the previous cycle) before the new inputs arrive.
@@ -174,6 +203,13 @@ impl<'a> Simulator<'a> {
         result.charge += clock.charge;
         result.toggles += clock.toggles;
         self.initialized = true;
+        self.stats.cycles += 1;
+        self.stats.net_toggles += result.toggles;
+        self.stats.total_charge += result.charge;
+        if let Some(start) = start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            hdpm_telemetry::record_duration_ns("sim.cycle_ns", ns);
+        }
         result
     }
 
@@ -262,6 +298,8 @@ impl<'a> Simulator<'a> {
             );
             // Evaluate the wave front.
             let mut front = std::mem::take(&mut self.current_events);
+            self.stats.events_popped += front.len() as u64;
+            self.stats.gate_evals += front.len() as u64;
             for &gi in &front {
                 self.scheduled[gi as usize] = false;
             }
@@ -322,6 +360,7 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
+        self.stats.gate_evals += self.netlist.topo_order().len() as u64;
         for &gid in self.netlist.topo_order() {
             let gate = self.netlist.netlist().gate(gid);
             let mut ins = [false; 4];
@@ -369,6 +408,40 @@ impl<'a> Simulator<'a> {
         Some(sign_extend(raw, width))
     }
 
+    /// Cumulative work counters of this simulator instance.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Push the work done since the previous flush into the global
+    /// telemetry registry (`sim.patterns`, `sim.gate_evals`,
+    /// `sim.events_popped`, `sim.net_toggles` counters and the
+    /// `sim.total_charge` gauge). A no-op when telemetry is disabled;
+    /// idempotent between cycles (only deltas are pushed).
+    pub fn flush_telemetry(&mut self) {
+        if !hdpm_telemetry::enabled() {
+            return;
+        }
+        hdpm_telemetry::counter_add("sim.patterns", self.stats.cycles - self.flushed.cycles);
+        hdpm_telemetry::counter_add(
+            "sim.gate_evals",
+            self.stats.gate_evals - self.flushed.gate_evals,
+        );
+        hdpm_telemetry::counter_add(
+            "sim.events_popped",
+            self.stats.events_popped - self.flushed.events_popped,
+        );
+        hdpm_telemetry::counter_add(
+            "sim.net_toggles",
+            self.stats.net_toggles - self.flushed.net_toggles,
+        );
+        hdpm_telemetry::gauge_add(
+            "sim.total_charge",
+            self.stats.total_charge - self.flushed.total_charge,
+        );
+        self.flushed = self.stats;
+    }
+
     /// Cumulative per-net toggle counts (diagnostics).
     pub fn toggle_counts(&self) -> &[u64] {
         &self.toggle_counts
@@ -386,13 +459,23 @@ impl<'a> Simulator<'a> {
     pub fn reset(&mut self) {
         for idx in 0..self.values.len() {
             self.values[idx] = matches!(
-                self.netlist.netlist().driver(self.netlist.netlist().net_id(idx)),
+                self.netlist
+                    .netlist()
+                    .driver(self.netlist.netlist().net_id(idx)),
                 NetDriver::Constant(true)
             );
         }
         self.settle_quietly();
         self.toggle_counts.iter_mut().for_each(|c| *c = 0);
         self.initialized = false;
+    }
+}
+
+impl Drop for Simulator<'_> {
+    /// Flush any unreported work so telemetry never under-counts, even
+    /// for callers that never call [`Simulator::flush_telemetry`].
+    fn drop(&mut self) {
+        self.flush_telemetry();
     }
 }
 

@@ -38,7 +38,7 @@ mod report;
 mod vcd;
 
 pub use activity::{propagate_activity, ActivityEstimate};
-pub use engine::{CycleResult, DelayModel, Simulator};
+pub use engine::{CycleResult, DelayModel, SimStats, Simulator};
 pub use harness::{
     patterns_from_words, random_patterns, run_patterns, run_words, CycleSample, Trace,
 };

@@ -312,7 +312,10 @@ fn idle_mac_draws_only_clock_power() {
     assert_eq!(steady.toggles, 0, "no data toggles while idle");
     // Clock charge scales with the register count.
     let per_reg = steady.charge / nl.netlist().register_count() as f64;
-    assert!((1.0..3.0).contains(&per_reg), "per-register clock charge {per_reg}");
+    assert!(
+        (1.0..3.0).contains(&per_reg),
+        "per-register clock charge {per_reg}"
+    );
 }
 
 #[test]

@@ -11,7 +11,11 @@ fn config_from(seed: u64, sequential: bool) -> RandomNetlistConfig {
         inputs: 2 + (seed % 10) as usize,
         gates: 5 + (seed % 150) as usize,
         outputs: 1 + (seed % 4) as usize,
-        registers: if sequential { 1 + (seed % 6) as usize } else { 0 },
+        registers: if sequential {
+            1 + (seed % 6) as usize
+        } else {
+            0
+        },
     }
 }
 

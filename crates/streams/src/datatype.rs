@@ -241,7 +241,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "out of range")]
-    fn rejects_tiny_width()  {
+    fn rejects_tiny_width() {
         DataType::Music.generate(1, 10, 0);
     }
 }

@@ -85,7 +85,9 @@ impl Quantizer {
 
     /// Pull `n` samples from a [`Signal`] and quantize them.
     pub fn quantize_signal<S: Signal>(self, signal: &mut S, n: usize) -> Vec<i64> {
-        (0..n).map(|_| self.quantize(signal.next_sample())).collect()
+        (0..n)
+            .map(|_| self.quantize(signal.next_sample()))
+            .collect()
     }
 }
 

@@ -100,9 +100,8 @@ impl Ar1Gaussian {
 
 impl Signal for Ar1Gaussian {
     fn next_sample(&mut self) -> f64 {
-        let innovation = self.sigma
-            * (1.0 - self.rho * self.rho).sqrt()
-            * standard_normal(&mut self.rng);
+        let innovation =
+            self.sigma * (1.0 - self.rho * self.rho).sqrt() * standard_normal(&mut self.rng);
         self.state = self.mu + self.rho * (self.state - self.mu) + innovation;
         self.state
     }

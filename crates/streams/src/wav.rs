@@ -106,9 +106,8 @@ pub fn read_wav<R: Read>(mut reader: R) -> Result<WavStream, WavError> {
     let mut pos = 12usize;
     while pos + 8 <= bytes.len() {
         let id = &bytes[pos..pos + 4];
-        let size = u32::from_le_bytes(
-            bytes[pos + 4..pos + 8].try_into().expect("4 bytes"),
-        ) as usize;
+        let size =
+            u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes")) as usize;
         let body_end = (pos + 8 + size).min(bytes.len());
         let body = &bytes[pos + 8..body_end];
         match id {

@@ -1,0 +1,118 @@
+//! Run manifests: a serializable record of *how* an artifact was
+//! produced — command, parameters, seed, toolchain provenance and the
+//! final metrics snapshot — written next to the artifact itself so
+//! results stay reproducible and auditable.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::MetricsSnapshot;
+
+/// Provenance record for one CLI run, serialized as
+/// `<artifact>.manifest.json` next to the `--out` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Subcommand that produced the artifact (e.g. `characterize`).
+    pub command: String,
+    /// Full argument vector of the invocation.
+    pub argv: Vec<String>,
+    /// RNG seed of the run, when the command is seeded.
+    pub seed: Option<u64>,
+    /// Named run parameters (module, width, pattern count, ...).
+    pub params: BTreeMap<String, String>,
+    /// `git describe --always --dirty` of the working tree, when
+    /// available.
+    pub git_describe: Option<String>,
+    /// Seconds since the Unix epoch at capture time.
+    pub unix_time_secs: Option<u64>,
+    /// Metrics registry snapshot at the end of the run.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunManifest {
+    /// Capture a manifest for `command`: argv from the environment, git
+    /// description and timestamp best-effort, metrics from the global
+    /// registry.
+    pub fn capture(
+        command: impl Into<String>,
+        seed: Option<u64>,
+        params: BTreeMap<String, String>,
+    ) -> Self {
+        RunManifest {
+            command: command.into(),
+            argv: std::env::args().collect(),
+            seed,
+            params,
+            git_describe: git_describe(),
+            unix_time_secs: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .ok()
+                .map(|d| d.as_secs()),
+            metrics: crate::metrics::snapshot(),
+        }
+    }
+
+    /// Manifest path for an artifact: `model.json` →
+    /// `model.json.manifest.json`.
+    pub fn path_for(artifact: &Path) -> PathBuf {
+        let mut name = artifact.file_name().unwrap_or_default().to_os_string();
+        name.push(".manifest.json");
+        artifact.with_file_name(name)
+    }
+}
+
+/// Best-effort `git describe --always --dirty`; `None` when git or the
+/// repository is unavailable.
+fn git_describe() -> Option<String> {
+    let output = Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(output.stdout).ok()?;
+    let text = text.trim();
+    if text.is_empty() {
+        None
+    } else {
+        Some(text.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_path_appends_suffix() {
+        assert_eq!(
+            RunManifest::path_for(Path::new("out/model.json")),
+            PathBuf::from("out/model.json.manifest.json")
+        );
+        assert_eq!(
+            RunManifest::path_for(Path::new("model")),
+            PathBuf::from("model.manifest.json")
+        );
+    }
+
+    #[test]
+    fn capture_fills_provenance() {
+        let mut params = BTreeMap::new();
+        params.insert("module".to_string(), "ripple_adder".to_string());
+        let m = RunManifest::capture("characterize", Some(7), params);
+        assert_eq!(m.command, "characterize");
+        assert_eq!(m.seed, Some(7));
+        assert!(!m.argv.is_empty());
+        assert_eq!(
+            m.params.get("module").map(String::as_str),
+            Some("ripple_adder")
+        );
+        // Timestamp is monotone-ish sane (after 2020-01-01).
+        assert!(m.unix_time_secs.unwrap_or(0) > 1_577_836_800);
+    }
+}

@@ -1,0 +1,422 @@
+//! The global metrics registry: counters, gauges and log-scale latency
+//! histograms, plus the serializable [`MetricsSnapshot`] view of all
+//! three.
+//!
+//! All registry operations early-return when telemetry is disabled, so
+//! instrumented code can call them unconditionally from flush paths. Hot
+//! loops should instead accumulate into plain local integers and flush
+//! once per coarse unit of work (the simulator flushes per run, not per
+//! gate event).
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{enabled, write_json_f64, write_json_string, Mode};
+
+/// Number of power-of-two latency buckets: bucket `b` holds values in
+/// `[2^(b-1), 2^b)` nanoseconds, bucket 0 holds zero.
+const BUCKETS: usize = 65;
+
+/// A log-scale histogram of nanosecond durations.
+///
+/// Values land in power-of-two buckets, so percentiles are exact to
+/// within a factor of two at any scale — plenty for latency profiling —
+/// while recording stays O(1) with no allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one duration in nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        let bucket = if ns == 0 {
+            0
+        } else {
+            64 - ns.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded value in nanoseconds.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values in nanoseconds.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the midpoint of the bucket the
+    /// quantile rank falls into; 0.0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1]`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile {q} outside (0, 1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        // Rank of the requested order statistic, 1-based.
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Self::bucket_midpoint(b);
+            }
+        }
+        self.max as f64
+    }
+
+    /// Midpoint of bucket `b`'s value range.
+    fn bucket_midpoint(b: usize) -> f64 {
+        if b == 0 {
+            return 0.0;
+        }
+        let low = (1u128 << (b - 1)) as f64;
+        let high = ((1u128 << b) - 1) as f64;
+        (low + high) / 2.0
+    }
+
+    /// Serializable summary (count, mean and tail percentiles).
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean_ns: self.mean(),
+            p50_ns: self.percentile(0.50),
+            p95_ns: self.percentile(0.95),
+            p99_ns: self.percentile(0.99),
+            max_ns: self.max,
+        }
+    }
+}
+
+/// Percentile summary of one [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Mean in nanoseconds.
+    pub mean_ns: f64,
+    /// Median in nanoseconds (bucket midpoint).
+    pub p50_ns: f64,
+    /// 95th percentile in nanoseconds (bucket midpoint).
+    pub p95_ns: f64,
+    /// 99th percentile in nanoseconds (bucket midpoint).
+    pub p99_ns: f64,
+    /// Largest recorded value in nanoseconds (exact).
+    pub max_ns: u64,
+}
+
+/// A point-in-time copy of the whole metrics registry.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Latency histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn with_registry(f: impl FnOnce(&mut Registry)) {
+    // A poisoned registry only loses metrics, never correctness.
+    let mut guard = match registry().lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(&mut guard);
+}
+
+/// Add `delta` to the named monotonic counter. No-op when disabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    with_registry(|r| {
+        *r.counters.entry(name.to_string()).or_insert(0) += delta;
+    });
+}
+
+/// Set the named gauge to `value`. No-op when disabled.
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|r| {
+        r.gauges.insert(name.to_string(), value);
+    });
+}
+
+/// Add `delta` to the named gauge (creating it at 0). No-op when
+/// disabled.
+pub fn gauge_add(name: &str, delta: f64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|r| {
+        *r.gauges.entry(name.to_string()).or_insert(0.0) += delta;
+    });
+}
+
+/// Record a duration in the named latency histogram. No-op when disabled.
+pub fn record_duration_ns(name: &str, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|r| {
+        r.histograms.entry(name.to_string()).or_default().record(ns);
+    });
+}
+
+/// Copy the registry into a serializable [`MetricsSnapshot`]. Works even
+/// when telemetry is disabled (returns whatever was recorded while it was
+/// on).
+pub fn snapshot() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    with_registry(|r| {
+        snap.counters = r.counters.clone();
+        snap.gauges = r.gauges.clone();
+        snap.histograms = r
+            .histograms
+            .iter()
+            .map(|(name, h)| (name.clone(), h.summary()))
+            .collect();
+    });
+    snap
+}
+
+/// Clear every metric (used between test cases and CLI subcommands).
+pub fn reset() {
+    with_registry(|r| {
+        r.counters.clear();
+        r.gauges.clear();
+        r.histograms.clear();
+    });
+}
+
+pub(crate) fn emit_snapshot_in_mode(mode: Mode) {
+    if mode == Mode::Off {
+        return;
+    }
+    let snap = snapshot();
+    match mode {
+        Mode::Off => {}
+        Mode::Human => {
+            if snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty() {
+                return;
+            }
+            println!("-- telemetry ------------------------------------------------");
+            for (name, value) in &snap.counters {
+                println!("counter    {name:<40} {value:>14}");
+            }
+            for (name, value) in &snap.gauges {
+                println!("gauge      {name:<40} {value:>14.3}");
+            }
+            for (name, h) in &snap.histograms {
+                println!(
+                    "histogram  {name:<40} count={} mean={:.0}ns p50={:.0}ns p95={:.0}ns p99={:.0}ns max={}ns",
+                    h.count, h.mean_ns, h.p50_ns, h.p95_ns, h.p99_ns, h.max_ns
+                );
+            }
+        }
+        Mode::Json => {
+            for (name, value) in &snap.counters {
+                let mut line = String::from("{\"type\":\"counter\",\"name\":");
+                write_json_string(&mut line, name);
+                line.push_str(",\"value\":");
+                line.push_str(&value.to_string());
+                line.push('}');
+                println!("{line}");
+            }
+            for (name, value) in &snap.gauges {
+                let mut line = String::from("{\"type\":\"gauge\",\"name\":");
+                write_json_string(&mut line, name);
+                line.push_str(",\"value\":");
+                write_json_f64(&mut line, *value);
+                line.push('}');
+                println!("{line}");
+            }
+            for (name, h) in &snap.histograms {
+                let mut line = String::from("{\"type\":\"histogram\",\"name\":");
+                write_json_string(&mut line, name);
+                line.push_str(&format!(",\"count\":{}", h.count));
+                line.push_str(",\"mean_ns\":");
+                write_json_f64(&mut line, h.mean_ns);
+                line.push_str(",\"p50_ns\":");
+                write_json_f64(&mut line, h.p50_ns);
+                line.push_str(",\"p95_ns\":");
+                write_json_f64(&mut line, h.p95_ns);
+                line.push_str(",\"p99_ns\":");
+                write_json_f64(&mut line, h.p99_ns);
+                line.push_str(&format!(",\"max_ns\":{}}}", h.max_ns));
+                println!("{line}");
+            }
+        }
+    }
+}
+
+/// Serialize tests that touch the global mode/registry.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    match LOCK.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_value_dominates_every_percentile() {
+        let mut h = Histogram::default();
+        h.record(1000);
+        // 1000 falls in bucket [512, 1024), midpoint 767.5.
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 767.5, "quantile {q}");
+        }
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.mean(), 1000.0);
+    }
+
+    #[test]
+    fn percentiles_walk_the_bucket_cdf() {
+        let mut h = Histogram::default();
+        // 90 fast ops in [8, 16), 10 slow ops in [1024, 2048).
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(1500);
+        }
+        let fast_mid = (8.0 + 15.0) / 2.0;
+        let slow_mid = (1024.0 + 2047.0) / 2.0;
+        assert_eq!(h.percentile(0.50), fast_mid);
+        assert_eq!(h.percentile(0.90), fast_mid);
+        assert_eq!(h.percentile(0.91), slow_mid);
+        assert_eq!(h.percentile(0.99), slow_mid);
+        assert_eq!(h.max(), 1500);
+    }
+
+    #[test]
+    fn zero_and_huge_values_hit_the_edge_buckets() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(0.5), 0.0);
+        assert!(h.percentile(1.0) > 2.0f64.powi(62));
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn percentile_rank_uses_ceil() {
+        let mut h = Histogram::default();
+        h.record(1); // bucket [1, 2), midpoint 1.0
+        h.record(4); // bucket [4, 8), midpoint 5.5
+                     // q = 0.5 → rank ceil(1.0) = 1 → first value.
+        assert_eq!(h.percentile(0.5), 1.0);
+        // q = 0.51 → rank ceil(1.02) = 2 → second value.
+        assert_eq!(h.percentile(0.51), 5.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn percentile_zero_is_rejected() {
+        Histogram::default().percentile(0.0);
+    }
+
+    #[test]
+    fn summary_matches_direct_percentiles() {
+        let mut h = Histogram::default();
+        for v in [100u64, 200, 300, 4000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.p50_ns, h.percentile(0.5));
+        assert_eq!(s.p95_ns, h.percentile(0.95));
+        assert_eq!(s.p99_ns, h.percentile(0.99));
+        assert_eq!(s.max_ns, 4000);
+        assert_eq!(s.mean_ns, 1150.0);
+    }
+
+    #[test]
+    fn registry_counters_accumulate_only_when_enabled() {
+        // Registry tests share global state; serialize them via a lock.
+        let _guard = super::test_lock();
+        reset();
+        crate::set_mode(Mode::Off);
+        counter_add("test.counter", 5);
+        assert_eq!(snapshot().counters.get("test.counter"), None);
+
+        crate::set_mode(Mode::Human);
+        counter_add("test.counter", 5);
+        counter_add("test.counter", 3);
+        gauge_set("test.gauge", 1.5);
+        gauge_add("test.gauge", 0.5);
+        record_duration_ns("test.hist", 100);
+        let snap = snapshot();
+        assert_eq!(snap.counters.get("test.counter"), Some(&8));
+        assert_eq!(snap.gauges.get("test.gauge"), Some(&2.0));
+        assert_eq!(snap.histograms.get("test.hist").unwrap().count, 1);
+
+        crate::set_mode(Mode::Off);
+        reset();
+    }
+}

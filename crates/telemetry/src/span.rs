@@ -1,0 +1,145 @@
+//! RAII wall-clock spans with thread-local nesting.
+//!
+//! A [`span`] guard measures the wall time between its creation and its
+//! drop, recording the duration into the `span.<name>` latency histogram
+//! and emitting a [`Level::Debug`] event with the span's dotted path.
+//! When telemetry is disabled the guard is inert: no clock read, no
+//! thread-local access.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::{enabled, event, metrics, Level};
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Active guard returned by [`span`]. Time stops at drop.
+#[must_use = "a span measures until it is dropped; binding to _ drops immediately"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Open a named span. Nested spans form a dotted path visible in the
+/// emitted events.
+///
+/// ```
+/// # fn characterize_things() {}
+/// let _span = hdpm_telemetry::span("characterize");
+/// characterize_things(); // measured
+/// ```
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { name, start: None };
+    }
+    STACK.with(|s| s.borrow_mut().push(name));
+    Span {
+        name,
+        start: Some(Instant::now()),
+    }
+}
+
+impl Span {
+    /// Current nesting depth of active spans on this thread.
+    pub fn depth() -> usize {
+        STACK.with(|s| s.borrow().len())
+    }
+
+    /// Dotted path of the active spans on this thread (empty string when
+    /// none are open).
+    pub fn current_path() -> String {
+        STACK.with(|s| s.borrow().join("."))
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let path = Self::current_path();
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Pop our own frame; tolerate out-of-order drops by searching
+            // from the top.
+            if let Some(pos) = stack.iter().rposition(|&n| n == self.name) {
+                stack.remove(pos);
+            }
+        });
+        metrics::record_duration_ns(&format!("span.{}", self.name), elapsed_ns);
+        event(
+            Level::Debug,
+            "span.end",
+            &[("path", path.into()), ("elapsed_ns", elapsed_ns.into())],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{set_mode, Mode};
+
+    #[test]
+    fn disabled_spans_touch_nothing() {
+        let _guard = crate::metrics::test_lock();
+        set_mode(Mode::Off);
+        let outer = span("outer");
+        assert_eq!(Span::depth(), 0);
+        assert_eq!(Span::current_path(), "");
+        drop(outer);
+        assert_eq!(Span::depth(), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_unwind_in_order() {
+        let _guard = crate::metrics::test_lock();
+        crate::reset();
+        set_mode(Mode::Human);
+        crate::set_level(Level::Error); // keep test output quiet
+
+        {
+            let _outer = span("outer");
+            assert_eq!(Span::depth(), 1);
+            assert_eq!(Span::current_path(), "outer");
+            {
+                let _inner = span("inner");
+                assert_eq!(Span::depth(), 2);
+                assert_eq!(Span::current_path(), "outer.inner");
+            }
+            assert_eq!(Span::depth(), 1);
+            assert_eq!(Span::current_path(), "outer");
+        }
+        assert_eq!(Span::depth(), 0);
+
+        let snap = crate::snapshot();
+        assert_eq!(snap.histograms.get("span.outer").unwrap().count, 1);
+        assert_eq!(snap.histograms.get("span.inner").unwrap().count, 1);
+
+        set_mode(Mode::Off);
+        crate::set_level(Level::Info);
+        crate::reset();
+    }
+
+    #[test]
+    fn out_of_order_drop_still_unwinds() {
+        let _guard = crate::metrics::test_lock();
+        crate::reset();
+        set_mode(Mode::Human);
+        crate::set_level(Level::Error);
+
+        let a = span("a");
+        let b = span("b");
+        drop(a); // dropped before b
+        assert_eq!(Span::current_path(), "b");
+        drop(b);
+        assert_eq!(Span::depth(), 0);
+
+        set_mode(Mode::Off);
+        crate::set_level(Level::Info);
+        crate::reset();
+    }
+}

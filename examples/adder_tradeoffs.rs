@@ -52,8 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Reference: glitch-accurate and glitch-free power.
         let unit = run_patterns(&netlist, &patterns, DelayModel::Unit);
         let zero = run_patterns(&netlist, &patterns, DelayModel::Zero);
-        let glitch_pct = 100.0 * (unit.average_charge() - zero.average_charge())
-            / unit.average_charge();
+        let glitch_pct =
+            100.0 * (unit.average_charge() - zero.average_charge()) / unit.average_charge();
 
         // Where does the power go?
         let report = PowerReport::from_run(&netlist, &patterns, DelayModel::Unit);

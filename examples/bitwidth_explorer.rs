@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         family.fitted_hd()
     );
     if let Some(r1) = family.regression_vector(1) {
-        println!("  R_1 = [{:.4}, {:.4}, {:.4}]  over [m1*m2, m1, 1]", r1[0], r1[1], r1[2]);
+        println!(
+            "  R_1 = [{:.4}, {:.4}, {:.4}]  over [m1*m2, m1, 1]",
+            r1[0], r1[1], r1[2]
+        );
     }
 
     // 3. Predict unseen widths — including a rectangular 12x8 instance

@@ -22,8 +22,7 @@ use std::time::Instant;
 
 use hdpm_suite::core::{characterize, CharacterizationConfig, StimulusKind};
 use hdpm_suite::datamodel::{
-    region_model, DataflowGraph, HdDistribution, JointHdZeroDistribution, SignalMoments,
-    WordModel,
+    region_model, DataflowGraph, HdDistribution, JointHdZeroDistribution, SignalMoments, WordModel,
 };
 use hdpm_suite::netlist::{ModuleKind, ModuleSpec};
 use hdpm_suite::sim::{run_words, DelayModel};
@@ -62,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Analytic path: propagate moments through the dataflow graph. ---
     let t0 = Instant::now();
     let mut g = DataflowGraph::new();
-    let x_node = g.input(SignalMoments::new(x_stats.mean, x_stats.variance, x_stats.rho1));
+    let x_node = g.input(SignalMoments::new(
+        x_stats.mean,
+        x_stats.variance,
+        x_stats.rho1,
+    ));
     let mut delayed = vec![x_node];
     for _ in 1..TAPS.len() {
         let prev = *delayed.last().expect("non-empty");

@@ -36,10 +36,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Four operations with distinct operand statistics: two quiet
     // speech-band ops, one random op, one counter-driven op.
     let op_streams: Vec<(&str, Vec<Vec<i64>>)> = vec![
-        ("speech_a", DataType::Speech.generate_operands(2, WIDTH, N, 1)),
-        ("speech_b", DataType::Speech.generate_operands(2, WIDTH, N, 2)),
+        (
+            "speech_a",
+            DataType::Speech.generate_operands(2, WIDTH, N, 1),
+        ),
+        (
+            "speech_b",
+            DataType::Speech.generate_operands(2, WIDTH, N, 2),
+        ),
         ("random", DataType::Random.generate_operands(2, WIDTH, N, 3)),
-        ("counter", DataType::Counter.generate_operands(2, WIDTH, N, 4)),
+        (
+            "counter",
+            DataType::Counter.generate_operands(2, WIDTH, N, 4),
+        ),
     ];
 
     let operations: Vec<Operation> = op_streams
@@ -49,9 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let dists: Vec<HdDistribution> = streams
                 .iter()
                 .map(|w| {
-                    HdDistribution::from_regions(&region_model(&WordModel::from_words(
-                        w, WIDTH,
-                    )))
+                    HdDistribution::from_regions(&region_model(&WordModel::from_words(w, WIDTH)))
                 })
                 .collect();
             let self_dist = HdDistribution::convolve_all(&dists);

@@ -7,9 +7,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use hdpm_suite::core::{
-    characterize, distribution_vs_average, evaluate, CharacterizationConfig,
-};
+use hdpm_suite::core::{characterize, distribution_vs_average, evaluate, CharacterizationConfig};
 use hdpm_suite::datamodel::{region_model, HdDistribution, WordModel};
 use hdpm_suite::netlist::{ModuleKind, ModuleSpec};
 use hdpm_suite::sim::{run_words, DelayModel};
@@ -61,9 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //     (µ, σ, ρ -> breakpoints -> Hd distribution, §6.3).
     let dists: Vec<HdDistribution> = streams
         .iter()
-        .map(|words| {
-            HdDistribution::from_regions(&region_model(&WordModel::from_words(words, 8)))
-        })
+        .map(|words| HdDistribution::from_regions(&region_model(&WordModel::from_words(words, 8))))
         .collect();
     let module_dist = HdDistribution::convolve_all(&dists);
     let via_dist = model.estimate_distribution(&module_dist)?;

@@ -3,9 +3,7 @@
 //! distributions and the trace-based estimate.
 
 use hdpm_suite::core::{characterize, CharacterizationConfig};
-use hdpm_suite::datamodel::{
-    empirical_region_model, region_model, HdDistribution, WordModel,
-};
+use hdpm_suite::datamodel::{empirical_region_model, region_model, HdDistribution, WordModel};
 use hdpm_suite::netlist::{ModuleKind, ModuleSpec};
 use hdpm_suite::sim::{run_words, DelayModel};
 use hdpm_suite::streams::{bit_stats, hd_histogram, DataType};
@@ -122,15 +120,12 @@ fn average_hd_penalty_appears_exactly_when_coefficients_are_nonlinear() {
     let dist = HdDistribution::from_histogram(&[5, 10, 30, 10, 5, 10, 30, 10, 5]);
 
     let linear: Vec<f64> = (0..=8).map(|i| 10.0 * i as f64).collect();
-    let linear_model =
-        HdModel::from_parts("lin", 8, linear, vec![0.0; 9], vec![1; 9]);
+    let linear_model = HdModel::from_parts("lin", 8, linear, vec![0.0; 9], vec![1; 9]);
     let quad: Vec<f64> = (0..=8).map(|i| (i * i) as f64).collect();
     let quad_model = HdModel::from_parts("quad", 8, quad, vec![0.0; 9], vec![1; 9]);
 
-    let lin_cmp =
-        hdpm_suite::core::distribution_vs_average(&linear_model, &dist).unwrap();
-    let quad_cmp =
-        hdpm_suite::core::distribution_vs_average(&quad_model, &dist).unwrap();
+    let lin_cmp = hdpm_suite::core::distribution_vs_average(&linear_model, &dist).unwrap();
+    let quad_cmp = hdpm_suite::core::distribution_vs_average(&quad_model, &dist).unwrap();
     assert!(lin_cmp.average_penalty_pct() < 1e-6);
     assert!(quad_cmp.average_penalty_pct() > 5.0);
 }

@@ -3,15 +3,22 @@
 //! shipped macro-model library.
 
 use hdpm_suite::core::{
-    characterize, evaluate, persist, AdaptiveHdModel, Characterization,
-    CharacterizationConfig, HdModel,
+    characterize, evaluate, persist, AdaptiveHdModel, Characterization, CharacterizationConfig,
+    HdModel,
 };
 use hdpm_suite::netlist::{ModuleKind, ModuleSpec};
 use hdpm_suite::sim::{run_words, DelayModel};
 use hdpm_suite::streams::DataType;
 
-fn characterized(kind: ModuleKind, width: usize) -> (Characterization, hdpm_suite::netlist::ValidatedNetlist) {
-    let netlist = ModuleSpec::new(kind, width).build().unwrap().validate().unwrap();
+fn characterized(
+    kind: ModuleKind,
+    width: usize,
+) -> (Characterization, hdpm_suite::netlist::ValidatedNetlist) {
+    let netlist = ModuleSpec::new(kind, width)
+        .build()
+        .unwrap()
+        .validate()
+        .unwrap();
     let c = characterize(
         &netlist,
         &CharacterizationConfig {

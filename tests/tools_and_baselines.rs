@@ -93,17 +93,11 @@ fn bitwise_model_matches_hd_model_on_characterization_statistics() {
         .validate()
         .unwrap();
     let m = netlist.netlist().input_bit_count();
-    let char_trace = run_patterns(
-        &netlist,
-        &random_patterns(m, 8000, 5),
-        DelayModel::Unit,
-    );
+    let char_trace = run_patterns(&netlist, &random_patterns(m, 8000, 5), DelayModel::Unit);
     let bitwise = BitwiseModel::fit_from_trace(&char_trace).unwrap();
-    let hd_model = hdpm_suite::core::characterize_trace(
-        &char_trace,
-        hdpm_suite::core::ZeroClustering::Full,
-    )
-    .model;
+    let hd_model =
+        hdpm_suite::core::characterize_trace(&char_trace, hdpm_suite::core::ZeroClustering::Full)
+            .model;
 
     let eval_trace = run_words(
         &netlist,
@@ -112,8 +106,16 @@ fn bitwise_model_matches_hd_model_on_characterization_statistics() {
     );
     let bw = bitwise.evaluate(&eval_trace).unwrap();
     let hd = evaluate(&hd_model, &eval_trace).unwrap();
-    assert!(bw.average_error_pct.abs() < 10.0, "bitwise {:.1}%", bw.average_error_pct);
-    assert!(hd.average_error_pct.abs() < 10.0, "hd {:.1}%", hd.average_error_pct);
+    assert!(
+        bw.average_error_pct.abs() < 10.0,
+        "bitwise {:.1}%",
+        bw.average_error_pct
+    );
+    assert!(
+        hd.average_error_pct.abs() < 10.0,
+        "hd {:.1}%",
+        hd.average_error_pct
+    );
 }
 
 #[test]

@@ -1,0 +1,402 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Runs each benchmark as a calibrated wall-clock measurement: a short
+//! warm-up estimates the per-iteration cost, then `sample_size` timed
+//! samples are collected and summarised by their median. Results are
+//! printed to stdout and written to
+//! `target/criterion/<group>/<id>/new/estimates.json` in the subset of the
+//! upstream schema that downstream tooling (`perf_summary`) reads:
+//! `{"median": {"point_estimate": <nanoseconds>}}`.
+//!
+//! Statistical niceties of the real crate — outlier classification,
+//! bootstrap confidence intervals, regression detection, HTML reports —
+//! are out of scope for an offline environment.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::fs;
+use std::hint;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`]: an identity function opaque to
+/// the optimiser.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How batched inputs are grouped per measurement (accepted for API
+/// compatibility; the stand-in times one batch element at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; many per sample upstream.
+    SmallInput,
+    /// Large setup output; few per sample upstream.
+    LargeInput,
+    /// Fresh input for every iteration.
+    PerIteration,
+}
+
+/// Quantity processed per iteration, reported as a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (e.g. cycles, patterns) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Two-part benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id such as `unit_delay/ripple_adder_16`.
+    pub fn new(function_id: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id, `criterion::BenchmarkId::from_parameter`.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`, running it enough times per sample that timer
+    /// resolution is not the dominant error.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: find an iteration count putting one sample near 2 ms.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut iters = 1u64;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 16 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..self.iters_per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Median per-iteration time in nanoseconds.
+    fn median_ns(&self) -> f64 {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            return 0.0;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let mid = per_iter.len() / 2;
+        if per_iter.len() % 2 == 1 {
+            per_iter[mid]
+        } else {
+            (per_iter[mid - 1] + per_iter[mid]) / 2.0
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Run one benchmark identified by `id`.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        let group = self.name.clone();
+        let throughput = self.throughput;
+        self.criterion
+            .run_one(&group, &id.to_string(), throughput, f);
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let group = self.name.clone();
+        let throughput = self.throughput;
+        self.criterion
+            .run_one(&group, &id.to_string(), throughput, |b| f(b, input));
+    }
+
+    /// End the group (formatting no-op here; upstream prints summaries).
+    pub fn finish(self) {}
+}
+
+/// Benchmark runner configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    output_dir: PathBuf,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Match cargo-bench layout: estimates land under target/criterion
+        // of the *workspace* target dir regardless of current crate.
+        let output_dir = std::env::var_os("CARGO_TARGET_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target"))
+            .join("criterion");
+        Criterion {
+            sample_size: 20,
+            output_dir,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Upstream parses CLI args here; the stand-in runs everything.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark (implicit group named after the id).
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        let id = id.to_string();
+        self.run_one(&id.clone(), &id, None, f);
+    }
+
+    fn run_one(
+        &mut self,
+        group: &str,
+        id: &str,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            iters_per_sample: 0,
+        };
+        f(&mut bencher);
+        let median_ns = bencher.median_ns();
+
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!(" ({:.3} Melem/s)", n as f64 / median_ns * 1e3)
+            }
+            Throughput::Bytes(n) => format!(
+                " ({:.3} MiB/s)",
+                n as f64 / median_ns * 1e9 / (1 << 20) as f64
+            ),
+        });
+        println!(
+            "{group}/{id}  median {}{}",
+            format_ns(median_ns),
+            rate.unwrap_or_default()
+        );
+
+        if let Err(e) = self.write_estimates(group, id, median_ns) {
+            eprintln!("warning: could not write estimates for {group}/{id}: {e}");
+        }
+    }
+
+    fn write_estimates(&self, group: &str, id: &str, median_ns: f64) -> std::io::Result<()> {
+        // `id` may contain '/' (BenchmarkId::new), which upstream maps to
+        // nested directories; reproduce that so walkers find the leaves.
+        let mut dir = self.output_dir.join(sanitize(group));
+        for part in id.split('/') {
+            dir = dir.join(sanitize(part));
+        }
+        dir = dir.join("new");
+        fs::create_dir_all(&dir)?;
+        let mut file = fs::File::create(dir.join("estimates.json"))?;
+        write!(
+            file,
+            "{{\"median\":{{\"point_estimate\":{median_ns}}},\"mean\":{{\"point_estimate\":{median_ns}}}}}"
+        )
+    }
+
+    /// Run registered groups, as invoked by [`criterion_main!`].
+    pub fn final_summary(&self) {}
+}
+
+fn sanitize(part: &str) -> String {
+    part.chars()
+        .map(|c| if c == '/' || c == '\\' { '_' } else { c })
+        .collect()
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Define a benchmark group: both the `name, target...` and the
+/// `name = ...; config = ...; targets = ...` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_sample_counts() {
+        let mut b = Bencher {
+            samples: vec![
+                Duration::from_nanos(10),
+                Duration::from_nanos(30),
+                Duration::from_nanos(20),
+            ],
+            sample_size: 3,
+            iters_per_sample: 1,
+        };
+        assert_eq!(b.median_ns(), 20.0);
+        b.samples.push(Duration::from_nanos(40));
+        assert_eq!(b.median_ns(), 25.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_upstream() {
+        assert_eq!(
+            BenchmarkId::new("unit_delay", 16).to_string(),
+            "unit_delay/16"
+        );
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn estimates_file_contains_median_point_estimate() {
+        let dir =
+            std::env::temp_dir().join(format!("criterion-standin-test-{}", std::process::id()));
+        let c = Criterion {
+            sample_size: 2,
+            output_dir: dir.clone(),
+        };
+        c.write_estimates("grp", "fn/8", 1234.5).unwrap();
+        let text = fs::read_to_string(dir.join("grp/fn/8/new/estimates.json")).unwrap();
+        assert!(text.contains("\"median\""));
+        assert!(text.contains("\"point_estimate\":1234.5"));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

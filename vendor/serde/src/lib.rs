@@ -1,0 +1,539 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde)
+//! crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! a self-contained serialization layer exposing the API subset it uses:
+//! the [`Serialize`] / [`Deserialize`] traits, `serde::de::DeserializeOwned`,
+//! and `#[derive(Serialize, Deserialize)]` (re-exported from the sibling
+//! `serde_derive` proc-macro crate).
+//!
+//! Instead of upstream serde's visitor architecture, this implementation
+//! round-trips every type through a small JSON-compatible [`Value`] tree.
+//! The derive macros generate `to_value` / `from_value` conversions that
+//! mirror serde's externally-tagged JSON conventions:
+//!
+//! * structs with named fields ⇄ objects,
+//! * newtype structs ⇄ the inner value,
+//! * tuple structs ⇄ arrays,
+//! * unit enum variants ⇄ `"VariantName"`,
+//! * payload-carrying variants ⇄ `{"VariantName": <payload>}`.
+//!
+//! The sibling `serde_json` stand-in handles text ⇄ [`Value`].
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the data model every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction/exponent, fits i64).
+    Int(i64),
+    /// Unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value under `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// This value as an `f64` if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// This value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            Value::UInt(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// This value as an `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as a boolean if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Short name of the value's JSON type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Build an error from any printable message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can convert themselves into a [`Value`].
+pub trait Serialize {
+    /// Convert to the JSON-shaped data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstruct from the JSON-shaped data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape does not match the type.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization helpers, mirroring the `serde::de` module path.
+pub mod de {
+    /// Marker for types deserializable without borrowing from the input —
+    /// with this data model, every [`Deserialize`](crate::Deserialize)
+    /// type qualifies.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+
+    pub use crate::Error;
+}
+
+/// Serialization helpers, mirroring the `serde::ser` module path.
+pub mod ser {
+    pub use crate::Error;
+}
+
+fn type_error<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error::custom(format!(
+        "expected {expected}, found {}",
+        got.kind()
+    )))
+}
+
+/// Look up a struct field, treating a missing key as `null` (so `Option`
+/// fields deserialize to `None`, as with upstream serde).
+pub fn field<'v>(fields: &'v [(String, Value)], name: &str) -> &'v Value {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&Value::Null)
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as u64;
+                match i64::try_from(v) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(v),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match value.as_u64() {
+                    Some(raw) => raw,
+                    None => return type_error("unsigned integer", value),
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {raw} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match value.as_i64() {
+                    Some(raw) => raw,
+                    None => return type_error("integer", value),
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {raw} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_f64() {
+            Some(f) => Ok(f),
+            None => type_error("number", value),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_bool() {
+            Some(b) => Ok(b),
+            None => type_error("boolean", value),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_str() {
+            Some(s) => Ok(s.to_string()),
+            None => type_error("string", value),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = String::from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_array() {
+            Some(items) => items.iter().map(T::from_value).collect(),
+            None => type_error("array", value),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = match value.as_array() {
+                    Some(items) if items.len() == LEN => items,
+                    Some(items) => {
+                        return Err(Error::custom(format!(
+                            "expected array of length {LEN}, found {}", items.len()
+                        )))
+                    }
+                    None => return type_error("array", value),
+                };
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    /// Maps serialize as JSON objects; keys must serialize to strings
+    /// (`String` itself, or unit enum variants), matching serde_json's
+    /// "map key must be a string" contract.
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_value() {
+                        Value::Str(s) => s,
+                        other => panic!("map key must serialize to a string, got {}", other.kind()),
+                    };
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_object() {
+            Some(fields) => fields
+                .iter()
+                .map(|(k, v)| {
+                    let key = K::from_value(&Value::Str(k.clone()))?;
+                    Ok((key, V::from_value(v)?))
+                })
+                .collect(),
+            None => type_error("object", value),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn option_round_trips_via_null() {
+        let none: Option<u64> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::from_value(&Value::Int(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn missing_field_reads_as_null() {
+        let fields = vec![("a".to_string(), Value::Int(1))];
+        assert_eq!(field(&fields, "a"), &Value::Int(1));
+        assert_eq!(field(&fields, "b"), &Value::Null);
+    }
+
+    #[test]
+    fn integers_preserve_u64_range() {
+        let big = u64::MAX;
+        assert_eq!(u64::from_value(&big.to_value()).unwrap(), big);
+    }
+
+    #[test]
+    fn shape_errors_name_the_kinds() {
+        let err = u64::from_value(&Value::Str("x".into())).unwrap_err();
+        assert!(err.to_string().contains("string"));
+        let err = Vec::<u64>::from_value(&Value::Bool(true)).unwrap_err();
+        assert!(err.to_string().contains("array"));
+    }
+
+    #[test]
+    fn tuples_are_arrays() {
+        let v = (1u16, 2u16, 1.5f64).to_value();
+        let back = <(u16, u16, f64)>::from_value(&v).unwrap();
+        assert_eq!(back, (1, 2, 1.5));
+    }
+}

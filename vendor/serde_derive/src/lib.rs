@@ -1,0 +1,508 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored value-based `serde` crate, by walking the item's token
+//! stream directly (the real crate's `syn`/`quote` stack is unavailable
+//! offline). Supports the shapes this workspace uses:
+//!
+//! * structs with named fields, tuple structs (incl. newtypes), unit
+//!   structs;
+//! * enums with unit, tuple and struct variants (externally tagged, as in
+//!   upstream serde's JSON representation).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported
+//! and produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item the derive is attached to.
+enum Item {
+    /// `struct Name { field, ... }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct Name(T0, ..);` with the number of fields.
+    TupleStruct { name: String, arity: usize },
+    /// `struct Name;`
+    UnitStruct { name: String },
+    /// `enum Name { Variant, Variant(T, ..), Variant { field, .. } }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Skip a leading `#[...]` attribute if present; returns how many tokens
+/// were consumed.
+fn skip_attr(tokens: &[TokenTree]) -> usize {
+    match tokens {
+        [TokenTree::Punct(p), TokenTree::Group(g), ..]
+            if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+        {
+            2
+        }
+        _ => 0,
+    }
+}
+
+fn skip_attrs(tokens: &[TokenTree]) -> usize {
+    let mut at = 0;
+    loop {
+        let n = skip_attr(&tokens[at..]);
+        if n == 0 {
+            return at;
+        }
+        at += n;
+    }
+}
+
+/// Skip a `pub` / `pub(crate)` / `pub(in ..)` visibility prefix.
+fn skip_visibility(tokens: &[TokenTree]) -> usize {
+    match tokens {
+        [TokenTree::Ident(id), rest @ ..] if id.to_string() == "pub" => match rest {
+            [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Parenthesis => 2,
+            _ => 1,
+        },
+        _ => 0,
+    }
+}
+
+/// Count type-position fields separated by top-level commas, tracking
+/// `<...>` nesting (angle brackets are plain puncts in the token stream).
+fn count_top_level_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for token in tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    fields += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+/// Parse `name: Type, ...` named fields from a brace group's tokens.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut at = 0;
+    while at < tokens.len() {
+        at += skip_attrs(&tokens[at..]);
+        at += skip_visibility(&tokens[at..]);
+        if at >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[at] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        at += 1;
+        match tokens.get(at) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => at += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while at < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[at] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        at += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            at += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut at = 0;
+    while at < tokens.len() {
+        at += skip_attrs(&tokens[at..]);
+        if at >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[at] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        at += 1;
+        let shape = match tokens.get(at) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                at += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantShape::Tuple(count_top_level_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                at += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantShape::Struct(parse_named_fields(&inner)?)
+            }
+            _ => VariantShape::Unit,
+        };
+        match tokens.get(at) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => at += 1,
+            None => {}
+            Some(other) => {
+                return Err(format!(
+                    "expected `,` after variant `{name}`, found `{other}`"
+                ))
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut at = skip_attrs(&tokens);
+    at += skip_visibility(&tokens[at..]);
+    let keyword = match tokens.get(at) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    at += 1;
+    let name = match tokens.get(at) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    at += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(at) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the vendored serde derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(at) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::Struct {
+                    name,
+                    fields: parse_named_fields(&inner)?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_top_level_fields(&inner),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(at) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::Enum {
+                    name,
+                    variants: parse_variants(&inner)?,
+                })
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Derive `serde::Serialize` (value-based vendored model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+                 }}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+             ::serde::Serialize::to_value(&self.0)\n\
+             }}\n}}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Array(vec![{}])\n\
+                 }}\n}}",
+                items.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str({vname:?}.to_string()),\n"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Object(vec![\
+                             ({vname:?}.to_string(), ::serde::Serialize::to_value(f0))]),\n"
+                        ),
+                        VariantShape::Tuple(arity) => {
+                            let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![\
+                                 ({vname:?}.to_string(), \
+                                 ::serde::Value::Array(vec![{}]))]),\n",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => \
+                                 ::serde::Value::Object(vec![({vname:?}.to_string(), \
+                                 ::serde::Value::Object(vec![{}]))]),\n",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derive `serde::Deserialize` (value-based vendored model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::field(fields, {f:?}))\
+                         .map_err(|e| ::serde::Error::custom(\
+                         format!(\"{name}.{f}: {{e}}\")))?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> \
+                 Result<Self, ::serde::Error> {{\n\
+                 let fields = value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(format!(\
+                 \"expected object for {name}, found {{}}\", value.kind())))?;\n\
+                 Ok({name} {{\n{inits}}})\n\
+                 }}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> \
+             Result<Self, ::serde::Error> {{\n\
+             Ok({name}(::serde::Deserialize::from_value(value)?))\n\
+             }}\n}}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> \
+                 Result<Self, ::serde::Error> {{\n\
+                 let items = value.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(format!(\
+                 \"expected array for {name}, found {{}}\", value.kind())))?;\n\
+                 if items.len() != {arity} {{\n\
+                 return Err(::serde::Error::custom(format!(\
+                 \"expected {arity} elements for {name}, found {{}}\", items.len())));\n\
+                 }}\n\
+                 Ok({name}({}))\n\
+                 }}\n}}",
+                items.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_value: &::serde::Value) -> \
+             Result<Self, ::serde::Error> {{ Ok({name}) }}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),\n", v.name, v.name))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "{vname:?} => Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(payload)?)),\n"
+                        )),
+                        VariantShape::Tuple(arity) => {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                 let items = payload.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\
+                                 \"expected array payload for {name}::{vname}\"))?;\n\
+                                 if items.len() != {arity} {{\n\
+                                 return Err(::serde::Error::custom(format!(\
+                                 \"expected {arity} elements for {name}::{vname}, \
+                                 found {{}}\", items.len())));\n\
+                                 }}\n\
+                                 Ok({name}::{vname}({}))\n\
+                                 }}\n",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::field(obj, {f:?}))\
+                                         .map_err(|e| ::serde::Error::custom(\
+                                         format!(\"{name}::{vname}.{f}: {{e}}\")))?,\n"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                 let obj = payload.as_object().ok_or_else(|| \
+                                 ::serde::Error::custom(\
+                                 \"expected object payload for {name}::{vname}\"))?;\n\
+                                 Ok({name}::{vname} {{\n{inits}}})\n\
+                                 }}\n",
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> \
+                 Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                 ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(tagged) if tagged.len() == 1 => {{\n\
+                 let (tag, payload) = &tagged[0];\n\
+                 let _ = payload;\n\
+                 match tag.as_str() {{\n\
+                 {payload_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"expected variant of {name}, found {{}}\", other.kind()))),\n\
+                 }}\n\
+                 }}\n}}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
