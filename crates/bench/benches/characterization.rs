@@ -28,7 +28,7 @@ fn bench_characterization(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new(kind.id(), width),
             &netlist,
-            |b, netlist| b.iter(|| characterize(netlist, &config)),
+            |b, netlist| b.iter(|| characterize(netlist, &config).expect("non-empty budget")),
         );
     }
     group.finish();

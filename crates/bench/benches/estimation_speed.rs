@@ -31,6 +31,7 @@ fn bench_estimation(c: &mut Criterion) {
             ..CharacterizationConfig::default()
         },
     )
+    .expect("non-empty budget")
     .model;
 
     let streams = DataType::Speech.generate_operands(2, WIDTH, CYCLES, 3);

@@ -1,0 +1,58 @@
+//! Scaling of sharded-parallel characterization: the sequential reference
+//! against `characterize_sharded` at 1/2/4/8 worker threads (shard count
+//! held at 8 so every parallel run computes the identical result — the
+//! thread count only changes the schedule).
+//!
+//! Snapshot with
+//! `cargo bench -p hdpm-bench --bench parallel` followed by
+//! `cargo run -p hdpm-bench --bin perf_summary -- --group characterize_parallel --json BENCH_parallel.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdpm_core::{characterize, characterize_sharded, CharacterizationConfig, ShardingConfig};
+use hdpm_netlist::{ModuleKind, ModuleSpec, ModuleWidth};
+
+fn bench_parallel_characterization(c: &mut Criterion) {
+    let config = CharacterizationConfig {
+        max_patterns: 1000,
+        convergence_tol: 0.0, // fixed budget: measure the full run
+        ..CharacterizationConfig::default()
+    };
+
+    let mut group = c.benchmark_group("characterize_parallel");
+    for (label, kind, width) in [
+        ("ripple_adder_16", ModuleKind::RippleAdder, 16usize),
+        ("csa_mul_8x8", ModuleKind::CsaMultiplier, 8),
+    ] {
+        let netlist = ModuleSpec::new(kind, ModuleWidth::Uniform(width))
+            .build()
+            .expect("valid spec")
+            .validate()
+            .expect("valid module");
+
+        group.bench_with_input(
+            BenchmarkId::new(label, "sequential"),
+            &netlist,
+            |b, netlist| b.iter(|| characterize(netlist, &config).expect("non-empty budget")),
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let sharding = ShardingConfig { shards: 8, threads };
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("threads_{threads}")),
+                &netlist,
+                |b, netlist| {
+                    b.iter(|| {
+                        characterize_sharded(netlist, &config, &sharding).expect("non-empty budget")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel_characterization
+}
+criterion_main!(benches);

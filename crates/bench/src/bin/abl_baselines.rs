@@ -58,7 +58,7 @@ fn main() {
         let mut config = standard_config();
         config.stimulus = StimulusKind::SignalProbSweep;
         config.max_patterns = 24_000;
-        let hd_char = characterize(&netlist, &config);
+        let hd_char = characterize(&netlist, &config).expect("non-empty budget");
         let char_trace = run_patterns(
             &netlist,
             &random_patterns(m, standard_config().max_patterns, 0xB17),

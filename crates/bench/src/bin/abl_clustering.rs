@@ -60,7 +60,7 @@ fn main() {
         if let Some(c) = clustering {
             config.clustering = c;
         }
-        let characterization = characterize(&netlist, &config);
+        let characterization = characterize(&netlist, &config).expect("non-empty budget");
         let (coeffs, rep_i, rep_v) = match clustering {
             None => (
                 characterization.model.coefficient_count(),

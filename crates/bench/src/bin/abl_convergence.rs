@@ -50,7 +50,7 @@ fn main() {
                 convergence_tol: 0.0, // never stop early: measure the budget
                 ..CharacterizationConfig::default()
             };
-            let c = characterize(&netlist, &config);
+            let c = characterize(&netlist, &config).expect("non-empty budget");
             let last_change = c.history.last().map(|h| h.max_relative_change);
             let report = evaluate(&c.model, &trace).expect("width matches");
             println!(

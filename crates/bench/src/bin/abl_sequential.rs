@@ -46,7 +46,8 @@ fn main() {
             .expect("valid spec")
             .validate()
             .expect("valid module");
-        let characterization = characterize(&netlist, &standard_config());
+        let characterization =
+            characterize(&netlist, &standard_config()).expect("non-empty budget");
         let model = &characterization.model;
 
         for dt in EVAL_TYPES {

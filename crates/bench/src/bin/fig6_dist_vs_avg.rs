@@ -49,7 +49,9 @@ fn main() {
         .expect("valid spec")
         .validate()
         .expect("valid module");
-    let model = characterize(&netlist, &standard_config()).model;
+    let model = characterize(&netlist, &standard_config())
+        .expect("non-empty budget")
+        .model;
 
     // Quiet, strongly correlated audio: most transitions touch only a few
     // low bits, with occasional sign switches — a strongly asymmetric,

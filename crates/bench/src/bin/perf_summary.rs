@@ -1,16 +1,38 @@
 //! Tabulate the Criterion results under `target/criterion/` into the
 //! performance summary of `EXPERIMENTS.md` — run after
 //! `cargo bench --workspace`.
+//!
+//! Options:
+//! `--group <name>` keeps only one benchmark group;
+//! `--json <path>` additionally writes the entries as a JSON snapshot
+//! (the `BENCH_parallel.json` recording flow).
 
 use std::path::{Path, PathBuf};
 
+use serde::Serialize;
+
+#[derive(Serialize)]
 struct Entry {
     group: String,
     bench: String,
-    nanos: f64,
+    median_ns: f64,
 }
 
 fn main() {
+    let mut group_filter: Option<String> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--group" => group_filter = argv.next(),
+            "--json" => json_out = argv.next().map(PathBuf::from),
+            other => {
+                eprintln!("unknown option `{other}` (expected --group <name> or --json <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let root = PathBuf::from("target/criterion");
     if !root.is_dir() {
         eprintln!(
@@ -20,8 +42,11 @@ fn main() {
         std::process::exit(1);
     }
     let mut entries = Vec::new();
-    collect(&root, &mut entries);
-    entries.sort_by_key(|e| (e.group.clone(), e.nanos as u64));
+    collect(&root, &root, &mut entries);
+    if let Some(filter) = &group_filter {
+        entries.retain(|e| &e.group == filter);
+    }
+    entries.sort_by_key(|e| (e.group.clone(), e.median_ns as u64));
 
     println!("{:<28} {:<42} {:>14}", "group", "benchmark", "median time");
     let mut last_group = String::new();
@@ -32,18 +57,32 @@ fn main() {
             e.group.clone()
         };
         last_group = e.group.clone();
-        println!("{:<28} {:<42} {:>14}", group, e.bench, humanize(e.nanos));
+        println!(
+            "{:<28} {:<42} {:>14}",
+            group,
+            e.bench,
+            humanize(e.median_ns)
+        );
     }
     println!(
         "\n{} benchmarks summarized from {}",
         entries.len(),
         root.display()
     );
+
+    if let Some(path) = json_out {
+        let json = serde_json::to_string_pretty(&entries).expect("entries serialize");
+        std::fs::write(&path, json + "\n").expect("snapshot written");
+        println!("snapshot written to {}", path.display());
+    }
 }
 
 /// Walk `target/criterion/**/new/estimates.json`, reading the median
-/// point estimate from each.
-fn collect(dir: &Path, entries: &mut Vec<Entry>) {
+/// point estimate from each. The first path component under the
+/// criterion root is the benchmark group; everything below it (one or
+/// more components, depending on how the `BenchmarkId` was built) is
+/// joined into the benchmark name.
+fn collect(root: &Path, dir: &Path, entries: &mut Vec<Entry>) {
     let Ok(read_dir) = std::fs::read_dir(dir) else {
         return;
     };
@@ -55,27 +94,24 @@ fn collect(dir: &Path, entries: &mut Vec<Entry>) {
         let estimates = path.join("new/estimates.json");
         if estimates.is_file() {
             if let Some(nanos) = read_median(&estimates) {
-                let bench = path
-                    .file_name()
-                    .map(|s| s.to_string_lossy().into_owned())
-                    .unwrap_or_default();
-                let group = path
-                    .parent()
-                    .and_then(Path::file_name)
-                    .map(|s| s.to_string_lossy().into_owned())
-                    .unwrap_or_default();
+                let components: Vec<String> = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect();
+                let (group, bench) = match components.split_first() {
+                    Some((first, rest)) if !rest.is_empty() => (first.clone(), rest.join("/")),
+                    _ => (String::new(), components.join("/")),
+                };
                 entries.push(Entry {
-                    group: if group == "criterion" {
-                        String::new()
-                    } else {
-                        group
-                    },
+                    group,
                     bench,
-                    nanos,
+                    median_ns: nanos,
                 });
             }
         } else {
-            collect(&path, entries);
+            collect(root, &path, entries);
         }
     }
 }

@@ -6,7 +6,7 @@
 //! error `ε`, per data type I–V.
 
 use hdpm_bench::{characterize_cached, header, reference_trace, save_artifact, standard_config};
-use hdpm_core::evaluate;
+use hdpm_core::{evaluate_batch, threads_from_env};
 use hdpm_netlist::{ModuleWidth, TABLE1_MODULE_KINDS};
 use hdpm_streams::ALL_DATA_TYPES;
 use serde::Serialize;
@@ -37,7 +37,7 @@ fn main() {
                 .map(move |&w| hdpm_netlist::ModuleSpec::new(kind, ModuleWidth::Uniform(w)))
         })
         .collect();
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let threads = threads_from_env();
     library
         .get_all(&specs, threads)
         .expect("table-1 modules characterize");
@@ -62,11 +62,17 @@ fn main() {
             let characterization = characterize_cached(kind, width, &config);
             let model = &characterization.model;
 
+            // One reference trace per data type, evaluated as a batch on
+            // the worker pool (reports come back in data-type order).
+            let traces: Vec<_> = ALL_DATA_TYPES
+                .iter()
+                .map(|dt| reference_trace(kind, width, *dt, 7 + w as u64))
+                .collect();
+            let reports =
+                evaluate_batch(model, &traces, threads).expect("widths agree by construction");
             let mut cycle = Vec::new();
             let mut avg = Vec::new();
-            for (k, dt) in ALL_DATA_TYPES.iter().enumerate() {
-                let trace = reference_trace(kind, width, *dt, 7 + w as u64);
-                let report = evaluate(model, &trace).expect("widths agree by construction");
+            for (k, (dt, report)) in ALL_DATA_TYPES.iter().zip(&reports).enumerate() {
                 cycle.push(report.cycle_error_pct);
                 avg.push(report.average_error_pct);
                 col_sums_cycle[k] += report.cycle_error_pct;

@@ -7,7 +7,7 @@
 //! away.
 
 use hdpm_bench::{characterize_cached, header, reference_trace, save_artifact, standard_config};
-use hdpm_core::{evaluate, evaluate_enhanced, StimulusKind};
+use hdpm_core::{evaluate_batch, evaluate_enhanced_batch, threads_from_env, StimulusKind};
 use hdpm_netlist::{ModuleKind, ModuleWidth};
 use hdpm_streams::DataType;
 use serde::Serialize;
@@ -44,12 +44,19 @@ fn main() {
         "data type", "eps_a basic", "eps_a enh.", "eps basic", "eps enh."
     );
 
+    let data_types = [DataType::Random, DataType::Speech, DataType::Counter];
+    let traces: Vec<_> = data_types
+        .iter()
+        .map(|&dt| reference_trace(kind, width, dt, 15))
+        .collect();
+    let threads = threads_from_env();
+    let basic_reports =
+        evaluate_batch(&characterization.model, &traces, threads).expect("width matches");
+    let enhanced_reports = evaluate_enhanced_batch(&characterization.enhanced, &traces, threads)
+        .expect("width matches");
+
     let mut rows = Vec::new();
-    for dt in [DataType::Random, DataType::Speech, DataType::Counter] {
-        let trace = reference_trace(kind, width, dt, 15);
-        let basic = evaluate(&characterization.model, &trace).expect("width matches");
-        let enhanced =
-            evaluate_enhanced(&characterization.enhanced, &trace).expect("width matches");
+    for ((dt, basic), enhanced) in data_types.iter().zip(&basic_reports).zip(&enhanced_reports) {
         println!(
             "{:>10} | {:>12.1} {:>12.1} | {:>12.2} {:>12.2}",
             dt.roman(),

@@ -17,7 +17,10 @@ mod args;
 use std::process::ExitCode;
 
 use args::ParsedArgs;
-use hdpm_core::{characterize, evaluate, persist, CharacterizationConfig, HdModel, StimulusKind};
+use hdpm_core::{
+    characterize, characterize_sharded, evaluate, persist, threads_from_env,
+    CharacterizationConfig, HdModel, ShardingConfig, StimulusKind,
+};
 use hdpm_datamodel::{breakpoints, region_model, HdDistribution, WordModel};
 use hdpm_netlist::{emit_verilog, ModuleKind, ModuleSpec, ModuleWidth, NetlistStats};
 use hdpm_sim::{dump_vcd, patterns_from_words, run_words, DelayModel, PowerReport};
@@ -31,7 +34,7 @@ USAGE:
   hdpm list
   hdpm characterize --module <kind> --width <m> [--width2 <m2>]
                     [--patterns <n>] [--seed <s>] [--sweep | --stratified]
-                    [--out <file>]
+                    [--shards <S>] [--threads <t>] [--out <file>]
   hdpm estimate     --model <file> --module <kind> --width <m> --data <type>
                     [--cycles <n>] [--seed <s>] [--simulate]
   hdpm stats        (--data <type> | --wav <file>) --width <m>
@@ -47,6 +50,15 @@ USAGE:
           carry_skip_adder barrel_shifter gf_multiplier mac divider
   <type>: random music speech video counter
 
+CHARACTERIZE OPTIONS:
+  --shards <S>   deterministic pattern shards (default: 8; 0 runs the
+                 sequential reference path). The shard count selects the
+                 pattern streams and so is part of the result identity.
+  --threads <t>  worker threads (default: all available parallelism, or
+                 HDPM_THREADS when set; 0 = all cores). The thread count
+                 never changes the resulting coefficient tables — results
+                 are bit-identical for any <t>; see docs/parallelism.md.
+
 GLOBAL OPTIONS:
   --telemetry <human|json>  emit metrics and events (default: off);
                             `json` prints one JSON object per stdout line
@@ -55,6 +67,7 @@ GLOBAL OPTIONS:
 ENVIRONMENT:
   HDPM_LOG=<error|warn|info|debug|trace>  event filter (default: info)
   HDPM_TELEMETRY=<off|human|json>         default telemetry mode
+  HDPM_THREADS=<t>                        default --threads value
 ";
 
 fn main() -> ExitCode {
@@ -210,6 +223,11 @@ fn cmd_characterize(args: &ParsedArgs) -> CliResult {
         },
         ..CharacterizationConfig::default()
     };
+    let shards = args.get_or("shards", 8usize)?;
+    let threads = match args.option("threads") {
+        Some(_) => args.get_or("threads", 0usize)?,
+        None => threads_from_env(),
+    };
     let netlist = spec.build()?.validate()?;
     eprintln!(
         "characterizing {} ({} gates, {} input bits)...",
@@ -217,7 +235,14 @@ fn cmd_characterize(args: &ParsedArgs) -> CliResult {
         netlist.netlist().gate_count(),
         netlist.netlist().input_bit_count()
     );
-    let result = characterize(&netlist, &config);
+    // --shards 0 requests the sequential reference path; otherwise the
+    // sharded driver runs (bit-identical for every thread count).
+    let result = if shards == 0 {
+        characterize(&netlist, &config)?
+    } else {
+        let sharding = ShardingConfig { shards, threads };
+        characterize_sharded(&netlist, &config, &sharding)?
+    };
     // In JSON telemetry mode stdout is reserved for JSON-lines; the same
     // coefficient data is emitted there as `characterize.class_samples`.
     if telemetry::mode() != telemetry::Mode::Json {
@@ -240,7 +265,19 @@ fn cmd_characterize(args: &ParsedArgs) -> CliResult {
     if let Some(path) = args.option("out") {
         persist::save(&result, path)?;
         eprintln!("model written to {path}");
-        write_manifest("characterize", Some(config.seed), args, path)?;
+        write_manifest_with(
+            "characterize",
+            Some(config.seed),
+            args,
+            path,
+            &[
+                ("shards_resolved", shards.to_string()),
+                (
+                    "threads_resolved",
+                    hdpm_core::resolve_threads(threads).to_string(),
+                ),
+            ],
+        )?;
     }
     Ok(())
 }
@@ -253,12 +290,27 @@ fn write_manifest(
     args: &ParsedArgs,
     artifact: &str,
 ) -> CliResult {
+    write_manifest_with(command, seed, args, artifact, &[])
+}
+
+/// [`write_manifest`] with extra resolved parameters (values the command
+/// derived from defaults or the environment rather than the raw argv).
+fn write_manifest_with(
+    command: &str,
+    seed: Option<u64>,
+    args: &ParsedArgs,
+    artifact: &str,
+    extra: &[(&str, String)],
+) -> CliResult {
     if !telemetry::enabled() {
         return Ok(());
     }
     let mut params: std::collections::BTreeMap<String, String> = args.options().clone();
     for flag in args.flag_names() {
         params.insert(flag.clone(), "true".into());
+    }
+    for (key, value) in extra {
+        params.insert((*key).to_string(), value.clone());
     }
     let manifest = RunManifest::capture(command, seed, params);
     let path = RunManifest::path_for(std::path::Path::new(artifact));

@@ -172,6 +172,70 @@ fn vcd_produces_waveforms() {
 }
 
 #[test]
+fn characterize_is_thread_count_invariant() {
+    // The serialized model artifact must be byte-identical across thread
+    // counts (shard count held fixed) — the CLI face of the determinism
+    // guarantee in docs/parallelism.md.
+    let mut artifacts = Vec::new();
+    for threads in ["1", "4"] {
+        let path = temp_path(&format!("det_model_t{threads}.json"));
+        let out = hdpm(&[
+            "characterize",
+            "--module",
+            "ripple_adder",
+            "--width",
+            "4",
+            "--patterns",
+            "1200",
+            "--shards",
+            "4",
+            "--threads",
+            threads,
+            "--out",
+            path.to_str().expect("utf8 temp path"),
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        artifacts.push(std::fs::read(&path).expect("artifact written"));
+        let _ = std::fs::remove_file(&path);
+    }
+    assert_eq!(artifacts[0], artifacts[1]);
+}
+
+#[test]
+fn characterize_shards_zero_runs_sequential_path() {
+    let out = hdpm(&[
+        "characterize",
+        "--module",
+        "ripple_adder",
+        "--width",
+        "4",
+        "--patterns",
+        "800",
+        "--shards",
+        "0",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("p_i"));
+}
+
+#[test]
+fn usage_documents_thread_default() {
+    let out = hdpm(&[]);
+    let text = stdout(&out);
+    assert!(text.contains("--threads"), "{text}");
+    assert!(text.contains("all available parallelism"), "{text}");
+    assert!(text.contains("HDPM_THREADS"), "{text}");
+}
+
+#[test]
 fn unknown_subcommand_fails_nonzero() {
     let out = hdpm(&["frobnicate"]);
     assert!(!out.status.success());

@@ -5,6 +5,16 @@
 //! per-class averages of eq. 4, with the per-class average absolute
 //! deviation `ε_i` of eq. 5. Characterization stops early once the
 //! coefficients have converged.
+//!
+//! Two drivers share the same stimulus and accumulation machinery:
+//!
+//! * [`characterize`] — the sequential reference: one seeded pattern
+//!   stream, convergence-checked every `check_interval` patterns;
+//! * [`characterize_sharded`] — the pattern budget split into `S`
+//!   deterministic shards with RNG streams derived by
+//!   [`crate::shard_seed`], simulated on scoped worker threads and merged
+//!   in ascending shard index. The coefficient tables are bit-identical
+//!   for every thread count (see `docs/parallelism.md`).
 
 use hdpm_netlist::ValidatedNetlist;
 use hdpm_sim::{BitPattern, DelayModel, Simulator};
@@ -14,7 +24,11 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use telemetry::Level;
 
+use crate::error::ModelError;
 use crate::model::{EnhancedHdModel, HdModel, ZeroClustering};
+use crate::shard::{
+    parallel_map_ordered, shard_budgets, shard_seed, ClassAccumulator, ShardingConfig,
+};
 
 /// The statistics of the characterization pattern stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -104,7 +118,120 @@ pub struct Characterization {
     pub history: Vec<ConvergencePoint>,
 }
 
+/// Signal-probability levels of the stratified stimulus; each level holds
+/// for a block of patterns so transitions within a block carry the
+/// level's statistics.
+const SWEEP_LEVELS: [f64; 7] = [0.5, 0.15, 0.85, 0.3, 0.7, 0.05, 0.95];
+const SWEEP_BLOCK: usize = 200;
+
+/// One deterministic characterization pattern stream: an RNG, the
+/// stimulus law and the previous pattern. The sequential driver owns one
+/// stream; every shard of a sharded run owns an independent stream seeded
+/// via [`shard_seed`].
+struct StimulusStream {
+    rng: StdRng,
+    stimulus: StimulusKind,
+    m: usize,
+    prev: Option<BitPattern>,
+    /// Scratch index pool for the Hd-stratified subset draw.
+    positions: Vec<usize>,
+    generated: usize,
+}
+
+impl StimulusStream {
+    fn new(m: usize, stimulus: StimulusKind, seed: u64) -> Self {
+        StimulusStream {
+            rng: StdRng::seed_from_u64(seed),
+            stimulus,
+            m,
+            prev: None,
+            positions: (0..m).collect(),
+            generated: 0,
+        }
+    }
+
+    /// Generate the next pattern and, unless it is the stream's first, the
+    /// `(hd, stable_zeros)` classification of the transition into it.
+    fn next_pattern(&mut self) -> (BitPattern, Option<(usize, usize)>) {
+        let m = self.m;
+        let pattern = match (self.stimulus, self.prev) {
+            (StimulusKind::UniformRandom, _) | (_, None) => {
+                BitPattern::from_masked(self.rng.gen::<u64>(), m)
+            }
+            (StimulusKind::SignalProbSweep, _) => {
+                let level = SWEEP_LEVELS[(self.generated / SWEEP_BLOCK) % SWEEP_LEVELS.len()];
+                let mut bits = 0u64;
+                for i in 0..m {
+                    if self.rng.gen_bool(level) {
+                        bits |= 1 << i;
+                    }
+                }
+                BitPattern::new(bits, m)
+            }
+            (StimulusKind::UniformHd, Some(prev)) => {
+                let k = self.rng.gen_range(0..=m);
+                // Partial Fisher-Yates: the first k entries become a
+                // uniform k-subset of bit positions.
+                for i in 0..k {
+                    let j = self.rng.gen_range(i..m);
+                    self.positions.swap(i, j);
+                }
+                let mut bits = prev.bits();
+                for &pos in &self.positions[..k] {
+                    bits ^= 1 << pos;
+                }
+                BitPattern::new(bits, m)
+            }
+        };
+        let transition = self
+            .prev
+            .map(|prev| (prev.hamming_distance(pattern), prev.stable_zeros(pattern)));
+        self.prev = Some(pattern);
+        self.generated += 1;
+        (pattern, transition)
+    }
+}
+
+/// Coefficient snapshot for the convergence check: classes under
+/// `min_samples` are NaN so they never participate in the diff.
+fn convergence_snapshot(acc: &ClassAccumulator, min_samples: u64) -> Vec<f64> {
+    acc.counts()
+        .iter()
+        .zip(acc.charge_sums())
+        .map(|(&c, &s)| {
+            if c >= min_samples {
+                s / c as f64
+            } else {
+                f64::NAN
+            }
+        })
+        .collect()
+}
+
+/// Largest relative coefficient move between two snapshots, ignoring
+/// classes that are unpopulated (NaN) on either side.
+fn max_relative_change(new: &[f64], old: &[f64]) -> f64 {
+    let mut max_change: f64 = 0.0;
+    for (new, old) in new.iter().zip(old) {
+        if new.is_nan() || old.is_nan() || *old == 0.0 {
+            continue;
+        }
+        max_change = max_change.max(((new - old) / old).abs());
+    }
+    max_change
+}
+
 /// Characterize a module prototype with random patterns (§4.1).
+///
+/// This is the sequential reference implementation; see
+/// [`characterize_sharded`] for the thread-count-invariant parallel
+/// driver.
+///
+/// # Errors
+///
+/// Returns [`ModelError::EmptyCharacterization`] when the pattern budget
+/// produced no transition in any Hd class (every eq. 4 average would be
+/// the undefined `0/0`).
 ///
 /// # Examples
 ///
@@ -112,13 +239,13 @@ pub struct Characterization {
 /// use hdpm_core::{characterize, CharacterizationConfig};
 /// use hdpm_netlist::modules;
 ///
-/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// # fn main() -> Result<(), hdpm_core::ModelError> {
 /// let adder = modules::ripple_adder(4)?.validate()?;
 /// let config = CharacterizationConfig {
 ///     max_patterns: 2000,
 ///     ..CharacterizationConfig::default()
 /// };
-/// let result = characterize(&adder, &config);
+/// let result = characterize(&adder, &config)?;
 /// // Coefficients grow with the Hamming distance.
 /// assert!(result.model.coefficient(8) > result.model.coefficient(2));
 /// # Ok(())
@@ -127,10 +254,9 @@ pub struct Characterization {
 pub fn characterize(
     netlist: &ValidatedNetlist,
     config: &CharacterizationConfig,
-) -> Characterization {
+) -> Result<Characterization, ModelError> {
     let m = netlist.netlist().input_bit_count();
     let mut sim = Simulator::with_delay_model(netlist, config.delay_model);
-    let mut rng = StdRng::seed_from_u64(config.seed);
 
     let _span = telemetry::span("characterize");
     telemetry::event(
@@ -148,82 +274,27 @@ pub fn characterize(
     // Per-sample records for the deviation pass.
     let mut records: Vec<(u16, u16, f64)> = Vec::with_capacity(config.max_patterns);
 
-    // Running per-class sums for the convergence check.
-    let mut sums = vec![0.0f64; m + 1];
-    let mut counts = vec![0u64; m + 1];
+    // Running per-class accumulator for the convergence check.
+    let mut acc = ClassAccumulator::empty(m);
     let mut last_snapshot: Option<Vec<f64>> = None;
     let mut history = Vec::new();
     let mut converged_after = None;
 
-    // Signal-probability levels of the stratified stimulus; each level
-    // holds for a block of patterns so transitions within a block carry
-    // the level's statistics.
-    const SWEEP_LEVELS: [f64; 7] = [0.5, 0.15, 0.85, 0.3, 0.7, 0.05, 0.95];
-    const SWEEP_BLOCK: usize = 200;
-
-    let mut prev: Option<BitPattern> = None;
-    // Scratch index pool for the Hd-stratified subset draw.
-    let mut positions: Vec<usize> = (0..m).collect();
+    let mut stream = StimulusStream::new(m, config.stimulus, config.seed);
     let mut applied = 0usize;
     while applied < config.max_patterns {
-        let pattern = match (config.stimulus, prev) {
-            (StimulusKind::UniformRandom, _) | (_, None) => {
-                BitPattern::from_masked(rng.gen::<u64>(), m)
-            }
-            (StimulusKind::SignalProbSweep, _) => {
-                let level = SWEEP_LEVELS[(applied / SWEEP_BLOCK) % SWEEP_LEVELS.len()];
-                let mut bits = 0u64;
-                for i in 0..m {
-                    if rng.gen_bool(level) {
-                        bits |= 1 << i;
-                    }
-                }
-                BitPattern::new(bits, m)
-            }
-            (StimulusKind::UniformHd, Some(prev)) => {
-                let k = rng.gen_range(0..=m);
-                // Partial Fisher-Yates: the first k entries become a
-                // uniform k-subset of bit positions.
-                for i in 0..k {
-                    let j = rng.gen_range(i..m);
-                    positions.swap(i, j);
-                }
-                let mut bits = prev.bits();
-                for &pos in &positions[..k] {
-                    bits ^= 1 << pos;
-                }
-                BitPattern::new(bits, m)
-            }
-        };
+        let (pattern, transition) = stream.next_pattern();
         let result = sim.apply(pattern);
-        if let Some(prev) = prev {
-            let hd = prev.hamming_distance(pattern);
-            let zeros = prev.stable_zeros(pattern);
+        if let Some((hd, zeros)) = transition {
             records.push((hd as u16, zeros as u16, result.charge));
-            sums[hd] += result.charge;
-            counts[hd] += 1;
+            acc.record(hd, result.charge);
         }
-        prev = Some(pattern);
         applied += 1;
 
         if applied.is_multiple_of(config.check_interval) || applied == config.max_patterns {
-            let snapshot: Vec<f64> = (0..=m)
-                .map(|i| {
-                    if counts[i] >= config.min_class_samples {
-                        sums[i] / counts[i] as f64
-                    } else {
-                        f64::NAN
-                    }
-                })
-                .collect();
+            let snapshot = convergence_snapshot(&acc, config.min_class_samples);
             if let Some(last) = &last_snapshot {
-                let mut max_change: f64 = 0.0;
-                for (new, old) in snapshot.iter().zip(last) {
-                    if new.is_nan() || old.is_nan() || *old == 0.0 {
-                        continue;
-                    }
-                    max_change = max_change.max(((new - old) / old).abs());
-                }
+                let max_change = max_relative_change(&snapshot, last);
                 history.push(ConvergencePoint {
                     patterns: applied,
                     max_relative_change: max_change,
@@ -280,53 +351,241 @@ pub fn characterize(
         config.clustering,
         converged_after,
         history,
+    )?;
+    emit_class_telemetry(config, &result);
+    Ok(result)
+}
+
+/// Characterize a module prototype with the pattern budget split into
+/// deterministic shards running on scoped worker threads.
+///
+/// Each shard owns an independent RNG stream seeded by
+/// [`shard_seed`]`(config.seed, shard_index)` and an independent previous
+/// pattern, so shard streams never depend on scheduling. Per-shard
+/// accumulators and sample records are merged in **ascending shard
+/// index**, which makes the resulting coefficient tables (`p_i`, `ε_i`)
+/// bit-identical for every `sharding.threads` value, including 1. The
+/// shard *count* is part of the result's identity: changing
+/// `sharding.shards` selects different pattern streams (statistically
+/// equivalent, numerically different).
+///
+/// Unlike [`characterize`], the sharded driver never stops early: every
+/// shard consumes its full budget and the convergence trajectory —
+/// checkpointed at shard boundaries over merged prefixes — is advisory.
+/// A shard's first pattern initializes its simulator and produces no
+/// transition, so a run observes `max_patterns − S` transitions when all
+/// budgets are non-zero.
+///
+/// # Errors
+///
+/// Returns [`ModelError::EmptyCharacterization`] when no shard produced a
+/// transition in any Hd class.
+///
+/// # Examples
+///
+/// ```
+/// use hdpm_core::{characterize_sharded, CharacterizationConfig, ShardingConfig};
+/// use hdpm_netlist::modules;
+///
+/// # fn main() -> Result<(), hdpm_core::ModelError> {
+/// let adder = modules::ripple_adder(4)?.validate()?;
+/// let config = CharacterizationConfig {
+///     max_patterns: 2000,
+///     ..CharacterizationConfig::default()
+/// };
+/// let sharding = ShardingConfig { shards: 4, threads: 0 };
+/// let parallel = characterize_sharded(&adder, &config, &sharding)?;
+/// let single = characterize_sharded(
+///     &adder,
+///     &config,
+///     &ShardingConfig { threads: 1, ..sharding },
+/// )?;
+/// // Thread count never changes a bit of the coefficient tables.
+/// assert_eq!(parallel.model, single.model);
+/// # Ok(())
+/// # }
+/// ```
+pub fn characterize_sharded(
+    netlist: &ValidatedNetlist,
+    config: &CharacterizationConfig,
+    sharding: &ShardingConfig,
+) -> Result<Characterization, ModelError> {
+    let m = netlist.netlist().input_bit_count();
+    let budgets = shard_budgets(config.max_patterns, sharding.shards);
+    let threads = sharding.effective_threads();
+
+    let _span = telemetry::span("characterize.sharded");
+    telemetry::event(
+        Level::Info,
+        "characterize.start",
+        &[
+            ("module", netlist.netlist().name().into()),
+            ("input_bits", m.into()),
+            ("stimulus", format!("{:?}", config.stimulus).into()),
+            ("max_patterns", config.max_patterns.into()),
+            ("seed", config.seed.into()),
+            ("shards", sharding.shards.into()),
+            ("threads", threads.into()),
+        ],
     );
 
-    if telemetry::enabled() {
-        telemetry::counter_add("characterize.transitions", result.transitions as u64);
-        let counts = result.model.sample_counts();
-        for (hd, &samples) in counts.iter().enumerate() {
-            telemetry::event(
-                Level::Info,
-                "characterize.class_samples",
-                &[
-                    ("hd", hd.into()),
-                    ("samples", samples.into()),
-                    ("coefficient", result.model.coefficient(hd).into()),
-                ],
+    struct ShardRun {
+        records: Vec<(u16, u16, f64)>,
+        acc: ClassAccumulator,
+    }
+
+    let runs: Vec<ShardRun> = parallel_map_ordered(&budgets, threads, |index, &budget| {
+        let mut sim = Simulator::with_delay_model(netlist, config.delay_model);
+        let mut stream =
+            StimulusStream::new(m, config.stimulus, shard_seed(config.seed, index as u64));
+        let mut records = Vec::with_capacity(budget.saturating_sub(1));
+        let mut acc = ClassAccumulator::empty(m);
+        for _ in 0..budget {
+            let (pattern, transition) = stream.next_pattern();
+            let result = sim.apply(pattern);
+            if let Some((hd, zeros)) = transition {
+                records.push((hd as u16, zeros as u16, result.charge));
+                acc.record(hd, result.charge);
+            }
+        }
+        sim.flush_telemetry();
+        ShardRun { records, acc }
+    });
+
+    // Merge in ascending shard index — this fixed order, not float
+    // algebra, is what makes the result independent of the schedule. The
+    // merged prefixes double as convergence checkpoints at shard
+    // boundaries; the sharded driver never stops early, so the
+    // trajectory (and `converged_after`) is advisory.
+    let mut merged = ClassAccumulator::empty(m);
+    let mut history = Vec::new();
+    let mut converged_after = None;
+    let mut last_snapshot: Option<Vec<f64>> = None;
+    let mut cumulative = 0usize;
+    for (index, run) in runs.iter().enumerate() {
+        if telemetry::enabled() {
+            telemetry::gauge_set(
+                &format!("characterize.shard.{index}.samples"),
+                run.records.len() as f64,
             );
         }
-        // Under uniform random stimulus the binomial tail starves the
-        // extreme Hd classes; recommend the stratified stream when any
-        // class stayed under the configured minimum.
-        if config.stimulus == StimulusKind::UniformRandom {
-            for (hd, &samples) in counts.iter().enumerate().skip(1) {
-                if samples < config.min_class_samples {
-                    telemetry::event(
-                        Level::Warn,
-                        "characterize.class_starved",
-                        &[
-                            ("hd", hd.into()),
-                            ("samples", samples.into()),
-                            ("min_samples", config.min_class_samples.into()),
-                            (
-                                "hint",
-                                "class under-sampled by uniform random stimulus; \
-                                 use UniformHd (--stratified) for balanced class coverage"
-                                    .into(),
-                            ),
-                        ],
-                    );
+        merged.merge(&run.acc);
+        cumulative += budgets[index];
+        let snapshot = convergence_snapshot(&merged, config.min_class_samples);
+        if let Some(last) = &last_snapshot {
+            let max_change = max_relative_change(&snapshot, last);
+            history.push(ConvergencePoint {
+                patterns: cumulative,
+                max_relative_change: max_change,
+            });
+            telemetry::event(
+                Level::Info,
+                "characterize.checkpoint",
+                &[
+                    ("patterns", cumulative.into()),
+                    ("max_relative_change", max_change.into()),
+                    ("baseline", false.into()),
+                ],
+            );
+            if converged_after.is_none() && max_change < config.convergence_tol {
+                converged_after = Some(cumulative);
+            }
+        } else {
+            telemetry::event(
+                Level::Info,
+                "characterize.checkpoint",
+                &[("patterns", cumulative.into()), ("baseline", true.into())],
+            );
+        }
+        last_snapshot = Some(snapshot);
+    }
+
+    let mut records = Vec::with_capacity(merged.total_samples() as usize);
+    for run in runs {
+        records.extend(run.records);
+    }
+    telemetry::event(
+        Level::Info,
+        "characterize.stop",
+        &[
+            ("patterns", config.max_patterns.into()),
+            ("transitions", records.len().into()),
+            ("shards", sharding.shards.into()),
+            (
+                "reason",
+                if converged_after.is_some() {
+                    "converged"
+                } else {
+                    "max_patterns"
                 }
+                .into(),
+            ),
+        ],
+    );
+
+    let result = build_characterization(
+        netlist.netlist().name(),
+        m,
+        &records,
+        config.clustering,
+        converged_after,
+        history,
+    )?;
+    emit_class_telemetry(config, &result);
+    Ok(result)
+}
+
+/// Per-class coefficient events plus starvation warnings, shared by both
+/// characterization drivers. No-op when telemetry is disabled.
+fn emit_class_telemetry(config: &CharacterizationConfig, result: &Characterization) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::counter_add("characterize.transitions", result.transitions as u64);
+    let counts = result.model.sample_counts();
+    for (hd, &samples) in counts.iter().enumerate() {
+        telemetry::event(
+            Level::Info,
+            "characterize.class_samples",
+            &[
+                ("hd", hd.into()),
+                ("samples", samples.into()),
+                ("coefficient", result.model.coefficient(hd).into()),
+            ],
+        );
+    }
+    // Under uniform random stimulus the binomial tail starves the
+    // extreme Hd classes; recommend the stratified stream when any
+    // class stayed under the configured minimum.
+    if config.stimulus == StimulusKind::UniformRandom {
+        for (hd, &samples) in counts.iter().enumerate().skip(1) {
+            if samples < config.min_class_samples {
+                telemetry::event(
+                    Level::Warn,
+                    "characterize.class_starved",
+                    &[
+                        ("hd", hd.into()),
+                        ("samples", samples.into()),
+                        ("min_samples", config.min_class_samples.into()),
+                        (
+                            "hint",
+                            "class under-sampled by uniform random stimulus; \
+                             use UniformHd (--stratified) for balanced class coverage"
+                                .into(),
+                        ),
+                    ],
+                );
             }
         }
     }
-
-    result
 }
 
 /// Build the models from classified `(hd, stable_zeros, charge)` records.
 /// Exposed for reuse by the adaptation and trace-replay paths.
+///
+/// The basic model's coefficients and deviations go through the two-pass
+/// [`ClassAccumulator`] scheme: pass one pins the eq. 4 class means, pass
+/// two accumulates the eq. 5 absolute deviations around them.
 pub(crate) fn build_characterization(
     module: &str,
     m: usize,
@@ -334,43 +593,24 @@ pub(crate) fn build_characterization(
     clustering: ZeroClustering,
     converged_after: Option<usize>,
     history: Vec<ConvergencePoint>,
-) -> Characterization {
-    // Basic model: eq. 4 means.
-    let mut sums = vec![0.0f64; m + 1];
-    let mut counts = vec![0u64; m + 1];
+) -> Result<Characterization, ModelError> {
+    // Basic model: eq. 4 means, then eq. 5 deviations around them.
+    let mut acc = ClassAccumulator::empty(m);
     for &(hd, _zeros, q) in records {
-        sums[hd as usize] += q;
-        counts[hd as usize] += 1;
+        acc.record(hd as usize, q);
     }
-    let coeffs: Vec<f64> = (0..=m)
-        .map(|i| {
-            if counts[i] > 0 {
-                sums[i] / counts[i] as f64
-            } else {
-                0.0
-            }
-        })
-        .collect();
-
-    // Eq. 5 deviations.
-    let mut dev_sums = vec![0.0f64; m + 1];
+    if !acc.counts().iter().skip(1).any(|&c| c > 0) {
+        return Err(ModelError::EmptyCharacterization {
+            module: module.to_string(),
+            transitions: records.len(),
+        });
+    }
+    let coeffs = acc.coefficients();
     for &(hd, _zeros, q) in records {
-        let p = coeffs[hd as usize];
-        if p > 0.0 {
-            dev_sums[hd as usize] += ((q - p) / p).abs();
-        }
+        acc.record_deviation(hd as usize, q, &coeffs);
     }
-    let deviations: Vec<f64> = (0..=m)
-        .map(|i| {
-            if counts[i] > 0 {
-                dev_sums[i] / counts[i] as f64
-            } else {
-                0.0
-            }
-        })
-        .collect();
-
-    let basic = HdModel::from_parts(module, m, coeffs, deviations, counts);
+    let deviations = acc.deviations();
+    let basic = HdModel::from_parts(module, m, coeffs, deviations, acc.counts().to_vec());
 
     // Enhanced model: eq. 3 subgroups.
     let mut e_sums: Vec<Vec<f64>> = (1..=m)
@@ -422,19 +662,27 @@ pub(crate) fn build_characterization(
     let enhanced =
         EnhancedHdModel::from_parts(basic.clone(), clustering, e_coeffs, e_devs, e_counts);
 
-    Characterization {
+    Ok(Characterization {
         model: basic,
         enhanced,
         transitions: records.len(),
         converged_after,
         history,
-    }
+    })
 }
 
 /// Characterize from an existing reference [`hdpm_sim::Trace`] instead of
 /// generating fresh random patterns — useful for replaying recorded or
 /// application-specific characterization stimuli.
-pub fn characterize_trace(trace: &hdpm_sim::Trace, clustering: ZeroClustering) -> Characterization {
+///
+/// # Errors
+///
+/// Returns [`ModelError::EmptyCharacterization`] when the trace holds no
+/// transition in any Hd class `i ≥ 1`.
+pub fn characterize_trace(
+    trace: &hdpm_sim::Trace,
+    clustering: ZeroClustering,
+) -> Result<Characterization, ModelError> {
     let records: Vec<(u16, u16, f64)> = trace
         .samples
         .iter()
@@ -466,7 +714,7 @@ mod tests {
     #[test]
     fn coefficients_increase_with_hd() {
         let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
-        let c = characterize(&adder, &quick_config());
+        let c = characterize(&adder, &quick_config()).unwrap();
         let model = &c.model;
         // The curve rises over the well-populated bulk of the binomial Hd
         // range (it saturates and rolls off at the extreme classes, where
@@ -483,7 +731,7 @@ mod tests {
         // §4.1: "the relative coefficient deviations are decreasing for
         // larger values of the Hamming-distance."
         let mul = modules::csa_multiplier(6, 6).unwrap().validate().unwrap();
-        let c = characterize(&mul, &quick_config());
+        let c = characterize(&mul, &quick_config()).unwrap();
         let low = c.model.deviation(2);
         let high = c.model.deviation(10);
         assert!(
@@ -501,7 +749,7 @@ mod tests {
             convergence_tol: 0.05,
             ..CharacterizationConfig::default()
         };
-        let c = characterize(&adder, &config);
+        let c = characterize(&adder, &config).unwrap();
         assert!(
             c.converged_after.is_some(),
             "expected convergence, history: {:?}",
@@ -520,7 +768,7 @@ mod tests {
             max_patterns: 12_000,
             ..quick_config()
         };
-        let c = characterize(&adder, &config);
+        let c = characterize(&adder, &config).unwrap();
         let m = 16;
         let hd = 2;
         let row = c.enhanced.coefficient_row(hd);
@@ -553,7 +801,7 @@ mod tests {
             convergence_tol: 0.0,
             ..CharacterizationConfig::default()
         };
-        let c = characterize(&adder, &config);
+        let c = characterize(&adder, &config).unwrap();
         let counts = c.model.sample_counts();
         // Every class (1..=16) should be populated with roughly
         // n/(m+1) = ~470 samples; allow wide slack.
@@ -579,14 +827,15 @@ mod tests {
             convergence_tol: 0.0,
             ..CharacterizationConfig::default()
         };
-        let uniform = characterize(&adder, &base);
+        let uniform = characterize(&adder, &base).unwrap();
         let stratified = characterize(
             &adder,
             &CharacterizationConfig {
                 stimulus: StimulusKind::UniformHd,
                 ..base
             },
-        );
+        )
+        .unwrap();
         // Compare the well-populated central classes.
         for i in 3..=5 {
             let a = uniform.model.coefficient(i);
@@ -603,7 +852,7 @@ mod tests {
         let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
         let patterns = hdpm_sim::random_patterns(8, 3000, 42);
         let trace = hdpm_sim::run_patterns(&adder, &patterns, DelayModel::Unit);
-        let c = characterize_trace(&trace, ZeroClustering::Full);
+        let c = characterize_trace(&trace, ZeroClustering::Full).unwrap();
         assert_eq!(c.transitions, 2999);
         assert!(c.model.coefficient(4) > 0.0);
     }
@@ -611,8 +860,130 @@ mod tests {
     #[test]
     fn characterization_is_deterministic() {
         let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
-        let a = characterize(&adder, &quick_config());
-        let b = characterize(&adder, &quick_config());
+        let a = characterize(&adder, &quick_config()).unwrap();
+        let b = characterize(&adder, &quick_config()).unwrap();
         assert_eq!(a.model, b.model);
+    }
+
+    #[test]
+    fn zero_transition_budget_is_a_structured_error() {
+        // Regression: a pattern budget of 0 or 1 produces no transition,
+        // which used to trip an internal 0/0 panic deep in model assembly.
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        for budget in [0usize, 1] {
+            let config = CharacterizationConfig {
+                max_patterns: budget,
+                ..CharacterizationConfig::default()
+            };
+            match characterize(&adder, &config) {
+                Err(ModelError::EmptyCharacterization {
+                    module,
+                    transitions,
+                }) => {
+                    assert_eq!(transitions, 0, "budget {budget}");
+                    assert!(module.contains("ripple_adder"));
+                }
+                other => panic!("budget {budget}: expected EmptyCharacterization, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_a_structured_error() {
+        let trace = hdpm_sim::Trace {
+            module: "empty".into(),
+            input_width: 4,
+            samples: Vec::new(),
+        };
+        assert!(matches!(
+            characterize_trace(&trace, ZeroClustering::Full),
+            Err(ModelError::EmptyCharacterization { transitions: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn sharded_is_invariant_in_thread_count() {
+        // The full module-family matrix lives in tests/parallel_conformance.rs;
+        // this is the quick in-crate smoke check.
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        let config = CharacterizationConfig {
+            max_patterns: 1600,
+            ..CharacterizationConfig::default()
+        };
+        let reference = characterize_sharded(
+            &adder,
+            &config,
+            &ShardingConfig {
+                shards: 4,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        for threads in [2, 4, 8] {
+            let c = characterize_sharded(&adder, &config, &ShardingConfig { shards: 4, threads })
+                .unwrap();
+            assert_eq!(reference, c, "threads = {threads}");
+        }
+        // Every shard's first pattern initializes; the rest are transitions.
+        assert_eq!(reference.transitions, 1600 - 4);
+    }
+
+    #[test]
+    fn sharded_stimuli_cover_every_kind() {
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        for stimulus in [
+            StimulusKind::UniformRandom,
+            StimulusKind::SignalProbSweep,
+            StimulusKind::UniformHd,
+        ] {
+            let config = CharacterizationConfig {
+                max_patterns: 1200,
+                stimulus,
+                ..CharacterizationConfig::default()
+            };
+            let sharding = ShardingConfig {
+                shards: 3,
+                threads: 2,
+            };
+            let a = characterize_sharded(&adder, &config, &sharding).unwrap();
+            let b = characterize_sharded(&adder, &config, &sharding).unwrap();
+            assert_eq!(a, b, "{stimulus:?} must be reproducible");
+            assert!(a.model.coefficient(4) > 0.0);
+        }
+    }
+
+    #[test]
+    fn shard_count_is_part_of_the_result_identity() {
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        let config = CharacterizationConfig {
+            max_patterns: 2000,
+            ..CharacterizationConfig::default()
+        };
+        let two = characterize_sharded(
+            &adder,
+            &config,
+            &ShardingConfig {
+                shards: 2,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let four = characterize_sharded(
+            &adder,
+            &config,
+            &ShardingConfig {
+                shards: 4,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        // Different shard counts select different pattern streams...
+        assert_ne!(two.model, four.model);
+        // ...but agree statistically on the well-populated classes.
+        for i in 3..=5 {
+            let a = two.model.coefficient(i);
+            let b = four.model.coefficient(i);
+            assert!(((a - b) / a).abs() < 0.2, "class {i}: {a} vs {b}");
+        }
     }
 }

@@ -26,6 +26,16 @@ pub enum ModelError {
     },
     /// Mixed module kinds in a single regression task.
     MixedModuleKinds,
+    /// Characterization observed no transition in any Hd class `i ≥ 1`,
+    /// so every eq. 4 average would be the undefined `0/0`. Raised instead
+    /// of silently returning NaN coefficients when the pattern budget is
+    /// too small to produce a single transition.
+    EmptyCharacterization {
+        /// Module the characterization ran on.
+        module: String,
+        /// Transitions actually observed (all with `Hd = 0` if non-zero).
+        transitions: usize,
+    },
     /// Model (de)serialization failed.
     Persist(serde_json::Error),
     /// Filesystem error while persisting a model.
@@ -51,6 +61,14 @@ impl std::fmt::Display for ModelError {
             ModelError::MixedModuleKinds => {
                 write!(f, "regression prototypes must share one module kind")
             }
+            ModelError::EmptyCharacterization {
+                module,
+                transitions,
+            } => write!(
+                f,
+                "characterization of `{module}` populated no Hd class \
+                 ({transitions} transitions observed); raise the pattern budget"
+            ),
             ModelError::Persist(e) => write!(f, "model serialization failed: {e}"),
             ModelError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -110,6 +128,17 @@ mod tests {
             required: 3,
         };
         assert!(e.to_string().contains("2 prototypes"));
+    }
+
+    #[test]
+    fn empty_characterization_names_the_module() {
+        let e = ModelError::EmptyCharacterization {
+            module: "ripple_adder_4".into(),
+            transitions: 0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("ripple_adder_4"));
+        assert!(msg.contains("0 transitions"));
     }
 
     #[test]

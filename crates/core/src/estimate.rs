@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::ModelError;
 use crate::model::{EnhancedHdModel, HdModel};
+use crate::shard::{parallel_map_ordered, resolve_threads};
 
 /// The §4.2 accuracy metrics of a model against a reference trace.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -158,6 +159,46 @@ pub fn evaluate_enhanced(
     Ok(report)
 }
 
+/// Evaluate the basic model against many reference traces on up to
+/// `threads` worker threads (0 = all available cores). Reports come back
+/// in input order and are identical to calling [`evaluate`] per trace —
+/// each trace's metrics depend only on that trace, so the schedule cannot
+/// influence the numbers.
+///
+/// # Errors
+///
+/// Returns the first per-trace error in input order.
+pub fn evaluate_batch(
+    model: &HdModel,
+    traces: &[Trace],
+    threads: usize,
+) -> Result<Vec<AccuracyReport>, ModelError> {
+    parallel_map_ordered(traces, resolve_threads(threads), |_, trace| {
+        evaluate(model, trace)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Evaluate the enhanced model against many reference traces on up to
+/// `threads` worker threads (0 = all available cores); the parallel
+/// counterpart of [`evaluate_enhanced`], with input-order reports.
+///
+/// # Errors
+///
+/// Returns the first per-trace error in input order.
+pub fn evaluate_enhanced_batch(
+    model: &EnhancedHdModel,
+    traces: &[Trace],
+    threads: usize,
+) -> Result<Vec<AccuracyReport>, ModelError> {
+    parallel_map_ordered(traces, resolve_threads(threads), |_, trace| {
+        evaluate_enhanced(model, trace)
+    })
+    .into_iter()
+    .collect()
+}
+
 /// Average-power estimate from an Hd distribution (the §6.3 estimator):
 /// expected charge per cycle. See [`HdModel::estimate_distribution`].
 ///
@@ -298,6 +339,31 @@ mod tests {
         let dist = HdDistribution::from_histogram(&[0, 10, 20, 40, 20, 10, 0, 0, 0]);
         let cmp = distribution_vs_average(&model, &dist).unwrap();
         assert!((cmp.via_distribution - cmp.via_average).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_evaluation_matches_serial_in_order() {
+        let model = linear_model(4);
+        let traces: Vec<Trace> = (1..=4)
+            .map(|hd| trace_of(&[hd, hd], &[9.0 * hd as f64, 11.0 * hd as f64], 4))
+            .collect();
+        for threads in [1, 2, 8, 0] {
+            let batch = evaluate_batch(&model, &traces, threads).unwrap();
+            assert_eq!(batch.len(), traces.len());
+            for (trace, report) in traces.iter().zip(&batch) {
+                assert_eq!(*report, evaluate(&model, trace).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_evaluation_surfaces_first_error() {
+        let model = linear_model(4);
+        let traces = vec![trace_of(&[1], &[10.0], 4), trace_of(&[1], &[10.0], 8)];
+        assert!(matches!(
+            evaluate_batch(&model, &traces, 2),
+            Err(ModelError::WidthMismatch { .. })
+        ));
     }
 
     #[test]

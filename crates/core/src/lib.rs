@@ -8,7 +8,8 @@
 //!   stable-zero counts (eq. 3): [`HdModel`], [`EnhancedHdModel`];
 //! * **characterization** from random patterns against the gate-level
 //!   reference simulator, with convergence detection (eq. 4/5):
-//!   [`characterize`];
+//!   [`characterize`], and its thread-count-invariant sharded-parallel
+//!   driver [`characterize_sharded`];
 //! * **bit-width parameterization** by complexity-feature regression
 //!   (eq. 6–10): [`ParameterizableModel`];
 //! * **estimation** in trace, distribution and average-Hd modes, with the
@@ -39,7 +40,7 @@
 //!     let netlist = spec.build()?.validate()?;
 //!     prototypes.push(Prototype {
 //!         spec,
-//!         model: characterize(&netlist, &config).model,
+//!         model: characterize(&netlist, &config)?.model,
 //!     });
 //! }
 //!
@@ -71,18 +72,24 @@ pub mod linalg;
 mod model;
 pub mod persist;
 mod regress;
+mod shard;
 
 pub use adapt::AdaptiveHdModel;
 pub use bitwise::BitwiseModel;
 pub use characterize::{
-    characterize, characterize_trace, Characterization, CharacterizationConfig, ConvergencePoint,
-    StimulusKind,
+    characterize, characterize_sharded, characterize_trace, Characterization,
+    CharacterizationConfig, ConvergencePoint, StimulusKind,
 };
 pub use error::ModelError;
 pub use estimate::{
-    accuracy, distribution_vs_average, evaluate, evaluate_enhanced, predict_trace,
-    predict_trace_enhanced, AccuracyReport, DistributionVsAverage,
+    accuracy, distribution_vs_average, evaluate, evaluate_batch, evaluate_enhanced,
+    evaluate_enhanced_batch, predict_trace, predict_trace_enhanced, AccuracyReport,
+    DistributionVsAverage,
 };
 pub use library::ModelLibrary;
 pub use model::{EnhancedHdModel, HdModel, ZeroClustering};
 pub use regress::{ParameterizableModel, Prototype, PrototypeSet};
+pub use shard::{
+    parallel_map_ordered, resolve_threads, shard_budgets, shard_seed, threads_from_env,
+    ClassAccumulator, ShardingConfig,
+};

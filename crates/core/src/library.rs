@@ -3,14 +3,15 @@
 //! library, with parallel characterization for prototype sweeps.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use hdpm_netlist::ModuleSpec;
 
-use crate::characterize::{characterize, Characterization, CharacterizationConfig};
+use crate::characterize::{
+    characterize, characterize_sharded, Characterization, CharacterizationConfig,
+};
 use crate::error::ModelError;
 use crate::persist;
+use crate::shard::{parallel_map_ordered, ShardingConfig};
 
 /// A directory-backed library of characterized models.
 ///
@@ -36,6 +37,7 @@ use crate::persist;
 pub struct ModelLibrary {
     root: PathBuf,
     config: CharacterizationConfig,
+    sharding: Option<ShardingConfig>,
 }
 
 impl ModelLibrary {
@@ -44,6 +46,24 @@ impl ModelLibrary {
         ModelLibrary {
             root: root.into(),
             config,
+            sharding: None,
+        }
+    }
+
+    /// Create a library whose uncached characterizations run through
+    /// [`characterize_sharded`]. Sharded artifacts carry an `_sh{S}` path
+    /// suffix because the shard count selects different pattern streams
+    /// than the sequential driver (the thread count does not, and is kept
+    /// out of the key).
+    pub fn with_sharding(
+        root: impl Into<PathBuf>,
+        config: CharacterizationConfig,
+        sharding: ShardingConfig,
+    ) -> Self {
+        ModelLibrary {
+            root: root.into(),
+            config,
+            sharding: Some(sharding),
         }
     }
 
@@ -54,9 +74,13 @@ impl ModelLibrary {
 
     /// The artifact path a spec maps to.
     pub fn path_for(&self, spec: ModuleSpec) -> PathBuf {
+        let shard_key = match &self.sharding {
+            Some(sharding) => format!("_sh{}", sharding.shards),
+            None => String::new(),
+        };
         self.root.join(format!(
-            "{}_p{}_s{}_{:?}.json",
-            spec, self.config.max_patterns, self.config.seed, self.config.stimulus
+            "{}_p{}_s{}_{:?}{}.json",
+            spec, self.config.max_patterns, self.config.seed, self.config.stimulus, shard_key
         ))
     }
 
@@ -73,7 +97,10 @@ impl ModelLibrary {
             return Ok(cached);
         }
         let netlist = spec.build()?.validate()?;
-        let result = characterize(&netlist, &self.config);
+        let result = match &self.sharding {
+            Some(sharding) => characterize_sharded(&netlist, &self.config, sharding)?,
+            None => characterize(&netlist, &self.config)?,
+        };
         persist::save(&result, &path)?;
         Ok(result)
     }
@@ -100,31 +127,8 @@ impl ModelLibrary {
         threads: usize,
     ) -> Result<Vec<Characterization>, ModelError> {
         assert!(threads > 0, "need at least one worker thread");
-        let worker_count = threads.min(specs.len()).max(1);
-        let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<Result<Characterization, ModelError>>>> =
-            specs.iter().map(|_| Mutex::new(None)).collect();
-
-        std::thread::scope(|scope| {
-            for _ in 0..worker_count {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= specs.len() {
-                        break;
-                    }
-                    let outcome = self.get(specs[index]);
-                    *results[index].lock().expect("no poisoned workers") = Some(outcome);
-                });
-            }
-        });
-
-        results
+        parallel_map_ordered(specs, threads, |_, spec| self.get(*spec))
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("worker completed")
-                    .expect("every index visited")
-            })
             .collect()
     }
 
@@ -184,6 +188,43 @@ mod tests {
             );
         }
         let _ = std::fs::remove_dir_all(lib.root());
+    }
+
+    #[test]
+    fn sharded_library_keys_artifacts_by_shard_count() {
+        let lib = temp_library();
+        let sharded = ModelLibrary::with_sharding(
+            lib.root().to_path_buf(),
+            *lib.config(),
+            crate::shard::ShardingConfig {
+                shards: 4,
+                threads: 2,
+            },
+        );
+        let spec = ModuleSpec::new(ModuleKind::RippleAdder, 4usize);
+        assert_ne!(lib.path_for(spec), sharded.path_for(spec));
+        assert!(sharded
+            .path_for(spec)
+            .to_string_lossy()
+            .contains("_sh4.json"));
+
+        // A cached sharded artifact must round-trip exactly, and the
+        // thread count must not be part of the key or the result.
+        let first = sharded.get(spec).unwrap();
+        let reloaded = sharded.get(spec).unwrap();
+        assert_eq!(first, reloaded);
+        let single_threaded = ModelLibrary::with_sharding(
+            std::env::temp_dir().join(format!("hdpm_library_st_{}", std::process::id())),
+            *lib.config(),
+            crate::shard::ShardingConfig {
+                shards: 4,
+                threads: 1,
+            },
+        );
+        let serial = single_threaded.get(spec).unwrap();
+        assert_eq!(first.model, serial.model);
+        let _ = std::fs::remove_dir_all(lib.root());
+        let _ = std::fs::remove_dir_all(single_threaded.root());
     }
 
     #[test]

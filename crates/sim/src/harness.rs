@@ -81,6 +81,30 @@ impl Trace {
         }
         self.samples.iter().map(|s| s.hd as f64).sum::<f64>() / self.samples.len() as f64
     }
+
+    /// Append another trace's samples to this one — the shard-local
+    /// accumulation primitive of parallel characterization: each shard
+    /// records its own trace, and shards are merged in ascending shard
+    /// index so the combined sample order is schedule-independent. No
+    /// cross-boundary transition is synthesized between the last sample of
+    /// `self` and the first of `other`; each shard's stream stays
+    /// self-contained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traces were recorded on different modules or input
+    /// widths.
+    pub fn merge(&mut self, other: &Trace) {
+        assert_eq!(
+            self.module, other.module,
+            "cannot merge traces of different modules"
+        );
+        assert_eq!(
+            self.input_width, other.input_width,
+            "cannot merge traces of different input widths"
+        );
+        self.samples.extend_from_slice(&other.samples);
+    }
 }
 
 /// Run a pattern sequence through a module under the given delay model.
@@ -282,5 +306,30 @@ mod tests {
     fn wrong_stream_count_panics() {
         let adder = modules::ripple_adder(4).unwrap();
         patterns_from_words(&adder, &[vec![1]]);
+    }
+
+    #[test]
+    fn trace_merge_concatenates_samples_in_order() {
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        let mut first = run_patterns(&adder, &random_patterns(8, 50, 1), DelayModel::Unit);
+        let second = run_patterns(&adder, &random_patterns(8, 70, 2), DelayModel::Unit);
+        let total_before = first.total_charge() + second.total_charge();
+        first.merge(&second);
+        assert_eq!(first.samples.len(), 49 + 69);
+        assert_eq!(first.samples[49..], second.samples[..]);
+        assert!((first.total_charge() - total_before).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "different modules")]
+    fn trace_merge_rejects_module_mismatch() {
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        let mut trace = run_patterns(&adder, &random_patterns(8, 10, 1), DelayModel::Unit);
+        let other = Trace {
+            module: "someone_else".into(),
+            input_width: 8,
+            samples: Vec::new(),
+        };
+        trace.merge(&other);
     }
 }

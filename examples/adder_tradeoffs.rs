@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Macro-model estimate with no stream simulation (the distribution
         // path of §6.3).
-        let model = characterize(&netlist, &config).model;
+        let model = characterize(&netlist, &config)?.model;
         let estimate = model.estimate_distribution(&stream_dist)?;
 
         println!(

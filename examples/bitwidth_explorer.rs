@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let netlist = spec.build()?.validate()?;
         prototypes.push(Prototype {
             spec,
-            model: characterize(&netlist, &config).model,
+            model: characterize(&netlist, &config)?.model,
         });
     }
     println!("prototype characterization took {:.2?}", t0.elapsed());

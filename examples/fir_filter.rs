@@ -49,8 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..CharacterizationConfig::default()
     };
     println!("characterizing module library (once per library)...");
-    let mul_char = characterize(&mul_netlist, &config);
-    let add_char = characterize(&add_netlist, &config);
+    let mul_char = characterize(&mul_netlist, &config)?;
+    let add_char = characterize(&add_netlist, &config)?;
     let (mul_model, mul_enhanced) = (&mul_char.model, &mul_char.enhanced);
     let add_model = &add_char.model;
 

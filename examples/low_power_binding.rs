@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_patterns: 8000,
             ..CharacterizationConfig::default()
         },
-    )
+    )?
     .model;
 
     // Four operations with distinct operand statistics: two quiet

@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_patterns: 8000,
         ..CharacterizationConfig::default()
     };
-    let characterization = characterize(&netlist, &config);
+    let characterization = characterize(&netlist, &config)?;
     let model = &characterization.model;
     println!(
         "characterized {} coefficients from {} transitions (mean class deviation {:.1}%)",

@@ -62,6 +62,7 @@ fn distribution_estimate_tracks_trace_estimate() {
             ..CharacterizationConfig::default()
         },
     )
+    .unwrap()
     .model;
 
     let streams = DataType::Speech.generate_operands(2, 8, 4000, 21);

@@ -21,7 +21,7 @@ fn quick_config() -> CharacterizationConfig {
 fn pipeline(kind: ModuleKind, width: usize, dt: DataType) -> hdpm_suite::core::AccuracyReport {
     let spec = ModuleSpec::new(kind, width);
     let netlist = spec.build().unwrap().validate().unwrap();
-    let model = characterize(&netlist, &quick_config()).model;
+    let model = characterize(&netlist, &quick_config()).unwrap().model;
     let streams = dt.generate_operands(kind.operand_count(), width, 2000, 11);
     let trace = run_words(&netlist, &streams, DelayModel::Unit);
     evaluate(&model, &trace).unwrap()
@@ -76,7 +76,7 @@ fn enhanced_model_reduces_cycle_error_with_sweep_characterization() {
         stimulus: StimulusKind::SignalProbSweep,
         ..CharacterizationConfig::default()
     };
-    let characterization = characterize(&netlist, &config);
+    let characterization = characterize(&netlist, &config).unwrap();
     let streams = DataType::Counter.generate_operands(2, 6, 2000, 5);
     let trace = run_words(&netlist, &streams, DelayModel::Unit);
     let basic = evaluate(&characterization.model, &trace).unwrap();
@@ -99,7 +99,7 @@ fn regression_model_predicts_unseen_width() {
         let netlist = spec.build().unwrap().validate().unwrap();
         prototypes.push(Prototype {
             spec,
-            model: characterize(&netlist, &quick_config()).model,
+            model: characterize(&netlist, &quick_config()).unwrap().model,
         });
     }
     let family = ParameterizableModel::fit(&prototypes).unwrap();
@@ -118,7 +118,7 @@ fn regression_model_predicts_unseen_width() {
 
     // And the regression coefficients should be close to a direct
     // characterization of the same instance (paper: < 5-10%).
-    let direct = characterize(&netlist, &quick_config()).model;
+    let direct = characterize(&netlist, &quick_config()).unwrap().model;
     let errors = family.coefficient_errors(spec, &direct).unwrap();
     let mid = errors[errors.len() / 2];
     assert!(mid < 25.0, "mid-class coefficient error {mid:.1}%");
@@ -131,7 +131,7 @@ fn power_trends_track_stream_statistics() {
     // the model must reproduce that ordering.
     let spec = ModuleSpec::new(ModuleKind::CsaMultiplier, 8usize);
     let netlist = spec.build().unwrap().validate().unwrap();
-    let model = characterize(&netlist, &quick_config()).model;
+    let model = characterize(&netlist, &quick_config()).unwrap().model;
 
     let mut reference = Vec::new();
     let mut estimated = Vec::new();

@@ -25,7 +25,8 @@ fn characterized(
             max_patterns: 5000,
             ..CharacterizationConfig::default()
         },
-    );
+    )
+    .unwrap();
     (c, netlist)
 }
 

@@ -41,7 +41,7 @@ proptest! {
             seed,
             ..CharacterizationConfig::default()
         };
-        let c = characterize(&netlist, &config);
+        let c = characterize(&netlist, &config).unwrap();
         for (i, &p) in c.model.coefficients().iter().enumerate() {
             prop_assert!(p.is_finite() && p >= 0.0, "p_{i} = {p}");
         }
@@ -70,7 +70,7 @@ proptest! {
             .unwrap();
         let patterns = random_patterns(8, 800, seed);
         let trace = run_patterns(&netlist, &patterns, DelayModel::Unit);
-        let c = characterize_trace(&trace, ZeroClustering::Full);
+        let c = characterize_trace(&trace, ZeroClustering::Full).unwrap();
         let dist = HdDistribution::from_histogram(&trace.hd_histogram());
         let expected = c.model.estimate_distribution(&dist).unwrap();
         let actual = trace.average_charge();

@@ -30,6 +30,7 @@ fn gf_multiplier_full_pipeline() {
             ..CharacterizationConfig::default()
         },
     )
+    .unwrap()
     .model;
     let streams = DataType::Random.generate_operands(2, 8, 2000, 9);
     let trace = run_words(&netlist, &streams, DelayModel::Unit);
@@ -97,6 +98,7 @@ fn bitwise_model_matches_hd_model_on_characterization_statistics() {
     let bitwise = BitwiseModel::fit_from_trace(&char_trace).unwrap();
     let hd_model =
         hdpm_suite::core::characterize_trace(&char_trace, hdpm_suite::core::ZeroClustering::Full)
+            .unwrap()
             .model;
 
     let eval_trace = run_words(
@@ -135,7 +137,8 @@ fn joint_distribution_estimator_handles_constant_operands() {
             stimulus: StimulusKind::SignalProbSweep,
             ..CharacterizationConfig::default()
         },
-    );
+    )
+    .unwrap();
 
     const TAP: i64 = 13; // 0b001101: 3 ones, 3 zeros
     let x = DataType::Speech.generate(6, 4000, 8);

@@ -127,6 +127,24 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
 
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.sample(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
 /// Strategy that always yields a clone of one value.
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);
@@ -336,6 +354,16 @@ mod tests {
         fn vec_lengths_respect_bounds(v in prop::collection::vec(0u64..5, 2..9)) {
             prop_assert!(v.len() >= 2 && v.len() < 9);
             prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn tuple_strategies_sample_componentwise(
+            pair in (0usize..4, 10.0f64..20.0),
+            v in prop::collection::vec((0u8..3, 5i64..=6), 0..5),
+        ) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((10.0..20.0).contains(&pair.1));
+            prop_assert!(v.iter().all(|&(x, y)| x < 3 && (5..=6).contains(&y)));
         }
 
         #[test]
