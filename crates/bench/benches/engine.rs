@@ -1,0 +1,71 @@
+//! Warm-cache serving against cold characterization: the `PowerEngine`
+//! acceptance benchmark. `cold_characterize_estimate` pays a full
+//! characterization per estimate (the pre-engine workflow); `warm_estimate`
+//! answers from the engine's memory tier. The ratio is the amortization
+//! the engine exists for (≥ 50× required by BENCH_engine.json).
+//!
+//! Snapshot with
+//! `cargo bench -p hdpm-bench --bench engine` followed by
+//! `cargo run -p hdpm-bench --bin perf_summary -- --group engine_throughput --json BENCH_engine.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdpm_core::{
+    characterize_sharded, CharacterizationConfig, EngineOptions, PowerEngine, ShardingConfig,
+};
+use hdpm_datamodel::HdDistribution;
+use hdpm_netlist::{ModuleKind, ModuleSpec, ModuleWidth};
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let config = CharacterizationConfig::builder()
+        .max_patterns(2000)
+        .build()
+        .expect("valid config");
+    let sharding = ShardingConfig {
+        shards: 4,
+        threads: 0,
+    };
+    let spec = ModuleSpec::new(ModuleKind::RippleAdder, ModuleWidth::Uniform(8));
+    let netlist = spec
+        .build()
+        .expect("valid spec")
+        .validate()
+        .expect("valid module");
+    let m = spec.kind.input_bits(spec.width);
+    let dist = HdDistribution::from_bit_activities(&vec![0.5; m]);
+
+    let mut group = c.benchmark_group("engine_throughput");
+
+    // Cold path: what every caller paid before the engine — characterize,
+    // then estimate from the fresh model.
+    group.bench_function("cold_characterize_estimate", |b| {
+        b.iter(|| {
+            let characterization =
+                characterize_sharded(&netlist, &config, &sharding).expect("non-empty budget");
+            characterization
+                .model
+                .estimate_distribution(&dist)
+                .expect("width matches")
+        })
+    });
+
+    // Warm path: the same query answered by the engine's memory tier.
+    let engine = PowerEngine::new(EngineOptions {
+        config,
+        sharding: Some(sharding),
+        disk_root: None,
+        capacity: 16,
+    });
+    engine.model(spec).expect("warm-up characterization");
+    group.bench_function("warm_estimate", |b| {
+        b.iter(|| engine.estimate(spec, &dist).expect("cached model"))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_throughput
+}
+criterion_main!(benches);

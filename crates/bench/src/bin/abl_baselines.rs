@@ -12,7 +12,7 @@
 //! averages, so its cycle column is `-`).
 
 use hdpm_bench::{header, reference_trace, save_artifact, standard_config};
-use hdpm_core::{characterize, evaluate, evaluate_enhanced, BitwiseModel, StimulusKind};
+use hdpm_core::{characterize, evaluate, BitwiseModel, StimulusKind};
 use hdpm_netlist::{ModuleKind, ModuleSpec, ModuleWidth};
 use hdpm_sim::{propagate_activity, random_patterns, run_patterns, DelayModel};
 use hdpm_streams::{bit_stats, DataType};
@@ -87,7 +87,7 @@ fn main() {
                 / trace.average_charge();
 
             let basic = evaluate(&hd_char.model, &trace).expect("width");
-            let enhanced = evaluate_enhanced(&hd_char.enhanced, &trace).expect("width");
+            let enhanced = evaluate(&hd_char.enhanced, &trace).expect("width");
             let bw = bitwise.evaluate(&trace).expect("width");
 
             let entries: [(&str, usize, f64, Option<f64>); 4] = [

@@ -8,7 +8,7 @@
 //! through the full `(m² + m)/2` table.
 
 use hdpm_bench::{header, reference_trace, save_artifact, standard_config};
-use hdpm_core::{characterize, evaluate, evaluate_enhanced, StimulusKind, ZeroClustering};
+use hdpm_core::{characterize, evaluate, StimulusKind, ZeroClustering};
 use hdpm_netlist::{ModuleKind, ModuleSpec, ModuleWidth};
 use hdpm_streams::DataType;
 use serde::Serialize;
@@ -69,8 +69,8 @@ fn main() {
             ),
             Some(_) => (
                 characterization.enhanced.coefficient_count(),
-                evaluate_enhanced(&characterization.enhanced, &trace_i).expect("width"),
-                evaluate_enhanced(&characterization.enhanced, &trace_v).expect("width"),
+                evaluate(&characterization.enhanced, &trace_i).expect("width"),
+                evaluate(&characterization.enhanced, &trace_v).expect("width"),
             ),
         };
         println!(

@@ -7,7 +7,7 @@
 //! away.
 
 use hdpm_bench::{characterize_cached, header, reference_trace, save_artifact, standard_config};
-use hdpm_core::{evaluate_batch, evaluate_enhanced_batch, threads_from_env, StimulusKind};
+use hdpm_core::{evaluate_batch, threads_from_env, StimulusKind};
 use hdpm_netlist::{ModuleKind, ModuleWidth};
 use hdpm_streams::DataType;
 use serde::Serialize;
@@ -52,8 +52,8 @@ fn main() {
     let threads = threads_from_env();
     let basic_reports =
         evaluate_batch(&characterization.model, &traces, threads).expect("width matches");
-    let enhanced_reports = evaluate_enhanced_batch(&characterization.enhanced, &traces, threads)
-        .expect("width matches");
+    let enhanced_reports =
+        evaluate_batch(&characterization.enhanced, &traces, threads).expect("width matches");
 
     let mut rows = Vec::new();
     for ((dt, basic), enhanced) in data_types.iter().zip(&basic_reports).zip(&enhanced_reports) {

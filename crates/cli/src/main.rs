@@ -13,6 +13,7 @@
 //! ```
 
 mod args;
+mod serve;
 
 use std::process::ExitCode;
 
@@ -42,6 +43,8 @@ USAGE:
   hdpm emit         --module <kind> --width <m> [--width2 <m2>] [--out <file>]
   hdpm report       --module <kind> --width <m> --data <type>
                     [--cycles <n>] [--seed <s>]
+  hdpm serve        [--models <dir>] [--capacity <n>] [--patterns <n>]
+                    [--seed <s>] [--shards <S>] [--threads <t>]
   hdpm vcd          --module <kind> --width <m> --data <type>
                     [--cycles <n>] [--seed <s>] --out <file>
 
@@ -58,6 +61,12 @@ CHARACTERIZE OPTIONS:
                  HDPM_THREADS when set; 0 = all cores). The thread count
                  never changes the resulting coefficient tables — results
                  are bit-identical for any <t>; see docs/parallelism.md.
+
+SERVE:
+  a JSON-lines request/response loop on stdin/stdout over a cached
+  PowerEngine; ops: estimate, characterize, stats (see docs/engine.md).
+  --models <dir> adds an on-disk model tier; --capacity bounds the
+  in-memory LRU (default: 64 models).
 
 GLOBAL OPTIONS:
   --telemetry <human|json>  emit metrics and events (default: off);
@@ -100,6 +109,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args),
         Some("emit") => cmd_emit(&args),
         Some("report") => cmd_report(&args),
+        Some("serve") => serve::cmd_serve(&args),
         Some("vcd") => cmd_vcd(&args),
         Some(other) => {
             return report_error(None, &format!("unknown subcommand `{other}`"));

@@ -1,0 +1,83 @@
+//! Protocol conformance of `hdpm serve`: the scripted request file under
+//! `tests/fixtures/` must reproduce the checked-in golden replies, byte
+//! for byte — the same diff CI runs against the release binary.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join(name)
+}
+
+fn serve(input: &str, args: &[&str]) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hdpm"))
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .env_remove("HDPM_TELEMETRY")
+        .env_remove("HDPM_LOG")
+        .spawn()
+        .expect("binary launches");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("requests written");
+    let output = child.wait_with_output().expect("serve exits");
+    assert!(output.status.success(), "serve exits cleanly");
+    String::from_utf8(output.stdout).expect("utf-8 replies")
+}
+
+#[test]
+fn scripted_requests_reproduce_the_golden_replies() {
+    let requests = std::fs::read_to_string(fixture("serve_requests.jsonl")).unwrap();
+    let golden = std::fs::read_to_string(fixture("serve_replies.jsonl")).unwrap();
+    let replies = serve(&requests, &["--patterns", "1500", "--shards", "4"]);
+    assert_eq!(
+        replies, golden,
+        "serve replies drifted from tests/fixtures/serve_replies.jsonl"
+    );
+}
+
+#[test]
+fn replies_are_thread_count_invariant() {
+    let requests = std::fs::read_to_string(fixture("serve_requests.jsonl")).unwrap();
+    let one = serve(
+        &requests,
+        &["--patterns", "1500", "--shards", "4", "--threads", "1"],
+    );
+    let four = serve(
+        &requests,
+        &["--patterns", "1500", "--shards", "4", "--threads", "4"],
+    );
+    assert_eq!(one, four);
+}
+
+#[test]
+fn disk_tier_warms_a_second_serve_process() {
+    let models = std::env::temp_dir().join(format!("hdpm_serve_models_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&models);
+    let request = "{\"op\":\"characterize\",\"module\":\"ripple_adder\",\"width\":4}\n";
+    let args = [
+        "--patterns",
+        "1500",
+        "--shards",
+        "4",
+        "--models",
+        models.to_str().unwrap(),
+    ];
+    let first = serve(request, &args);
+    assert!(first.contains("\"source\":\"fresh\""), "{first}");
+    let second = serve(request, &args);
+    assert!(
+        second.contains("\"source\":\"disk\""),
+        "second process loads the artifact: {second}"
+    );
+    let _ = std::fs::remove_dir_all(&models);
+}

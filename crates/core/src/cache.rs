@@ -1,0 +1,293 @@
+//! In-memory model cache: content-addressed keys and a capacity-bounded
+//! LRU map, the first tier of [`crate::PowerEngine`]'s two-tier store.
+//!
+//! A cached characterization is identified by a [`ModelKey`]: the module
+//! spec, a content hash of the [`CharacterizationConfig`] and the shard
+//! count. Two engines configured differently can therefore never collide
+//! on a key even for the same module — the same rule the on-disk
+//! [`crate::ModelLibrary`] encodes in its artifact file names.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use hdpm_netlist::ModuleSpec;
+
+use crate::characterize::CharacterizationConfig;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Content hash of a characterization configuration: FNV-1a over its
+/// canonical JSON serialization. Any field change — pattern budget, seed,
+/// stimulus, delay model, tolerances, clustering — yields a different
+/// fingerprint, so configurations address disjoint cache entries.
+pub fn config_fingerprint(config: &CharacterizationConfig) -> u64 {
+    let json = serde_json::to_string(config).expect("config serializes");
+    let mut hash = FNV_OFFSET;
+    for byte in json.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Identity of one cached characterization:
+/// `(module spec, configuration hash, shard count)`.
+///
+/// The shard count participates because a sharded run selects different
+/// pattern streams than the sequential driver (`shards == 0` denotes the
+/// sequential reference path, matching the `--shards 0` CLI convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// The module the characterization ran on.
+    pub spec: ModuleSpec,
+    /// [`config_fingerprint`] of the characterization configuration.
+    pub config_hash: u64,
+    /// Shard count of the characterization driver; 0 = sequential.
+    pub shards: usize,
+}
+
+impl ModelKey {
+    /// Build the key for a spec under a configuration and shard count.
+    pub fn new(spec: ModuleSpec, config: &CharacterizationConfig, shards: usize) -> Self {
+        ModelKey {
+            spec,
+            config_hash: config_fingerprint(config),
+            shards,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}_cfg{:016x}_sh{}",
+            self.spec, self.config_hash, self.shards
+        )
+    }
+}
+
+/// A capacity-bounded least-recently-used map with hit/miss/eviction
+/// counters.
+///
+/// Recency is tracked with a monotonic tick per access; eviction scans
+/// for the minimum tick, which is O(capacity) but deterministic and
+/// allocation-free — engine capacities are tens to hundreds of entries,
+/// where the scan is noise next to the cached characterizations it
+/// fronts.
+#[derive(Debug)]
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, Slot<V>>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    last_used: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            capacity,
+            tick: 0,
+            map: HashMap::with_capacity(capacity),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up `key`, marking it most recently used on a hit. Counts one
+    /// hit or miss.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = self.tick;
+                self.hits += 1;
+                Some(&slot.value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Look up `key` without touching recency or counters.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|slot| &slot.value)
+    }
+
+    /// Insert a value as most recently used, evicting the least recently
+    /// used entry if the cache is full. Returns the evicted key, if any.
+    /// Re-inserting an existing key replaces its value without eviction.
+    pub fn insert(&mut self, key: K, value: V) -> Option<K> {
+        self.tick += 1;
+        if let Some(slot) = self.map.get_mut(&key) {
+            slot.value = value;
+            slot.last_used = self.tick;
+            return None;
+        }
+        let evicted = if self.map.len() >= self.capacity {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("full cache has a victim");
+            self.map.remove(&victim);
+            self.evictions += 1;
+            Some(victim)
+        } else {
+            None
+        };
+        self.map.insert(
+            key,
+            Slot {
+                value,
+                last_used: self.tick,
+            },
+        );
+        evicted
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups that found their key.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries removed to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdpm_netlist::ModuleKind;
+
+    #[test]
+    fn fingerprint_separates_configurations() {
+        let base = CharacterizationConfig::default();
+        let a = config_fingerprint(&base);
+        assert_eq!(a, config_fingerprint(&base), "fingerprint is pure");
+        for changed in [
+            CharacterizationConfig {
+                max_patterns: base.max_patterns + 1,
+                ..base
+            },
+            CharacterizationConfig {
+                seed: base.seed ^ 1,
+                ..base
+            },
+            CharacterizationConfig {
+                stimulus: crate::StimulusKind::UniformHd,
+                ..base
+            },
+            CharacterizationConfig {
+                convergence_tol: base.convergence_tol * 2.0,
+                ..base
+            },
+        ] {
+            assert_ne!(a, config_fingerprint(&changed), "{changed:?}");
+        }
+    }
+
+    #[test]
+    fn keys_differ_by_spec_config_and_shards() {
+        let config = CharacterizationConfig::default();
+        let spec_a = ModuleSpec::new(ModuleKind::RippleAdder, 8usize);
+        let spec_b = ModuleSpec::new(ModuleKind::RippleAdder, 9usize);
+        let k = ModelKey::new(spec_a, &config, 8);
+        assert_eq!(k, ModelKey::new(spec_a, &config, 8));
+        assert_ne!(k, ModelKey::new(spec_b, &config, 8), "spec in key");
+        assert_ne!(k, ModelKey::new(spec_a, &config, 4), "shards in key");
+        let reseeded = CharacterizationConfig { seed: 1, ..config };
+        assert_ne!(k, ModelKey::new(spec_a, &reseeded, 8), "config in key");
+        assert!(k.to_string().contains("_sh8"));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_in_order() {
+        let mut cache: LruCache<&str, u32> = LruCache::new(2);
+        assert!(cache.insert("a", 1).is_none());
+        assert!(cache.insert("b", 2).is_none());
+        // Touch `a` so `b` becomes the LRU entry.
+        assert_eq!(cache.get(&"a"), Some(&1));
+        assert_eq!(cache.insert("c", 3), Some("b"));
+        assert_eq!(cache.peek(&"a"), Some(&1));
+        assert!(cache.peek(&"b").is_none());
+        assert_eq!(cache.peek(&"c"), Some(&3));
+        // `a` is now LRU (untouched since the `c` insert bumped the tick).
+        assert_eq!(cache.insert("d", 4), Some("a"));
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_counts_hits_and_misses() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(4);
+        assert!(cache.get(&1).is_none());
+        cache.insert(1, 10);
+        assert_eq!(cache.get(&1), Some(&10));
+        assert!(cache.get(&2).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.capacity(), 4);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn reinserting_replaces_without_eviction() {
+        let mut cache: LruCache<&str, u32> = LruCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        assert!(cache.insert("a", 10).is_none());
+        assert_eq!(cache.peek(&"a"), Some(&10));
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = LruCache::<u32, u32>::new(0);
+    }
+}

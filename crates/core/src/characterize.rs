@@ -92,6 +92,149 @@ impl Default for CharacterizationConfig {
     }
 }
 
+impl CharacterizationConfig {
+    /// A fluent, validating builder starting from the defaults.
+    /// Struct-literal construction keeps working; the builder adds range
+    /// checks at [`CharacterizationConfigBuilder::build`] time.
+    ///
+    /// ```
+    /// use hdpm_core::{CharacterizationConfig, StimulusKind};
+    ///
+    /// let config = CharacterizationConfig::builder()
+    ///     .max_patterns(4_000)
+    ///     .stimulus(StimulusKind::SignalProbSweep)
+    ///     .seed(7)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(config.max_patterns, 4_000);
+    /// assert!(CharacterizationConfig::builder()
+    ///     .max_patterns(0)
+    ///     .build()
+    ///     .is_err());
+    /// ```
+    pub fn builder() -> CharacterizationConfigBuilder {
+        CharacterizationConfigBuilder {
+            config: CharacterizationConfig::default(),
+        }
+    }
+}
+
+/// Fluent builder of [`CharacterizationConfig`], created by
+/// [`CharacterizationConfig::builder`]. Setters override one field each;
+/// [`CharacterizationConfigBuilder::build`] validates ranges and returns
+/// [`ModelError::InvalidConfig`] naming the first offending field.
+#[derive(Debug, Clone, Copy)]
+pub struct CharacterizationConfigBuilder {
+    config: CharacterizationConfig,
+}
+
+impl CharacterizationConfigBuilder {
+    /// Maximum number of random characterization patterns (≥ 2).
+    #[must_use]
+    pub fn max_patterns(mut self, max_patterns: usize) -> Self {
+        self.config.max_patterns = max_patterns;
+        self
+    }
+
+    /// Statistics of the characterization stream.
+    #[must_use]
+    pub fn stimulus(mut self, stimulus: StimulusKind) -> Self {
+        self.config.stimulus = stimulus;
+        self
+    }
+
+    /// RNG seed for the pattern stream.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Reference-simulator timing discipline.
+    #[must_use]
+    pub fn delay_model(mut self, delay_model: DelayModel) -> Self {
+        self.config.delay_model = delay_model;
+        self
+    }
+
+    /// Convergence tolerance (finite, ≥ 0).
+    #[must_use]
+    pub fn convergence_tol(mut self, convergence_tol: f64) -> Self {
+        self.config.convergence_tol = convergence_tol;
+        self
+    }
+
+    /// Patterns between convergence checkpoints (> 0).
+    #[must_use]
+    pub fn check_interval(mut self, check_interval: usize) -> Self {
+        self.config.check_interval = check_interval;
+        self
+    }
+
+    /// Minimum samples a class needs before it participates in the
+    /// convergence check (≥ 1).
+    #[must_use]
+    pub fn min_class_samples(mut self, min_class_samples: u64) -> Self {
+        self.config.min_class_samples = min_class_samples;
+        self
+    }
+
+    /// Subgroup layout of the enhanced model (`Clustered(k)` needs k ≥ 1).
+    #[must_use]
+    pub fn clustering(mut self, clustering: ZeroClustering) -> Self {
+        self.config.clustering = clustering;
+        self
+    }
+
+    /// Validate the assembled configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if any field is out of range:
+    /// `max_patterns < 2`, `check_interval == 0`, a non-finite or negative
+    /// `convergence_tol`, `min_class_samples == 0`, or
+    /// `ZeroClustering::Clustered(0)`.
+    pub fn build(self) -> Result<CharacterizationConfig, ModelError> {
+        let c = self.config;
+        if c.max_patterns < 2 {
+            return Err(ModelError::InvalidConfig {
+                field: "max_patterns",
+                value: c.max_patterns.to_string(),
+                constraint: "must be at least 2",
+            });
+        }
+        if c.check_interval == 0 {
+            return Err(ModelError::InvalidConfig {
+                field: "check_interval",
+                value: c.check_interval.to_string(),
+                constraint: "must be positive",
+            });
+        }
+        if !c.convergence_tol.is_finite() || c.convergence_tol < 0.0 {
+            return Err(ModelError::InvalidConfig {
+                field: "convergence_tol",
+                value: c.convergence_tol.to_string(),
+                constraint: "must be finite and non-negative",
+            });
+        }
+        if c.min_class_samples == 0 {
+            return Err(ModelError::InvalidConfig {
+                field: "min_class_samples",
+                value: c.min_class_samples.to_string(),
+                constraint: "must be at least 1",
+            });
+        }
+        if let ZeroClustering::Clustered(0) = c.clustering {
+            return Err(ModelError::InvalidConfig {
+                field: "clustering",
+                value: "Clustered(0)".to_string(),
+                constraint: "cluster size must be at least 1",
+            });
+        }
+        Ok(c)
+    }
+}
+
 /// One convergence checkpoint: patterns seen so far and the largest
 /// relative coefficient change since the previous checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -984,6 +1127,76 @@ mod tests {
             let a = two.model.coefficient(i);
             let b = four.model.coefficient(i);
             assert!(((a - b) / a).abs() < 0.2, "class {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn builder_defaults_match_struct_default() {
+        let built = CharacterizationConfig::builder().build().unwrap();
+        assert_eq!(built, CharacterizationConfig::default());
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let built = CharacterizationConfig::builder()
+            .max_patterns(5_000)
+            .stimulus(StimulusKind::UniformHd)
+            .seed(42)
+            .delay_model(DelayModel::Zero)
+            .convergence_tol(0.05)
+            .check_interval(500)
+            .min_class_samples(3)
+            .clustering(ZeroClustering::Clustered(2))
+            .build()
+            .unwrap();
+        let expected = CharacterizationConfig {
+            max_patterns: 5_000,
+            stimulus: StimulusKind::UniformHd,
+            seed: 42,
+            delay_model: DelayModel::Zero,
+            convergence_tol: 0.05,
+            check_interval: 500,
+            min_class_samples: 3,
+            clustering: ZeroClustering::Clustered(2),
+        };
+        assert_eq!(built, expected);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_fields() {
+        let cases: Vec<(CharacterizationConfigBuilder, &str)> = vec![
+            (
+                CharacterizationConfig::builder().max_patterns(1),
+                "max_patterns",
+            ),
+            (
+                CharacterizationConfig::builder().check_interval(0),
+                "check_interval",
+            ),
+            (
+                CharacterizationConfig::builder().convergence_tol(f64::NAN),
+                "convergence_tol",
+            ),
+            (
+                CharacterizationConfig::builder().convergence_tol(-0.1),
+                "convergence_tol",
+            ),
+            (
+                CharacterizationConfig::builder().min_class_samples(0),
+                "min_class_samples",
+            ),
+            (
+                CharacterizationConfig::builder().clustering(ZeroClustering::Clustered(0)),
+                "clustering",
+            ),
+        ];
+        for (builder, expected_field) in cases {
+            match builder.build() {
+                Err(ModelError::InvalidConfig { field, .. }) => {
+                    assert_eq!(field, expected_field);
+                }
+                other => panic!("expected InvalidConfig for {expected_field}, got {other:?}"),
+            }
         }
     }
 }

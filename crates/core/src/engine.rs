@@ -1,0 +1,598 @@
+//! `PowerEngine` — the long-lived, thread-safe estimation facade.
+//!
+//! The engine owns a two-tier content-addressed model store:
+//!
+//! 1. an in-memory LRU ([`crate::cache::LruCache`]) of characterizations,
+//!    keyed by [`ModelKey`] = (module spec, configuration hash, shard
+//!    count), capacity-bounded with hit/miss/eviction counters;
+//! 2. the on-disk [`ModelLibrary`] (optional), so characterizations
+//!    survive the process and warm the next one.
+//!
+//! Cache misses characterize on demand with **single-flight
+//! deduplication**: concurrent requests for the same key block on one
+//! characterization instead of racing N gate-level runs. The leader
+//! publishes its result (or failure) through a condvar-guarded flight
+//! slot; waiters receive the shared `Arc` with no recomputation.
+//!
+//! ```
+//! use hdpm_core::prelude::*;
+//! use hdpm_netlist::{ModuleKind, ModuleSpec};
+//!
+//! # fn main() -> Result<(), hdpm_core::ModelError> {
+//! let engine = PowerEngine::new(EngineOptions {
+//!     config: CharacterizationConfig::builder().max_patterns(1500).build()?,
+//!     ..EngineOptions::default()
+//! });
+//! let spec = ModuleSpec::new(ModuleKind::RippleAdder, 4usize);
+//! let first = engine.model(spec)?; // characterizes
+//! let again = engine.model(spec)?; // memory hit, shares the Arc
+//! assert_eq!(first.model, again.model);
+//! assert_eq!(engine.stats().characterizations, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use hdpm_datamodel::HdDistribution;
+use hdpm_netlist::ModuleSpec;
+use hdpm_telemetry as telemetry;
+use serde::Serialize;
+
+use crate::cache::{LruCache, ModelKey};
+use crate::characterize::{
+    characterize, characterize_sharded, Characterization, CharacterizationConfig,
+};
+use crate::error::ModelError;
+use crate::library::ModelLibrary;
+use crate::shard::{parallel_map_ordered, resolve_threads, ShardingConfig};
+
+/// Construction options of a [`PowerEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Characterization configuration applied to every cache miss.
+    pub config: CharacterizationConfig,
+    /// Sharded-parallel characterization shape; `None` runs the
+    /// sequential reference driver. The shard count is part of the cache
+    /// key, the thread count is not (it never changes a result bit).
+    pub sharding: Option<ShardingConfig>,
+    /// Root directory of the on-disk tier; `None` keeps the engine
+    /// memory-only.
+    pub disk_root: Option<PathBuf>,
+    /// Capacity of the in-memory LRU tier (entries).
+    pub capacity: usize,
+}
+
+impl Default for EngineOptions {
+    /// Defaults: the default characterization configuration, the default
+    /// sharding (8 shards, all cores), no disk tier, 64 cached models.
+    fn default() -> Self {
+        EngineOptions {
+            config: CharacterizationConfig::default(),
+            sharding: Some(ShardingConfig::default()),
+            disk_root: None,
+            capacity: 64,
+        }
+    }
+}
+
+/// Where a fetched model came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum CacheSource {
+    /// In-memory LRU hit.
+    Memory,
+    /// Loaded from the on-disk library tier.
+    Disk,
+    /// Characterized on demand by this request.
+    Fresh,
+    /// Coalesced onto another request's in-flight characterization.
+    Coalesced,
+}
+
+impl CacheSource {
+    /// Lower-case wire name, as emitted by `hdpm serve`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheSource::Memory => "memory",
+            CacheSource::Disk => "disk",
+            CacheSource::Fresh => "fresh",
+            CacheSource::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// Counter snapshot of an engine's cache and characterization activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct EngineStats {
+    /// Live entries in the memory tier.
+    pub entries: usize,
+    /// Capacity bound of the memory tier.
+    pub capacity: usize,
+    /// Memory-tier lookups that hit.
+    pub hits: u64,
+    /// Memory-tier lookups that missed.
+    pub misses: u64,
+    /// Memory-tier evictions.
+    pub evictions: u64,
+    /// Misses served by the on-disk library tier.
+    pub disk_hits: u64,
+    /// Characterizations actually executed.
+    pub characterizations: u64,
+    /// Requests that coalesced onto an in-flight characterization.
+    pub coalesced: u64,
+}
+
+/// An analytic estimation reply: the §6.3 distribution estimate, the
+/// §6.2 average-Hd estimate, and where the model came from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Estimate {
+    /// Expected charge per cycle under the full Hd distribution.
+    pub charge_per_cycle: f64,
+    /// Charge interpolated at the average Hd only.
+    pub via_average: f64,
+    /// The average Hd of the queried distribution.
+    pub average_hd: f64,
+    /// Which tier served the model.
+    pub source: CacheSource,
+}
+
+/// Outcome of [`PowerEngine::warm`]: how each requested spec was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct WarmReport {
+    /// Specs requested (including duplicates).
+    pub requested: usize,
+    /// Served from the memory tier.
+    pub memory: usize,
+    /// Served from the disk tier.
+    pub disk: usize,
+    /// Characterized by this warm call.
+    pub characterized: usize,
+    /// Coalesced onto another in-flight characterization.
+    pub coalesced: usize,
+}
+
+/// One in-flight characterization that concurrent requests coalesce on.
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+enum FlightState {
+    Pending,
+    Ready(Arc<Characterization>),
+    Failed(String),
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Publish the leader's outcome and wake every waiter.
+    fn resolve(&self, outcome: Result<Arc<Characterization>, String>) {
+        let mut state = self.state.lock().expect("flight lock");
+        *state = match outcome {
+            Ok(c) => FlightState::Ready(c),
+            Err(detail) => FlightState::Failed(detail),
+        };
+        self.cv.notify_all();
+    }
+
+    /// Block until the leader resolves the flight.
+    fn wait(&self) -> Result<Arc<Characterization>, String> {
+        let mut state = self.state.lock().expect("flight lock");
+        loop {
+            match &*state {
+                FlightState::Pending => {
+                    state = self.cv.wait(state).expect("flight lock");
+                }
+                FlightState::Ready(c) => return Ok(Arc::clone(c)),
+                FlightState::Failed(detail) => return Err(detail.clone()),
+            }
+        }
+    }
+}
+
+/// Memory cache and in-flight registry, guarded by one mutex so the
+/// "hit, wait, or become leader" decision is atomic.
+struct EngineInner {
+    cache: LruCache<ModelKey, Arc<Characterization>>,
+    inflight: HashMap<ModelKey, Arc<Flight>>,
+}
+
+/// The long-lived estimation facade: a thread-safe, two-tier
+/// content-addressed cache of characterized models with single-flight
+/// miss handling. See the [module docs](self) for the full contract.
+pub struct PowerEngine {
+    options: EngineOptions,
+    library: Option<ModelLibrary>,
+    inner: Mutex<EngineInner>,
+    disk_hits: AtomicU64,
+    characterizations: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl std::fmt::Debug for PowerEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PowerEngine")
+            .field("options", &self.options)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl PowerEngine {
+    /// Build an engine from options. When `disk_root` is set, the on-disk
+    /// tier is a [`ModelLibrary`] keyed identically (configuration and
+    /// shard count in the artifact names).
+    pub fn new(options: EngineOptions) -> Self {
+        let library = options
+            .disk_root
+            .as_ref()
+            .map(|root| match options.sharding {
+                Some(sharding) => {
+                    ModelLibrary::with_sharding(root.clone(), options.config, sharding)
+                }
+                None => ModelLibrary::new(root.clone(), options.config),
+            });
+        let capacity = options.capacity.max(1);
+        PowerEngine {
+            library,
+            inner: Mutex::new(EngineInner {
+                cache: LruCache::new(capacity),
+                inflight: HashMap::new(),
+            }),
+            options,
+            disk_hits: AtomicU64::new(0),
+            characterizations: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// An engine with [`EngineOptions::default`].
+    pub fn with_defaults() -> Self {
+        PowerEngine::new(EngineOptions::default())
+    }
+
+    /// The engine's construction options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// The cache key a spec maps to under this engine's configuration.
+    pub fn key_for(&self, spec: ModuleSpec) -> ModelKey {
+        let shards = self.options.sharding.map_or(0, |s| s.shards);
+        ModelKey::new(spec, &self.options.config, shards)
+    }
+
+    /// Fetch the characterization of `spec`, reporting which tier served
+    /// it. Misses characterize on demand; concurrent misses on the same
+    /// key coalesce onto one characterization (single flight).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Netlist`] for unconstructible specs,
+    /// [`ModelError::Artifact`] for corrupt disk artifacts, and
+    /// [`ModelError::SingleFlight`] when a coalesced request's leader
+    /// failed (the leader receives the original error). Failures are not
+    /// cached: a later request retries.
+    pub fn fetch(
+        &self,
+        spec: ModuleSpec,
+    ) -> Result<(Arc<Characterization>, CacheSource), ModelError> {
+        let key = self.key_for(spec);
+        enum Role {
+            Hit(Arc<Characterization>),
+            Waiter(Arc<Flight>),
+            Leader(Arc<Flight>),
+        }
+        let role = {
+            let mut inner = self.inner.lock().expect("engine lock");
+            if let Some(cached) = inner.cache.get(&key) {
+                Role::Hit(Arc::clone(cached))
+            } else if let Some(flight) = inner.inflight.get(&key) {
+                Role::Waiter(Arc::clone(flight))
+            } else {
+                let flight = Arc::new(Flight::new());
+                inner.inflight.insert(key, Arc::clone(&flight));
+                Role::Leader(flight)
+            }
+        };
+        match role {
+            Role::Hit(cached) => {
+                telemetry::counter_add("engine.cache.hit", 1);
+                Ok((cached, CacheSource::Memory))
+            }
+            Role::Waiter(flight) => {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("engine.singleflight.coalesced", 1);
+                flight
+                    .wait()
+                    .map(|c| (c, CacheSource::Coalesced))
+                    .map_err(|detail| ModelError::SingleFlight {
+                        key: key.to_string(),
+                        detail,
+                    })
+            }
+            Role::Leader(flight) => {
+                telemetry::counter_add("engine.cache.miss", 1);
+                let _span = telemetry::span("engine.miss");
+                let outcome = self.load_or_characterize(spec);
+                let mut inner = self.inner.lock().expect("engine lock");
+                inner.inflight.remove(&key);
+                match &outcome {
+                    Ok((c, _)) => {
+                        if let Some(evicted) = inner.cache.insert(key, Arc::clone(c)) {
+                            telemetry::counter_add("engine.cache.eviction", 1);
+                            telemetry::event(
+                                telemetry::Level::Debug,
+                                "engine.evict",
+                                &[("key", evicted.to_string().into())],
+                            );
+                        }
+                        flight.resolve(Ok(Arc::clone(c)));
+                    }
+                    Err(e) => flight.resolve(Err(e.to_string())),
+                }
+                outcome
+            }
+        }
+    }
+
+    /// [`PowerEngine::fetch`] without the source annotation.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PowerEngine::fetch`].
+    pub fn model(&self, spec: ModuleSpec) -> Result<Arc<Characterization>, ModelError> {
+        self.fetch(spec).map(|(c, _)| c)
+    }
+
+    /// Resolve a miss below the memory tier: disk artifact if present,
+    /// fresh characterization otherwise (stored to disk when the engine
+    /// has a library tier).
+    fn load_or_characterize(
+        &self,
+        spec: ModuleSpec,
+    ) -> Result<(Arc<Characterization>, CacheSource), ModelError> {
+        if let Some(library) = &self.library {
+            let from_disk = library.contains(spec);
+            let result = library.get(spec)?;
+            return if from_disk {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("engine.disk.hit", 1);
+                Ok((Arc::new(result), CacheSource::Disk))
+            } else {
+                self.characterizations.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("engine.characterize", 1);
+                Ok((Arc::new(result), CacheSource::Fresh))
+            };
+        }
+        let netlist = spec.build()?.validate()?;
+        let result = match &self.options.sharding {
+            Some(sharding) => characterize_sharded(&netlist, &self.options.config, sharding)?,
+            None => characterize(&netlist, &self.options.config)?,
+        };
+        self.characterizations.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("engine.characterize", 1);
+        Ok((Arc::new(result), CacheSource::Fresh))
+    }
+
+    /// Analytic power estimate of `spec` under an Hd distribution: the
+    /// §6.3 expected charge plus the §6.2 average-Hd interpolation,
+    /// served from the cache.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PowerEngine::fetch`], plus
+    /// [`ModelError::WidthMismatch`] if the distribution width differs
+    /// from the module's input width.
+    pub fn estimate(
+        &self,
+        spec: ModuleSpec,
+        dist: &HdDistribution,
+    ) -> Result<Estimate, ModelError> {
+        let (characterization, source) = self.fetch(spec)?;
+        let model = &characterization.model;
+        Ok(Estimate {
+            charge_per_cycle: model.estimate_distribution(dist)?,
+            via_average: model.estimate_interpolated(dist.mean()),
+            average_hd: dist.mean(),
+            source,
+        })
+    }
+
+    /// Pre-populate the cache for `specs` on up to `threads` worker
+    /// threads (0 = all cores). Duplicate specs coalesce through the
+    /// single-flight path, so each distinct key characterizes at most
+    /// once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-spec error in input order; remaining specs
+    /// may or may not have been cached.
+    pub fn warm(&self, specs: &[ModuleSpec], threads: usize) -> Result<WarmReport, ModelError> {
+        let _span = telemetry::span("engine.warm");
+        let results = parallel_map_ordered(specs, resolve_threads(threads), |_, spec| {
+            self.fetch(*spec).map(|(_, source)| source)
+        });
+        let mut report = WarmReport {
+            requested: specs.len(),
+            ..WarmReport::default()
+        };
+        for result in results {
+            match result? {
+                CacheSource::Memory => report.memory += 1,
+                CacheSource::Disk => report.disk += 1,
+                CacheSource::Fresh => report.characterized += 1,
+                CacheSource::Coalesced => report.coalesced += 1,
+            }
+        }
+        Ok(report)
+    }
+
+    /// Counter snapshot of the cache tiers and characterization activity.
+    pub fn stats(&self) -> EngineStats {
+        let inner = self.inner.lock().expect("engine lock");
+        EngineStats {
+            entries: inner.cache.len(),
+            capacity: inner.cache.capacity(),
+            hits: inner.cache.hits(),
+            misses: inner.cache.misses(),
+            evictions: inner.cache.evictions(),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            characterizations: self.characterizations.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdpm_netlist::ModuleKind;
+
+    fn quick_options() -> EngineOptions {
+        EngineOptions {
+            config: CharacterizationConfig {
+                max_patterns: 1500,
+                ..CharacterizationConfig::default()
+            },
+            sharding: Some(ShardingConfig {
+                shards: 4,
+                threads: 1,
+            }),
+            disk_root: None,
+            capacity: 4,
+        }
+    }
+
+    #[test]
+    fn memory_tier_serves_repeat_requests() {
+        let engine = PowerEngine::new(quick_options());
+        let spec = ModuleSpec::new(ModuleKind::RippleAdder, 4usize);
+        let (first, source) = engine.fetch(spec).unwrap();
+        assert_eq!(source, CacheSource::Fresh);
+        let (second, source) = engine.fetch(spec).unwrap();
+        assert_eq!(source, CacheSource::Memory);
+        assert!(Arc::ptr_eq(&first, &second), "hit shares the Arc");
+        let stats = engine.stats();
+        assert_eq!(stats.characterizations, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru() {
+        let engine = PowerEngine::new(EngineOptions {
+            capacity: 2,
+            ..quick_options()
+        });
+        let specs: Vec<ModuleSpec> = [4usize, 5, 6]
+            .iter()
+            .map(|&w| ModuleSpec::new(ModuleKind::RippleAdder, w))
+            .collect();
+        engine.model(specs[0]).unwrap();
+        engine.model(specs[1]).unwrap();
+        engine.model(specs[0]).unwrap(); // touch: specs[1] becomes LRU
+        engine.model(specs[2]).unwrap(); // evicts specs[1]
+        assert_eq!(engine.stats().evictions, 1);
+        let (_, source) = engine.fetch(specs[0]).unwrap();
+        assert_eq!(source, CacheSource::Memory, "survivor still cached");
+        let (_, source) = engine.fetch(specs[1]).unwrap();
+        assert_eq!(source, CacheSource::Fresh, "victim re-characterizes");
+        assert_eq!(engine.stats().characterizations, 4);
+    }
+
+    #[test]
+    fn disk_tier_survives_engine_restart() {
+        let root = std::env::temp_dir().join(format!(
+            "hdpm_engine_disk_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let options = EngineOptions {
+            disk_root: Some(root.clone()),
+            ..quick_options()
+        };
+        let spec = ModuleSpec::new(ModuleKind::RippleAdder, 4usize);
+        let first = {
+            let engine = PowerEngine::new(options.clone());
+            let (c, source) = engine.fetch(spec).unwrap();
+            assert_eq!(source, CacheSource::Fresh);
+            c.model.clone()
+        };
+        let engine = PowerEngine::new(options);
+        let (c, source) = engine.fetch(spec).unwrap();
+        assert_eq!(source, CacheSource::Disk);
+        assert_eq!(c.model, first, "disk round-trip is exact");
+        assert_eq!(engine.stats().disk_hits, 1);
+        assert_eq!(engine.stats().characterizations, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn failures_are_not_cached() {
+        let engine = PowerEngine::new(quick_options());
+        let bad = ModuleSpec::new(ModuleKind::CsaMultiplier, 1usize);
+        assert!(matches!(engine.model(bad), Err(ModelError::Netlist(_))));
+        // The failed flight must be cleared so a retry re-attempts (and
+        // fails with the structured error again, not a stale flight).
+        assert!(matches!(engine.model(bad), Err(ModelError::Netlist(_))));
+        assert_eq!(engine.stats().entries, 0);
+    }
+
+    #[test]
+    fn warm_reports_sources() {
+        let engine = PowerEngine::new(quick_options());
+        let specs: Vec<ModuleSpec> = [4usize, 5]
+            .iter()
+            .map(|&w| ModuleSpec::new(ModuleKind::RippleAdder, w))
+            .collect();
+        let report = engine.warm(&specs, 2).unwrap();
+        assert_eq!(report.requested, 2);
+        assert_eq!(report.characterized, 2);
+        let report = engine.warm(&specs, 2).unwrap();
+        assert_eq!(report.memory, 2);
+        assert_eq!(engine.stats().characterizations, 2);
+    }
+
+    #[test]
+    fn estimate_serves_from_cache() {
+        let engine = PowerEngine::new(quick_options());
+        let spec = ModuleSpec::new(ModuleKind::RippleAdder, 4usize);
+        let m = 8; // two 4-bit operands
+        let dist = HdDistribution::from_histogram(&{
+            let mut h = vec![0u64; m + 1];
+            h[2] = 50;
+            h[6] = 50;
+            h
+        });
+        let cold = engine.estimate(spec, &dist).unwrap();
+        assert_eq!(cold.source, CacheSource::Fresh);
+        let warm = engine.estimate(spec, &dist).unwrap();
+        assert_eq!(warm.source, CacheSource::Memory);
+        assert_eq!(cold.charge_per_cycle, warm.charge_per_cycle);
+        assert!(warm.charge_per_cycle > 0.0);
+        assert_eq!(warm.average_hd, dist.mean());
+    }
+
+    #[test]
+    fn sequential_and_sharded_engines_use_distinct_keys() {
+        let sharded = PowerEngine::new(quick_options());
+        let sequential = PowerEngine::new(EngineOptions {
+            sharding: None,
+            ..quick_options()
+        });
+        let spec = ModuleSpec::new(ModuleKind::RippleAdder, 4usize);
+        assert_ne!(sharded.key_for(spec), sequential.key_for(spec));
+        assert_eq!(sequential.key_for(spec).shards, 0);
+    }
+}

@@ -1,5 +1,7 @@
 //! Error type of the macro-model crate.
 
+use std::path::PathBuf;
+
 use crate::linalg::LinalgError;
 
 /// Errors produced by characterization, regression, estimation and
@@ -40,6 +42,36 @@ pub enum ModelError {
     Persist(serde_json::Error),
     /// Filesystem error while persisting a model.
     Io(std::io::Error),
+    /// A stored model artifact exists but could not be read or parsed.
+    /// Unlike [`ModelError::Io`]/[`ModelError::Persist`], this variant
+    /// names the offending artifact path, so callers of a model library
+    /// can report *which* file is corrupt instead of a bare serde/io
+    /// message.
+    Artifact {
+        /// Path of the unreadable or corrupt artifact.
+        path: PathBuf,
+        /// Underlying io/parse failure, rendered.
+        detail: String,
+    },
+    /// A characterization configuration failed builder validation.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// The rejected value, rendered.
+        value: String,
+        /// The constraint the value violated.
+        constraint: &'static str,
+    },
+    /// A request coalesced onto an in-flight characterization
+    /// (single-flight deduplication) whose leader failed. The leader
+    /// itself receives the original structured error; waiters receive
+    /// this variant with the rendered cause.
+    SingleFlight {
+        /// The cache key the request coalesced on.
+        key: String,
+        /// The leader's failure, rendered.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ModelError {
@@ -71,6 +103,20 @@ impl std::fmt::Display for ModelError {
             ),
             ModelError::Persist(e) => write!(f, "model serialization failed: {e}"),
             ModelError::Io(e) => write!(f, "i/o error: {e}"),
+            ModelError::Artifact { path, detail } => write!(
+                f,
+                "model artifact `{}` is unreadable or corrupt: {detail}",
+                path.display()
+            ),
+            ModelError::InvalidConfig {
+                field,
+                value,
+                constraint,
+            } => write!(f, "invalid configuration: {field} = {value} ({constraint})"),
+            ModelError::SingleFlight { key, detail } => write!(
+                f,
+                "coalesced characterization of `{key}` failed in its leader: {detail}"
+            ),
         }
     }
 }
@@ -139,6 +185,41 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("ripple_adder_4"));
         assert!(msg.contains("0 transitions"));
+    }
+
+    #[test]
+    fn artifact_error_names_the_path() {
+        let e = ModelError::Artifact {
+            path: PathBuf::from("/models/ripple_adder_4.json"),
+            detail: "expected object, found string".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("/models/ripple_adder_4.json"));
+        assert!(msg.contains("corrupt"));
+        assert!(msg.contains("expected object"));
+    }
+
+    #[test]
+    fn invalid_config_names_field_and_constraint() {
+        let e = ModelError::InvalidConfig {
+            field: "max_patterns",
+            value: "0".into(),
+            constraint: "must be at least 2",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("max_patterns"));
+        assert!(msg.contains("at least 2"));
+    }
+
+    #[test]
+    fn single_flight_error_carries_key_and_cause() {
+        let e = ModelError::SingleFlight {
+            key: "csa_multiplier_1x1".into(),
+            detail: "netlist error: width too small".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("csa_multiplier_1x1"));
+        assert!(msg.contains("width too small"));
     }
 
     #[test]

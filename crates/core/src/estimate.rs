@@ -12,9 +12,79 @@
 use hdpm_sim::Trace;
 use serde::{Deserialize, Serialize};
 
+use crate::adapt::AdaptiveHdModel;
 use crate::error::ModelError;
 use crate::model::{EnhancedHdModel, HdModel};
 use crate::shard::{parallel_map_ordered, resolve_threads};
+
+/// A per-cycle power estimator over transition features.
+///
+/// Unifies the basic Hd model (eq. 2), the enhanced model (eq. 3) and the
+/// LMS-adaptive model behind one prediction interface, so trace evaluation
+/// is written once: [`predict_trace`], [`evaluate`] and [`evaluate_batch`]
+/// are generic over any `Estimator` instead of coming in per-model
+/// variants.
+pub trait Estimator {
+    /// Input width `m` the estimator was characterized at.
+    fn input_bits(&self) -> usize;
+
+    /// Short model-kind tag for telemetry and reports
+    /// (`"basic"`, `"enhanced"`, `"adaptive"`).
+    fn kind(&self) -> &'static str;
+
+    /// Estimate the cycle charge of one transition with `hd` flipped
+    /// input bits out of which `stable_zeros` inputs stayed zero.
+    /// Estimators that ignore the stable-zero count (the basic and
+    /// adaptive models) simply drop it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::WidthMismatch`] if `hd` exceeds the model
+    /// width.
+    fn estimate_transition(&self, hd: usize, stable_zeros: usize) -> Result<f64, ModelError>;
+}
+
+impl Estimator for HdModel {
+    fn input_bits(&self) -> usize {
+        HdModel::input_bits(self)
+    }
+
+    fn kind(&self) -> &'static str {
+        "basic"
+    }
+
+    fn estimate_transition(&self, hd: usize, _stable_zeros: usize) -> Result<f64, ModelError> {
+        self.estimate(hd)
+    }
+}
+
+impl Estimator for EnhancedHdModel {
+    fn input_bits(&self) -> usize {
+        EnhancedHdModel::input_bits(self)
+    }
+
+    fn kind(&self) -> &'static str {
+        "enhanced"
+    }
+
+    fn estimate_transition(&self, hd: usize, stable_zeros: usize) -> Result<f64, ModelError> {
+        self.estimate(hd, stable_zeros)
+    }
+}
+
+impl Estimator for AdaptiveHdModel {
+    fn input_bits(&self) -> usize {
+        AdaptiveHdModel::input_bits(self)
+    }
+
+    fn kind(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn estimate_transition(&self, hd: usize, _stable_zeros: usize) -> Result<f64, ModelError> {
+        self.estimate(hd)
+    }
+}
 
 /// The §4.2 accuracy metrics of a model against a reference trace.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -69,31 +139,15 @@ pub fn accuracy(estimates: &[f64], references: &[f64]) -> AccuracyReport {
     }
 }
 
-/// Per-cycle estimates of the basic model over a reference trace's
+/// Per-cycle estimates of any [`Estimator`] over a reference trace's
 /// transitions (trace-based estimation).
 ///
 /// # Errors
 ///
 /// Returns [`ModelError::WidthMismatch`] if the trace width differs from
 /// the model width.
-pub fn predict_trace(model: &HdModel, trace: &Trace) -> Result<Vec<f64>, ModelError> {
-    if trace.input_width != model.input_bits() {
-        return Err(ModelError::WidthMismatch {
-            model_width: model.input_bits(),
-            query_width: trace.input_width,
-        });
-    }
-    trace.samples.iter().map(|s| model.estimate(s.hd)).collect()
-}
-
-/// Per-cycle estimates of the enhanced model over a reference trace.
-///
-/// # Errors
-///
-/// Returns [`ModelError::WidthMismatch`] if the trace width differs from
-/// the model width.
-pub fn predict_trace_enhanced(
-    model: &EnhancedHdModel,
+pub fn predict_trace<E: Estimator + ?Sized>(
+    model: &E,
     trace: &Trace,
 ) -> Result<Vec<f64>, ModelError> {
     if trace.input_width != model.input_bits() {
@@ -105,20 +159,38 @@ pub fn predict_trace_enhanced(
     trace
         .samples
         .iter()
-        .map(|s| model.estimate(s.hd, s.stable_zeros))
+        .map(|s| model.estimate_transition(s.hd, s.stable_zeros))
         .collect()
 }
 
-/// Evaluate the basic model against a reference trace (trace-based mode).
+/// Per-cycle estimates of the enhanced model over a reference trace.
+///
+/// # Errors
+///
+/// Returns [`ModelError::WidthMismatch`] if the trace width differs from
+/// the model width.
+#[deprecated(note = "use the generic `predict_trace`; every model implements `Estimator`")]
+pub fn predict_trace_enhanced(
+    model: &EnhancedHdModel,
+    trace: &Trace,
+) -> Result<Vec<f64>, ModelError> {
+    predict_trace(model, trace)
+}
+
+/// Evaluate any [`Estimator`] against a reference trace (trace-based
+/// mode).
 ///
 /// # Errors
 ///
 /// Returns [`ModelError::WidthMismatch`] on width disagreement.
-pub fn evaluate(model: &HdModel, trace: &Trace) -> Result<AccuracyReport, ModelError> {
+pub fn evaluate<E: Estimator + ?Sized>(
+    model: &E,
+    trace: &Trace,
+) -> Result<AccuracyReport, ModelError> {
     let predictions = predict_trace(model, trace)?;
     let references: Vec<f64> = trace.samples.iter().map(|s| s.charge).collect();
     let report = accuracy(&predictions, &references);
-    report_accuracy_telemetry("basic", &trace.module, &report);
+    report_accuracy_telemetry(model.kind(), &trace.module, &report);
     Ok(report)
 }
 
@@ -148,18 +220,15 @@ fn report_accuracy_telemetry(model_kind: &str, module: &str, report: &AccuracyRe
 /// # Errors
 ///
 /// Returns [`ModelError::WidthMismatch`] on width disagreement.
+#[deprecated(note = "use the generic `evaluate`; every model implements `Estimator`")]
 pub fn evaluate_enhanced(
     model: &EnhancedHdModel,
     trace: &Trace,
 ) -> Result<AccuracyReport, ModelError> {
-    let predictions = predict_trace_enhanced(model, trace)?;
-    let references: Vec<f64> = trace.samples.iter().map(|s| s.charge).collect();
-    let report = accuracy(&predictions, &references);
-    report_accuracy_telemetry("enhanced", &trace.module, &report);
-    Ok(report)
+    evaluate(model, trace)
 }
 
-/// Evaluate the basic model against many reference traces on up to
+/// Evaluate any [`Estimator`] against many reference traces on up to
 /// `threads` worker threads (0 = all available cores). Reports come back
 /// in input order and are identical to calling [`evaluate`] per trace —
 /// each trace's metrics depend only on that trace, so the schedule cannot
@@ -168,8 +237,8 @@ pub fn evaluate_enhanced(
 /// # Errors
 ///
 /// Returns the first per-trace error in input order.
-pub fn evaluate_batch(
-    model: &HdModel,
+pub fn evaluate_batch<E: Estimator + Sync + ?Sized>(
+    model: &E,
     traces: &[Trace],
     threads: usize,
 ) -> Result<Vec<AccuracyReport>, ModelError> {
@@ -182,21 +251,18 @@ pub fn evaluate_batch(
 
 /// Evaluate the enhanced model against many reference traces on up to
 /// `threads` worker threads (0 = all available cores); the parallel
-/// counterpart of [`evaluate_enhanced`], with input-order reports.
+/// counterpart of [`evaluate`] over an [`EnhancedHdModel`].
 ///
 /// # Errors
 ///
 /// Returns the first per-trace error in input order.
+#[deprecated(note = "use the generic `evaluate_batch`; every model implements `Estimator`")]
 pub fn evaluate_enhanced_batch(
     model: &EnhancedHdModel,
     traces: &[Trace],
     threads: usize,
 ) -> Result<Vec<AccuracyReport>, ModelError> {
-    parallel_map_ordered(traces, resolve_threads(threads), |_, trace| {
-        evaluate_enhanced(model, trace)
-    })
-    .into_iter()
-    .collect()
+    evaluate_batch(model, traces, threads)
 }
 
 /// Average-power estimate from an Hd distribution (the §6.3 estimator):
@@ -364,6 +430,71 @@ mod tests {
             evaluate_batch(&model, &traces, 2),
             Err(ModelError::WidthMismatch { .. })
         ));
+    }
+
+    fn enhanced_of(basic: &HdModel) -> crate::model::EnhancedHdModel {
+        let m = basic.input_bits();
+        let clustering = crate::model::ZeroClustering::Full;
+        let mut coeffs = Vec::new();
+        let mut devs = Vec::new();
+        let mut counts = Vec::new();
+        for i in 1..=m {
+            let g = clustering.groups(m, i);
+            // p_{i,z} = 10·i + z, every subgroup populated.
+            coeffs.push((0..g).map(|z| 10.0 * i as f64 + z as f64).collect());
+            devs.push(vec![0.0; g]);
+            counts.push(vec![9; g]);
+        }
+        crate::model::EnhancedHdModel::from_parts(basic.clone(), clustering, coeffs, devs, counts)
+    }
+
+    #[test]
+    fn estimator_trait_unifies_model_kinds() {
+        let model = linear_model(4);
+        let enhanced = enhanced_of(&model);
+        let adaptive = AdaptiveHdModel::new(&model, 0.5);
+        assert_eq!(Estimator::kind(&model), "basic");
+        assert_eq!(Estimator::kind(&enhanced), "enhanced");
+        assert_eq!(Estimator::kind(&adaptive), "adaptive");
+        assert_eq!(Estimator::input_bits(&enhanced), 4);
+
+        let trace = trace_of(&[1, 2], &[10.0, 20.0], 4);
+        // One generic entry point serves all three model kinds.
+        let basic = evaluate(&model, &trace).unwrap();
+        assert_eq!(basic, evaluate(&adaptive, &trace).unwrap());
+        let via_enhanced = evaluate(&enhanced, &trace).unwrap();
+        // The enhanced table uses the stable-zero feature, so its
+        // predictions (and metrics) legitimately differ.
+        let expected: Vec<f64> = trace
+            .samples
+            .iter()
+            .map(|s| enhanced.estimate(s.hd, s.stable_zeros).unwrap())
+            .collect();
+        assert_eq!(predict_trace(&enhanced, &trace).unwrap(), expected);
+        assert_eq!(
+            evaluate_batch(&enhanced, std::slice::from_ref(&trace), 1).unwrap()[0],
+            via_enhanced
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_the_generic_functions() {
+        let model = linear_model(4);
+        let enhanced = enhanced_of(&model);
+        let trace = trace_of(&[1, 2, 3], &[11.0, 21.0, 31.0], 4);
+        assert_eq!(
+            predict_trace_enhanced(&enhanced, &trace).unwrap(),
+            predict_trace(&enhanced, &trace).unwrap()
+        );
+        assert_eq!(
+            evaluate_enhanced(&enhanced, &trace).unwrap(),
+            evaluate(&enhanced, &trace).unwrap()
+        );
+        assert_eq!(
+            evaluate_enhanced_batch(&enhanced, std::slice::from_ref(&trace), 2).unwrap(),
+            evaluate_batch(&enhanced, std::slice::from_ref(&trace), 2).unwrap()
+        );
     }
 
     #[test]

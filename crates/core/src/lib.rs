@@ -12,49 +12,33 @@
 //!   driver [`characterize_sharded`];
 //! * **bit-width parameterization** by complexity-feature regression
 //!   (eq. 6–10): [`ParameterizableModel`];
-//! * **estimation** in trace, distribution and average-Hd modes, with the
-//!   §4.2 error metrics: [`evaluate`], [`distribution_vs_average`];
+//! * **estimation** in trace, distribution and average-Hd modes behind the
+//!   [`Estimator`] trait, with the §4.2 error metrics: [`evaluate`],
+//!   [`distribution_vs_average`];
+//! * **model serving**: [`PowerEngine`], a thread-safe facade with a
+//!   two-tier content-addressed cache and single-flight characterization;
 //! * **LMS coefficient adaptation** (the §4.2 pointer to Bogliolo et al.):
 //!   [`AdaptiveHdModel`];
 //! * JSON **persistence** of every model type: [`persist`].
 //!
-//! ## Example: characterize, parameterize, estimate
+//! ## Example: serve estimates from a cached engine
 //!
 //! ```
-//! use hdpm_core::{
-//!     characterize, evaluate, CharacterizationConfig, ParameterizableModel, Prototype,
-//! };
+//! use hdpm_core::prelude::*;
+//! use hdpm_datamodel::HdDistribution;
 //! use hdpm_netlist::{ModuleKind, ModuleSpec};
-//! use hdpm_sim::{run_words, DelayModel};
-//! use hdpm_streams::DataType;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // Characterize three small ripple-adder prototypes...
-//! let config = CharacterizationConfig {
-//!     max_patterns: 1500,
-//!     ..CharacterizationConfig::default()
-//! };
-//! let mut prototypes = Vec::new();
-//! for width in [4usize, 6, 8] {
-//!     let spec = ModuleSpec::new(ModuleKind::RippleAdder, width);
-//!     let netlist = spec.build()?.validate()?;
-//!     prototypes.push(Prototype {
-//!         spec,
-//!         model: characterize(&netlist, &config)?.model,
-//!     });
-//! }
-//!
-//! // ...fit the width regression (eq. 9)...
-//! let family = ParameterizableModel::fit(&prototypes)?;
-//!
-//! // ...and estimate the power of an unseen 7-bit adder under speech data.
-//! let spec = ModuleSpec::new(ModuleKind::RippleAdder, 7usize);
-//! let netlist = spec.build()?.validate()?;
-//! let streams = DataType::Speech.generate_operands(2, 7, 500, 1);
-//! let reference = run_words(&netlist, &streams, DelayModel::Unit);
-//! let predicted = family.predict_model(spec.width);
-//! let report = evaluate(&predicted, &reference)?;
-//! assert!(report.average_error_pct.abs() < 60.0);
+//! # fn main() -> Result<(), ModelError> {
+//! let engine = PowerEngine::new(EngineOptions {
+//!     config: CharacterizationConfig::builder().max_patterns(1500).build()?,
+//!     ..EngineOptions::default()
+//! });
+//! let spec = ModuleSpec::new(ModuleKind::RippleAdder, 4usize);
+//! let dist = HdDistribution::from_bit_activities(&[0.5; 8]);
+//! let cold = engine.estimate(spec, &dist)?; // characterizes once...
+//! let warm = engine.estimate(spec, &dist)?; // ...then serves from memory
+//! assert_eq!(warm.source, CacheSource::Memory);
+//! assert_eq!(cold.charge_per_cycle, warm.charge_per_cycle);
 //! # Ok(())
 //! # }
 //! ```
@@ -64,7 +48,9 @@
 
 mod adapt;
 mod bitwise;
+mod cache;
 mod characterize;
+mod engine;
 mod error;
 mod estimate;
 mod library;
@@ -76,16 +62,19 @@ mod shard;
 
 pub use adapt::AdaptiveHdModel;
 pub use bitwise::BitwiseModel;
+pub use cache::{config_fingerprint, LruCache, ModelKey};
 pub use characterize::{
     characterize, characterize_sharded, characterize_trace, Characterization,
-    CharacterizationConfig, ConvergencePoint, StimulusKind,
+    CharacterizationConfig, CharacterizationConfigBuilder, ConvergencePoint, StimulusKind,
 };
+pub use engine::{CacheSource, EngineOptions, EngineStats, Estimate, PowerEngine, WarmReport};
 pub use error::ModelError;
 pub use estimate::{
-    accuracy, distribution_vs_average, evaluate, evaluate_batch, evaluate_enhanced,
-    evaluate_enhanced_batch, predict_trace, predict_trace_enhanced, AccuracyReport,
-    DistributionVsAverage,
+    accuracy, distribution_vs_average, evaluate, evaluate_batch, predict_trace, AccuracyReport,
+    DistributionVsAverage, Estimator,
 };
+#[allow(deprecated)]
+pub use estimate::{evaluate_enhanced, evaluate_enhanced_batch, predict_trace_enhanced};
 pub use library::ModelLibrary;
 pub use model::{EnhancedHdModel, HdModel, ZeroClustering};
 pub use regress::{ParameterizableModel, Prototype, PrototypeSet};
@@ -93,3 +82,18 @@ pub use shard::{
     parallel_map_ordered, resolve_threads, shard_budgets, shard_seed, threads_from_env,
     ClassAccumulator, ShardingConfig,
 };
+
+pub mod prelude {
+    //! One-line import of what a typical caller needs: the engine facade,
+    //! configuration (with builder), the model types behind [`Estimator`],
+    //! trace evaluation and the error type.
+    //!
+    //! ```
+    //! use hdpm_core::prelude::*;
+    //! ```
+    pub use crate::{
+        characterize, evaluate, evaluate_batch, AccuracyReport, CacheSource, Characterization,
+        CharacterizationConfig, EngineOptions, EnhancedHdModel, Estimate, Estimator, HdModel,
+        ModelError, ModelLibrary, PowerEngine,
+    };
+}

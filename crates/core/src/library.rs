@@ -89,12 +89,18 @@ impl ModelLibrary {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError::Netlist`] if the module cannot be built, or a
-    /// persistence error if the artifact cannot be written.
+    /// Returns [`ModelError::Netlist`] if the module cannot be built,
+    /// [`ModelError::Artifact`] if the artifact exists but cannot be read
+    /// or parsed (a corrupt store is reported, never silently
+    /// re-characterized over), or a persistence error if a fresh artifact
+    /// cannot be written.
     pub fn get(&self, spec: ModuleSpec) -> Result<Characterization, ModelError> {
         let path = self.path_for(spec);
-        if let Ok(cached) = persist::load::<Characterization>(&path) {
-            return Ok(cached);
+        if path.exists() {
+            return persist::load::<Characterization>(&path).map_err(|e| ModelError::Artifact {
+                path,
+                detail: e.to_string(),
+            });
         }
         let netlist = spec.build()?.validate()?;
         let result = match &self.sharding {
@@ -225,6 +231,24 @@ mod tests {
         assert_eq!(first.model, serial.model);
         let _ = std::fs::remove_dir_all(lib.root());
         let _ = std::fs::remove_dir_all(single_threaded.root());
+    }
+
+    #[test]
+    fn corrupt_artifact_reports_path_instead_of_recharacterizing() {
+        let lib = temp_library();
+        let spec = ModuleSpec::new(ModuleKind::RippleAdder, 4usize);
+        std::fs::create_dir_all(lib.root()).unwrap();
+        std::fs::write(lib.path_for(spec), "{not json").unwrap();
+        match lib.get(spec) {
+            Err(ModelError::Artifact { path, .. }) => assert_eq!(path, lib.path_for(spec)),
+            other => panic!("expected Artifact error, got {other:?}"),
+        }
+        // The corrupt file must remain for inspection, not be overwritten.
+        assert_eq!(
+            std::fs::read_to_string(lib.path_for(spec)).unwrap(),
+            "{not json"
+        );
+        let _ = std::fs::remove_dir_all(lib.root());
     }
 
     #[test]

@@ -25,10 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ModuleKind::CarrySelectAdder,
         ModuleKind::CarrySkipAdder,
     ];
-    let config = CharacterizationConfig {
-        max_patterns: 6000,
-        ..CharacterizationConfig::default()
-    };
+    let config = CharacterizationConfig::builder()
+        .max_patterns(6000)
+        .build()?;
 
     // One speech-like operand pair shared by every candidate.
     let streams = DataType::Speech.generate_operands(2, WIDTH, CYCLES, 11);

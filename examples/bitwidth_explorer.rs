@@ -21,10 +21,9 @@ use hdpm_suite::streams::DataType;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kind = ModuleKind::CsaMultiplier;
-    let config = CharacterizationConfig {
-        max_patterns: 8000,
-        ..CharacterizationConfig::default()
-    };
+    let config = CharacterizationConfig::builder()
+        .max_patterns(8000)
+        .build()?;
 
     // 1. Characterize a small prototype set: 4-, 6- and 8-bit multipliers.
     let prototype_widths = [4usize, 6, 8];

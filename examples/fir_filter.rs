@@ -40,14 +40,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let add_spec = ModuleSpec::new(ModuleKind::RippleAdder, 16usize);
     let mul_netlist = mul_spec.build()?.validate()?;
     let add_netlist = add_spec.build()?.validate()?;
-    let config = CharacterizationConfig {
-        max_patterns: 16_000,
-        // The stratified stimulus also populates the enhanced model's
-        // stable-zero subgroups, needed for the constant-operand
-        // multipliers below.
-        stimulus: StimulusKind::SignalProbSweep,
-        ..CharacterizationConfig::default()
-    };
+    // The stratified stimulus also populates the enhanced model's
+    // stable-zero subgroups, needed for the constant-operand
+    // multipliers below.
+    let config = CharacterizationConfig::builder()
+        .max_patterns(16_000)
+        .stimulus(StimulusKind::SignalProbSweep)
+        .build()?;
     println!("characterizing module library (once per library)...");
     let mul_char = characterize(&mul_netlist, &config)?;
     let add_char = characterize(&add_netlist, &config)?;

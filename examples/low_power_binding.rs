@@ -26,10 +26,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let netlist = spec.build()?.validate()?;
     let model = characterize(
         &netlist,
-        &CharacterizationConfig {
-            max_patterns: 8000,
-            ..CharacterizationConfig::default()
-        },
+        &CharacterizationConfig::builder()
+            .max_patterns(8000)
+            .build()?,
     )?
     .model;
 

@@ -7,7 +7,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use hdpm_suite::core::{characterize, distribution_vs_average, evaluate, CharacterizationConfig};
+use hdpm_suite::core::distribution_vs_average;
+use hdpm_suite::core::prelude::*;
 use hdpm_suite::datamodel::{region_model, HdDistribution, WordModel};
 use hdpm_suite::netlist::{ModuleKind, ModuleSpec};
 use hdpm_suite::sim::{run_words, DelayModel};
@@ -24,12 +25,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         netlist.netlist().input_bit_count()
     );
 
-    // 2. Characterize the Hd power model with random patterns (§4.1).
-    let config = CharacterizationConfig {
-        max_patterns: 8000,
-        ..CharacterizationConfig::default()
-    };
-    let characterization = characterize(&netlist, &config)?;
+    // 2. Characterize the Hd power model with random patterns (§4.1),
+    //    served through a cached PowerEngine: the first fetch runs the
+    //    characterization, every later fetch is a memory hit.
+    let engine = PowerEngine::new(EngineOptions {
+        config: CharacterizationConfig::builder()
+            .max_patterns(8000)
+            .build()?,
+        ..EngineOptions::default()
+    });
+    let characterization = engine.model(spec)?;
     let model = &characterization.model;
     println!(
         "characterized {} coefficients from {} transitions (mean class deviation {:.1}%)",
@@ -62,11 +67,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|words| HdDistribution::from_regions(&region_model(&WordModel::from_words(words, 8))))
         .collect();
     let module_dist = HdDistribution::convolve_all(&dists);
-    let via_dist = model.estimate_distribution(&module_dist)?;
+    let analytic = engine.estimate(spec, &module_dist)?;
+    assert_eq!(analytic.source, CacheSource::Memory, "model is cached");
     println!(
         "distribution-based estimate: {:.1} per cycle ({:+.1}% vs reference)",
-        via_dist,
-        100.0 * (via_dist - reference.average_charge()) / reference.average_charge()
+        analytic.charge_per_cycle,
+        100.0 * (analytic.charge_per_cycle - reference.average_charge())
+            / reference.average_charge()
     );
 
     // 4c. Average-Hd-only estimation (§6.2) and the penalty it pays.

@@ -3,8 +3,7 @@
 //! check the paper's qualitative claims.
 
 use hdpm_suite::core::{
-    characterize, evaluate, evaluate_enhanced, CharacterizationConfig, ParameterizableModel,
-    Prototype, StimulusKind,
+    characterize, evaluate, CharacterizationConfig, ParameterizableModel, Prototype, StimulusKind,
 };
 use hdpm_suite::netlist::{ModuleKind, ModuleSpec};
 use hdpm_suite::sim::{run_words, DelayModel};
@@ -80,7 +79,7 @@ fn enhanced_model_reduces_cycle_error_with_sweep_characterization() {
     let streams = DataType::Counter.generate_operands(2, 6, 2000, 5);
     let trace = run_words(&netlist, &streams, DelayModel::Unit);
     let basic = evaluate(&characterization.model, &trace).unwrap();
-    let enhanced = evaluate_enhanced(&characterization.enhanced, &trace).unwrap();
+    let enhanced = evaluate(&characterization.enhanced, &trace).unwrap();
     assert!(
         enhanced.cycle_error_pct < basic.cycle_error_pct,
         "enhanced {:.1}% should beat basic {:.1}% on the counter stream",

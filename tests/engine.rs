@@ -1,0 +1,173 @@
+//! Integration tests of the `PowerEngine` facade: single-flight
+//! deduplication under concurrency, LRU behavior through the public API,
+//! cache-key separation and warm-up.
+
+use std::sync::Arc;
+
+use hdpm_core::prelude::*;
+use hdpm_core::{CharacterizationConfig, ModelKey, ShardingConfig};
+use hdpm_datamodel::HdDistribution;
+use hdpm_netlist::{ModuleKind, ModuleSpec};
+
+fn quick_engine(capacity: usize) -> PowerEngine {
+    PowerEngine::new(EngineOptions {
+        config: CharacterizationConfig::builder()
+            .max_patterns(2000)
+            .build()
+            .unwrap(),
+        sharding: Some(ShardingConfig {
+            shards: 4,
+            threads: 1,
+        }),
+        disk_root: None,
+        capacity,
+    })
+}
+
+/// The acceptance-criterion test: 8 threads racing on the same uncached
+/// spec must trigger exactly one characterization, with every thread
+/// receiving the same shared model.
+#[test]
+fn eight_concurrent_requesters_share_one_characterization() {
+    let engine = Arc::new(quick_engine(8));
+    let spec = ModuleSpec::new(ModuleKind::CsaMultiplier, 4usize);
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || engine.fetch(spec).unwrap()));
+    }
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let stats = engine.stats();
+    assert_eq!(
+        stats.characterizations, 1,
+        "single flight: one characterization for 8 concurrent requesters"
+    );
+    let (reference, _) = &results[0];
+    for (c, _) in &results {
+        assert!(
+            Arc::ptr_eq(c, reference),
+            "all requesters share the same model Arc"
+        );
+    }
+    // Every thread either led, coalesced onto the leader's flight, or
+    // arrived after the insert and hit the memory tier.
+    let fresh = results
+        .iter()
+        .filter(|(_, s)| *s == CacheSource::Fresh)
+        .count();
+    assert_eq!(fresh, 1, "exactly one leader");
+    assert_eq!(
+        stats.coalesced as usize + stats.hits as usize,
+        7,
+        "the other seven were served without recomputation"
+    );
+}
+
+#[test]
+fn eviction_order_is_least_recently_used() {
+    let engine = quick_engine(2);
+    let a = ModuleSpec::new(ModuleKind::RippleAdder, 4usize);
+    let b = ModuleSpec::new(ModuleKind::RippleAdder, 5usize);
+    let c = ModuleSpec::new(ModuleKind::RippleAdder, 6usize);
+    engine.model(a).unwrap();
+    engine.model(b).unwrap();
+    engine.model(a).unwrap(); // touch `a`: `b` is now least recently used
+    engine.model(c).unwrap(); // capacity 2: evicts `b`
+    let (_, source) = engine.fetch(a).unwrap();
+    assert_eq!(source, CacheSource::Memory, "recently used entry survives");
+    let (_, source) = engine.fetch(b).unwrap();
+    assert_eq!(source, CacheSource::Fresh, "LRU entry was evicted");
+    assert_eq!(engine.stats().evictions, 2, "b evicted, then a or c");
+}
+
+/// Cache keys must separate spec, configuration and shard count — and
+/// collide (deliberately) when all three agree.
+#[test]
+fn cache_keys_collide_only_for_identical_identity() {
+    let config_a = CharacterizationConfig::builder()
+        .max_patterns(2000)
+        .build()
+        .unwrap();
+    let config_b = CharacterizationConfig::builder()
+        .max_patterns(2000)
+        .seed(99)
+        .build()
+        .unwrap();
+    let spec = ModuleSpec::new(ModuleKind::RippleAdder, 4usize);
+    let other = ModuleSpec::new(ModuleKind::ClaAdder, 4usize);
+
+    assert_eq!(
+        ModelKey::new(spec, &config_a, 4),
+        ModelKey::new(spec, &config_a, 4)
+    );
+    assert_ne!(
+        ModelKey::new(spec, &config_a, 4),
+        ModelKey::new(other, &config_a, 4)
+    );
+    assert_ne!(
+        ModelKey::new(spec, &config_a, 4),
+        ModelKey::new(spec, &config_b, 4)
+    );
+    assert_ne!(
+        ModelKey::new(spec, &config_a, 4),
+        ModelKey::new(spec, &config_a, 8)
+    );
+
+    // Two engines differing only in configuration never share results:
+    // same spec, different key → independent characterizations.
+    let engine_a = quick_engine(4);
+    let engine_b = PowerEngine::new(EngineOptions {
+        config: config_b,
+        ..engine_a.options().clone()
+    });
+    assert_ne!(engine_a.key_for(spec), engine_b.key_for(spec));
+    let model_a = engine_a.model(spec).unwrap();
+    let model_b = engine_b.model(spec).unwrap();
+    assert_ne!(
+        model_a.model, model_b.model,
+        "different seeds characterize different pattern streams"
+    );
+}
+
+#[test]
+fn warm_prepopulates_for_memory_hits() {
+    let engine = quick_engine(8);
+    let specs: Vec<ModuleSpec> = [4usize, 5, 6]
+        .iter()
+        .map(|&w| ModuleSpec::new(ModuleKind::RippleAdder, w))
+        .collect();
+    let report = engine.warm(&specs, 0).unwrap();
+    assert_eq!(report.requested, 3);
+    assert_eq!(report.characterized, 3);
+
+    // Estimates after warm-up are all memory hits.
+    for spec in &specs {
+        let m = spec.kind.input_bits(spec.width);
+        let dist = HdDistribution::from_bit_activities(&vec![0.5; m]);
+        let estimate = engine.estimate(*spec, &dist).unwrap();
+        assert_eq!(estimate.source, CacheSource::Memory);
+        assert!(estimate.charge_per_cycle > 0.0);
+    }
+    assert_eq!(engine.stats().characterizations, 3);
+}
+
+/// Duplicate specs inside one warm call coalesce through the
+/// single-flight path instead of characterizing twice.
+#[test]
+fn warm_deduplicates_repeated_specs() {
+    let engine = quick_engine(8);
+    let spec = ModuleSpec::new(ModuleKind::RippleAdder, 4usize);
+    let report = engine.warm(&[spec; 4], 4).unwrap();
+    assert_eq!(report.requested, 4);
+    assert_eq!(
+        engine.stats().characterizations,
+        1,
+        "one flight for all four"
+    );
+    assert_eq!(
+        report.characterized, 1,
+        "one fresh result, the rest coalesced or hit"
+    );
+    assert_eq!(report.coalesced + report.memory, 3);
+}
