@@ -1,0 +1,84 @@
+//! TCP serving throughput: warm `estimate` requests through a live
+//! `hdpm-server` over loopback. `warm_round_trip` measures one
+//! request/reply cycle on a persistent connection (closed loop);
+//! `warm_pipelined_64` writes 64 requests before reading the 64 replies,
+//! amortizing the round trip the way a batching client would.
+//!
+//! Snapshot with
+//! `cargo bench -p hdpm-bench --bench server` followed by
+//! `cargo run -p hdpm-bench --bin perf_summary -- --group server_throughput`;
+//! the committed `BENCH_server.json` comes from the `loadgen` binary,
+//! which drives many connections instead of one.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdpm_core::{CharacterizationConfig, EngineOptions, ShardingConfig};
+use hdpm_server::{Server, ServerOptions};
+
+const REQUEST: &[u8] =
+    b"{\"op\":\"estimate\",\"module\":\"ripple_adder\",\"width\":8,\"data\":\"counter\",\"cycles\":64}\n";
+
+fn bench_server_throughput(c: &mut Criterion) {
+    let server = Server::start(ServerOptions {
+        engine: EngineOptions {
+            config: CharacterizationConfig::builder()
+                .max_patterns(1500)
+                .build()
+                .expect("valid config"),
+            sharding: Some(ShardingConfig {
+                shards: 4,
+                threads: 0,
+            }),
+            disk_root: None,
+            capacity: 64,
+        },
+        ..ServerOptions::default()
+    })
+    .expect("server starts");
+
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut line = String::new();
+    fn round_trip(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &mut String) {
+        writer.write_all(REQUEST).expect("send");
+        line.clear();
+        reader.read_line(line).expect("reply");
+        assert!(line.contains("\"ok\":true"), "{line}");
+    }
+    // Warm the model cache so the loop measures serving, not
+    // characterization.
+    round_trip(&mut writer, &mut reader, &mut line);
+
+    let mut group = c.benchmark_group("server_throughput");
+    group.bench_function("warm_round_trip", |b| {
+        b.iter(|| round_trip(&mut writer, &mut reader, &mut line))
+    });
+    group.bench_function("warm_pipelined_64", |b| {
+        b.iter(|| {
+            for _ in 0..64 {
+                writer.write_all(REQUEST).expect("send");
+            }
+            for _ in 0..64 {
+                line.clear();
+                reader.read_line(&mut line).expect("reply");
+            }
+            assert!(line.contains("\"ok\":true"), "{line}");
+        })
+    });
+    group.finish();
+
+    drop(writer);
+    drop(reader);
+    server.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_server_throughput
+}
+criterion_main!(benches);

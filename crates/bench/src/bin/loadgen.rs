@@ -1,0 +1,312 @@
+//! `loadgen` — TCP load generator for `hdpm-server`.
+//!
+//! Drives N connections × M requests against a server and records a
+//! throughput/latency snapshot (the `BENCH_server.json` recording flow):
+//!
+//! ```sh
+//! cargo run --release -p hdpm-bench --bin loadgen -- \
+//!   --connections 8 --requests 2000 --out BENCH_server.json
+//! ```
+//!
+//! Without `--addr` an in-process server is started on an ephemeral port
+//! (engine: 1500 patterns, 4 shards), so the snapshot is reproducible
+//! from a clean checkout. Two driving disciplines are measured:
+//!
+//! * **closed** loop — each connection sends a request and waits for the
+//!   reply before sending the next; per-request latency percentiles are
+//!   meaningful here;
+//! * **pipelined** (open) loop — each connection writes all M requests
+//!   before reading the M replies, the peak-throughput shape.
+//!
+//! `--mode closed|pipelined` restricts to one discipline (default both).
+//!
+//! With `--replay <file>` the binary becomes a protocol client instead:
+//! it sends every line of the file to `--addr`, prints one reply per
+//! request to stdout and exits — CI replays the golden transcript over
+//! TCP this way and diffs the output.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use hdpm_core::{CharacterizationConfig, EngineOptions, ShardingConfig};
+use hdpm_server::{Server, ServerOptions};
+use serde::Serialize;
+
+const REQUEST: &[u8] =
+    b"{\"op\":\"estimate\",\"module\":\"ripple_adder\",\"width\":8,\"data\":\"counter\",\"cycles\":64}\n";
+
+#[derive(Serialize)]
+struct LatencyNs {
+    p50: u64,
+    p95: u64,
+    p99: u64,
+}
+
+#[derive(Serialize)]
+struct Discipline {
+    requests: usize,
+    /// Requests the server answered `{"ok":false,...,"kind":"overloaded"}`
+    /// — backpressure working as designed under an open loop. The rate
+    /// below counts only successfully served requests.
+    shed: usize,
+    elapsed_s: f64,
+    requests_per_sec: f64,
+    latency_ns: Option<LatencyNs>,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    connections: usize,
+    requests_per_connection: usize,
+    closed: Option<Discipline>,
+    pipelined: Option<Discipline>,
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut connections = 8usize;
+    let mut requests = 2000usize;
+    let mut mode = "both".to_string();
+    let mut out: Option<String> = None;
+    let mut replay: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--connections" => connections = parse(&value("--connections")),
+            "--requests" => requests = parse(&value("--requests")),
+            "--mode" => mode = value("--mode"),
+            "--out" => out = Some(value("--out")),
+            "--replay" => replay = Some(value("--replay")),
+            other => die(&format!(
+                "unknown option `{other}` (expected --addr, --connections, --requests, --mode, --out or --replay)"
+            )),
+        }
+    }
+    if !matches!(mode.as_str(), "both" | "closed" | "pipelined") {
+        die("--mode must be closed, pipelined or both");
+    }
+
+    // An in-process server keeps the flow self-contained when no --addr
+    // is given; replay mode requires a real target.
+    let local = if addr.is_none() {
+        if replay.is_some() {
+            die("--replay requires --addr");
+        }
+        Some(start_local())
+    } else {
+        None
+    };
+    let target = addr.unwrap_or_else(|| {
+        local
+            .as_ref()
+            .expect("local server")
+            .local_addr()
+            .to_string()
+    });
+
+    if let Some(path) = replay {
+        run_replay(&target, &path);
+        return;
+    }
+
+    warm(&target);
+    let closed = (mode != "pipelined").then(|| run_closed(&target, connections, requests));
+    let pipelined = (mode != "closed").then(|| run_pipelined(&target, connections, requests));
+    if let Some(server) = local {
+        server.shutdown();
+    }
+
+    let snapshot = Snapshot {
+        connections,
+        requests_per_connection: requests,
+        closed,
+        pipelined,
+    };
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    for (name, d) in [
+        ("closed", &snapshot.closed),
+        ("pipelined", &snapshot.pipelined),
+    ] {
+        if let Some(d) = d {
+            eprintln!(
+                "{name:>9}: {:.0} requests/sec over {} requests",
+                d.requests_per_sec, d.requests
+            );
+        }
+    }
+    match out {
+        Some(path) => {
+            std::fs::write(&path, json + "\n").expect("snapshot written");
+            eprintln!("snapshot written to {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("loadgen: {message}");
+    std::process::exit(2);
+}
+
+fn parse(raw: &str) -> usize {
+    raw.parse()
+        .unwrap_or_else(|_| die(&format!("`{raw}` is not an integer")))
+}
+
+fn start_local() -> Server {
+    Server::start(ServerOptions {
+        queue_depth: 65_536,
+        engine: EngineOptions {
+            config: CharacterizationConfig::builder()
+                .max_patterns(1500)
+                .build()
+                .expect("valid config"),
+            sharding: Some(ShardingConfig {
+                shards: 4,
+                threads: 0,
+            }),
+            disk_root: None,
+            capacity: 64,
+        },
+        ..ServerOptions::default()
+    })
+    .expect("server starts")
+}
+
+fn connect(target: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(target)
+        .unwrap_or_else(|e| die(&format!("cannot connect to {target}: {e}")));
+    stream.set_nodelay(true).ok();
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+/// One round trip so the model cache is hot before anything is timed.
+fn warm(target: &str) {
+    let (mut writer, mut reader) = connect(target);
+    writer.write_all(REQUEST).expect("send");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reply");
+    assert!(line.contains("\"ok\":true"), "warm-up failed: {line}");
+}
+
+fn run_closed(target: &str, connections: usize, requests: usize) -> Discipline {
+    let started = Instant::now();
+    let latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|_| {
+                scope.spawn(move || {
+                    let (mut writer, mut reader) = connect(target);
+                    let mut line = String::new();
+                    let mut latencies = Vec::with_capacity(requests);
+                    for _ in 0..requests {
+                        let sent = Instant::now();
+                        writer.write_all(REQUEST).expect("send");
+                        line.clear();
+                        reader.read_line(&mut line).expect("reply");
+                        latencies.push(sent.elapsed().as_nanos() as u64);
+                        assert!(line.contains("\"ok\":true"), "{line}");
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    discipline(started, latencies, 0, true)
+}
+
+fn run_pipelined(target: &str, connections: usize, requests: usize) -> Discipline {
+    let started = Instant::now();
+    let shed: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|_| {
+                scope.spawn(move || {
+                    let (mut writer, mut reader) = connect(target);
+                    // A writer thread keeps the pipe full while this
+                    // thread drains replies, so neither side stalls on
+                    // socket buffers.
+                    let sender = std::thread::spawn(move || {
+                        for _ in 0..requests {
+                            writer.write_all(REQUEST).expect("send");
+                        }
+                        writer
+                    });
+                    let mut line = String::new();
+                    let mut shed = 0usize;
+                    for _ in 0..requests {
+                        line.clear();
+                        reader.read_line(&mut line).expect("reply");
+                        if line.contains("\"kind\":\"overloaded\"") {
+                            shed += 1;
+                        } else {
+                            assert!(line.contains("\"ok\":true"), "{line}");
+                        }
+                    }
+                    drop(sender.join().expect("sender thread"));
+                    shed
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    });
+    discipline(started, vec![0u64; connections * requests], shed, false)
+}
+
+fn discipline(
+    started: Instant,
+    mut latencies: Vec<u64>,
+    shed: usize,
+    with_latency: bool,
+) -> Discipline {
+    let elapsed = started.elapsed().as_secs_f64();
+    let total = latencies.len();
+    let latency_ns = with_latency.then(|| {
+        latencies.sort_unstable();
+        let at = |q: f64| latencies[((total - 1) as f64 * q) as usize];
+        LatencyNs {
+            p50: at(0.50),
+            p95: at(0.95),
+            p99: at(0.99),
+        }
+    });
+    Discipline {
+        requests: total,
+        shed,
+        elapsed_s: elapsed,
+        requests_per_sec: (total - shed) as f64 / elapsed,
+        latency_ns,
+    }
+}
+
+/// Replay a request file against `target`, one reply line per non-blank
+/// request line on stdout.
+fn run_replay(target: &str, path: &str) {
+    let script =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let requests: Vec<&str> = script.lines().filter(|l| !l.trim().is_empty()).collect();
+    let (mut writer, mut reader) = connect(target);
+    for request in &requests {
+        writer.write_all(request.as_bytes()).expect("send");
+        writer.write_all(b"\n").expect("send");
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut line = String::new();
+    for _ in 0..requests.len() {
+        line.clear();
+        if reader.read_line(&mut line).expect("reply") == 0 {
+            die("server closed the connection mid-replay");
+        }
+        out.write_all(line.as_bytes()).expect("stdout");
+    }
+}

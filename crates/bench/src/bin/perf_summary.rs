@@ -16,6 +16,10 @@ struct Entry {
     group: String,
     bench: String,
     median_ns: f64,
+    /// `1e9 / median_ns`, recorded for `*_throughput` groups (e.g. the
+    /// `server_throughput` TCP benchmarks) where a rate is the natural
+    /// reading; `null` elsewhere.
+    requests_per_sec: Option<f64>,
 }
 
 fn main() {
@@ -48,7 +52,10 @@ fn main() {
     }
     entries.sort_by_key(|e| (e.group.clone(), e.median_ns as u64));
 
-    println!("{:<28} {:<42} {:>14}", "group", "benchmark", "median time");
+    println!(
+        "{:<28} {:<42} {:>14} {:>14}",
+        "group", "benchmark", "median time", "rate"
+    );
     let mut last_group = String::new();
     for e in &entries {
         let group = if e.group == last_group {
@@ -57,11 +64,16 @@ fn main() {
             e.group.clone()
         };
         last_group = e.group.clone();
+        let rate = match e.requests_per_sec {
+            Some(rps) => format!("{rps:.0} req/s"),
+            None => String::new(),
+        };
         println!(
-            "{:<28} {:<42} {:>14}",
+            "{:<28} {:<42} {:>14} {:>14}",
             group,
             e.bench,
-            humanize(e.median_ns)
+            humanize(e.median_ns),
+            rate
         );
     }
     println!(
@@ -104,10 +116,13 @@ fn collect(root: &Path, dir: &Path, entries: &mut Vec<Entry>) {
                     Some((first, rest)) if !rest.is_empty() => (first.clone(), rest.join("/")),
                     _ => (String::new(), components.join("/")),
                 };
+                let requests_per_sec =
+                    (group.ends_with("_throughput") && nanos > 0.0).then(|| 1e9 / nanos);
                 entries.push(Entry {
                     group,
                     bench,
                     median_ns: nanos,
+                    requests_per_sec,
                 });
             }
         } else {

@@ -14,6 +14,7 @@
 
 mod args;
 mod serve;
+mod server_cmd;
 
 use std::process::ExitCode;
 
@@ -25,7 +26,7 @@ use hdpm_core::{
 use hdpm_datamodel::{breakpoints, region_model, HdDistribution, WordModel};
 use hdpm_netlist::{emit_verilog, ModuleKind, ModuleSpec, ModuleWidth, NetlistStats};
 use hdpm_sim::{dump_vcd, patterns_from_words, run_words, DelayModel, PowerReport};
-use hdpm_streams::{bit_stats, word_stats, DataType, ALL_DATA_TYPES};
+use hdpm_streams::{bit_stats, word_stats};
 use hdpm_telemetry::{self as telemetry, RunManifest};
 
 const USAGE: &str = "\
@@ -45,6 +46,10 @@ USAGE:
                     [--cycles <n>] [--seed <s>]
   hdpm serve        [--models <dir>] [--capacity <n>] [--patterns <n>]
                     [--seed <s>] [--shards <S>] [--threads <t>]
+  hdpm server       [--addr <ip:port>] [--workers <n>] [--queue-depth <d>]
+                    [--deadline-ms <ms>] [--idle-timeout-ms <ms>]
+                    [--write-timeout-ms <ms>] [--max-conns <n>]
+                    [--manifest <file>] [engine options as for serve]
   hdpm vcd          --module <kind> --width <m> --data <type>
                     [--cycles <n>] [--seed <s>] --out <file>
 
@@ -66,7 +71,17 @@ SERVE:
   a JSON-lines request/response loop on stdin/stdout over a cached
   PowerEngine; ops: estimate, characterize, stats (see docs/engine.md).
   --models <dir> adds an on-disk model tier; --capacity bounds the
-  in-memory LRU (default: 64 models).
+  in-memory LRU (default: 64 models). stdio only — for networked
+  serving use `hdpm server`.
+
+SERVER:
+  the same protocol over TCP (see docs/server.md): an accept loop feeds
+  a bounded queue drained by a worker pool sharing one engine, with load
+  shedding, per-request deadlines, idle reaping and graceful drain.
+  --addr defaults to 127.0.0.1:0 (the resolved address is printed to
+  stderr); --workers 0 uses all cores; --deadline-ms 0 disables request
+  deadlines; close stdin or send a `shutdown` line to drain; --manifest
+  writes the drain report as JSON.
 
 GLOBAL OPTIONS:
   --telemetry <human|json>  emit metrics and events (default: off);
@@ -110,6 +125,7 @@ fn main() -> ExitCode {
         Some("emit") => cmd_emit(&args),
         Some("report") => cmd_report(&args),
         Some("serve") => serve::cmd_serve(&args),
+        Some("server") => server_cmd::cmd_server(&args),
         Some("vcd") => cmd_vcd(&args),
         Some(other) => {
             return report_error(None, &format!("unknown subcommand `{other}`"));
@@ -136,35 +152,34 @@ fn report_error(command: Option<&str>, error: &dyn std::fmt::Display) -> ExitCod
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
-fn module_kind(name: &str) -> Result<ModuleKind, String> {
-    const ALL: [ModuleKind; 14] = [
-        ModuleKind::RippleAdder,
-        ModuleKind::ClaAdder,
-        ModuleKind::AbsVal,
-        ModuleKind::CsaMultiplier,
-        ModuleKind::BoothWallaceMultiplier,
-        ModuleKind::Incrementer,
-        ModuleKind::Subtractor,
-        ModuleKind::Comparator,
-        ModuleKind::CarrySelectAdder,
-        ModuleKind::CarrySkipAdder,
-        ModuleKind::BarrelShifter,
-        ModuleKind::GfMultiplier,
-        ModuleKind::Mac,
-        ModuleKind::Divider,
-    ];
-    ALL.iter()
-        .copied()
-        .find(|k| k.id() == name)
-        .ok_or_else(|| format!("unknown module kind `{name}`"))
-}
+// The canonical name → kind/type parsers live in the wire codec, shared
+// with both serving transports so CLI and protocol never drift.
+use hdpm_server::protocol::{data_type, module_kind};
 
-fn data_type(name: &str) -> Result<DataType, String> {
-    ALL_DATA_TYPES
-        .iter()
-        .copied()
-        .find(|d| d.name() == name || d.roman() == name)
-        .ok_or_else(|| format!("unknown data type `{name}`"))
+/// Reject options and flags outside a subcommand's surface with the
+/// standard usage-hint error. `hint` names the sibling command that owns
+/// the rejected surface (`--addr` on `serve` means the user wanted
+/// `hdpm server`, not a silently ignored flag).
+fn reject_unknown_options(
+    args: &ParsedArgs,
+    allowed: &[&str],
+    also: &[&str],
+    hint: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    const GLOBAL: &[&str] = &["telemetry"];
+    let known =
+        |name: &str| GLOBAL.contains(&name) || allowed.contains(&name) || also.contains(&name);
+    for name in args.options().keys() {
+        if !known(name) {
+            return Err(format!("unknown option `--{name}` ({hint})").into());
+        }
+    }
+    for name in args.flag_names() {
+        if !known(name) {
+            return Err(format!("unknown flag `--{name}` ({hint})").into());
+        }
+    }
+    Ok(())
 }
 
 fn spec_from(args: &ParsedArgs) -> Result<ModuleSpec, Box<dyn std::error::Error>> {

@@ -1,59 +1,55 @@
-//! `hdpm serve` — a JSON-lines request/response loop over a
-//! [`PowerEngine`].
+//! `hdpm serve` — the JSON-lines request/response loop over a
+//! [`PowerEngine`] on stdin/stdout.
 //!
 //! One request per stdin line, one reply per stdout line; stderr carries
-//! human-readable logs. Three operations:
+//! human-readable logs. The codec and the operations (`estimate`,
+//! `characterize`, `stats`) live in [`hdpm_server::protocol`], shared
+//! byte-for-byte with the networked `hdpm server` — both transports
+//! replay the `docs/engine.md` transcript identically. Malformed or
+//! non-UTF-8 lines produce structured `{"ok":false,"error":{...}}`
+//! replies and never tear the loop down.
 //!
-//! * `{"op":"estimate","module":...,"width":...,"data":...}` — analytic
-//!   power estimate through the engine cache;
-//! * `{"op":"characterize","module":...,"width":...}` — force a model
-//!   into the cache and report where it came from;
-//! * `{"op":"stats"}` — the engine's counter snapshot.
-//!
-//! Malformed or failing requests produce `{"ok":false,"error":...}`
-//! replies on stdout and never tear the loop down; the protocol is
-//! documented with a transcript in `docs/engine.md`.
-
-use std::io::{BufRead, Write};
+//! For serving over TCP (worker pool, backpressure, deadlines), use
+//! `hdpm server` instead.
 
 use hdpm_core::{CharacterizationConfig, EngineOptions, PowerEngine, ShardingConfig};
-use hdpm_datamodel::{region_model, HdDistribution, WordModel};
-use hdpm_netlist::ModuleSpec;
+use hdpm_server::protocol;
 use hdpm_telemetry as telemetry;
-use serde::{Deserialize, Value};
 
 use crate::args::ParsedArgs;
-use crate::{data_type, module_kind};
 
-/// One parsed request line. Unknown keys are ignored; absent optional
-/// keys fall back to the same defaults as the batch subcommands.
-#[derive(Debug, Deserialize)]
-struct ServeRequest {
-    op: String,
-    module: Option<String>,
-    width: Option<usize>,
-    width2: Option<usize>,
-    data: Option<String>,
-    cycles: Option<usize>,
-    seed: Option<u64>,
-}
+/// Options shared by every engine-backed serving command.
+pub(crate) const ENGINE_OPTIONS: &[&str] = &[
+    "patterns", "seed", "shards", "threads", "capacity", "models",
+];
 
 /// Run the serve loop over real stdin/stdout.
 pub fn cmd_serve(args: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    // `serve` is stdio-only: network-shaped flags such as `--addr` or
+    // `--workers` belong to `hdpm server`, and silently ignoring them
+    // would serve on the wrong transport.
+    crate::reject_unknown_options(
+        args,
+        ENGINE_OPTIONS,
+        &[],
+        "networked serving is `hdpm server`",
+    )?;
     let engine = engine_from(args)?;
     eprintln!(
         "hdpm serve: engine ready (capacity {}, {} patterns/model); one JSON request per line",
         engine.options().capacity,
         engine.options().config.max_patterns
     );
+    let _span = telemetry::span("cli.serve");
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    serve_loop(&engine, stdin.lock(), stdout.lock())
+    protocol::serve_lines(&engine, stdin.lock(), stdout.lock())?;
+    Ok(())
 }
 
 /// Build the engine from `--patterns/--seed/--shards/--threads/--capacity`
 /// and an optional `--models` disk tier.
-fn engine_from(args: &ParsedArgs) -> Result<PowerEngine, Box<dyn std::error::Error>> {
+pub(crate) fn engine_from(args: &ParsedArgs) -> Result<PowerEngine, Box<dyn std::error::Error>> {
     let defaults = CharacterizationConfig::default();
     let config = CharacterizationConfig::builder()
         .max_patterns(args.get_or("patterns", defaults.max_patterns)?)
@@ -71,215 +67,46 @@ fn engine_from(args: &ParsedArgs) -> Result<PowerEngine, Box<dyn std::error::Err
     }))
 }
 
-/// The request/response loop, generic over the byte streams so tests can
-/// drive it in memory exactly as CI drives the binary through pipes.
-fn serve_loop<R: BufRead, W: Write>(
-    engine: &PowerEngine,
-    input: R,
-    mut output: W,
-) -> Result<(), Box<dyn std::error::Error>> {
-    let _span = telemetry::span("cli.serve");
-    for line in input.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let reply = match serde_json::from_str::<ServeRequest>(&line) {
-            Ok(request) => handle(engine, &request).unwrap_or_else(|e| error_reply(&e.to_string())),
-            Err(e) => error_reply(&format!("malformed request: {e}")),
-        };
-        writeln!(output, "{}", serde_json::to_string(&reply)?)?;
-        output.flush()?;
-    }
-    Ok(())
-}
-
-fn error_reply(message: &str) -> Value {
-    Value::Object(vec![
-        ("ok".into(), Value::Bool(false)),
-        ("error".into(), Value::Str(message.into())),
-    ])
-}
-
-fn handle(
-    engine: &PowerEngine,
-    request: &ServeRequest,
-) -> Result<Value, Box<dyn std::error::Error>> {
-    match request.op.as_str() {
-        "estimate" => op_estimate(engine, request),
-        "characterize" => op_characterize(engine, request),
-        "stats" => Ok(op_stats(engine)),
-        other => {
-            Err(format!("unknown op `{other}` (expected estimate, characterize or stats)").into())
-        }
-    }
-}
-
-fn spec_of(request: &ServeRequest) -> Result<ModuleSpec, Box<dyn std::error::Error>> {
-    let kind = module_kind(request.module.as_deref().ok_or("missing field `module`")?)?;
-    let width = request.width.ok_or("missing field `width`")?;
-    let width = match request.width2 {
-        Some(w2) => hdpm_netlist::ModuleWidth::Rect(width, w2),
-        None => hdpm_netlist::ModuleWidth::Uniform(width),
-    };
-    Ok(ModuleSpec::new(kind, width))
-}
-
-fn op_estimate(
-    engine: &PowerEngine,
-    request: &ServeRequest,
-) -> Result<Value, Box<dyn std::error::Error>> {
-    let spec = spec_of(request)?;
-    let dt = data_type(request.data.as_deref().unwrap_or("random"))?;
-    let cycles = request.cycles.unwrap_or(2000);
-    let seed = request.seed.unwrap_or(7);
-
-    // The analytic §6.3 path of `hdpm estimate`: per-operand region
-    // models, convolved into the module's input Hd distribution.
-    let (m1, _) = spec.width.operand_widths();
-    let streams = dt.generate_operands(spec.kind.operand_count(), m1, cycles, seed);
-    let dists: Vec<HdDistribution> = streams
-        .iter()
-        .map(|w| HdDistribution::from_regions(&region_model(&WordModel::from_words(w, m1))))
-        .collect();
-    let dist = HdDistribution::convolve_all(&dists);
-
-    let estimate = engine.estimate(spec, &dist)?;
-    Ok(Value::Object(vec![
-        ("ok".into(), Value::Bool(true)),
-        ("op".into(), Value::Str("estimate".into())),
-        ("module".into(), Value::Str(spec.to_string())),
-        ("data".into(), Value::Str(dt.to_string())),
-        (
-            "charge_per_cycle".into(),
-            Value::Float(estimate.charge_per_cycle),
-        ),
-        ("via_average".into(), Value::Float(estimate.via_average)),
-        ("average_hd".into(), Value::Float(estimate.average_hd)),
-        ("source".into(), Value::Str(estimate.source.as_str().into())),
-    ]))
-}
-
-fn op_characterize(
-    engine: &PowerEngine,
-    request: &ServeRequest,
-) -> Result<Value, Box<dyn std::error::Error>> {
-    let spec = spec_of(request)?;
-    let (characterization, source) = engine.fetch(spec)?;
-    Ok(Value::Object(vec![
-        ("ok".into(), Value::Bool(true)),
-        ("op".into(), Value::Str("characterize".into())),
-        ("module".into(), Value::Str(spec.to_string())),
-        (
-            "input_bits".into(),
-            Value::Int(characterization.model.input_bits() as i64),
-        ),
-        (
-            "transitions".into(),
-            Value::Int(characterization.transitions as i64),
-        ),
-        (
-            "converged_after".into(),
-            match characterization.converged_after {
-                Some(patterns) => Value::Int(patterns as i64),
-                None => Value::Null,
-            },
-        ),
-        ("source".into(), Value::Str(source.as_str().into())),
-    ]))
-}
-
-fn op_stats(engine: &PowerEngine) -> Value {
-    let stats = engine.stats();
-    Value::Object(vec![
-        ("ok".into(), Value::Bool(true)),
-        ("op".into(), Value::Str("stats".into())),
-        ("entries".into(), Value::Int(stats.entries as i64)),
-        ("capacity".into(), Value::Int(stats.capacity as i64)),
-        ("hits".into(), Value::Int(stats.hits as i64)),
-        ("misses".into(), Value::Int(stats.misses as i64)),
-        ("evictions".into(), Value::Int(stats.evictions as i64)),
-        ("disk_hits".into(), Value::Int(stats.disk_hits as i64)),
-        (
-            "characterizations".into(),
-            Value::Int(stats.characterizations as i64),
-        ),
-        ("coalesced".into(), Value::Int(stats.coalesced as i64)),
-    ])
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn quick_engine() -> PowerEngine {
-        PowerEngine::new(EngineOptions {
-            config: CharacterizationConfig::builder()
-                .max_patterns(1500)
-                .build()
-                .unwrap(),
-            sharding: Some(ShardingConfig {
-                shards: 4,
-                threads: 1,
-            }),
-            disk_root: None,
-            capacity: 8,
-        })
-    }
-
-    fn run(engine: &PowerEngine, script: &str) -> Vec<String> {
-        let mut out = Vec::new();
-        serve_loop(engine, script.as_bytes(), &mut out).unwrap();
-        String::from_utf8(out)
-            .unwrap()
-            .lines()
-            .map(String::from)
-            .collect()
+    fn parse(tokens: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(tokens.iter().map(|s| s.to_string())).unwrap()
     }
 
     #[test]
-    fn estimate_then_stats_round_trip() {
-        let engine = quick_engine();
-        let replies = run(
-            &engine,
-            "{\"op\":\"characterize\",\"module\":\"ripple_adder\",\"width\":4}\n\
-             {\"op\":\"estimate\",\"module\":\"ripple_adder\",\"width\":4,\"data\":\"counter\"}\n\
-             {\"op\":\"stats\"}\n",
-        );
-        assert_eq!(replies.len(), 3);
-        assert!(replies[0].contains("\"ok\":true"));
-        assert!(replies[0].contains("\"source\":\"fresh\""));
-        assert!(replies[1].contains("\"source\":\"memory\""));
-        assert!(replies[1].contains("charge_per_cycle"));
-        assert!(replies[2].contains("\"characterizations\":1"));
+    fn engine_options_are_accepted() {
+        let args = parse(&["serve", "--patterns", "1500", "--shards", "4"]);
+        assert!(cmd_serve_rejection(&args).is_none());
     }
 
     #[test]
-    fn failures_are_structured_and_do_not_stop_the_loop() {
-        let engine = quick_engine();
-        let replies = run(
-            &engine,
-            "not json\n\
-             {\"op\":\"transmogrify\"}\n\
-             {\"op\":\"estimate\",\"module\":\"warp_core\",\"width\":4}\n\
-             {\"op\":\"estimate\",\"module\":\"ripple_adder\"}\n\
-             \n\
-             {\"op\":\"stats\"}\n",
-        );
-        assert_eq!(replies.len(), 5, "blank lines skipped, errors replied");
-        assert!(replies[0].contains("\"ok\":false"));
-        assert!(replies[0].contains("malformed request"));
-        assert!(replies[1].contains("unknown op `transmogrify`"));
-        assert!(replies[2].contains("unknown module kind `warp_core`"));
-        assert!(replies[3].contains("missing field `width`"));
-        assert!(replies[4].contains("\"ok\":true"));
+    fn addr_style_flags_are_rejected_with_a_pointer_to_server() {
+        for tokens in [
+            &["serve", "--addr", "127.0.0.1:0"][..],
+            &["serve", "--workers", "4"][..],
+            &["serve", "--queue-depth", "64"][..],
+        ] {
+            let args = parse(tokens);
+            let message = cmd_serve_rejection(&args).expect("rejected");
+            assert!(
+                message.contains("unknown option") && message.contains("hdpm server"),
+                "tokens {tokens:?}: {message}"
+            );
+        }
     }
 
-    #[test]
-    fn replies_are_deterministic_for_a_fresh_engine() {
-        let script =
-            "{\"op\":\"estimate\",\"module\":\"ripple_adder\",\"width\":4,\"data\":\"speech\"}\n\
-                      {\"op\":\"stats\"}\n";
-        assert_eq!(run(&quick_engine(), script), run(&quick_engine(), script));
+    /// The rejection message `cmd_serve` would produce, without running
+    /// the serve loop.
+    fn cmd_serve_rejection(args: &ParsedArgs) -> Option<String> {
+        crate::reject_unknown_options(
+            args,
+            ENGINE_OPTIONS,
+            &[],
+            "networked serving is `hdpm server`",
+        )
+        .err()
+        .map(|e| e.to_string())
     }
 }

@@ -1,0 +1,192 @@
+//! `hdpm server` — the networked serving front end over
+//! [`hdpm_server::Server`].
+//!
+//! Binds a TCP listener (default `127.0.0.1:0`, printing the resolved
+//! address to stderr), serves the same JSON-lines protocol as
+//! `hdpm serve`, and drains gracefully when stdin closes or reads a
+//! `shutdown` line — pure-std process control, no signal handling. The
+//! drain report is printed to stderr and, with `--manifest <file>`,
+//! written as JSON next to a telemetry run manifest.
+
+use std::io::BufRead;
+use std::time::Duration;
+
+use hdpm_server::{Server, ServerOptions};
+use hdpm_telemetry as telemetry;
+
+use crate::args::ParsedArgs;
+use crate::serve::{engine_from, ENGINE_OPTIONS};
+
+const SERVER_OPTIONS: &[&str] = &[
+    "addr",
+    "workers",
+    "queue-depth",
+    "deadline-ms",
+    "idle-timeout-ms",
+    "write-timeout-ms",
+    "max-conns",
+    "manifest",
+];
+
+/// Run the TCP server until stdin closes or says `shutdown`.
+pub fn cmd_server(args: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let options = options_from(args)?;
+    let stdin = std::io::stdin();
+    run(options, args, stdin.lock())
+}
+
+/// Parse [`ServerOptions`] from argv. Engine flags are shared with
+/// `hdpm serve`; the rest shape the service itself.
+fn options_from(args: &ParsedArgs) -> Result<ServerOptions, Box<dyn std::error::Error>> {
+    crate::reject_unknown_options(
+        args,
+        ENGINE_OPTIONS,
+        SERVER_OPTIONS,
+        "stdio serving is `hdpm serve`",
+    )?;
+    let defaults = ServerOptions::default();
+    let addr = args
+        .option("addr")
+        .unwrap_or("127.0.0.1:0")
+        .parse()
+        .map_err(|_| "--addr must be an ip:port socket address")?;
+    // --deadline-ms 0 disables the per-request deadline entirely.
+    let deadline = match args.get_or("deadline-ms", 30_000u64)? {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
+    Ok(ServerOptions {
+        addr,
+        workers: args.get_or("workers", defaults.workers)?,
+        queue_depth: args.get_or("queue-depth", defaults.queue_depth)?,
+        deadline,
+        idle_timeout: Duration::from_millis(
+            args.get_or("idle-timeout-ms", defaults.idle_timeout.as_millis() as u64)?,
+        ),
+        write_timeout: Duration::from_millis(args.get_or(
+            "write-timeout-ms",
+            defaults.write_timeout.as_millis() as u64,
+        )?),
+        max_connections: args.get_or("max-conns", defaults.max_connections)?,
+        engine: engine_from(args)?.options().clone(),
+    })
+}
+
+/// Start, block on the control stream, drain. Generic over the control
+/// stream so tests can drive shutdown in memory.
+fn run<R: BufRead>(
+    options: ServerOptions,
+    args: &ParsedArgs,
+    control: R,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let _span = telemetry::span("cli.server");
+    let workers = hdpm_core::resolve_threads(options.workers);
+    let queue_depth = options.queue_depth;
+    let server = Server::start(options)?;
+    eprintln!(
+        "hdpm server: listening on {} ({workers} workers, queue depth {queue_depth}); \
+         send `shutdown` or close stdin to drain",
+        server.local_addr(),
+    );
+    for line in control.lines() {
+        let line = line?;
+        match line.trim() {
+            "" => {}
+            "shutdown" => break,
+            other => eprintln!("hdpm server: unknown control command `{other}` (try `shutdown`)"),
+        }
+    }
+    eprintln!("hdpm server: draining...");
+    let report = server.shutdown();
+    eprintln!(
+        "hdpm server: drained ({} connections, {} ok, {} errors, {} shed, {} timeouts)",
+        report.connections, report.ok, report.errors, report.shed, report.timeouts
+    );
+    if let Some(path) = args.option("manifest") {
+        std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
+        eprintln!("drain report written to {path}");
+        crate::write_manifest("server", None, args, path)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::TcpStream;
+
+    fn parse(tokens: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn options_parse_with_defaults_and_overrides() {
+        let args = parse(&[
+            "server",
+            "--workers",
+            "3",
+            "--queue-depth",
+            "9",
+            "--deadline-ms",
+            "0",
+            "--patterns",
+            "1500",
+        ]);
+        let options = options_from(&args).unwrap();
+        assert_eq!(options.workers, 3);
+        assert_eq!(options.queue_depth, 9);
+        assert_eq!(options.deadline, None);
+        assert_eq!(options.engine.config.max_patterns, 1500);
+        assert_eq!(options.addr.port(), 0, "ephemeral port by default");
+    }
+
+    #[test]
+    fn bad_addr_is_a_parse_error() {
+        let args = parse(&["server", "--addr", "not-an-address"]);
+        let err = options_from(&args).unwrap_err().to_string();
+        assert!(err.contains("--addr"), "{err}");
+    }
+
+    #[test]
+    fn serve_only_surface_is_rejected() {
+        let args = parse(&["server", "--simulate"]);
+        let err = options_from(&args).unwrap_err().to_string();
+        assert!(err.contains("unknown flag"), "{err}");
+    }
+
+    #[test]
+    fn server_round_trips_and_drains_cleanly() {
+        let args = parse(&["server", "--patterns", "1500", "--shards", "4"]);
+        let mut options = options_from(&args).unwrap();
+        options.workers = 2;
+        let server = Server::start(options).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        let report = server.shutdown();
+        assert_eq!(report.ok, 1);
+    }
+
+    #[test]
+    fn run_drains_on_shutdown_line_and_writes_the_drain_report() {
+        let path = std::env::temp_dir().join(format!("hdpm-drain-{}.json", std::process::id()));
+        let args = parse(&[
+            "server",
+            "--patterns",
+            "1500",
+            "--shards",
+            "4",
+            "--manifest",
+            path.to_str().unwrap(),
+        ]);
+        let options = options_from(&args).unwrap();
+        run(options, &args, &b"noise\nshutdown\nignored\n"[..]).unwrap();
+        let report = std::fs::read_to_string(&path).unwrap();
+        assert!(report.contains("\"connections\""), "{report}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -123,6 +123,10 @@ pub struct EngineStats {
     pub characterizations: u64,
     /// Requests that coalesced onto an in-flight characterization.
     pub coalesced: u64,
+    /// Characterizations currently in flight (registered leaders whose
+    /// result has not been published yet). A live load indicator for
+    /// servers sharing the engine, not a monotonic counter.
+    pub inflight: usize,
 }
 
 /// An analytic estimation reply: the §6.3 distribution estimate, the
@@ -449,6 +453,7 @@ impl PowerEngine {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             characterizations: self.characterizations.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            inflight: inner.inflight.len(),
         }
     }
 }
@@ -487,6 +492,7 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.entries, 1);
+        assert_eq!(stats.inflight, 0, "no characterization left registered");
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! `hdpm-server` — the networked power-estimation service.
+//!
+//! Exposes the [`PowerEngine`](hdpm_core::PowerEngine) over TCP with the
+//! same JSON-lines protocol as `hdpm serve`, wire-compatible with its
+//! transcripts ([`protocol`] is the single source of truth for both
+//! transports). The [`Server`] is built for sustained load:
+//!
+//! * a `TcpListener` accept loop feeds a **bounded MPMC queue**
+//!   ([`Bounded`]) drained by a **fixed worker pool** sharing one engine,
+//!   so concurrent cache misses on the same model coalesce through the
+//!   engine's single-flight path (N clients, one characterization);
+//! * **load shedding**: a full queue answers
+//!   `{"ok":false,"error":{"kind":"overloaded",...}}` immediately instead
+//!   of growing an unbounded backlog;
+//! * **deadlines**: requests that out-wait their limit in the queue earn
+//!   a structured `timeout` reply instead of stale work;
+//! * **connection hygiene**: idle reaping, write timeouts that disconnect
+//!   slow readers, and malformed/non-UTF-8 input that never tears a
+//!   connection down;
+//! * **graceful drain** ([`Server::shutdown`]): stop accepting, finish
+//!   everything in flight, join the pool, report totals.
+//!
+//! ```no_run
+//! use hdpm_server::{Server, ServerOptions};
+//!
+//! let server = Server::start(ServerOptions::default())?;
+//! println!("listening on {}", server.local_addr());
+//! // ... serve traffic ...
+//! let report = server.shutdown();
+//! assert_eq!(report.shed, 0);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! Protocol reference and failure semantics: `docs/server.md`.
+
+#![forbid(unsafe_code)]
+
+pub mod protocol;
+mod queue;
+mod server;
+
+pub use queue::{Bounded, PushError};
+pub use server::{DrainReport, Server, ServerOptions};

@@ -1,0 +1,493 @@
+//! The JSON-lines request/reply codec shared by `hdpm serve` (stdin) and
+//! `hdpm server` (TCP) — one source of truth for the wire format.
+//!
+//! One request per line, one reply per line. Three operations:
+//!
+//! * `{"op":"estimate","module":...,"width":...,"data":...}` — analytic
+//!   power estimate through the engine cache;
+//! * `{"op":"characterize","module":...,"width":...}` — force a model
+//!   into the cache and report where it came from;
+//! * `{"op":"stats"}` — the engine's counter snapshot.
+//!
+//! Every failure produces a structured reply
+//! `{"ok":false,"error":{"kind":"<kind>","message":"<detail>"}}` and never
+//! tears the transport down; [`ErrorKind`] enumerates the kinds. Blank
+//! lines are skipped. The transcript in `docs/engine.md` is a golden
+//! fixture: both transports must replay it byte-identically
+//! (`crates/server/tests/golden.rs`).
+
+use std::io::{BufRead, Write};
+
+use hdpm_core::PowerEngine;
+use hdpm_datamodel::{region_model, HdDistribution, WordModel};
+use hdpm_netlist::{ModuleKind, ModuleSpec};
+use hdpm_streams::{DataType, ALL_DATA_TYPES};
+use serde::{Deserialize, Value};
+
+/// Every module kind the protocol accepts, in `hdpm list` order.
+pub const ALL_MODULE_KINDS: [ModuleKind; 14] = [
+    ModuleKind::RippleAdder,
+    ModuleKind::ClaAdder,
+    ModuleKind::AbsVal,
+    ModuleKind::CsaMultiplier,
+    ModuleKind::BoothWallaceMultiplier,
+    ModuleKind::Incrementer,
+    ModuleKind::Subtractor,
+    ModuleKind::Comparator,
+    ModuleKind::CarrySelectAdder,
+    ModuleKind::CarrySkipAdder,
+    ModuleKind::BarrelShifter,
+    ModuleKind::GfMultiplier,
+    ModuleKind::Mac,
+    ModuleKind::Divider,
+];
+
+/// Resolve a module kind by its wire id.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown kind.
+pub fn module_kind(name: &str) -> Result<ModuleKind, String> {
+    ALL_MODULE_KINDS
+        .iter()
+        .copied()
+        .find(|k| k.id() == name)
+        .ok_or_else(|| format!("unknown module kind `{name}`"))
+}
+
+/// Resolve a data type by name or paper roman numeral.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown type.
+pub fn data_type(name: &str) -> Result<DataType, String> {
+    ALL_DATA_TYPES
+        .iter()
+        .copied()
+        .find(|d| d.name() == name || d.roman() == name)
+        .ok_or_else(|| format!("unknown data type `{name}`"))
+}
+
+/// One parsed request line. Unknown keys are ignored; absent optional
+/// keys fall back to the same defaults as the batch subcommands.
+#[derive(Debug, Deserialize)]
+pub struct Request {
+    /// Operation: `estimate`, `characterize` or `stats`.
+    pub op: String,
+    /// Module kind id (required by `estimate`/`characterize`).
+    pub module: Option<String>,
+    /// First operand width (required by `estimate`/`characterize`).
+    pub width: Option<usize>,
+    /// Second operand width for rectangular modules.
+    pub width2: Option<usize>,
+    /// Data type of the operand streams (default `random`).
+    pub data: Option<String>,
+    /// Stream length in cycles (default 2000).
+    pub cycles: Option<usize>,
+    /// Stream generator seed (default 7).
+    pub seed: Option<u64>,
+    /// Per-request deadline in milliseconds, honoured by the TCP server
+    /// (capped by the server's own deadline); ignored on stdin.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Classification of a failed request, carried on the wire as
+/// `error.kind`. The full failure-semantics table is in `docs/server.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line was not valid JSON.
+    Malformed,
+    /// The line was not valid UTF-8.
+    InvalidUtf8,
+    /// Valid JSON that is not a valid request (unknown op, missing or
+    /// unresolvable fields).
+    BadRequest,
+    /// The engine failed to serve the request (netlist construction,
+    /// characterization, width mismatch, corrupt artifact ...).
+    Engine,
+    /// The server shed the request: queue full, connection limit, or
+    /// draining. Never emitted by the stdin transport.
+    Overloaded,
+    /// The request's deadline expired before a worker reached it. Never
+    /// emitted by the stdin transport.
+    Timeout,
+}
+
+impl ErrorKind {
+    /// The lower-case wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::InvalidUtf8 => "invalid_utf8",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Engine => "engine",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Timeout => "timeout",
+        }
+    }
+}
+
+/// A failed request: kind plus human-readable detail.
+pub type RequestError = (ErrorKind, String);
+
+/// Build the structured error reply value for a failed request.
+pub fn error_value(kind: ErrorKind, message: &str) -> Value {
+    Value::Object(vec![
+        ("ok".into(), Value::Bool(false)),
+        (
+            "error".into(),
+            Value::Object(vec![
+                ("kind".into(), Value::Str(kind.as_str().into())),
+                ("message".into(), Value::Str(message.into())),
+            ]),
+        ),
+    ])
+}
+
+/// Serialize a reply value to its wire line (without the newline).
+pub fn render(reply: &Value) -> String {
+    serde_json::to_string(reply).expect("reply values always serialize")
+}
+
+/// [`error_value`] pre-rendered to its wire line.
+pub fn error_line(kind: ErrorKind, message: &str) -> String {
+    render(&error_value(kind, message))
+}
+
+/// Decode one raw line into a [`Request`], classifying failures. Returns
+/// `Ok(None)` for blank lines (no reply is owed).
+///
+/// # Errors
+///
+/// [`ErrorKind::InvalidUtf8`] for non-UTF-8 bytes, [`ErrorKind::Malformed`]
+/// for invalid JSON or a shape mismatch.
+pub fn decode(raw: &[u8]) -> Result<Option<Request>, RequestError> {
+    let text = std::str::from_utf8(raw).map_err(|_| {
+        (
+            ErrorKind::InvalidUtf8,
+            "request line is not valid UTF-8".to_string(),
+        )
+    })?;
+    if text.trim().is_empty() {
+        return Ok(None);
+    }
+    serde_json::from_str::<Request>(text)
+        .map(Some)
+        .map_err(|e| (ErrorKind::Malformed, format!("malformed request: {e}")))
+}
+
+/// Execute a decoded request against the engine.
+///
+/// # Errors
+///
+/// [`ErrorKind::BadRequest`] for unresolvable request fields,
+/// [`ErrorKind::Engine`] for engine failures.
+pub fn handle(engine: &PowerEngine, request: &Request) -> Result<Value, RequestError> {
+    match request.op.as_str() {
+        "estimate" => op_estimate(engine, request),
+        "characterize" => op_characterize(engine, request),
+        "stats" => Ok(op_stats(engine)),
+        other => Err((
+            ErrorKind::BadRequest,
+            format!("unknown op `{other}` (expected estimate, characterize or stats)"),
+        )),
+    }
+}
+
+/// Decode and execute one raw line, rendering the reply. Returns `None`
+/// for blank lines. This is the single entry point both transports call.
+pub fn handle_line(engine: &PowerEngine, raw: &[u8]) -> Option<String> {
+    let reply = match decode(raw) {
+        Ok(None) => return None,
+        Ok(Some(request)) => match handle(engine, &request) {
+            Ok(reply) => reply,
+            Err((kind, message)) => error_value(kind, &message),
+        },
+        Err((kind, message)) => error_value(kind, &message),
+    };
+    Some(render(&reply))
+}
+
+/// The request/reply loop over byte streams: `hdpm serve`'s engine room,
+/// also driven in-memory by tests and the golden-transcript replay.
+/// Reads raw bytes (not [`BufRead::lines`]) so invalid UTF-8 yields a
+/// structured reply instead of an `io::Error` that would end the loop.
+///
+/// # Errors
+///
+/// Only transport failures (reading input, writing output) end the loop.
+pub fn serve_lines<R: BufRead, W: Write>(
+    engine: &PowerEngine,
+    mut input: R,
+    mut output: W,
+) -> std::io::Result<()> {
+    let _span = hdpm_telemetry::span("serve.loop");
+    let mut raw = Vec::new();
+    loop {
+        raw.clear();
+        if input.read_until(b'\n', &mut raw)? == 0 {
+            return Ok(());
+        }
+        if let Some(reply) = handle_line(engine, trim_line(&raw)) {
+            output.write_all(reply.as_bytes())?;
+            output.write_all(b"\n")?;
+            output.flush()?;
+        }
+    }
+}
+
+/// Strip one trailing `\n` or `\r\n` from a raw line.
+pub fn trim_line(raw: &[u8]) -> &[u8] {
+    let raw = raw.strip_suffix(b"\n").unwrap_or(raw);
+    raw.strip_suffix(b"\r").unwrap_or(raw)
+}
+
+fn spec_of(request: &Request) -> Result<ModuleSpec, RequestError> {
+    let bad = |message: String| (ErrorKind::BadRequest, message);
+    let name = request
+        .module
+        .as_deref()
+        .ok_or_else(|| bad("missing field `module`".into()))?;
+    let kind = module_kind(name).map_err(bad)?;
+    let width = request
+        .width
+        .ok_or_else(|| bad("missing field `width`".into()))?;
+    let width = match request.width2 {
+        Some(w2) => hdpm_netlist::ModuleWidth::Rect(width, w2),
+        None => hdpm_netlist::ModuleWidth::Uniform(width),
+    };
+    Ok(ModuleSpec::new(kind, width))
+}
+
+fn engine_error(e: impl std::fmt::Display) -> RequestError {
+    (ErrorKind::Engine, e.to_string())
+}
+
+/// The analytic §6.3 input distribution: generate the named operand
+/// streams, fit per-operand region models, convolve. A pure function of
+/// its arguments, and ~100 µs of numeric fitting per call — so each
+/// serving thread memoizes it. Identical warm `estimate` requests (the
+/// common monitoring workload) then cost a lookup instead of a refit,
+/// which is what lets the TCP server clear its requests/sec bar.
+fn input_distribution(
+    dt: DataType,
+    operands: usize,
+    m1: usize,
+    cycles: usize,
+    seed: u64,
+) -> HdDistribution {
+    use hdpm_telemetry as telemetry;
+    type DistKey = (&'static str, usize, usize, usize, u64);
+    thread_local! {
+        static DISTRIBUTIONS: std::cell::RefCell<std::collections::HashMap<DistKey, HdDistribution>> =
+            std::cell::RefCell::new(std::collections::HashMap::new());
+    }
+    let key = (dt.name(), operands, m1, cycles, seed);
+    DISTRIBUTIONS.with(|cache| {
+        if let Some(dist) = cache.borrow().get(&key) {
+            telemetry::counter_add("protocol.dist_cache.hit", 1);
+            return dist.clone();
+        }
+        telemetry::counter_add("protocol.dist_cache.miss", 1);
+        let streams = dt.generate_operands(operands, m1, cycles, seed);
+        let dists: Vec<HdDistribution> = streams
+            .iter()
+            .map(|w| HdDistribution::from_regions(&region_model(&WordModel::from_words(w, m1))))
+            .collect();
+        let dist = HdDistribution::convolve_all(&dists);
+        let mut cache = cache.borrow_mut();
+        // A blunt bound beats an LRU here: distinct keys are rare (module
+        // widths × data types), so eviction almost never fires.
+        if cache.len() >= 128 {
+            cache.clear();
+        }
+        cache.insert(key, dist.clone());
+        dist
+    })
+}
+
+fn op_estimate(engine: &PowerEngine, request: &Request) -> Result<Value, RequestError> {
+    let spec = spec_of(request)?;
+    let dt = data_type(request.data.as_deref().unwrap_or("random"))
+        .map_err(|m| (ErrorKind::BadRequest, m))?;
+    let cycles = request.cycles.unwrap_or(2000);
+    let seed = request.seed.unwrap_or(7);
+
+    let (m1, _) = spec.width.operand_widths();
+    let dist = input_distribution(dt, spec.kind.operand_count(), m1, cycles, seed);
+
+    let estimate = engine.estimate(spec, &dist).map_err(engine_error)?;
+    Ok(Value::Object(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("op".into(), Value::Str("estimate".into())),
+        ("module".into(), Value::Str(spec.to_string())),
+        ("data".into(), Value::Str(dt.to_string())),
+        (
+            "charge_per_cycle".into(),
+            Value::Float(estimate.charge_per_cycle),
+        ),
+        ("via_average".into(), Value::Float(estimate.via_average)),
+        ("average_hd".into(), Value::Float(estimate.average_hd)),
+        ("source".into(), Value::Str(estimate.source.as_str().into())),
+    ]))
+}
+
+fn op_characterize(engine: &PowerEngine, request: &Request) -> Result<Value, RequestError> {
+    let spec = spec_of(request)?;
+    let (characterization, source) = engine.fetch(spec).map_err(engine_error)?;
+    Ok(Value::Object(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("op".into(), Value::Str("characterize".into())),
+        ("module".into(), Value::Str(spec.to_string())),
+        (
+            "input_bits".into(),
+            Value::Int(characterization.model.input_bits() as i64),
+        ),
+        (
+            "transitions".into(),
+            Value::Int(characterization.transitions as i64),
+        ),
+        (
+            "converged_after".into(),
+            match characterization.converged_after {
+                Some(patterns) => Value::Int(patterns as i64),
+                None => Value::Null,
+            },
+        ),
+        ("source".into(), Value::Str(source.as_str().into())),
+    ]))
+}
+
+fn op_stats(engine: &PowerEngine) -> Value {
+    let stats = engine.stats();
+    Value::Object(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("op".into(), Value::Str("stats".into())),
+        ("entries".into(), Value::Int(stats.entries as i64)),
+        ("capacity".into(), Value::Int(stats.capacity as i64)),
+        ("hits".into(), Value::Int(stats.hits as i64)),
+        ("misses".into(), Value::Int(stats.misses as i64)),
+        ("evictions".into(), Value::Int(stats.evictions as i64)),
+        ("disk_hits".into(), Value::Int(stats.disk_hits as i64)),
+        (
+            "characterizations".into(),
+            Value::Int(stats.characterizations as i64),
+        ),
+        ("coalesced".into(), Value::Int(stats.coalesced as i64)),
+        ("inflight".into(), Value::Int(stats.inflight as i64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdpm_core::{CharacterizationConfig, EngineOptions, ShardingConfig};
+
+    fn quick_engine() -> PowerEngine {
+        PowerEngine::new(EngineOptions {
+            config: CharacterizationConfig::builder()
+                .max_patterns(1500)
+                .build()
+                .unwrap(),
+            sharding: Some(ShardingConfig {
+                shards: 4,
+                threads: 1,
+            }),
+            disk_root: None,
+            capacity: 8,
+        })
+    }
+
+    fn run(engine: &PowerEngine, script: &[u8]) -> Vec<String> {
+        let mut out = Vec::new();
+        serve_lines(engine, script, &mut out).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn estimate_then_stats_round_trip() {
+        let engine = quick_engine();
+        let replies = run(
+            &engine,
+            b"{\"op\":\"characterize\",\"module\":\"ripple_adder\",\"width\":4}\n\
+              {\"op\":\"estimate\",\"module\":\"ripple_adder\",\"width\":4,\"data\":\"counter\"}\n\
+              {\"op\":\"stats\"}\n",
+        );
+        assert_eq!(replies.len(), 3);
+        assert!(replies[0].contains("\"ok\":true"));
+        assert!(replies[0].contains("\"source\":\"fresh\""));
+        assert!(replies[1].contains("\"source\":\"memory\""));
+        assert!(replies[1].contains("charge_per_cycle"));
+        assert!(replies[2].contains("\"characterizations\":1"));
+        assert!(replies[2].contains("\"inflight\":0"));
+    }
+
+    #[test]
+    fn failures_are_structured_and_do_not_stop_the_loop() {
+        let engine = quick_engine();
+        let replies = run(
+            &engine,
+            b"not json\n\
+              {\"op\":\"transmogrify\"}\n\
+              {\"op\":\"estimate\",\"module\":\"warp_core\",\"width\":4}\n\
+              {\"op\":\"estimate\",\"module\":\"ripple_adder\"}\n\
+              \n\
+              {\"op\":\"stats\"}\n",
+        );
+        assert_eq!(replies.len(), 5, "blank lines skipped, errors replied");
+        assert!(replies[0].contains("\"ok\":false"));
+        assert!(replies[0].contains("\"kind\":\"malformed\""));
+        assert!(replies[0].contains("malformed request"));
+        assert!(replies[1].contains("\"kind\":\"bad_request\""));
+        assert!(replies[1].contains("unknown op `transmogrify`"));
+        assert!(replies[2].contains("unknown module kind `warp_core`"));
+        assert!(replies[3].contains("missing field `width`"));
+        assert!(replies[4].contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn invalid_utf8_lines_reply_and_continue() {
+        let engine = quick_engine();
+        let mut script: Vec<u8> = Vec::new();
+        script.extend_from_slice(b"{\"op\":\"stats\"}\n");
+        script.extend_from_slice(&[0xFF, 0xFE, b'{', 0x80, b'\n']);
+        script.extend_from_slice(b"{\"op\":\"stats\"}\n");
+        let replies = run(&engine, &script);
+        assert_eq!(replies.len(), 3, "the bad line answered, the loop alive");
+        assert!(replies[0].contains("\"ok\":true"));
+        assert!(replies[1].contains("\"kind\":\"invalid_utf8\""));
+        assert!(replies[1].contains("not valid UTF-8"));
+        assert!(replies[2].contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn engine_failures_are_distinguished_from_bad_requests() {
+        let engine = quick_engine();
+        // Width 1 csa_multiplier fails netlist construction inside the
+        // engine — a well-formed request the engine cannot serve.
+        let replies = run(
+            &engine,
+            b"{\"op\":\"characterize\",\"module\":\"csa_multiplier\",\"width\":1}\n",
+        );
+        assert!(replies[0].contains("\"kind\":\"engine\""), "{}", replies[0]);
+    }
+
+    #[test]
+    fn crlf_lines_are_tolerated() {
+        let engine = quick_engine();
+        let replies = run(&engine, b"{\"op\":\"stats\"}\r\n");
+        assert!(replies[0].contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn replies_are_deterministic_for_a_fresh_engine() {
+        let script: &[u8] =
+            b"{\"op\":\"estimate\",\"module\":\"ripple_adder\",\"width\":4,\"data\":\"speech\"}\n\
+              {\"op\":\"stats\"}\n";
+        assert_eq!(run(&quick_engine(), script), run(&quick_engine(), script));
+    }
+}

@@ -1,0 +1,567 @@
+//! The TCP service: accept loop → bounded queue → worker pool, wrapped
+//! around one shared [`PowerEngine`].
+//!
+//! Threading model:
+//!
+//! * one **accept** thread admits connections (up to
+//!   [`ServerOptions::max_connections`]; beyond that, an `overloaded`
+//!   reply and an immediate close);
+//! * one cheap **reader** thread per connection frames raw lines and
+//!   pushes them into the bounded queue without ever blocking — a full
+//!   queue sheds the request with a structured `overloaded` reply;
+//! * a **fixed worker pool** drains the queue and executes requests
+//!   against the shared engine, so concurrent misses on one model still
+//!   coalesce through the engine's single-flight path.
+//!
+//! Replies on one connection are written in request order even though
+//! workers complete out of order: every framed line takes a sequence
+//! number and [`Conn::submit`] holds completed replies until their
+//! predecessors are on the wire.
+//!
+//! Robustness: per-request deadlines (queue wait beyond the limit earns a
+//! `timeout` reply instead of stale work), per-connection idle reaping,
+//! write timeouts that tear down slow readers instead of blocking a
+//! worker forever, and tolerance of malformed or non-UTF-8 lines.
+//! [`Server::shutdown`] drains gracefully: stop accepting, stop reading,
+//! finish every queued request, join the pool, report totals.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hdpm_core::{resolve_threads, EngineOptions, PowerEngine};
+use hdpm_telemetry as telemetry;
+use serde::Serialize;
+
+use crate::protocol::{self, ErrorKind};
+use crate::queue::{Bounded, PushError};
+
+/// Construction options of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: SocketAddr,
+    /// Worker pool size; 0 resolves to the available parallelism.
+    pub workers: usize,
+    /// Bound of the request queue; pushes beyond it shed with an
+    /// `overloaded` reply.
+    pub queue_depth: usize,
+    /// Per-request deadline measured from enqueue; a request popped after
+    /// its deadline earns a `timeout` reply instead of execution. `None`
+    /// disables the check. Requests may tighten (never extend) this with
+    /// their `deadline_ms` field.
+    pub deadline: Option<Duration>,
+    /// Idle reaping: a connection with no traffic for this long is shut.
+    pub idle_timeout: Duration,
+    /// Write timeout per reply; a slower consumer is disconnected rather
+    /// than allowed to block a worker.
+    pub write_timeout: Duration,
+    /// Connection admission bound.
+    pub max_connections: usize,
+    /// Engine shared by the worker pool.
+    pub engine: EngineOptions,
+}
+
+impl Default for ServerOptions {
+    /// Defaults: loopback ephemeral port, all-cores workers, queue depth
+    /// 256, 30 s deadline, 60 s idle reap, 5 s write timeout, 256
+    /// connections, default engine.
+    fn default() -> Self {
+        ServerOptions {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            workers: 0,
+            queue_depth: 256,
+            deadline: Some(Duration::from_secs(30)),
+            idle_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(5),
+            max_connections: 256,
+            engine: EngineOptions::default(),
+        }
+    }
+}
+
+/// Totals accumulated over a server's lifetime, returned by
+/// [`Server::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct DrainReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests answered `ok:true`.
+    pub ok: u64,
+    /// Requests answered with a structured error (malformed, bad
+    /// request, engine failure).
+    pub errors: u64,
+    /// Requests shed with `overloaded` (queue full, draining, or the
+    /// connection limit).
+    pub shed: u64,
+    /// Requests expired in the queue and answered with `timeout`.
+    pub timeouts: u64,
+}
+
+#[derive(Default)]
+struct Totals {
+    connections: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl Totals {
+    fn report(&self) -> DrainReport {
+        DrainReport {
+            connections: self.connections.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One framed request line awaiting a worker.
+struct Job {
+    seq: u64,
+    raw: Vec<u8>,
+    conn: Arc<Conn>,
+    enqueued: Instant,
+}
+
+/// The write side of a connection plus the reply sequencer. Workers
+/// complete jobs out of order; `submit` reorders replies by sequence
+/// number before they reach the socket.
+struct Conn {
+    alive: AtomicBool,
+    out: Mutex<OutState>,
+}
+
+struct OutState {
+    stream: Option<TcpStream>,
+    /// Sequence number the wire is waiting for next.
+    next: u64,
+    /// Completed replies with earlier gaps still outstanding. `None`
+    /// marks a sequence slot that produces no output.
+    pending: BTreeMap<u64, Option<String>>,
+}
+
+impl Conn {
+    fn new(write_half: TcpStream) -> Self {
+        Conn {
+            alive: AtomicBool::new(true),
+            out: Mutex::new(OutState {
+                stream: Some(write_half),
+                next: 0,
+                pending: BTreeMap::new(),
+            }),
+        }
+    }
+
+    fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Relaxed)
+    }
+
+    /// Tear the connection down: wake any blocked peer I/O and drop the
+    /// write half so queued work for it becomes a no-op.
+    fn kill(&self) {
+        self.alive.store(false, Ordering::Relaxed);
+        let mut out = self.out.lock().expect("conn lock");
+        if let Some(stream) = out.stream.take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        out.pending.clear();
+    }
+
+    /// Hand in the reply for sequence `seq` (`None` = no output owed) and
+    /// flush every consecutively-ready reply to the wire. A write failure
+    /// (timeout included) kills the connection.
+    fn submit(&self, seq: u64, reply: Option<String>) {
+        let mut out = self.out.lock().expect("conn lock");
+        out.pending.insert(seq, reply);
+        loop {
+            let next = out.next;
+            let Some(ready) = out.pending.remove(&next) else {
+                break;
+            };
+            out.next += 1;
+            let Some(line) = ready else { continue };
+            let Some(stream) = out.stream.as_mut() else {
+                continue;
+            };
+            let wrote = stream
+                .write_all(line.as_bytes())
+                .and_then(|()| stream.write_all(b"\n"));
+            if let Err(e) = wrote {
+                telemetry::counter_add("server.conn.write_failed", 1);
+                telemetry::event(
+                    telemetry::Level::Warn,
+                    "server.conn.write_failed",
+                    &[("error", e.to_string().into())],
+                );
+                self.alive.store(false, Ordering::Relaxed);
+                if let Some(stream) = out.stream.take() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                out.pending.clear();
+                return;
+            }
+        }
+    }
+}
+
+struct Shared {
+    engine: PowerEngine,
+    queue: Bounded<Job>,
+    draining: AtomicBool,
+    connections: AtomicUsize,
+    totals: Totals,
+    deadline: Option<Duration>,
+    idle_timeout: Duration,
+    /// Socket read timeout: the reader's poll interval for the draining
+    /// flag and the idle clock, capped well below `idle_timeout`.
+    read_poll: Duration,
+    write_timeout: Duration,
+    max_connections: usize,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Frame one raw line into the queue, shedding with a structured
+    /// reply when the queue refuses it. Blank lines are skipped without
+    /// consuming a sequence number (no reply is owed for them).
+    fn enqueue(&self, conn: &Arc<Conn>, next_seq: &mut u64, raw: Vec<u8>) {
+        if protocol::trim_line(&raw)
+            .iter()
+            .all(u8::is_ascii_whitespace)
+        {
+            return;
+        }
+        let seq = *next_seq;
+        *next_seq += 1;
+        let job = Job {
+            seq,
+            raw,
+            conn: Arc::clone(conn),
+            enqueued: Instant::now(),
+        };
+        match self.queue.try_push(job) {
+            Ok(depth) => telemetry::gauge_set("server.queue.depth", depth as f64),
+            Err(PushError::Full(job)) => {
+                self.totals.shed.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("server.shed.overloaded", 1);
+                job.conn.submit(
+                    job.seq,
+                    Some(protocol::error_line(
+                        ErrorKind::Overloaded,
+                        &format!(
+                            "queue full ({} requests queued): request shed",
+                            self.queue.capacity()
+                        ),
+                    )),
+                );
+            }
+            Err(PushError::Closed(job)) => {
+                self.totals.shed.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("server.shed.draining", 1);
+                job.conn.submit(
+                    job.seq,
+                    Some(protocol::error_line(
+                        ErrorKind::Overloaded,
+                        "server draining: request shed",
+                    )),
+                );
+            }
+        }
+    }
+
+    /// Execute one job: decode, enforce the deadline, run the op.
+    /// Returns the reply line, or `None` when no output is owed.
+    fn process(&self, job: &Job, waited: Duration) -> Option<String> {
+        let _span = telemetry::span("server.request");
+        let started = Instant::now();
+        let request = match protocol::decode(protocol::trim_line(&job.raw)) {
+            Ok(Some(request)) => request,
+            Ok(None) => return None,
+            Err((kind, message)) => {
+                self.totals.errors.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("server.request.error", 1);
+                return Some(protocol::error_line(kind, &message));
+            }
+        };
+        let requested = request.deadline_ms.map(Duration::from_millis);
+        let limit = match (self.deadline, requested) {
+            (Some(server), Some(request)) => Some(server.min(request)),
+            (Some(server), None) => Some(server),
+            (None, request) => request,
+        };
+        if let Some(limit) = limit {
+            if waited > limit {
+                self.totals.timeouts.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("server.shed.timeout", 1);
+                return Some(protocol::error_line(
+                    ErrorKind::Timeout,
+                    &format!(
+                        "deadline exceeded: queued {} ms, limit {} ms",
+                        waited.as_millis(),
+                        limit.as_millis()
+                    ),
+                ));
+            }
+        }
+        let line = match protocol::handle(&self.engine, &request) {
+            Ok(reply) => {
+                self.totals.ok.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("server.request.ok", 1);
+                protocol::render(&reply)
+            }
+            Err((kind, message)) => {
+                self.totals.errors.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("server.request.error", 1);
+                protocol::error_line(kind, &message)
+            }
+        };
+        telemetry::record_duration_ns("server.request_ns", started.elapsed().as_nanos() as u64);
+        Some(line)
+    }
+}
+
+/// A running TCP power-estimation service. Construct with
+/// [`Server::start`], stop with [`Server::shutdown`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the accept loop and the worker pool, and return the
+    /// running server.
+    ///
+    /// # Errors
+    ///
+    /// Binding or thread spawning failures.
+    pub fn start(options: ServerOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(options.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = resolve_threads(options.workers);
+        let shared = Arc::new(Shared {
+            engine: PowerEngine::new(options.engine),
+            queue: Bounded::new(options.queue_depth),
+            draining: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            totals: Totals::default(),
+            deadline: options.deadline,
+            idle_timeout: options.idle_timeout.max(Duration::from_millis(1)),
+            read_poll: options
+                .idle_timeout
+                .max(Duration::from_millis(1))
+                .min(Duration::from_millis(250)),
+            write_timeout: options.write_timeout.max(Duration::from_millis(1)),
+            max_connections: options.max_connections.max(1),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hdpm-accept".into())
+                .spawn(move || run_accept(&shared, &listener))?
+        };
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hdpm-worker-{i}"))
+                    .spawn(move || run_worker(&shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        telemetry::event(
+            telemetry::Level::Info,
+            "server.listening",
+            &[
+                ("addr", addr.to_string().into()),
+                ("workers", workers.len().into()),
+                ("queue_depth", shared.queue.capacity().into()),
+            ],
+        );
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine shared by the worker pool (e.g. for pre-warming).
+    pub fn engine(&self) -> &PowerEngine {
+        &self.shared.engine
+    }
+
+    /// Gracefully drain: stop accepting, stop reading, answer everything
+    /// already queued, join the worker pool, and report lifetime totals.
+    /// In-flight characterizations run to completion — their replies are
+    /// on the wire before this returns.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.begin_drain();
+        // Readers poll the draining flag at `read_poll` granularity; give
+        // them a generous window to stop framing before the queue closes.
+        let patience = Instant::now() + Duration::from_secs(5);
+        while self.shared.connections.load(Ordering::Relaxed) > 0 && Instant::now() < patience {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.shared.queue.close();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let report = self.shared.totals.report();
+        telemetry::event(
+            telemetry::Level::Info,
+            "server.drained",
+            &[
+                ("connections", report.connections.into()),
+                ("ok", report.ok.into()),
+                ("errors", report.errors.into()),
+                ("shed", report.shed.into()),
+                ("timeouts", report.timeouts.into()),
+            ],
+        );
+        report
+    }
+
+    fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::Relaxed);
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for Server {
+    /// A dropped (not shut down) server still releases its threads:
+    /// accept and workers are told to exit, but nothing is joined and no
+    /// drain guarantee is made — call [`Server::shutdown`] for that.
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.begin_drain();
+            self.shared.queue.close();
+        }
+    }
+}
+
+fn run_accept(shared: &Arc<Shared>, listener: &TcpListener) {
+    for incoming in listener.incoming() {
+        if shared.draining() {
+            break;
+        }
+        let Ok(stream) = incoming else { continue };
+        if shared.connections.load(Ordering::Relaxed) >= shared.max_connections {
+            telemetry::counter_add("server.conn.rejected", 1);
+            shared.totals.shed.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(shared.write_timeout));
+            let reject = protocol::error_line(
+                ErrorKind::Overloaded,
+                &format!(
+                    "connection limit reached ({} active)",
+                    shared.max_connections
+                ),
+            );
+            let _ = stream.write_all(reject.as_bytes());
+            let _ = stream.write_all(b"\n");
+            continue; // dropped: closed
+        }
+        let Ok(write_half) = stream.try_clone() else {
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(shared.read_poll));
+        let _ = write_half.set_write_timeout(Some(shared.write_timeout));
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        shared.totals.connections.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("server.conn.accepted", 1);
+        let conn = Arc::new(Conn::new(write_half));
+        let reader_shared = Arc::clone(shared);
+        let reader_conn = Arc::clone(&conn);
+        let spawned = std::thread::Builder::new()
+            .name("hdpm-conn".into())
+            .spawn(move || run_reader(&reader_shared, &reader_conn, stream));
+        if spawned.is_err() {
+            // Reader never ran: release the slot it reserved.
+            shared.connections.fetch_sub(1, Ordering::Relaxed);
+            conn.kill();
+        }
+    }
+}
+
+/// Frame lines off one connection into the queue until EOF, error, idle
+/// expiry, teardown or drain.
+fn run_reader(shared: &Arc<Shared>, conn: &Arc<Conn>, stream: TcpStream) {
+    let mut reader = BufReader::new(stream);
+    let mut raw: Vec<u8> = Vec::new();
+    let mut last_activity = Instant::now();
+    let mut next_seq = 0u64;
+    loop {
+        if shared.draining() || !conn.is_alive() {
+            break;
+        }
+        match reader.read_until(b'\n', &mut raw) {
+            Ok(0) => {
+                // EOF; a final unterminated line still deserves a reply.
+                if !raw.is_empty() {
+                    shared.enqueue(conn, &mut next_seq, std::mem::take(&mut raw));
+                }
+                break;
+            }
+            Ok(_) => {
+                if raw.last() == Some(&b'\n') {
+                    shared.enqueue(conn, &mut next_seq, std::mem::take(&mut raw));
+                    last_activity = Instant::now();
+                }
+                // else: delimiter-less read = EOF; the next iteration
+                // returns Ok(0) and flushes `raw`.
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Poll tick: partial bytes (if any) stay in `raw`.
+                if last_activity.elapsed() >= shared.idle_timeout {
+                    telemetry::counter_add("server.conn.reaped", 1);
+                    conn.kill();
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    shared.connections.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn run_worker(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        telemetry::gauge_set("server.queue.depth", shared.queue.len() as f64);
+        let waited = job.enqueued.elapsed();
+        telemetry::record_duration_ns("server.queue_wait_ns", waited.as_nanos() as u64);
+        let reply = if job.conn.is_alive() {
+            shared.process(&job, waited)
+        } else {
+            None // dead connection: advance the sequencer, write nothing
+        };
+        job.conn.submit(job.seq, reply);
+    }
+}
