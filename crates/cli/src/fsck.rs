@@ -1,0 +1,66 @@
+//! `hdpm fsck` — scan a model-library root for corrupt, stale or foreign
+//! artifacts, and optionally repair it.
+//!
+//! The status/action table goes to stdout (stable, machine-diffable);
+//! per-entry diagnostics and the scanned root go to stderr. A scan-only
+//! run exits non-zero when the store is dirty so scripts can gate on it.
+
+use std::path::Path;
+
+use hdpm_core::{fsck, FsckOptions};
+use hdpm_telemetry as telemetry;
+
+use crate::args::ParsedArgs;
+use crate::{reject_unknown_options, CliResult};
+
+pub fn cmd_fsck(args: &ParsedArgs) -> CliResult {
+    let _span = telemetry::span("cli.fsck");
+    reject_unknown_options(
+        args,
+        &[],
+        &["repair"],
+        "fsck takes a library root and --repair",
+    )?;
+    let root = args
+        .positional
+        .first()
+        .ok_or("missing library root (usage: hdpm fsck <model-dir> [--repair])")?;
+    let root = Path::new(root);
+    if !root.is_dir() {
+        return Err(format!("`{}` is not a directory", root.display()).into());
+    }
+    let options = FsckOptions {
+        repair: args.flag("repair"),
+    };
+    eprintln!("fsck: scanning {}", root.display());
+    let report = fsck(root, &options)?;
+
+    println!("{:<20} {:<16} entry", "status", "action");
+    for entry in &report.entries {
+        println!(
+            "{:<20} {:<16} {}",
+            entry.status.as_str(),
+            entry.action.as_str(),
+            entry.name
+        );
+        if !entry.detail.is_empty() {
+            eprintln!("fsck: {}: {}", entry.name, entry.detail);
+        }
+    }
+    let unhealthy = report.count(|s| !s.is_healthy());
+    println!("{} entries, {} unhealthy", report.entries.len(), unhealthy);
+
+    if options.repair {
+        // Every repairable entry has been handled (quarantined files are
+        // out of the store by definition); a follow-up scan verifies.
+        Ok(())
+    } else if report.is_clean() {
+        println!("store is clean");
+        Ok(())
+    } else {
+        Err(
+            format!("store is dirty: {unhealthy} unhealthy entries (run `hdpm fsck --repair`)")
+                .into(),
+        )
+    }
+}

@@ -13,6 +13,7 @@
 //! ```
 
 mod args;
+mod fsck;
 mod serve;
 mod server_cmd;
 
@@ -52,6 +53,7 @@ USAGE:
                     [--manifest <file>] [engine options as for serve]
   hdpm vcd          --module <kind> --width <m> --data <type>
                     [--cycles <n>] [--seed <s>] --out <file>
+  hdpm fsck         <model-dir> [--repair]
 
   <kind>: ripple_adder cla_adder absval csa_multiplier booth_wallace_mult
           incrementer subtractor comparator carry_select_adder
@@ -82,6 +84,14 @@ SERVER:
   stderr); --workers 0 uses all cores; --deadline-ms 0 disables request
   deadlines; close stdin or send a `shutdown` line to drain; --manifest
   writes the drain report as JSON.
+
+FSCK:
+  scan a --models library root for corrupt, stale-version, truncated or
+  foreign artifacts (see docs/persistence.md). A scan-only run exits
+  non-zero on a dirty store; --repair migrates legacy artifacts in
+  place, quarantines faulty ones to <root>/quarantine/, removes orphan
+  temps and stale locks, and re-characterizes quarantined artifacts
+  whose configuration sidecar survives.
 
 GLOBAL OPTIONS:
   --telemetry <human|json>  emit metrics and events (default: off);
@@ -127,6 +137,7 @@ fn main() -> ExitCode {
         Some("serve") => serve::cmd_serve(&args),
         Some("server") => server_cmd::cmd_server(&args),
         Some("vcd") => cmd_vcd(&args),
+        Some("fsck") => fsck::cmd_fsck(&args),
         Some(other) => {
             return report_error(None, &format!("unknown subcommand `{other}`"));
         }

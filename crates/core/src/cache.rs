@@ -19,18 +19,30 @@ const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 /// FNV-1a prime (64-bit).
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 
-/// Content hash of a characterization configuration: FNV-1a over its
-/// canonical JSON serialization. Any field change — pattern budget, seed,
-/// stimulus, delay model, tolerances, clustering — yields a different
-/// fingerprint, so configurations address disjoint cache entries.
-pub fn config_fingerprint(config: &CharacterizationConfig) -> u64 {
-    let json = serde_json::to_string(config).expect("config serializes");
+/// FNV-1a over a byte string — the one content hash of the model store.
+/// Besides the configuration fingerprint below, [`crate::persist`] uses it
+/// to checksum artifact payloads inside the on-disk envelope.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = FNV_OFFSET;
-    for byte in json.as_bytes() {
+    for byte in bytes {
         hash ^= u64::from(*byte);
         hash = hash.wrapping_mul(FNV_PRIME);
     }
     hash
+}
+
+/// Content hash of a characterization configuration: FNV-1a over its
+/// canonical JSON serialization. Any field change — pattern budget, seed,
+/// stimulus, delay model, tolerances, clustering — yields a different
+/// fingerprint, so configurations address disjoint cache entries.
+///
+/// This is the **canonical key fingerprint of the whole store**: the
+/// in-memory [`ModelKey`] and the on-disk artifact file names of
+/// [`crate::ModelLibrary`] both derive from it, so the two tiers can never
+/// disagree about which configuration an artifact belongs to.
+pub fn config_fingerprint(config: &CharacterizationConfig) -> u64 {
+    let json = serde_json::to_string(config).expect("config serializes");
+    fnv1a64(json.as_bytes())
 }
 
 /// Identity of one cached characterization:
@@ -57,6 +69,16 @@ impl ModelKey {
             config_hash: config_fingerprint(config),
             shards,
         }
+    }
+
+    /// The on-disk artifact file name of this key: the [`Display`] form
+    /// plus `.json`. [`crate::ModelLibrary::path_for`] joins this under
+    /// its root, so the disk tier is keyed by exactly the same
+    /// (spec, fingerprint, shards) triple as the memory tier.
+    ///
+    /// [`Display`]: std::fmt::Display
+    pub fn artifact_file_name(&self) -> String {
+        format!("{self}.json")
     }
 }
 

@@ -47,7 +47,7 @@ use crate::characterize::{
     characterize, characterize_sharded, Characterization, CharacterizationConfig,
 };
 use crate::error::ModelError;
-use crate::library::ModelLibrary;
+use crate::library::{CorruptArtifactPolicy, LibrarySource, ModelLibrary};
 use crate::shard::{parallel_map_ordered, resolve_threads, ShardingConfig};
 
 /// Construction options of a [`PowerEngine`].
@@ -236,15 +236,17 @@ impl PowerEngine {
     /// tier is a [`ModelLibrary`] keyed identically (configuration and
     /// shard count in the artifact names).
     pub fn new(options: EngineOptions) -> Self {
-        let library = options
-            .disk_root
-            .as_ref()
-            .map(|root| match options.sharding {
+        let library = options.disk_root.as_ref().map(|root| {
+            match options.sharding {
                 Some(sharding) => {
                     ModelLibrary::with_sharding(root.clone(), options.config, sharding)
                 }
                 None => ModelLibrary::new(root.clone(), options.config),
-            });
+            }
+            // Serving must survive a dirty store: corrupt artifacts
+            // are quarantined and re-characterized, never fatal.
+            .with_corrupt_policy(CorruptArtifactPolicy::Quarantine)
+        });
         let capacity = options.capacity.max(1);
         PowerEngine {
             library,
@@ -366,16 +368,21 @@ impl PowerEngine {
         spec: ModuleSpec,
     ) -> Result<(Arc<Characterization>, CacheSource), ModelError> {
         if let Some(library) = &self.library {
-            let from_disk = library.contains(spec);
-            let result = library.get(spec)?;
-            return if from_disk {
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                telemetry::counter_add("engine.disk.hit", 1);
-                Ok((Arc::new(result), CacheSource::Disk))
-            } else {
-                self.characterizations.fetch_add(1, Ordering::Relaxed);
-                telemetry::counter_add("engine.characterize", 1);
-                Ok((Arc::new(result), CacheSource::Fresh))
+            // get_traced reports which store path actually served the
+            // request, so attribution cannot race a concurrent writer the
+            // way a separate contains()-then-get() check could.
+            let (result, source) = library.get_traced(spec)?;
+            return match source {
+                LibrarySource::DiskValid | LibrarySource::DiskMigrated => {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    telemetry::counter_add("engine.disk.hit", 1);
+                    Ok((Arc::new(result), CacheSource::Disk))
+                }
+                LibrarySource::Characterized | LibrarySource::Recovered => {
+                    self.characterizations.fetch_add(1, Ordering::Relaxed);
+                    telemetry::counter_add("engine.characterize", 1);
+                    Ok((Arc::new(result), CacheSource::Fresh))
+                }
             };
         }
         let netlist = spec.build()?.validate()?;
@@ -519,13 +526,9 @@ mod tests {
 
     #[test]
     fn disk_tier_survives_engine_restart() {
-        let root = std::env::temp_dir().join(format!(
-            "hdpm_engine_disk_{}_{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
+        let root = crate::test_support::TempDir::new("engine_disk");
         let options = EngineOptions {
-            disk_root: Some(root.clone()),
+            disk_root: Some(root.path().to_path_buf()),
             ..quick_options()
         };
         let spec = ModuleSpec::new(ModuleKind::RippleAdder, 4usize);
@@ -541,7 +544,30 @@ mod tests {
         assert_eq!(c.model, first, "disk round-trip is exact");
         assert_eq!(engine.stats().disk_hits, 1);
         assert_eq!(engine.stats().characterizations, 0);
-        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn dirty_disk_tier_is_quarantined_not_fatal() {
+        let root = crate::test_support::TempDir::new("engine_dirty");
+        let options = EngineOptions {
+            disk_root: Some(root.path().to_path_buf()),
+            ..quick_options()
+        };
+        let spec = ModuleSpec::new(ModuleKind::RippleAdder, 4usize);
+        // Plant a corrupt artifact exactly where the engine will look.
+        let engine = PowerEngine::new(options.clone());
+        let path = root.path().join(engine.key_for(spec).artifact_file_name());
+        std::fs::write(&path, "{torn artifact").unwrap();
+        let (_, source) = engine.fetch(spec).unwrap();
+        assert_eq!(source, CacheSource::Fresh, "recovered by characterizing");
+        assert!(
+            root.path().join("quarantine").is_dir(),
+            "corrupt artifact moved aside"
+        );
+        // A second engine cold-starts from the repaired store.
+        let engine = PowerEngine::new(options);
+        let (_, source) = engine.fetch(spec).unwrap();
+        assert_eq!(source, CacheSource::Disk);
     }
 
     #[test]

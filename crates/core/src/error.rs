@@ -4,6 +4,48 @@ use std::path::PathBuf;
 
 use crate::linalg::LinalgError;
 
+/// How a stored model artifact failed validation.
+///
+/// Every corruption the crash-consistency suite injects (torn writes,
+/// truncations, bit flips, foreign files) must surface as exactly one of
+/// these kinds — never as a silently wrong model. The same taxonomy drives
+/// the `hdpm fsck` classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArtifactFaultKind {
+    /// The file is empty, cut short, or not parseable as JSON at all
+    /// (torn or truncated write, structural corruption).
+    Truncated,
+    /// The envelope parsed but its payload checksum does not match the
+    /// recorded one (bit rot, partial overwrite).
+    ChecksumMismatch,
+    /// The envelope declares a format version this build does not
+    /// understand.
+    StaleVersion,
+    /// The file is valid JSON but is not an hdpm artifact, or it carries
+    /// a key fingerprint that does not belong at its path (a model for a
+    /// different spec/configuration — serving it would be silently
+    /// wrong).
+    Foreign,
+}
+
+impl ArtifactFaultKind {
+    /// Stable kebab-case name, as printed by `hdpm fsck`.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ArtifactFaultKind::Truncated => "truncated",
+            ArtifactFaultKind::ChecksumMismatch => "checksum-mismatch",
+            ArtifactFaultKind::StaleVersion => "stale-version",
+            ArtifactFaultKind::Foreign => "foreign",
+        }
+    }
+}
+
+impl std::fmt::Display for ArtifactFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Errors produced by characterization, regression, estimation and
 /// persistence.
 #[derive(Debug)]
@@ -50,7 +92,20 @@ pub enum ModelError {
     Artifact {
         /// Path of the unreadable or corrupt artifact.
         path: PathBuf,
+        /// How the artifact failed validation.
+        kind: ArtifactFaultKind,
         /// Underlying io/parse failure, rendered.
+        detail: String,
+    },
+    /// The per-artifact advisory lock could not be acquired: another
+    /// process held it past the wait budget. The holder may still be
+    /// characterizing; retry later or raise the timeout.
+    StoreLock {
+        /// The lock file that stayed held.
+        path: PathBuf,
+        /// How long this process waited, in milliseconds.
+        waited_ms: u64,
+        /// What was observed (holder pid, last error), rendered.
         detail: String,
     },
     /// A characterization configuration failed builder validation.
@@ -103,9 +158,18 @@ impl std::fmt::Display for ModelError {
             ),
             ModelError::Persist(e) => write!(f, "model serialization failed: {e}"),
             ModelError::Io(e) => write!(f, "i/o error: {e}"),
-            ModelError::Artifact { path, detail } => write!(
+            ModelError::Artifact { path, kind, detail } => write!(
                 f,
-                "model artifact `{}` is unreadable or corrupt: {detail}",
+                "model artifact `{}` is unreadable or corrupt ({kind}): {detail}",
+                path.display()
+            ),
+            ModelError::StoreLock {
+                path,
+                waited_ms,
+                detail,
+            } => write!(
+                f,
+                "artifact lock `{}` still held after {waited_ms} ms: {detail}",
                 path.display()
             ),
             ModelError::InvalidConfig {
@@ -188,15 +252,37 @@ mod tests {
     }
 
     #[test]
-    fn artifact_error_names_the_path() {
+    fn artifact_error_names_the_path_and_kind() {
         let e = ModelError::Artifact {
             path: PathBuf::from("/models/ripple_adder_4.json"),
+            kind: ArtifactFaultKind::ChecksumMismatch,
             detail: "expected object, found string".into(),
         };
         let msg = e.to_string();
         assert!(msg.contains("/models/ripple_adder_4.json"));
         assert!(msg.contains("corrupt"));
+        assert!(msg.contains("checksum-mismatch"));
         assert!(msg.contains("expected object"));
+    }
+
+    #[test]
+    fn fault_kinds_render_kebab_case() {
+        assert_eq!(ArtifactFaultKind::Truncated.as_str(), "truncated");
+        assert_eq!(ArtifactFaultKind::StaleVersion.as_str(), "stale-version");
+        assert_eq!(ArtifactFaultKind::Foreign.to_string(), "foreign");
+    }
+
+    #[test]
+    fn store_lock_error_reports_the_wait() {
+        let e = ModelError::StoreLock {
+            path: PathBuf::from("/models/x.json.lock"),
+            waited_ms: 1500,
+            detail: "held by pid 42".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("x.json.lock"));
+        assert!(msg.contains("1500 ms"));
+        assert!(msg.contains("pid 42"));
     }
 
     #[test]

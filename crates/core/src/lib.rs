@@ -59,6 +59,9 @@ mod model;
 pub mod persist;
 mod regress;
 mod shard;
+mod store;
+#[doc(hidden)]
+pub mod test_support;
 
 pub use adapt::AdaptiveHdModel;
 pub use bitwise::BitwiseModel;
@@ -68,19 +71,22 @@ pub use characterize::{
     CharacterizationConfig, CharacterizationConfigBuilder, ConvergencePoint, StimulusKind,
 };
 pub use engine::{CacheSource, EngineOptions, EngineStats, Estimate, PowerEngine, WarmReport};
-pub use error::ModelError;
+pub use error::{ArtifactFaultKind, ModelError};
 pub use estimate::{
     accuracy, distribution_vs_average, evaluate, evaluate_batch, predict_trace, AccuracyReport,
     DistributionVsAverage, Estimator,
 };
 #[allow(deprecated)]
 pub use estimate::{evaluate_enhanced, evaluate_enhanced_batch, predict_trace_enhanced};
-pub use library::ModelLibrary;
+pub use library::{CorruptArtifactPolicy, LibrarySource, ModelLibrary, DEFAULT_LOCK_TIMEOUT};
 pub use model::{EnhancedHdModel, HdModel, ZeroClustering};
 pub use regress::{ParameterizableModel, Prototype, PrototypeSet};
 pub use shard::{
     parallel_map_ordered, resolve_threads, shard_budgets, shard_seed, threads_from_env,
     ClassAccumulator, ShardingConfig,
+};
+pub use store::{
+    fsck, FsckEntry, FsckOptions, FsckReport, FsckStatus, RepairAction, META_DIR, QUARANTINE_DIR,
 };
 
 pub mod prelude {

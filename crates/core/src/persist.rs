@@ -1,16 +1,139 @@
-//! Model persistence: save and load characterized models as JSON, so
-//! characterization (the expensive step) runs once per library, exactly as
-//! a deployed macro-model library would be shipped.
+//! Crash-safe model persistence: every artifact is wrapped in a versioned,
+//! checksummed envelope and written via temp-file + fsync + atomic rename,
+//! so a reader either sees a complete valid artifact or none at all —
+//! never a torn one.
+//!
+//! # Envelope format (version 1)
+//!
+//! ```json
+//! {"hdpm_envelope":1,
+//!  "meta":{"spec":"ripple_adder_4","config_fingerprint":"…16 hex…","shards":8},
+//!  "checksum":"fnv1a64:…16 hex…",
+//!  "payload":{…the model JSON…}}
+//! ```
+//!
+//! * `hdpm_envelope` — format version; unknown versions are reported as
+//!   [`ArtifactFaultKind::StaleVersion`], never guessed at.
+//! * `meta` — the identity the artifact was written for. When a caller
+//!   states the identity it expects (the [`EnvelopeMeta`] derived from a
+//!   [`crate::ModelKey`]), any mismatch is reported as
+//!   [`ArtifactFaultKind::Foreign`]: a model for a different
+//!   spec/configuration is *wrong*, not merely stale.
+//! * `checksum` — FNV-1a over the canonical (compact) serialization of
+//!   `payload`; a failed check is [`ArtifactFaultKind::ChecksumMismatch`].
+//!
+//! Files that predate the envelope (bare model JSON) still load and are
+//! reported as [`EnvelopeStatus::LegacyPayload`] so callers can migrate
+//! them in place; see `docs/persistence.md`.
+//!
+//! # Fault injection
+//!
+//! The [`fault`] module exposes a **test-only**, thread-local hook that
+//! corrupts the next atomic write on the calling thread (truncation, bit
+//! flip, simulated crash, rename failure). The crash-consistency suite
+//! uses it to prove the load path classifies every corruption instead of
+//! returning a silently wrong model.
 
-use std::fs;
+use std::fs::{self, File};
+use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::de::DeserializeOwned;
-use serde::Serialize;
+use serde::{Serialize, Value};
 
-use crate::error::ModelError;
+use crate::cache::fnv1a64;
+use crate::error::{ArtifactFaultKind, ModelError};
 
-/// Serialize any model type of this crate to a JSON string.
+/// Current artifact envelope format version.
+pub const ENVELOPE_VERSION: u64 = 1;
+
+/// Identity stamped into (and expected from) an artifact envelope.
+///
+/// All fields are optional: a plain [`save`] writes an anonymous envelope,
+/// and absent fields are never checked on load. [`crate::ModelLibrary`]
+/// fills every field from its [`crate::ModelKey`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EnvelopeMeta {
+    /// The module spec the payload was characterized for (`Display` form).
+    pub spec: Option<String>,
+    /// [`crate::config_fingerprint`] of the characterization configuration.
+    pub config_fingerprint: Option<u64>,
+    /// Shard count of the characterization driver (0 = sequential).
+    pub shards: Option<usize>,
+}
+
+impl EnvelopeMeta {
+    fn to_value(&self) -> Value {
+        let mut fields = Vec::new();
+        if let Some(spec) = &self.spec {
+            fields.push(("spec".to_string(), Value::Str(spec.clone())));
+        }
+        if let Some(fp) = self.config_fingerprint {
+            fields.push((
+                "config_fingerprint".to_string(),
+                Value::Str(format!("{fp:016x}")),
+            ));
+        }
+        if let Some(shards) = self.shards {
+            fields.push(("shards".to_string(), Value::UInt(shards as u64)));
+        }
+        Value::Object(fields)
+    }
+
+    fn from_value(value: &Value) -> EnvelopeMeta {
+        EnvelopeMeta {
+            spec: value
+                .get("spec")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            config_fingerprint: value
+                .get("config_fingerprint")
+                .and_then(Value::as_str)
+                .and_then(|s| u64::from_str_radix(s, 16).ok()),
+            shards: value
+                .get("shards")
+                .and_then(Value::as_u64)
+                .map(|s| s as usize),
+        }
+    }
+
+    /// The first field of `self` that contradicts `found`, if any.
+    /// Absent fields on either side are not compared.
+    fn mismatch_against(&self, found: &EnvelopeMeta) -> Option<String> {
+        if let (Some(want), Some(got)) = (&self.spec, &found.spec) {
+            if want != got {
+                return Some(format!("spec `{got}` (expected `{want}`)"));
+            }
+        }
+        if let (Some(want), Some(got)) = (self.config_fingerprint, found.config_fingerprint) {
+            if want != got {
+                return Some(format!(
+                    "config fingerprint {got:016x} (expected {want:016x})"
+                ));
+            }
+        }
+        if let (Some(want), Some(got)) = (self.shards, found.shards) {
+            if want != got {
+                return Some(format!("shard count {got} (expected {want})"));
+            }
+        }
+        None
+    }
+}
+
+/// How a successfully loaded artifact was stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvelopeStatus {
+    /// A current-version envelope with a verified checksum.
+    Current,
+    /// A pre-envelope bare payload (valid, but unprotected); callers
+    /// should migrate it in place.
+    LegacyPayload,
+}
+
+/// Serialize any model type of this crate to a JSON string (the bare
+/// payload, without the on-disk envelope).
 ///
 /// # Errors
 ///
@@ -35,7 +158,7 @@ pub fn to_json<T: Serialize>(value: &T) -> Result<String, ModelError> {
     Ok(serde_json::to_string_pretty(value)?)
 }
 
-/// Deserialize a model from a JSON string.
+/// Deserialize a model from a JSON string (bare payload form).
 ///
 /// # Errors
 ///
@@ -44,36 +167,375 @@ pub fn from_json<T: DeserializeOwned>(json: &str) -> Result<T, ModelError> {
     Ok(serde_json::from_str(json)?)
 }
 
-/// Write a model to a JSON file, creating parent directories as needed.
+/// Write a model to disk as an anonymous version-1 envelope, atomically.
+///
+/// Equivalent to [`save_with_meta`] with an empty [`EnvelopeMeta`].
 ///
 /// # Errors
 ///
 /// Returns [`ModelError::Io`] on filesystem failure or
 /// [`ModelError::Persist`] on serialization failure.
 pub fn save<T: Serialize>(value: &T, path: impl AsRef<Path>) -> Result<(), ModelError> {
-    let path = path.as_ref();
-    if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
-    }
-    fs::write(path, to_json(value)?)?;
-    Ok(())
+    save_with_meta(value, &EnvelopeMeta::default(), path)
 }
 
-/// Load a model from a JSON file.
+/// Write a model to disk as a version-1 envelope carrying `meta`,
+/// creating parent directories as needed.
+///
+/// The write is crash-safe: the envelope goes to a unique temp file in
+/// the same directory, is flushed with `fsync`, and is renamed over the
+/// final path in one atomic step (the directory itself is then synced,
+/// best-effort). A crash at any point leaves either the old artifact, no
+/// artifact, or the complete new artifact at the final path — never a
+/// torn file.
 ///
 /// # Errors
 ///
-/// Returns [`ModelError::Io`] if the file cannot be read or
-/// [`ModelError::Persist`] if it does not parse.
+/// Returns [`ModelError::Io`] on filesystem failure or
+/// [`ModelError::Persist`] on serialization failure.
+pub fn save_with_meta<T: Serialize>(
+    value: &T,
+    meta: &EnvelopeMeta,
+    path: impl AsRef<Path>,
+) -> Result<(), ModelError> {
+    let payload = serde_json::to_string(value)?;
+    let checksum = fnv1a64(payload.as_bytes());
+    let meta_json = serde_json::to_string(&meta.to_value())?;
+    let text = format!(
+        "{{\"hdpm_envelope\":{ENVELOPE_VERSION},\"meta\":{meta_json},\
+         \"checksum\":\"fnv1a64:{checksum:016x}\",\"payload\":{payload}}}"
+    );
+    write_atomic(path.as_ref(), text.as_bytes())
+}
+
+/// Load a model from a JSON artifact, accepting both the version-1
+/// envelope (verified) and pre-envelope bare payloads.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Io`] if the file cannot be read and
+/// [`ModelError::Artifact`] (with a typed [`ArtifactFaultKind`]) if it is
+/// truncated, corrupt, foreign or of an unsupported version.
 pub fn load<T: DeserializeOwned>(path: impl AsRef<Path>) -> Result<T, ModelError> {
-    let text = fs::read_to_string(path)?;
-    from_json(&text)
+    load_classified(path, &EnvelopeMeta::default()).map(|(value, _)| value)
+}
+
+/// Load a model and report how it was stored, verifying the envelope
+/// against the identity the caller `expected`.
+///
+/// # Errors
+///
+/// As for [`load`]; additionally, an envelope whose `meta` contradicts a
+/// field stated in `expected` is an [`ArtifactFaultKind::Foreign`] fault
+/// — an artifact for a different key must never be served from this path.
+pub fn load_classified<T: DeserializeOwned>(
+    path: impl AsRef<Path>,
+    expected: &EnvelopeMeta,
+) -> Result<(T, EnvelopeStatus), ModelError> {
+    let path = path.as_ref();
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        // Corruption can destroy UTF-8 validity; that is an artifact
+        // fault, not an environment error like a missing file.
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            return Err(ModelError::Artifact {
+                path: path.to_path_buf(),
+                kind: ArtifactFaultKind::Truncated,
+                detail: format!("not readable as UTF-8 text: {e}"),
+            })
+        }
+        Err(e) => return Err(ModelError::Io(e)),
+    };
+    match classify_text::<T>(&text, expected) {
+        Classified::Valid { value, status } => Ok((value, status)),
+        Classified::Fault { kind, detail } => Err(ModelError::Artifact {
+            path: path.to_path_buf(),
+            kind,
+            detail,
+        }),
+    }
+}
+
+/// How a present artifact file classified: its [`EnvelopeStatus`] when it
+/// loads, or the typed fault (kind plus detail) when it does not.
+pub(crate) type FileClass = Result<EnvelopeStatus, (ArtifactFaultKind, String)>;
+
+/// Classify an artifact file without keeping the payload: `Ok(None)` when
+/// the file does not exist, otherwise its [`FileClass`]. Only unexpected
+/// I/O failures error.
+pub(crate) fn classify_file<T: DeserializeOwned>(
+    path: &Path,
+    expected: &EnvelopeMeta,
+) -> Result<Option<FileClass>, ModelError> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            return Ok(Some(Err((
+                ArtifactFaultKind::Truncated,
+                format!("not readable as UTF-8 text: {e}"),
+            ))))
+        }
+        Err(e) => return Err(ModelError::Io(e)),
+    };
+    Ok(Some(match classify_text::<T>(&text, expected) {
+        Classified::Valid { status, .. } => Ok(status),
+        Classified::Fault { kind, detail } => Err((kind, detail)),
+    }))
+}
+
+enum Classified<T> {
+    Valid {
+        value: T,
+        status: EnvelopeStatus,
+    },
+    Fault {
+        kind: ArtifactFaultKind,
+        detail: String,
+    },
+}
+
+fn fault<T>(kind: ArtifactFaultKind, detail: impl Into<String>) -> Classified<T> {
+    Classified::Fault {
+        kind,
+        detail: detail.into(),
+    }
+}
+
+/// The single classification routine behind [`load_classified`] and
+/// `hdpm fsck`: map artifact text to a value or a typed fault.
+fn classify_text<T: DeserializeOwned>(text: &str, expected: &EnvelopeMeta) -> Classified<T> {
+    let value: Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => {
+            return fault(
+                ArtifactFaultKind::Truncated,
+                format!("not parseable as JSON (torn or truncated write?): {e}"),
+            )
+        }
+    };
+    if value.as_object().is_none() {
+        return fault(ArtifactFaultKind::Foreign, "not a JSON object");
+    }
+    let Some(version_field) = value.get("hdpm_envelope") else {
+        // Pre-envelope artifact: a bare payload, accepted for migration.
+        return match T::from_value(&value) {
+            Ok(payload) => Classified::Valid {
+                value: payload,
+                status: EnvelopeStatus::LegacyPayload,
+            },
+            Err(e) => fault(
+                ArtifactFaultKind::Foreign,
+                format!("neither an hdpm envelope nor a bare model payload: {e}"),
+            ),
+        };
+    };
+    let Some(version) = version_field.as_u64() else {
+        return fault(
+            ArtifactFaultKind::Foreign,
+            "envelope version is not an integer",
+        );
+    };
+    if version != ENVELOPE_VERSION {
+        return fault(
+            ArtifactFaultKind::StaleVersion,
+            format!("envelope version {version}, this build reads version {ENVELOPE_VERSION}"),
+        );
+    }
+    let Some(declared) = value
+        .get("checksum")
+        .and_then(Value::as_str)
+        .and_then(|s| s.strip_prefix("fnv1a64:"))
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+    else {
+        return fault(
+            ArtifactFaultKind::Truncated,
+            "envelope is missing a well-formed `checksum` field",
+        );
+    };
+    let Some(payload) = value.get("payload") else {
+        return fault(
+            ArtifactFaultKind::Truncated,
+            "envelope is missing its `payload` field",
+        );
+    };
+    let canonical = match serde_json::to_string(payload) {
+        Ok(text) => text,
+        Err(e) => return fault(ArtifactFaultKind::Foreign, e.to_string()),
+    };
+    let actual = fnv1a64(canonical.as_bytes());
+    if actual != declared {
+        return fault(
+            ArtifactFaultKind::ChecksumMismatch,
+            format!("payload checksum {actual:016x} does not match recorded {declared:016x}"),
+        );
+    }
+    if let Some(meta_value) = value.get("meta") {
+        let found = EnvelopeMeta::from_value(meta_value);
+        if let Some(mismatch) = expected.mismatch_against(&found) {
+            return fault(
+                ArtifactFaultKind::Foreign,
+                format!("artifact belongs to a different key: {mismatch}"),
+            );
+        }
+    }
+    match T::from_value(payload) {
+        Ok(payload) => Classified::Valid {
+            value: payload,
+            status: EnvelopeStatus::Current,
+        },
+        Err(e) => fault(
+            ArtifactFaultKind::Foreign,
+            format!("payload has the wrong shape for the requested model type: {e}"),
+        ),
+    }
+}
+
+/// Whether a directory entry name is a temp file left behind by an
+/// interrupted [`save_with_meta`] (crash between write and rename).
+pub(crate) fn is_orphan_temp(name: &str) -> bool {
+    name.contains(".json.tmp.")
+}
+
+/// Write `bytes` to `path` atomically: unique temp file in the same
+/// directory, `write` + `fsync`, atomic rename, best-effort directory
+/// sync. Honours one armed [`fault`] on the calling thread.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), ModelError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_string());
+    let temp = path.with_file_name(format!(
+        "{file_name}.tmp.{}.{}",
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+
+    let injected = fault::take();
+    let mut written: Vec<u8>;
+    let mut to_write: &[u8] = bytes;
+    match injected {
+        Some(fault::Fault::TruncateWrite(keep)) => {
+            to_write = &bytes[..keep.min(bytes.len())];
+        }
+        Some(fault::Fault::FlipBit(bit)) => {
+            written = bytes.to_vec();
+            let at = (bit / 8) % written.len().max(1);
+            written[at] ^= 1 << (bit % 8);
+            to_write = &written;
+        }
+        _ => {}
+    }
+
+    let mut file = File::create(&temp)?;
+    if let Some(fault::Fault::CrashMidWrite(n)) = injected {
+        // Simulate a kill mid-write: a torn, unsynced temp file and no
+        // rename. The final path must remain untouched.
+        file.write_all(&to_write[..n.min(to_write.len())])?;
+        drop(file);
+        return Err(injected_crash("mid-write"));
+    }
+    file.write_all(to_write)?;
+    file.sync_all()?;
+    drop(file);
+
+    match injected {
+        Some(fault::Fault::CrashBeforeRename) => {
+            // Fully written and synced temp file, killed before rename.
+            return Err(injected_crash("before rename"));
+        }
+        Some(fault::Fault::FailRename) => {
+            let _ = fs::remove_file(&temp);
+            return Err(ModelError::Io(std::io::Error::other(
+                "injected rename failure",
+            )));
+        }
+        _ => {}
+    }
+
+    if let Err(e) = fs::rename(&temp, path) {
+        let _ = fs::remove_file(&temp);
+        return Err(ModelError::Io(e));
+    }
+    // Make the rename durable. Failure to sync the directory is not
+    // fatal for correctness (the rename is still atomic), so best-effort.
+    #[cfg(unix)]
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+fn injected_crash(stage: &str) -> ModelError {
+    ModelError::Io(std::io::Error::other(format!(
+        "injected crash {stage} (fault injection)"
+    )))
+}
+
+#[doc(hidden)]
+pub mod fault {
+    //! Test-only fault injection for the atomic write path.
+    //!
+    //! [`arm`] installs a one-shot fault on the **calling thread**; the
+    //! next `persist` write on that thread consumes it. Faults are
+    //! thread-local so concurrent tests cannot corrupt each other. Not
+    //! part of the public API contract — for the crash-consistency suite
+    //! and `store-fault` CI job only.
+
+    use std::cell::Cell;
+
+    /// One injected fault, consumed by the next atomic write.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Fault {
+        /// Keep only the first `n` bytes of the envelope, but complete the
+        /// rename: models a torn write reaching the final path.
+        TruncateWrite(usize),
+        /// Flip one bit of the envelope (index wraps), completing the
+        /// rename: models silent bit rot.
+        FlipBit(usize),
+        /// Write `n` bytes to the temp file, then fail as a killed
+        /// process would: torn temp file, no rename, final path untouched.
+        CrashMidWrite(usize),
+        /// Write and sync the temp file fully, then fail before the
+        /// rename: complete temp file, final path untouched.
+        CrashBeforeRename,
+        /// Fail the rename itself with an I/O error (temp cleaned up).
+        FailRename,
+    }
+
+    thread_local! {
+        static ARMED: Cell<Option<Fault>> = const { Cell::new(None) };
+    }
+
+    /// Arm a one-shot fault for the next write on this thread.
+    pub fn arm(fault: Fault) {
+        ARMED.with(|cell| cell.set(Some(fault)));
+    }
+
+    /// Clear any armed fault on this thread.
+    pub fn disarm() {
+        ARMED.with(|cell| cell.set(None));
+    }
+
+    /// Consume the armed fault, if any.
+    pub(crate) fn take() -> Option<Fault> {
+        ARMED.with(Cell::take)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::{HdModel, ZeroClustering};
+    use crate::test_support::TempDir;
 
     fn model() -> HdModel {
         HdModel::from_parts(
@@ -94,14 +556,28 @@ mod tests {
     }
 
     #[test]
-    fn file_round_trip() {
-        let dir = std::env::temp_dir().join("hdpm_persist_test");
-        let path = dir.join("nested/model.json");
+    fn file_round_trip_is_enveloped() {
+        let dir = TempDir::new("persist");
+        let path = dir.path().join("nested/model.json");
         let m = model();
         save(&m, &path).unwrap();
-        let back: HdModel = load(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"hdpm_envelope\":1,"), "{text}");
+        assert!(text.contains("\"checksum\":\"fnv1a64:"));
+        let (back, status) = load_classified::<HdModel>(&path, &EnvelopeMeta::default()).unwrap();
         assert_eq!(m, back);
-        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(status, EnvelopeStatus::Current);
+    }
+
+    #[test]
+    fn legacy_bare_payload_still_loads() {
+        let dir = TempDir::new("persist_legacy");
+        let path = dir.path().join("legacy.json");
+        let m = model();
+        std::fs::write(&path, to_json(&m).unwrap()).unwrap();
+        let (back, status) = load_classified::<HdModel>(&path, &EnvelopeMeta::default()).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(status, EnvelopeStatus::LegacyPayload);
     }
 
     #[test]
@@ -114,6 +590,117 @@ mod tests {
     fn missing_file_is_an_io_error() {
         let err = load::<HdModel>("/nonexistent/hdpm/model.json").unwrap_err();
         assert!(matches!(err, ModelError::Io(_)));
+    }
+
+    #[test]
+    fn corrupt_file_is_a_typed_artifact_error() {
+        let dir = TempDir::new("persist_corrupt");
+        let path = dir.path().join("model.json");
+        std::fs::write(&path, "{\"hdpm_envelope\":1, torn").unwrap();
+        match load::<HdModel>(&path) {
+            Err(ModelError::Artifact { kind, .. }) => {
+                assert_eq!(kind, ArtifactFaultKind::Truncated);
+            }
+            other => panic!("expected typed Artifact error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_is_detected() {
+        let dir = TempDir::new("persist_checksum");
+        let path = dir.path().join("model.json");
+        save(&model(), &path).unwrap();
+        // Corrupt one digit inside the payload.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corrupted = text.replacen("1.5", "1.6", 1);
+        assert_ne!(text, corrupted, "fixture contains the digit to corrupt");
+        std::fs::write(&path, corrupted).unwrap();
+        match load::<HdModel>(&path) {
+            Err(ModelError::Artifact { kind, .. }) => {
+                assert_eq!(kind, ArtifactFaultKind::ChecksumMismatch);
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_stale() {
+        let dir = TempDir::new("persist_version");
+        let path = dir.path().join("model.json");
+        std::fs::write(
+            &path,
+            "{\"hdpm_envelope\":99,\"checksum\":\"fnv1a64:0000000000000000\",\"payload\":{}}",
+        )
+        .unwrap();
+        match load::<HdModel>(&path) {
+            Err(ModelError::Artifact { kind, detail, .. }) => {
+                assert_eq!(kind, ArtifactFaultKind::StaleVersion);
+                assert!(detail.contains("99"), "{detail}");
+            }
+            other => panic!("expected stale version, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn meta_mismatch_is_foreign() {
+        let dir = TempDir::new("persist_meta");
+        let path = dir.path().join("model.json");
+        let written = EnvelopeMeta {
+            spec: Some("ripple_adder_4".into()),
+            config_fingerprint: Some(0xAB),
+            shards: Some(8),
+        };
+        save_with_meta(&model(), &written, &path).unwrap();
+        // Same spec, different fingerprint: the artifact is for another
+        // configuration and must not be served.
+        let expected = EnvelopeMeta {
+            config_fingerprint: Some(0xCD),
+            ..written.clone()
+        };
+        match load_classified::<HdModel>(&path, &expected) {
+            Err(ModelError::Artifact { kind, detail, .. }) => {
+                assert_eq!(kind, ArtifactFaultKind::Foreign);
+                assert!(detail.contains("fingerprint"), "{detail}");
+            }
+            other => panic!("expected foreign fault, got {other:?}"),
+        }
+        // The exact expected identity verifies.
+        let (_, status) = load_classified::<HdModel>(&path, &written).unwrap();
+        assert_eq!(status, EnvelopeStatus::Current);
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_droppings() {
+        let dir = TempDir::new("persist_atomic");
+        let path = dir.path().join("model.json");
+        save(&model(), &path).unwrap();
+        let names: Vec<String> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["model.json".to_string()], "{names:?}");
+    }
+
+    #[test]
+    fn injected_crash_before_rename_leaves_final_path_absent() {
+        let dir = TempDir::new("persist_crash");
+        let path = dir.path().join("model.json");
+        fault::arm(fault::Fault::CrashBeforeRename);
+        let err = save(&model(), &path).unwrap_err();
+        assert!(err.to_string().contains("injected crash"), "{err}");
+        assert!(!path.exists(), "no artifact visible at the final path");
+        let droppings: Vec<String> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            droppings.iter().any(|n| is_orphan_temp(n)),
+            "crash leaves a recognizable temp file: {droppings:?}"
+        );
+        // The store recovers: the next save simply succeeds.
+        save(&model(), &path).unwrap();
+        let back: HdModel = load(&path).unwrap();
+        assert_eq!(back, model());
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Shared test scaffolding. `#[doc(hidden)]` — exported so integration
+//! tests and downstream crates' test suites can use the same collision-free
+//! temp-directory guard, but not part of the public API contract.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A uniquely named temporary directory that is removed on drop.
+///
+/// Unlike the older pid+thread-id naming convention, creation *claims* the
+/// directory with `create_dir` and retries on collision, so re-runs after
+/// a panicking test (which leaves droppings but also a dead guard) and
+/// concurrent test binaries can never share or trip over a path.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh directory under the system temp root, its name
+    /// prefixed with `label` for debuggability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the temp root is not writable.
+    pub fn new(label: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let pid = std::process::id();
+        loop {
+            let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir().join(format!("hdpm_{label}_{pid}_{seq}"));
+            match std::fs::create_dir(&path) {
+                Ok(()) => return TempDir { path },
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => panic!("cannot create temp dir {}: {e}", path.display()),
+            }
+        }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Convenience: a child path inside the directory.
+    pub fn join(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tempdirs_are_unique_and_cleaned_up() {
+        let a = TempDir::new("guard");
+        let b = TempDir::new("guard");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        std::fs::write(a.join("file.txt"), "x").unwrap();
+        drop(a);
+        assert!(!kept.exists(), "dropping the guard removes the tree");
+        assert!(b.path().is_dir(), "sibling guard unaffected");
+    }
+}

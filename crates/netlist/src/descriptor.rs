@@ -58,6 +58,30 @@ pub const TABLE1_MODULE_KINDS: [ModuleKind; 5] = [
 ];
 
 impl ModuleKind {
+    /// Every module kind of the catalogue, in declaration order.
+    pub const ALL: [ModuleKind; 14] = [
+        ModuleKind::RippleAdder,
+        ModuleKind::ClaAdder,
+        ModuleKind::AbsVal,
+        ModuleKind::CsaMultiplier,
+        ModuleKind::BoothWallaceMultiplier,
+        ModuleKind::Incrementer,
+        ModuleKind::Subtractor,
+        ModuleKind::Comparator,
+        ModuleKind::CarrySelectAdder,
+        ModuleKind::CarrySkipAdder,
+        ModuleKind::BarrelShifter,
+        ModuleKind::GfMultiplier,
+        ModuleKind::Mac,
+        ModuleKind::Divider,
+    ];
+
+    /// The kind whose [`ModuleKind::id`] is `id`, if any — the inverse of
+    /// the stable report/artifact identifier.
+    pub fn from_id(id: &str) -> Option<ModuleKind> {
+        ModuleKind::ALL.into_iter().find(|kind| kind.id() == id)
+    }
+
     /// Short identifier used in reports, e.g. `"ripple_adder"`.
     pub const fn id(self) -> &'static str {
         match self {
@@ -256,6 +280,22 @@ impl ModuleSpec {
     pub fn complexity_features(self) -> Vec<f64> {
         self.kind.complexity_features(self.width)
     }
+
+    /// Parse the [`Display`] form back into a spec:
+    /// `"{kind_id}_{m}"` or `"{kind_id}_{m1}x{m2}"`. This is the stable
+    /// inverse used to recover the key of an on-disk model artifact from
+    /// its file name.
+    ///
+    /// [`Display`]: std::fmt::Display
+    pub fn parse(text: &str) -> Option<ModuleSpec> {
+        let (kind_id, width) = text.rsplit_once('_')?;
+        let kind = ModuleKind::from_id(kind_id)?;
+        let width = match width.split_once('x') {
+            Some((m1, m2)) => ModuleWidth::Rect(m1.parse().ok()?, m2.parse().ok()?),
+            None => ModuleWidth::Uniform(width.parse().ok()?),
+        };
+        Some(ModuleSpec { kind, width })
+    }
 }
 
 impl std::fmt::Display for ModuleSpec {
@@ -270,24 +310,31 @@ mod tests {
 
     #[test]
     fn every_kind_builds_at_width_8() {
-        for kind in [
-            ModuleKind::RippleAdder,
-            ModuleKind::ClaAdder,
-            ModuleKind::AbsVal,
-            ModuleKind::CsaMultiplier,
-            ModuleKind::BoothWallaceMultiplier,
-            ModuleKind::Incrementer,
-            ModuleKind::Subtractor,
-            ModuleKind::Comparator,
-            ModuleKind::CarrySelectAdder,
-            ModuleKind::CarrySkipAdder,
-            ModuleKind::BarrelShifter,
-            ModuleKind::GfMultiplier,
-            ModuleKind::Mac,
-            ModuleKind::Divider,
-        ] {
+        for kind in ModuleKind::ALL {
             let nl = kind.build(ModuleWidth::Uniform(8)).expect("build");
             nl.validate().expect("validate");
+        }
+    }
+
+    #[test]
+    fn kind_ids_round_trip_and_reject_unknowns() {
+        for kind in ModuleKind::ALL {
+            assert_eq!(ModuleKind::from_id(kind.id()), Some(kind));
+        }
+        assert_eq!(ModuleKind::from_id("ripple"), None);
+        assert_eq!(ModuleKind::from_id(""), None);
+    }
+
+    #[test]
+    fn spec_display_round_trips_through_parse() {
+        for kind in ModuleKind::ALL {
+            let spec = ModuleSpec::new(kind, 8usize);
+            assert_eq!(ModuleSpec::parse(&spec.to_string()), Some(spec));
+        }
+        let rect = ModuleSpec::new(ModuleKind::CsaMultiplier, ModuleWidth::Rect(6, 4));
+        assert_eq!(ModuleSpec::parse("csa_multiplier_6x4"), Some(rect));
+        for bad in ["", "ripple_adder", "ripple_adder_x", "nope_8", "mac_8x"] {
+            assert_eq!(ModuleSpec::parse(bad), None, "{bad}");
         }
     }
 

@@ -25,22 +25,7 @@ use hdpm_streams::{DataType, ALL_DATA_TYPES};
 use serde::{Deserialize, Value};
 
 /// Every module kind the protocol accepts, in `hdpm list` order.
-pub const ALL_MODULE_KINDS: [ModuleKind; 14] = [
-    ModuleKind::RippleAdder,
-    ModuleKind::ClaAdder,
-    ModuleKind::AbsVal,
-    ModuleKind::CsaMultiplier,
-    ModuleKind::BoothWallaceMultiplier,
-    ModuleKind::Incrementer,
-    ModuleKind::Subtractor,
-    ModuleKind::Comparator,
-    ModuleKind::CarrySelectAdder,
-    ModuleKind::CarrySkipAdder,
-    ModuleKind::BarrelShifter,
-    ModuleKind::GfMultiplier,
-    ModuleKind::Mac,
-    ModuleKind::Divider,
-];
+pub const ALL_MODULE_KINDS: [ModuleKind; 14] = ModuleKind::ALL;
 
 /// Resolve a module kind by its wire id.
 ///
@@ -48,11 +33,7 @@ pub const ALL_MODULE_KINDS: [ModuleKind; 14] = [
 ///
 /// Returns a message naming the unknown kind.
 pub fn module_kind(name: &str) -> Result<ModuleKind, String> {
-    ALL_MODULE_KINDS
-        .iter()
-        .copied()
-        .find(|k| k.id() == name)
-        .ok_or_else(|| format!("unknown module kind `{name}`"))
+    ModuleKind::from_id(name).ok_or_else(|| format!("unknown module kind `{name}`"))
 }
 
 /// Resolve a data type by name or paper roman numeral.

@@ -371,6 +371,55 @@ fn shutdown_drains_in_flight_requests() {
 }
 
 #[test]
+fn server_cold_starts_and_serves_from_a_dirty_model_store() {
+    let root = std::env::temp_dir().join(format!("hdpm_server_dirty_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir(&root).expect("scratch root");
+    let engine_options = || EngineOptions {
+        disk_root: Some(root.clone()),
+        ..quick_engine()
+    };
+    // A torn artifact planted at the exact key the engine will ask for.
+    let spec = ModuleSpec::new(ModuleKind::RippleAdder, 5usize);
+    let key = hdpm_core::ModelKey::new(spec, &engine_options().config, 4);
+    std::fs::write(root.join(key.artifact_file_name()), "{torn artifact").expect("plant");
+
+    let server = Server::start(ServerOptions {
+        engine: engine_options(),
+        ..quick_options()
+    })
+    .expect("cold start survives a dirty store");
+    let request =
+        "{\"op\":\"estimate\",\"module\":\"ripple_adder\",\"width\":5,\"data\":\"counter\",\"cycles\":64}";
+    let reply = Client::connect(&server).round_trip(request);
+    assert!(
+        reply.contains("\"ok\":true") && reply.contains("\"source\":\"fresh\""),
+        "corrupt artifact is quarantined and re-characterized, not fatal: {reply}"
+    );
+    assert!(
+        root.join(hdpm_core::QUARANTINE_DIR)
+            .join(key.artifact_file_name())
+            .exists(),
+        "the torn artifact was moved aside"
+    );
+    server.shutdown();
+
+    // A second server over the repaired root serves straight from disk.
+    let server = Server::start(ServerOptions {
+        engine: engine_options(),
+        ..quick_options()
+    })
+    .expect("restart");
+    let reply = Client::connect(&server).round_trip(request);
+    assert!(
+        reply.contains("\"ok\":true") && reply.contains("\"source\":\"disk\""),
+        "repaired store is a warm disk tier: {reply}"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn draining_server_sheds_requests_that_arrive_too_late() {
     let server = Server::start(quick_options()).expect("start");
     let mut client = Client::connect(&server);
