@@ -23,11 +23,24 @@
 //! With `--replay <file>` the binary becomes a protocol client instead:
 //! it sends every line of the file to `--addr`, prints one reply per
 //! request to stdout and exits — CI replays the golden transcript over
-//! TCP this way and diffs the output.
+//! TCP this way and diffs the output. Replay strips the per-request
+//! `"trace":"t…"` ids a tracing server echoes, so the diff against the
+//! untraced golden fixtures passes either way.
+//!
+//! `--tracing on|off` (default on, the server default) sets tracing on
+//! the in-process server. `--compare-tracing` measures the pipelined
+//! discipline against a tracing-off and then a tracing-on in-process
+//! server and reports the warm-path overhead (the `BENCH_obs.json`
+//! recording flow):
+//!
+//! ```sh
+//! cargo run --release -p hdpm-bench --bin loadgen -- \
+//!   --connections 8 --requests 2000 --compare-tracing --out BENCH_obs.json
+//! ```
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hdpm_core::{CharacterizationConfig, EngineOptions, ShardingConfig};
 use hdpm_server::{Server, ServerOptions};
@@ -63,6 +76,28 @@ struct Snapshot {
     pipelined: Option<Discipline>,
 }
 
+/// The `--compare-tracing` snapshot: the same pipelined load against a
+/// tracing-off and a tracing-on server, and the relative cost.
+///
+/// Host throughput drifts (CPU frequency, hypervisor credits, noisy
+/// neighbours), so one off-then-on pass measures the drift, not the
+/// tracing plane. Both servers live for the whole run and each block
+/// measures **off, on, on, off** — the ABBA design cancels linear drift
+/// within a block — and `overhead_pct` is the median block overhead.
+/// Per-round rates are kept for transparency.
+#[derive(Serialize)]
+struct TracingComparison {
+    connections: usize,
+    requests_per_connection: usize,
+    blocks: usize,
+    rounds_off_requests_per_sec: Vec<f64>,
+    rounds_on_requests_per_sec: Vec<f64>,
+    block_overhead_pct: Vec<f64>,
+    tracing_off: Discipline,
+    tracing_on: Discipline,
+    overhead_pct: f64,
+}
+
 fn main() {
     let mut addr: Option<String> = None;
     let mut connections = 8usize;
@@ -70,6 +105,8 @@ fn main() {
     let mut mode = "both".to_string();
     let mut out: Option<String> = None;
     let mut replay: Option<String> = None;
+    let mut tracing = true;
+    let mut compare_tracing = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value = |name: &str| {
@@ -83,13 +120,29 @@ fn main() {
             "--mode" => mode = value("--mode"),
             "--out" => out = Some(value("--out")),
             "--replay" => replay = Some(value("--replay")),
+            "--tracing" => {
+                tracing = match value("--tracing").as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => die(&format!("--tracing must be on or off, not `{other}`")),
+                }
+            }
+            "--compare-tracing" => compare_tracing = true,
             other => die(&format!(
-                "unknown option `{other}` (expected --addr, --connections, --requests, --mode, --out or --replay)"
+                "unknown option `{other}` (expected --addr, --connections, --requests, \
+                 --mode, --out, --replay, --tracing or --compare-tracing)"
             )),
         }
     }
     if !matches!(mode.as_str(), "both" | "closed" | "pipelined") {
         die("--mode must be closed, pipelined or both");
+    }
+    if compare_tracing {
+        if addr.is_some() {
+            die("--compare-tracing runs its own in-process servers; drop --addr");
+        }
+        run_compare_tracing(connections, requests, out.as_deref());
+        return;
     }
 
     // An in-process server keeps the flow self-contained when no --addr
@@ -98,7 +151,7 @@ fn main() {
         if replay.is_some() {
             die("--replay requires --addr");
         }
-        Some(start_local())
+        Some(start_local(tracing))
     } else {
         None
     };
@@ -159,9 +212,14 @@ fn parse(raw: &str) -> usize {
         .unwrap_or_else(|_| die(&format!("`{raw}` is not an integer")))
 }
 
-fn start_local() -> Server {
+fn start_local(tracing: bool) -> Server {
     Server::start(ServerOptions {
         queue_depth: 65_536,
+        tracing,
+        // An open-loop flood spends most of its latency queued, which
+        // would put every request over the default slow threshold; the
+        // slow-request log is not what this binary measures.
+        slow_threshold: Duration::from_secs(3600),
         engine: EngineOptions {
             config: CharacterizationConfig::builder()
                 .max_patterns(1500)
@@ -289,7 +347,8 @@ fn discipline(
 }
 
 /// Replay a request file against `target`, one reply line per non-blank
-/// request line on stdout.
+/// request line on stdout. Trace ids are stripped so the output diffs
+/// cleanly against untraced golden fixtures.
 fn run_replay(target: &str, path: &str) {
     let script =
         std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
@@ -307,6 +366,116 @@ fn run_replay(target: &str, path: &str) {
         if reader.read_line(&mut line).expect("reply") == 0 {
             die("server closed the connection mid-replay");
         }
-        out.write_all(line.as_bytes()).expect("stdout");
+        out.write_all(strip_trace(&line).as_bytes())
+            .expect("stdout");
+    }
+}
+
+/// Remove the `,"trace":"t…"` field a tracing server appends to replies.
+fn strip_trace(line: &str) -> String {
+    match line.find(",\"trace\":\"t") {
+        Some(at) => {
+            let rest = &line[at + ",\"trace\":\"".len()..];
+            match rest.find('"') {
+                Some(close) => format!("{}{}", &line[..at], &rest[close + 1..]),
+                None => line.to_string(),
+            }
+        }
+        None => line.to_string(),
+    }
+}
+
+fn median(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    match sorted.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => sorted[n / 2],
+        n => (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0,
+    }
+}
+
+/// The `--compare-tracing` flow: identical pipelined load against a
+/// long-lived tracing-off and tracing-on server pair, measured in
+/// drift-cancelling ABBA blocks (see [`TracingComparison`]), reporting
+/// the relative warm-path cost of the tracing tentpole.
+fn run_compare_tracing(connections: usize, requests: usize, out: Option<&str>) {
+    // Enough blocks that hypervisor steal bursts landing on individual
+    // blocks (observed: isolated 12-17% outliers against a ~5% mode)
+    // cannot drag the median.
+    const BLOCKS: usize = 9;
+    let server_off = start_local(false);
+    let server_on = start_local(true);
+    let target_off = server_off.local_addr().to_string();
+    let target_on = server_on.local_addr().to_string();
+    warm(&target_off);
+    warm(&target_on);
+    let measure = |tracing: bool| {
+        let target = if tracing { &target_on } else { &target_off };
+        let result = run_pipelined(target, connections, requests);
+        eprintln!(
+            "tracing {:>3}: {:.0} requests/sec over {} requests",
+            if tracing { "on" } else { "off" },
+            result.requests_per_sec,
+            result.requests
+        );
+        result
+    };
+    let mut rounds_off: Vec<Discipline> = Vec::new();
+    let mut rounds_on: Vec<Discipline> = Vec::new();
+    let mut block_overhead_pct: Vec<f64> = Vec::new();
+    for _ in 0..BLOCKS {
+        let off_a = measure(false);
+        let on_a = measure(true);
+        let on_b = measure(true);
+        let off_b = measure(false);
+        let off_rate = off_a.requests_per_sec + off_b.requests_per_sec;
+        let on_rate = on_a.requests_per_sec + on_b.requests_per_sec;
+        let block = 100.0 * (1.0 - on_rate / off_rate.max(f64::MIN_POSITIVE));
+        eprintln!("block overhead: {block:.2}%");
+        block_overhead_pct.push(block);
+        rounds_off.extend([off_a, off_b]);
+        rounds_on.extend([on_a, on_b]);
+    }
+    server_off.shutdown();
+    server_on.shutdown();
+    let rounds_off_requests_per_sec: Vec<f64> =
+        rounds_off.iter().map(|d| d.requests_per_sec).collect();
+    let rounds_on_requests_per_sec: Vec<f64> =
+        rounds_on.iter().map(|d| d.requests_per_sec).collect();
+    let overhead_pct = median(&block_overhead_pct);
+    let peak = |rounds: Vec<Discipline>| {
+        rounds
+            .into_iter()
+            .max_by(|a, b| a.requests_per_sec.total_cmp(&b.requests_per_sec))
+            .expect("at least one round")
+    };
+    let tracing_off = peak(rounds_off);
+    let tracing_on = peak(rounds_on);
+    eprintln!(
+        "peak over {BLOCKS} ABBA blocks — off: {:.0} req/s, on: {:.0} req/s",
+        tracing_off.requests_per_sec, tracing_on.requests_per_sec
+    );
+    eprintln!(
+        "tracing overhead (median of blocks): {overhead_pct:.2}% of warm pipelined throughput"
+    );
+    let comparison = TracingComparison {
+        connections,
+        requests_per_connection: requests,
+        blocks: BLOCKS,
+        rounds_off_requests_per_sec,
+        rounds_on_requests_per_sec,
+        block_overhead_pct,
+        tracing_off,
+        tracing_on,
+        overhead_pct,
+    };
+    let json = serde_json::to_string_pretty(&comparison).expect("comparison serializes");
+    match out {
+        Some(path) => {
+            std::fs::write(path, json + "\n").expect("snapshot written");
+            eprintln!("snapshot written to {path}");
+        }
+        None => println!("{json}"),
     }
 }

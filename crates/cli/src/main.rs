@@ -16,6 +16,7 @@ mod args;
 mod fsck;
 mod serve;
 mod server_cmd;
+mod top;
 
 use std::process::ExitCode;
 
@@ -47,10 +48,15 @@ USAGE:
                     [--cycles <n>] [--seed <s>]
   hdpm serve        [--models <dir>] [--capacity <n>] [--patterns <n>]
                     [--seed <s>] [--shards <S>] [--threads <t>]
-  hdpm server       [--addr <ip:port>] [--workers <n>] [--queue-depth <d>]
+  hdpm server       [--addr <ip:port>] [--admin-addr <ip:port>]
+                    [--workers <n>] [--queue-depth <d>]
                     [--deadline-ms <ms>] [--idle-timeout-ms <ms>]
                     [--write-timeout-ms <ms>] [--max-conns <n>]
-                    [--manifest <file>] [engine options as for serve]
+                    [--tracing <on|off>] [--slow-ms <ms>]
+                    [--trace-capacity <n>] [--manifest <file>]
+                    [engine options as for serve]
+  hdpm top          --addr <admin ip:port> [--interval-ms <ms>] [--once]
+                    [--raw] [--get <path>]
   hdpm vcd          --module <kind> --width <m> --data <type>
                     [--cycles <n>] [--seed <s>] --out <file>
   hdpm fsck         <model-dir> [--repair]
@@ -83,7 +89,21 @@ SERVER:
   --addr defaults to 127.0.0.1:0 (the resolved address is printed to
   stderr); --workers 0 uses all cores; --deadline-ms 0 disables request
   deadlines; close stdin or send a `shutdown` line to drain; --manifest
-  writes the drain report as JSON.
+  writes the drain report as JSON. Observability: every request carries
+  a trace id echoed in its reply (--tracing off restores byte-identical
+  untraced replies); requests slower than --slow-ms (default 250) log a
+  structured slow_request line; the last --trace-capacity traces
+  (default 256) live in a flight recorder dumped on drain, on panic and
+  at /tracez. --admin-addr serves /metrics /healthz /readyz /tracez
+  over HTTP for scrapers and `hdpm top`.
+
+TOP:
+  live ops view over a running server's admin plane: polls
+  /metrics every --interval-ms (default 2000) and renders gauges,
+  counter rates and latency summaries; --once polls a single time,
+  --raw prints the exposition verbatim, and --get <path> fetches any
+  admin endpoint (exit non-zero unless 2xx) — the curl-free scrape
+  tool CI uses.
 
 FSCK:
   scan a --models library root for corrupt, stale-version, truncated or
@@ -136,6 +156,7 @@ fn main() -> ExitCode {
         Some("report") => cmd_report(&args),
         Some("serve") => serve::cmd_serve(&args),
         Some("server") => server_cmd::cmd_server(&args),
+        Some("top") => top::cmd_top(&args),
         Some("vcd") => cmd_vcd(&args),
         Some("fsck") => fsck::cmd_fsck(&args),
         Some(other) => {

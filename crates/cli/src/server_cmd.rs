@@ -19,6 +19,7 @@ use crate::serve::{engine_from, ENGINE_OPTIONS};
 
 const SERVER_OPTIONS: &[&str] = &[
     "addr",
+    "admin-addr",
     "workers",
     "queue-depth",
     "deadline-ms",
@@ -26,6 +27,9 @@ const SERVER_OPTIONS: &[&str] = &[
     "write-timeout-ms",
     "max-conns",
     "manifest",
+    "tracing",
+    "slow-ms",
+    "trace-capacity",
 ];
 
 /// Run the TCP server until stdin closes or says `shutdown`.
@@ -50,6 +54,18 @@ fn options_from(args: &ParsedArgs) -> Result<ServerOptions, Box<dyn std::error::
         .unwrap_or("127.0.0.1:0")
         .parse()
         .map_err(|_| "--addr must be an ip:port socket address")?;
+    let admin_addr = args
+        .option("admin-addr")
+        .map(|raw| {
+            raw.parse()
+                .map_err(|_| "--admin-addr must be an ip:port socket address")
+        })
+        .transpose()?;
+    let tracing = match args.option("tracing").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("--tracing must be on or off, not `{other}`").into()),
+    };
     // --deadline-ms 0 disables the per-request deadline entirely.
     let deadline = match args.get_or("deadline-ms", 30_000u64)? {
         0 => None,
@@ -69,6 +85,11 @@ fn options_from(args: &ParsedArgs) -> Result<ServerOptions, Box<dyn std::error::
         )?),
         max_connections: args.get_or("max-conns", defaults.max_connections)?,
         engine: engine_from(args)?.options().clone(),
+        admin_addr,
+        tracing,
+        slow_threshold: Duration::from_millis(
+            args.get_or("slow-ms", defaults.slow_threshold.as_millis() as u64)?,
+        ),
     })
 }
 
@@ -82,11 +103,37 @@ fn run<R: BufRead>(
     let _span = telemetry::span("cli.server");
     let workers = hdpm_core::resolve_threads(options.workers);
     let queue_depth = options.queue_depth;
+    let deadline = options.deadline;
+    let tracing = options.tracing;
+    // Size the flight recorder before the first trace lands in it.
+    hdpm_telemetry::trace::configure_recorder(args.get_or(
+        "trace-capacity",
+        hdpm_telemetry::trace::DEFAULT_RECORDER_CAPACITY,
+    )?);
+    if tracing {
+        // Crash dump: a panic on any thread flushes the flight recorder
+        // to stderr before the default hook reports the panic.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            eprintln!(
+                "hdpm server: panic, dumping flight recorder: {}",
+                hdpm_server::flight_recorder_json().trim_end()
+            );
+            default_hook(info);
+        }));
+    }
     let server = Server::start(options)?;
+    // One line with everything an operator (or a port-scraping script)
+    // needs: both resolved addresses and the effective pool/queue shape.
     eprintln!(
-        "hdpm server: listening on {} ({workers} workers, queue depth {queue_depth}); \
-         send `shutdown` or close stdin to drain",
+        "hdpm server: listening on {} (admin {}, {workers} workers, queue depth {queue_depth}, \
+         deadline {}, tracing {}); send `shutdown` or close stdin to drain",
         server.local_addr(),
+        server
+            .admin_addr()
+            .map_or_else(|| "off".to_string(), |a| a.to_string()),
+        deadline.map_or_else(|| "off".to_string(), |d| format!("{} ms", d.as_millis())),
+        if tracing { "on" } else { "off" },
     );
     for line in control.lines() {
         let line = line?;
@@ -102,6 +149,14 @@ fn run<R: BufRead>(
         "hdpm server: drained ({} connections, {} ok, {} errors, {} shed, {} timeouts)",
         report.connections, report.ok, report.errors, report.shed, report.timeouts
     );
+    if tracing {
+        // Drain dump: the final state of the flight recorder, one JSON
+        // line on stderr, same shape as /tracez.
+        eprintln!(
+            "hdpm server: flight recorder: {}",
+            hdpm_server::flight_recorder_json().trim_end()
+        );
+    }
     if let Some(path) = args.option("manifest") {
         std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
         eprintln!("drain report written to {path}");

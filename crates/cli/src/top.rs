@@ -1,0 +1,381 @@
+//! `hdpm top` — a live ops view over a running server's admin plane.
+//!
+//! Polls `http://<addr>/metrics` (the Prometheus text exposition served
+//! by `hdpm server --admin-addr`) and renders a one-screen summary:
+//! gauges as-is, counters with per-second rates between polls, and
+//! latency summaries as p50/p95/p99/max columns.
+//!
+//! Doubles as the repo's dependency-free scrape tool: `--get <path>`
+//! fetches any admin endpoint (`/metrics`, `/healthz`, `/readyz`,
+//! `/tracez`), prints the body to stdout and exits non-zero unless the
+//! status was 2xx — which is how CI probes the admin plane without curl.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use hdpm_telemetry as telemetry;
+
+use crate::args::ParsedArgs;
+
+const TOP_OPTIONS: &[&str] = &["addr", "interval-ms", "get", "once", "raw"];
+
+/// One parsed exposition: series name (with label block) → value.
+type Series = BTreeMap<String, f64>;
+/// Base metric name → declared Prometheus type (`counter`, `gauge`, ...).
+type Types = BTreeMap<String, String>;
+
+/// Run the ops view (or a one-shot `--get` scrape).
+pub fn cmd_top(args: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let _span = telemetry::span("cli.top");
+    crate::reject_unknown_options(args, TOP_OPTIONS, &[], "hdpm top polls a running server")?;
+    let addr = args.require("addr")?;
+    if let Some(path) = args.option("get") {
+        let (status, body) = http_get(addr, path)?;
+        print!("{body}");
+        return if (200..300).contains(&status) {
+            Ok(())
+        } else {
+            Err(format!("GET {path}: HTTP {status}").into())
+        };
+    }
+    let interval = Duration::from_millis(args.get_or("interval-ms", 2000u64)?);
+    let once = args.flag("once");
+    let raw = args.flag("raw");
+    let mut previous: Option<(Series, Instant)> = None;
+    loop {
+        let (status, body) = http_get(addr, "/metrics")?;
+        if !(200..300).contains(&status) {
+            return Err(format!("GET /metrics: HTTP {status}").into());
+        }
+        let polled = Instant::now();
+        if raw {
+            print!("{body}");
+        } else {
+            let (series, types) = parse_exposition(&body);
+            let prev = previous
+                .as_ref()
+                .map(|(s, at)| (s, polled.duration_since(*at).as_secs_f64()));
+            if !once {
+                // Redraw in place for the live view.
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", render(addr, &series, &types, prev));
+            previous = Some((series, polled));
+        }
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// One blocking HTTP/1.0 GET; returns `(status, body)`.
+fn http_get(addr: &str, path: &str) -> Result<(u16, String), Box<dyn std::error::Error>> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| format!("connect {addr}: {e} (is the server running with --admin-addr?)"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut writer = stream.try_clone()?;
+    write!(
+        writer,
+        "GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed HTTP status line: {status_line:?}"))?;
+    let mut header = String::new();
+    loop {
+        header.clear();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let mut body = String::new();
+    reader.read_to_string(&mut body)?;
+    Ok((status, body))
+}
+
+/// Parse a Prometheus text exposition into series values and declared
+/// types. Unparsable lines are skipped — scraping must not fail on a
+/// metric it does not understand.
+fn parse_exposition(body: &str) -> (Series, Types) {
+    let mut series = Series::new();
+    let mut types = Types::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            if let (Some(name), Some(ty)) = (parts.next(), parts.next()) {
+                types.insert(name.to_string(), ty.to_string());
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        if let Some((name, value)) = line.rsplit_once(' ') {
+            if let Ok(value) = value.parse::<f64>() {
+                series.insert(name.to_string(), value);
+            }
+        }
+    }
+    (series, types)
+}
+
+/// Split a series key into its base name and label pairs
+/// (`a{k="v"}` → `("a", [("k","v")])`). Quote-aware, so label values
+/// containing commas survive.
+fn split_series(series: &str) -> (String, Vec<(String, String)>) {
+    let Some((name, rest)) = series.split_once('{') else {
+        return (series.to_string(), Vec::new());
+    };
+    let body = rest.strip_suffix('}').unwrap_or(rest);
+    let mut labels = Vec::new();
+    let mut part = String::new();
+    let mut in_quotes = false;
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                part.push(c);
+            }
+            '\\' if in_quotes => {
+                part.push(c);
+                if let Some(escaped) = chars.next() {
+                    part.push(escaped);
+                }
+            }
+            ',' if !in_quotes => {
+                push_label(&mut labels, &part);
+                part.clear();
+            }
+            _ => part.push(c),
+        }
+    }
+    push_label(&mut labels, &part);
+    (name.to_string(), labels)
+}
+
+fn push_label(labels: &mut Vec<(String, String)>, part: &str) {
+    if let Some((k, v)) = part.split_once('=') {
+        labels.push((k.to_string(), v.trim_matches('"').to_string()));
+    }
+}
+
+/// The series key with its `quantile` label removed, or `None` if it had
+/// no quantile label (a `_count`/`_sum`/`_max` companion, say).
+fn without_quantile(series: &str) -> Option<(String, String)> {
+    let (name, labels) = split_series(series);
+    let quantile = labels.iter().find(|(k, _)| k == "quantile")?.1.clone();
+    let rest: Vec<String> = labels
+        .iter()
+        .filter(|(k, _)| k != "quantile")
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect();
+    let key = if rest.is_empty() {
+        name
+    } else {
+        format!("{name}{{{}}}", rest.join(","))
+    };
+    Some((key, quantile))
+}
+
+fn format_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Render the one-screen view. `prev` carries the previous poll's series
+/// and the elapsed seconds since it, for per-second counter rates.
+fn render(addr: &str, series: &Series, types: &Types, prev: Option<(&Series, f64)>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("hdpm top — {addr}\n"));
+    let type_of = |key: &str| -> &str {
+        let (name, _) = split_series(key);
+        types.get(&name).map_or("", String::as_str)
+    };
+    let rate = |key: &str, value: f64| -> Option<f64> {
+        let (prev_series, elapsed) = prev?;
+        if elapsed <= 0.0 {
+            return None;
+        }
+        prev_series.get(key).map(|p| (value - p).max(0.0) / elapsed)
+    };
+
+    let gauges: Vec<(&String, f64)> = series
+        .iter()
+        .filter(|(k, _)| type_of(k) == "gauge")
+        .map(|(k, v)| (k, *v))
+        .collect();
+    if !gauges.is_empty() {
+        out.push_str("\nGAUGES\n");
+        for (key, value) in gauges {
+            out.push_str(&format!("  {key:<44} {:>12}\n", format_value(value)));
+        }
+    }
+
+    let counters: Vec<(&String, f64)> = series
+        .iter()
+        .filter(|(k, _)| type_of(k) == "counter")
+        .map(|(k, v)| (k, *v))
+        .collect();
+    if !counters.is_empty() {
+        out.push_str(&format!(
+            "\nCOUNTERS {:<36} {:>12} {:>10}\n",
+            "", "total", "per-sec"
+        ));
+        for (key, value) in counters {
+            let per_sec = rate(key, value).map_or_else(String::new, |r| format!("{r:.1}"));
+            out.push_str(&format!(
+                "  {key:<44} {:>12} {per_sec:>10}\n",
+                format_value(value)
+            ));
+        }
+    }
+
+    // Summaries: group quantile series by their base key, pull the
+    // `_count`/`_max` companions alongside.
+    let mut summaries: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    for (key, value) in series {
+        if type_of(key) != "summary" {
+            continue;
+        }
+        if let Some((base, quantile)) = without_quantile(key) {
+            summaries.entry(base).or_default().insert(quantile, *value);
+        }
+    }
+    if !summaries.is_empty() {
+        out.push_str(&format!(
+            "\nLATENCY (ns) {:<32} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "", "count", "p50", "p95", "p99", "max"
+        ));
+        for (base, quantiles) in &summaries {
+            let (name, labels) = split_series(base);
+            let suffix = |s: &str| {
+                let key = if labels.is_empty() {
+                    format!("{name}{s}")
+                } else {
+                    let rest: Vec<String> =
+                        labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+                    format!("{name}{s}{{{}}}", rest.join(","))
+                };
+                series.get(&key).copied()
+            };
+            let cell = |v: Option<f64>| v.map_or_else(|| "-".to_string(), format_value);
+            out.push_str(&format!(
+                "  {base:<44} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                cell(suffix("_count")),
+                cell(quantiles.get("0.5").copied()),
+                cell(quantiles.get("0.95").copied()),
+                cell(quantiles.get("0.99").copied()),
+                cell(suffix("_max")),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# TYPE engine_cache_entries gauge
+engine_cache_entries 3
+# TYPE server_queue_timeout counter
+server_queue_timeout 7
+# TYPE server_request_ns summary
+server_request_ns{quantile=\"0.5\"} 1000
+server_request_ns{quantile=\"0.95\"} 2000
+server_request_ns{quantile=\"0.99\"} 3000
+server_request_ns_count 42
+server_request_ns_sum 52000
+server_request_ns_max 4000
+# TYPE server_stage_ns summary
+server_stage_ns{stage=\"decode\",quantile=\"0.5\"} 10
+server_stage_ns_count{stage=\"decode\"} 5
+";
+
+    #[test]
+    fn exposition_parses_values_and_types() {
+        let (series, types) = parse_exposition(SAMPLE);
+        assert_eq!(series["engine_cache_entries"], 3.0);
+        assert_eq!(series["server_request_ns{quantile=\"0.5\"}"], 1000.0);
+        assert_eq!(types["server_queue_timeout"], "counter");
+        assert_eq!(types["server_request_ns"], "summary");
+    }
+
+    #[test]
+    fn series_split_handles_labels_and_quantiles() {
+        let (name, labels) = split_series("a{k=\"v\",q=\"x,y\"}");
+        assert_eq!(name, "a");
+        assert_eq!(
+            labels,
+            vec![("k".into(), "v".into()), ("q".into(), "x,y".into())]
+        );
+        let (base, q) = without_quantile("server_stage_ns{stage=\"decode\",quantile=\"0.5\"}")
+            .expect("has quantile");
+        assert_eq!(base, "server_stage_ns{stage=\"decode\"}");
+        assert_eq!(q, "0.5");
+        assert!(without_quantile("server_request_ns_count").is_none());
+    }
+
+    #[test]
+    fn render_shows_gauges_counters_and_latency_rows() {
+        let (series, types) = parse_exposition(SAMPLE);
+        let screen = render("127.0.0.1:1", &series, &types, None);
+        assert!(screen.contains("GAUGES"), "{screen}");
+        assert!(screen.contains("engine_cache_entries"), "{screen}");
+        assert!(screen.contains("server_queue_timeout"), "{screen}");
+        assert!(screen.contains("LATENCY"), "{screen}");
+        assert!(
+            screen.contains("server_stage_ns{stage=\"decode\"}"),
+            "{screen}"
+        );
+    }
+
+    #[test]
+    fn render_computes_per_second_rates() {
+        let (mut series, types) = parse_exposition(SAMPLE);
+        let prev = series.clone();
+        series.insert("server_queue_timeout".into(), 17.0);
+        let screen = render("127.0.0.1:1", &series, &types, Some((&prev, 2.0)));
+        assert!(screen.contains("5.0"), "10 timeouts over 2s: {screen}");
+    }
+
+    #[test]
+    fn http_get_round_trips_against_a_canned_server() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let serve = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 512];
+            let _ = stream.read(&mut buf);
+            stream
+                .write_all(
+                    b"HTTP/1.0 200 OK\r\nContent-Type: text/plain\r\n\
+                      Content-Length: 6\r\nConnection: close\r\n\r\nhello\n",
+                )
+                .unwrap();
+        });
+        let (status, body) = http_get(&addr.to_string(), "/healthz").unwrap();
+        serve.join().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "hello\n");
+    }
+}

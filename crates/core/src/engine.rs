@@ -40,6 +40,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use hdpm_datamodel::HdDistribution;
 use hdpm_netlist::ModuleSpec;
 use hdpm_telemetry as telemetry;
+use hdpm_telemetry::{Stage, TraceCtx};
 use serde::Serialize;
 
 use crate::cache::{LruCache, ModelKey};
@@ -292,13 +293,32 @@ impl PowerEngine {
         &self,
         spec: ModuleSpec,
     ) -> Result<(Arc<Characterization>, CacheSource), ModelError> {
+        self.fetch_traced(spec, &mut TraceCtx::disabled())
+    }
+
+    /// [`PowerEngine::fetch`] with per-stage timing recorded into
+    /// `trace`: [`Stage::CacheLookup`] covers the hit/wait/lead decision
+    /// under the engine lock, [`Stage::SingleFlightWait`] the time
+    /// blocked on another request's characterization, and
+    /// [`Stage::Characterize`] the leader's own characterization —
+    /// including disk-tier loads, which are attributed here because the
+    /// artifact read replaces the characterization work.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PowerEngine::fetch`].
+    pub fn fetch_traced(
+        &self,
+        spec: ModuleSpec,
+        trace: &mut TraceCtx,
+    ) -> Result<(Arc<Characterization>, CacheSource), ModelError> {
         let key = self.key_for(spec);
         enum Role {
             Hit(Arc<Characterization>),
             Waiter(Arc<Flight>),
             Leader(Arc<Flight>),
         }
-        let role = {
+        let role = trace.time(Stage::CacheLookup, || {
             let mut inner = self.inner.lock().expect("engine lock");
             if let Some(cached) = inner.cache.get(&key) {
                 Role::Hit(Arc::clone(cached))
@@ -309,7 +329,7 @@ impl PowerEngine {
                 inner.inflight.insert(key, Arc::clone(&flight));
                 Role::Leader(flight)
             }
-        };
+        });
         match role {
             Role::Hit(cached) => {
                 telemetry::counter_add("engine.cache.hit", 1);
@@ -318,8 +338,8 @@ impl PowerEngine {
             Role::Waiter(flight) => {
                 self.coalesced.fetch_add(1, Ordering::Relaxed);
                 telemetry::counter_add("engine.singleflight.coalesced", 1);
-                flight
-                    .wait()
+                trace
+                    .time(Stage::SingleFlightWait, || flight.wait())
                     .map(|c| (c, CacheSource::Coalesced))
                     .map_err(|detail| ModelError::SingleFlight {
                         key: key.to_string(),
@@ -329,7 +349,7 @@ impl PowerEngine {
             Role::Leader(flight) => {
                 telemetry::counter_add("engine.cache.miss", 1);
                 let _span = telemetry::span("engine.miss");
-                let outcome = self.load_or_characterize(spec);
+                let outcome = trace.time(Stage::Characterize, || self.load_or_characterize(spec));
                 let mut inner = self.inner.lock().expect("engine lock");
                 inner.inflight.remove(&key);
                 match &outcome {
@@ -409,13 +429,32 @@ impl PowerEngine {
         spec: ModuleSpec,
         dist: &HdDistribution,
     ) -> Result<Estimate, ModelError> {
-        let (characterization, source) = self.fetch(spec)?;
+        self.estimate_traced(spec, dist, &mut TraceCtx::disabled())
+    }
+
+    /// [`PowerEngine::estimate`] with per-stage timing recorded into
+    /// `trace`: the fetch stages (see [`PowerEngine::fetch_traced`]) plus
+    /// [`Stage::Estimate`] covering the distribution and interpolation
+    /// math.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PowerEngine::estimate`].
+    pub fn estimate_traced(
+        &self,
+        spec: ModuleSpec,
+        dist: &HdDistribution,
+        trace: &mut TraceCtx,
+    ) -> Result<Estimate, ModelError> {
+        let (characterization, source) = self.fetch_traced(spec, trace)?;
         let model = &characterization.model;
-        Ok(Estimate {
-            charge_per_cycle: model.estimate_distribution(dist)?,
-            via_average: model.estimate_interpolated(dist.mean()),
-            average_hd: dist.mean(),
-            source,
+        trace.time(Stage::Estimate, || {
+            Ok(Estimate {
+                charge_per_cycle: model.estimate_distribution(dist)?,
+                via_average: model.estimate_interpolated(dist.mean()),
+                average_hd: dist.mean(),
+                source,
+            })
         })
     }
 
@@ -614,6 +653,63 @@ mod tests {
         assert_eq!(cold.charge_per_cycle, warm.charge_per_cycle);
         assert!(warm.charge_per_cycle > 0.0);
         assert_eq!(warm.average_hd, dist.mean());
+    }
+
+    #[test]
+    fn traced_fetch_attributes_stage_time() {
+        let engine = PowerEngine::new(quick_options());
+        let spec = ModuleSpec::new(ModuleKind::RippleAdder, 4usize);
+
+        let mut cold = TraceCtx::new();
+        let (_, source) = engine.fetch_traced(spec, &mut cold).unwrap();
+        assert_eq!(source, CacheSource::Fresh);
+        assert!(
+            cold.stage_ns(Stage::Characterize) > 0,
+            "leader time lands in the characterize stage"
+        );
+        assert_eq!(cold.stage_ns(Stage::SingleFlightWait), 0);
+
+        let mut warm = TraceCtx::new();
+        let (_, source) = engine.fetch_traced(spec, &mut warm).unwrap();
+        assert_eq!(source, CacheSource::Memory);
+        assert_eq!(warm.stage_ns(Stage::Characterize), 0);
+
+        let m = 8;
+        let dist = HdDistribution::from_histogram(&{
+            let mut h = vec![0u64; m + 1];
+            h[4] = 1;
+            h
+        });
+        let mut est = TraceCtx::new();
+        engine.estimate_traced(spec, &dist, &mut est).unwrap();
+        assert!(est.stage_ns(Stage::Estimate) > 0);
+    }
+
+    #[test]
+    fn coalesced_fetch_times_single_flight_wait() {
+        let engine = Arc::new(PowerEngine::new(EngineOptions {
+            config: CharacterizationConfig {
+                max_patterns: 50_000,
+                ..CharacterizationConfig::default()
+            },
+            ..quick_options()
+        }));
+        let spec = ModuleSpec::new(ModuleKind::RippleAdder, 8usize);
+        let leader = {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || engine.fetch(spec).unwrap().1)
+        };
+        // Give the leader a head start so our fetch coalesces; if timing
+        // still races (leader finished first) the source degrades to a
+        // memory hit and the wait assertions are skipped.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let mut waited = TraceCtx::new();
+        let (_, source) = engine.fetch_traced(spec, &mut waited).unwrap();
+        leader.join().unwrap();
+        if source == CacheSource::Coalesced {
+            assert!(waited.stage_ns(Stage::SingleFlightWait) > 0);
+            assert_eq!(waited.stage_ns(Stage::Characterize), 0);
+        }
     }
 
     #[test]

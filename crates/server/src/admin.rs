@@ -1,0 +1,210 @@
+//! The admin plane: a minimal HTTP listener serving operational
+//! endpoints next to (never on) the protocol port.
+//!
+//! | path       | purpose                                                  |
+//! |------------|----------------------------------------------------------|
+//! | `/metrics` | Prometheus text exposition of the metrics registry plus live engine/queue gauges |
+//! | `/healthz` | liveness: `200 ok` while the process serves HTTP         |
+//! | `/readyz`  | readiness: `200` only when not draining and the store probe passes; `503` otherwise |
+//! | `/tracez`  | JSON dump of the flight recorder (most recent traces last) |
+//!
+//! The implementation is deliberately small: HTTP/1.0-style one request
+//! per connection, GET only, `Connection: close`, one short-lived thread
+//! per request. An ops scrape every few seconds is far below any load
+//! this could possibly matter for, and it keeps the server free of an
+//! HTTP dependency.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hdpm_telemetry::trace as trace_mod;
+
+use crate::server::Shared;
+
+/// The running admin listener; stop with [`AdminServer::stop`].
+pub(crate) struct AdminServer {
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl AdminServer {
+    /// Bind `addr` and start serving the admin endpoints.
+    pub(crate) fn start(addr: SocketAddr, shared: Arc<Shared>) -> io::Result<AdminServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stopping = Arc::clone(&stopping);
+            std::thread::Builder::new()
+                .name("hdpm-admin".into())
+                .spawn(move || run_accept(&listener, &stopping, &shared))?
+        };
+        Ok(AdminServer {
+            addr,
+            stopping,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept thread. In-flight request
+    /// threads finish on their own (each is one short write).
+    pub(crate) fn stop(mut self) {
+        self.stopping.store(true, Ordering::Relaxed);
+        // Wake the blocking accept so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for AdminServer {
+    fn drop(&mut self) {
+        self.stopping.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+fn run_accept(listener: &TcpListener, stopping: &Arc<AtomicBool>, shared: &Arc<Shared>) {
+    for incoming in listener.incoming() {
+        if stopping.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(stream) = incoming else { continue };
+        let shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("hdpm-admin-conn".into())
+            .spawn(move || serve_one(stream, &shared));
+        if spawned.is_err() {
+            // Spawn failure: drop the connection; the scraper retries.
+        }
+    }
+}
+
+/// Parse the request line of one HTTP request and write one response.
+fn serve_one(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(read_half) => read_half,
+        Err(_) => return,
+    });
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the header block so well-behaved clients see a clean close.
+    let mut header = String::new();
+    while reader.read_line(&mut header).is_ok() {
+        if header.trim().is_empty() {
+            break;
+        }
+        header.clear();
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Strip any query string: /tracez?n=5 routes like /tracez.
+    let path = path.split('?').next().unwrap_or(path);
+    let response = if method != "GET" {
+        respond(
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is served\n",
+        )
+    } else {
+        match path {
+            "/metrics" => respond(
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &shared.metrics_text(),
+            ),
+            "/healthz" => respond("200 OK", "text/plain; charset=utf-8", "ok\n"),
+            "/readyz" => match shared.readiness() {
+                Ok(()) => respond("200 OK", "text/plain; charset=utf-8", "ready\n"),
+                Err(reason) => respond(
+                    "503 Service Unavailable",
+                    "text/plain; charset=utf-8",
+                    &format!("not ready: {reason}\n"),
+                ),
+            },
+            "/tracez" => respond("200 OK", "application/json", &tracez_body()),
+            _ => respond(
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "unknown path (try /metrics /healthz /readyz /tracez)\n",
+            ),
+        }
+    };
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+    // Half-close the write side so clients that read to EOF (HTTP/1.0
+    // without Content-Length handling) finish immediately, then wait for
+    // the peer's close — bounded by the read timeout — so the kernel
+    // doesn't RST the response out from under a slow reader.
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut sink = [0u8; 64];
+    let _ = reader.read(&mut sink);
+}
+
+/// The `/tracez` body: one JSON object with the recorder capacity, the
+/// lifetime trace count, and the stored traces oldest-first. Also
+/// exported as [`crate::flight_recorder_json`] so the CLI can dump the
+/// recorder on drain or crash without an HTTP round trip.
+pub fn tracez_body() -> String {
+    let recorder = trace_mod::recorder();
+    let traces = recorder.snapshot();
+    let mut out = String::with_capacity(256 + traces.len() * 256);
+    out.push_str(&format!(
+        "{{\"capacity\":{},\"recorded\":{},\"traces\":[",
+        recorder.capacity(),
+        recorder.pushed()
+    ));
+    for (i, record) in traces.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&record.to_json());
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn respond(status: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let r = respond("200 OK", "text/plain", "hello\n");
+        assert!(r.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(r.contains("Content-Length: 6\r\n"));
+        assert!(r.contains("Connection: close\r\n"));
+        assert!(r.ends_with("\r\n\r\nhello\n"));
+    }
+
+    #[test]
+    fn tracez_body_is_json_shaped() {
+        let body = tracez_body();
+        assert!(body.starts_with("{\"capacity\":"));
+        assert!(body.contains("\"traces\":["));
+        assert!(body.trim_end().ends_with("]}"));
+    }
+}

@@ -18,7 +18,12 @@
 //!   slow readers, and malformed/non-UTF-8 input that never tears a
 //!   connection down;
 //! * **graceful drain** ([`Server::shutdown`]): stop accepting, finish
-//!   everything in flight, join the pool, report totals.
+//!   everything in flight, join the pool, report totals;
+//! * **observability**: per-request traces with stage timings echoed as
+//!   `"trace"` ids in replies, a flight recorder of recent traces, a
+//!   slow-request log, and an optional HTTP admin plane
+//!   ([`ServerOptions::admin_addr`]) serving `/metrics`, `/healthz`,
+//!   `/readyz` and `/tracez`.
 //!
 //! ```no_run
 //! use hdpm_server::{Server, ServerOptions};
@@ -35,9 +40,11 @@
 
 #![forbid(unsafe_code)]
 
+mod admin;
 pub mod protocol;
 mod queue;
 mod server;
 
+pub use admin::tracez_body as flight_recorder_json;
 pub use queue::{Bounded, PushError};
 pub use server::{DrainReport, Server, ServerOptions};

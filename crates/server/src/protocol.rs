@@ -22,6 +22,7 @@ use hdpm_core::PowerEngine;
 use hdpm_datamodel::{region_model, HdDistribution, WordModel};
 use hdpm_netlist::{ModuleKind, ModuleSpec};
 use hdpm_streams::{DataType, ALL_DATA_TYPES};
+use hdpm_telemetry::{Stage, TraceCtx};
 use serde::{Deserialize, Value};
 
 /// Every module kind the protocol accepts, in `hdpm list` order.
@@ -135,6 +136,40 @@ pub fn error_line(kind: ErrorKind, message: &str) -> String {
     render(&error_value(kind, message))
 }
 
+/// Append the trace id to a reply value (`"trace":"t…"`), so clients can
+/// join a reply against the server's flight recorder and slow-request
+/// log. The TCP server attaches this to every reply when tracing is on;
+/// the stdin transport never does (its golden transcript is id-free).
+pub fn attach_trace(reply: &mut Value, trace_id: &str) {
+    if let Value::Object(fields) = reply {
+        fields.push(("trace".into(), Value::Str(trace_id.into())));
+    }
+}
+
+/// [`attach_trace`] applied to an already-rendered reply line: splices
+/// `,"trace":"t…"` in before the closing brace. Byte-identical to
+/// attaching before rendering (trace ids never need escaping), without
+/// re-walking the value — the server's warm path uses this.
+pub fn append_trace(line: &mut String, trace_id: &str) {
+    debug_assert!(line.ends_with('}'), "replies are JSON objects: {line}");
+    line.truncate(line.len() - 1);
+    line.reserve(trace_id.len() + 12);
+    line.push_str(",\"trace\":\"");
+    line.push_str(trace_id);
+    line.push_str("\"}");
+}
+
+/// [`append_trace`] from the raw 64-bit id: renders the `t…` form
+/// straight into the line, skipping the intermediate id string.
+pub fn append_trace_id(line: &mut String, id: u64) {
+    debug_assert!(line.ends_with('}'), "replies are JSON objects: {line}");
+    line.truncate(line.len() - 1);
+    line.reserve(29);
+    line.push_str(",\"trace\":\"");
+    hdpm_telemetry::trace::write_trace_id(line, id);
+    line.push_str("\"}");
+}
+
 /// Decode one raw line into a [`Request`], classifying failures. Returns
 /// `Ok(None)` for blank lines (no reply is owed).
 ///
@@ -164,14 +199,43 @@ pub fn decode(raw: &[u8]) -> Result<Option<Request>, RequestError> {
 /// [`ErrorKind::BadRequest`] for unresolvable request fields,
 /// [`ErrorKind::Engine`] for engine failures.
 pub fn handle(engine: &PowerEngine, request: &Request) -> Result<Value, RequestError> {
+    handle_traced(engine, request, &mut TraceCtx::disabled())
+}
+
+/// [`handle`] with per-stage timing recorded into `trace`: the engine
+/// stages (see `PowerEngine::fetch_traced`) plus the input-distribution
+/// fit, attributed to [`Stage::Estimate`].
+///
+/// # Errors
+///
+/// As for [`handle`].
+pub fn handle_traced(
+    engine: &PowerEngine,
+    request: &Request,
+    trace: &mut TraceCtx,
+) -> Result<Value, RequestError> {
     match request.op.as_str() {
-        "estimate" => op_estimate(engine, request),
-        "characterize" => op_characterize(engine, request),
+        "estimate" => op_estimate(engine, request, trace),
+        "characterize" => op_characterize(engine, request, trace),
         "stats" => Ok(op_stats(engine)),
         other => Err((
             ErrorKind::BadRequest,
             format!("unknown op `{other}` (expected estimate, characterize or stats)"),
         )),
+    }
+}
+
+/// A short human-readable handle on what a request asked for, used in
+/// trace records and the slow-request log: `module/width` (or
+/// `module/w1xw2`) when present, empty otherwise.
+pub fn request_detail(request: &Request) -> String {
+    let Some(module) = request.module.as_deref() else {
+        return String::new();
+    };
+    match (request.width, request.width2) {
+        (Some(w1), Some(w2)) => format!("{module}/{w1}x{w2}"),
+        (Some(w1), None) => format!("{module}/{w1}"),
+        _ => module.to_string(),
     }
 }
 
@@ -287,7 +351,11 @@ fn input_distribution(
     })
 }
 
-fn op_estimate(engine: &PowerEngine, request: &Request) -> Result<Value, RequestError> {
+fn op_estimate(
+    engine: &PowerEngine,
+    request: &Request,
+    trace: &mut TraceCtx,
+) -> Result<Value, RequestError> {
     let spec = spec_of(request)?;
     let dt = data_type(request.data.as_deref().unwrap_or("random"))
         .map_err(|m| (ErrorKind::BadRequest, m))?;
@@ -295,9 +363,15 @@ fn op_estimate(engine: &PowerEngine, request: &Request) -> Result<Value, Request
     let seed = request.seed.unwrap_or(7);
 
     let (m1, _) = spec.width.operand_widths();
-    let dist = input_distribution(dt, spec.kind.operand_count(), m1, cycles, seed);
+    // The distribution fit is estimation math, so its time (≈100 µs on a
+    // per-thread memo miss) lands in the estimate stage.
+    let dist = trace.time(Stage::Estimate, || {
+        input_distribution(dt, spec.kind.operand_count(), m1, cycles, seed)
+    });
 
-    let estimate = engine.estimate(spec, &dist).map_err(engine_error)?;
+    let estimate = engine
+        .estimate_traced(spec, &dist, trace)
+        .map_err(engine_error)?;
     Ok(Value::Object(vec![
         ("ok".into(), Value::Bool(true)),
         ("op".into(), Value::Str("estimate".into())),
@@ -313,9 +387,13 @@ fn op_estimate(engine: &PowerEngine, request: &Request) -> Result<Value, Request
     ]))
 }
 
-fn op_characterize(engine: &PowerEngine, request: &Request) -> Result<Value, RequestError> {
+fn op_characterize(
+    engine: &PowerEngine,
+    request: &Request,
+    trace: &mut TraceCtx,
+) -> Result<Value, RequestError> {
     let spec = spec_of(request)?;
-    let (characterization, source) = engine.fetch(spec).map_err(engine_error)?;
+    let (characterization, source) = engine.fetch_traced(spec, trace).map_err(engine_error)?;
     Ok(Value::Object(vec![
         ("ok".into(), Value::Bool(true)),
         ("op".into(), Value::Str("characterize".into())),
@@ -363,6 +441,25 @@ fn op_stats(engine: &PowerEngine) -> Value {
 mod tests {
     use super::*;
     use hdpm_core::{CharacterizationConfig, EngineOptions, ShardingConfig};
+
+    #[test]
+    fn append_trace_matches_attach_then_render() {
+        let id = "t00c0ffee00c0ffee";
+        for value in [
+            error_value(ErrorKind::Timeout, "deadline exceeded: queued 9 ms"),
+            Value::Object(vec![
+                ("ok".into(), Value::Bool(true)),
+                ("op".into(), Value::Str("stats".into())),
+                ("entries".into(), Value::UInt(3)),
+            ]),
+        ] {
+            let mut attached = value.clone();
+            attach_trace(&mut attached, id);
+            let mut spliced = render(&value);
+            append_trace(&mut spliced, id);
+            assert_eq!(spliced, render(&attached));
+        }
+    }
 
     fn quick_engine() -> PowerEngine {
         PowerEngine::new(EngineOptions {

@@ -24,10 +24,26 @@
 //! worker forever, and tolerance of malformed or non-UTF-8 lines.
 //! [`Server::shutdown`] drains gracefully: stop accepting, stop reading,
 //! finish every queued request, join the pool, report totals.
+//!
+//! # Observability
+//!
+//! When [`ServerOptions::tracing`] is on (the default), every framed
+//! request gets a [`TraceCtx`] at enqueue time that rides the [`Job`]
+//! through the pipeline, accumulating per-stage timings (decode,
+//! queue-wait, cache-lookup, single-flight-wait, characterize, estimate,
+//! serialize, socket-write). The trace id is echoed in the reply as
+//! `"trace":"t…"`; the completed trace lands in the global flight
+//! recorder (served by `/tracez`, dumped on drain) and in the
+//! `server.stage_ns{stage=…}` latency histograms; requests slower than
+//! [`ServerOptions::slow_threshold`] additionally emit one
+//! `{"type":"slow_request",…}` JSON line on stderr. The optional admin
+//! plane ([`ServerOptions::admin_addr`], `crate::admin`) exposes
+//! `/metrics`, `/healthz`, `/readyz` and `/tracez` over HTTP.
 
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -35,8 +51,10 @@ use std::time::{Duration, Instant};
 
 use hdpm_core::{resolve_threads, EngineOptions, PowerEngine};
 use hdpm_telemetry as telemetry;
+use hdpm_telemetry::{trace as trace_mod, Stage, TraceCtx};
 use serde::Serialize;
 
+use crate::admin::AdminServer;
 use crate::protocol::{self, ErrorKind};
 use crate::queue::{Bounded, PushError};
 
@@ -65,12 +83,23 @@ pub struct ServerOptions {
     pub max_connections: usize,
     /// Engine shared by the worker pool.
     pub engine: EngineOptions,
+    /// Admin-plane bind address (`/metrics`, `/healthz`, `/readyz`,
+    /// `/tracez`); `None` runs without one.
+    pub admin_addr: Option<SocketAddr>,
+    /// Per-request tracing: trace ids echoed in replies, per-stage
+    /// timings, the flight recorder and the slow-request log. Off turns
+    /// replies byte-identical to the stdin transport.
+    pub tracing: bool,
+    /// End-to-end latency above which a completed request emits one
+    /// structured `slow_request` JSON line on stderr (tracing only).
+    pub slow_threshold: Duration,
 }
 
 impl Default for ServerOptions {
     /// Defaults: loopback ephemeral port, all-cores workers, queue depth
     /// 256, 30 s deadline, 60 s idle reap, 5 s write timeout, 256
-    /// connections, default engine.
+    /// connections, default engine, no admin plane, tracing on with a
+    /// 250 ms slow-request threshold.
     fn default() -> Self {
         ServerOptions {
             addr: SocketAddr::from(([127, 0, 0, 1], 0)),
@@ -81,6 +110,9 @@ impl Default for ServerOptions {
             write_timeout: Duration::from_secs(5),
             max_connections: 256,
             engine: EngineOptions::default(),
+            admin_addr: None,
+            tracing: true,
+            slow_threshold: Duration::from_millis(250),
         }
     }
 }
@@ -130,6 +162,79 @@ struct Job {
     raw: Vec<u8>,
     conn: Arc<Conn>,
     enqueued: Instant,
+    trace: TraceCtx,
+}
+
+/// Everything needed to close out a request's trace once its reply is on
+/// the wire (or abandoned): the completed context, what the request was,
+/// and how it ended. Created by the worker, consumed by the writer side
+/// so the socket-write stage covers sequencer hold + the actual write.
+struct TraceFinish {
+    trace: TraceCtx,
+    op: String,
+    detail: String,
+    status: String,
+    slow_threshold: Duration,
+    /// [`telemetry::clock::now_ns`] when the worker handed the reply to
+    /// the sequencer.
+    submitted_ns: u64,
+}
+
+/// Canonical metric keys of the `server.stage_ns{stage=…}` series,
+/// pre-rendered (and verified against [`telemetry::metric_key`] by a
+/// test) so the per-request stage flush allocates nothing.
+const STAGE_KEYS: [&str; trace_mod::STAGE_COUNT] = [
+    "server.stage_ns{stage=\"decode\"}",
+    "server.stage_ns{stage=\"queue_wait\"}",
+    "server.stage_ns{stage=\"cache_lookup\"}",
+    "server.stage_ns{stage=\"single_flight_wait\"}",
+    "server.stage_ns{stage=\"characterize\"}",
+    "server.stage_ns{stage=\"estimate\"}",
+    "server.stage_ns{stage=\"serialize\"}",
+    "server.stage_ns{stage=\"socket_write\"}",
+];
+
+impl TraceFinish {
+    /// Record the socket-write stage, file the trace with the flight
+    /// recorder and the stage histograms, and emit the slow-request log
+    /// line if the end-to-end time crossed the threshold.
+    fn complete(mut self, wrote: bool) {
+        if wrote {
+            self.trace.add(
+                Stage::SocketWrite,
+                telemetry::clock::now_ns().saturating_sub(self.submitted_ns),
+            );
+        }
+        let record = self.trace.finish_owned(self.op, self.detail, self.status);
+        // Flush every nonzero stage under one registry lock, with keys
+        // resolved at compile time: the warm path allocates nothing here.
+        let mut pairs = [("", 0u64); trace_mod::STAGE_COUNT];
+        let mut nonzero = 0;
+        for stage in trace_mod::STAGES {
+            let ns = record.stages[stage as usize];
+            if ns > 0 {
+                pairs[nonzero] = (STAGE_KEYS[stage as usize], ns);
+                nonzero += 1;
+            }
+        }
+        telemetry::record_durations_ns(&pairs[..nonzero]);
+        let slow =
+            record.total_ns > u64::try_from(self.slow_threshold.as_nanos()).unwrap_or(u64::MAX);
+        if slow {
+            telemetry::counter_add("server.request.slow", 1);
+            // One self-contained JSON line on stderr, greppable by trace
+            // id, regardless of the telemetry output mode.
+            let record_json = record.to_json();
+            eprintln!("{{\"type\":\"slow_request\",{}", &record_json[1..]);
+        }
+        trace_mod::recorder().push(record);
+    }
+}
+
+/// A reply line plus the trace bookkeeping owed once it is written.
+struct Reply {
+    line: String,
+    finish: Option<Box<TraceFinish>>,
 }
 
 /// The write side of a connection plus the reply sequencer. Workers
@@ -146,7 +251,7 @@ struct OutState {
     next: u64,
     /// Completed replies with earlier gaps still outstanding. `None`
     /// marks a sequence slot that produces no output.
-    pending: BTreeMap<u64, Option<String>>,
+    pending: BTreeMap<u64, Option<Reply>>,
 }
 
 impl Conn {
@@ -178,8 +283,20 @@ impl Conn {
 
     /// Hand in the reply for sequence `seq` (`None` = no output owed) and
     /// flush every consecutively-ready reply to the wire. A write failure
-    /// (timeout included) kills the connection.
-    fn submit(&self, seq: u64, reply: Option<String>) {
+    /// (timeout included) kills the connection. Trace bookkeeping for
+    /// flushed replies runs after the connection lock is released.
+    fn submit(&self, seq: u64, reply: Option<Reply>) {
+        // One reply flushes per submit in the common case; the spill Vec
+        // only allocates when out-of-order completions batch up.
+        let mut first: Option<Box<TraceFinish>> = None;
+        let mut rest: Vec<Box<TraceFinish>> = Vec::new();
+        let mut finish_later = |finish: Box<TraceFinish>| {
+            if first.is_none() {
+                first = Some(finish);
+            } else {
+                rest.push(finish);
+            }
+        };
         let mut out = self.out.lock().expect("conn lock");
         out.pending.insert(seq, reply);
         loop {
@@ -188,32 +305,61 @@ impl Conn {
                 break;
             };
             out.next += 1;
-            let Some(line) = ready else { continue };
+            let Some(reply) = ready else { continue };
             let Some(stream) = out.stream.as_mut() else {
+                if let Some(finish) = reply.finish {
+                    finish_later(finish);
+                }
                 continue;
             };
             let wrote = stream
-                .write_all(line.as_bytes())
+                .write_all(reply.line.as_bytes())
                 .and_then(|()| stream.write_all(b"\n"));
-            if let Err(e) = wrote {
-                telemetry::counter_add("server.conn.write_failed", 1);
-                telemetry::event(
-                    telemetry::Level::Warn,
-                    "server.conn.write_failed",
-                    &[("error", e.to_string().into())],
-                );
-                self.alive.store(false, Ordering::Relaxed);
-                if let Some(stream) = out.stream.take() {
-                    let _ = stream.shutdown(Shutdown::Both);
+            match wrote {
+                Ok(()) => {
+                    if let Some(finish) = reply.finish {
+                        finish_later(finish);
+                    }
                 }
-                out.pending.clear();
-                return;
+                Err(e) => {
+                    telemetry::counter_add("server.conn.write_failed", 1);
+                    telemetry::event(
+                        telemetry::Level::Warn,
+                        "server.conn.write_failed",
+                        &[("error", e.to_string().into())],
+                    );
+                    self.alive.store(false, Ordering::Relaxed);
+                    if let Some(stream) = out.stream.take() {
+                        let _ = stream.shutdown(Shutdown::Both);
+                    }
+                    out.pending.clear();
+                    if let Some(mut finish) = reply.finish {
+                        finish.status = "write_failed".into();
+                        finish_later(finish);
+                    }
+                    break;
+                }
             }
+        }
+        drop(out);
+        if let Some(finish) = first {
+            finish.complete(true);
+        }
+        for finish in rest {
+            finish.complete(true);
         }
     }
 }
 
-struct Shared {
+/// Outcome of processing one job, before the reply reaches the wire.
+struct Outcome {
+    line: String,
+    op: String,
+    detail: String,
+    status: String,
+}
+
+pub(crate) struct Shared {
     engine: PowerEngine,
     queue: Bounded<Job>,
     draining: AtomicBool,
@@ -226,11 +372,53 @@ struct Shared {
     read_poll: Duration,
     write_timeout: Duration,
     max_connections: usize,
+    tracing: bool,
+    slow_threshold: Duration,
+    /// The engine's disk tier root, probed by `/readyz`.
+    store_root: Option<PathBuf>,
 }
 
 impl Shared {
     fn draining(&self) -> bool {
         self.draining.load(Ordering::Relaxed)
+    }
+
+    /// A fresh trace context when tracing is on, an inert one otherwise.
+    fn new_trace(&self) -> TraceCtx {
+        if self.tracing {
+            TraceCtx::new()
+        } else {
+            TraceCtx::disabled()
+        }
+    }
+
+    /// Attach the trace id to a pre-rendered error line and build its
+    /// [`Reply`] (with trace bookkeeping when tracing is on).
+    fn error_reply(
+        &self,
+        trace: TraceCtx,
+        kind: ErrorKind,
+        message: &str,
+        detail: String,
+    ) -> Reply {
+        let mut value = protocol::error_value(kind, message);
+        let finish = if trace.is_enabled() {
+            protocol::attach_trace(&mut value, &trace.id_string());
+            Some(Box::new(TraceFinish {
+                trace,
+                op: String::new(),
+                detail,
+                status: kind.as_str().to_string(),
+                slow_threshold: self.slow_threshold,
+                submitted_ns: telemetry::clock::now_ns(),
+            }))
+        } else {
+            None
+        };
+        Reply {
+            line: protocol::render(&value),
+            finish,
+        }
     }
 
     /// Frame one raw line into the queue, shedding with a structured
@@ -250,51 +438,60 @@ impl Shared {
             raw,
             conn: Arc::clone(conn),
             enqueued: Instant::now(),
+            trace: self.new_trace(),
         };
         match self.queue.try_push(job) {
             Ok(depth) => telemetry::gauge_set("server.queue.depth", depth as f64),
             Err(PushError::Full(job)) => {
                 self.totals.shed.fetch_add(1, Ordering::Relaxed);
-                telemetry::counter_add("server.shed.overloaded", 1);
-                job.conn.submit(
-                    job.seq,
-                    Some(protocol::error_line(
-                        ErrorKind::Overloaded,
-                        &format!(
-                            "queue full ({} requests queued): request shed",
-                            self.queue.capacity()
-                        ),
-                    )),
+                telemetry::counter_add("server.queue.shed_full", 1);
+                let reply = self.error_reply(
+                    job.trace,
+                    ErrorKind::Overloaded,
+                    &format!(
+                        "queue full ({} requests queued): request shed",
+                        self.queue.capacity()
+                    ),
+                    String::new(),
                 );
+                job.conn.submit(job.seq, Some(reply));
             }
             Err(PushError::Closed(job)) => {
                 self.totals.shed.fetch_add(1, Ordering::Relaxed);
-                telemetry::counter_add("server.shed.draining", 1);
-                job.conn.submit(
-                    job.seq,
-                    Some(protocol::error_line(
-                        ErrorKind::Overloaded,
-                        "server draining: request shed",
-                    )),
+                telemetry::counter_add("server.queue.shed_draining", 1);
+                let reply = self.error_reply(
+                    job.trace,
+                    ErrorKind::Overloaded,
+                    "server draining: request shed",
+                    String::new(),
                 );
+                job.conn.submit(job.seq, Some(reply));
             }
         }
     }
 
-    /// Execute one job: decode, enforce the deadline, run the op.
-    /// Returns the reply line, or `None` when no output is owed.
-    fn process(&self, job: &Job, waited: Duration) -> Option<String> {
-        let _span = telemetry::span("server.request");
+    /// Execute one job: decode, enforce the deadline, run the op, render
+    /// the reply (trace id attached when tracing). Returns `None` when no
+    /// output is owed (blank line). Per-stage timings accumulate into the
+    /// job's trace; `server.request_ns` keeps measuring processing time
+    /// only (decode → render), as before.
+    fn process(&self, job: &mut Job, waited: Duration) -> Option<Outcome> {
         let started = Instant::now();
-        let request = match protocol::decode(protocol::trim_line(&job.raw)) {
+        let trace = &mut job.trace;
+        let decoded = trace.time(Stage::Decode, || {
+            protocol::decode(protocol::trim_line(&job.raw))
+        });
+        let request = match decoded {
             Ok(Some(request)) => request,
             Ok(None) => return None,
             Err((kind, message)) => {
                 self.totals.errors.fetch_add(1, Ordering::Relaxed);
                 telemetry::counter_add("server.request.error", 1);
-                return Some(protocol::error_line(kind, &message));
+                return Some(self.render_error(trace, started, kind, &message, String::new()));
             }
         };
+        let op = request.op.clone();
+        let detail = protocol::request_detail(&request);
         let requested = request.deadline_ms.map(Duration::from_millis);
         let limit = match (self.deadline, requested) {
             (Some(server), Some(request)) => Some(server.min(request)),
@@ -304,31 +501,121 @@ impl Shared {
         if let Some(limit) = limit {
             if waited > limit {
                 self.totals.timeouts.fetch_add(1, Ordering::Relaxed);
-                telemetry::counter_add("server.shed.timeout", 1);
-                return Some(protocol::error_line(
-                    ErrorKind::Timeout,
-                    &format!(
-                        "deadline exceeded: queued {} ms, limit {} ms",
-                        waited.as_millis(),
-                        limit.as_millis()
-                    ),
-                ));
+                telemetry::counter_add("server.queue.timeout", 1);
+                let message = format!(
+                    "deadline exceeded: queued {} ms, limit {} ms",
+                    waited.as_millis(),
+                    limit.as_millis()
+                );
+                let mut outcome =
+                    self.render_error(trace, started, ErrorKind::Timeout, &message, detail);
+                outcome.op = op;
+                return Some(outcome);
             }
         }
-        let line = match protocol::handle(&self.engine, &request) {
+        let (value, status) = match protocol::handle_traced(&self.engine, &request, trace) {
             Ok(reply) => {
                 self.totals.ok.fetch_add(1, Ordering::Relaxed);
                 telemetry::counter_add("server.request.ok", 1);
-                protocol::render(&reply)
+                (reply, "ok".to_string())
             }
             Err((kind, message)) => {
                 self.totals.errors.fetch_add(1, Ordering::Relaxed);
                 telemetry::counter_add("server.request.error", 1);
-                protocol::error_line(kind, &message)
+                (
+                    protocol::error_value(kind, &message),
+                    kind.as_str().to_string(),
+                )
             }
         };
+        let trace_id = trace.is_enabled().then(|| trace.id());
+        let line = trace.time(Stage::Serialize, || {
+            let mut line = protocol::render(&value);
+            if let Some(id) = trace_id {
+                protocol::append_trace_id(&mut line, id);
+            }
+            line
+        });
         telemetry::record_duration_ns("server.request_ns", started.elapsed().as_nanos() as u64);
-        Some(line)
+        Some(Outcome {
+            line,
+            op,
+            detail,
+            status,
+        })
+    }
+
+    /// Render a structured error outcome (trace id attached when
+    /// tracing), accounting its render time to the serialize stage and
+    /// closing out `server.request_ns`.
+    fn render_error(
+        &self,
+        trace: &mut TraceCtx,
+        started: Instant,
+        kind: ErrorKind,
+        message: &str,
+        detail: String,
+    ) -> Outcome {
+        let trace_id = trace.is_enabled().then(|| trace.id());
+        let line = trace.time(Stage::Serialize, || {
+            let mut line = protocol::error_line(kind, message);
+            if let Some(id) = trace_id {
+                protocol::append_trace_id(&mut line, id);
+            }
+            line
+        });
+        telemetry::record_duration_ns("server.request_ns", started.elapsed().as_nanos() as u64);
+        Outcome {
+            line,
+            op: String::new(),
+            detail,
+            status: kind.as_str().to_string(),
+        }
+    }
+
+    // --- admin-plane probes (crate::admin) ------------------------------
+
+    /// Whether the server should report ready: not draining, and the
+    /// engine's disk tier (when configured) still present. The engine
+    /// stats probe doubles as a health check of the engine lock.
+    pub(crate) fn readiness(&self) -> Result<(), String> {
+        if self.draining() {
+            return Err("draining".to_string());
+        }
+        if let Some(root) = &self.store_root {
+            if !root.is_dir() {
+                return Err(format!("store root missing: {}", root.display()));
+            }
+        }
+        let _ = self.engine.stats();
+        Ok(())
+    }
+
+    /// The `/metrics` exposition: live engine/server gauges rendered
+    /// directly (names chosen not to collide with registry series),
+    /// followed by the full metrics registry in Prometheus text format.
+    pub(crate) fn metrics_text(&self) -> String {
+        let stats = self.engine.stats();
+        let mut out = String::with_capacity(8192);
+        for (name, value) in [
+            ("engine_cache_entries", stats.entries as f64),
+            ("engine_cache_capacity", stats.capacity as f64),
+            ("engine_inflight", stats.inflight as f64),
+            (
+                "server_connections_active",
+                self.connections.load(Ordering::Relaxed) as f64,
+            ),
+            ("server_queue_len", self.queue.len() as f64),
+            ("server_draining", f64::from(u8::from(self.draining()))),
+            (
+                "server_traces_recorded",
+                trace_mod::recorder().pushed() as f64,
+            ),
+        ] {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        }
+        out.push_str(&telemetry::prometheus::render(&telemetry::snapshot()));
+        out
     }
 }
 
@@ -339,19 +626,24 @@ pub struct Server {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    admin: Option<AdminServer>,
 }
 
 impl Server {
-    /// Bind, spawn the accept loop and the worker pool, and return the
-    /// running server.
+    /// Bind, spawn the accept loop, the worker pool and (when configured)
+    /// the admin-plane listener, and return the running server. Turns on
+    /// background metric recording ([`telemetry::set_recording`]) so the
+    /// admin plane scrapes live data regardless of the output mode.
     ///
     /// # Errors
     ///
-    /// Binding or thread spawning failures.
+    /// Binding or thread spawning failures (either listener).
     pub fn start(options: ServerOptions) -> io::Result<Server> {
+        telemetry::set_recording(true);
         let listener = TcpListener::bind(options.addr)?;
         let addr = listener.local_addr()?;
         let workers = resolve_threads(options.workers);
+        let store_root = options.engine.disk_root.clone();
         let shared = Arc::new(Shared {
             engine: PowerEngine::new(options.engine),
             queue: Bounded::new(options.queue_depth),
@@ -366,7 +658,14 @@ impl Server {
                 .min(Duration::from_millis(250)),
             write_timeout: options.write_timeout.max(Duration::from_millis(1)),
             max_connections: options.max_connections.max(1),
+            tracing: options.tracing,
+            slow_threshold: options.slow_threshold.max(Duration::from_nanos(1)),
+            store_root,
         });
+        let admin = options
+            .admin_addr
+            .map(|admin_addr| AdminServer::start(admin_addr, Arc::clone(&shared)))
+            .transpose()?;
         let accept = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -386,8 +685,16 @@ impl Server {
             "server.listening",
             &[
                 ("addr", addr.to_string().into()),
+                (
+                    "admin_addr",
+                    admin
+                        .as_ref()
+                        .map_or_else(|| "off".to_string(), |a| a.local_addr().to_string())
+                        .into(),
+                ),
                 ("workers", workers.len().into()),
                 ("queue_depth", shared.queue.capacity().into()),
+                ("tracing", shared.tracing.into()),
             ],
         );
         Ok(Server {
@@ -395,12 +702,18 @@ impl Server {
             addr,
             accept: Some(accept),
             workers,
+            admin,
         })
     }
 
     /// The bound address (resolves port 0 to the ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound admin-plane address, when one was configured.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().map(AdminServer::local_addr)
     }
 
     /// The engine shared by the worker pool (e.g. for pre-warming).
@@ -411,7 +724,8 @@ impl Server {
     /// Gracefully drain: stop accepting, stop reading, answer everything
     /// already queued, join the worker pool, and report lifetime totals.
     /// In-flight characterizations run to completion — their replies are
-    /// on the wire before this returns.
+    /// on the wire before this returns. The admin plane keeps serving
+    /// through the drain (`/readyz` reports 503) and stops last.
     pub fn shutdown(mut self) -> DrainReport {
         self.begin_drain();
         // Readers poll the draining flag at `read_poll` granularity; give
@@ -426,6 +740,9 @@ impl Server {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(admin) = self.admin.take() {
+            admin.stop();
         }
         let report = self.shared.totals.report();
         telemetry::event(
@@ -451,12 +768,16 @@ impl Server {
 
 impl Drop for Server {
     /// A dropped (not shut down) server still releases its threads:
-    /// accept and workers are told to exit, but nothing is joined and no
-    /// drain guarantee is made — call [`Server::shutdown`] for that.
+    /// accept, workers and the admin plane are told to exit, but nothing
+    /// is joined and no drain guarantee is made — call
+    /// [`Server::shutdown`] for that.
     fn drop(&mut self) {
         if self.accept.is_some() {
             self.begin_drain();
             self.shared.queue.close();
+        }
+        if let Some(admin) = self.admin.take() {
+            admin.stop();
         }
     }
 }
@@ -553,15 +874,58 @@ fn run_reader(shared: &Arc<Shared>, conn: &Arc<Conn>, stream: TcpStream) {
 }
 
 fn run_worker(shared: &Arc<Shared>) {
-    while let Some(job) = shared.queue.pop() {
+    while let Some(mut job) = shared.queue.pop() {
         telemetry::gauge_set("server.queue.depth", shared.queue.len() as f64);
         let waited = job.enqueued.elapsed();
-        telemetry::record_duration_ns("server.queue_wait_ns", waited.as_nanos() as u64);
-        let reply = if job.conn.is_alive() {
-            shared.process(&job, waited)
+        let waited_ns = waited.as_nanos() as u64;
+        telemetry::record_duration_ns("server.queue.wait_ns", waited_ns);
+        job.trace.add(Stage::QueueWait, waited_ns);
+        if job.conn.is_alive() {
+            let outcome = shared.process(&mut job, waited);
+            let reply = outcome.map(|outcome| Reply {
+                finish: job.trace.is_enabled().then(|| {
+                    Box::new(TraceFinish {
+                        trace: job.trace.clone(),
+                        op: outcome.op,
+                        detail: outcome.detail,
+                        status: outcome.status,
+                        slow_threshold: shared.slow_threshold,
+                        submitted_ns: telemetry::clock::now_ns(),
+                    })
+                }),
+                line: outcome.line,
+            });
+            job.conn.submit(job.seq, reply);
         } else {
-            None // dead connection: advance the sequencer, write nothing
-        };
-        job.conn.submit(job.seq, reply);
+            // Dead connection: advance the sequencer, write nothing, but
+            // still file the trace so the flight recorder sees the drop.
+            if job.trace.is_enabled() {
+                TraceFinish {
+                    trace: job.trace.clone(),
+                    op: String::new(),
+                    detail: String::new(),
+                    status: "dropped".to_string(),
+                    slow_threshold: shared.slow_threshold,
+                    submitted_ns: telemetry::clock::now_ns(),
+                }
+                .complete(false);
+            }
+            job.conn.submit(job.seq, None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_keys_match_the_canonical_metric_key() {
+        for stage in trace_mod::STAGES {
+            assert_eq!(
+                STAGE_KEYS[stage as usize],
+                telemetry::metric_key("server.stage_ns", &[("stage", stage.as_str())]),
+            );
+        }
     }
 }

@@ -67,12 +67,26 @@ fn replay_stdio(requests: &[String]) -> Vec<String> {
         .collect()
 }
 
+/// Strip the nondeterministic `"trace":"t…"` field a tracing server
+/// appends to every reply, leaving the deterministic payload.
+fn strip_trace(line: &str) -> String {
+    match line.find(",\"trace\":\"t") {
+        Some(at) => {
+            let rest = &line[at + ",\"trace\":\"".len()..];
+            let close = rest.find('"').expect("unterminated trace field") + 1;
+            format!("{}{}", &line[..at], &rest[close..])
+        }
+        None => line.to_string(),
+    }
+}
+
 /// Replay through a real TCP server with a fresh engine. One worker:
 /// golden replies embed stateful cache counters, so execution must be
 /// serialized in request order for the bytes to match.
-fn replay_tcp(requests: &[String]) -> Vec<String> {
+fn replay_tcp(requests: &[String], tracing: bool) -> Vec<String> {
     let server = Server::start(ServerOptions {
         workers: 1,
+        tracing,
         engine: golden_engine_options(),
         ..ServerOptions::default()
     })
@@ -101,9 +115,27 @@ fn doc_transcript_replays_identically_over_stdio() {
 }
 
 #[test]
-fn doc_transcript_replays_identically_over_tcp() {
+fn doc_transcript_replays_identically_over_tcp_without_tracing() {
     let (requests, golden) = doc_transcript();
-    assert_eq!(replay_tcp(&requests), golden, "docs/engine.md drifted");
+    assert_eq!(
+        replay_tcp(&requests, false),
+        golden,
+        "docs/engine.md drifted"
+    );
+}
+
+#[test]
+fn doc_transcript_replays_over_tcp_with_tracing_modulo_trace_ids() {
+    let (requests, golden) = doc_transcript();
+    let replies = replay_tcp(&requests, true);
+    for reply in &replies {
+        assert!(
+            reply.contains(",\"trace\":\"t"),
+            "tracing reply missing its trace id: {reply}"
+        );
+    }
+    let stripped: Vec<String> = replies.iter().map(|r| strip_trace(r)).collect();
+    assert_eq!(stripped, golden, "docs/engine.md drifted (tracing on)");
 }
 
 #[test]
@@ -122,8 +154,16 @@ fn fixture_pair_replays_identically_over_both_transports() {
         "tests/fixtures/serve_replies.jsonl drifted (stdio)"
     );
     assert_eq!(
-        replay_tcp(&requests),
+        replay_tcp(&requests, false),
         golden,
         "tests/fixtures/serve_replies.jsonl drifted (tcp)"
+    );
+    let traced: Vec<String> = replay_tcp(&requests, true)
+        .iter()
+        .map(|r| strip_trace(r))
+        .collect();
+    assert_eq!(
+        traced, golden,
+        "tests/fixtures/serve_replies.jsonl drifted (tcp, tracing on)"
     );
 }

@@ -26,20 +26,27 @@
 //! output can be piped straight into `jq` or a log collector. In
 //! [`Mode::Human`] events go to stderr and the metrics table to stdout.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the sole exemption is `clock`'s rdtsc
+// intrinsic (one leaf function, explicitly allowed there).
+#![deny(unsafe_code)]
 
+pub mod clock;
 pub mod manifest;
 pub mod metrics;
+pub mod prometheus;
 pub mod span;
+pub mod trace;
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
 pub use manifest::RunManifest;
 pub use metrics::{
-    counter_add, gauge_add, gauge_set, record_duration_ns, reset, snapshot, Histogram,
-    HistogramSummary, MetricsSnapshot,
+    counter_add, counter_add_labeled, gauge_add, gauge_set, gauge_set_labeled, metric_key,
+    record_duration_ns, record_duration_ns_labeled, record_durations_ns, reset, set_recording,
+    snapshot, Histogram, HistogramSummary, MetricsSnapshot,
 };
 pub use span::{span, Span};
+pub use trace::{FlightRecorder, Stage, TraceCtx, TraceRecord};
 
 /// Severity of an [`event`]. Order matters: a filter level admits every
 /// level up to and including itself.

@@ -1,14 +1,45 @@
-//! The global metrics registry: counters, gauges and log-scale latency
-//! histograms, plus the serializable [`MetricsSnapshot`] view of all
-//! three.
+//! The global metrics registry v2: labeled counters, gauges and log-scale
+//! latency histograms behind **sharded locks**, plus the serializable
+//! [`MetricsSnapshot`] view of all three.
 //!
-//! All registry operations early-return when telemetry is disabled, so
-//! instrumented code can call them unconditionally from flush paths. Hot
-//! loops should instead accumulate into plain local integers and flush
-//! once per coarse unit of work (the simulator flushes per run, not per
-//! gate event).
+//! ## Sharding
+//!
+//! The v1 registry was one mutex around three `BTreeMap`s — every worker
+//! thread of a serving process serialized on it for every counter bump.
+//! v2 stripes the registry into [`SHARDS`] independently-locked shards:
+//!
+//! * **counters and histograms** shard by *thread* (each thread is
+//!   pinned round-robin to one shard on first use), so concurrent
+//!   writers on different threads touch different locks and a warm
+//!   request path pays an uncontended lock per record;
+//! * **gauges** shard by *key hash*, because a gauge is last-write-wins
+//!   and both writes for one name must land in the same map.
+//!
+//! [`snapshot`] merges all shards into sorted `BTreeMap`s: counters by
+//! summation, histograms bucket-wise, gauges by disjoint union. Metric
+//! names (including rendered labels) are the merge keys, so snapshot
+//! output is **deterministic** — byte-identical across runs and thread
+//! counts for the same recorded totals.
+//!
+//! ## Labels
+//!
+//! The `*_labeled` entry points attach `key="value"` labels; labels are
+//! sorted into the canonical metric key `name{k1="v1",k2="v2"}`, which is
+//! also the Prometheus-compatible identity used by
+//! [`crate::prometheus::render`].
+//!
+//! ## Recording gate
+//!
+//! All registry operations early-return unless telemetry output is
+//! enabled **or** background recording is on ([`set_recording`]); the
+//! server turns recording on so its admin plane can scrape live metrics
+//! without dumping telemetry to stdio. Hot loops should still accumulate
+//! into plain local integers and flush once per coarse unit of work (the
+//! simulator flushes per run, not per gate event).
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use serde::{Deserialize, Serialize};
@@ -18,6 +49,9 @@ use crate::{enabled, write_json_f64, write_json_string, Mode};
 /// Number of power-of-two latency buckets: bucket `b` holds values in
 /// `[2^(b-1), 2^b)` nanoseconds, bucket 0 holds zero.
 const BUCKETS: usize = 65;
+
+/// Number of independently-locked registry shards.
+pub const SHARDS: usize = 16;
 
 /// A log-scale histogram of nanosecond durations.
 ///
@@ -55,6 +89,18 @@ impl Histogram {
         self.count += 1;
         self.sum = self.sum.saturating_add(ns);
         self.max = self.max.max(ns);
+    }
+
+    /// Fold another histogram into this one (bucket-wise addition). The
+    /// merge is commutative and associative, so shard merge order never
+    /// changes a snapshot.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
     }
 
     /// Number of recorded values.
@@ -140,102 +186,288 @@ pub struct HistogramSummary {
 }
 
 /// A point-in-time copy of the whole metrics registry.
+///
+/// Keys are canonical metric identities — `name` for unlabeled metrics,
+/// `name{k1="v1",k2="v2"}` (labels sorted) for labeled ones — held in
+/// `BTreeMap`s, so iteration order (and therefore every exposition
+/// format) is deterministic across runs and thread counts.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
-    /// Monotonic counters by name.
+    /// Monotonic counters by metric key.
     pub counters: BTreeMap<String, u64>,
-    /// Last-write-wins gauges by name.
+    /// Last-write-wins gauges by metric key.
     pub gauges: BTreeMap<String, f64>,
-    /// Latency histogram summaries by name.
+    /// Latency histogram summaries by metric key.
     pub histograms: BTreeMap<String, HistogramSummary>,
 }
 
+/// One shard of the thread-sharded maps. Counters and histograms are
+/// mergeable, so any thread may record any key into its own shard.
 #[derive(Default)]
+struct ShardData {
+    counters: HashMap<String, u64>,
+    histograms: HashMap<String, Histogram>,
+}
+
 struct Registry {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Histogram>,
+    /// Thread-sharded counters + histograms.
+    shards: Vec<Mutex<ShardData>>,
+    /// Key-hash-sharded gauges (last-write-wins needs one home per key).
+    gauges: Vec<Mutex<HashMap<String, f64>>>,
 }
 
-fn registry() -> &'static Mutex<Registry> {
-    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
-    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        shards: (0..SHARDS)
+            .map(|_| Mutex::new(ShardData::default()))
+            .collect(),
+        gauges: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+    })
 }
 
-fn with_registry(f: impl FnOnce(&mut Registry)) {
-    // A poisoned registry only loses metrics, never correctness.
-    let mut guard = match registry().lock() {
+/// The shard this thread writes counters/histograms into, assigned
+/// round-robin on first use so writer threads spread across the locks.
+fn thread_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let cached = s.get();
+        if cached != usize::MAX {
+            return cached;
+        }
+        let assigned = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        s.set(assigned);
+        assigned
+    })
+}
+
+/// FNV-1a over the key selects the gauge shard.
+fn gauge_shard(key: &str) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in key.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash as usize) % SHARDS
+}
+
+/// Unpoisoning lock helper: a poisoned shard only loses metrics, never
+/// correctness.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
-    };
-    f(&mut guard);
+    }
+}
+
+static RECORDING: AtomicBool = AtomicBool::new(false);
+
+/// Turn background metric recording on or off. While on, the registry
+/// accumulates even in [`Mode::Off`] — nothing is printed, but snapshots
+/// (and the server's `/metrics` scrape) see live data. The TCP server
+/// enables this at startup.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::Relaxed);
+}
+
+/// Whether background recording is on (see [`set_recording`]).
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Whether registry writes should be applied: telemetry output enabled or
+/// background recording on.
+#[inline]
+pub fn should_record() -> bool {
+    enabled() || recording()
+}
+
+/// Render the canonical metric key: `name` when unlabeled, otherwise
+/// `name{k1="v1",k2="v2"}` with labels sorted by key. This is both the
+/// registry merge key and the Prometheus series identity.
+pub fn metric_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut key = String::with_capacity(name.len() + 16 * sorted.len());
+    key.push_str(name);
+    key.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(k);
+        key.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '"' => key.push_str("\\\""),
+                '\\' => key.push_str("\\\\"),
+                '\n' => key.push_str("\\n"),
+                c => key.push(c),
+            }
+        }
+        key.push('"');
+    }
+    key.push('}');
+    key
 }
 
 /// Add `delta` to the named monotonic counter. No-op when disabled.
 pub fn counter_add(name: &str, delta: u64) {
-    if !enabled() || delta == 0 {
+    counter_add_labeled(name, &[], delta);
+}
+
+/// [`counter_add`] with labels attached to the series identity.
+pub fn counter_add_labeled(name: &str, labels: &[(&str, &str)], delta: u64) {
+    if !should_record() || delta == 0 {
         return;
     }
-    with_registry(|r| {
-        *r.counters.entry(name.to_string()).or_insert(0) += delta;
-    });
+    let mut shard = lock(&registry().shards[thread_shard()]);
+    // Warm path: the series already exists in this thread's shard, so no
+    // key string is allocated (callers may also pass a pre-rendered
+    // labeled key as `name` — see `metric_key` — to stay on this path).
+    if labels.is_empty() {
+        if let Some(counter) = shard.counters.get_mut(name) {
+            *counter += delta;
+            return;
+        }
+        shard.counters.insert(name.to_string(), delta);
+        return;
+    }
+    let key = metric_key(name, labels);
+    *shard.counters.entry(key).or_insert(0) += delta;
 }
 
 /// Set the named gauge to `value`. No-op when disabled.
 pub fn gauge_set(name: &str, value: f64) {
-    if !enabled() {
+    gauge_set_labeled(name, &[], value);
+}
+
+/// [`gauge_set`] with labels attached to the series identity.
+pub fn gauge_set_labeled(name: &str, labels: &[(&str, &str)], value: f64) {
+    if !should_record() {
         return;
     }
-    with_registry(|r| {
-        r.gauges.insert(name.to_string(), value);
-    });
+    if labels.is_empty() {
+        let mut shard = lock(&registry().gauges[gauge_shard(name)]);
+        if let Some(slot) = shard.get_mut(name) {
+            *slot = value;
+            return;
+        }
+        shard.insert(name.to_string(), value);
+        return;
+    }
+    let key = metric_key(name, labels);
+    let mut shard = lock(&registry().gauges[gauge_shard(&key)]);
+    shard.insert(key, value);
 }
 
 /// Add `delta` to the named gauge (creating it at 0). No-op when
 /// disabled.
 pub fn gauge_add(name: &str, delta: f64) {
-    if !enabled() {
+    if !should_record() {
         return;
     }
-    with_registry(|r| {
-        *r.gauges.entry(name.to_string()).or_insert(0.0) += delta;
-    });
+    let key = metric_key(name, &[]);
+    let mut shard = lock(&registry().gauges[gauge_shard(&key)]);
+    *shard.entry(key).or_insert(0.0) += delta;
 }
 
 /// Record a duration in the named latency histogram. No-op when disabled.
 pub fn record_duration_ns(name: &str, ns: u64) {
-    if !enabled() {
-        return;
-    }
-    with_registry(|r| {
-        r.histograms.entry(name.to_string()).or_default().record(ns);
-    });
+    record_duration_ns_labeled(name, &[], ns);
 }
 
-/// Copy the registry into a serializable [`MetricsSnapshot`]. Works even
+/// [`record_duration_ns`] with labels attached to the series identity.
+pub fn record_duration_ns_labeled(name: &str, labels: &[(&str, &str)], ns: u64) {
+    if !should_record() {
+        return;
+    }
+    let mut shard = lock(&registry().shards[thread_shard()]);
+    if labels.is_empty() {
+        record_histogram_in(&mut shard, name, ns);
+        return;
+    }
+    let key = metric_key(name, labels);
+    shard.histograms.entry(key).or_default().record(ns);
+}
+
+/// Record several durations under **one** shard lock. `keys` are
+/// canonical metric keys (pre-render labels with [`metric_key`]); on the
+/// warm path — every series already present — this allocates nothing.
+/// The per-request stage flush of a traced server uses this instead of
+/// eight separate [`record_duration_ns`] calls.
+pub fn record_durations_ns(pairs: &[(&str, u64)]) {
+    if !should_record() || pairs.is_empty() {
+        return;
+    }
+    let mut shard = lock(&registry().shards[thread_shard()]);
+    for (key, ns) in pairs {
+        record_histogram_in(&mut shard, key, *ns);
+    }
+}
+
+/// Record into a shard's histogram map without allocating when the
+/// series already exists.
+fn record_histogram_in(shard: &mut ShardData, key: &str, ns: u64) {
+    if let Some(histogram) = shard.histograms.get_mut(key) {
+        histogram.record(ns);
+        return;
+    }
+    let mut histogram = Histogram::default();
+    histogram.record(ns);
+    shard.histograms.insert(key.to_string(), histogram);
+}
+
+/// Merge every shard into a serializable [`MetricsSnapshot`]. Works even
 /// when telemetry is disabled (returns whatever was recorded while it was
-/// on).
+/// on). Deterministic: sorted keys, order-independent merges.
 pub fn snapshot() -> MetricsSnapshot {
-    let mut snap = MetricsSnapshot::default();
-    with_registry(|r| {
-        snap.counters = r.counters.clone();
-        snap.gauges = r.gauges.clone();
-        snap.histograms = r
-            .histograms
+    let registry = registry();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, Histogram> = BTreeMap::new();
+    for shard in &registry.shards {
+        let shard = lock(shard);
+        for (key, value) in &shard.counters {
+            *counters.entry(key.clone()).or_insert(0) += value;
+        }
+        for (key, h) in &shard.histograms {
+            histograms.entry(key.clone()).or_default().merge(h);
+        }
+    }
+    let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
+    for shard in &registry.gauges {
+        let shard = lock(shard);
+        for (key, value) in shard.iter() {
+            gauges.insert(key.clone(), *value);
+        }
+    }
+    MetricsSnapshot {
+        counters,
+        gauges,
+        histograms: histograms
             .iter()
-            .map(|(name, h)| (name.clone(), h.summary()))
-            .collect();
-    });
-    snap
+            .map(|(key, h)| (key.clone(), h.summary()))
+            .collect(),
+    }
 }
 
 /// Clear every metric (used between test cases and CLI subcommands).
 pub fn reset() {
-    with_registry(|r| {
-        r.counters.clear();
-        r.gauges.clear();
-        r.histograms.clear();
-    });
+    let registry = registry();
+    for shard in &registry.shards {
+        let mut shard = lock(shard);
+        shard.counters.clear();
+        shard.histograms.clear();
+    }
+    for shard in &registry.gauges {
+        lock(shard).clear();
+    }
 }
 
 pub(crate) fn emit_snapshot_in_mode(mode: Mode) {
@@ -397,6 +629,23 @@ mod tests {
     }
 
     #[test]
+    fn histogram_merge_is_bucketwise() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut reference = Histogram::default();
+        for v in [3u64, 900, 12] {
+            a.record(v);
+            reference.record(v);
+        }
+        for v in [70_000u64, 1, 900] {
+            b.record(v);
+            reference.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, reference, "merge equals recording the union");
+    }
+
+    #[test]
     fn registry_counters_accumulate_only_when_enabled() {
         // Registry tests share global state; serialize them via a lock.
         let _guard = super::test_lock();
@@ -417,6 +666,135 @@ mod tests {
         assert_eq!(snap.histograms.get("test.hist").unwrap().count, 1);
 
         crate::set_mode(Mode::Off);
+        reset();
+    }
+
+    #[test]
+    fn recording_flag_collects_without_output_mode() {
+        let _guard = super::test_lock();
+        reset();
+        crate::set_mode(Mode::Off);
+        set_recording(true);
+        counter_add("test.recorded", 2);
+        assert_eq!(snapshot().counters.get("test.recorded"), Some(&2));
+        set_recording(false);
+        counter_add("test.recorded", 2);
+        assert_eq!(
+            snapshot().counters.get("test.recorded"),
+            Some(&2),
+            "writes stop when recording is off"
+        );
+        reset();
+    }
+
+    #[test]
+    fn batched_durations_match_individual_records() {
+        let _guard = super::test_lock();
+        reset();
+        set_recording(true);
+        record_durations_ns(&[
+            ("test.batch{stage=\"a\"}", 100),
+            ("test.batch{stage=\"b\"}", 200),
+            ("test.batch{stage=\"a\"}", 300),
+        ]);
+        record_duration_ns_labeled("test.batch", &[("stage", "a")], 400);
+        let snap = snapshot();
+        assert_eq!(
+            snap.histograms
+                .get("test.batch{stage=\"a\"}")
+                .unwrap()
+                .count,
+            3
+        );
+        assert_eq!(
+            snap.histograms
+                .get("test.batch{stage=\"b\"}")
+                .unwrap()
+                .count,
+            1
+        );
+        set_recording(false);
+        reset();
+    }
+
+    #[test]
+    fn labels_are_sorted_into_a_canonical_key() {
+        assert_eq!(metric_key("x", &[]), "x");
+        assert_eq!(
+            metric_key("x", &[("zeta", "2"), ("alpha", "1")]),
+            "x{alpha=\"1\",zeta=\"2\"}"
+        );
+        assert_eq!(metric_key("x", &[("k", "a\"b\\c")]), "x{k=\"a\\\"b\\\\c\"}");
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_and_deterministic() {
+        let _guard = super::test_lock();
+        reset();
+        set_recording(true);
+        counter_add_labeled("test.stage", &[("stage", "decode")], 3);
+        counter_add_labeled("test.stage", &[("stage", "write")], 4);
+        counter_add_labeled("test.stage", &[("stage", "decode")], 1);
+        let snap = snapshot();
+        assert_eq!(snap.counters.get("test.stage{stage=\"decode\"}"), Some(&4));
+        assert_eq!(snap.counters.get("test.stage{stage=\"write\"}"), Some(&4));
+        let keys: Vec<&String> = snap.counters.keys().collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "snapshot keys iterate sorted");
+        set_recording(false);
+        reset();
+    }
+
+    #[test]
+    fn cross_thread_records_merge_into_one_series() {
+        let _guard = super::test_lock();
+        reset();
+        set_recording(true);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..100 {
+                        counter_add("test.merged", 1);
+                        record_duration_ns("test.merged_ns", 1000);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = snapshot();
+        assert_eq!(snap.counters.get("test.merged"), Some(&800));
+        assert_eq!(snap.histograms.get("test.merged_ns").unwrap().count, 800);
+        set_recording(false);
+        reset();
+    }
+
+    #[test]
+    fn gauges_land_in_one_shard_per_key() {
+        let _guard = super::test_lock();
+        reset();
+        set_recording(true);
+        // Many threads racing set on the same key: the snapshot must hold
+        // exactly one of the written values (no duplicate series).
+        let threads: Vec<_> = (0..8)
+            .map(|i| std::thread::spawn(move || gauge_set("test.racing_gauge", i as f64)))
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = snapshot();
+        let value = snap.gauges.get("test.racing_gauge").copied().unwrap();
+        assert!((0.0..8.0).contains(&value));
+        assert_eq!(
+            snap.gauges
+                .keys()
+                .filter(|k| k.starts_with("test."))
+                .count(),
+            1
+        );
+        set_recording(false);
         reset();
     }
 }
