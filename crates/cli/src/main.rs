@@ -22,8 +22,8 @@ use std::process::ExitCode;
 
 use args::ParsedArgs;
 use hdpm_core::{
-    characterize, characterize_sharded, evaluate, persist, threads_from_env,
-    CharacterizationConfig, HdModel, ShardingConfig, StimulusKind,
+    characterize_sharded_with_backend, characterize_with_backend, evaluate, persist,
+    threads_from_env, CharacterizationConfig, HdModel, ShardingConfig, SimBackend, StimulusKind,
 };
 use hdpm_datamodel::{breakpoints, region_model, HdDistribution, WordModel};
 use hdpm_netlist::{emit_verilog, ModuleKind, ModuleSpec, ModuleWidth, NetlistStats};
@@ -38,7 +38,8 @@ USAGE:
   hdpm list
   hdpm characterize --module <kind> --width <m> [--width2 <m2>]
                     [--patterns <n>] [--seed <s>] [--sweep | --stratified]
-                    [--shards <S>] [--threads <t>] [--out <file>]
+                    [--shards <S>] [--threads <t>]
+                    [--sim-backend <event|bitplane>] [--out <file>]
   hdpm estimate     --model <file> --module <kind> --width <m> --data <type>
                     [--cycles <n>] [--seed <s>] [--simulate]
   hdpm stats        (--data <type> | --wav <file>) --width <m>
@@ -74,6 +75,11 @@ CHARACTERIZE OPTIONS:
                  HDPM_THREADS when set; 0 = all cores). The thread count
                  never changes the resulting coefficient tables — results
                  are bit-identical for any <t>; see docs/parallelism.md.
+  --sim-backend  reference simulator: `bitplane` (default) packs 64
+                 stimulus transitions per machine word; `event` forces
+                 the event-driven oracle. Both produce bit-identical
+                 models (see docs/simulation.md); HDPM_SIM_BACKEND sets
+                 the default when the flag is absent.
 
 SERVE:
   a JSON-lines request/response loop on stdin/stdout over a cached
@@ -285,6 +291,14 @@ fn cmd_characterize(args: &ParsedArgs) -> CliResult {
         Some(_) => args.get_or("threads", 0usize)?,
         None => threads_from_env(),
     };
+    let backend = SimBackend::resolve(match args.option("sim-backend") {
+        Some(raw) => Some(raw.parse().map_err(|_| args::ArgsError::InvalidValue {
+            option: "sim-backend".to_string(),
+            value: raw.to_string(),
+            expected: "`event` or `bitplane`",
+        })?),
+        None => None,
+    });
     let netlist = spec.build()?.validate()?;
     eprintln!(
         "characterizing {} ({} gates, {} input bits)...",
@@ -295,10 +309,10 @@ fn cmd_characterize(args: &ParsedArgs) -> CliResult {
     // --shards 0 requests the sequential reference path; otherwise the
     // sharded driver runs (bit-identical for every thread count).
     let result = if shards == 0 {
-        characterize(&netlist, &config)?
+        characterize_with_backend(&netlist, &config, backend)?
     } else {
         let sharding = ShardingConfig { shards, threads };
-        characterize_sharded(&netlist, &config, &sharding)?
+        characterize_sharded_with_backend(&netlist, &config, &sharding, backend)?
     };
     // In JSON telemetry mode stdout is reserved for JSON-lines; the same
     // coefficient data is emitted there as `characterize.class_samples`.
@@ -333,6 +347,7 @@ fn cmd_characterize(args: &ParsedArgs) -> CliResult {
                     "threads_resolved",
                     hdpm_core::resolve_threads(threads).to_string(),
                 ),
+                ("sim_backend_resolved", backend.id().to_string()),
             ],
         )?;
     }

@@ -295,11 +295,13 @@ fn telemetry_json_emits_parseable_json_lines() {
                 let count = value.get("value").and_then(|v| v.as_u64()).expect("count");
                 counters.insert(name.to_string(), count);
             }
-            "histogram" if name == "sim.cycle_ns" => {
+            // The default bit-plane backend times 64-lane blocks rather
+            // than individual transitions.
+            "histogram" if name == "sim.block_ns" => {
                 saw_cycle_histogram = true;
                 assert!(value.get("p50_ns").and_then(|v| v.as_f64()).is_some());
                 assert!(value.get("p95_ns").and_then(|v| v.as_f64()).is_some());
-                assert_eq!(value.get("count").and_then(|v| v.as_u64()), Some(5000));
+                assert!(value.get("count").and_then(|v| v.as_u64()).unwrap_or(0) > 0);
             }
             _ => {}
         }
@@ -312,7 +314,7 @@ fn telemetry_json_emits_parseable_json_lines() {
     assert_eq!(counters["sim.patterns"], 5000);
     assert!(
         saw_cycle_histogram,
-        "missing sim.cycle_ns histogram in:\n{text}"
+        "missing sim.block_ns histogram in:\n{text}"
     );
 
     // A run manifest lands next to the --out artifact.
@@ -338,6 +340,8 @@ fn telemetry_human_prints_metrics_table() {
         "4",
         "--patterns",
         "800",
+        "--sim-backend",
+        "event",
         "--telemetry",
         "human",
     ]);

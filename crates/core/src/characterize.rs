@@ -15,9 +15,17 @@
 //!   [`crate::shard_seed`], simulated on scoped worker threads and merged
 //!   in ascending shard index. The coefficient tables are bit-identical
 //!   for every thread count (see `docs/parallelism.md`).
+//!
+//! Both drivers run on either reference-simulator backend (see
+//! [`SimBackend`] and `docs/simulation.md`): the event-driven oracle or
+//! the bit-parallel engine, which packs 64 transitions of the stimulus
+//! stream into one block and is **bit-identical** to the oracle — the
+//! backend choice never changes a bit of any coefficient table, which is
+//! why it is *not* part of [`CharacterizationConfig`] (and therefore not
+//! part of the persisted-model cache identity).
 
 use hdpm_netlist::ValidatedNetlist;
-use hdpm_sim::{BitPattern, DelayModel, Simulator};
+use hdpm_sim::{BitPattern, BitplaneSimulator, DelayModel, SimBackend, Simulator, BLOCK_LANES};
 use hdpm_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -335,6 +343,78 @@ impl StimulusStream {
     }
 }
 
+/// Drive `budget` patterns from `stream` through the selected simulator
+/// backend, invoking `observe(transition, charge)` once per pattern in
+/// stream order; stops early when `observe` returns `true`.
+///
+/// The bit-parallel engine packs transitions 64 at a time, but because it
+/// is bit-identical to the oracle *per transition* (see
+/// [`BitplaneSimulator`]), `observe` sees exactly the same
+/// `(transition, charge)` sequence either way — including when a
+/// convergence checkpoint stops the run mid-block (the remaining lanes of
+/// the block are simply discarded). Netlists with registers are outside
+/// the bit-plane engine's lane-parallel model, so they silently fall back
+/// to the event-driven oracle.
+fn drive_stream(
+    netlist: &ValidatedNetlist,
+    config: &CharacterizationConfig,
+    backend: SimBackend,
+    stream: &mut StimulusStream,
+    budget: usize,
+    mut observe: impl FnMut(Option<(usize, usize)>, f64) -> bool,
+) {
+    let use_bitplane = backend == SimBackend::Bitplane && BitplaneSimulator::supports(netlist);
+    if use_bitplane {
+        let mut sim = BitplaneSimulator::new(netlist, config.delay_model);
+        let mut patterns = Vec::with_capacity(BLOCK_LANES + 1);
+        let mut transitions = Vec::with_capacity(BLOCK_LANES + 1);
+        let mut applied = 0usize;
+        'blocks: while applied < budget {
+            // The first block carries one extra pattern: it initializes
+            // the simulator state and yields no transition result.
+            let cap = if applied == 0 {
+                BLOCK_LANES + 1
+            } else {
+                BLOCK_LANES
+            };
+            let take = (budget - applied).min(cap);
+            patterns.clear();
+            transitions.clear();
+            for _ in 0..take {
+                let (pattern, transition) = stream.next_pattern();
+                patterns.push(pattern);
+                transitions.push(transition);
+            }
+            let results = sim.apply_block(&patterns);
+            let offset = patterns.len() - results.len();
+            for (i, &transition) in transitions.iter().enumerate() {
+                let charge = if i < offset {
+                    0.0
+                } else {
+                    results[i - offset].charge
+                };
+                applied += 1;
+                if observe(transition, charge) {
+                    break 'blocks;
+                }
+            }
+        }
+        sim.flush_telemetry();
+    } else {
+        let mut sim = Simulator::with_delay_model(netlist, config.delay_model);
+        let mut applied = 0usize;
+        while applied < budget {
+            let (pattern, transition) = stream.next_pattern();
+            let result = sim.apply(pattern);
+            applied += 1;
+            if observe(transition, result.charge) {
+                break;
+            }
+        }
+        sim.flush_telemetry();
+    }
+}
+
 /// Coefficient snapshot for the convergence check: classes under
 /// `min_samples` are NaN so they never participate in the diff.
 fn convergence_snapshot(acc: &ClassAccumulator, min_samples: u64) -> Vec<f64> {
@@ -398,8 +478,20 @@ pub fn characterize(
     netlist: &ValidatedNetlist,
     config: &CharacterizationConfig,
 ) -> Result<Characterization, ModelError> {
+    characterize_with_backend(netlist, config, SimBackend::resolve(None))
+}
+
+/// [`characterize`] with an explicit simulator backend instead of the
+/// [`SimBackend::resolve`]d default. The backend never changes a bit of
+/// the result (that contract is enforced by `tests/sim_conformance.rs`);
+/// passing [`SimBackend::Event`] forces the slower oracle, which is what
+/// the differential harness and `--sim-backend event` do.
+pub fn characterize_with_backend(
+    netlist: &ValidatedNetlist,
+    config: &CharacterizationConfig,
+    backend: SimBackend,
+) -> Result<Characterization, ModelError> {
     let m = netlist.netlist().input_bit_count();
-    let mut sim = Simulator::with_delay_model(netlist, config.delay_model);
 
     let _span = telemetry::span("characterize");
     telemetry::event(
@@ -411,6 +503,7 @@ pub fn characterize(
             ("stimulus", format!("{:?}", config.stimulus).into()),
             ("max_patterns", config.max_patterns.into()),
             ("seed", config.seed.into()),
+            ("backend", backend.id().into()),
         ],
     );
 
@@ -422,51 +515,58 @@ pub fn characterize(
     let mut last_snapshot: Option<Vec<f64>> = None;
     let mut history = Vec::new();
     let mut converged_after = None;
+    let mut applied = 0usize;
 
     let mut stream = StimulusStream::new(m, config.stimulus, config.seed);
-    let mut applied = 0usize;
-    while applied < config.max_patterns {
-        let (pattern, transition) = stream.next_pattern();
-        let result = sim.apply(pattern);
-        if let Some((hd, zeros)) = transition {
-            records.push((hd as u16, zeros as u16, result.charge));
-            acc.record(hd, result.charge);
-        }
-        applied += 1;
-
-        if applied.is_multiple_of(config.check_interval) || applied == config.max_patterns {
-            let snapshot = convergence_snapshot(&acc, config.min_class_samples);
-            if let Some(last) = &last_snapshot {
-                let max_change = max_relative_change(&snapshot, last);
-                history.push(ConvergencePoint {
-                    patterns: applied,
-                    max_relative_change: max_change,
-                });
-                telemetry::event(
-                    Level::Info,
-                    "characterize.checkpoint",
-                    &[
-                        ("patterns", applied.into()),
-                        ("max_relative_change", max_change.into()),
-                        ("baseline", false.into()),
-                    ],
-                );
-                if converged_after.is_none() && max_change < config.convergence_tol {
-                    converged_after = Some(applied);
-                    break;
-                }
-            } else {
-                // Baseline checkpoint: first coefficient snapshot, no
-                // previous state to diff against.
-                telemetry::event(
-                    Level::Info,
-                    "characterize.checkpoint",
-                    &[("patterns", applied.into()), ("baseline", true.into())],
-                );
+    drive_stream(
+        netlist,
+        config,
+        backend,
+        &mut stream,
+        config.max_patterns,
+        |transition, charge| {
+            if let Some((hd, zeros)) = transition {
+                records.push((hd as u16, zeros as u16, charge));
+                acc.record(hd, charge);
             }
-            last_snapshot = Some(snapshot);
-        }
-    }
+            applied += 1;
+
+            if applied.is_multiple_of(config.check_interval) || applied == config.max_patterns {
+                let snapshot = convergence_snapshot(&acc, config.min_class_samples);
+                if let Some(last) = &last_snapshot {
+                    let max_change = max_relative_change(&snapshot, last);
+                    history.push(ConvergencePoint {
+                        patterns: applied,
+                        max_relative_change: max_change,
+                    });
+                    telemetry::event(
+                        Level::Info,
+                        "characterize.checkpoint",
+                        &[
+                            ("patterns", applied.into()),
+                            ("max_relative_change", max_change.into()),
+                            ("baseline", false.into()),
+                        ],
+                    );
+                    if converged_after.is_none() && max_change < config.convergence_tol {
+                        converged_after = Some(applied);
+                        last_snapshot = Some(snapshot);
+                        return true;
+                    }
+                } else {
+                    // Baseline checkpoint: first coefficient snapshot, no
+                    // previous state to diff against.
+                    telemetry::event(
+                        Level::Info,
+                        "characterize.checkpoint",
+                        &[("patterns", applied.into()), ("baseline", true.into())],
+                    );
+                }
+                last_snapshot = Some(snapshot);
+            }
+            false
+        },
+    );
 
     telemetry::event(
         Level::Info,
@@ -485,7 +585,6 @@ pub fn characterize(
             ),
         ],
     );
-    sim.flush_telemetry();
 
     let result = build_characterization(
         netlist.netlist().name(),
@@ -553,6 +652,19 @@ pub fn characterize_sharded(
     config: &CharacterizationConfig,
     sharding: &ShardingConfig,
 ) -> Result<Characterization, ModelError> {
+    characterize_sharded_with_backend(netlist, config, sharding, SimBackend::resolve(None))
+}
+
+/// [`characterize_sharded`] with an explicit simulator backend. Lane
+/// packing composes with the per-shard RNG streams: each shard packs its
+/// *own* stream into 64-lane blocks, so sharded bit-plane runs stay
+/// bit-identical to the event-driven oracle at every thread count.
+pub fn characterize_sharded_with_backend(
+    netlist: &ValidatedNetlist,
+    config: &CharacterizationConfig,
+    sharding: &ShardingConfig,
+    backend: SimBackend,
+) -> Result<Characterization, ModelError> {
     let m = netlist.netlist().input_bit_count();
     let budgets = shard_budgets(config.max_patterns, sharding.shards);
     let threads = sharding.effective_threads();
@@ -569,6 +681,7 @@ pub fn characterize_sharded(
             ("seed", config.seed.into()),
             ("shards", sharding.shards.into()),
             ("threads", threads.into()),
+            ("backend", backend.id().into()),
         ],
     );
 
@@ -578,20 +691,24 @@ pub fn characterize_sharded(
     }
 
     let runs: Vec<ShardRun> = parallel_map_ordered(&budgets, threads, |index, &budget| {
-        let mut sim = Simulator::with_delay_model(netlist, config.delay_model);
         let mut stream =
             StimulusStream::new(m, config.stimulus, shard_seed(config.seed, index as u64));
         let mut records = Vec::with_capacity(budget.saturating_sub(1));
         let mut acc = ClassAccumulator::empty(m);
-        for _ in 0..budget {
-            let (pattern, transition) = stream.next_pattern();
-            let result = sim.apply(pattern);
-            if let Some((hd, zeros)) = transition {
-                records.push((hd as u16, zeros as u16, result.charge));
-                acc.record(hd, result.charge);
-            }
-        }
-        sim.flush_telemetry();
+        drive_stream(
+            netlist,
+            config,
+            backend,
+            &mut stream,
+            budget,
+            |transition, charge| {
+                if let Some((hd, zeros)) = transition {
+                    records.push((hd as u16, zeros as u16, charge));
+                    acc.record(hd, charge);
+                }
+                false // shards never stop early
+            },
+        );
         ShardRun { records, acc }
     });
 
@@ -1128,6 +1245,63 @@ mod tests {
             let b = four.model.coefficient(i);
             assert!(((a - b) / a).abs() < 0.2, "class {i}: {a} vs {b}");
         }
+    }
+
+    #[test]
+    fn backends_agree_sequentially() {
+        // The headline contract (full matrix in tests/sim_conformance.rs):
+        // the bit-plane engine is bit-identical to the event-driven
+        // oracle, including mid-block convergence stops.
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        let mut config = quick_config();
+        config.check_interval = 300; // not lane-aligned: stops mid-block
+        config.convergence_tol = 0.08;
+        let event = characterize_with_backend(&adder, &config, SimBackend::Event).unwrap();
+        let bitplane = characterize_with_backend(&adder, &config, SimBackend::Bitplane).unwrap();
+        assert_eq!(event, bitplane);
+    }
+
+    #[test]
+    fn backends_agree_when_sharded() {
+        let mul = modules::csa_multiplier(4, 4).unwrap().validate().unwrap();
+        let config = CharacterizationConfig {
+            max_patterns: 1500,
+            ..quick_config()
+        };
+        let sharding = ShardingConfig {
+            shards: 4,
+            threads: 2,
+        };
+        let event =
+            characterize_sharded_with_backend(&mul, &config, &sharding, SimBackend::Event).unwrap();
+        let bitplane =
+            characterize_sharded_with_backend(&mul, &config, &sharding, SimBackend::Bitplane)
+                .unwrap();
+        assert_eq!(event, bitplane);
+    }
+
+    #[test]
+    fn registered_netlists_fall_back_to_the_oracle() {
+        // Sequential state is not lane-parallelizable; the MAC must take
+        // the event-driven path under either requested backend and agree.
+        let mac = modules::mac(4).unwrap().validate().unwrap();
+        assert!(!hdpm_sim::BitplaneSimulator::supports(&mac));
+        let config = CharacterizationConfig {
+            max_patterns: 1200,
+            ..quick_config()
+        };
+        let event = characterize_with_backend(&mac, &config, SimBackend::Event).unwrap();
+        let bitplane = characterize_with_backend(&mac, &config, SimBackend::Bitplane).unwrap();
+        assert_eq!(event, bitplane);
+    }
+
+    #[test]
+    fn default_backend_resolution_matches_explicit_bitplane() {
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        let via_default = characterize(&adder, &quick_config()).unwrap();
+        let via_explicit =
+            characterize_with_backend(&adder, &quick_config(), SimBackend::Bitplane).unwrap();
+        assert_eq!(via_default, via_explicit);
     }
 
     #[test]

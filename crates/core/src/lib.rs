@@ -67,8 +67,9 @@ pub use adapt::AdaptiveHdModel;
 pub use bitwise::BitwiseModel;
 pub use cache::{config_fingerprint, LruCache, ModelKey};
 pub use characterize::{
-    characterize, characterize_sharded, characterize_trace, Characterization,
-    CharacterizationConfig, CharacterizationConfigBuilder, ConvergencePoint, StimulusKind,
+    characterize, characterize_sharded, characterize_sharded_with_backend, characterize_trace,
+    characterize_with_backend, Characterization, CharacterizationConfig,
+    CharacterizationConfigBuilder, ConvergencePoint, StimulusKind,
 };
 pub use engine::{CacheSource, EngineOptions, EngineStats, Estimate, PowerEngine, WarmReport};
 pub use error::{ArtifactFaultKind, ModelError};
@@ -88,6 +89,9 @@ pub use shard::{
 pub use store::{
     fsck, FsckEntry, FsckOptions, FsckReport, FsckStatus, RepairAction, META_DIR, QUARANTINE_DIR,
 };
+// The backend selector is defined next to the simulators in `hdpm-sim`;
+// re-exported here because `characterize*_with_backend` take it.
+pub use hdpm_sim::SimBackend;
 
 pub mod prelude {
     //! One-line import of what a typical caller needs: the engine facade,

@@ -5,6 +5,70 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use hdpm_netlist::{ModuleKind, ModuleSpec, ModuleWidth, ValidatedNetlist};
+
+use crate::CharacterizationConfig;
+
+/// Every module family in the generator catalog, in catalog order — the
+/// full matrix the conformance suites sweep.
+pub const ALL_FAMILIES: [ModuleKind; 14] = [
+    ModuleKind::RippleAdder,
+    ModuleKind::ClaAdder,
+    ModuleKind::CarrySelectAdder,
+    ModuleKind::CarrySkipAdder,
+    ModuleKind::AbsVal,
+    ModuleKind::CsaMultiplier,
+    ModuleKind::BoothWallaceMultiplier,
+    ModuleKind::Incrementer,
+    ModuleKind::Subtractor,
+    ModuleKind::Comparator,
+    ModuleKind::BarrelShifter,
+    ModuleKind::GfMultiplier,
+    ModuleKind::Mac,
+    ModuleKind::Divider,
+];
+
+/// The subset of families cheap enough for wide property-test sweeps
+/// (small gate counts at widths 2..=6, no degenerate classes). Index into
+/// this from a proptest strategy via
+/// `(0..PROPERTY_FAMILIES.len()).prop_map(|i| PROPERTY_FAMILIES[i])`.
+pub const PROPERTY_FAMILIES: [ModuleKind; 8] = [
+    ModuleKind::RippleAdder,
+    ModuleKind::ClaAdder,
+    ModuleKind::AbsVal,
+    ModuleKind::CsaMultiplier,
+    ModuleKind::BoothWallaceMultiplier,
+    ModuleKind::Incrementer,
+    ModuleKind::Subtractor,
+    ModuleKind::Comparator,
+];
+
+/// Build and validate a uniform-width module prototype, panicking with
+/// the family and width on any failure — the standard test-fixture
+/// constructor.
+///
+/// # Panics
+///
+/// Panics when the spec cannot be built or validated.
+pub fn build_module(kind: ModuleKind, width: usize) -> ValidatedNetlist {
+    ModuleSpec::new(kind, ModuleWidth::Uniform(width))
+        .build()
+        .unwrap_or_else(|e| panic!("{kind} width {width}: {e}"))
+        .validate()
+        .unwrap_or_else(|e| panic!("{kind} width {width}: {e}"))
+}
+
+/// A short characterization config for differential tests: a small
+/// pattern budget with checkpoints every 200 patterns, defaults
+/// otherwise.
+pub fn quick_config(max_patterns: usize) -> CharacterizationConfig {
+    CharacterizationConfig {
+        max_patterns,
+        check_interval: 200,
+        ..CharacterizationConfig::default()
+    }
+}
+
 /// A uniquely named temporary directory that is removed on drop.
 ///
 /// Unlike the older pid+thread-id naming convention, creation *claims* the

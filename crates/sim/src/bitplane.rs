@@ -1,0 +1,992 @@
+//! Bit-parallel ("bit-plane") gate-level simulation: 64 independent input
+//! transitions per machine word.
+//!
+//! Every net is represented by a `u64` *plane* whose lane `j` holds the
+//! net's logic value in an independent copy of the circuit simulating the
+//! `j`-th transition of a block. Gates evaluate with plain bitwise ops over
+//! whole planes — one `AND` settles 64 circuits at once — and per-net
+//! toggle activity is gathered with carry-save bit-sliced counters and
+//! `count_ones`-style extraction.
+//!
+//! The engine is *conformant by construction* with the event-driven
+//! [`crate::Simulator`] oracle under both delay models:
+//!
+//! * **Unit delay** — the block is settled for its 64 start states with one
+//!   topological pass, then wave-propagated with a level-windowed dense
+//!   sweep: wave `w` evaluates every gate at topological level ≥ `w`
+//!   (deepest first, which preserves the oracle's simultaneous-commit
+//!   wave semantics without double buffering) — a superset of the
+//!   oracle's event front. A gate that the oracle would not have
+//!   scheduled is already settled, so its delta is `0` and no spurious
+//!   toggle is counted.
+//! * **Zero delay** — one counted topological pass per block.
+//!
+//! Per-lane charge is summed in the same canonical order as the oracle —
+//! `Σ count × energy` over toggled nets in ascending net index — so the
+//! two backends produce **bit-identical** `f64` charges, not merely close
+//! ones. The differential suite (`tests/sim_conformance.rs`) enforces
+//! this across the full module-family matrix.
+//!
+//! Sequential circuits are out of scope: register state carries from one
+//! transition to the next, which is exactly the dependence the 64 lanes
+//! must not have. [`BitplaneSimulator::supports`] reports this; callers
+//! (the characterization drivers of `hdpm-core`) fall back to the
+//! event-driven engine for register-bearing netlists.
+
+use std::time::Instant;
+
+use hdpm_netlist::{CellKind, NetDriver, ValidatedNetlist};
+
+use crate::engine::{CycleResult, DelayModel, SimStats, Simulator};
+use crate::pattern::BitPattern;
+
+/// Number of independent transition lanes per block — the bit width of a
+/// net plane.
+pub const BLOCK_LANES: usize = 64;
+
+/// Upper bound on bit-sliced counter slices — enough for any netlist
+/// whose depth fits in `u32` (a net at level `L` toggles ≤ `L` times per
+/// transition).
+const MAX_SLICES: usize = 32;
+
+/// Nets per dirty strip: the fold visits whole strips of pending deltas,
+/// so late, sparse waves touch only the few strips their gates wrote.
+const STRIP: usize = 8;
+
+/// Record that net `idx` has a pending delta, so the next fold visits its
+/// strip.
+#[inline]
+fn mark_dirty(dirty: &mut [u64], idx: usize) {
+    let strip = idx / STRIP;
+    dirty[strip / 64] |= 1 << (strip % 64);
+}
+
+/// Carry-save add of the pending toggle masks into `S` bit-sliced counter
+/// planes (slice-major: slice `s` occupies `words[s*n..(s+1)*n]`). Visits
+/// only the strips flagged in the `dirty` bitmap — work proportional to
+/// the wave's activity, not the netlist size — clearing both the deltas
+/// and the bitmap as it folds.
+fn fold_deltas<const S: usize>(delta: &mut [u64], words: &mut [u64], dirty: &mut [u64]) {
+    let n = delta.len();
+    assert_eq!(words.len(), S * n, "slice-major counter shape");
+    for (w, mask) in dirty.iter_mut().enumerate() {
+        let mut m = std::mem::take(mask);
+        while m != 0 {
+            let strip = w * 64 + m.trailing_zeros() as usize;
+            m &= m - 1;
+            let start = strip * STRIP;
+            let end = (start + STRIP).min(n);
+            for k in start..end {
+                let mut carry = delta[k];
+                delta[k] = 0;
+                for s in 0..S {
+                    let word = words[s * n + k];
+                    words[s * n + k] = word ^ carry;
+                    carry &= word;
+                }
+                debug_assert_eq!(carry, 0, "bit-sliced toggle counter overflow");
+            }
+        }
+    }
+}
+
+/// Runtime-`slices` fallback of [`fold_deltas`] for absurdly deep
+/// netlists (per-transition toggle counts needing more than 8 bits).
+fn fold_deltas_dyn(delta: &mut [u64], words: &mut [u64], dirty: &mut [u64], slices: usize) {
+    let n = delta.len();
+    assert_eq!(words.len(), slices * n, "slice-major counter shape");
+    for (w, mask) in dirty.iter_mut().enumerate() {
+        let mut m = std::mem::take(mask);
+        while m != 0 {
+            let strip = w * 64 + m.trailing_zeros() as usize;
+            m &= m - 1;
+            let start = strip * STRIP;
+            let end = (start + STRIP).min(n);
+            for k in start..end {
+                let mut carry = delta[k];
+                delta[k] = 0;
+                for s in 0..slices {
+                    let word = words[s * n + k];
+                    words[s * n + k] = word ^ carry;
+                    carry &= word;
+                }
+                debug_assert_eq!(carry, 0, "bit-sliced toggle counter overflow");
+            }
+        }
+    }
+}
+
+/// In-place 64×64 bit-matrix transpose (six rounds of delta swaps): after
+/// the call, bit `j` of word `i` is bit `i` of the original word `j`.
+/// Turns 64 lane-major patterns into net-major input planes in one go.
+fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut mask = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = (a[k] ^ (a[k + j] << j)) & !mask;
+            a[k] ^= t;
+            a[k + j] ^= t >> j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        mask ^= mask << j;
+    }
+}
+
+/// Which simulation engine drives a characterization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimBackend {
+    /// The event-driven reference engine ([`Simulator`]) — one transition
+    /// at a time, the differential oracle.
+    Event,
+    /// The bit-parallel engine ([`BitplaneSimulator`]) — 64 transitions
+    /// per block, bit-identical to the oracle, much faster.
+    #[default]
+    Bitplane,
+}
+
+impl SimBackend {
+    /// Backend requested through the `HDPM_SIM_BACKEND` environment
+    /// variable, if set to a recognized value (`event` or `bitplane`).
+    /// Unset, empty or unrecognized values yield `None`.
+    pub fn from_env() -> Option<SimBackend> {
+        match std::env::var("HDPM_SIM_BACKEND") {
+            Ok(value) => value.parse().ok(),
+            Err(_) => None,
+        }
+    }
+
+    /// Resolve the effective backend: an explicit choice wins, then
+    /// `HDPM_SIM_BACKEND`, then the default ([`SimBackend::Bitplane`]).
+    pub fn resolve(explicit: Option<SimBackend>) -> SimBackend {
+        explicit.or_else(SimBackend::from_env).unwrap_or_default()
+    }
+
+    /// Stable lower-case identifier (`"event"` / `"bitplane"`).
+    pub fn id(self) -> &'static str {
+        match self {
+            SimBackend::Event => "event",
+            SimBackend::Bitplane => "bitplane",
+        }
+    }
+}
+
+impl std::str::FromStr for SimBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "event" => Ok(SimBackend::Event),
+            "bitplane" | "bit-plane" | "bitparallel" | "bit-parallel" => Ok(SimBackend::Bitplane),
+            other => Err(format!(
+                "unknown sim backend `{other}` (expected `event` or `bitplane`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for SimBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One gate of the flattened, topologically ordered evaluation program.
+#[derive(Debug, Clone, Copy)]
+struct PlaneGate {
+    kind: CellKind,
+    /// Input net indices; only the first `arity` entries are meaningful.
+    inputs: [u32; 4],
+    output: u32,
+}
+
+impl PlaneGate {
+    /// Evaluate the cell function over whole planes. Mirrors
+    /// [`CellKind::eval`] bit for bit in every lane.
+    #[inline]
+    fn eval(&self, planes: &[u64]) -> u64 {
+        let a = planes[self.inputs[0] as usize];
+        match self.kind {
+            CellKind::Inv => !a,
+            CellKind::Buf => a,
+            CellKind::Nand2 => !(a & planes[self.inputs[1] as usize]),
+            CellKind::Nand3 => {
+                !(a & planes[self.inputs[1] as usize] & planes[self.inputs[2] as usize])
+            }
+            CellKind::Nor2 => !(a | planes[self.inputs[1] as usize]),
+            CellKind::Nor3 => {
+                !(a | planes[self.inputs[1] as usize] | planes[self.inputs[2] as usize])
+            }
+            CellKind::And2 => a & planes[self.inputs[1] as usize],
+            CellKind::And3 => a & planes[self.inputs[1] as usize] & planes[self.inputs[2] as usize],
+            CellKind::And4 => {
+                a & planes[self.inputs[1] as usize]
+                    & planes[self.inputs[2] as usize]
+                    & planes[self.inputs[3] as usize]
+            }
+            CellKind::Or2 => a | planes[self.inputs[1] as usize],
+            CellKind::Or3 => a | planes[self.inputs[1] as usize] | planes[self.inputs[2] as usize],
+            CellKind::Or4 => {
+                a | planes[self.inputs[1] as usize]
+                    | planes[self.inputs[2] as usize]
+                    | planes[self.inputs[3] as usize]
+            }
+            CellKind::Xor2 => a ^ planes[self.inputs[1] as usize],
+            CellKind::Xnor2 => !(a ^ planes[self.inputs[1] as usize]),
+            CellKind::Aoi21 => {
+                !((a & planes[self.inputs[1] as usize]) | planes[self.inputs[2] as usize])
+            }
+            CellKind::Oai21 => {
+                !((a | planes[self.inputs[1] as usize]) & planes[self.inputs[2] as usize])
+            }
+            CellKind::Mux2 => {
+                let b = planes[self.inputs[1] as usize];
+                let sel = planes[self.inputs[2] as usize];
+                (sel & b) | (!sel & a)
+            }
+        }
+    }
+}
+
+/// The bit-parallel simulator. Owns one `u64` plane per net plus the
+/// bit-sliced per-net toggle counters of the block in flight.
+///
+/// Unlike [`Simulator::apply`], the unit of work is a *block*:
+/// [`BitplaneSimulator::apply_block`] consumes a slice of patterns and
+/// returns one [`CycleResult`] per transition, each bit-identical to what
+/// the event-driven oracle returns for the same pattern sequence.
+///
+/// # Examples
+///
+/// ```
+/// use hdpm_netlist::modules;
+/// use hdpm_sim::{random_patterns, BitplaneSimulator, DelayModel, Simulator};
+///
+/// # fn main() -> Result<(), hdpm_netlist::NetlistError> {
+/// let adder = modules::ripple_adder(4)?.validate()?;
+/// let patterns = random_patterns(8, 100, 7);
+///
+/// let mut oracle = Simulator::new(&adder);
+/// let mut bitplane = BitplaneSimulator::new(&adder, DelayModel::Unit);
+/// let block = bitplane.apply_block(&patterns);
+/// assert_eq!(block.len(), 99);
+/// for (p, lane) in patterns.iter().zip(std::iter::once(None).chain(block.iter().map(Some))) {
+///     let reference = oracle.apply(*p);
+///     if let Some(lane) = lane {
+///         assert_eq!(*lane, reference); // bit-identical charge
+///     }
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitplaneSimulator<'a> {
+    netlist: &'a ValidatedNetlist,
+    delay_model: DelayModel,
+    /// Flattened gates in natural netlist order (indexable by `GateId`).
+    gates: Vec<PlaneGate>,
+    /// Gate indices in topological order (the settle program).
+    topo: Vec<u32>,
+    /// Current value plane per net.
+    planes: Vec<u64>,
+    /// Plane every net resets to: constants broadcast, all else low.
+    reset_planes: Vec<u64>,
+    /// Energy charged per toggle of each net (same table as the oracle).
+    toggle_energy: Vec<f64>,
+    /// Cumulative toggle count per net (diagnostics parity with
+    /// [`Simulator::toggle_counts`]).
+    toggle_counts: Vec<u64>,
+    /// Input-vector net indices in model bit order.
+    input_nets: Vec<u32>,
+    /// Bit-sliced per-net toggle counters in *slice-major* layout: word
+    /// `s * nets + idx` holds bit `s` of every lane's toggle count for net
+    /// `idx` — unit-stride in `idx`, so the per-wave carry-save fold
+    /// vectorizes.
+    slice_words: Vec<u64>,
+    /// Number of counter slices — enough bits for the deepest possible
+    /// per-transition toggle count (a net at topo level `L` toggles at
+    /// most `L` times under unit delay).
+    slices: usize,
+    /// Per-net toggle mask of the wave in flight: written (pure stores,
+    /// no read-modify-write) as deltas commit, folded into `slice_words`
+    /// once per wave by [`BitplaneSimulator::accumulate_deltas`].
+    delta_plane: Vec<u64>,
+    /// Bitmap over net strips (groups of [`STRIP`] nets) holding pending
+    /// deltas — lets the fold skip the quiet bulk of a sparse wave.
+    dirty_strips: Vec<u64>,
+    /// Gates sorted by topological level, *descending*: the wave-`w`
+    /// evaluation window is the prefix of gates at level ≥ `w`.
+    wave_gates: Vec<PlaneGate>,
+    /// `level_prefix[w]` = number of gates at level ≥ `w`, i.e. the length
+    /// of the wave-`w` prefix of `wave_gates`; index 0 is the gate count.
+    level_prefix: Vec<u32>,
+    /// Last pattern of the previous block (block overlap), if any.
+    prev: Option<BitPattern>,
+    /// Cumulative work counters, same shape as the oracle's.
+    stats: SimStats,
+    flushed: SimStats,
+}
+
+impl<'a> BitplaneSimulator<'a> {
+    /// Whether the bit-parallel engine can simulate this netlist: it must
+    /// be purely combinational. Register state carries across transitions,
+    /// which breaks lane independence — sequential netlists go to the
+    /// event-driven engine instead.
+    pub fn supports(netlist: &ValidatedNetlist) -> bool {
+        netlist.netlist().register_count() == 0
+    }
+
+    /// Create a bit-parallel simulator over a validated combinational
+    /// netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains registers (see
+    /// [`BitplaneSimulator::supports`]).
+    pub fn new(netlist: &'a ValidatedNetlist, delay_model: DelayModel) -> Self {
+        assert!(
+            Self::supports(netlist),
+            "bit-plane backend requires a combinational netlist; `{}` has {} registers \
+             (use the event-driven Simulator)",
+            netlist.netlist().name(),
+            netlist.netlist().register_count()
+        );
+        let nets = netlist.netlist().net_count();
+        let mut toggle_energy = vec![0.0; nets];
+        let mut reset_planes = vec![0u64; nets];
+        for idx in 0..nets {
+            let net = netlist.netlist().net_id(idx);
+            let internal = match netlist.netlist().driver(net) {
+                NetDriver::Gate(g) => netlist.netlist().gate(g).kind().internal_cap(),
+                _ => 0.0,
+            };
+            toggle_energy[idx] = netlist.net_load(net) + internal;
+            if let NetDriver::Constant(true) = netlist.netlist().driver(net) {
+                reset_planes[idx] = u64::MAX;
+            }
+        }
+
+        // Flatten the gates in natural netlist order (wave fronts index by
+        // `GateId`), plus the topological evaluation sequence for settling.
+        let gates: Vec<PlaneGate> = netlist
+            .netlist()
+            .gates()
+            .iter()
+            .map(|gate| {
+                let mut inputs = [0u32; 4];
+                for (k, &inp) in gate.inputs().iter().enumerate() {
+                    inputs[k] = inp.index() as u32;
+                }
+                PlaneGate {
+                    kind: gate.kind(),
+                    inputs,
+                    output: gate.output().index() as u32,
+                }
+            })
+            .collect();
+        let topo: Vec<u32> = netlist
+            .topo_order()
+            .iter()
+            .map(|gid| gid.index() as u32)
+            .collect();
+
+        // Topological level of every net: inputs/constants sit at level 0,
+        // a gate output one above its deepest input. Under unit delay a
+        // net at level L toggles at most L times per transition (its
+        // inputs are quiet after wave L−1), so `bits(max_level)` counter
+        // slices can never overflow.
+        let mut level = vec![0u32; nets];
+        let mut max_level = 1u32;
+        for &gi in &topo {
+            let gate = &gates[gi as usize];
+            let depth = 1
+                + (0..gate.kind.arity())
+                    .map(|k| level[gate.inputs[k] as usize])
+                    .max()
+                    .unwrap_or(0);
+            level[gate.output as usize] = depth;
+            max_level = max_level.max(depth);
+        }
+        let slices = (u32::BITS - max_level.leading_zeros()) as usize;
+        assert!(
+            slices <= MAX_SLICES,
+            "netlist depth {max_level} exceeds the bit-sliced counter budget"
+        );
+
+        // Wave-evaluation program: gates sorted by level descending. At
+        // wave `w` only gates at level ≥ `w` can still change (their
+        // shallower inputs are already settled), and evaluating that
+        // prefix deepest-first means every gate reads the *pre-wave*
+        // values of its strictly-shallower inputs — simultaneous-commit
+        // semantics with no double buffering and no event scheduling.
+        // Secondary sort by cell kind: gates at one level are independent
+        // (inputs are strictly shallower), so batching kinds together
+        // makes the evaluation dispatch branch-predictable.
+        let mut wave_gates: Vec<PlaneGate> = gates.clone();
+        wave_gates.sort_by_key(|g| (std::cmp::Reverse(level[g.output as usize]), g.kind as u8));
+        // `level_prefix[w]` = #gates at level ≥ w: per-level counts, then a
+        // suffix sum.
+        let mut level_prefix = vec![0u32; max_level as usize + 1];
+        for gate in &wave_gates {
+            level_prefix[level[gate.output as usize] as usize] += 1;
+        }
+        for w in (0..max_level as usize).rev() {
+            level_prefix[w] += level_prefix[w + 1];
+        }
+
+        let mut sim = BitplaneSimulator {
+            netlist,
+            delay_model,
+            gates,
+            topo,
+            planes: reset_planes.clone(),
+            reset_planes,
+            toggle_energy,
+            toggle_counts: vec![0; nets],
+            input_nets: netlist
+                .netlist()
+                .input_vector()
+                .iter()
+                .map(|n| n.index() as u32)
+                .collect(),
+            slice_words: vec![0; nets * slices],
+            slices,
+            delta_plane: vec![0; nets],
+            dirty_strips: vec![0; nets.div_ceil(STRIP).div_ceil(64)],
+            wave_gates,
+            level_prefix,
+            prev: None,
+            stats: SimStats::default(),
+            flushed: SimStats::default(),
+        };
+        sim.settle();
+        sim
+    }
+
+    /// The delay model in use.
+    pub fn delay_model(&self) -> DelayModel {
+        self.delay_model
+    }
+
+    /// The validated netlist this simulator was built from.
+    pub fn netlist(&self) -> &'a ValidatedNetlist {
+        self.netlist
+    }
+
+    /// Number of input bits the patterns must have.
+    pub fn input_width(&self) -> usize {
+        self.input_nets.len()
+    }
+
+    /// Settle every net plane for the current input planes: one
+    /// topological full pass, uncounted. After this, lane `j` of every
+    /// plane holds the settled combinational value for lane `j`'s inputs.
+    fn settle(&mut self) {
+        for &gi in &self.topo {
+            let gate = &self.gates[gi as usize];
+            self.planes[gate.output as usize] = gate.eval(&self.planes);
+        }
+    }
+
+    /// Apply a sequence of patterns and return one [`CycleResult`] per
+    /// transition, bit-identical to feeding the same sequence through
+    /// [`Simulator::apply`] one pattern at a time.
+    ///
+    /// The simulator carries the last pattern across calls: the first
+    /// pattern of the first call initializes the circuit (uncharged, no
+    /// result), exactly like the oracle's first [`Simulator::apply`];
+    /// afterwards every pattern is one charged transition. Internally the
+    /// sequence is chunked into blocks of up to [`BLOCK_LANES`]
+    /// transitions; short or ragged tails occupy only the low lanes of
+    /// their block and the spare lanes replicate the final pattern, so
+    /// they toggle nothing and charge nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern's width does not match
+    /// [`BitplaneSimulator::input_width`].
+    pub fn apply_block(&mut self, patterns: &[BitPattern]) -> Vec<CycleResult> {
+        for p in patterns {
+            assert_eq!(
+                p.width(),
+                self.input_width(),
+                "pattern width {} does not match module input width {}",
+                p.width(),
+                self.input_width()
+            );
+        }
+        let start = hdpm_telemetry::enabled().then(Instant::now);
+        let mut results = Vec::with_capacity(patterns.len());
+        let mut cursor = 0usize;
+        while cursor < patterns.len() {
+            match self.prev {
+                None => {
+                    // The very first pattern initializes; it is the start
+                    // state of the block's first transition. It still
+                    // counts as an applied pattern, like the oracle's
+                    // first uncharged `apply`.
+                    self.prev = Some(patterns[cursor]);
+                    self.stats.cycles += 1;
+                    cursor += 1;
+                }
+                Some(prev) => {
+                    let lanes = (patterns.len() - cursor).min(BLOCK_LANES);
+                    self.simulate_chunk(prev, &patterns[cursor..cursor + lanes], &mut results);
+                    self.prev = Some(patterns[cursor + lanes - 1]);
+                    cursor += lanes;
+                }
+            }
+        }
+        if let Some(start) = start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            hdpm_telemetry::record_duration_ns("sim.block_ns", ns);
+        }
+        results
+    }
+
+    /// Simulate one block: transitions `prev → next[0] → … → next[n−1]`,
+    /// `n ≤ 64`. Lane `j` computes the `j`-th transition.
+    fn simulate_chunk(
+        &mut self,
+        prev: BitPattern,
+        next: &[BitPattern],
+        results: &mut Vec<CycleResult>,
+    ) {
+        let lanes = next.len();
+        debug_assert!((1..=BLOCK_LANES).contains(&lanes));
+
+        // Start-state planes: lane j = pattern j of the window
+        // [prev, next[0], …, next[n−2]]; spare lanes replicate the last
+        // pattern so their transitions are no-ops. One 64×64 transpose
+        // turns the lane-major patterns into net-major planes.
+        {
+            let mut rows = [0u64; BLOCK_LANES];
+            rows[0] = prev.bits();
+            for (j, row) in rows.iter_mut().enumerate().skip(1) {
+                *row = next[(j - 1).min(lanes - 1)].bits();
+            }
+            transpose64(&mut rows);
+            for (i, &net) in self.input_nets.iter().enumerate() {
+                self.planes[net as usize] = rows[i];
+            }
+        }
+        // One topological pass settles all 64 start states at once.
+        self.settle();
+        self.stats.gate_evals += self.gates.len() as u64;
+
+        // End-state input planes: lane j = next[j], spare lanes replicated.
+        let mut inputs_changed = false;
+        {
+            let mut rows = [0u64; BLOCK_LANES];
+            for (j, row) in rows.iter_mut().enumerate() {
+                *row = next[j.min(lanes - 1)].bits();
+            }
+            transpose64(&mut rows);
+            for (i, &row) in rows.iter().enumerate().take(self.input_nets.len()) {
+                let idx = self.input_nets[i] as usize;
+                let delta = self.planes[idx] ^ row;
+                if delta != 0 {
+                    self.planes[idx] = row;
+                    self.delta_plane[idx] = delta;
+                    mark_dirty(&mut self.dirty_strips, idx);
+                    inputs_changed = true;
+                }
+            }
+        }
+
+        match self.delay_model {
+            DelayModel::Unit => {
+                // Quiet blocks (all lanes repeat their start pattern) are
+                // already settled.
+                if inputs_changed {
+                    self.accumulate_deltas();
+                    self.propagate_waves();
+                }
+            }
+            DelayModel::Zero => self.propagate_zero_delay(inputs_changed),
+        }
+        self.extract_lanes(lanes, results);
+        self.stats.cycles += lanes as u64;
+    }
+
+    /// Unit-delay wave propagation over planes: a level-windowed dense
+    /// sweep with the oracle's simultaneous-commit semantics, 64 lanes at
+    /// a time.
+    ///
+    /// Wave `w` evaluates every gate at topological level ≥ `w` — a
+    /// superset of the oracle's event front for that wave (a gate
+    /// scheduled at wave `w` has an input that changed at wave `w−1`,
+    /// which puts the gate at level ≥ `w`; every other windowed gate is
+    /// settled and produces a zero delta, so it counts nothing). The
+    /// window is evaluated deepest level first: a gate only reads nets at
+    /// strictly lower levels, which a descending pass has not yet written,
+    /// so every evaluation sees the pre-wave planes without double
+    /// buffering. Propagation stops at the first delta-free wave — from
+    /// then on nothing can change — or when the window empties at the
+    /// netlist's maximum depth.
+    fn propagate_waves(&mut self) {
+        let wave_gates = std::mem::take(&mut self.wave_gates);
+        for w in 1..self.level_prefix.len() {
+            let window = self.level_prefix[w] as usize;
+            self.stats.events_popped += window as u64;
+            self.stats.gate_evals += window as u64;
+            let mut any_delta = 0u64;
+            for gate in &wave_gates[..window] {
+                let new = gate.eval(&self.planes);
+                let out = gate.output as usize;
+                let delta = self.planes[out] ^ new;
+                if delta != 0 {
+                    self.planes[out] = new;
+                    self.delta_plane[out] = delta;
+                    mark_dirty(&mut self.dirty_strips, out);
+                    any_delta |= delta;
+                }
+            }
+            if any_delta == 0 {
+                break;
+            }
+            self.accumulate_deltas();
+        }
+        self.wave_gates = wave_gates;
+    }
+
+    /// Zero-delay propagation: one counted topological pass; only
+    /// final-value transitions toggle.
+    fn propagate_zero_delay(&mut self, inputs_changed: bool) {
+        self.stats.gate_evals += self.topo.len() as u64;
+        let mut any_delta = false;
+        for t in 0..self.topo.len() {
+            let gate = self.gates[self.topo[t] as usize];
+            let new = gate.eval(&self.planes);
+            let out = gate.output as usize;
+            let delta = self.planes[out] ^ new;
+            if delta != 0 {
+                self.planes[out] = new;
+                self.delta_plane[out] = delta;
+                mark_dirty(&mut self.dirty_strips, out);
+                any_delta = true;
+            }
+        }
+        // Input nets are never gate outputs, so one fold covers both the
+        // input deltas and the pass's own.
+        if inputs_changed || any_delta {
+            self.accumulate_deltas();
+        }
+    }
+
+    /// Fold the pending per-net toggle masks (`delta_plane`) into the
+    /// bit-sliced counters and clear them — one carry-save add per dirty
+    /// net strip, covering all 64 lanes at once. The slice-major layout
+    /// makes every access unit-stride in the net index, so the loop
+    /// vectorizes; the slice count is dispatched to a monomorphized fold
+    /// so the carry chain fully unrolls.
+    fn accumulate_deltas(&mut self) {
+        let delta = &mut self.delta_plane;
+        let words = &mut self.slice_words;
+        let dirty = &mut self.dirty_strips;
+        match self.slices {
+            1 => fold_deltas::<1>(delta, words, dirty),
+            2 => fold_deltas::<2>(delta, words, dirty),
+            3 => fold_deltas::<3>(delta, words, dirty),
+            4 => fold_deltas::<4>(delta, words, dirty),
+            5 => fold_deltas::<5>(delta, words, dirty),
+            6 => fold_deltas::<6>(delta, words, dirty),
+            7 => fold_deltas::<7>(delta, words, dirty),
+            8 => fold_deltas::<8>(delta, words, dirty),
+            n => fold_deltas_dyn(delta, words, dirty, n),
+        }
+    }
+
+    /// Fold the block's counters into per-lane results in canonical
+    /// order: nets ascending, `charge += count × energy` per lane — the
+    /// same float operations, in the same order, as the oracle's
+    /// per-cycle sum. Clears the counters for the next block.
+    fn extract_lanes(&mut self, lanes: usize, results: &mut Vec<CycleResult>) {
+        let mut charges = [0.0f64; BLOCK_LANES];
+        let mut lane_toggles = [0u64; BLOCK_LANES];
+        let slices = self.slices;
+        let nets = self.planes.len();
+        // Scatter buffer for multi-toggle lanes, cleared lane-by-lane
+        // after use so it is not re-zeroed for every net.
+        let mut counts = [0u32; BLOCK_LANES];
+        for idx in 0..nets {
+            // Pull the net's slices into a local block, clearing them for
+            // the next block as we go. `multi` marks lanes whose count has
+            // a bit above slice 0, i.e. counts ≥ 2.
+            let mut words = [0u64; MAX_SLICES];
+            let mut any = 0u64;
+            let mut multi = 0u64;
+            for (s, slot) in words.iter_mut().enumerate().take(slices) {
+                let w = self.slice_words[s * nets + idx];
+                if w != 0 {
+                    self.slice_words[s * nets + idx] = 0;
+                    *slot = w;
+                    any |= w;
+                    if s > 0 {
+                        multi |= w;
+                    }
+                }
+            }
+            if any == 0 {
+                continue; // quiet net this block
+            }
+            let energy = self.toggle_energy[idx];
+            let mut total = 0u64;
+            // Fast path — lanes that toggled exactly once (the common case
+            // away from glitchy cones): `1 × energy` is exactly `energy`.
+            let mut singles = words[0] & !multi;
+            while singles != 0 {
+                let j = singles.trailing_zeros() as usize;
+                singles &= singles - 1;
+                charges[j] += energy;
+                lane_toggles[j] += 1;
+                total += 1;
+            }
+            // Remaining active lanes (counts ≥ 2): scatter the slice bits
+            // into per-lane counts — work proportional to set counter
+            // bits, not lanes × slices.
+            if multi != 0 {
+                for (s, word) in words[..slices].iter().enumerate() {
+                    let mut w = *word & multi;
+                    while w != 0 {
+                        let j = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        counts[j] |= 1 << s;
+                    }
+                }
+                let mut remaining = multi;
+                while remaining != 0 {
+                    let j = remaining.trailing_zeros() as usize;
+                    remaining &= remaining - 1;
+                    let count = counts[j];
+                    counts[j] = 0;
+                    charges[j] += f64::from(count) * energy;
+                    lane_toggles[j] += u64::from(count);
+                    total += u64::from(count);
+                }
+            }
+            self.toggle_counts[idx] += total;
+        }
+        for j in 0..lanes {
+            self.stats.net_toggles += lane_toggles[j];
+            self.stats.total_charge += charges[j];
+            results.push(CycleResult {
+                charge: charges[j],
+                toggles: lane_toggles[j],
+            });
+        }
+    }
+
+    /// Cumulative work counters of this simulator instance.
+    ///
+    /// Counter semantics match [`Simulator::stats`] where they can:
+    /// `cycles` counts applied patterns (the uncharged initializing
+    /// pattern included, like the oracle) and `net_toggles` counts
+    /// per-lane work, while `gate_evals`
+    /// and `events_popped` count *plane* operations (each covering up to
+    /// 64 lanes) — the ratio of the two engines' `gate_evals` is the
+    /// measured evaluation parallelism.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Cumulative per-net toggle counts (diagnostics parity with
+    /// [`Simulator::toggle_counts`]).
+    pub fn toggle_counts(&self) -> &[u64] {
+        &self.toggle_counts
+    }
+
+    /// Push the work done since the previous flush into the global
+    /// telemetry registry, under the same counter names as the oracle.
+    /// A no-op when telemetry is disabled.
+    pub fn flush_telemetry(&mut self) {
+        if !hdpm_telemetry::enabled() {
+            return;
+        }
+        hdpm_telemetry::counter_add("sim.patterns", self.stats.cycles - self.flushed.cycles);
+        hdpm_telemetry::counter_add(
+            "sim.gate_evals",
+            self.stats.gate_evals - self.flushed.gate_evals,
+        );
+        hdpm_telemetry::counter_add(
+            "sim.events_popped",
+            self.stats.events_popped - self.flushed.events_popped,
+        );
+        hdpm_telemetry::counter_add(
+            "sim.net_toggles",
+            self.stats.net_toggles - self.flushed.net_toggles,
+        );
+        hdpm_telemetry::gauge_add(
+            "sim.total_charge",
+            self.stats.total_charge - self.flushed.total_charge,
+        );
+        self.flushed = self.stats;
+    }
+
+    /// Reset all state to power-on (inputs low, counters cleared), so the
+    /// next pattern initializes again without being charged.
+    pub fn reset(&mut self) {
+        self.planes.copy_from_slice(&self.reset_planes);
+        self.settle();
+        self.toggle_counts.iter_mut().for_each(|c| *c = 0);
+        self.prev = None;
+    }
+}
+
+impl Drop for BitplaneSimulator<'_> {
+    /// Flush any unreported work so telemetry never under-counts.
+    fn drop(&mut self) {
+        self.flush_telemetry();
+    }
+}
+
+/// Run a pattern sequence through both engines and panic on the first
+/// divergence — the core differential-testing helper used by the
+/// conformance suite and available to downstream tests.
+///
+/// Returns the per-transition results (from the bit-plane engine; the
+/// assertion guarantees the oracle's are identical).
+///
+/// # Panics
+///
+/// Panics with a lane-precise diagnostic if any transition's
+/// [`CycleResult`] differs between the two engines.
+pub fn assert_backends_agree(
+    netlist: &ValidatedNetlist,
+    patterns: &[BitPattern],
+    delay_model: DelayModel,
+) -> Vec<CycleResult> {
+    let mut oracle = Simulator::with_delay_model(netlist, delay_model);
+    let mut bitplane = BitplaneSimulator::new(netlist, delay_model);
+    let block = bitplane.apply_block(patterns);
+    let mut reference = Vec::with_capacity(block.len());
+    for &p in patterns {
+        reference.push(oracle.apply(p));
+    }
+    // The first pattern initializes (no transition result from the block).
+    let offset = patterns.len() - block.len();
+    for (t, (ours, theirs)) in block.iter().zip(&reference[offset..]).enumerate() {
+        assert_eq!(
+            ours,
+            theirs,
+            "transition {t} of `{}` diverged between backends under {delay_model:?}: \
+             bitplane {ours:?} vs event {theirs:?}",
+            netlist.netlist().name()
+        );
+    }
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::random_patterns;
+    use hdpm_netlist::modules;
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!("event".parse::<SimBackend>().unwrap(), SimBackend::Event);
+        assert_eq!(
+            "Bitplane".parse::<SimBackend>().unwrap(),
+            SimBackend::Bitplane
+        );
+        assert_eq!(
+            "bit-parallel".parse::<SimBackend>().unwrap(),
+            SimBackend::Bitplane
+        );
+        assert!("spice".parse::<SimBackend>().is_err());
+        assert_eq!(SimBackend::Event.to_string(), "event");
+        assert_eq!(
+            SimBackend::resolve(Some(SimBackend::Event)),
+            SimBackend::Event
+        );
+    }
+
+    #[test]
+    fn matches_oracle_on_adder_unit_delay() {
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        let patterns = random_patterns(8, 300, 11);
+        assert_backends_agree(&adder, &patterns, DelayModel::Unit);
+    }
+
+    #[test]
+    fn matches_oracle_on_glitchy_multiplier() {
+        let mul = modules::csa_multiplier(5, 5).unwrap().validate().unwrap();
+        let patterns = random_patterns(10, 200, 23);
+        assert_backends_agree(&mul, &patterns, DelayModel::Unit);
+        assert_backends_agree(&mul, &patterns, DelayModel::Zero);
+    }
+
+    #[test]
+    fn ragged_tails_and_tiny_blocks_match() {
+        let adder = modules::cla_adder(4).unwrap().validate().unwrap();
+        for n in [1usize, 2, 3, 63, 64, 65, 66, 129] {
+            let patterns = random_patterns(8, n, n as u64);
+            assert_backends_agree(&adder, &patterns, DelayModel::Unit);
+        }
+    }
+
+    #[test]
+    fn incremental_blocks_equal_one_big_block() {
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        let patterns = random_patterns(8, 200, 5);
+        let mut whole = BitplaneSimulator::new(&adder, DelayModel::Unit);
+        let expected = whole.apply_block(&patterns);
+        let mut chunked = BitplaneSimulator::new(&adder, DelayModel::Unit);
+        let mut observed = Vec::new();
+        for piece in patterns.chunks(17) {
+            observed.extend(chunked.apply_block(piece));
+        }
+        assert_eq!(observed, expected);
+    }
+
+    #[test]
+    fn identical_patterns_draw_exactly_zero_charge() {
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        let p = BitPattern::new(0b1010_0101, 8);
+        let mut sim = BitplaneSimulator::new(&adder, DelayModel::Unit);
+        let results = sim.apply_block(&[p; 80]);
+        assert_eq!(results.len(), 79);
+        for r in results {
+            assert_eq!(r.charge, 0.0);
+            assert_eq!(r.toggles, 0);
+        }
+    }
+
+    #[test]
+    fn reset_restores_power_on_state() {
+        let adder = modules::ripple_adder(4).unwrap().validate().unwrap();
+        let patterns = random_patterns(8, 100, 3);
+        let mut sim = BitplaneSimulator::new(&adder, DelayModel::Unit);
+        let first = sim.apply_block(&patterns);
+        sim.reset();
+        assert!(sim.toggle_counts().iter().all(|&c| c == 0));
+        let second = sim.apply_block(&patterns);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn toggle_counts_match_the_oracle() {
+        let mul = modules::csa_multiplier(4, 4).unwrap().validate().unwrap();
+        let patterns = random_patterns(8, 150, 9);
+        let mut oracle = Simulator::new(&mul);
+        for &p in &patterns {
+            oracle.apply(p);
+        }
+        let mut bitplane = BitplaneSimulator::new(&mul, DelayModel::Unit);
+        bitplane.apply_block(&patterns);
+        assert_eq!(bitplane.toggle_counts(), oracle.toggle_counts());
+    }
+
+    #[test]
+    fn sequential_netlists_are_rejected() {
+        let mac = modules::mac(4).unwrap().validate().unwrap();
+        assert!(!BitplaneSimulator::supports(&mac));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            BitplaneSimulator::new(&mac, DelayModel::Unit)
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -97,6 +97,12 @@ pub struct Simulator<'a> {
     next_events: Vec<u32>,
     /// Scratch: per-gate "already scheduled" flags.
     scheduled: Vec<bool>,
+    /// Scratch: per-net toggle counts of the cycle in flight. The cycle's
+    /// charge is summed from these in ascending net index (canonical
+    /// order), never in event order — see [`Simulator::finish_cycle`].
+    delta_counts: Vec<u32>,
+    /// Scratch: nets with a non-zero `delta_counts` entry this cycle.
+    touched: Vec<u32>,
     /// Cumulative work counters (cheap, always maintained).
     stats: SimStats,
     /// Watermark of counters already flushed to the telemetry registry.
@@ -140,6 +146,8 @@ impl<'a> Simulator<'a> {
             current_events: Vec::new(),
             next_events: Vec::new(),
             scheduled: vec![false; gates],
+            delta_counts: vec![0; nets],
+            touched: Vec::new(),
             stats: SimStats::default(),
             flushed: SimStats::default(),
         };
@@ -177,6 +185,13 @@ impl<'a> Simulator<'a> {
     /// power-on all-zero state is *not* charged (matching the convention
     /// that characterization counts pattern-to-pattern transitions only).
     ///
+    /// The cycle's charge is accumulated in **canonical order**: per-net
+    /// toggle counts are gathered during propagation, then summed as
+    /// `count × energy` in ascending net index (clock-tree term last).
+    /// This makes the floating-point result independent of event ordering,
+    /// which is what lets the bit-parallel backend
+    /// ([`crate::BitplaneSimulator`]) reproduce it bit for bit.
+    ///
     /// # Panics
     ///
     /// Panics if the pattern width does not match
@@ -195,13 +210,12 @@ impl<'a> Simulator<'a> {
         let count_energy = self.initialized;
         // Clock edge: registers sample their D nets (the settled values of
         // the previous cycle) before the new inputs arrive.
-        let clock = self.clock_registers(count_energy);
-        let mut result = match self.delay_model {
+        let clock_charge = self.clock_registers(count_energy);
+        match self.delay_model {
             DelayModel::Unit => self.apply_unit_delay(pattern, count_energy),
             DelayModel::Zero => self.apply_zero_delay(pattern, count_energy),
-        };
-        result.charge += clock.charge;
-        result.toggles += clock.toggles;
+        }
+        let result = self.finish_cycle(clock_charge);
         self.initialized = true;
         self.stats.cycles += 1;
         self.stats.net_toggles += result.toggles;
@@ -213,25 +227,49 @@ impl<'a> Simulator<'a> {
         result
     }
 
+    /// Record one toggle of the net with index `idx` into the cycle's
+    /// per-net delta counters.
+    #[inline]
+    fn record_toggle(&mut self, idx: usize) {
+        if self.delta_counts[idx] == 0 {
+            self.touched.push(idx as u32);
+        }
+        self.delta_counts[idx] += 1;
+    }
+
+    /// Fold the cycle's per-net delta counters into the canonical charge
+    /// sum: `Σ count × energy` over touched nets in **ascending net
+    /// index**, with the clock-tree term added last. Clears the scratch
+    /// counters for the next cycle.
+    fn finish_cycle(&mut self, clock_charge: f64) -> CycleResult {
+        let mut charge = 0.0;
+        let mut toggles = 0u64;
+        self.touched.sort_unstable();
+        for i in 0..self.touched.len() {
+            let idx = self.touched[i] as usize;
+            let count = self.delta_counts[idx];
+            charge += f64::from(count) * self.toggle_energy[idx];
+            toggles += u64::from(count);
+            self.toggle_counts[idx] += u64::from(count);
+            self.delta_counts[idx] = 0;
+        }
+        self.touched.clear();
+        charge += clock_charge;
+        CycleResult { charge, toggles }
+    }
+
     /// Advance every register by one clock edge: capture D, update Q, and
     /// seed the fanout of changed Q nets for the coming propagation. The
     /// clock tree itself charges a fixed per-register capacitance every
-    /// cycle (both clock edges toggle the local clock buffer).
-    fn clock_registers(&mut self, count_energy: bool) -> CycleResult {
+    /// cycle (both clock edges toggle the local clock buffer); that term
+    /// is returned here and added after the canonical per-net sum.
+    fn clock_registers(&mut self, count_energy: bool) -> f64 {
         /// Clock-pin capacitance charged per register per cycle.
         const DFF_CLK_CAP: f64 = 1.6;
 
         let registers = self.netlist.netlist().registers();
         if registers.is_empty() {
-            return CycleResult {
-                charge: 0.0,
-                toggles: 0,
-            };
-        }
-        let mut charge = 0.0;
-        let mut toggles = 0u64;
-        if count_energy {
-            charge += DFF_CLK_CAP * registers.len() as f64;
+            return 0.0;
         }
         // Capture all D values first (simultaneous clocking).
         let captured: Vec<bool> = registers
@@ -243,9 +281,7 @@ impl<'a> Simulator<'a> {
             if self.values[q] != new {
                 self.values[q] = new;
                 if count_energy {
-                    charge += self.toggle_energy[q];
-                    toggles += 1;
-                    self.toggle_counts[q] += 1;
+                    self.record_toggle(q);
                 }
                 for &(gate, _pin) in self.netlist.fanout(reg.q()) {
                     if !self.scheduled[gate.index()] {
@@ -255,25 +291,25 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
-        CycleResult { charge, toggles }
+        if count_energy {
+            DFF_CLK_CAP * registers.len() as f64
+        } else {
+            0.0
+        }
     }
 
-    fn apply_unit_delay(&mut self, pattern: BitPattern, count_energy: bool) -> CycleResult {
-        let mut charge = 0.0;
-        let mut toggles = 0u64;
-
+    fn apply_unit_delay(&mut self, pattern: BitPattern, count_energy: bool) {
         // The clock step may already have seeded events for changed Q
         // nets; input events merge into the same first wave.
         // Flip changed primary inputs and seed their fanout gates.
-        for (i, &net) in self.input_nets.iter().enumerate() {
+        for i in 0..self.input_nets.len() {
+            let net = self.input_nets[i];
             let new = pattern.bit(i);
             let idx = net.index();
             if self.values[idx] != new {
                 self.values[idx] = new;
                 if count_energy {
-                    charge += self.toggle_energy[idx];
-                    toggles += 1;
-                    self.toggle_counts[idx] += 1;
+                    self.record_toggle(idx);
                 }
                 for &(gate, _pin) in self.netlist.fanout(net) {
                     if !self.scheduled[gate.index()] {
@@ -322,9 +358,7 @@ impl<'a> Simulator<'a> {
                 let out = gate.output();
                 self.values[out.index()] = new;
                 if count_energy {
-                    charge += self.toggle_energy[out.index()];
-                    toggles += 1;
-                    self.toggle_counts[out.index()] += 1;
+                    self.record_toggle(out.index());
                 }
                 for &(dep, _pin) in self.netlist.fanout(out) {
                     if !self.scheduled[dep.index()] {
@@ -336,27 +370,22 @@ impl<'a> Simulator<'a> {
             front.clear();
             std::mem::swap(&mut self.current_events, &mut self.next_events);
         }
-
-        CycleResult { charge, toggles }
     }
 
-    fn apply_zero_delay(&mut self, pattern: BitPattern, count_energy: bool) -> CycleResult {
+    fn apply_zero_delay(&mut self, pattern: BitPattern, count_energy: bool) {
         // Zero-delay evaluation walks every gate in topological order, so
         // the event seeds from the clock step are not needed.
         for gi in self.current_events.drain(..) {
             self.scheduled[gi as usize] = false;
         }
-        let mut charge = 0.0;
-        let mut toggles = 0u64;
-        for (i, &net) in self.input_nets.iter().enumerate() {
+        for i in 0..self.input_nets.len() {
+            let net = self.input_nets[i];
             let new = pattern.bit(i);
             let idx = net.index();
             if self.values[idx] != new {
                 self.values[idx] = new;
                 if count_energy {
-                    charge += self.toggle_energy[idx];
-                    toggles += 1;
-                    self.toggle_counts[idx] += 1;
+                    self.record_toggle(idx);
                 }
             }
         }
@@ -372,13 +401,10 @@ impl<'a> Simulator<'a> {
             if self.values[idx] != new {
                 self.values[idx] = new;
                 if count_energy {
-                    charge += self.toggle_energy[idx];
-                    toggles += 1;
-                    self.toggle_counts[idx] += 1;
+                    self.record_toggle(idx);
                 }
             }
         }
-        CycleResult { charge, toggles }
     }
 
     /// Current logic value of a net.

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 mod activity;
+mod bitplane;
 mod engine;
 mod harness;
 pub mod pattern;
@@ -38,6 +39,7 @@ mod report;
 mod vcd;
 
 pub use activity::{propagate_activity, ActivityEstimate};
+pub use bitplane::{assert_backends_agree, BitplaneSimulator, SimBackend, BLOCK_LANES};
 pub use engine::{CycleResult, DelayModel, SimStats, Simulator};
 pub use harness::{
     patterns_from_words, random_patterns, run_patterns, run_words, CycleSample, Trace,

@@ -12,48 +12,15 @@
 
 use std::collections::HashSet;
 
+use hdpm_suite::core::test_support::{build_module as build, quick_config, ALL_FAMILIES};
 use hdpm_suite::core::{
     characterize, characterize_sharded, characterize_trace, shard_budgets, shard_seed,
     threads_from_env, Characterization, CharacterizationConfig, ClassAccumulator, ShardingConfig,
     StimulusKind, ZeroClustering,
 };
-use hdpm_suite::netlist::{ModuleKind, ModuleSpec, ModuleWidth, ValidatedNetlist};
+use hdpm_suite::netlist::ModuleKind;
 use hdpm_suite::sim::{random_patterns, run_patterns, DelayModel};
 use proptest::prelude::*;
-
-/// Every module family in the generator catalog.
-const ALL_FAMILIES: [ModuleKind; 14] = [
-    ModuleKind::RippleAdder,
-    ModuleKind::ClaAdder,
-    ModuleKind::CarrySelectAdder,
-    ModuleKind::CarrySkipAdder,
-    ModuleKind::AbsVal,
-    ModuleKind::CsaMultiplier,
-    ModuleKind::BoothWallaceMultiplier,
-    ModuleKind::Incrementer,
-    ModuleKind::Subtractor,
-    ModuleKind::Comparator,
-    ModuleKind::BarrelShifter,
-    ModuleKind::GfMultiplier,
-    ModuleKind::Mac,
-    ModuleKind::Divider,
-];
-
-fn build(kind: ModuleKind, width: usize) -> ValidatedNetlist {
-    ModuleSpec::new(kind, ModuleWidth::Uniform(width))
-        .build()
-        .unwrap_or_else(|e| panic!("{kind} width {width}: {e}"))
-        .validate()
-        .unwrap_or_else(|e| panic!("{kind} width {width}: {e}"))
-}
-
-fn quick_config(max_patterns: usize) -> CharacterizationConfig {
-    CharacterizationConfig {
-        max_patterns,
-        check_interval: 200,
-        ..CharacterizationConfig::default()
-    }
-}
 
 // --- The differential matrix: every family, threads ∈ {1, 2, 4, 8}. ---
 

@@ -1,25 +1,17 @@
 //! Cross-crate property-based tests: invariants that must hold for any
 //! module, width, stream or seed.
 
+use hdpm_suite::core::test_support::{build_module, PROPERTY_FAMILIES};
 use hdpm_suite::core::{
     accuracy, characterize, characterize_trace, CharacterizationConfig, ZeroClustering,
 };
 use hdpm_suite::datamodel::{region_model, HdDistribution, WordModel};
-use hdpm_suite::netlist::{ModuleKind, ModuleSpec};
+use hdpm_suite::netlist::ModuleKind;
 use hdpm_suite::sim::{random_patterns, run_patterns, DelayModel};
 use proptest::prelude::*;
 
 fn any_kind() -> impl Strategy<Value = ModuleKind> {
-    prop_oneof![
-        Just(ModuleKind::RippleAdder),
-        Just(ModuleKind::ClaAdder),
-        Just(ModuleKind::AbsVal),
-        Just(ModuleKind::CsaMultiplier),
-        Just(ModuleKind::BoothWallaceMultiplier),
-        Just(ModuleKind::Incrementer),
-        Just(ModuleKind::Subtractor),
-        Just(ModuleKind::Comparator),
-    ]
+    (0..PROPERTY_FAMILIES.len()).prop_map(|i| PROPERTY_FAMILIES[i])
 }
 
 proptest! {
@@ -31,11 +23,7 @@ proptest! {
         width in 2usize..=6,
         seed in any::<u64>(),
     ) {
-        let netlist = ModuleSpec::new(kind, width)
-            .build()
-            .unwrap()
-            .validate()
-            .unwrap();
+        let netlist = build_module(kind, width);
         let config = CharacterizationConfig {
             max_patterns: 800,
             seed,
@@ -63,11 +51,7 @@ proptest! {
         // The model's expected charge under the trace's own empirical Hd
         // distribution equals the trace's average charge (means of means
         // weighted by class population).
-        let netlist = ModuleSpec::new(ModuleKind::RippleAdder, 4usize)
-            .build()
-            .unwrap()
-            .validate()
-            .unwrap();
+        let netlist = build_module(ModuleKind::RippleAdder, 4);
         let patterns = random_patterns(8, 800, seed);
         let trace = run_patterns(&netlist, &patterns, DelayModel::Unit);
         let c = characterize_trace(&trace, ZeroClustering::Full).unwrap();
@@ -115,11 +99,7 @@ proptest! {
     #[test]
     fn zero_and_unit_delay_agree_on_totals_ordering(seed in any::<u64>()) {
         // Unit delay includes glitches, so it can never charge less.
-        let netlist = ModuleSpec::new(ModuleKind::ClaAdder, 4usize)
-            .build()
-            .unwrap()
-            .validate()
-            .unwrap();
+        let netlist = build_module(ModuleKind::ClaAdder, 4);
         let patterns = random_patterns(8, 200, seed);
         let unit = run_patterns(&netlist, &patterns, DelayModel::Unit);
         let zero = run_patterns(&netlist, &patterns, DelayModel::Zero);

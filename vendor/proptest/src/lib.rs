@@ -46,6 +46,31 @@ pub trait Strategy {
 
     /// Draw one value.
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform every drawn value with `f`, as
+    /// `proptest::strategy::Strategy::prop_map` (no shrinking here, so
+    /// the combinator is a plain map over draws).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.strategy.sample(rng))
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
