@@ -15,27 +15,29 @@ use std::net::TcpStream;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hdpm_core::{CharacterizationConfig, EngineOptions, ShardingConfig};
-use hdpm_server::{Server, ServerOptions};
+use hdpm_server::{Server, ServerConfig};
 
 const REQUEST: &[u8] =
     b"{\"op\":\"estimate\",\"module\":\"ripple_adder\",\"width\":8,\"data\":\"counter\",\"cycles\":64}\n";
 
 fn bench_server_throughput(c: &mut Criterion) {
-    let server = Server::start(ServerOptions {
-        engine: EngineOptions {
-            config: CharacterizationConfig::builder()
-                .max_patterns(1500)
-                .build()
-                .expect("valid config"),
-            sharding: Some(ShardingConfig {
-                shards: 4,
-                threads: 0,
-            }),
-            disk_root: None,
-            capacity: 64,
-        },
-        ..ServerOptions::default()
-    })
+    let server = Server::start(
+        ServerConfig::builder()
+            .engine(EngineOptions {
+                config: CharacterizationConfig::builder()
+                    .max_patterns(1500)
+                    .build()
+                    .expect("valid config"),
+                sharding: Some(ShardingConfig {
+                    shards: 4,
+                    threads: 0,
+                }),
+                disk_root: None,
+                capacity: 64,
+            })
+            .build()
+            .expect("valid config"),
+    )
     .expect("server starts");
 
     let stream = TcpStream::connect(server.local_addr()).expect("connect");

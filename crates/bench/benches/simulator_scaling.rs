@@ -8,7 +8,7 @@ use std::net::TcpStream;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hdpm_core::{CharacterizationConfig, EngineOptions, ShardingConfig};
 use hdpm_netlist::{modules, ValidatedNetlist};
-use hdpm_server::{Server, ServerOptions};
+use hdpm_server::{Server, ServerConfig};
 use hdpm_sim::{random_patterns, run_patterns, DelayModel};
 
 fn bench_scaling(c: &mut Criterion) {
@@ -96,22 +96,24 @@ fn bench_tracing_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("telemetry_overhead");
     group.throughput(Throughput::Elements(64));
     for (label, tracing) in [("tracing_off", false), ("tracing_on", true)] {
-        let server = Server::start(ServerOptions {
-            tracing,
-            engine: EngineOptions {
-                config: CharacterizationConfig::builder()
-                    .max_patterns(1500)
-                    .build()
-                    .expect("valid config"),
-                sharding: Some(ShardingConfig {
-                    shards: 4,
-                    threads: 0,
-                }),
-                disk_root: None,
-                capacity: 64,
-            },
-            ..ServerOptions::default()
-        })
+        let server = Server::start(
+            ServerConfig::builder()
+                .tracing(tracing)
+                .engine(EngineOptions {
+                    config: CharacterizationConfig::builder()
+                        .max_patterns(1500)
+                        .build()
+                        .expect("valid config"),
+                    sharding: Some(ShardingConfig {
+                        shards: 4,
+                        threads: 0,
+                    }),
+                    disk_root: None,
+                    capacity: 64,
+                })
+                .build()
+                .expect("valid config"),
+        )
         .expect("server starts");
         let request =
             b"{\"op\":\"estimate\",\"module\":\"ripple_adder\",\"width\":8,\"data\":\"counter\",\"cycles\":64}\n";

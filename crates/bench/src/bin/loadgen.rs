@@ -10,25 +10,34 @@
 //!
 //! Without `--addr` an in-process server is started on an ephemeral port
 //! (engine: 1500 patterns, 4 shards), so the snapshot is reproducible
-//! from a clean checkout. Two driving disciplines are measured:
+//! from a clean checkout. `--proto v1|v2|both` (default both) selects
+//! the wire protocol — v1 JSON lines or the binary framed v2 — and the
+//! snapshot keeps one series per protocol so the v2 speedup stays
+//! recorded. Two driving disciplines are measured per protocol:
 //!
 //! * **closed** loop — each connection sends a request and waits for the
 //!   reply before sending the next; per-request latency percentiles are
 //!   meaningful here;
-//! * **pipelined** (open) loop — each connection writes all M requests
-//!   before reading the M replies, the peak-throughput shape.
+//! * **pipelined** (open) loop — each connection keeps a 512-request
+//!   window in flight, the peak-throughput shape.
 //!
 //! `--mode closed|pipelined` restricts to one discipline (default both).
 //!
-//! With `--replay <file>` the binary becomes a protocol client instead:
-//! it sends every line of the file to `--addr`, prints one reply per
-//! request to stdout and exits — CI replays the golden transcript over
-//! TCP this way and diffs the output. Replay strips the per-request
-//! `"trace":"t…"` ids a tracing server echoes, so the diff against the
-//! untraced golden fixtures passes either way.
+//! `--idle-conns N` opens N extra connections that send nothing while
+//! the load runs, then verifies a sample of them still answers — the
+//! reactor-pool soak used by CI (idle connections must cost fds, not
+//! threads, and must survive a traffic burst next to them).
+//!
+//! With `--replay <file>` the binary becomes a v1 protocol client
+//! instead: it sends every line of the file to `--addr`, prints one
+//! reply per request to stdout and exits — CI replays the golden
+//! transcript over TCP this way and diffs the output byte-for-byte.
+//! Replay strips the per-request `"trace":"t…"` ids a tracing server
+//! echoes, so the diff against the untraced golden fixtures passes
+//! either way.
 //!
 //! `--tracing on|off` (default on, the server default) sets tracing on
-//! the in-process server. `--compare-tracing` measures the pipelined
+//! the in-process server. `--compare-tracing` measures the v1 pipelined
 //! discipline against a tracing-off and then a tracing-on in-process
 //! server and reports the warm-path overhead (the `BENCH_obs.json`
 //! recording flow):
@@ -43,11 +52,24 @@ use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use hdpm_core::{CharacterizationConfig, EngineOptions, ShardingConfig};
-use hdpm_server::{Server, ServerOptions};
+use hdpm_netlist::{ModuleKind, ModuleSpec};
+use hdpm_server::client::{Client, Proto, Request, Response};
+use hdpm_server::{Server, ServerConfig};
 use serde::Serialize;
 
-const REQUEST: &[u8] =
-    b"{\"op\":\"estimate\",\"module\":\"ripple_adder\",\"width\":8,\"data\":\"counter\",\"cycles\":64}\n";
+/// The warm request every discipline drives: an estimate against a
+/// cached model (64 cycles keeps the distribution fit cheap).
+fn request() -> Request {
+    Request::Estimate {
+        spec: ModuleSpec::new(ModuleKind::RippleAdder, 8usize),
+        data: hdpm_server::protocol::data_type("counter").expect("known type"),
+        cycles: 64,
+        seed: 7,
+    }
+}
+
+/// Open-loop window: requests kept in flight per pipelined connection.
+const WINDOW: usize = 512;
 
 #[derive(Serialize)]
 struct LatencyNs {
@@ -59,21 +81,28 @@ struct LatencyNs {
 #[derive(Serialize)]
 struct Discipline {
     requests: usize,
-    /// Requests the server answered `{"ok":false,...,"kind":"overloaded"}`
-    /// — backpressure working as designed under an open loop. The rate
-    /// below counts only successfully served requests.
+    /// Requests the server answered `overloaded` — backpressure working
+    /// as designed under an open loop. The rate below counts only
+    /// successfully served requests.
     shed: usize,
     elapsed_s: f64,
     requests_per_sec: f64,
     latency_ns: Option<LatencyNs>,
 }
 
+/// One protocol's measurements.
+#[derive(Serialize)]
+struct ProtoSeries {
+    closed: Option<Discipline>,
+    pipelined: Option<Discipline>,
+}
+
 #[derive(Serialize)]
 struct Snapshot {
     connections: usize,
     requests_per_connection: usize,
-    closed: Option<Discipline>,
-    pipelined: Option<Discipline>,
+    v1: Option<ProtoSeries>,
+    v2: Option<ProtoSeries>,
 }
 
 /// The `--compare-tracing` snapshot: the same pipelined load against a
@@ -103,6 +132,8 @@ fn main() {
     let mut connections = 8usize;
     let mut requests = 2000usize;
     let mut mode = "both".to_string();
+    let mut proto = "both".to_string();
+    let mut idle_conns = 0usize;
     let mut out: Option<String> = None;
     let mut replay: Option<String> = None;
     let mut tracing = true;
@@ -118,6 +149,8 @@ fn main() {
             "--connections" => connections = parse(&value("--connections")),
             "--requests" => requests = parse(&value("--requests")),
             "--mode" => mode = value("--mode"),
+            "--proto" => proto = value("--proto"),
+            "--idle-conns" => idle_conns = parse(&value("--idle-conns")),
             "--out" => out = Some(value("--out")),
             "--replay" => replay = Some(value("--replay")),
             "--tracing" => {
@@ -130,13 +163,17 @@ fn main() {
             "--compare-tracing" => compare_tracing = true,
             other => die(&format!(
                 "unknown option `{other}` (expected --addr, --connections, --requests, \
-                 --mode, --out, --replay, --tracing or --compare-tracing)"
+                 --mode, --proto, --idle-conns, --out, --replay, --tracing or --compare-tracing)"
             )),
         }
     }
     if !matches!(mode.as_str(), "both" | "closed" | "pipelined") {
         die("--mode must be closed, pipelined or both");
     }
+    let protos: Vec<Proto> = match proto.as_str() {
+        "both" => vec![Proto::V1, Proto::V2],
+        other => vec![Proto::parse(other).unwrap_or_else(|| die("--proto must be v1, v2 or both"))],
+    };
     if compare_tracing {
         if addr.is_some() {
             die("--compare-tracing runs its own in-process servers; drop --addr");
@@ -151,7 +188,7 @@ fn main() {
         if replay.is_some() {
             die("--replay requires --addr");
         }
-        Some(start_local(tracing))
+        Some(start_local(tracing, idle_conns + connections + 16))
     } else {
         None
     };
@@ -168,31 +205,76 @@ fn main() {
         return;
     }
 
-    warm(&target);
-    let closed = (mode != "pipelined").then(|| run_closed(&target, connections, requests));
-    let pipelined = (mode != "closed").then(|| run_pipelined(&target, connections, requests));
+    // Idle soak: the connections open before the load and answer after
+    // it, so the burst next door cannot have starved or killed them.
+    let idle: Vec<Client> = (0..idle_conns)
+        .map(|i| {
+            Client::connect(&target, *protos.last().expect("proto"))
+                .unwrap_or_else(|e| die(&format!("idle connection {i}: {e}")))
+        })
+        .collect();
+    if idle_conns > 0 {
+        eprintln!("holding {idle_conns} idle connections through the run");
+    }
+
+    let mut series: Vec<(Proto, ProtoSeries)> = Vec::new();
+    for proto in &protos {
+        warm(&target, *proto);
+        let closed =
+            (mode != "pipelined").then(|| run_closed(&target, *proto, connections, requests));
+        let pipelined =
+            (mode != "closed").then(|| run_pipelined(&target, *proto, connections, requests));
+        for (name, d) in [("closed", &closed), ("pipelined", &pipelined)] {
+            if let Some(d) = d {
+                eprintln!(
+                    "{} {name:>9}: {:.0} requests/sec over {} requests",
+                    proto.as_str(),
+                    d.requests_per_sec,
+                    d.requests
+                );
+            }
+        }
+        series.push((*proto, ProtoSeries { closed, pipelined }));
+    }
+
+    // Every 100th idle connection (and the last) must still answer.
+    for (i, mut client) in idle.into_iter().enumerate() {
+        if i % 100 != 0 && i != idle_conns - 1 {
+            continue;
+        }
+        let probe = match client.proto() {
+            Proto::V2 => Request::Ping,
+            Proto::V1 => Request::Stats,
+        };
+        match client.call(&probe, None) {
+            Ok(reply) => match reply.response {
+                Response::Pong | Response::Stats(_) => {}
+                other => die(&format!("idle connection {i}: unexpected reply {other:?}")),
+            },
+            Err(e) => die(&format!("idle connection {i} died during the run: {e}")),
+        }
+    }
+    if idle_conns > 0 {
+        eprintln!("idle connections survived the run");
+    }
+
     if let Some(server) = local {
         server.shutdown();
     }
 
+    let pick = |want: Proto, series: &mut Vec<(Proto, ProtoSeries)>| {
+        series
+            .iter()
+            .position(|(p, _)| *p == want)
+            .map(|at| series.remove(at).1)
+    };
     let snapshot = Snapshot {
         connections,
         requests_per_connection: requests,
-        closed,
-        pipelined,
+        v1: pick(Proto::V1, &mut series),
+        v2: pick(Proto::V2, &mut series),
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
-    for (name, d) in [
-        ("closed", &snapshot.closed),
-        ("pipelined", &snapshot.pipelined),
-    ] {
-        if let Some(d) = d {
-            eprintln!(
-                "{name:>9}: {:.0} requests/sec over {} requests",
-                d.requests_per_sec, d.requests
-            );
-        }
-    }
     match out {
         Some(path) => {
             std::fs::write(&path, json + "\n").expect("snapshot written");
@@ -212,64 +294,81 @@ fn parse(raw: &str) -> usize {
         .unwrap_or_else(|_| die(&format!("`{raw}` is not an integer")))
 }
 
-fn start_local(tracing: bool) -> Server {
-    Server::start(ServerOptions {
-        queue_depth: 65_536,
-        tracing,
-        // An open-loop flood spends most of its latency queued, which
-        // would put every request over the default slow threshold; the
-        // slow-request log is not what this binary measures.
-        slow_threshold: Duration::from_secs(3600),
-        engine: EngineOptions {
-            config: CharacterizationConfig::builder()
-                .max_patterns(1500)
-                .build()
-                .expect("valid config"),
-            sharding: Some(ShardingConfig {
-                shards: 4,
-                threads: 0,
-            }),
-            disk_root: None,
-            capacity: 64,
-        },
-        ..ServerOptions::default()
-    })
+fn start_local(tracing: bool, max_connections: usize) -> Server {
+    Server::start(
+        ServerConfig::builder()
+            .queue_depth(65_536)
+            .tracing(tracing)
+            .max_connections(max_connections.max(256))
+            // An open-loop flood spends most of its latency queued, which
+            // would put every request over the default slow threshold; the
+            // slow-request log is not what this binary measures.
+            .slow_threshold(Duration::from_secs(3600))
+            .engine(EngineOptions {
+                config: CharacterizationConfig::builder()
+                    .max_patterns(1500)
+                    .build()
+                    .expect("valid config"),
+                sharding: Some(ShardingConfig {
+                    shards: 4,
+                    threads: 0,
+                }),
+                disk_root: None,
+                capacity: 64,
+            })
+            .build()
+            .expect("valid config"),
+    )
     .expect("server starts")
 }
 
-fn connect(target: &str) -> (TcpStream, BufReader<TcpStream>) {
-    let stream = TcpStream::connect(target)
-        .unwrap_or_else(|e| die(&format!("cannot connect to {target}: {e}")));
-    stream.set_nodelay(true).ok();
-    let reader = BufReader::new(stream.try_clone().expect("clone"));
-    (stream, reader)
+fn client(target: &str, proto: Proto) -> Client {
+    Client::connect(target, proto)
+        .unwrap_or_else(|e| die(&format!("cannot connect to {target}: {e}")))
 }
 
 /// One round trip so the model cache is hot before anything is timed.
-fn warm(target: &str) {
-    let (mut writer, mut reader) = connect(target);
-    writer.write_all(REQUEST).expect("send");
-    let mut line = String::new();
-    reader.read_line(&mut line).expect("reply");
-    assert!(line.contains("\"ok\":true"), "warm-up failed: {line}");
+fn warm(target: &str, proto: Proto) {
+    let mut client = client(target, proto);
+    let reply = client
+        .call(&request(), None)
+        .unwrap_or_else(|e| die(&format!("warm-up failed: {e}")));
+    match reply.response {
+        Response::Estimate(_) => {}
+        other => die(&format!("warm-up failed: {other:?}")),
+    }
 }
 
-fn run_closed(target: &str, connections: usize, requests: usize) -> Discipline {
+/// Count a reply toward the shed tally, or die on anything that is
+/// neither success nor backpressure.
+fn tally(response: &Response, shed: &mut usize) {
+    match response {
+        Response::Estimate(_) => {}
+        Response::Error { kind, message } if kind == "overloaded" => {
+            let _ = message;
+            *shed += 1;
+        }
+        other => die(&format!("unexpected reply: {other:?}")),
+    }
+}
+
+fn run_closed(target: &str, proto: Proto, connections: usize, requests: usize) -> Discipline {
     let started = Instant::now();
+    let request = request();
     let latencies: Vec<u64> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|_| {
-                scope.spawn(move || {
-                    let (mut writer, mut reader) = connect(target);
-                    let mut line = String::new();
+                scope.spawn(|| {
+                    let mut client = client(target, proto);
                     let mut latencies = Vec::with_capacity(requests);
                     for _ in 0..requests {
                         let sent = Instant::now();
-                        writer.write_all(REQUEST).expect("send");
-                        line.clear();
-                        reader.read_line(&mut line).expect("reply");
+                        let reply = client
+                            .call(&request, None)
+                            .unwrap_or_else(|e| die(&format!("closed loop: {e}")));
                         latencies.push(sent.elapsed().as_nanos() as u64);
-                        assert!(line.contains("\"ok\":true"), "{line}");
+                        let mut shed = 0;
+                        tally(&reply.response, &mut shed);
                     }
                     latencies
                 })
@@ -283,34 +382,35 @@ fn run_closed(target: &str, connections: usize, requests: usize) -> Discipline {
     discipline(started, latencies, 0, true)
 }
 
-fn run_pipelined(target: &str, connections: usize, requests: usize) -> Discipline {
+fn run_pipelined(target: &str, proto: Proto, connections: usize, requests: usize) -> Discipline {
     let started = Instant::now();
+    let request = request();
     let shed: usize = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|_| {
-                scope.spawn(move || {
-                    let (mut writer, mut reader) = connect(target);
-                    // A writer thread keeps the pipe full while this
-                    // thread drains replies, so neither side stalls on
-                    // socket buffers.
-                    let sender = std::thread::spawn(move || {
-                        for _ in 0..requests {
-                            writer.write_all(REQUEST).expect("send");
-                        }
-                        writer
-                    });
-                    let mut line = String::new();
+                scope.spawn(|| {
+                    // A sliding window keeps the pipe full without the
+                    // sender and receiver deadlocking on socket buffers.
+                    let mut client = client(target, proto);
+                    let mut sent = 0usize;
+                    let mut received = 0usize;
                     let mut shed = 0usize;
-                    for _ in 0..requests {
-                        line.clear();
-                        reader.read_line(&mut line).expect("reply");
-                        if line.contains("\"kind\":\"overloaded\"") {
-                            shed += 1;
-                        } else {
-                            assert!(line.contains("\"ok\":true"), "{line}");
+                    while received < requests {
+                        while sent < requests && sent - received < WINDOW {
+                            client
+                                .send(&request, None)
+                                .unwrap_or_else(|e| die(&format!("pipelined send: {e}")));
+                            sent += 1;
                         }
+                        client
+                            .flush()
+                            .unwrap_or_else(|e| die(&format!("pipelined flush: {e}")));
+                        let reply = client
+                            .recv()
+                            .unwrap_or_else(|e| die(&format!("pipelined recv: {e}")));
+                        tally(&reply.response, &mut shed);
+                        received += 1;
                     }
-                    drop(sender.join().expect("sender thread"));
                     shed
                 })
             })
@@ -346,14 +446,20 @@ fn discipline(
     }
 }
 
-/// Replay a request file against `target`, one reply line per non-blank
-/// request line on stdout. Trace ids are stripped so the output diffs
-/// cleanly against untraced golden fixtures.
+/// Replay a request file against `target` over raw v1 lines, one reply
+/// line per non-blank request line on stdout. Trace ids are stripped so
+/// the output diffs cleanly against untraced golden fixtures. Kept on
+/// raw sockets, not the typed [`Client`], because the point is
+/// byte-for-byte conformance of the wire.
 fn run_replay(target: &str, path: &str) {
     let script =
         std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     let requests: Vec<&str> = script.lines().filter(|l| !l.trim().is_empty()).collect();
-    let (mut writer, mut reader) = connect(target);
+    let stream = TcpStream::connect(target)
+        .unwrap_or_else(|e| die(&format!("cannot connect to {target}: {e}")));
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
     for request in &requests {
         writer.write_all(request.as_bytes()).expect("send");
         writer.write_all(b"\n").expect("send");
@@ -395,24 +501,24 @@ fn median(values: &[f64]) -> f64 {
     }
 }
 
-/// The `--compare-tracing` flow: identical pipelined load against a
+/// The `--compare-tracing` flow: identical v1 pipelined load against a
 /// long-lived tracing-off and tracing-on server pair, measured in
 /// drift-cancelling ABBA blocks (see [`TracingComparison`]), reporting
-/// the relative warm-path cost of the tracing tentpole.
+/// the relative warm-path cost of the tracing plane.
 fn run_compare_tracing(connections: usize, requests: usize, out: Option<&str>) {
     // Enough blocks that hypervisor steal bursts landing on individual
     // blocks (observed: isolated 12-17% outliers against a ~5% mode)
     // cannot drag the median.
     const BLOCKS: usize = 9;
-    let server_off = start_local(false);
-    let server_on = start_local(true);
+    let server_off = start_local(false, 256);
+    let server_on = start_local(true, 256);
     let target_off = server_off.local_addr().to_string();
     let target_on = server_on.local_addr().to_string();
-    warm(&target_off);
-    warm(&target_on);
+    warm(&target_off, Proto::V1);
+    warm(&target_on, Proto::V1);
     let measure = |tracing: bool| {
         let target = if tracing { &target_on } else { &target_off };
-        let result = run_pipelined(target, connections, requests);
+        let result = run_pipelined(target, Proto::V1, connections, requests);
         eprintln!(
             "tracing {:>3}: {:.0} requests/sec over {} requests",
             if tracing { "on" } else { "off" },

@@ -11,7 +11,7 @@
 use std::io::BufRead;
 use std::time::Duration;
 
-use hdpm_server::{Server, ServerOptions};
+use hdpm_server::{Server, ServerConfig};
 use hdpm_telemetry as telemetry;
 
 use crate::args::ParsedArgs;
@@ -21,6 +21,7 @@ const SERVER_OPTIONS: &[&str] = &[
     "addr",
     "admin-addr",
     "workers",
+    "reactors",
     "queue-depth",
     "deadline-ms",
     "idle-timeout-ms",
@@ -39,16 +40,17 @@ pub fn cmd_server(args: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     run(options, args, stdin.lock())
 }
 
-/// Parse [`ServerOptions`] from argv. Engine flags are shared with
-/// `hdpm serve`; the rest shape the service itself.
-fn options_from(args: &ParsedArgs) -> Result<ServerOptions, Box<dyn std::error::Error>> {
+/// Parse a validated [`ServerConfig`] from argv. Engine flags are shared
+/// with `hdpm serve`; the rest shape the service itself. Invalid
+/// combinations surface here as flag errors, before anything binds.
+fn options_from(args: &ParsedArgs) -> Result<ServerConfig, Box<dyn std::error::Error>> {
     crate::reject_unknown_options(
         args,
         ENGINE_OPTIONS,
         SERVER_OPTIONS,
         "stdio serving is `hdpm serve`",
     )?;
-    let defaults = ServerOptions::default();
+    let defaults = ServerConfig::default();
     let addr = args
         .option("addr")
         .unwrap_or("127.0.0.1:0")
@@ -71,32 +73,39 @@ fn options_from(args: &ParsedArgs) -> Result<ServerOptions, Box<dyn std::error::
         0 => None,
         ms => Some(Duration::from_millis(ms)),
     };
-    Ok(ServerOptions {
-        addr,
-        workers: args.get_or("workers", defaults.workers)?,
-        queue_depth: args.get_or("queue-depth", defaults.queue_depth)?,
-        deadline,
-        idle_timeout: Duration::from_millis(
-            args.get_or("idle-timeout-ms", defaults.idle_timeout.as_millis() as u64)?,
-        ),
-        write_timeout: Duration::from_millis(args.get_or(
+    let mut builder = ServerConfig::builder()
+        .addr(addr)
+        .workers(args.get_or("workers", defaults.workers)?)
+        .reactors(args.get_or("reactors", defaults.reactors)?)
+        .queue_depth(args.get_or("queue-depth", defaults.queue_depth)?)
+        .idle_timeout(Duration::from_millis(args.get_or(
+            "idle-timeout-ms",
+            defaults.idle_timeout.as_millis() as u64,
+        )?))
+        .write_timeout(Duration::from_millis(args.get_or(
             "write-timeout-ms",
             defaults.write_timeout.as_millis() as u64,
-        )?),
-        max_connections: args.get_or("max-conns", defaults.max_connections)?,
-        engine: engine_from(args)?.options().clone(),
-        admin_addr,
-        tracing,
-        slow_threshold: Duration::from_millis(
+        )?))
+        .max_connections(args.get_or("max-conns", defaults.max_connections)?)
+        .engine(engine_from(args)?.options().clone())
+        .tracing(tracing)
+        .slow_threshold(Duration::from_millis(
             args.get_or("slow-ms", defaults.slow_threshold.as_millis() as u64)?,
-        ),
-    })
+        ));
+    builder = match deadline {
+        Some(deadline) => builder.deadline(deadline),
+        None => builder.no_deadline(),
+    };
+    if let Some(admin_addr) = admin_addr {
+        builder = builder.admin_addr(admin_addr);
+    }
+    Ok(builder.build()?)
 }
 
 /// Start, block on the control stream, drain. Generic over the control
 /// stream so tests can drive shutdown in memory.
 fn run<R: BufRead>(
-    options: ServerOptions,
+    options: ServerConfig,
     args: &ParsedArgs,
     control: R,
 ) -> Result<(), Box<dyn std::error::Error>> {

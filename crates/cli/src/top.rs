@@ -78,10 +78,10 @@ fn http_get(addr: &str, path: &str) -> Result<(u16, String), Box<dyn std::error:
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
     let mut writer = stream.try_clone()?;
-    write!(
-        writer,
-        "GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
-    )?;
+    // One write_all, not write!: per-fragment writes race an HTTP/1.0
+    // server that replies and closes after its first read.
+    let request = format!("GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    writer.write_all(request.as_bytes())?;
     writer.flush()?;
     let mut reader = BufReader::new(stream);
     let mut status_line = String::new();
@@ -364,8 +364,16 @@ server_stage_ns_count{stage=\"decode\"} 5
         let addr = listener.local_addr().unwrap();
         let serve = std::thread::spawn(move || {
             let (mut stream, _) = listener.accept().unwrap();
+            // Read the whole request (to the blank line) before replying;
+            // replying early closes the socket under the client's write.
+            let mut request = Vec::new();
             let mut buf = [0u8; 512];
-            let _ = stream.read(&mut buf);
+            while !request.windows(4).any(|w| w == b"\r\n\r\n") {
+                match stream.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => request.extend_from_slice(&buf[..n]),
+                }
+            }
             stream
                 .write_all(
                     b"HTTP/1.0 200 OK\r\nContent-Type: text/plain\r\n\

@@ -1,0 +1,140 @@
+//! Idle-connection soak against the real `hdpm server` binary: ten
+//! thousand open-but-silent TCP connections must not grow the process
+//! thread count — idle sockets park in the reactor pool's epoll sets,
+//! they do not each get a thread — and the server must stay responsive
+//! and drain cleanly underneath them.
+//!
+//! Linux-only: the thread count is read from `/proc/<pid>/status`.
+#![cfg(target_os = "linux")]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const IDLE_CONNECTIONS: usize = 10_000;
+
+/// Spawn `hdpm server` and scrape the resolved address off stderr.
+fn spawn_server() -> (Child, String, BufReader<std::process::ChildStderr>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hdpm"))
+        .args([
+            "server",
+            "--patterns",
+            "1500",
+            "--shards",
+            "4",
+            "--workers",
+            "2",
+            "--reactors",
+            "2",
+            "--max-conns",
+            "12000",
+            // Idle reaping off for the duration: opening 10k sockets
+            // takes a while and none of them will ever speak.
+            "--idle-timeout-ms",
+            "600000",
+            "--tracing",
+            "off",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .env_remove("HDPM_TELEMETRY")
+        .env_remove("HDPM_LOG")
+        .spawn()
+        .expect("binary launches");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let mut line = String::new();
+    stderr.read_line(&mut line).expect("listening line");
+    let addr = line
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in `{line}`"))
+        .to_string();
+    (child, addr, stderr)
+}
+
+/// The `Threads:` line of `/proc/<pid>/status`.
+fn thread_count(pid: u32) -> usize {
+    let status = std::fs::read_to_string(format!("/proc/{pid}/status")).expect("proc status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .expect("Threads: line")
+        .trim()
+        .parse()
+        .expect("thread count")
+}
+
+/// Connect with a little patience for transient backlog overflow while
+/// the accept thread catches up.
+fn connect(addr: &str) -> TcpStream {
+    let mut last = None;
+    for _ in 0..50 {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return stream,
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    panic!("connect {addr}: {last:?}");
+}
+
+fn round_trip(addr: &str) {
+    let mut stream = connect(addr);
+    stream.write_all(b"{\"op\":\"stats\"}\n").expect("send");
+    let mut reply = String::new();
+    BufReader::new(&mut stream)
+        .read_line(&mut reply)
+        .expect("reply");
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+}
+
+#[test]
+fn ten_thousand_idle_connections_cost_no_threads() {
+    let (mut child, addr, stderr) = spawn_server();
+    let pid = child.id();
+
+    // Baseline after the pools have spun up and served one request.
+    round_trip(&addr);
+    let baseline = thread_count(pid);
+
+    // Open the herd and keep every socket alive. Mix protocols: even
+    // connections negotiate v2 by sending the magic, odd ones stay
+    // silent (pre-negotiation). Both kinds must park for free.
+    let mut herd = Vec::with_capacity(IDLE_CONNECTIONS);
+    for i in 0..IDLE_CONNECTIONS {
+        let mut stream = connect(&addr);
+        if i % 2 == 0 {
+            stream
+                .write_all(&hdpm_server::wire::MAGIC)
+                .expect("negotiate");
+        }
+        herd.push(stream);
+    }
+
+    // Every connection is registered with a reactor (accept round-robins
+    // synchronously), yet the thread count has not moved.
+    let loaded = thread_count(pid);
+    assert_eq!(
+        loaded, baseline,
+        "{IDLE_CONNECTIONS} idle connections grew the pool from {baseline} to {loaded} threads"
+    );
+
+    // The server still answers promptly underneath the herd.
+    round_trip(&addr);
+
+    drop(herd);
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    stdin.write_all(b"shutdown\n").expect("control");
+    drop(stdin);
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "server exits cleanly");
+    let mut rest = String::new();
+    let mut stderr = stderr;
+    stderr.read_to_string(&mut rest).expect("stderr drains");
+    assert!(rest.contains("drained ("), "no drain report in: {rest}");
+}

@@ -1,0 +1,753 @@
+//! Typed client for the hdpm TCP service, speaking both protocol
+//! versions over one API.
+//!
+//! A [`Client`] owns one connection and runs in either of two modes:
+//!
+//! * **sync** — [`Client::call`] sends one request and blocks for its
+//!   reply (no other requests may be outstanding);
+//! * **pipelined** — [`Client::send`] buffers requests and returns
+//!   their ids, [`Client::flush`] pushes them out, [`Client::recv`]
+//!   returns replies as they arrive. Under v2 replies arrive **out of
+//!   order**; the returned [`Reply::id`] says which request each one
+//!   answers. Under v1 the server replies strictly in request order and
+//!   the client assigns ids FIFO, so the same loop works unchanged.
+//!
+//! Ids are allocated by the client, monotonically from 1 per
+//! connection. The v1 wire has no id field — the id is client-side
+//! bookkeeping that makes the two protocols interchangeable behind this
+//! API (the load generator's `--proto` flag is one `match` at connect
+//! time).
+//!
+//! ```no_run
+//! use hdpm_netlist::{ModuleKind, ModuleSpec};
+//! use hdpm_server::client::{Client, Proto, Request, Response};
+//!
+//! let mut client = Client::connect("127.0.0.1:7070", Proto::V2)?;
+//! let reply = client.call(
+//!     &Request::Characterize { spec: ModuleSpec::new(ModuleKind::RippleAdder, 8) },
+//!     None,
+//! )?;
+//! match reply.response {
+//!     Response::Characterize(c) => println!("{} transitions", c.transitions),
+//!     other => panic!("unexpected reply {other:?}"),
+//! }
+//! # Ok::<(), hdpm_server::client::ClientError>(())
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use hdpm_netlist::{ModuleSpec, ModuleWidth};
+use hdpm_streams::DataType;
+
+use crate::wire;
+
+/// Which protocol to speak on a connection. Negotiated by the client:
+/// the server follows the first byte it receives ([`wire::MAGIC`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proto {
+    /// JSON lines, replies in request order.
+    V1,
+    /// Binary frames, replies out of order, in-band deadlines.
+    V2,
+}
+
+impl Proto {
+    /// The flag spelling (`v1` / `v2`), as accepted by the load
+    /// generator's `--proto`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Proto::V1 => "v1",
+            Proto::V2 => "v2",
+        }
+    }
+
+    /// Parse the flag spelling.
+    pub fn parse(text: &str) -> Option<Proto> {
+        match text {
+            "v1" => Some(Proto::V1),
+            "v2" => Some(Proto::V2),
+            _ => None,
+        }
+    }
+}
+
+/// One request, protocol-agnostic. The client encodes it as a JSON line
+/// (v1) or a binary frame (v2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request {
+    /// Analytic power estimate for a module under a named input
+    /// distribution.
+    Estimate {
+        /// Module kind and operand widths.
+        spec: ModuleSpec,
+        /// Input data class (paper table I–V).
+        data: DataType,
+        /// Stream length used for the distribution fit.
+        cycles: u32,
+        /// Stream generator seed.
+        seed: u64,
+    },
+    /// Force a model into the cache (characterize if absent).
+    Characterize {
+        /// Module kind and operand widths.
+        spec: ModuleSpec,
+    },
+    /// Engine counter snapshot.
+    Stats,
+    /// Liveness no-op (v2 only — v1 has no ping op).
+    Ping,
+}
+
+impl Request {
+    fn opcode(&self) -> wire::Opcode {
+        match self {
+            Request::Estimate { .. } => wire::Opcode::Estimate,
+            Request::Characterize { .. } => wire::Opcode::Characterize,
+            Request::Stats => wire::Opcode::Stats,
+            Request::Ping => wire::Opcode::Ping,
+        }
+    }
+}
+
+/// An estimate answer (v1 `estimate` reply / v2 ok frame).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateAnswer {
+    /// Expected charge dissipated per cycle (µC, paper Eq. 9).
+    pub charge_per_cycle: f64,
+    /// The same quantity via the average-HD shortcut (Eq. 10).
+    pub via_average: f64,
+    /// Mean input Hamming distance of the fitted distribution.
+    pub average_hd: f64,
+    /// Where the model came from: `memory`, `disk`, `fresh`,
+    /// `coalesced`, or `memo` (v2 reply-memo hit).
+    pub source: String,
+}
+
+/// A characterize answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharacterizeAnswer {
+    /// Total input bits of the characterized module.
+    pub input_bits: u32,
+    /// Transitions simulated during characterization.
+    pub transitions: u64,
+    /// Patterns applied when the charge tables converged, if they did.
+    pub converged_after: Option<u64>,
+    /// Where the model came from.
+    pub source: String,
+}
+
+/// An engine stats snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsAnswer {
+    /// Models resident in the memory tier.
+    pub entries: u64,
+    /// Memory-tier capacity.
+    pub capacity: u64,
+    /// Memory-tier hits.
+    pub hits: u64,
+    /// Memory-tier misses.
+    pub misses: u64,
+    /// Models evicted from the memory tier.
+    pub evictions: u64,
+    /// Disk-tier hits.
+    pub disk_hits: u64,
+    /// Characterizations run.
+    pub characterizations: u64,
+    /// Requests that coalesced onto another request's characterization.
+    pub coalesced: u64,
+    /// Characterizations in flight.
+    pub inflight: u64,
+}
+
+/// One decoded reply body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful estimate.
+    Estimate(EstimateAnswer),
+    /// Successful characterize.
+    Characterize(CharacterizeAnswer),
+    /// Successful stats snapshot.
+    Stats(StatsAnswer),
+    /// Successful ping (v2).
+    Pong,
+    /// A structured server-side error (`timeout`, `overloaded`, …) —
+    /// part of normal operation, not a transport failure.
+    Error {
+        /// The error kind string (`ErrorKind::as_str` spelling).
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// One reply, correlated to the request it answers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// Id returned by [`Client::send`] for the request this answers.
+    pub id: u64,
+    /// The request's deadline expired while it executed; this is the
+    /// full (late) answer. v2 only — v1 never sets it.
+    pub late: bool,
+    /// The decoded reply body.
+    pub response: Response,
+}
+
+/// A client-side failure: transport error, or a reply the client could
+/// not make sense of. Server-side errors are [`Response::Error`], not
+/// this.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (includes EOF with replies outstanding).
+    Io(io::Error),
+    /// A reply that violates the protocol (bad frame, bogus JSON,
+    /// unknown source code, …).
+    Protocol(String),
+    /// The request cannot be expressed on the negotiated protocol.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ClientError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A connection to the server, in the mode fixed at
+/// [`Client::connect`].
+pub struct Client {
+    proto: Proto,
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    /// v1: ids in send order (replies are FIFO).
+    fifo: VecDeque<(u64, wire::Opcode)>,
+    /// v2: outstanding ids → the opcode sent, for reply decoding.
+    pending: HashMap<u64, wire::Opcode>,
+}
+
+impl Client {
+    /// Connect and negotiate `proto` (for v2: write the [`wire::MAGIC`]
+    /// preamble).
+    ///
+    /// # Errors
+    ///
+    /// Connection or preamble-write failure.
+    pub fn connect(addr: impl ToSocketAddrs, proto: Proto) -> io::Result<Client> {
+        Client::from_stream(TcpStream::connect(addr)?, proto)
+    }
+
+    /// Wrap an existing stream (so callers can set timeouts first) and
+    /// negotiate `proto`.
+    ///
+    /// # Errors
+    ///
+    /// Stream duplication or preamble-write failure.
+    pub fn from_stream(stream: TcpStream, proto: Proto) -> io::Result<Client> {
+        let _ = stream.set_nodelay(true);
+        let write_half = stream.try_clone()?;
+        let mut client = Client {
+            proto,
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+            next_id: 1,
+            fifo: VecDeque::new(),
+            pending: HashMap::new(),
+        };
+        if proto == Proto::V2 {
+            client.writer.write_all(&wire::MAGIC)?;
+        }
+        Ok(client)
+    }
+
+    /// The negotiated protocol.
+    pub fn proto(&self) -> Proto {
+        self.proto
+    }
+
+    /// Outstanding requests (sent or buffered, reply not yet received).
+    pub fn outstanding(&self) -> usize {
+        self.fifo.len() + self.pending.len()
+    }
+
+    /// Buffer one request and return its id. Nothing hits the wire
+    /// until [`Client::flush`] (or the buffer fills); pipelined callers
+    /// send a window of requests and then drain replies with
+    /// [`Client::recv`].
+    ///
+    /// `deadline_ms` sets the per-request deadline (v2: in band,
+    /// covering decode → write on the server; v1: the `deadline_ms`
+    /// field, covering queue wait).
+    ///
+    /// # Errors
+    ///
+    /// Transport failure, or [`Request::Ping`] on a v1 connection.
+    pub fn send(
+        &mut self,
+        request: &Request,
+        deadline_ms: Option<u32>,
+    ) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.proto {
+            Proto::V1 => {
+                let line = encode_v1(request, deadline_ms)?;
+                self.writer.write_all(line.as_bytes())?;
+                self.writer.write_all(b"\n")?;
+                self.fifo.push_back((id, request.opcode()));
+            }
+            Proto::V2 => {
+                let mut frame = Vec::with_capacity(wire::HEADER_LEN + wire::ESTIMATE_REQ_LEN);
+                let payload: Vec<u8> = match request {
+                    Request::Estimate {
+                        spec,
+                        data,
+                        cycles,
+                        seed,
+                    } => wire::encode_estimate_request(&wire::EstimateParams {
+                        spec: *spec,
+                        data: *data,
+                        cycles: *cycles,
+                        seed: *seed,
+                    })
+                    .to_vec(),
+                    Request::Characterize { spec } => {
+                        wire::encode_characterize_request(&wire::CharacterizeParams { spec: *spec })
+                            .to_vec()
+                    }
+                    Request::Stats | Request::Ping => Vec::new(),
+                };
+                wire::encode_frame(
+                    &mut frame,
+                    id,
+                    request.opcode() as u8,
+                    deadline_ms.unwrap_or(0),
+                    &payload,
+                );
+                self.writer.write_all(&frame)?;
+                self.pending.insert(id, request.opcode());
+            }
+        }
+        Ok(id)
+    }
+
+    /// Push buffered requests to the socket.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Block for the next reply. Under v2 this is whichever request the
+    /// server finished first; correlate with [`Reply::id`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failure (including EOF), a reply violating the
+    /// protocol, or no requests outstanding.
+    pub fn recv(&mut self) -> Result<Reply, ClientError> {
+        if self.outstanding() == 0 {
+            return Err(ClientError::Protocol(
+                "recv with nothing outstanding".into(),
+            ));
+        }
+        match self.proto {
+            Proto::V1 => self.recv_v1(),
+            Proto::V2 => self.recv_v2(),
+        }
+    }
+
+    /// Sync mode: send one request, flush, and block for its reply.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::send`] / [`Client::recv`]; also refuses when
+    /// pipelined requests are outstanding (their replies would
+    /// interleave).
+    pub fn call(
+        &mut self,
+        request: &Request,
+        deadline_ms: Option<u32>,
+    ) -> Result<Reply, ClientError> {
+        if self.outstanding() > 0 {
+            return Err(ClientError::Protocol(
+                "call() with pipelined requests outstanding".into(),
+            ));
+        }
+        let id = self.send(request, deadline_ms)?;
+        self.flush()?;
+        let reply = self.recv()?;
+        if reply.id != id {
+            return Err(ClientError::Protocol(format!(
+                "reply id {} does not match request id {id}",
+                reply.id
+            )));
+        }
+        Ok(reply)
+    }
+
+    fn recv_v1(&mut self) -> Result<Reply, ClientError> {
+        let (id, _op) = self.fifo.pop_front().expect("outstanding checked");
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed with replies outstanding",
+            )));
+        }
+        let response = decode_v1(line.trim_end())?;
+        Ok(Reply {
+            id,
+            late: false,
+            response,
+        })
+    }
+
+    fn recv_v2(&mut self) -> Result<Reply, ClientError> {
+        // A pre-negotiation rejection (connection limit) is the one case
+        // where a v2 client sees v1 bytes: a JSON error line. Its first
+        // byte `{` can never begin a frame ≤ MAX_PAYLOAD.
+        let mut first = [0u8; 1];
+        self.reader.read_exact(&mut first)?;
+        if first[0] == b'{' {
+            let mut rest = String::new();
+            self.reader.read_line(&mut rest)?;
+            let response = decode_v1(&format!("{{{}", rest.trim_end()))?;
+            let id = *self.pending.keys().min().expect("outstanding checked");
+            self.pending.remove(&id);
+            return Ok(Reply {
+                id,
+                late: false,
+                response,
+            });
+        }
+        let mut raw = [0u8; wire::HEADER_LEN];
+        raw[0] = first[0];
+        self.reader.read_exact(&mut raw[1..])?;
+        let header = wire::decode_header(&raw);
+        if header.len > wire::MAX_PAYLOAD {
+            return Err(ClientError::Protocol(format!(
+                "reply frame announces {} bytes (max {})",
+                header.len,
+                wire::MAX_PAYLOAD
+            )));
+        }
+        let mut payload = vec![0u8; header.len as usize];
+        self.reader.read_exact(&mut payload)?;
+        let Some(op) = self.pending.remove(&header.id) else {
+            return Err(ClientError::Protocol(format!(
+                "reply for unknown request id {}",
+                header.id
+            )));
+        };
+        let late = header.extra & wire::FLAG_LATE != 0;
+        let response = if header.op == wire::STATUS_OK {
+            decode_v2_ok(op, &payload)?
+        } else {
+            let kind = wire::kind_of(header.op).map_or_else(
+                || format!("status_{}", header.op),
+                |k| k.as_str().to_string(),
+            );
+            Response::Error {
+                kind,
+                message: String::from_utf8_lossy(&payload).into_owned(),
+            }
+        };
+        Ok(Reply {
+            id: header.id,
+            late,
+            response,
+        })
+    }
+}
+
+fn encode_v1(request: &Request, deadline_ms: Option<u32>) -> Result<String, ClientError> {
+    use std::fmt::Write as _;
+    let mut line = String::with_capacity(96);
+    match request {
+        Request::Estimate {
+            spec,
+            data,
+            cycles,
+            seed,
+        } => {
+            write!(
+                line,
+                "{{\"op\":\"estimate\",\"module\":\"{}\"{},\"data\":\"{}\",\"cycles\":{cycles},\"seed\":{seed}",
+                spec.kind,
+                width_fields(spec.width),
+                data.name(),
+            )
+            .expect("write to string");
+        }
+        Request::Characterize { spec } => {
+            write!(
+                line,
+                "{{\"op\":\"characterize\",\"module\":\"{}\"{}",
+                spec.kind,
+                width_fields(spec.width),
+            )
+            .expect("write to string");
+        }
+        Request::Stats => line.push_str("{\"op\":\"stats\""),
+        Request::Ping => return Err(ClientError::Unsupported("ping is v2-only")),
+    }
+    if let Some(ms) = deadline_ms {
+        write!(line, ",\"deadline_ms\":{ms}").expect("write to string");
+    }
+    line.push('}');
+    Ok(line)
+}
+
+fn width_fields(width: ModuleWidth) -> String {
+    match width {
+        ModuleWidth::Uniform(w) => format!(",\"width\":{w}"),
+        ModuleWidth::Rect(m1, m2) => format!(",\"width\":{m1},\"width2\":{m2}"),
+    }
+}
+
+fn decode_v1(line: &str) -> Result<Response, ClientError> {
+    let value: serde_json::Value = serde_json::from_str(line)
+        .map_err(|e| ClientError::Protocol(format!("bad v1 reply JSON: {e}")))?;
+    let ok = value
+        .get("ok")
+        .and_then(serde_json::Value::as_bool)
+        .ok_or_else(|| ClientError::Protocol("v1 reply without `ok`".into()))?;
+    if !ok {
+        let error = value
+            .get("error")
+            .cloned()
+            .unwrap_or(serde_json::Value::Null);
+        return Ok(Response::Error {
+            kind: str_field(&error, "kind").unwrap_or_else(|_| "unknown".into()),
+            message: str_field(&error, "message").unwrap_or_default(),
+        });
+    }
+    match value.get("op").and_then(serde_json::Value::as_str) {
+        Some("estimate") => Ok(Response::Estimate(EstimateAnswer {
+            charge_per_cycle: f64_field(&value, "charge_per_cycle")?,
+            via_average: f64_field(&value, "via_average")?,
+            average_hd: f64_field(&value, "average_hd")?,
+            source: str_field(&value, "source")?,
+        })),
+        Some("characterize") => {
+            Ok(Response::Characterize(CharacterizeAnswer {
+                input_bits: u64_field(&value, "input_bits")? as u32,
+                transitions: u64_field(&value, "transitions")?,
+                converged_after: match value.get("converged_after") {
+                    None | Some(serde_json::Value::Null) => None,
+                    Some(v) => Some(v.as_u64().ok_or_else(|| {
+                        ClientError::Protocol("non-integer converged_after".into())
+                    })?),
+                },
+                source: str_field(&value, "source")?,
+            }))
+        }
+        Some("stats") => Ok(Response::Stats(StatsAnswer {
+            entries: u64_field(&value, "entries")?,
+            capacity: u64_field(&value, "capacity")?,
+            hits: u64_field(&value, "hits")?,
+            misses: u64_field(&value, "misses")?,
+            evictions: u64_field(&value, "evictions")?,
+            disk_hits: u64_field(&value, "disk_hits")?,
+            characterizations: u64_field(&value, "characterizations")?,
+            coalesced: u64_field(&value, "coalesced")?,
+            inflight: u64_field(&value, "inflight")?,
+        })),
+        other => Err(ClientError::Protocol(format!(
+            "v1 reply with unexpected op {other:?}"
+        ))),
+    }
+}
+
+fn decode_v2_ok(op: wire::Opcode, payload: &[u8]) -> Result<Response, ClientError> {
+    match op {
+        wire::Opcode::Estimate => {
+            let reply = wire::decode_estimate_reply(payload).map_err(ClientError::Protocol)?;
+            Ok(Response::Estimate(EstimateAnswer {
+                charge_per_cycle: reply.charge_per_cycle,
+                via_average: reply.via_average,
+                average_hd: reply.average_hd,
+                source: wire::source_str(reply.source)
+                    .ok_or_else(|| {
+                        ClientError::Protocol(format!("unknown source code {}", reply.source))
+                    })?
+                    .to_string(),
+            }))
+        }
+        wire::Opcode::Characterize => {
+            let reply = wire::decode_characterize_reply(payload).map_err(ClientError::Protocol)?;
+            Ok(Response::Characterize(CharacterizeAnswer {
+                input_bits: reply.input_bits,
+                transitions: reply.transitions,
+                converged_after: reply.converged_after,
+                source: wire::source_str(reply.source)
+                    .ok_or_else(|| {
+                        ClientError::Protocol(format!("unknown source code {}", reply.source))
+                    })?
+                    .to_string(),
+            }))
+        }
+        wire::Opcode::Stats => {
+            let reply = wire::decode_stats_reply(payload).map_err(ClientError::Protocol)?;
+            Ok(Response::Stats(StatsAnswer {
+                entries: reply.entries,
+                capacity: reply.capacity,
+                hits: reply.hits,
+                misses: reply.misses,
+                evictions: reply.evictions,
+                disk_hits: reply.disk_hits,
+                characterizations: reply.characterizations,
+                coalesced: reply.coalesced,
+                inflight: reply.inflight,
+            }))
+        }
+        wire::Opcode::Ping => {
+            if payload.is_empty() {
+                Ok(Response::Pong)
+            } else {
+                Err(ClientError::Protocol("non-empty pong payload".into()))
+            }
+        }
+    }
+}
+
+fn f64_field(value: &serde_json::Value, key: &str) -> Result<f64, ClientError> {
+    value
+        .get(key)
+        .and_then(serde_json::Value::as_f64)
+        .ok_or_else(|| ClientError::Protocol(format!("v1 reply missing number `{key}`")))
+}
+
+fn u64_field(value: &serde_json::Value, key: &str) -> Result<u64, ClientError> {
+    value
+        .get(key)
+        .and_then(serde_json::Value::as_u64)
+        .ok_or_else(|| ClientError::Protocol(format!("v1 reply missing integer `{key}`")))
+}
+
+fn str_field(value: &serde_json::Value, key: &str) -> Result<String, ClientError> {
+    value
+        .get(key)
+        .and_then(serde_json::Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ClientError::Protocol(format!("v1 reply missing string `{key}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use hdpm_netlist::{ModuleKind, ModuleSpec, ModuleWidth};
+
+    use super::*;
+
+    #[test]
+    fn v1_estimate_line_decodes_as_a_protocol_request() {
+        let line = encode_v1(
+            &Request::Estimate {
+                spec: ModuleSpec::new(ModuleKind::CsaMultiplier, ModuleWidth::Rect(6, 4)),
+                data: crate::protocol::data_type("speech").expect("known type"),
+                cycles: 1500,
+                seed: 11,
+            },
+            Some(250),
+        )
+        .expect("encodable");
+        let request = crate::protocol::decode(line.as_bytes())
+            .expect("decodes")
+            .expect("not blank");
+        assert_eq!(request.op, "estimate");
+        assert_eq!(request.module.as_deref(), Some("csa_multiplier"));
+        assert_eq!(request.width, Some(6));
+        assert_eq!(request.width2, Some(4));
+        assert_eq!(request.data.as_deref(), Some("speech"));
+        assert_eq!(request.cycles, Some(1500));
+        assert_eq!(request.seed, Some(11));
+        assert_eq!(request.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn v1_characterize_and_stats_lines_decode() {
+        let line = encode_v1(
+            &Request::Characterize {
+                spec: ModuleSpec::new(ModuleKind::RippleAdder, 8),
+            },
+            None,
+        )
+        .expect("encodable");
+        let request = crate::protocol::decode(line.as_bytes())
+            .expect("decodes")
+            .expect("not blank");
+        assert_eq!(request.op, "characterize");
+        assert_eq!(request.width, Some(8));
+        assert_eq!(request.width2, None);
+
+        let line = encode_v1(&Request::Stats, None).expect("encodable");
+        let request = crate::protocol::decode(line.as_bytes())
+            .expect("decodes")
+            .expect("not blank");
+        assert_eq!(request.op, "stats");
+    }
+
+    #[test]
+    fn ping_is_rejected_on_v1() {
+        assert!(matches!(
+            encode_v1(&Request::Ping, None),
+            Err(ClientError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn v1_replies_decode_to_typed_responses() {
+        let estimate = decode_v1(
+            "{\"ok\":true,\"op\":\"estimate\",\"module\":\"ripple_adder_4\",\"data\":\"V (counter)\",\"charge_per_cycle\":67.77,\"via_average\":70.92,\"average_hd\":3.2,\"source\":\"memory\"}",
+        )
+        .expect("decodes");
+        assert!(matches!(
+            estimate,
+            Response::Estimate(EstimateAnswer { ref source, .. }) if source == "memory"
+        ));
+
+        let characterize = decode_v1(
+            "{\"ok\":true,\"op\":\"characterize\",\"module\":\"ripple_adder_4\",\"input_bits\":8,\"transitions\":1496,\"converged_after\":null,\"source\":\"fresh\"}",
+        )
+        .expect("decodes");
+        assert_eq!(
+            characterize,
+            Response::Characterize(CharacterizeAnswer {
+                input_bits: 8,
+                transitions: 1496,
+                converged_after: None,
+                source: "fresh".into(),
+            })
+        );
+
+        let error = decode_v1(
+            "{\"ok\":false,\"error\":{\"kind\":\"timeout\",\"message\":\"deadline exceeded\"}}",
+        )
+        .expect("decodes");
+        assert_eq!(
+            error,
+            Response::Error {
+                kind: "timeout".into(),
+                message: "deadline exceeded".into(),
+            }
+        );
+    }
+}

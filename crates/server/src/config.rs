@@ -1,0 +1,407 @@
+//! Validated server configuration: [`ServerConfig`] and its builder.
+//!
+//! The server used to take a public field-bag struct (`ServerOptions`)
+//! whose nonsense combinations — a zero-depth queue, a deadline longer
+//! than the idle reaper, a zero write timeout — were silently clamped at
+//! start time. [`ServerConfig::builder`] mirrors
+//! `CharacterizationConfig::builder()` in `hdpm-core`: fluent setters
+//! over the defaults, with every invalid combination rejected at
+//! [`ServerConfigBuilder::build`] time as a typed [`ConfigError`] naming
+//! the constraint.
+//!
+//! ```
+//! use hdpm_server::{ConfigError, ServerConfig};
+//! use std::time::Duration;
+//!
+//! let config = ServerConfig::builder()
+//!     .workers(2)
+//!     .queue_depth(512)
+//!     .deadline(Duration::from_secs(5))
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(config.queue_depth, 512);
+//!
+//! assert_eq!(
+//!     ServerConfig::builder().queue_depth(0).build().unwrap_err(),
+//!     ConfigError::ZeroQueueDepth,
+//! );
+//! ```
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use hdpm_core::EngineOptions;
+
+/// A validated server configuration. Construct via
+/// [`ServerConfig::builder`]; the fields are public for reading (the CLI
+/// echoes them back, tests assert on them) but the only way to obtain a
+/// `ServerConfig` is through the builder's validation.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: SocketAddr,
+    /// Worker pool size; 0 resolves to the available parallelism.
+    pub workers: usize,
+    /// Reactor (event-loop) pool size; 0 resolves to a small fixed pool
+    /// derived from the available parallelism (capped at 4). Reactors
+    /// only shuffle bytes, so a handful serves tens of thousands of
+    /// connections.
+    pub reactors: usize,
+    /// Bound of the request queue; pushes beyond it shed with an
+    /// `overloaded` reply.
+    pub queue_depth: usize,
+    /// Server-side per-request deadline; `None` disables the check.
+    /// Requests may tighten (never extend) it in band.
+    pub deadline: Option<Duration>,
+    /// Idle reaping: a connection silent this long is shut.
+    pub idle_timeout: Duration,
+    /// A connection whose peer does not drain its replies within this
+    /// window is disconnected.
+    pub write_timeout: Duration,
+    /// Connection admission bound.
+    pub max_connections: usize,
+    /// Engine shared by the worker pool.
+    pub engine: EngineOptions,
+    /// Admin-plane bind address; `None` runs without one.
+    pub admin_addr: Option<SocketAddr>,
+    /// Per-request tracing (ids echoed in replies, stage timings, flight
+    /// recorder, slow-request log).
+    pub tracing: bool,
+    /// End-to-end latency above which a completed request logs one
+    /// `slow_request` line (tracing only).
+    pub slow_threshold: Duration,
+}
+
+impl ServerConfig {
+    /// A fluent, validating builder starting from the defaults:
+    /// loopback ephemeral port, auto-sized worker and reactor pools,
+    /// queue depth 256, 30 s deadline, 60 s idle reap, 5 s write
+    /// timeout, 256 connections, default engine, no admin plane, tracing
+    /// on with a 250 ms slow-request threshold.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig {
+                addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+                workers: 0,
+                reactors: 0,
+                queue_depth: 256,
+                deadline: Some(Duration::from_secs(30)),
+                idle_timeout: Duration::from_secs(60),
+                write_timeout: Duration::from_secs(5),
+                max_connections: 256,
+                engine: EngineOptions::default(),
+                admin_addr: None,
+                tracing: true,
+                slow_threshold: Duration::from_millis(250),
+            },
+        }
+    }
+}
+
+impl Default for ServerConfig {
+    /// The builder defaults (always valid).
+    fn default() -> Self {
+        ServerConfig::builder().build().expect("defaults are valid")
+    }
+}
+
+/// Why a [`ServerConfigBuilder::build`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `queue_depth == 0`: the server could never admit a request.
+    ZeroQueueDepth,
+    /// `max_connections == 0`: the server could never admit a peer.
+    ZeroMaxConnections,
+    /// A zero idle timeout would reap every connection instantly.
+    ZeroIdleTimeout,
+    /// A zero write timeout would disconnect every reply.
+    ZeroWriteTimeout,
+    /// A zero deadline would time every request out before it ran; use
+    /// [`ServerConfigBuilder::no_deadline`] to disable the check instead.
+    ZeroDeadline,
+    /// The deadline exceeds the idle timeout: the reaper would tear a
+    /// connection down while its one pending request was still within
+    /// deadline. Carries `(deadline, idle_timeout)`.
+    DeadlineExceedsIdleTimeout(Duration, Duration),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroQueueDepth => write!(f, "queue_depth must be at least 1"),
+            ConfigError::ZeroMaxConnections => write!(f, "max_connections must be at least 1"),
+            ConfigError::ZeroIdleTimeout => write!(f, "idle_timeout must be positive"),
+            ConfigError::ZeroWriteTimeout => write!(f, "write_timeout must be positive"),
+            ConfigError::ZeroDeadline => {
+                write!(
+                    f,
+                    "deadline must be positive (use no_deadline() to disable)"
+                )
+            }
+            ConfigError::DeadlineExceedsIdleTimeout(deadline, idle) => write!(
+                f,
+                "deadline ({} ms) exceeds idle_timeout ({} ms): the idle reaper would \
+                 cut connections with requests still within deadline",
+                deadline.as_millis(),
+                idle.as_millis()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fluent builder of [`ServerConfig`], created by
+/// [`ServerConfig::builder`]. Setters override one field each;
+/// [`ServerConfigBuilder::build`] validates the combination.
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Bind address; port 0 picks an ephemeral port.
+    #[must_use]
+    pub fn addr(mut self, addr: SocketAddr) -> Self {
+        self.config.addr = addr;
+        self
+    }
+
+    /// Worker pool size; 0 resolves to the available parallelism.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Reactor pool size; 0 auto-sizes (small, capped at 4).
+    #[must_use]
+    pub fn reactors(mut self, reactors: usize) -> Self {
+        self.config.reactors = reactors;
+        self
+    }
+
+    /// Request queue bound (≥ 1).
+    #[must_use]
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        self.config.queue_depth = queue_depth;
+        self
+    }
+
+    /// Server-side per-request deadline (positive, ≤ idle timeout).
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.config.deadline = Some(deadline);
+        self
+    }
+
+    /// Disable the server-side deadline (in-band request deadlines still
+    /// apply).
+    #[must_use]
+    pub fn no_deadline(mut self) -> Self {
+        self.config.deadline = None;
+        self
+    }
+
+    /// Idle reap window (positive).
+    #[must_use]
+    pub fn idle_timeout(mut self, idle_timeout: Duration) -> Self {
+        self.config.idle_timeout = idle_timeout;
+        self
+    }
+
+    /// Reply-drain window before a slow consumer is cut (positive).
+    #[must_use]
+    pub fn write_timeout(mut self, write_timeout: Duration) -> Self {
+        self.config.write_timeout = write_timeout;
+        self
+    }
+
+    /// Connection admission bound (≥ 1).
+    #[must_use]
+    pub fn max_connections(mut self, max_connections: usize) -> Self {
+        self.config.max_connections = max_connections;
+        self
+    }
+
+    /// Engine options shared by the worker pool.
+    #[must_use]
+    pub fn engine(mut self, engine: EngineOptions) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Serve the admin plane on this address.
+    #[must_use]
+    pub fn admin_addr(mut self, admin_addr: SocketAddr) -> Self {
+        self.config.admin_addr = Some(admin_addr);
+        self
+    }
+
+    /// Toggle per-request tracing.
+    #[must_use]
+    pub fn tracing(mut self, tracing: bool) -> Self {
+        self.config.tracing = tracing;
+        self
+    }
+
+    /// Slow-request log threshold.
+    #[must_use]
+    pub fn slow_threshold(mut self, slow_threshold: Duration) -> Self {
+        self.config.slow_threshold = slow_threshold;
+        self
+    }
+
+    /// Validate the assembled configuration.
+    ///
+    /// # Errors
+    ///
+    /// The first violated constraint, as a [`ConfigError`].
+    pub fn build(self) -> Result<ServerConfig, ConfigError> {
+        let c = self.config;
+        if c.queue_depth == 0 {
+            return Err(ConfigError::ZeroQueueDepth);
+        }
+        if c.max_connections == 0 {
+            return Err(ConfigError::ZeroMaxConnections);
+        }
+        if c.idle_timeout.is_zero() {
+            return Err(ConfigError::ZeroIdleTimeout);
+        }
+        if c.write_timeout.is_zero() {
+            return Err(ConfigError::ZeroWriteTimeout);
+        }
+        if let Some(deadline) = c.deadline {
+            if deadline.is_zero() {
+                return Err(ConfigError::ZeroDeadline);
+            }
+            if deadline > c.idle_timeout {
+                return Err(ConfigError::DeadlineExceedsIdleTimeout(
+                    deadline,
+                    c.idle_timeout,
+                ));
+            }
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build_and_match_documented_values() {
+        let config = ServerConfig::default();
+        assert_eq!(config.queue_depth, 256);
+        assert_eq!(config.deadline, Some(Duration::from_secs(30)));
+        assert_eq!(config.idle_timeout, Duration::from_secs(60));
+        assert_eq!(config.write_timeout, Duration::from_secs(5));
+        assert_eq!(config.max_connections, 256);
+        assert_eq!(config.workers, 0, "auto");
+        assert_eq!(config.reactors, 0, "auto");
+        assert!(config.tracing);
+        assert!(config.admin_addr.is_none());
+    }
+
+    #[test]
+    fn every_setter_lands_on_its_field() {
+        let config = ServerConfig::builder()
+            .addr(SocketAddr::from(([127, 0, 0, 1], 4321)))
+            .workers(3)
+            .reactors(2)
+            .queue_depth(64)
+            .deadline(Duration::from_secs(2))
+            .idle_timeout(Duration::from_secs(10))
+            .write_timeout(Duration::from_secs(1))
+            .max_connections(99)
+            .admin_addr(SocketAddr::from(([127, 0, 0, 1], 4322)))
+            .tracing(false)
+            .slow_threshold(Duration::from_millis(10))
+            .build()
+            .unwrap();
+        assert_eq!(config.addr.port(), 4321);
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.reactors, 2);
+        assert_eq!(config.queue_depth, 64);
+        assert_eq!(config.deadline, Some(Duration::from_secs(2)));
+        assert_eq!(config.idle_timeout, Duration::from_secs(10));
+        assert_eq!(config.write_timeout, Duration::from_secs(1));
+        assert_eq!(config.max_connections, 99);
+        assert_eq!(config.admin_addr.unwrap().port(), 4322);
+        assert!(!config.tracing);
+        assert_eq!(config.slow_threshold, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn nonsense_combinations_are_typed_errors() {
+        assert_eq!(
+            ServerConfig::builder().queue_depth(0).build().unwrap_err(),
+            ConfigError::ZeroQueueDepth
+        );
+        assert_eq!(
+            ServerConfig::builder()
+                .max_connections(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroMaxConnections
+        );
+        assert_eq!(
+            ServerConfig::builder()
+                .idle_timeout(Duration::ZERO)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroIdleTimeout
+        );
+        assert_eq!(
+            ServerConfig::builder()
+                .write_timeout(Duration::ZERO)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroWriteTimeout
+        );
+        assert_eq!(
+            ServerConfig::builder()
+                .deadline(Duration::ZERO)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroDeadline
+        );
+        assert_eq!(
+            ServerConfig::builder()
+                .deadline(Duration::from_secs(120))
+                .build()
+                .unwrap_err(),
+            ConfigError::DeadlineExceedsIdleTimeout(
+                Duration::from_secs(120),
+                Duration::from_secs(60)
+            )
+        );
+    }
+
+    #[test]
+    fn no_deadline_lifts_the_deadline_constraints() {
+        let config = ServerConfig::builder()
+            .no_deadline()
+            .idle_timeout(Duration::from_millis(100))
+            .build()
+            .unwrap();
+        assert_eq!(config.deadline, None);
+    }
+
+    #[test]
+    fn errors_render_actionable_messages() {
+        let message = ConfigError::DeadlineExceedsIdleTimeout(
+            Duration::from_secs(120),
+            Duration::from_secs(60),
+        )
+        .to_string();
+        assert!(message.contains("120000 ms"), "{message}");
+        assert!(message.contains("60000 ms"), "{message}");
+        assert!(ConfigError::ZeroDeadline
+            .to_string()
+            .contains("no_deadline"));
+    }
+}

@@ -314,7 +314,7 @@ fn engine_error(e: impl std::fmt::Display) -> RequestError {
 /// serving thread memoizes it. Identical warm `estimate` requests (the
 /// common monitoring workload) then cost a lookup instead of a refit,
 /// which is what lets the TCP server clear its requests/sec bar.
-fn input_distribution(
+pub(crate) fn input_distribution(
     dt: DataType,
     operands: usize,
     m1: usize,

@@ -1,121 +1,73 @@
-//! The TCP service: accept loop → bounded queue → worker pool, wrapped
+//! The TCP service: reactor pool → bounded queue → worker pool, wrapped
 //! around one shared [`PowerEngine`].
 //!
-//! Threading model:
+//! Threading model (fixed thread count, independent of connection
+//! count):
 //!
 //! * one **accept** thread admits connections (up to
-//!   [`ServerOptions::max_connections`]; beyond that, an `overloaded`
-//!   reply and an immediate close);
-//! * one cheap **reader** thread per connection frames raw lines and
-//!   pushes them into the bounded queue without ever blocking — a full
-//!   queue sheds the request with a structured `overloaded` reply;
+//!   [`ServerConfig::max_connections`]; beyond that, an `overloaded`
+//!   reply and an immediate close) and assigns them round-robin to the
+//!   reactors;
+//! * a **fixed reactor pool** ([`crate::reactor`]) multiplexes every
+//!   connection over epoll: protocol negotiation (v1 JSON lines / v2
+//!   binary frames), framing into the bounded queue, write-side
+//!   drainage, idle reaping and write timeouts. An idle connection
+//!   costs one registered fd, not a thread;
 //! * a **fixed worker pool** drains the queue and executes requests
 //!   against the shared engine, so concurrent misses on one model still
 //!   coalesce through the engine's single-flight path.
 //!
-//! Replies on one connection are written in request order even though
-//! workers complete out of order: every framed line takes a sequence
-//! number and [`Conn::submit`] holds completed replies until their
-//! predecessors are on the wire.
+//! v1 replies on one connection are written in request order even
+//! though workers complete out of order (the per-connection sequencer
+//! lives in [`crate::reactor::ConnOut`]); v2 replies carry request ids
+//! and complete **out of order** — one slow characterization no longer
+//! stalls the pipelined requests behind it.
 //!
-//! Robustness: per-request deadlines (queue wait beyond the limit earns a
-//! `timeout` reply instead of stale work), per-connection idle reaping,
-//! write timeouts that tear down slow readers instead of blocking a
-//! worker forever, and tolerance of malformed or non-UTF-8 lines.
-//! [`Server::shutdown`] drains gracefully: stop accepting, stop reading,
-//! finish every queued request, join the pool, report totals.
+//! Robustness: per-request deadlines (v1: queue wait; v2: in-band,
+//! covering decode → write, with late completions labeled
+//! [`crate::wire::FLAG_LATE`]), idle reaping, write timeouts that cut
+//! slow readers instead of blocking a worker, and tolerance of
+//! malformed input. [`Server::shutdown`] drains gracefully: stop
+//! accepting, stop reading, finish every queued request, flush, join
+//! every pool, report totals.
 //!
 //! # Observability
 //!
-//! When [`ServerOptions::tracing`] is on (the default), every framed
-//! request gets a [`TraceCtx`] at enqueue time that rides the [`Job`]
-//! through the pipeline, accumulating per-stage timings (decode,
-//! queue-wait, cache-lookup, single-flight-wait, characterize, estimate,
-//! serialize, socket-write). The trace id is echoed in the reply as
-//! `"trace":"t…"`; the completed trace lands in the global flight
-//! recorder (served by `/tracez`, dumped on drain) and in the
-//! `server.stage_ns{stage=…}` latency histograms; requests slower than
-//! [`ServerOptions::slow_threshold`] additionally emit one
-//! `{"type":"slow_request",…}` JSON line on stderr. The optional admin
-//! plane ([`ServerOptions::admin_addr`], `crate::admin`) exposes
-//! `/metrics`, `/healthz`, `/readyz` and `/tracez` over HTTP.
+//! When [`ServerConfig::tracing`] is on (the default), every v1 request
+//! (and every v2 batch) gets a [`TraceCtx`] riding the [`Job`] through
+//! the pipeline, accumulating per-stage timings. v1 replies echo the
+//! trace id as `"trace":"t…"`; completed traces land in the flight
+//! recorder (`/tracez`, dumped on drain) and the
+//! `server.stage_ns{stage=…}` histograms; requests slower than
+//! [`ServerConfig::slow_threshold`] emit one `{"type":"slow_request",…}`
+//! line on stderr. The optional admin plane
+//! ([`ServerConfig::admin_addr`], `crate::admin`) serves `/metrics`,
+//! `/healthz`, `/readyz` and `/tracez`. v2 traces are **per batch** (a
+//! read burst of frames shares one trace): ids are already in band, and
+//! per-frame contexts would cost more than the requests they measure.
 
-use std::collections::BTreeMap;
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use hdpm_core::{resolve_threads, EngineOptions, PowerEngine};
+use hdpm_core::{resolve_threads, PowerEngine};
 use hdpm_telemetry as telemetry;
 use hdpm_telemetry::{trace as trace_mod, Stage, TraceCtx};
+use poller::Poller;
 use serde::Serialize;
 
 use crate::admin::AdminServer;
+use crate::config::ServerConfig;
 use crate::protocol::{self, ErrorKind};
 use crate::queue::{Bounded, PushError};
-
-/// Construction options of a [`Server`].
-#[derive(Debug, Clone)]
-pub struct ServerOptions {
-    /// Bind address; port 0 picks an ephemeral port (see
-    /// [`Server::local_addr`]).
-    pub addr: SocketAddr,
-    /// Worker pool size; 0 resolves to the available parallelism.
-    pub workers: usize,
-    /// Bound of the request queue; pushes beyond it shed with an
-    /// `overloaded` reply.
-    pub queue_depth: usize,
-    /// Per-request deadline measured from enqueue; a request popped after
-    /// its deadline earns a `timeout` reply instead of execution. `None`
-    /// disables the check. Requests may tighten (never extend) this with
-    /// their `deadline_ms` field.
-    pub deadline: Option<Duration>,
-    /// Idle reaping: a connection with no traffic for this long is shut.
-    pub idle_timeout: Duration,
-    /// Write timeout per reply; a slower consumer is disconnected rather
-    /// than allowed to block a worker.
-    pub write_timeout: Duration,
-    /// Connection admission bound.
-    pub max_connections: usize,
-    /// Engine shared by the worker pool.
-    pub engine: EngineOptions,
-    /// Admin-plane bind address (`/metrics`, `/healthz`, `/readyz`,
-    /// `/tracez`); `None` runs without one.
-    pub admin_addr: Option<SocketAddr>,
-    /// Per-request tracing: trace ids echoed in replies, per-stage
-    /// timings, the flight recorder and the slow-request log. Off turns
-    /// replies byte-identical to the stdin transport.
-    pub tracing: bool,
-    /// End-to-end latency above which a completed request emits one
-    /// structured `slow_request` JSON line on stderr (tracing only).
-    pub slow_threshold: Duration,
-}
-
-impl Default for ServerOptions {
-    /// Defaults: loopback ephemeral port, all-cores workers, queue depth
-    /// 256, 30 s deadline, 60 s idle reap, 5 s write timeout, 256
-    /// connections, default engine, no admin plane, tracing on with a
-    /// 250 ms slow-request threshold.
-    fn default() -> Self {
-        ServerOptions {
-            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
-            workers: 0,
-            queue_depth: 256,
-            deadline: Some(Duration::from_secs(30)),
-            idle_timeout: Duration::from_secs(60),
-            write_timeout: Duration::from_secs(5),
-            max_connections: 256,
-            engine: EngineOptions::default(),
-            admin_addr: None,
-            tracing: true,
-            slow_threshold: Duration::from_millis(250),
-        }
-    }
-}
+use crate::reactor::{self, ConnOut, Mail, ReactorHandle};
+use crate::wire;
 
 /// Totals accumulated over a server's lifetime, returned by
 /// [`Server::shutdown`].
@@ -123,7 +75,7 @@ impl Default for ServerOptions {
 pub struct DrainReport {
     /// Connections accepted.
     pub connections: u64,
-    /// Requests answered `ok:true`.
+    /// Requests answered ok (v1 `ok:true` lines and v2 ok frames).
     pub ok: u64,
     /// Requests answered with a structured error (malformed, bad
     /// request, engine failure).
@@ -131,7 +83,8 @@ pub struct DrainReport {
     /// Requests shed with `overloaded` (queue full, draining, or the
     /// connection limit).
     pub shed: u64,
-    /// Requests expired in the queue and answered with `timeout`.
+    /// Requests answered with `timeout` (v1: expired in the queue; v2:
+    /// in-band deadline expired before execution).
     pub timeouts: u64,
 }
 
@@ -156,28 +109,58 @@ impl Totals {
     }
 }
 
-/// One framed request line awaiting a worker.
-struct Job {
+/// One reference into a [`V2Batch`]'s data: a single frame.
+pub(crate) struct FrameRef {
+    /// Request id, echoed in the reply.
+    pub(crate) id: u64,
+    /// Raw opcode byte (validated at execution).
+    pub(crate) op: u8,
+    /// In-band deadline in ms (0 = none).
+    pub(crate) deadline_ms: u32,
+    /// Payload byte range within the batch data.
+    pub(crate) payload: (usize, usize),
+}
+
+/// One framed v1 request line awaiting a worker.
+pub(crate) struct V1Job {
     seq: u64,
     raw: Vec<u8>,
-    conn: Arc<Conn>,
+    out: Arc<ConnOut>,
     enqueued: Instant,
     trace: TraceCtx,
 }
 
-/// Everything needed to close out a request's trace once its reply is on
-/// the wire (or abandoned): the completed context, what the request was,
-/// and how it ended. Created by the worker, consumed by the writer side
-/// so the socket-write stage covers sequencer hold + the actual write.
-struct TraceFinish {
+/// One read burst of v2 frames awaiting a worker. Batching amortizes
+/// the queue handoff and the reply write across every frame the socket
+/// delivered together — the main lever behind the v2 throughput bar.
+pub(crate) struct V2Batch {
+    data: Vec<u8>,
+    frames: Vec<FrameRef>,
+    out: Arc<ConnOut>,
+    enqueued: Instant,
     trace: TraceCtx,
-    op: String,
-    detail: String,
-    status: String,
-    slow_threshold: Duration,
+}
+
+/// A unit of queued work.
+pub(crate) enum Job {
+    V1(V1Job),
+    V2(V2Batch),
+}
+
+/// Everything needed to close out a request's trace once its reply is
+/// on the wire (or abandoned): the completed context, what the request
+/// was, and how it ended. Created by the worker, consumed by the writer
+/// side so the socket-write stage covers sequencer hold + the actual
+/// write.
+pub(crate) struct TraceFinish {
+    pub(crate) trace: TraceCtx,
+    pub(crate) op: String,
+    pub(crate) detail: String,
+    pub(crate) status: String,
+    pub(crate) slow_threshold: Duration,
     /// [`telemetry::clock::now_ns`] when the worker handed the reply to
-    /// the sequencer.
-    submitted_ns: u64,
+    /// the write side.
+    pub(crate) submitted_ns: u64,
 }
 
 /// Canonical metric keys of the `server.stage_ns{stage=…}` series,
@@ -198,7 +181,7 @@ impl TraceFinish {
     /// Record the socket-write stage, file the trace with the flight
     /// recorder and the stage histograms, and emit the slow-request log
     /// line if the end-to-end time crossed the threshold.
-    fn complete(mut self, wrote: bool) {
+    pub(crate) fn complete(mut self, wrote: bool) {
         if wrote {
             self.trace.add(
                 Stage::SocketWrite,
@@ -231,127 +214,13 @@ impl TraceFinish {
     }
 }
 
-/// A reply line plus the trace bookkeeping owed once it is written.
-struct Reply {
-    line: String,
-    finish: Option<Box<TraceFinish>>,
+/// A v1 reply line plus the trace bookkeeping owed once it is written.
+pub(crate) struct Reply {
+    pub(crate) line: String,
+    pub(crate) finish: Option<Box<TraceFinish>>,
 }
 
-/// The write side of a connection plus the reply sequencer. Workers
-/// complete jobs out of order; `submit` reorders replies by sequence
-/// number before they reach the socket.
-struct Conn {
-    alive: AtomicBool,
-    out: Mutex<OutState>,
-}
-
-struct OutState {
-    stream: Option<TcpStream>,
-    /// Sequence number the wire is waiting for next.
-    next: u64,
-    /// Completed replies with earlier gaps still outstanding. `None`
-    /// marks a sequence slot that produces no output.
-    pending: BTreeMap<u64, Option<Reply>>,
-}
-
-impl Conn {
-    fn new(write_half: TcpStream) -> Self {
-        Conn {
-            alive: AtomicBool::new(true),
-            out: Mutex::new(OutState {
-                stream: Some(write_half),
-                next: 0,
-                pending: BTreeMap::new(),
-            }),
-        }
-    }
-
-    fn is_alive(&self) -> bool {
-        self.alive.load(Ordering::Relaxed)
-    }
-
-    /// Tear the connection down: wake any blocked peer I/O and drop the
-    /// write half so queued work for it becomes a no-op.
-    fn kill(&self) {
-        self.alive.store(false, Ordering::Relaxed);
-        let mut out = self.out.lock().expect("conn lock");
-        if let Some(stream) = out.stream.take() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        out.pending.clear();
-    }
-
-    /// Hand in the reply for sequence `seq` (`None` = no output owed) and
-    /// flush every consecutively-ready reply to the wire. A write failure
-    /// (timeout included) kills the connection. Trace bookkeeping for
-    /// flushed replies runs after the connection lock is released.
-    fn submit(&self, seq: u64, reply: Option<Reply>) {
-        // One reply flushes per submit in the common case; the spill Vec
-        // only allocates when out-of-order completions batch up.
-        let mut first: Option<Box<TraceFinish>> = None;
-        let mut rest: Vec<Box<TraceFinish>> = Vec::new();
-        let mut finish_later = |finish: Box<TraceFinish>| {
-            if first.is_none() {
-                first = Some(finish);
-            } else {
-                rest.push(finish);
-            }
-        };
-        let mut out = self.out.lock().expect("conn lock");
-        out.pending.insert(seq, reply);
-        loop {
-            let next = out.next;
-            let Some(ready) = out.pending.remove(&next) else {
-                break;
-            };
-            out.next += 1;
-            let Some(reply) = ready else { continue };
-            let Some(stream) = out.stream.as_mut() else {
-                if let Some(finish) = reply.finish {
-                    finish_later(finish);
-                }
-                continue;
-            };
-            let wrote = stream
-                .write_all(reply.line.as_bytes())
-                .and_then(|()| stream.write_all(b"\n"));
-            match wrote {
-                Ok(()) => {
-                    if let Some(finish) = reply.finish {
-                        finish_later(finish);
-                    }
-                }
-                Err(e) => {
-                    telemetry::counter_add("server.conn.write_failed", 1);
-                    telemetry::event(
-                        telemetry::Level::Warn,
-                        "server.conn.write_failed",
-                        &[("error", e.to_string().into())],
-                    );
-                    self.alive.store(false, Ordering::Relaxed);
-                    if let Some(stream) = out.stream.take() {
-                        let _ = stream.shutdown(Shutdown::Both);
-                    }
-                    out.pending.clear();
-                    if let Some(mut finish) = reply.finish {
-                        finish.status = "write_failed".into();
-                        finish_later(finish);
-                    }
-                    break;
-                }
-            }
-        }
-        drop(out);
-        if let Some(finish) = first {
-            finish.complete(true);
-        }
-        for finish in rest {
-            finish.complete(true);
-        }
-    }
-}
-
-/// Outcome of processing one job, before the reply reaches the wire.
+/// Outcome of processing one v1 job, before the reply reaches the wire.
 struct Outcome {
     line: String,
     op: String,
@@ -363,13 +232,14 @@ pub(crate) struct Shared {
     engine: PowerEngine,
     queue: Bounded<Job>,
     draining: AtomicBool,
+    /// Workers joined; reactors flush what remains and exit.
+    finished: AtomicBool,
+    /// Reactors that muted their read interests for the drain.
+    drain_acks: AtomicUsize,
     connections: AtomicUsize,
     totals: Totals,
     deadline: Option<Duration>,
     idle_timeout: Duration,
-    /// Socket read timeout: the reader's poll interval for the draining
-    /// flag and the idle clock, capped well below `idle_timeout`.
-    read_poll: Duration,
     write_timeout: Duration,
     max_connections: usize,
     tracing: bool,
@@ -379,8 +249,28 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    fn draining(&self) -> bool {
+    pub(crate) fn draining(&self) -> bool {
         self.draining.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn finished(&self) -> bool {
+        self.finished.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn ack_drain(&self) {
+        self.drain_acks.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn idle_timeout(&self) -> Duration {
+        self.idle_timeout
+    }
+
+    pub(crate) fn write_timeout(&self) -> Duration {
+        self.write_timeout
+    }
+
+    pub(crate) fn release_connection(&self) {
+        self.connections.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// A fresh trace context when tracing is on, an inert one otherwise.
@@ -421,10 +311,10 @@ impl Shared {
         }
     }
 
-    /// Frame one raw line into the queue, shedding with a structured
+    /// Frame one raw v1 line into the queue, shedding with a structured
     /// reply when the queue refuses it. Blank lines are skipped without
     /// consuming a sequence number (no reply is owed for them).
-    fn enqueue(&self, conn: &Arc<Conn>, next_seq: &mut u64, raw: Vec<u8>) {
+    pub(crate) fn enqueue_v1(&self, out: &Arc<ConnOut>, next_seq: &mut u64, raw: Vec<u8>) {
         if protocol::trim_line(&raw)
             .iter()
             .all(u8::is_ascii_whitespace)
@@ -433,16 +323,17 @@ impl Shared {
         }
         let seq = *next_seq;
         *next_seq += 1;
-        let job = Job {
+        out.begin_job();
+        let job = V1Job {
             seq,
             raw,
-            conn: Arc::clone(conn),
+            out: Arc::clone(out),
             enqueued: Instant::now(),
             trace: self.new_trace(),
         };
-        match self.queue.try_push(job) {
+        match self.queue.try_push(Job::V1(job)) {
             Ok(depth) => telemetry::gauge_set("server.queue.depth", depth as f64),
-            Err(PushError::Full(job)) => {
+            Err(PushError::Full(Job::V1(job))) => {
                 self.totals.shed.fetch_add(1, Ordering::Relaxed);
                 telemetry::counter_add("server.queue.shed_full", 1);
                 let reply = self.error_reply(
@@ -454,9 +345,10 @@ impl Shared {
                     ),
                     String::new(),
                 );
-                job.conn.submit(job.seq, Some(reply));
+                job.out.submit_v1(job.seq, Some(reply));
+                job.out.finish_job();
             }
-            Err(PushError::Closed(job)) => {
+            Err(PushError::Closed(Job::V1(job))) => {
                 self.totals.shed.fetch_add(1, Ordering::Relaxed);
                 telemetry::counter_add("server.queue.shed_draining", 1);
                 let reply = self.error_reply(
@@ -465,17 +357,70 @@ impl Shared {
                     "server draining: request shed",
                     String::new(),
                 );
-                job.conn.submit(job.seq, Some(reply));
+                job.out.submit_v1(job.seq, Some(reply));
+                job.out.finish_job();
             }
+            Err(_) => unreachable!("push errors return the pushed job"),
         }
     }
 
-    /// Execute one job: decode, enforce the deadline, run the op, render
-    /// the reply (trace id attached when tracing). Returns `None` when no
-    /// output is owed (blank line). Per-stage timings accumulate into the
-    /// job's trace; `server.request_ns` keeps measuring processing time
-    /// only (decode → render), as before.
-    fn process(&self, job: &mut Job, waited: Duration) -> Option<Outcome> {
+    /// Frame one batch of v2 frames into the queue, answering every
+    /// frame with an `overloaded` error frame when the queue refuses
+    /// the batch.
+    pub(crate) fn enqueue_v2(&self, out: &Arc<ConnOut>, data: Vec<u8>, frames: Vec<FrameRef>) {
+        out.begin_job();
+        let batch = V2Batch {
+            data,
+            frames,
+            out: Arc::clone(out),
+            enqueued: Instant::now(),
+            trace: self.new_trace(),
+        };
+        match self.queue.try_push(Job::V2(batch)) {
+            Ok(depth) => telemetry::gauge_set("server.queue.depth", depth as f64),
+            Err(PushError::Full(Job::V2(batch))) => {
+                telemetry::counter_add("server.queue.shed_full", 1);
+                self.shed_batch(
+                    &batch,
+                    &format!(
+                        "queue full ({} batches queued): request shed",
+                        self.queue.capacity()
+                    ),
+                );
+            }
+            Err(PushError::Closed(Job::V2(batch))) => {
+                telemetry::counter_add("server.queue.shed_draining", 1);
+                self.shed_batch(&batch, "server draining: request shed");
+            }
+            Err(_) => unreachable!("push errors return the pushed job"),
+        }
+    }
+
+    fn shed_batch(&self, batch: &V2Batch, message: &str) {
+        self.totals
+            .shed
+            .fetch_add(batch.frames.len() as u64, Ordering::Relaxed);
+        let mut replies =
+            Vec::with_capacity(batch.frames.len() * (wire::HEADER_LEN + message.len()));
+        for frame in &batch.frames {
+            wire::encode_frame(
+                &mut replies,
+                frame.id,
+                wire::status_of(ErrorKind::Overloaded),
+                0,
+                message.as_bytes(),
+            );
+        }
+        batch.out.send(&replies);
+        batch.out.finish_job();
+    }
+
+    /// Execute one v1 job: decode, enforce the deadline, run the op,
+    /// render the reply (trace id attached when tracing). Returns `None`
+    /// when no output is owed (blank line). Per-stage timings accumulate
+    /// into the job's trace; `server.request_ns` keeps measuring
+    /// processing time only (decode → render), as before.
+    fn process_v1(&self, job: &mut V1Job, waited: Duration) -> Option<Outcome> {
         let started = Instant::now();
         let trace = &mut job.trace;
         let decoded = trace.time(Stage::Decode, || {
@@ -545,7 +490,7 @@ impl Shared {
         })
     }
 
-    /// Render a structured error outcome (trace id attached when
+    /// Render a structured v1 error outcome (trace id attached when
     /// tracing), accounting its render time to the serialize stage and
     /// closing out `server.request_ns`.
     fn render_error(
@@ -626,53 +571,74 @@ pub struct Server {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
+    reactor_handles: Vec<Arc<ReactorHandle>>,
     admin: Option<AdminServer>,
 }
 
 impl Server {
-    /// Bind, spawn the accept loop, the worker pool and (when configured)
-    /// the admin-plane listener, and return the running server. Turns on
-    /// background metric recording ([`telemetry::set_recording`]) so the
-    /// admin plane scrapes live data regardless of the output mode.
+    /// Bind, spawn the accept loop, the reactor pool, the worker pool
+    /// and (when configured) the admin-plane listener, and return the
+    /// running server. Turns on background metric recording
+    /// ([`telemetry::set_recording`]) so the admin plane scrapes live
+    /// data regardless of the output mode.
     ///
     /// # Errors
     ///
-    /// Binding or thread spawning failures (either listener).
-    pub fn start(options: ServerOptions) -> io::Result<Server> {
+    /// Binding or thread spawning failures (either listener), or an
+    /// unsupported platform (the reactor needs epoll; Linux only).
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
         telemetry::set_recording(true);
-        let listener = TcpListener::bind(options.addr)?;
+        let listener = TcpListener::bind(config.addr)?;
         let addr = listener.local_addr()?;
-        let workers = resolve_threads(options.workers);
-        let store_root = options.engine.disk_root.clone();
+        let worker_count = resolve_threads(config.workers);
+        let reactor_count = if config.reactors == 0 {
+            resolve_threads(0).clamp(1, 4)
+        } else {
+            config.reactors
+        };
+        let store_root = config.engine.disk_root.clone();
         let shared = Arc::new(Shared {
-            engine: PowerEngine::new(options.engine),
-            queue: Bounded::new(options.queue_depth),
+            engine: PowerEngine::new(config.engine),
+            queue: Bounded::new(config.queue_depth),
             draining: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+            drain_acks: AtomicUsize::new(0),
             connections: AtomicUsize::new(0),
             totals: Totals::default(),
-            deadline: options.deadline,
-            idle_timeout: options.idle_timeout.max(Duration::from_millis(1)),
-            read_poll: options
-                .idle_timeout
-                .max(Duration::from_millis(1))
-                .min(Duration::from_millis(250)),
-            write_timeout: options.write_timeout.max(Duration::from_millis(1)),
-            max_connections: options.max_connections.max(1),
-            tracing: options.tracing,
-            slow_threshold: options.slow_threshold.max(Duration::from_nanos(1)),
+            deadline: config.deadline,
+            idle_timeout: config.idle_timeout,
+            write_timeout: config.write_timeout,
+            max_connections: config.max_connections,
+            tracing: config.tracing,
+            slow_threshold: config.slow_threshold.max(Duration::from_nanos(1)),
             store_root,
         });
-        let admin = options
+        let admin = config
             .admin_addr
             .map(|admin_addr| AdminServer::start(admin_addr, Arc::clone(&shared)))
             .transpose()?;
+        let mut reactor_handles = Vec::with_capacity(reactor_count);
+        let mut reactors = Vec::with_capacity(reactor_count);
+        for i in 0..reactor_count {
+            let poller = Poller::new()?;
+            let handle = Arc::new(ReactorHandle::new(&poller)?);
+            reactor_handles.push(Arc::clone(&handle));
+            let shared = Arc::clone(&shared);
+            reactors.push(
+                std::thread::Builder::new()
+                    .name(format!("hdpm-reactor-{i}"))
+                    .spawn(move || reactor::run_reactor(&shared, &handle, &poller))?,
+            );
+        }
         let accept = {
             let shared = Arc::clone(&shared);
+            let handles = reactor_handles.clone();
             std::thread::Builder::new()
                 .name("hdpm-accept".into())
-                .spawn(move || run_accept(&shared, &listener))?
+                .spawn(move || run_accept(&shared, &listener, &handles))?
         };
-        let workers = (0..workers)
+        let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -693,6 +659,7 @@ impl Server {
                         .into(),
                 ),
                 ("workers", workers.len().into()),
+                ("reactors", reactors.len().into()),
                 ("queue_depth", shared.queue.capacity().into()),
                 ("tracing", shared.tracing.into()),
             ],
@@ -702,6 +669,8 @@ impl Server {
             addr,
             accept: Some(accept),
             workers,
+            reactors,
+            reactor_handles,
             admin,
         })
     }
@@ -721,18 +690,22 @@ impl Server {
         &self.shared.engine
     }
 
-    /// Gracefully drain: stop accepting, stop reading, answer everything
-    /// already queued, join the worker pool, and report lifetime totals.
-    /// In-flight characterizations run to completion — their replies are
-    /// on the wire before this returns. The admin plane keeps serving
-    /// through the drain (`/readyz` reports 503) and stops last.
+    /// Gracefully drain: stop accepting, stop reading, answer
+    /// everything already queued, flush, join every pool, and report
+    /// lifetime totals. In-flight characterizations run to completion —
+    /// their replies are on the wire before this returns. The admin
+    /// plane keeps serving through the drain (`/readyz` reports 503)
+    /// and stops last.
     pub fn shutdown(mut self) -> DrainReport {
         self.begin_drain();
-        // Readers poll the draining flag at `read_poll` granularity; give
-        // them a generous window to stop framing before the queue closes.
+        // Reactors ack the drain (reads muted) within one poll tick;
+        // only then may the queue close, or late-parsed requests would
+        // shed instead of being answered.
         let patience = Instant::now() + Duration::from_secs(5);
-        while self.shared.connections.load(Ordering::Relaxed) > 0 && Instant::now() < patience {
-            std::thread::sleep(Duration::from_millis(5));
+        while self.shared.drain_acks.load(Ordering::SeqCst) < self.reactor_handles.len()
+            && Instant::now() < patience
+        {
+            std::thread::sleep(Duration::from_millis(2));
         }
         self.shared.queue.close();
         if let Some(accept) = self.accept.take() {
@@ -740,6 +713,15 @@ impl Server {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // Workers are done writing; let the reactors flush the last
+        // buffered bytes (bounded by the write timeout) and exit.
+        self.shared.finished.store(true, Ordering::SeqCst);
+        for handle in &self.reactor_handles {
+            handle.wake();
+        }
+        for reactor in self.reactors.drain(..) {
+            let _ = reactor.join();
         }
         if let Some(admin) = self.admin.take() {
             admin.stop();
@@ -760,21 +742,28 @@ impl Server {
     }
 
     fn begin_drain(&self) {
-        self.shared.draining.store(true, Ordering::Relaxed);
+        self.shared.draining.store(true, Ordering::SeqCst);
         // Wake the accept loop so it observes the flag.
         let _ = TcpStream::connect(self.addr);
+        for handle in &self.reactor_handles {
+            handle.wake();
+        }
     }
 }
 
 impl Drop for Server {
     /// A dropped (not shut down) server still releases its threads:
-    /// accept, workers and the admin plane are told to exit, but nothing
-    /// is joined and no drain guarantee is made — call
+    /// accept, reactors, workers and the admin plane are told to exit,
+    /// but nothing is joined and no drain guarantee is made — call
     /// [`Server::shutdown`] for that.
     fn drop(&mut self) {
         if self.accept.is_some() {
             self.begin_drain();
             self.shared.queue.close();
+            self.shared.finished.store(true, Ordering::SeqCst);
+            for handle in &self.reactor_handles {
+                handle.wake();
+            }
         }
         if let Some(admin) = self.admin.take() {
             admin.stop();
@@ -782,7 +771,12 @@ impl Drop for Server {
     }
 }
 
-fn run_accept(shared: &Arc<Shared>, listener: &TcpListener) {
+/// Global connection-token allocator (tokens are epoll registration
+/// keys; `u64::MAX` is reserved for the reactor wakers).
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(0);
+
+fn run_accept(shared: &Arc<Shared>, listener: &TcpListener, reactors: &[Arc<ReactorHandle>]) {
+    let mut next_reactor = 0usize;
     for incoming in listener.incoming() {
         if shared.draining() {
             break;
@@ -791,6 +785,9 @@ fn run_accept(shared: &Arc<Shared>, listener: &TcpListener) {
         if shared.connections.load(Ordering::Relaxed) >= shared.max_connections {
             telemetry::counter_add("server.conn.rejected", 1);
             shared.totals.shed.fetch_add(1, Ordering::Relaxed);
+            // The reject races protocol negotiation, so it is always the
+            // v1 JSON line; v2 clients recognize the non-NUL first byte
+            // as a pre-negotiation rejection (docs/protocol.md).
             let mut stream = stream;
             let _ = stream.set_write_timeout(Some(shared.write_timeout));
             let reject = protocol::error_line(
@@ -804,115 +801,284 @@ fn run_accept(shared: &Arc<Shared>, listener: &TcpListener) {
             let _ = stream.write_all(b"\n");
             continue; // dropped: closed
         }
-        let Ok(write_half) = stream.try_clone() else {
-            continue;
-        };
         let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(shared.read_poll));
-        let _ = write_half.set_write_timeout(Some(shared.write_timeout));
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
         shared.connections.fetch_add(1, Ordering::Relaxed);
         shared.totals.connections.fetch_add(1, Ordering::Relaxed);
         telemetry::counter_add("server.conn.accepted", 1);
-        let conn = Arc::new(Conn::new(write_half));
-        let reader_shared = Arc::clone(shared);
-        let reader_conn = Arc::clone(&conn);
-        let spawned = std::thread::Builder::new()
-            .name("hdpm-conn".into())
-            .spawn(move || run_reader(&reader_shared, &reader_conn, stream));
-        if spawned.is_err() {
-            // Reader never ran: release the slot it reserved.
-            shared.connections.fetch_sub(1, Ordering::Relaxed);
-            conn.kill();
-        }
+        let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+        let stream = Arc::new(stream);
+        let handle = Arc::clone(&reactors[next_reactor % reactors.len()]);
+        next_reactor = next_reactor.wrapping_add(1);
+        let out = Arc::new(ConnOut::new(
+            token,
+            Arc::clone(&stream),
+            Arc::clone(&handle),
+        ));
+        handle.post(Mail::Register { stream, out });
     }
-}
-
-/// Frame lines off one connection into the queue until EOF, error, idle
-/// expiry, teardown or drain.
-fn run_reader(shared: &Arc<Shared>, conn: &Arc<Conn>, stream: TcpStream) {
-    let mut reader = BufReader::new(stream);
-    let mut raw: Vec<u8> = Vec::new();
-    let mut last_activity = Instant::now();
-    let mut next_seq = 0u64;
-    loop {
-        if shared.draining() || !conn.is_alive() {
-            break;
-        }
-        match reader.read_until(b'\n', &mut raw) {
-            Ok(0) => {
-                // EOF; a final unterminated line still deserves a reply.
-                if !raw.is_empty() {
-                    shared.enqueue(conn, &mut next_seq, std::mem::take(&mut raw));
-                }
-                break;
-            }
-            Ok(_) => {
-                if raw.last() == Some(&b'\n') {
-                    shared.enqueue(conn, &mut next_seq, std::mem::take(&mut raw));
-                    last_activity = Instant::now();
-                }
-                // else: delimiter-less read = EOF; the next iteration
-                // returns Ok(0) and flushes `raw`.
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                // Poll tick: partial bytes (if any) stay in `raw`.
-                if last_activity.elapsed() >= shared.idle_timeout {
-                    telemetry::counter_add("server.conn.reaped", 1);
-                    conn.kill();
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-    shared.connections.fetch_sub(1, Ordering::Relaxed);
 }
 
 fn run_worker(shared: &Arc<Shared>) {
-    while let Some(mut job) = shared.queue.pop() {
+    while let Some(job) = shared.queue.pop() {
         telemetry::gauge_set("server.queue.depth", shared.queue.len() as f64);
-        let waited = job.enqueued.elapsed();
-        let waited_ns = waited.as_nanos() as u64;
-        telemetry::record_duration_ns("server.queue.wait_ns", waited_ns);
-        job.trace.add(Stage::QueueWait, waited_ns);
-        if job.conn.is_alive() {
-            let outcome = shared.process(&mut job, waited);
-            let reply = outcome.map(|outcome| Reply {
-                finish: job.trace.is_enabled().then(|| {
-                    Box::new(TraceFinish {
-                        trace: job.trace.clone(),
-                        op: outcome.op,
-                        detail: outcome.detail,
-                        status: outcome.status,
-                        slow_threshold: shared.slow_threshold,
-                        submitted_ns: telemetry::clock::now_ns(),
-                    })
-                }),
-                line: outcome.line,
-            });
-            job.conn.submit(job.seq, reply);
-        } else {
-            // Dead connection: advance the sequencer, write nothing, but
-            // still file the trace so the flight recorder sees the drop.
-            if job.trace.is_enabled() {
-                TraceFinish {
-                    trace: job.trace.clone(),
-                    op: String::new(),
-                    detail: String::new(),
-                    status: "dropped".to_string(),
-                    slow_threshold: shared.slow_threshold,
-                    submitted_ns: telemetry::clock::now_ns(),
+        match job {
+            Job::V1(mut job) => {
+                let waited = job.enqueued.elapsed();
+                let waited_ns = waited.as_nanos() as u64;
+                telemetry::record_duration_ns("server.queue.wait_ns", waited_ns);
+                job.trace.add(Stage::QueueWait, waited_ns);
+                if job.out.is_alive() {
+                    let outcome = shared.process_v1(&mut job, waited);
+                    let reply = outcome.map(|outcome| Reply {
+                        finish: job.trace.is_enabled().then(|| {
+                            Box::new(TraceFinish {
+                                trace: job.trace.clone(),
+                                op: outcome.op,
+                                detail: outcome.detail,
+                                status: outcome.status,
+                                slow_threshold: shared.slow_threshold,
+                                submitted_ns: telemetry::clock::now_ns(),
+                            })
+                        }),
+                        line: outcome.line,
+                    });
+                    job.out.submit_v1(job.seq, reply);
+                } else {
+                    // Dead connection: advance the sequencer, write
+                    // nothing, but still file the trace so the flight
+                    // recorder sees the drop.
+                    if job.trace.is_enabled() {
+                        TraceFinish {
+                            trace: job.trace.clone(),
+                            op: String::new(),
+                            detail: String::new(),
+                            status: "dropped".to_string(),
+                            slow_threshold: shared.slow_threshold,
+                            submitted_ns: telemetry::clock::now_ns(),
+                        }
+                        .complete(false);
+                    }
+                    job.out.submit_v1(job.seq, None);
                 }
-                .complete(false);
+                job.out.finish_job();
             }
-            job.conn.submit(job.seq, None);
+            Job::V2(mut batch) => {
+                run_batch(shared, &mut batch);
+                batch.out.finish_job();
+            }
         }
     }
+}
+
+/// Execute one v2 batch: every frame in arrival order, replies encoded
+/// into one buffer and written with one send. Frames across batches
+/// (and connections) complete out of order; the ids sort it out client
+/// side.
+fn run_batch(shared: &Arc<Shared>, batch: &mut V2Batch) {
+    let waited = batch.enqueued.elapsed();
+    let waited_ns = waited.as_nanos() as u64;
+    telemetry::record_duration_ns("server.queue.wait_ns", waited_ns);
+    batch.trace.add(Stage::QueueWait, waited_ns);
+    if !batch.out.is_alive() {
+        if batch.trace.is_enabled() {
+            TraceFinish {
+                trace: batch.trace.clone(),
+                op: "batch".to_string(),
+                detail: format!("frames/{}", batch.frames.len()),
+                status: "dropped".to_string(),
+                slow_threshold: shared.slow_threshold,
+                submitted_ns: telemetry::clock::now_ns(),
+            }
+            .complete(false);
+        }
+        return;
+    }
+    let started = Instant::now();
+    let mut replies: Vec<u8> =
+        Vec::with_capacity(batch.frames.len() * (wire::HEADER_LEN + wire::ESTIMATE_REPLY_LEN));
+    for frame in &batch.frames {
+        execute_frame(
+            shared,
+            frame,
+            &batch.data,
+            batch.enqueued,
+            &mut batch.trace,
+            &mut replies,
+        );
+    }
+    telemetry::record_duration_ns("server.request_ns", started.elapsed().as_nanos() as u64);
+    let submitted_ns = telemetry::clock::now_ns();
+    batch.out.send(&replies);
+    if batch.trace.is_enabled() {
+        TraceFinish {
+            trace: batch.trace.clone(),
+            op: "batch".to_string(),
+            detail: format!("frames/{}", batch.frames.len()),
+            status: "ok".to_string(),
+            slow_threshold: shared.slow_threshold,
+            submitted_ns,
+        }
+        .complete(true);
+    }
+}
+
+/// Execute one v2 frame and append its reply frame to `replies`.
+///
+/// Deadline semantics (documented in docs/protocol.md): the effective
+/// limit is the tighter of the in-band `deadline_ms` and the server
+/// deadline, measured from the moment the frame was read off the
+/// socket. A frame already past its limit is answered with a `timeout`
+/// status without executing; a frame whose limit expires **during**
+/// execution is still answered in full, late-but-labeled with
+/// [`wire::FLAG_LATE`] — the work is done, discarding it helps nobody,
+/// and the flag lets the client decide.
+fn execute_frame(
+    shared: &Arc<Shared>,
+    frame: &FrameRef,
+    data: &[u8],
+    enqueued: Instant,
+    trace: &mut TraceCtx,
+    replies: &mut Vec<u8>,
+) {
+    let payload = &data[frame.payload.0..frame.payload.1];
+    let requested =
+        (frame.deadline_ms > 0).then(|| Duration::from_millis(u64::from(frame.deadline_ms)));
+    let limit = match (shared.deadline, requested) {
+        (Some(server), Some(frame)) => Some(server.min(frame)),
+        (Some(server), None) => Some(server),
+        (None, frame) => frame,
+    };
+    if let Some(limit) = limit {
+        let waited = enqueued.elapsed();
+        if waited > limit {
+            shared.totals.timeouts.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add("server.queue.timeout", 1);
+            let message = format!(
+                "deadline exceeded: {} ms since arrival, limit {} ms",
+                waited.as_millis(),
+                limit.as_millis()
+            );
+            wire::encode_frame(
+                replies,
+                frame.id,
+                wire::status_of(ErrorKind::Timeout),
+                0,
+                message.as_bytes(),
+            );
+            return;
+        }
+    }
+    let result = match wire::Opcode::from_u8(frame.op) {
+        Some(wire::Opcode::Estimate) => exec_estimate(shared, payload, trace),
+        Some(wire::Opcode::Characterize) => exec_characterize(shared, payload, trace),
+        Some(wire::Opcode::Stats) => Ok(wire::encode_stats_reply(&shared.engine.stats()).to_vec()),
+        Some(wire::Opcode::Ping) => Ok(Vec::new()),
+        None => Err((
+            ErrorKind::BadRequest,
+            format!("unknown opcode {}", frame.op),
+        )),
+    };
+    // Late-but-labeled: re-check the limit after execution and set the
+    // flag instead of discarding finished work.
+    let flags = match limit {
+        Some(limit) if enqueued.elapsed() > limit => wire::FLAG_LATE,
+        _ => 0,
+    };
+    match result {
+        Ok(payload) => {
+            shared.totals.ok.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add("server.request.ok", 1);
+            wire::encode_frame(replies, frame.id, wire::STATUS_OK, flags, &payload);
+        }
+        Err((kind, message)) => {
+            shared.totals.errors.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add("server.request.error", 1);
+            wire::encode_frame(
+                replies,
+                frame.id,
+                wire::status_of(kind),
+                flags,
+                message.as_bytes(),
+            );
+        }
+    }
+}
+
+fn exec_estimate(
+    shared: &Arc<Shared>,
+    payload: &[u8],
+    trace: &mut TraceCtx,
+) -> Result<Vec<u8>, (ErrorKind, String)> {
+    // Per-thread reply memo: a warm v2 estimate is dominated by
+    // re-rendering an identical answer, so identical request payloads
+    // (the monitoring / design-sweep steady state) short-circuit to the
+    // cached reply bytes with the source rewritten to `memo`. Safe
+    // because estimates are pure functions of the request payload —
+    // characterization is deterministic, so even a re-characterized
+    // model yields the same numbers.
+    thread_local! {
+        static MEMO: RefCell<HashMap<[u8; wire::ESTIMATE_REQ_LEN], [u8; wire::ESTIMATE_REPLY_LEN]>> =
+            RefCell::new(HashMap::new());
+    }
+    if let Ok(key) = <[u8; wire::ESTIMATE_REQ_LEN]>::try_from(payload) {
+        if let Some(hit) = MEMO.with(|memo| memo.borrow().get(&key).copied()) {
+            telemetry::counter_add("server.memo.hit", 1);
+            return Ok(hit.to_vec());
+        }
+    }
+    let params = wire::decode_estimate_request(payload).map_err(|m| (ErrorKind::BadRequest, m))?;
+    let (m1, _) = params.spec.width.operand_widths();
+    let dist = trace.time(Stage::Estimate, || {
+        protocol::input_distribution(
+            params.data,
+            params.spec.kind.operand_count(),
+            m1,
+            params.cycles as usize,
+            params.seed,
+        )
+    });
+    let estimate = shared
+        .engine
+        .estimate_traced(params.spec, &dist, trace)
+        .map_err(|e| (ErrorKind::Engine, e.to_string()))?;
+    let reply = wire::encode_estimate_reply(&estimate, wire::source_code(estimate.source));
+    telemetry::counter_add("server.memo.miss", 1);
+    MEMO.with(|memo| {
+        let mut memo = memo.borrow_mut();
+        // Blunt bound, like the distribution memo: distinct estimate
+        // payloads are rare (catalogue × widths × data types).
+        if memo.len() >= 4096 {
+            memo.clear();
+        }
+        let key: [u8; wire::ESTIMATE_REQ_LEN] = payload.try_into().expect("validated length");
+        let mut memoized = reply;
+        memoized[wire::ESTIMATE_REPLY_LEN - 1] = wire::SOURCE_MEMO;
+        memo.insert(key, memoized);
+    });
+    Ok(reply.to_vec())
+}
+
+fn exec_characterize(
+    shared: &Arc<Shared>,
+    payload: &[u8],
+    trace: &mut TraceCtx,
+) -> Result<Vec<u8>, (ErrorKind, String)> {
+    let params =
+        wire::decode_characterize_request(payload).map_err(|m| (ErrorKind::BadRequest, m))?;
+    let (characterization, source) = shared
+        .engine
+        .fetch_traced(params.spec, trace)
+        .map_err(|e| (ErrorKind::Engine, e.to_string()))?;
+    let reply = wire::CharacterizeReply {
+        input_bits: characterization.model.input_bits() as u32,
+        transitions: characterization.transitions as u64,
+        converged_after: characterization.converged_after.map(|p| p as u64),
+        source: wire::source_code(source),
+    };
+    Ok(wire::encode_characterize_reply(&reply).to_vec())
 }
 
 #[cfg(test)]

@@ -1,0 +1,661 @@
+//! Protocol v2: length-prefixed binary frames with request ids — the
+//! multiplexed wire format of the TCP server.
+//!
+//! v1 (JSON lines, [`crate::protocol`]) has no request ids, so a
+//! per-connection sequencer must hold replies until their predecessors
+//! are written and one slow characterization stalls every pipelined
+//! request behind it. v2 puts an id, an opcode and a per-request
+//! deadline **in band**, so workers answer out of order and clients
+//! correlate by id.
+//!
+//! # Negotiation
+//!
+//! A v2 client opens with the 8-byte preamble [`MAGIC`]
+//! (`\0HDPMv2\n`). Its first byte is NUL, which can never begin a v1
+//! JSON-lines request, so the server decides the protocol from the very
+//! first byte received: `0x00` → v2 frames, anything else → v1 compat
+//! (byte-identical to the historical server, golden fixtures included).
+//! The server sends no banner in either mode; a v2 client simply starts
+//! framing after the preamble.
+//!
+//! # Frame layout (both directions, little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     len    — payload length in bytes (≤ MAX_PAYLOAD)
+//! 4       8     id     — request id, echoed verbatim in the reply
+//! 12      1     op     — request: opcode; reply: status (0 = ok)
+//! 13      4     extra  — request: deadline_ms (0 = none);
+//!                        reply: flags (bit 0 = FLAG_LATE)
+//! 17      len   payload
+//! ```
+//!
+//! Request payloads are fixed-layout binary (see the `encode_*_request`
+//! helpers); ok-reply payloads are op-specific binary records the client
+//! decodes by remembering which op it sent under that id; error-reply
+//! payloads are the UTF-8 error message, with the [`ErrorKind`] carried
+//! as the status byte. Full field tables: `docs/protocol.md`.
+
+use hdpm_core::{CacheSource, EngineStats, Estimate};
+use hdpm_netlist::{ModuleKind, ModuleSpec, ModuleWidth};
+use hdpm_streams::{DataType, ALL_DATA_TYPES};
+
+use crate::protocol::ErrorKind;
+
+/// The v2 preamble a client writes immediately after connecting. First
+/// byte NUL: unambiguous against any v1 JSON-lines opener.
+pub const MAGIC: [u8; 8] = *b"\0HDPMv2\n";
+
+/// Bytes of a frame header (`len`, `id`, `op`, `extra`).
+pub const HEADER_LEN: usize = 17;
+
+/// Upper bound on a frame payload; a peer announcing more is protocol
+/// abuse and the connection is torn down.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Reply flag: the request's in-band deadline expired while it was
+/// executing, and this is the full (late) answer rather than a timeout.
+/// See `docs/protocol.md` § deadline semantics.
+pub const FLAG_LATE: u32 = 1;
+
+/// Reply status: success (the payload is the op-specific record).
+pub const STATUS_OK: u8 = 0;
+
+/// v2 request opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Analytic power estimate (payload: [`EstimateParams`]).
+    Estimate = 1,
+    /// Force a model into the cache (payload: [`CharacterizeParams`]).
+    Characterize = 2,
+    /// Engine counter snapshot (empty payload).
+    Stats = 3,
+    /// Liveness no-op (empty payload, empty ok reply).
+    Ping = 4,
+}
+
+impl Opcode {
+    /// Decode a wire opcode byte.
+    pub fn from_u8(op: u8) -> Option<Opcode> {
+        match op {
+            1 => Some(Opcode::Estimate),
+            2 => Some(Opcode::Characterize),
+            3 => Some(Opcode::Stats),
+            4 => Some(Opcode::Ping),
+            _ => None,
+        }
+    }
+
+    /// The v1 `op` string this opcode corresponds to (trace records and
+    /// the slow-request log keep using the v1 names).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Opcode::Estimate => "estimate",
+            Opcode::Characterize => "characterize",
+            Opcode::Stats => "stats",
+            Opcode::Ping => "ping",
+        }
+    }
+}
+
+/// Map an [`ErrorKind`] to its reply status byte.
+pub fn status_of(kind: ErrorKind) -> u8 {
+    match kind {
+        ErrorKind::Malformed => 1,
+        ErrorKind::InvalidUtf8 => 2,
+        ErrorKind::BadRequest => 3,
+        ErrorKind::Engine => 4,
+        ErrorKind::Overloaded => 5,
+        ErrorKind::Timeout => 6,
+    }
+}
+
+/// The [`ErrorKind`] behind a non-ok reply status byte.
+pub fn kind_of(status: u8) -> Option<ErrorKind> {
+    match status {
+        1 => Some(ErrorKind::Malformed),
+        2 => Some(ErrorKind::InvalidUtf8),
+        3 => Some(ErrorKind::BadRequest),
+        4 => Some(ErrorKind::Engine),
+        5 => Some(ErrorKind::Overloaded),
+        6 => Some(ErrorKind::Timeout),
+        _ => None,
+    }
+}
+
+/// Wire code of a model source (reply payloads). `5` marks a reply
+/// served from the server's per-thread reply memo — indistinguishable
+/// from a memory hit in content, distinguishable on the wire so
+/// benchmarks and tests can see the cache tier.
+pub fn source_code(source: CacheSource) -> u8 {
+    match source {
+        CacheSource::Memory => 1,
+        CacheSource::Disk => 2,
+        CacheSource::Fresh => 3,
+        CacheSource::Coalesced => 4,
+    }
+}
+
+/// Source code of a reply served from the per-thread reply memo.
+pub const SOURCE_MEMO: u8 = 5;
+
+/// The v1 source string behind a reply source code.
+pub fn source_str(code: u8) -> Option<&'static str> {
+    match code {
+        1 => Some("memory"),
+        2 => Some("disk"),
+        3 => Some("fresh"),
+        4 => Some("coalesced"),
+        5 => Some("memo"),
+        _ => None,
+    }
+}
+
+/// One decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Payload length in bytes.
+    pub len: u32,
+    /// Request id (echoed in the reply).
+    pub id: u64,
+    /// Request opcode, or reply status.
+    pub op: u8,
+    /// Request deadline_ms (0 = none), or reply flags.
+    pub extra: u32,
+}
+
+/// Decode the 17 header bytes. Infallible at this layer; `len` is the
+/// caller's to validate against [`MAX_PAYLOAD`].
+pub fn decode_header(raw: &[u8; HEADER_LEN]) -> FrameHeader {
+    FrameHeader {
+        len: u32::from_le_bytes(raw[0..4].try_into().expect("4 bytes")),
+        id: u64::from_le_bytes(raw[4..12].try_into().expect("8 bytes")),
+        op: raw[12],
+        extra: u32::from_le_bytes(raw[13..17].try_into().expect("4 bytes")),
+    }
+}
+
+/// Append one frame (header + payload) to `out`.
+pub fn encode_frame(out: &mut Vec<u8>, id: u64, op: u8, extra: u32, payload: &[u8]) {
+    debug_assert!(payload.len() <= MAX_PAYLOAD as usize);
+    out.reserve(HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&id.to_le_bytes());
+    out.push(op);
+    out.extend_from_slice(&extra.to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+// --- estimate ----------------------------------------------------------
+
+/// Decoded payload of an [`Opcode::Estimate`] request (18 bytes on the
+/// wire: module `u8`, m1 `u16`, m2 `u16` (0 = uniform), data `u8`,
+/// cycles `u32`, seed `u64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EstimateParams {
+    /// Module under estimation.
+    pub spec: ModuleSpec,
+    /// Operand stream statistics.
+    pub data: DataType,
+    /// Stream length in cycles.
+    pub cycles: u32,
+    /// Stream generator seed.
+    pub seed: u64,
+}
+
+/// Wire size of an estimate request payload.
+pub const ESTIMATE_REQ_LEN: usize = 18;
+
+fn module_code(kind: ModuleKind) -> u8 {
+    // Position in the stable `ModuleKind::ALL` order (the `hdpm list`
+    // order); fits u8 by construction (14 kinds).
+    ModuleKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("every kind is in ALL") as u8
+}
+
+fn module_from_code(code: u8) -> Option<ModuleKind> {
+    ModuleKind::ALL.get(code as usize).copied()
+}
+
+fn data_code(data: DataType) -> u8 {
+    ALL_DATA_TYPES
+        .iter()
+        .position(|d| *d == data)
+        .expect("every data type is in ALL_DATA_TYPES") as u8
+}
+
+fn data_from_code(code: u8) -> Option<DataType> {
+    ALL_DATA_TYPES.get(code as usize).copied()
+}
+
+fn spec_bytes(spec: ModuleSpec) -> [u8; 5] {
+    let (m1, m2) = match spec.width {
+        ModuleWidth::Uniform(m) => (m, 0usize),
+        ModuleWidth::Rect(m1, m2) => (m1, m2),
+    };
+    let mut out = [0u8; 5];
+    out[0] = module_code(spec.kind);
+    out[1..3].copy_from_slice(&(m1.min(u16::MAX as usize) as u16).to_le_bytes());
+    out[3..5].copy_from_slice(&(m2.min(u16::MAX as usize) as u16).to_le_bytes());
+    out
+}
+
+fn spec_from_bytes(raw: &[u8]) -> Result<ModuleSpec, String> {
+    let kind = module_from_code(raw[0]).ok_or_else(|| format!("unknown module code {}", raw[0]))?;
+    let m1 = u16::from_le_bytes(raw[1..3].try_into().expect("2 bytes")) as usize;
+    let m2 = u16::from_le_bytes(raw[3..5].try_into().expect("2 bytes")) as usize;
+    let width = if m2 == 0 {
+        ModuleWidth::Uniform(m1)
+    } else {
+        ModuleWidth::Rect(m1, m2)
+    };
+    Ok(ModuleSpec::new(kind, width))
+}
+
+/// Render an estimate request payload.
+pub fn encode_estimate_request(params: &EstimateParams) -> [u8; ESTIMATE_REQ_LEN] {
+    let mut out = [0u8; ESTIMATE_REQ_LEN];
+    out[0..5].copy_from_slice(&spec_bytes(params.spec));
+    out[5] = data_code(params.data);
+    out[6..10].copy_from_slice(&params.cycles.to_le_bytes());
+    out[10..18].copy_from_slice(&params.seed.to_le_bytes());
+    out
+}
+
+/// Decode an estimate request payload.
+///
+/// # Errors
+///
+/// A message naming the malformed field (wrong length, unknown module or
+/// data code) — replied as [`ErrorKind::BadRequest`].
+pub fn decode_estimate_request(payload: &[u8]) -> Result<EstimateParams, String> {
+    if payload.len() != ESTIMATE_REQ_LEN {
+        return Err(format!(
+            "estimate payload must be {ESTIMATE_REQ_LEN} bytes, got {}",
+            payload.len()
+        ));
+    }
+    let spec = spec_from_bytes(&payload[0..5])?;
+    let data =
+        data_from_code(payload[5]).ok_or_else(|| format!("unknown data code {}", payload[5]))?;
+    Ok(EstimateParams {
+        spec,
+        data,
+        cycles: u32::from_le_bytes(payload[6..10].try_into().expect("4 bytes")),
+        seed: u64::from_le_bytes(payload[10..18].try_into().expect("8 bytes")),
+    })
+}
+
+/// Wire size of an estimate ok-reply payload (3 × f64 + source byte).
+pub const ESTIMATE_REPLY_LEN: usize = 25;
+
+/// Render an estimate ok-reply payload. `source` is a wire source code
+/// ([`source_code`] or [`SOURCE_MEMO`]).
+pub fn encode_estimate_reply(estimate: &Estimate, source: u8) -> [u8; ESTIMATE_REPLY_LEN] {
+    let mut out = [0u8; ESTIMATE_REPLY_LEN];
+    out[0..8].copy_from_slice(&estimate.charge_per_cycle.to_le_bytes());
+    out[8..16].copy_from_slice(&estimate.via_average.to_le_bytes());
+    out[16..24].copy_from_slice(&estimate.average_hd.to_le_bytes());
+    out[24] = source;
+    out
+}
+
+/// A decoded estimate ok reply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateReply {
+    /// Expected charge per cycle under the full Hd distribution.
+    pub charge_per_cycle: f64,
+    /// Charge interpolated at the average Hd only.
+    pub via_average: f64,
+    /// The average Hd of the queried distribution.
+    pub average_hd: f64,
+    /// Wire source code (see [`source_str`]).
+    pub source: u8,
+}
+
+/// Decode an estimate ok-reply payload.
+///
+/// # Errors
+///
+/// Wrong payload length.
+pub fn decode_estimate_reply(payload: &[u8]) -> Result<EstimateReply, String> {
+    if payload.len() != ESTIMATE_REPLY_LEN {
+        return Err(format!(
+            "estimate reply must be {ESTIMATE_REPLY_LEN} bytes, got {}",
+            payload.len()
+        ));
+    }
+    Ok(EstimateReply {
+        charge_per_cycle: f64::from_le_bytes(payload[0..8].try_into().expect("8 bytes")),
+        via_average: f64::from_le_bytes(payload[8..16].try_into().expect("8 bytes")),
+        average_hd: f64::from_le_bytes(payload[16..24].try_into().expect("8 bytes")),
+        source: payload[24],
+    })
+}
+
+// --- characterize ------------------------------------------------------
+
+/// Decoded payload of an [`Opcode::Characterize`] request (5 bytes:
+/// module `u8`, m1 `u16`, m2 `u16`, 0 = uniform).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CharacterizeParams {
+    /// Module to characterize into the cache.
+    pub spec: ModuleSpec,
+}
+
+/// Wire size of a characterize request payload.
+pub const CHARACTERIZE_REQ_LEN: usize = 5;
+
+/// Render a characterize request payload.
+pub fn encode_characterize_request(params: &CharacterizeParams) -> [u8; CHARACTERIZE_REQ_LEN] {
+    spec_bytes(params.spec)
+}
+
+/// Decode a characterize request payload.
+///
+/// # Errors
+///
+/// A message naming the malformed field.
+pub fn decode_characterize_request(payload: &[u8]) -> Result<CharacterizeParams, String> {
+    if payload.len() != CHARACTERIZE_REQ_LEN {
+        return Err(format!(
+            "characterize payload must be {CHARACTERIZE_REQ_LEN} bytes, got {}",
+            payload.len()
+        ));
+    }
+    Ok(CharacterizeParams {
+        spec: spec_from_bytes(payload)?,
+    })
+}
+
+/// A decoded characterize ok reply (21 bytes: input_bits `u32`,
+/// transitions `u64`, converged_after `u64` with `u64::MAX` = never,
+/// source `u8`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CharacterizeReply {
+    /// Input bit count of the characterized model.
+    pub input_bits: u32,
+    /// Transitions simulated during characterization.
+    pub transitions: u64,
+    /// Patterns until convergence, `None` when the pattern budget ran
+    /// out first.
+    pub converged_after: Option<u64>,
+    /// Wire source code (see [`source_str`]).
+    pub source: u8,
+}
+
+/// Wire size of a characterize ok-reply payload.
+pub const CHARACTERIZE_REPLY_LEN: usize = 21;
+
+/// Render a characterize ok-reply payload.
+pub fn encode_characterize_reply(reply: &CharacterizeReply) -> [u8; CHARACTERIZE_REPLY_LEN] {
+    let mut out = [0u8; CHARACTERIZE_REPLY_LEN];
+    out[0..4].copy_from_slice(&reply.input_bits.to_le_bytes());
+    out[4..12].copy_from_slice(&reply.transitions.to_le_bytes());
+    out[12..20].copy_from_slice(&reply.converged_after.unwrap_or(u64::MAX).to_le_bytes());
+    out[20] = reply.source;
+    out
+}
+
+/// Decode a characterize ok-reply payload.
+///
+/// # Errors
+///
+/// Wrong payload length.
+pub fn decode_characterize_reply(payload: &[u8]) -> Result<CharacterizeReply, String> {
+    if payload.len() != CHARACTERIZE_REPLY_LEN {
+        return Err(format!(
+            "characterize reply must be {CHARACTERIZE_REPLY_LEN} bytes, got {}",
+            payload.len()
+        ));
+    }
+    let converged = u64::from_le_bytes(payload[12..20].try_into().expect("8 bytes"));
+    Ok(CharacterizeReply {
+        input_bits: u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes")),
+        transitions: u64::from_le_bytes(payload[4..12].try_into().expect("8 bytes")),
+        converged_after: (converged != u64::MAX).then_some(converged),
+        source: payload[20],
+    })
+}
+
+// --- stats -------------------------------------------------------------
+
+/// Wire size of a stats ok-reply payload (9 × u64 in [`EngineStats`]
+/// field order).
+pub const STATS_REPLY_LEN: usize = 72;
+
+/// Render a stats ok-reply payload.
+pub fn encode_stats_reply(stats: &EngineStats) -> [u8; STATS_REPLY_LEN] {
+    let fields: [u64; 9] = [
+        stats.entries as u64,
+        stats.capacity as u64,
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.disk_hits,
+        stats.characterizations,
+        stats.coalesced,
+        stats.inflight as u64,
+    ];
+    let mut out = [0u8; STATS_REPLY_LEN];
+    for (slot, field) in out.chunks_exact_mut(8).zip(fields) {
+        slot.copy_from_slice(&field.to_le_bytes());
+    }
+    out
+}
+
+/// A decoded stats ok reply, mirroring [`EngineStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Live entries in the memory tier.
+    pub entries: u64,
+    /// Capacity bound of the memory tier.
+    pub capacity: u64,
+    /// Memory-tier hits.
+    pub hits: u64,
+    /// Memory-tier misses.
+    pub misses: u64,
+    /// Memory-tier evictions.
+    pub evictions: u64,
+    /// Misses served from disk.
+    pub disk_hits: u64,
+    /// Characterizations executed.
+    pub characterizations: u64,
+    /// Requests coalesced onto in-flight characterizations.
+    pub coalesced: u64,
+    /// Characterizations currently in flight.
+    pub inflight: u64,
+}
+
+/// Decode a stats ok-reply payload.
+///
+/// # Errors
+///
+/// Wrong payload length.
+pub fn decode_stats_reply(payload: &[u8]) -> Result<StatsReply, String> {
+    if payload.len() != STATS_REPLY_LEN {
+        return Err(format!(
+            "stats reply must be {STATS_REPLY_LEN} bytes, got {}",
+            payload.len()
+        ));
+    }
+    let mut fields = [0u64; 9];
+    for (field, slot) in fields.iter_mut().zip(payload.chunks_exact(8)) {
+        *field = u64::from_le_bytes(slot.try_into().expect("8 bytes"));
+    }
+    Ok(StatsReply {
+        entries: fields[0],
+        capacity: fields[1],
+        hits: fields[2],
+        misses: fields[3],
+        evictions: fields[4],
+        disk_hits: fields[5],
+        characterizations: fields[6],
+        coalesced: fields[7],
+        inflight: fields[8],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magic_starts_with_nul_and_cannot_be_v1() {
+        assert_eq!(MAGIC.len(), 8);
+        assert_eq!(MAGIC[0], 0, "first byte decides the protocol");
+        // No valid v1 opener starts with NUL: v1 requests are JSON text.
+        assert!(std::str::from_utf8(&MAGIC[1..]).is_ok());
+    }
+
+    #[test]
+    fn frame_header_round_trips() {
+        let mut out = Vec::new();
+        encode_frame(&mut out, 0xDEAD_BEEF_CAFE, 2, 1500, b"payload");
+        assert_eq!(out.len(), HEADER_LEN + 7);
+        let header = decode_header(out[..HEADER_LEN].try_into().unwrap());
+        assert_eq!(
+            header,
+            FrameHeader {
+                len: 7,
+                id: 0xDEAD_BEEF_CAFE,
+                op: 2,
+                extra: 1500,
+            }
+        );
+        assert_eq!(&out[HEADER_LEN..], b"payload");
+    }
+
+    #[test]
+    fn estimate_request_round_trips_uniform_and_rect() {
+        for spec in [
+            ModuleSpec::new(ModuleKind::RippleAdder, ModuleWidth::Uniform(16)),
+            ModuleSpec::new(ModuleKind::CsaMultiplier, ModuleWidth::Rect(12, 8)),
+        ] {
+            let params = EstimateParams {
+                spec,
+                data: DataType::Speech,
+                cycles: 2000,
+                seed: 7,
+            };
+            let wire = encode_estimate_request(&params);
+            assert_eq!(decode_estimate_request(&wire).unwrap(), params);
+        }
+    }
+
+    #[test]
+    fn estimate_reply_round_trips() {
+        let estimate = Estimate {
+            charge_per_cycle: 123.456,
+            via_average: 120.0,
+            average_hd: 3.25,
+            source: CacheSource::Fresh,
+        };
+        let wire = encode_estimate_reply(&estimate, source_code(estimate.source));
+        let decoded = decode_estimate_reply(&wire).unwrap();
+        assert_eq!(decoded.charge_per_cycle, estimate.charge_per_cycle);
+        assert_eq!(decoded.via_average, estimate.via_average);
+        assert_eq!(decoded.average_hd, estimate.average_hd);
+        assert_eq!(source_str(decoded.source), Some("fresh"));
+    }
+
+    #[test]
+    fn characterize_round_trips_including_unconverged() {
+        let params = CharacterizeParams {
+            spec: ModuleSpec::new(ModuleKind::Mac, ModuleWidth::Uniform(8)),
+        };
+        let wire = encode_characterize_request(&params);
+        assert_eq!(decode_characterize_request(&wire).unwrap(), params);
+        for converged_after in [Some(1500u64), None] {
+            let reply = CharacterizeReply {
+                input_bits: 24,
+                transitions: 987_654,
+                converged_after,
+                source: source_code(CacheSource::Disk),
+            };
+            let wire = encode_characterize_reply(&reply);
+            assert_eq!(decode_characterize_reply(&wire).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn stats_reply_round_trips() {
+        let stats = EngineStats {
+            entries: 3,
+            capacity: 64,
+            hits: 100,
+            misses: 4,
+            evictions: 1,
+            disk_hits: 2,
+            characterizations: 2,
+            coalesced: 9,
+            inflight: 1,
+        };
+        let decoded = decode_stats_reply(&encode_stats_reply(&stats)).unwrap();
+        assert_eq!(decoded.entries, 3);
+        assert_eq!(decoded.capacity, 64);
+        assert_eq!(decoded.hits, 100);
+        assert_eq!(decoded.coalesced, 9);
+        assert_eq!(decoded.inflight, 1);
+    }
+
+    #[test]
+    fn malformed_payloads_name_the_problem() {
+        assert!(decode_estimate_request(&[0u8; 3])
+            .unwrap_err()
+            .contains("18 bytes"));
+        let mut bad_module = encode_estimate_request(&EstimateParams {
+            spec: ModuleSpec::new(ModuleKind::RippleAdder, ModuleWidth::Uniform(4)),
+            data: DataType::Random,
+            cycles: 64,
+            seed: 7,
+        });
+        bad_module[0] = 200;
+        assert!(decode_estimate_request(&bad_module)
+            .unwrap_err()
+            .contains("unknown module code 200"));
+        let mut bad_data = encode_estimate_request(&EstimateParams {
+            spec: ModuleSpec::new(ModuleKind::RippleAdder, ModuleWidth::Uniform(4)),
+            data: DataType::Random,
+            cycles: 64,
+            seed: 7,
+        });
+        bad_data[5] = 99;
+        assert!(decode_estimate_request(&bad_data)
+            .unwrap_err()
+            .contains("unknown data code 99"));
+    }
+
+    #[test]
+    fn every_error_kind_has_a_distinct_status() {
+        let kinds = [
+            ErrorKind::Malformed,
+            ErrorKind::InvalidUtf8,
+            ErrorKind::BadRequest,
+            ErrorKind::Engine,
+            ErrorKind::Overloaded,
+            ErrorKind::Timeout,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for kind in kinds {
+            let status = status_of(kind);
+            assert_ne!(status, STATUS_OK);
+            assert!(seen.insert(status), "duplicate status for {kind:?}");
+            assert_eq!(kind_of(status), Some(kind));
+        }
+        assert_eq!(kind_of(STATUS_OK), None);
+    }
+
+    #[test]
+    fn every_module_and_data_code_round_trips() {
+        for kind in ModuleKind::ALL {
+            assert_eq!(module_from_code(module_code(kind)), Some(kind));
+        }
+        for data in ALL_DATA_TYPES {
+            assert_eq!(data_from_code(data_code(data)), Some(data));
+        }
+    }
+}

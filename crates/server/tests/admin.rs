@@ -14,7 +14,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use hdpm_core::{CharacterizationConfig, EngineOptions, ShardingConfig};
-use hdpm_server::{Server, ServerOptions};
+use hdpm_server::{Server, ServerConfig};
 use hdpm_telemetry as telemetry;
 
 static GLOBAL_STATE: Mutex<()> = Mutex::new(());
@@ -44,14 +44,14 @@ fn quick_engine() -> EngineOptions {
     }
 }
 
-fn admin_options(engine: EngineOptions) -> ServerOptions {
-    ServerOptions {
-        workers: 1,
-        deadline: None,
-        engine,
-        admin_addr: Some(SocketAddr::from(([127, 0, 0, 1], 0))),
-        ..ServerOptions::default()
-    }
+fn admin_options(engine: EngineOptions) -> ServerConfig {
+    ServerConfig::builder()
+        .workers(1)
+        .no_deadline()
+        .engine(engine)
+        .admin_addr(SocketAddr::from(([127, 0, 0, 1], 0)))
+        .build()
+        .unwrap()
 }
 
 /// One blocking HTTP/1.0 GET against the admin plane.

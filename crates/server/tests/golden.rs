@@ -10,7 +10,7 @@ use std::net::TcpStream;
 use std::path::PathBuf;
 
 use hdpm_core::{CharacterizationConfig, EngineOptions, PowerEngine, ShardingConfig};
-use hdpm_server::{protocol, Server, ServerOptions};
+use hdpm_server::{protocol, Server, ServerConfig};
 
 /// The engine the golden files were generated with:
 /// `hdpm serve --patterns 1500 --shards 4` (capacity default 64).
@@ -84,12 +84,14 @@ fn strip_trace(line: &str) -> String {
 /// golden replies embed stateful cache counters, so execution must be
 /// serialized in request order for the bytes to match.
 fn replay_tcp(requests: &[String], tracing: bool) -> Vec<String> {
-    let server = Server::start(ServerOptions {
-        workers: 1,
-        tracing,
-        engine: golden_engine_options(),
-        ..ServerOptions::default()
-    })
+    let server = Server::start(
+        ServerConfig::builder()
+            .workers(1)
+            .tracing(tracing)
+            .engine(golden_engine_options())
+            .build()
+            .unwrap(),
+    )
     .expect("start");
     let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
     for request in requests {

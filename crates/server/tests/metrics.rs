@@ -13,7 +13,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use hdpm_core::{CharacterizationConfig, EngineOptions, ShardingConfig};
-use hdpm_server::{Server, ServerOptions};
+use hdpm_server::{Server, ServerConfig};
 use hdpm_telemetry as telemetry;
 
 static GLOBAL_STATE: Mutex<()> = Mutex::new(());
@@ -85,13 +85,15 @@ fn counter(name: &str) -> u64 {
 #[test]
 fn shed_counter_matches_overloaded_replies_on_the_wire() {
     let _state = fresh_state();
-    let server = Server::start(ServerOptions {
-        workers: 1,
-        queue_depth: 1,
-        deadline: None,
-        engine: slow_engine(),
-        ..ServerOptions::default()
-    })
+    let server = Server::start(
+        ServerConfig::builder()
+            .workers(1)
+            .queue_depth(1)
+            .no_deadline()
+            .engine(slow_engine())
+            .build()
+            .unwrap(),
+    )
     .expect("start");
     let mut client = Client::connect(&server);
     client.send(SLOW_CHARACTERIZE);
@@ -118,12 +120,14 @@ fn shed_counter_matches_overloaded_replies_on_the_wire() {
 #[test]
 fn timeout_counter_matches_timeout_replies_on_the_wire() {
     let _state = fresh_state();
-    let server = Server::start(ServerOptions {
-        workers: 1,
-        deadline: Some(Duration::from_millis(5)),
-        engine: slow_engine(),
-        ..ServerOptions::default()
-    })
+    let server = Server::start(
+        ServerConfig::builder()
+            .workers(1)
+            .deadline(Duration::from_millis(5))
+            .engine(slow_engine())
+            .build()
+            .unwrap(),
+    )
     .expect("start");
     let mut client = Client::connect(&server);
     client.send(SLOW_CHARACTERIZE);

@@ -1,0 +1,376 @@
+//! Protocol v2 integration tests: framed round-trips, out-of-order
+//! completion, in-band deadlines (timeout frames and late-but-labeled
+//! replies), and wire-abuse handling — all against a live TCP server
+//! through the typed [`Client`].
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use hdpm_core::{CharacterizationConfig, EngineOptions, ShardingConfig};
+use hdpm_netlist::{ModuleKind, ModuleSpec};
+use hdpm_server::client::{Client, Proto, Request, Response};
+use hdpm_server::{wire, Server, ServerConfig, ServerConfigBuilder};
+
+fn quick_engine() -> EngineOptions {
+    EngineOptions {
+        config: CharacterizationConfig::builder()
+            .max_patterns(1500)
+            .build()
+            .unwrap(),
+        sharding: Some(ShardingConfig {
+            shards: 4,
+            threads: 1,
+        }),
+        disk_root: None,
+        capacity: 64,
+    }
+}
+
+fn slow_engine() -> EngineOptions {
+    EngineOptions {
+        config: CharacterizationConfig::builder()
+            .max_patterns(12_000)
+            .build()
+            .unwrap(),
+        ..quick_engine()
+    }
+}
+
+fn quick_config() -> ServerConfigBuilder {
+    ServerConfig::builder()
+        .workers(4)
+        .no_deadline()
+        .engine(quick_engine())
+}
+
+fn estimate(width: usize) -> Request {
+    Request::Estimate {
+        spec: ModuleSpec::new(ModuleKind::RippleAdder, width),
+        data: hdpm_server::protocol::data_type("counter").expect("known type"),
+        cycles: 64,
+        seed: 7,
+    }
+}
+
+#[test]
+fn v2_round_trips_every_opcode() {
+    // One worker: the reply memo is per-worker thread state, so the
+    // repeated estimate below must land on the worker that cached it.
+    let server = Server::start(quick_config().workers(1).build().unwrap()).expect("start");
+    let mut client = Client::connect(server.local_addr(), Proto::V2).expect("connect");
+
+    let reply = client.call(&Request::Ping, None).expect("ping");
+    assert_eq!(reply.response, Response::Pong);
+    assert!(!reply.late);
+
+    let reply = client
+        .call(
+            &Request::Characterize {
+                spec: ModuleSpec::new(ModuleKind::RippleAdder, 6usize),
+            },
+            None,
+        )
+        .expect("characterize");
+    match reply.response {
+        Response::Characterize(c) => {
+            assert_eq!(c.input_bits, 12);
+            assert!(c.transitions > 0);
+            assert_eq!(c.source, "fresh");
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    let reply = client.call(&estimate(6), None).expect("estimate");
+    match reply.response {
+        Response::Estimate(e) => {
+            assert!(e.charge_per_cycle > 0.0);
+            assert!(e.average_hd > 0.0);
+            assert_eq!(e.source, "memory", "model cached by the characterize");
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    // A repeated estimate short-circuits through the per-worker reply
+    // memo, labeled as such.
+    let reply = client.call(&estimate(6), None).expect("estimate");
+    match reply.response {
+        Response::Estimate(e) => assert_eq!(e.source, "memo"),
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    let reply = client.call(&Request::Stats, None).expect("stats");
+    match reply.response {
+        Response::Stats(s) => {
+            assert_eq!(s.characterizations, 1);
+            assert!(s.entries >= 1);
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn v2_and_v1_agree_on_the_numbers() {
+    let server = Server::start(quick_config().build().unwrap()).expect("start");
+    let mut v1 = Client::connect(server.local_addr(), Proto::V1).expect("connect v1");
+    let mut v2 = Client::connect(server.local_addr(), Proto::V2).expect("connect v2");
+    let request = estimate(5);
+    let via_v1 = match v1.call(&request, None).expect("v1").response {
+        Response::Estimate(e) => e,
+        other => panic!("unexpected v1 reply {other:?}"),
+    };
+    let via_v2 = match v2.call(&request, None).expect("v2").response {
+        Response::Estimate(e) => e,
+        other => panic!("unexpected v2 reply {other:?}"),
+    };
+    assert_eq!(via_v1.charge_per_cycle, via_v2.charge_per_cycle);
+    assert_eq!(via_v1.via_average, via_v2.via_average);
+    assert_eq!(via_v1.average_hd, via_v2.average_hd);
+    server.shutdown();
+}
+
+/// The tentpole behavior: a slow characterization ahead in the pipeline
+/// does NOT hold back the cheap requests behind it. The two frame
+/// batches are separated by a flush + delay so they cross the socket
+/// independently, and the pings must come back before the
+/// characterization does.
+#[test]
+fn v2_replies_complete_out_of_order_past_a_slow_request() {
+    let server = Server::start(
+        quick_config()
+            .workers(2)
+            .engine(slow_engine())
+            .build()
+            .unwrap(),
+    )
+    .expect("start");
+    let mut client = Client::connect(server.local_addr(), Proto::V2).expect("connect");
+    let slow_id = client
+        .send(
+            &Request::Characterize {
+                spec: ModuleSpec::new(ModuleKind::CsaMultiplier, 8usize),
+            },
+            None,
+        )
+        .expect("send slow");
+    client.flush().expect("flush");
+    // Give the reactor time to batch the slow frame alone and hand it to
+    // a worker before the pings arrive in a second batch.
+    std::thread::sleep(Duration::from_millis(50));
+    let ping_ids: Vec<u64> = (0..3)
+        .map(|_| client.send(&Request::Ping, None).expect("send ping"))
+        .collect();
+    client.flush().expect("flush");
+    let mut order = Vec::new();
+    for _ in 0..4 {
+        let reply = client.recv().expect("reply");
+        order.push(reply.id);
+    }
+    assert_eq!(
+        &order[..3],
+        &ping_ids[..],
+        "pings overtake the slow characterization: {order:?}"
+    );
+    assert_eq!(order[3], slow_id, "slow reply still arrives: {order:?}");
+    server.shutdown();
+}
+
+#[test]
+fn v2_deadline_expiring_in_queue_earns_a_timeout_frame() {
+    let server = Server::start(
+        quick_config()
+            .workers(1)
+            .engine(slow_engine())
+            .build()
+            .unwrap(),
+    )
+    .expect("start");
+    let mut client = Client::connect(server.local_addr(), Proto::V2).expect("connect");
+    // Occupy the single worker, then queue a request with a 1 ms in-band
+    // deadline: by the time a worker sees it, it is long expired.
+    let slow_id = client
+        .send(
+            &Request::Characterize {
+                spec: ModuleSpec::new(ModuleKind::CsaMultiplier, 8usize),
+            },
+            None,
+        )
+        .expect("send slow");
+    client.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(50));
+    let doomed = client.send(&Request::Ping, Some(1)).expect("send doomed");
+    client.flush().expect("flush");
+    let mut timed_out = false;
+    for _ in 0..2 {
+        let reply = client.recv().expect("reply");
+        if reply.id == doomed {
+            match reply.response {
+                Response::Error {
+                    ref kind,
+                    ref message,
+                } => {
+                    assert_eq!(kind, "timeout", "{reply:?}");
+                    assert!(message.contains("deadline exceeded"), "{message}");
+                    timed_out = true;
+                }
+                ref other => panic!("expected timeout, got {other:?}"),
+            }
+        } else {
+            assert_eq!(reply.id, slow_id);
+        }
+    }
+    assert!(timed_out, "the doomed request must earn a timeout frame");
+    let report = server.shutdown();
+    assert_eq!(report.timeouts, 1);
+}
+
+/// Regression for the documented deadline semantics: a deadline that
+/// expires while a characterization is EXECUTING (not queued) yields the
+/// full answer labeled late, not a timeout and not an unlabeled success.
+#[test]
+fn v2_deadline_expiring_mid_characterization_is_late_but_labeled() {
+    let server = Server::start(
+        quick_config()
+            .workers(1)
+            .engine(slow_engine())
+            .build()
+            .unwrap(),
+    )
+    .expect("start");
+    let mut client = Client::connect(server.local_addr(), Proto::V2).expect("connect");
+    // The characterization takes hundreds of ms with the 12k-pattern
+    // config; a 25 ms deadline is comfortably alive when the worker
+    // starts (nothing is queued ahead) and long dead when it finishes.
+    let reply = client
+        .call(
+            &Request::Characterize {
+                spec: ModuleSpec::new(ModuleKind::CsaMultiplier, 8usize),
+            },
+            Some(25),
+        )
+        .expect("characterize");
+    assert!(
+        reply.late,
+        "mid-execution expiry must set FLAG_LATE: {reply:?}"
+    );
+    match reply.response {
+        Response::Characterize(c) => {
+            assert!(c.transitions > 0, "the full answer is still delivered");
+            assert_eq!(c.source, "fresh");
+        }
+        other => panic!("expected a late characterize answer, got {other:?}"),
+    }
+    let report = server.shutdown();
+    assert_eq!(report.timeouts, 0, "late-but-labeled is not a timeout");
+    assert_eq!(report.ok, 1);
+}
+
+#[test]
+fn v2_unknown_opcode_and_bad_payload_answer_structured_errors() {
+    let server = Server::start(quick_config().build().unwrap()).expect("start");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.write_all(&wire::MAGIC).expect("magic");
+    // Unknown opcode 99.
+    let mut frame = Vec::new();
+    wire::encode_frame(&mut frame, 7, 99, 0, b"");
+    // Estimate with a truncated payload.
+    wire::encode_frame(&mut frame, 8, wire::Opcode::Estimate as u8, 0, &[1, 2, 3]);
+    stream.write_all(&frame).expect("send");
+    fn read_reply(stream: &mut TcpStream, expect_id: u64) -> (u8, String) {
+        let mut header = [0u8; wire::HEADER_LEN];
+        stream.read_exact(&mut header).expect("header");
+        let header = wire::decode_header(&header);
+        assert_eq!(header.id, expect_id);
+        let mut payload = vec![0u8; header.len as usize];
+        stream.read_exact(&mut payload).expect("payload");
+        (header.op, String::from_utf8_lossy(&payload).into_owned())
+    }
+    let (status, message) = read_reply(&mut stream, 7);
+    assert_eq!(
+        wire::kind_of(status).map(|k| k.as_str()),
+        Some("bad_request")
+    );
+    assert!(message.contains("unknown opcode 99"), "{message}");
+    let (status, message) = read_reply(&mut stream, 8);
+    assert_eq!(
+        wire::kind_of(status).map(|k| k.as_str()),
+        Some("bad_request")
+    );
+    assert!(message.contains("estimate payload"), "{message}");
+    // The connection survives both.
+    let mut probe = Vec::new();
+    wire::encode_frame(&mut probe, 9, wire::Opcode::Ping as u8, 0, b"");
+    stream.write_all(&probe).expect("send");
+    let (status, _) = read_reply(&mut stream, 9);
+    assert_eq!(status, wire::STATUS_OK);
+    server.shutdown();
+}
+
+#[test]
+fn v2_oversized_frame_tears_the_connection_down_after_a_reply() {
+    let server = Server::start(quick_config().build().unwrap()).expect("start");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(&wire::MAGIC).expect("magic");
+    // A header announcing 2 MiB: protocol abuse, not a request.
+    let mut header = Vec::new();
+    header.extend_from_slice(&(2u32 << 20).to_le_bytes());
+    header.extend_from_slice(&1u64.to_le_bytes());
+    header.push(wire::Opcode::Ping as u8);
+    header.extend_from_slice(&0u32.to_le_bytes());
+    stream.write_all(&header).expect("send");
+    // One malformed error frame comes back, then EOF.
+    let mut reply = [0u8; wire::HEADER_LEN];
+    stream.read_exact(&mut reply).expect("error frame");
+    let decoded = wire::decode_header(&reply);
+    assert_eq!(decoded.id, 1);
+    assert_eq!(
+        wire::kind_of(decoded.op).map(|k| k.as_str()),
+        Some("malformed")
+    );
+    let mut payload = vec![0u8; decoded.len as usize];
+    stream.read_exact(&mut payload).expect("payload");
+    let mut rest = Vec::new();
+    let eof = stream.read_to_end(&mut rest);
+    assert!(
+        matches!(eof, Ok(0)),
+        "connection must be closed after the abuse reply: {eof:?} {rest:?}"
+    );
+    // The server is unharmed.
+    let mut client = Client::connect(server.local_addr(), Proto::V2).expect("connect");
+    assert_eq!(
+        client.call(&Request::Ping, None).expect("ping").response,
+        Response::Pong
+    );
+    server.shutdown();
+}
+
+#[test]
+fn v2_pipelined_load_is_answered_completely() {
+    let server = Server::start(quick_config().queue_depth(65_536).build().unwrap()).expect("start");
+    let mut client = Client::connect(server.local_addr(), Proto::V2).expect("connect");
+    // Warm the model once so the flood is pure serving.
+    client.call(&estimate(8), None).expect("warm");
+    const N: usize = 5000;
+    let mut expected: Vec<u64> = Vec::with_capacity(N);
+    for _ in 0..N {
+        expected.push(client.send(&estimate(8), None).expect("send"));
+    }
+    client.flush().expect("flush");
+    let mut got: Vec<u64> = Vec::with_capacity(N);
+    for _ in 0..N {
+        let reply = client.recv().expect("recv");
+        match reply.response {
+            Response::Estimate(_) => got.push(reply.id),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    got.sort_unstable();
+    assert_eq!(got, expected, "every id answered exactly once");
+    let report = server.shutdown();
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.shed, 0);
+}

@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use hdpm_core::{CharacterizationConfig, EngineOptions, ShardingConfig};
 use hdpm_netlist::{ModuleKind, ModuleSpec};
-use hdpm_server::{Server, ServerOptions};
+use hdpm_server::{Server, ServerConfigBuilder};
 
 /// A blocking line-oriented test client.
 struct Client {
@@ -68,14 +68,12 @@ fn quick_engine() -> EngineOptions {
     }
 }
 
-/// Options tuned for fast tests; deadline off unless a test sets one.
-fn quick_options() -> ServerOptions {
-    ServerOptions {
-        workers: 4,
-        deadline: None,
-        engine: quick_engine(),
-        ..ServerOptions::default()
-    }
+/// Config tuned for fast tests; deadline off unless a test sets one.
+fn quick_config() -> ServerConfigBuilder {
+    hdpm_server::ServerConfig::builder()
+        .workers(4)
+        .no_deadline()
+        .engine(quick_engine())
 }
 
 /// A request whose characterization is slow enough (hundreds of ms with
@@ -96,7 +94,7 @@ fn slow_engine() -> EngineOptions {
 
 #[test]
 fn concurrent_clients_on_one_uncached_spec_characterize_once() {
-    let server = Server::start(quick_options()).expect("start");
+    let server = Server::start(quick_config().build().unwrap()).expect("start");
     let request =
         "{\"op\":\"estimate\",\"module\":\"ripple_adder\",\"width\":6,\"data\":\"counter\",\"cycles\":128}";
     let replies: Vec<String> = std::thread::scope(|scope| {
@@ -131,12 +129,14 @@ fn concurrent_clients_on_one_uncached_spec_characterize_once() {
 
 #[test]
 fn saturated_queue_sheds_with_structured_overloaded_replies() {
-    let server = Server::start(ServerOptions {
-        workers: 1,
-        queue_depth: 1,
-        engine: slow_engine(),
-        ..quick_options()
-    })
+    let server = Server::start(
+        quick_config()
+            .workers(1)
+            .queue_depth(1)
+            .engine(slow_engine())
+            .build()
+            .unwrap(),
+    )
     .expect("start");
     let mut client = Client::connect(&server);
     client.send(SLOW_CHARACTERIZE);
@@ -168,12 +168,14 @@ fn saturated_queue_sheds_with_structured_overloaded_replies() {
 
 #[test]
 fn queued_requests_past_their_deadline_reply_timeout() {
-    let server = Server::start(ServerOptions {
-        workers: 1,
-        deadline: Some(Duration::from_millis(5)),
-        engine: slow_engine(),
-        ..quick_options()
-    })
+    let server = Server::start(
+        quick_config()
+            .workers(1)
+            .deadline(Duration::from_millis(5))
+            .engine(slow_engine())
+            .build()
+            .unwrap(),
+    )
     .expect("start");
     let mut client = Client::connect(&server);
     client.send(SLOW_CHARACTERIZE);
@@ -195,11 +197,13 @@ fn queued_requests_past_their_deadline_reply_timeout() {
 
 #[test]
 fn per_request_deadline_field_tightens_the_server_deadline() {
-    let server = Server::start(ServerOptions {
-        workers: 1,
-        engine: slow_engine(),
-        ..quick_options()
-    })
+    let server = Server::start(
+        quick_config()
+            .workers(1)
+            .engine(slow_engine())
+            .build()
+            .unwrap(),
+    )
     .expect("start");
     let mut client = Client::connect(&server);
     client.send(SLOW_CHARACTERIZE);
@@ -216,12 +220,13 @@ fn per_request_deadline_field_tightens_the_server_deadline() {
 
 #[test]
 fn slow_client_is_disconnected_by_write_timeout_and_server_survives() {
-    let server = Server::start(ServerOptions {
-        queue_depth: 100_000,
-        write_timeout: Duration::from_millis(200),
-        engine: quick_engine(),
-        ..quick_options()
-    })
+    let server = Server::start(
+        quick_config()
+            .queue_depth(100_000)
+            .write_timeout(Duration::from_millis(200))
+            .build()
+            .unwrap(),
+    )
     .expect("start");
     // Each reply echoes the unknown op, so a 4 KiB op makes ~4 KiB
     // replies. The client keeps writing and never reads: once the reply
@@ -266,10 +271,12 @@ fn slow_client_is_disconnected_by_write_timeout_and_server_survives() {
 
 #[test]
 fn idle_connections_are_reaped() {
-    let server = Server::start(ServerOptions {
-        idle_timeout: Duration::from_millis(100),
-        ..quick_options()
-    })
+    let server = Server::start(
+        quick_config()
+            .idle_timeout(Duration::from_millis(100))
+            .build()
+            .unwrap(),
+    )
     .expect("start");
     let mut client = Client::connect(&server);
     let reply = client.round_trip(STATS);
@@ -282,7 +289,7 @@ fn idle_connections_are_reaped() {
 
 #[test]
 fn malformed_and_invalid_utf8_lines_do_not_kill_the_connection() {
-    let server = Server::start(quick_options()).expect("start");
+    let server = Server::start(quick_config().build().unwrap()).expect("start");
     let mut client = Client::connect(&server);
     client.stream.write_all(b"not json\n").unwrap();
     client.stream.write_all(&[0xFF, 0xFE, 0x80, b'\n']).unwrap();
@@ -298,7 +305,7 @@ fn malformed_and_invalid_utf8_lines_do_not_kill_the_connection() {
 
 #[test]
 fn replies_arrive_in_request_order_despite_the_worker_pool() {
-    let server = Server::start(quick_options()).expect("start");
+    let server = Server::start(quick_config().build().unwrap()).expect("start");
     // Warm the spec so estimates are fast but still slower than stats.
     server
         .engine()
@@ -329,11 +336,7 @@ fn replies_arrive_in_request_order_despite_the_worker_pool() {
 
 #[test]
 fn connection_limit_rejects_with_overloaded() {
-    let server = Server::start(ServerOptions {
-        max_connections: 1,
-        ..quick_options()
-    })
-    .expect("start");
+    let server = Server::start(quick_config().max_connections(1).build().unwrap()).expect("start");
     let mut first = Client::connect(&server);
     assert!(first.round_trip(STATS).contains("\"ok\":true"));
     let mut second = Client::connect(&server);
@@ -350,11 +353,13 @@ fn connection_limit_rejects_with_overloaded() {
 
 #[test]
 fn shutdown_drains_in_flight_requests() {
-    let server = Server::start(ServerOptions {
-        workers: 2,
-        engine: slow_engine(),
-        ..quick_options()
-    })
+    let server = Server::start(
+        quick_config()
+            .workers(2)
+            .engine(slow_engine())
+            .build()
+            .unwrap(),
+    )
     .expect("start");
     let mut client = Client::connect(&server);
     client.send(SLOW_CHARACTERIZE);
@@ -384,11 +389,8 @@ fn server_cold_starts_and_serves_from_a_dirty_model_store() {
     let key = hdpm_core::ModelKey::new(spec, &engine_options().config, 4);
     std::fs::write(root.join(key.artifact_file_name()), "{torn artifact").expect("plant");
 
-    let server = Server::start(ServerOptions {
-        engine: engine_options(),
-        ..quick_options()
-    })
-    .expect("cold start survives a dirty store");
+    let server = Server::start(quick_config().engine(engine_options()).build().unwrap())
+        .expect("cold start survives a dirty store");
     let request =
         "{\"op\":\"estimate\",\"module\":\"ripple_adder\",\"width\":5,\"data\":\"counter\",\"cycles\":64}";
     let reply = Client::connect(&server).round_trip(request);
@@ -405,11 +407,8 @@ fn server_cold_starts_and_serves_from_a_dirty_model_store() {
     server.shutdown();
 
     // A second server over the repaired root serves straight from disk.
-    let server = Server::start(ServerOptions {
-        engine: engine_options(),
-        ..quick_options()
-    })
-    .expect("restart");
+    let server =
+        Server::start(quick_config().engine(engine_options()).build().unwrap()).expect("restart");
     let reply = Client::connect(&server).round_trip(request);
     assert!(
         reply.contains("\"ok\":true") && reply.contains("\"source\":\"disk\""),
@@ -421,7 +420,7 @@ fn server_cold_starts_and_serves_from_a_dirty_model_store() {
 
 #[test]
 fn draining_server_sheds_requests_that_arrive_too_late() {
-    let server = Server::start(quick_options()).expect("start");
+    let server = Server::start(quick_config().build().unwrap()).expect("start");
     let mut client = Client::connect(&server);
     assert!(client.round_trip(STATS).contains("\"ok\":true"));
     server.shutdown();

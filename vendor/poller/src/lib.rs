@@ -1,0 +1,468 @@
+//! Offline stand-in for the [`polling`](https://crates.io/crates/polling) /
+//! [`mio`](https://crates.io/crates/mio) family: a minimal readiness
+//! poller over Linux `epoll(7)` plus an `eventfd(2)` waker.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! exactly the API subset `hdpm-server`'s reactor needs:
+//!
+//! * [`Poller`] — one epoll instance; register/modify/deregister file
+//!   descriptors under a caller-chosen `u64` token and [`Interest`], and
+//!   [`Poller::wait`] for readiness [`Event`]s with an optional timeout.
+//!   Level-triggered (the epoll default): a readiness condition keeps
+//!   reporting until the caller consumes it or drops the interest.
+//! * [`Waker`] — an eventfd registered with a poller so other threads can
+//!   interrupt a blocked [`Poller::wait`] ([`Waker::wake`] is async-signal
+//!   and thread safe; [`Waker::drain`] resets it from the poll thread).
+//!
+//! All `unsafe` in the serving stack is confined to this crate: four
+//! thin FFI declarations onto symbols exported by the C library that
+//! `std` already links (`epoll_create1`, `epoll_ctl`, `epoll_wait`,
+//! `eventfd`) plus `read`/`write`/`close` on the raw eventfd. Every fd
+//! owned here is closed on drop. `epoll_ctl` is thread-safe against a
+//! concurrent `epoll_wait`, so a [`Poller`] may be shared (`&Poller` is
+//! `Send + Sync`); the registration bookkeeping is the caller's.
+//!
+//! Non-Linux platforms get a compiling stub whose constructors return
+//! [`std::io::ErrorKind::Unsupported`] — the TCP reactor is the only
+//! consumer and is Linux-hosted (matching the workspace's TSC clock and
+//! `/proc` advisory-lock tooling).
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::io;
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    // Bindings onto libc symbols std already links. Signatures mirror the
+    // Linux man pages; `epoll_data` is used as a plain u64 token.
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EFD_CLOEXEC: c_int = 0o2000000;
+    const EFD_NONBLOCK: c_int = 0o4000;
+
+    /// `struct epoll_event`; packed on x86-64, exactly as the kernel ABI
+    /// demands.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub fn epoll_create() -> io::Result<c_int> {
+        cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+    }
+
+    pub fn ctl(epfd: c_int, op: c_int, fd: c_int, events: u32, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events,
+            data: token,
+        };
+        cvt(unsafe { epoll_ctl(epfd, op, fd, &mut event) }).map(|_| ())
+    }
+
+    pub fn ctl_del(epfd: c_int, fd: c_int) -> io::Result<()> {
+        // Since Linux 2.6.9 the event argument of EPOLL_CTL_DEL is
+        // ignored, but must be non-null on older ABIs; pass one anyway.
+        let mut event = EpollEvent { events: 0, data: 0 };
+        cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_DEL, fd, &mut event) }).map(|_| ())
+    }
+
+    pub fn wait(epfd: c_int, events: &mut [EpollEvent], timeout_ms: c_int) -> io::Result<usize> {
+        loop {
+            let n =
+                unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms) };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+            // EINTR: retry; the caller's timeout accounting tolerates an
+            // early tick.
+        }
+    }
+
+    pub fn eventfd_new() -> io::Result<c_int> {
+        cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+    }
+
+    pub fn eventfd_write(fd: c_int) {
+        let one: u64 = 1;
+        // A full counter (EAGAIN) still leaves the fd readable, which is
+        // all a wake needs; other failures have no recovery path here.
+        let _ = unsafe { write(fd, (&raw const one).cast(), 8) };
+    }
+
+    pub fn eventfd_drain(fd: c_int) {
+        let mut buf: u64 = 0;
+        // Nonblocking: EAGAIN when already drained.
+        let _ = unsafe { read(fd, (&raw mut buf).cast(), 8) };
+    }
+
+    pub fn close_fd(fd: c_int) {
+        let _ = unsafe { close(fd) };
+    }
+}
+
+/// Readiness interest for a registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when the fd is readable (or the peer half-closed).
+    pub readable: bool,
+    /// Report when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Registered but silent (kept in the set for HUP/error edges only).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// The fd is readable.
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The peer closed (HUP/RDHUP): drain then tear down.
+    pub closed: bool,
+    /// An error condition is pending on the fd.
+    pub error: bool,
+}
+
+/// A raw file descriptor, as `std::os::fd::RawFd` (re-typed here so the
+/// stub builds off-Linux too).
+pub type RawFd = i32;
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{sys, Event, Interest, RawFd};
+    use std::io;
+    use std::time::Duration;
+
+    /// One epoll instance. See the [crate docs](crate).
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut events = sys::EPOLLRDHUP;
+        if interest.readable {
+            events |= sys::EPOLLIN;
+        }
+        if interest.writable {
+            events |= sys::EPOLLOUT;
+        }
+        events
+    }
+
+    impl Poller {
+        /// Create an epoll instance (close-on-exec).
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                epfd: sys::epoll_create()?,
+            })
+        }
+
+        /// Register `fd` under `token` with the given interest.
+        pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            sys::ctl(self.epfd, sys::EPOLL_CTL_ADD, fd, mask(interest), token)
+        }
+
+        /// Change the interest (and/or token) of a registered fd.
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            sys::ctl(self.epfd, sys::EPOLL_CTL_MOD, fd, mask(interest), token)
+        }
+
+        /// Remove a registration. Safe to call for an fd the kernel
+        /// already dropped (the error is surfaced, not panicked).
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            sys::ctl_del(self.epfd, fd)
+        }
+
+        /// Wait for readiness, appending into `events` (which is cleared
+        /// first). `None` blocks indefinitely. Returns the number of
+        /// events delivered; `0` means the timeout elapsed. Retries
+        /// `EINTR` internally.
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                // Round up so a 0 < t < 1 ms timeout still sleeps.
+                Some(t) => i32::try_from(t.as_millis().max(u128::from(u32::from(!t.is_zero()))))
+                    .unwrap_or(i32::MAX),
+            };
+            let mut raw = [sys::EpollEvent { events: 0, data: 0 }; 256];
+            let n = sys::wait(self.epfd, &mut raw, timeout_ms)?;
+            for slot in &raw[..n] {
+                let bits = slot.events;
+                events.push(Event {
+                    token: slot.data,
+                    readable: bits & sys::EPOLLIN != 0,
+                    writable: bits & sys::EPOLLOUT != 0,
+                    closed: bits & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+                    error: bits & sys::EPOLLERR != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            sys::close_fd(self.epfd);
+        }
+    }
+
+    /// An eventfd wake handle registered with a [`Poller`].
+    #[derive(Debug)]
+    pub struct Waker {
+        fd: RawFd,
+    }
+
+    impl Waker {
+        /// Create the eventfd and register it (readable) under `token`.
+        pub fn new(poller: &Poller, token: u64) -> io::Result<Waker> {
+            let fd = sys::eventfd_new()?;
+            if let Err(e) = poller.add(fd, token, Interest::READ) {
+                sys::close_fd(fd);
+                return Err(e);
+            }
+            Ok(Waker { fd })
+        }
+
+        /// Make the poller's next (or current) wait return an event for
+        /// this waker's token. Callable from any thread, any number of
+        /// times; wakes coalesce.
+        pub fn wake(&self) {
+            sys::eventfd_write(self.fd);
+        }
+
+        /// Reset the wake flag (call from the poll thread when the
+        /// waker's token is reported).
+        pub fn drain(&self) {
+            sys::eventfd_drain(self.fd);
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            sys::close_fd(self.fd);
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::{Event, Interest, RawFd};
+    use std::io;
+    use std::time::Duration;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "poller: epoll is Linux-only; the hdpm TCP reactor requires a Linux host",
+        ))
+    }
+
+    /// Non-Linux stub; every constructor fails with `Unsupported`.
+    #[derive(Debug)]
+    pub struct Poller {
+        _private: (),
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            unsupported()
+        }
+        pub fn add(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+            unsupported()
+        }
+        pub fn modify(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+            unsupported()
+        }
+        pub fn delete(&self, _fd: RawFd) -> io::Result<()> {
+            unsupported()
+        }
+        pub fn wait(
+            &self,
+            _events: &mut Vec<Event>,
+            _timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            unsupported()
+        }
+    }
+
+    /// Non-Linux stub; construction fails with `Unsupported`.
+    #[derive(Debug)]
+    pub struct Waker {
+        _private: (),
+    }
+
+    impl Waker {
+        pub fn new(_poller: &Poller, _token: u64) -> io::Result<Waker> {
+            unsupported()
+        }
+        pub fn wake(&self) {}
+        pub fn drain(&self) {}
+    }
+}
+
+pub use imp::{Poller, Waker};
+
+// The reactor shares `Poller`/`Waker` across threads: epoll_ctl and
+// epoll_wait are kernel-side thread-safe, eventfd writes are atomic.
+#[allow(unused)]
+fn _assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Poller>();
+    check::<Waker>();
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::new(Waker::new(&poller, 7).unwrap());
+        let wake_from_afar = {
+            let waker = std::sync::Arc::clone(&waker);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                waker.wake();
+            })
+        };
+        let mut events = Vec::new();
+        let started = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(n, 1, "the wake arrives long before the timeout");
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        waker.drain();
+        // Drained: the next wait times out instead of spinning.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0, "drained waker stays quiet");
+        wake_from_afar.join().unwrap();
+    }
+
+    #[test]
+    fn socket_readability_is_reported_and_level_triggered() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (served, _) = listener.accept().unwrap();
+        served.set_nonblocking(true).unwrap();
+        poller.add(served.as_raw_fd(), 42, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(100)))
+            .unwrap();
+        assert_eq!(n, 0, "nothing to read yet");
+        client.write_all(b"ping").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 42);
+        assert!(events[0].readable);
+        // Level-triggered: unread bytes keep reporting.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(100)))
+            .unwrap();
+        assert_eq!(n, 1, "unconsumed readability reports again");
+        // Interest can be muted without deregistering.
+        poller
+            .modify(served.as_raw_fd(), 42, Interest::NONE)
+            .unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert_eq!(n, 0, "muted registration is silent");
+        poller.delete(served.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn peer_close_reports_hup() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (served, _) = listener.accept().unwrap();
+        served.set_nonblocking(true).unwrap();
+        poller.add(served.as_raw_fd(), 1, Interest::READ).unwrap();
+        drop(client);
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].closed, "peer close reports HUP/RDHUP");
+    }
+}
