@@ -1,0 +1,361 @@
+//! `cluster_bench` — the `BENCH_cluster.json` recording flow.
+//!
+//! Measures the two things cluster mode exists for, with in-process
+//! fleets so the snapshot is reproducible from a clean checkout:
+//!
+//! * **warm scaling** — pipelined v1 throughput of the same total load
+//!   round-robined across a 1-, 2- and 3-node fleet (every node in
+//!   cluster mode with a disk store, so the measured hot path includes
+//!   the cluster request-path hook);
+//! * **cold start** — a fresh node joining next to a warm peer: time
+//!   from process start to `/readyz` flipping ready, and the latency of
+//!   its first request for a model the fleet already characterized —
+//!   with gossip pre-warm (the artifact arrives before readiness) vs
+//!   without (a standalone node pays the full characterization).
+//!
+//! ```sh
+//! cargo run --release -p hdpm-bench --bin cluster_bench -- --out BENCH_cluster.json
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use hdpm_cluster::{ClusterConfig, Peer};
+use hdpm_core::{CharacterizationConfig, EngineOptions, ShardingConfig};
+use hdpm_netlist::{ModuleKind, ModuleSpec};
+use hdpm_server::client::{Client, Proto, Request, Response};
+use hdpm_server::{Server, ServerConfig};
+use serde::Serialize;
+
+const CONNECTIONS: usize = 6;
+const REQUESTS: usize = 2000;
+/// Open-loop window per pipelined connection.
+const WINDOW: usize = 256;
+/// Widths the warm peer characterizes before the fresh node joins.
+const PREWARM_WIDTHS: &[usize] = &[6, 8, 10, 12];
+
+#[derive(Serialize)]
+struct WarmPoint {
+    nodes: usize,
+    requests: usize,
+    elapsed_s: f64,
+    requests_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct ColdArm {
+    time_to_ready_ms: u64,
+    first_request_ms: f64,
+    first_request_source: String,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    connections: usize,
+    requests_per_connection: usize,
+    warm: Vec<WarmPoint>,
+    prewarmed_specs: usize,
+    cold_with_prewarm: ColdArm,
+    cold_without_prewarm: ColdArm,
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--out" => out = Some(argv.next().unwrap_or_else(|| die("--out needs a value"))),
+            other => die(&format!("unknown option `{other}` (expected --out)")),
+        }
+    }
+
+    let scratch = scratch_dir();
+    let warm = (1..=3).map(|n| warm_point(n, &scratch)).collect();
+    let (prewarm, no_prewarm) = cold_start(&scratch);
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let snapshot = Snapshot {
+        connections: CONNECTIONS,
+        requests_per_connection: REQUESTS,
+        warm,
+        prewarmed_specs: PREWARM_WIDTHS.len(),
+        cold_with_prewarm: prewarm,
+        cold_without_prewarm: no_prewarm,
+    };
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    match out {
+        Some(path) => {
+            std::fs::write(&path, json + "\n").expect("snapshot written");
+            eprintln!("snapshot written to {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("cluster_bench: {message}");
+    std::process::exit(2);
+}
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hdpm_cluster_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Reserve `n` distinct ports: cluster peers must be known before any
+/// fleet member starts.
+fn reserve_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").port())
+        .collect()
+}
+
+fn engine_options(root: &Path) -> EngineOptions {
+    std::fs::create_dir_all(root).expect("store root");
+    EngineOptions {
+        config: CharacterizationConfig::builder()
+            .max_patterns(1500)
+            .build()
+            .expect("valid config"),
+        sharding: Some(ShardingConfig {
+            shards: 4,
+            threads: 0,
+        }),
+        disk_root: Some(root.to_path_buf()),
+        capacity: 64,
+    }
+}
+
+fn start_node(port: u16, root: &Path, cluster: Option<ClusterConfig>) -> Server {
+    let addr: SocketAddr = format!("127.0.0.1:{port}").parse().expect("addr");
+    let mut builder = ServerConfig::builder()
+        .addr(addr)
+        .admin_addr("127.0.0.1:0".parse().expect("addr"))
+        .workers(2)
+        .queue_depth(65_536)
+        .tracing(false)
+        .slow_threshold(Duration::from_secs(3600))
+        .engine(engine_options(root));
+    if let Some(cluster) = cluster {
+        builder = builder.cluster(cluster);
+    }
+    Server::start(builder.build().expect("valid config")).expect("server starts")
+}
+
+/// An n-node cluster fleet, every node listing the others as peers.
+fn start_fleet(n: usize, root: &Path) -> Vec<Server> {
+    let ports = reserve_ports(n);
+    (0..n)
+        .map(|i| {
+            let peers: Vec<Peer> = (0..n)
+                .filter(|j| *j != i)
+                .map(|j| Peer {
+                    id: format!("node{j}"),
+                    addr: format!("127.0.0.1:{}", ports[j]).parse().expect("addr"),
+                })
+                .collect();
+            let mut cluster = ClusterConfig::new(format!("node{i}"), peers);
+            cluster.gossip_interval = Duration::from_millis(200);
+            start_node(
+                ports[i],
+                &root.join(format!("fleet{n}_node{i}")),
+                Some(cluster),
+            )
+        })
+        .collect()
+}
+
+/// The warm request every measurement drives.
+fn request() -> Request {
+    Request::Estimate {
+        spec: ModuleSpec::new(ModuleKind::RippleAdder, 8usize),
+        data: hdpm_server::protocol::data_type("counter").expect("known type"),
+        cycles: 64,
+        seed: 7,
+    }
+}
+
+/// Pipelined v1 load round-robined across `targets`; returns
+/// (served requests, elapsed seconds).
+fn run_pipelined(targets: &[String]) -> (usize, f64) {
+    let started = Instant::now();
+    let request = request();
+    let request = &request;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CONNECTIONS)
+            .map(|i| {
+                let target = &targets[i % targets.len()];
+                scope.spawn(move || {
+                    let mut client = Client::connect(target, Proto::V1).expect("connect");
+                    let mut sent = 0usize;
+                    let mut received = 0usize;
+                    while received < REQUESTS {
+                        while sent < REQUESTS && sent - received < WINDOW {
+                            client.send(request, None).expect("send");
+                            sent += 1;
+                        }
+                        client.flush().expect("flush");
+                        match client.recv().expect("recv").response {
+                            Response::Estimate(_) => {}
+                            other => die(&format!("unexpected reply: {other:?}")),
+                        }
+                        received += 1;
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("client thread");
+        }
+    });
+    (CONNECTIONS * REQUESTS, started.elapsed().as_secs_f64())
+}
+
+fn warm_point(nodes: usize, scratch: &Path) -> WarmPoint {
+    let fleet = start_fleet(nodes, scratch);
+    let targets: Vec<String> = fleet.iter().map(|s| s.local_addr().to_string()).collect();
+    for target in &targets {
+        // One untimed round trip so every node's model cache is hot.
+        let mut client = Client::connect(target, Proto::V1).expect("connect");
+        match client.call(&request(), None).expect("warm").response {
+            Response::Estimate(_) => {}
+            other => die(&format!("warm-up failed: {other:?}")),
+        }
+    }
+    let (requests, elapsed_s) = run_pipelined(&targets);
+    for server in fleet {
+        server.shutdown();
+    }
+    let point = WarmPoint {
+        nodes,
+        requests,
+        elapsed_s,
+        requests_per_sec: requests as f64 / elapsed_s,
+    };
+    eprintln!(
+        "warm {} node(s): {:.0} requests/sec over {} requests",
+        point.nodes, point.requests_per_sec, point.requests
+    );
+    point
+}
+
+/// One raw v1 line round trip; returns the reply line.
+fn call_line(addr: &str, line: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    stream.write_all(line.as_bytes()).expect("send");
+    stream.write_all(b"\n").expect("send");
+    let mut reply = String::new();
+    BufReader::new(&mut stream)
+        .read_line(&mut reply)
+        .expect("reply");
+    reply
+}
+
+fn source_of(reply: &str) -> String {
+    reply
+        .split("\"source\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .unwrap_or_else(|| die(&format!("no source in reply: {reply}")))
+        .to_string()
+}
+
+fn http_get(admin: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(admin).expect("admin connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    response
+}
+
+fn await_ready(admin: SocketAddr) -> Duration {
+    let started = Instant::now();
+    loop {
+        if http_get(admin, "/readyz").starts_with("HTTP/1.0 200") {
+            return started.elapsed();
+        }
+        if started.elapsed() > Duration::from_secs(60) {
+            die("node never became ready");
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Measure one cold-start arm: start the node, wait for readiness, then
+/// time its first request for a model the fleet already knows.
+fn cold_arm(start: impl FnOnce() -> Server) -> ColdArm {
+    let started = Instant::now();
+    let server = start();
+    let admin = server.admin_addr().expect("admin plane on");
+    let ready = started.elapsed() + await_ready(admin);
+    let addr = server.local_addr().to_string();
+    let first = Instant::now();
+    let reply = call_line(
+        &addr,
+        "{\"op\":\"characterize\",\"module\":\"ripple_adder\",\"width\":8}",
+    );
+    let first_request_ms = first.elapsed().as_secs_f64() * 1e3;
+    let arm = ColdArm {
+        time_to_ready_ms: ready.as_millis() as u64,
+        first_request_ms,
+        first_request_source: source_of(&reply),
+    };
+    server.shutdown();
+    arm
+}
+
+/// The cold-start comparison: a fresh node next to a warm peer (gossip
+/// pre-warm) vs a fresh standalone node (no fleet to learn from).
+fn cold_start(scratch: &Path) -> (ColdArm, ColdArm) {
+    let ports = reserve_ports(2);
+    let peer = |i: usize, id: &str| Peer {
+        id: id.to_string(),
+        addr: format!("127.0.0.1:{}", ports[i]).parse().expect("addr"),
+    };
+    let mut seed_cluster = ClusterConfig::new("seed", vec![peer(1, "fresh")]);
+    seed_cluster.gossip_interval = Duration::from_millis(100);
+    let seed = start_node(ports[0], &scratch.join("cold_seed"), Some(seed_cluster));
+    let seed_addr = seed.local_addr().to_string();
+    for width in PREWARM_WIDTHS {
+        let reply = call_line(
+            &seed_addr,
+            &format!("{{\"op\":\"characterize\",\"module\":\"ripple_adder\",\"width\":{width}}}"),
+        );
+        assert!(reply.contains("\"ok\":true"), "seed characterize: {reply}");
+    }
+
+    let with_prewarm = cold_arm(|| {
+        let mut cluster = ClusterConfig::new("fresh", vec![peer(0, "seed")]);
+        cluster.gossip_interval = Duration::from_millis(100);
+        start_node(ports[1], &scratch.join("cold_fresh"), Some(cluster))
+    });
+    eprintln!(
+        "cold start with pre-warm: ready in {} ms, first request {:.1} ms ({})",
+        with_prewarm.time_to_ready_ms,
+        with_prewarm.first_request_ms,
+        with_prewarm.first_request_source
+    );
+    seed.shutdown();
+
+    let standalone_port = reserve_ports(1)[0];
+    let without_prewarm =
+        cold_arm(|| start_node(standalone_port, &scratch.join("cold_standalone"), None));
+    eprintln!(
+        "cold start without pre-warm: ready in {} ms, first request {:.1} ms ({})",
+        without_prewarm.time_to_ready_ms,
+        without_prewarm.first_request_ms,
+        without_prewarm.first_request_source
+    );
+    (with_prewarm, without_prewarm)
+}

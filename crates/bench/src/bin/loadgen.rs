@@ -10,7 +10,10 @@
 //!
 //! Without `--addr` an in-process server is started on an ephemeral port
 //! (engine: 1500 patterns, 4 shards), so the snapshot is reproducible
-//! from a clean checkout. `--proto v1|v2|both` (default both) selects
+//! from a clean checkout. `--targets addr1,addr2,...` spreads the load
+//! across a fleet instead: connection *i* dials target *i* mod N, the
+//! round-robin shape used for the cluster benchmark (`BENCH_cluster.json`).
+//! `--proto v1|v2|both` (default both) selects
 //! the wire protocol — v1 JSON lines or the binary framed v2 — and the
 //! snapshot keeps one series per protocol so the v2 speedup stays
 //! recorded. Two driving disciplines are measured per protocol:
@@ -101,6 +104,9 @@ struct ProtoSeries {
 struct Snapshot {
     connections: usize,
     requests_per_connection: usize,
+    /// Targets the connections were round-robined across (1 entry for
+    /// the single `--addr`/in-process flows).
+    targets: usize,
     v1: Option<ProtoSeries>,
     v2: Option<ProtoSeries>,
 }
@@ -129,6 +135,7 @@ struct TracingComparison {
 
 fn main() {
     let mut addr: Option<String> = None;
+    let mut targets_arg: Option<String> = None;
     let mut connections = 8usize;
     let mut requests = 2000usize;
     let mut mode = "both".to_string();
@@ -146,6 +153,7 @@ fn main() {
         };
         match arg.as_str() {
             "--addr" => addr = Some(value("--addr")),
+            "--targets" => targets_arg = Some(value("--targets")),
             "--connections" => connections = parse(&value("--connections")),
             "--requests" => requests = parse(&value("--requests")),
             "--mode" => mode = value("--mode"),
@@ -162,8 +170,9 @@ fn main() {
             }
             "--compare-tracing" => compare_tracing = true,
             other => die(&format!(
-                "unknown option `{other}` (expected --addr, --connections, --requests, \
-                 --mode, --proto, --idle-conns, --out, --replay, --tracing or --compare-tracing)"
+                "unknown option `{other}` (expected --addr, --targets, --connections, \
+                 --requests, --mode, --proto, --idle-conns, --out, --replay, --tracing \
+                 or --compare-tracing)"
             )),
         }
     }
@@ -175,16 +184,19 @@ fn main() {
         other => vec![Proto::parse(other).unwrap_or_else(|| die("--proto must be v1, v2 or both"))],
     };
     if compare_tracing {
-        if addr.is_some() {
-            die("--compare-tracing runs its own in-process servers; drop --addr");
+        if addr.is_some() || targets_arg.is_some() {
+            die("--compare-tracing runs its own in-process servers; drop --addr/--targets");
         }
         run_compare_tracing(connections, requests, out.as_deref());
         return;
     }
+    if addr.is_some() && targets_arg.is_some() {
+        die("--addr and --targets are exclusive (use --targets alone for a fleet)");
+    }
 
-    // An in-process server keeps the flow self-contained when no --addr
+    // An in-process server keeps the flow self-contained when no target
     // is given; replay mode requires a real target.
-    let local = if addr.is_none() {
+    let local = if addr.is_none() && targets_arg.is_none() {
         if replay.is_some() {
             die("--replay requires --addr");
         }
@@ -192,16 +204,32 @@ fn main() {
     } else {
         None
     };
-    let target = addr.unwrap_or_else(|| {
-        local
-            .as_ref()
-            .expect("local server")
-            .local_addr()
-            .to_string()
-    });
+    // The list connections round-robin across: the --targets fleet, or
+    // the single --addr/in-process address.
+    let targets: Vec<String> = match targets_arg {
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(str::to_string)
+            .collect(),
+        None => vec![addr.clone().unwrap_or_else(|| {
+            local
+                .as_ref()
+                .expect("local server")
+                .local_addr()
+                .to_string()
+        })],
+    };
+    if targets.is_empty() {
+        die("--targets needs at least one address");
+    }
 
     if let Some(path) = replay {
-        run_replay(&target, &path);
+        if targets.len() > 1 {
+            die("--replay is a single-server conformance flow; use --addr");
+        }
+        run_replay(&targets[0], &path);
         return;
     }
 
@@ -209,7 +237,7 @@ fn main() {
     // it, so the burst next door cannot have starved or killed them.
     let idle: Vec<Client> = (0..idle_conns)
         .map(|i| {
-            Client::connect(&target, *protos.last().expect("proto"))
+            Client::connect(&targets[i % targets.len()], *protos.last().expect("proto"))
                 .unwrap_or_else(|e| die(&format!("idle connection {i}: {e}")))
         })
         .collect();
@@ -219,11 +247,13 @@ fn main() {
 
     let mut series: Vec<(Proto, ProtoSeries)> = Vec::new();
     for proto in &protos {
-        warm(&target, *proto);
+        for target in &targets {
+            warm(target, *proto);
+        }
         let closed =
-            (mode != "pipelined").then(|| run_closed(&target, *proto, connections, requests));
+            (mode != "pipelined").then(|| run_closed(&targets, *proto, connections, requests));
         let pipelined =
-            (mode != "closed").then(|| run_pipelined(&target, *proto, connections, requests));
+            (mode != "closed").then(|| run_pipelined(&targets, *proto, connections, requests));
         for (name, d) in [("closed", &closed), ("pipelined", &pipelined)] {
             if let Some(d) = d {
                 eprintln!(
@@ -271,6 +301,7 @@ fn main() {
     let snapshot = Snapshot {
         connections,
         requests_per_connection: requests,
+        targets: targets.len(),
         v1: pick(Proto::V1, &mut series),
         v2: pick(Proto::V2, &mut series),
     };
@@ -352,19 +383,21 @@ fn tally(response: &Response, shed: &mut usize) {
     }
 }
 
-fn run_closed(target: &str, proto: Proto, connections: usize, requests: usize) -> Discipline {
+fn run_closed(targets: &[String], proto: Proto, connections: usize, requests: usize) -> Discipline {
     let started = Instant::now();
     let request = request();
+    let request = &request;
     let latencies: Vec<u64> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|i| {
+                let target = &targets[i % targets.len()];
+                scope.spawn(move || {
                     let mut client = client(target, proto);
                     let mut latencies = Vec::with_capacity(requests);
                     for _ in 0..requests {
                         let sent = Instant::now();
                         let reply = client
-                            .call(&request, None)
+                            .call(request, None)
                             .unwrap_or_else(|e| die(&format!("closed loop: {e}")));
                         latencies.push(sent.elapsed().as_nanos() as u64);
                         let mut shed = 0;
@@ -382,13 +415,20 @@ fn run_closed(target: &str, proto: Proto, connections: usize, requests: usize) -
     discipline(started, latencies, 0, true)
 }
 
-fn run_pipelined(target: &str, proto: Proto, connections: usize, requests: usize) -> Discipline {
+fn run_pipelined(
+    targets: &[String],
+    proto: Proto,
+    connections: usize,
+    requests: usize,
+) -> Discipline {
     let started = Instant::now();
     let request = request();
+    let request = &request;
     let shed: usize = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|i| {
+                let target = &targets[i % targets.len()];
+                scope.spawn(move || {
                     // A sliding window keeps the pipe full without the
                     // sender and receiver deadlocking on socket buffers.
                     let mut client = client(target, proto);
@@ -398,7 +438,7 @@ fn run_pipelined(target: &str, proto: Proto, connections: usize, requests: usize
                     while received < requests {
                         while sent < requests && sent - received < WINDOW {
                             client
-                                .send(&request, None)
+                                .send(request, None)
                                 .unwrap_or_else(|e| die(&format!("pipelined send: {e}")));
                             sent += 1;
                         }
@@ -518,7 +558,12 @@ fn run_compare_tracing(connections: usize, requests: usize, out: Option<&str>) {
     warm(&target_on, Proto::V1);
     let measure = |tracing: bool| {
         let target = if tracing { &target_on } else { &target_off };
-        let result = run_pipelined(target, Proto::V1, connections, requests);
+        let result = run_pipelined(
+            std::slice::from_ref(target),
+            Proto::V1,
+            connections,
+            requests,
+        );
         eprintln!(
             "tracing {:>3}: {:.0} requests/sec over {} requests",
             if tracing { "on" } else { "off" },

@@ -55,6 +55,9 @@ USAGE:
                     [--write-timeout-ms <ms>] [--max-conns <n>]
                     [--tracing <on|off>] [--slow-ms <ms>]
                     [--trace-capacity <n>] [--manifest <file>]
+                    [--node-id <id> --peers <id=ip:port,...>]
+                    [--replicas <r>] [--gossip-ms <ms>]
+                    [--warm-timeout-ms <ms>]
                     [engine options as for serve]
   hdpm top          --addr <admin ip:port> [--interval-ms <ms>] [--once]
                     [--raw] [--get <path>]
@@ -101,7 +104,14 @@ SERVER:
   structured slow_request line; the last --trace-capacity traces
   (default 256) live in a flight recorder dumped on drain, on panic and
   at /tracez. --admin-addr serves /metrics /healthz /readyz /tracez
-  over HTTP for scrapers and `hdpm top`.
+  /clusterz over HTTP for scrapers and `hdpm top`.
+  Cluster mode (docs/cluster.md): start every node with its own
+  --node-id, the other members under --peers and a shared --models
+  store root. A rendezvous ring assigns each model an owner plus
+  --replicas holders; non-owners fetch checksummed artifacts from the
+  owner or forward cold characterizations to it, and warm-key gossip
+  (every --gossip-ms, default 2000) pre-warms a fresh node before
+  /readyz flips (or after --warm-timeout-ms, default 10000, expires).
 
 TOP:
   live ops view over a running server's admin plane: polls

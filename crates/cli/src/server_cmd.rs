@@ -11,6 +11,7 @@
 use std::io::BufRead;
 use std::time::Duration;
 
+use hdpm_cluster::ClusterConfig;
 use hdpm_server::{Server, ServerConfig};
 use hdpm_telemetry as telemetry;
 
@@ -31,6 +32,11 @@ const SERVER_OPTIONS: &[&str] = &[
     "tracing",
     "slow-ms",
     "trace-capacity",
+    "node-id",
+    "peers",
+    "replicas",
+    "gossip-ms",
+    "warm-timeout-ms",
 ];
 
 /// Run the TCP server until stdin closes or says `shutdown`.
@@ -99,7 +105,35 @@ fn options_from(args: &ParsedArgs) -> Result<ServerConfig, Box<dyn std::error::E
     if let Some(admin_addr) = admin_addr {
         builder = builder.admin_addr(admin_addr);
     }
+    if let Some(cluster) = cluster_from(args)? {
+        builder = builder.cluster(cluster);
+    }
     Ok(builder.build()?)
+}
+
+/// Parse the cluster flags into a [`ClusterConfig`], or `None` when the
+/// server runs standalone. `--node-id` and `--peers` come as a pair:
+/// every fleet member is started with its own id and the *other*
+/// members' id=addr entries, so all nodes derive the same ring.
+fn cluster_from(args: &ParsedArgs) -> Result<Option<ClusterConfig>, Box<dyn std::error::Error>> {
+    let node_id = args.option("node-id");
+    let peers = args.option("peers");
+    let (node_id, peers) = match (node_id, peers) {
+        (None, None) => return Ok(None),
+        (Some(node_id), Some(peers)) => (node_id, peers),
+        (Some(_), None) => return Err("--node-id requires --peers (the other members)".into()),
+        (None, Some(_)) => return Err("--peers requires --node-id (this node's id)".into()),
+    };
+    let peers = hdpm_cluster::parse_peers(peers).map_err(|e| format!("--peers: {e}"))?;
+    let mut cluster = ClusterConfig::new(node_id, peers);
+    cluster.replicas = args.get_or("replicas", cluster.replicas)?;
+    cluster.gossip_interval = Duration::from_millis(
+        args.get_or("gossip-ms", cluster.gossip_interval.as_millis() as u64)?,
+    );
+    cluster.warm_timeout = Duration::from_millis(
+        args.get_or("warm-timeout-ms", cluster.warm_timeout.as_millis() as u64)?,
+    );
+    Ok(Some(cluster))
 }
 
 /// Start, block on the control stream, drain. Generic over the control
@@ -203,6 +237,51 @@ mod tests {
         assert_eq!(options.deadline, None);
         assert_eq!(options.engine.config.max_patterns, 1500);
         assert_eq!(options.addr.port(), 0, "ephemeral port by default");
+    }
+
+    #[test]
+    fn cluster_flags_parse_as_a_pair_with_a_store() {
+        let args = parse(&[
+            "server",
+            "--models",
+            "/tmp/hdpm-models",
+            "--node-id",
+            "node1",
+            "--peers",
+            "node2=127.0.0.1:7002,node3=127.0.0.1:7003",
+            "--replicas",
+            "2",
+            "--gossip-ms",
+            "500",
+            "--warm-timeout-ms",
+            "4000",
+        ]);
+        let options = options_from(&args).unwrap();
+        let cluster = options.cluster.expect("cluster configured");
+        assert_eq!(cluster.node_id, "node1");
+        assert_eq!(cluster.peers.len(), 2);
+        assert_eq!(cluster.replicas, 2);
+        assert_eq!(cluster.gossip_interval, Duration::from_millis(500));
+        assert_eq!(cluster.warm_timeout, Duration::from_millis(4000));
+
+        // Half a pair is a flag error, not a silent standalone server.
+        let half = parse(&["server", "--node-id", "node1"]);
+        let err = options_from(&half).unwrap_err().to_string();
+        assert!(err.contains("--peers"), "{err}");
+        let other_half = parse(&["server", "--peers", "node2=127.0.0.1:7002"]);
+        let err = options_from(&other_half).unwrap_err().to_string();
+        assert!(err.contains("--node-id"), "{err}");
+
+        // Cluster mode without a disk store is rejected at build time.
+        let no_store = parse(&[
+            "server",
+            "--node-id",
+            "node1",
+            "--peers",
+            "node2=127.0.0.1:7002",
+        ]);
+        let err = options_from(&no_store).unwrap_err().to_string();
+        assert!(err.contains("disk"), "{err}");
     }
 
     #[test]

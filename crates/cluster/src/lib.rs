@@ -1,0 +1,33 @@
+//! Cluster membership for hdpm serving fleets.
+//!
+//! N independent `hdpm server` processes become one cooperative fleet by
+//! agreeing, from static configuration alone, on which node *owns* each
+//! model artifact. This crate holds the shared-nothing pieces of that
+//! agreement — no sockets, no filesystem:
+//!
+//! * [`Ring`] — rendezvous (highest-random-weight) hashing over the
+//!   member ids, assigning every model key an owner plus R replicas.
+//!   Every node computes the same assignment independently, and removing
+//!   a member only remaps the keys that member held.
+//! * [`ClusterConfig`] / [`Peer`] — static peer configuration as passed
+//!   on the command line (`--node-id`, `--peers id=addr,...`).
+//! * [`ClusterState`] — one node's live view of the fleet: the ring,
+//!   transfer/forward/gossip counters ([`ClusterStats`]), per-peer
+//!   health ([`PeerHealth`]), and the warm-up gate ([`WarmState`]) that
+//!   holds `/readyz` at `503 warming` until the first gossip exchange
+//!   pre-warms the cache or the warm timeout expires.
+//!
+//! The wire work — peer-fetch of envelope bytes, forwarded
+//! characterizations, warm-key exchange — lives in `hdpm-server`, which
+//! consumes this crate. See `docs/cluster.md` for the full protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod ring;
+mod state;
+
+pub use config::{parse_peers, ClusterConfig, Peer};
+pub use ring::Ring;
+pub use state::{ClusterState, ClusterStats, PeerHealth, PeerStatus, StatsSnapshot, WarmState};

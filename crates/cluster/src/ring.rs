@@ -1,0 +1,177 @@
+//! Rendezvous-hash ownership ring.
+//!
+//! For each (member, key) pair the ring computes a deterministic 64-bit
+//! score; the members with the highest scores hold the key, the single
+//! highest being the owner. Unlike a token ring, rendezvous hashing needs
+//! no virtual nodes for balance and has minimal disruption by
+//! construction: removing a member only remaps the keys that member held,
+//! because every other member's score for every key is unchanged.
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a over a byte string — the same hash the model store uses for
+/// checksums and fingerprints, reimplemented here so the ring has no
+/// dependency on the store crate.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A rendezvous-hash ownership ring over a fixed member set.
+///
+/// Keys are the `Display` form of a `ModelKey` (spec, configuration
+/// fingerprint, shard count), so two differently-configured fleets can
+/// never confuse each other's artifacts even if their member ids collide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ring {
+    members: Vec<String>,
+    replicas: usize,
+}
+
+impl Ring {
+    /// A ring over `members` where each key is held by its owner plus
+    /// `replicas` further members (when that many exist). Members are
+    /// deduplicated; order of the input does not matter.
+    pub fn new(members: impl IntoIterator<Item = String>, replicas: usize) -> Ring {
+        let mut members: Vec<String> = members.into_iter().collect();
+        members.sort();
+        members.dedup();
+        Ring { members, replicas }
+    }
+
+    /// The member ids, sorted.
+    pub fn members(&self) -> &[String] {
+        &self.members
+    }
+
+    /// Configured replica count (holders beyond the owner).
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Rendezvous score of one member for one key. The member id and key
+    /// are joined with a NUL so `("ab", "c")` and `("a", "bc")` cannot
+    /// collide.
+    fn score(member: &str, key: &str) -> u64 {
+        let mut bytes = Vec::with_capacity(member.len() + 1 + key.len());
+        bytes.extend_from_slice(member.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(key.as_bytes());
+        fnv1a64(&bytes)
+    }
+
+    /// The members holding `key`: the owner first, then up to
+    /// [`Ring::replicas`] replicas, in descending rendezvous order.
+    /// Empty only for an empty ring.
+    pub fn holders(&self, key: &str) -> Vec<&str> {
+        let mut scored: Vec<(u64, &str)> = self
+            .members
+            .iter()
+            .map(|m| (Ring::score(m, key), m.as_str()))
+            .collect();
+        // Descending by score; member name as a deterministic tiebreak.
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(b.1)));
+        scored
+            .into_iter()
+            .take(1 + self.replicas)
+            .map(|(_, m)| m)
+            .collect()
+    }
+
+    /// The single owner of `key`, or `None` for an empty ring.
+    pub fn owner(&self, key: &str) -> Option<&str> {
+        self.holders(key).first().copied()
+    }
+
+    /// Whether `member` is the owner or one of the replicas of `key`.
+    pub fn is_holder(&self, member: &str, key: &str) -> bool {
+        self.holders(key).contains(&member)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring3(replicas: usize) -> Ring {
+        Ring::new(["node1", "node2", "node3"].map(String::from), replicas)
+    }
+
+    #[test]
+    fn ownership_is_deterministic_and_order_independent() {
+        let a = ring3(1);
+        let b = Ring::new(["node3", "node1", "node2", "node1"].map(String::from), 1);
+        assert_eq!(a, b, "sorting and dedup normalize construction");
+        for key in [
+            "ripple_adder_4_cfgdeadbeef_sh8",
+            "csa_multiplier_16x16_cfg0_sh4",
+        ] {
+            assert_eq!(a.owner(key), b.owner(key));
+            assert_eq!(a.holders(key), b.holders(key));
+        }
+    }
+
+    #[test]
+    fn holders_are_distinct_members_led_by_the_owner() {
+        let ring = ring3(1);
+        let holders = ring.holders("some_key");
+        assert_eq!(holders.len(), 2, "owner plus one replica");
+        assert_ne!(holders[0], holders[1]);
+        assert_eq!(ring.owner("some_key"), Some(holders[0]));
+        assert!(ring.is_holder(holders[0], "some_key"));
+        assert!(ring.is_holder(holders[1], "some_key"));
+        // Replica count is capped by the member count.
+        let wide = ring3(10);
+        assert_eq!(wide.holders("some_key").len(), 3);
+    }
+
+    #[test]
+    fn keys_spread_across_members() {
+        let ring = ring3(0);
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..300 {
+            let key = format!("ripple_adder_{i}_cfg0123456789abcdef_sh8");
+            *counts
+                .entry(ring.owner(&key).unwrap().to_string())
+                .or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 3, "every member owns some keys: {counts:?}");
+        for (member, count) in &counts {
+            assert!(
+                (40..=160).contains(count),
+                "grossly unbalanced ownership for {member}: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_member_only_remaps_its_own_keys() {
+        let full = ring3(0);
+        let reduced = Ring::new(["node1", "node2"].map(String::from), 0);
+        for i in 0..200 {
+            let key = format!("barrel_shifter_{i}_cfg0123456789abcdef_sh4");
+            let before = full.owner(&key).unwrap();
+            let after = reduced.owner(&key).unwrap();
+            if before != "node3" {
+                assert_eq!(before, after, "surviving assignment is stable for {key}");
+            } else {
+                assert!(after == "node1" || after == "node2");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = Ring::new(Vec::<String>::new(), 1);
+        assert_eq!(ring.owner("k"), None);
+        assert!(ring.holders("k").is_empty());
+        assert!(!ring.is_holder("node1", "k"));
+    }
+}

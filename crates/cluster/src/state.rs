@@ -1,0 +1,383 @@
+//! One node's live view of the fleet: the ring, transfer/forward/gossip
+//! counters, per-peer health, and the pre-warm readiness gate.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use hdpm_telemetry as telemetry;
+
+use crate::config::{ClusterConfig, Peer};
+use crate::ring::Ring;
+
+/// Monotonic counters of cluster activity. Every recording also feeds
+/// the process-wide telemetry registry under a `cluster.*` name, so the
+/// counters show up on `/metrics` alongside everything else; the local
+/// atomics back the structured `/clusterz` snapshot.
+#[derive(Debug, Default)]
+pub struct ClusterStats {
+    fetch_hits: AtomicU64,
+    fetch_misses: AtomicU64,
+    fetch_errors: AtomicU64,
+    forwards: AtomicU64,
+    forward_fallbacks: AtomicU64,
+    gossip_rounds: AtomicU64,
+    warm_keys_sent: AtomicU64,
+    warm_keys_learned: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+/// Plain snapshot of [`ClusterStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Peer fetches that returned a verified artifact.
+    pub fetch_hits: u64,
+    /// Peer fetches answered "not present" (the owner had not
+    /// characterized yet).
+    pub fetch_misses: u64,
+    /// Peer fetches that failed (connect, timeout, refused, oversized).
+    pub fetch_errors: u64,
+    /// Cold characterizations forwarded to the owner.
+    pub forwards: u64,
+    /// Forwards that fell back to a local characterization.
+    pub forward_fallbacks: u64,
+    /// Completed gossip rounds (every peer attempted once).
+    pub gossip_rounds: u64,
+    /// Warm keys advertised to peers.
+    pub warm_keys_sent: u64,
+    /// Warm keys learned from peers.
+    pub warm_keys_learned: u64,
+    /// Peer-fetched payloads that failed verification and were
+    /// quarantined instead of admitted.
+    pub quarantined: u64,
+}
+
+impl ClusterStats {
+    /// A peer fetch returned a verified artifact.
+    pub fn record_fetch_hit(&self) {
+        self.fetch_hits.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("cluster.fetch.hit", 1);
+    }
+
+    /// A peer fetch was answered "not present".
+    pub fn record_fetch_miss(&self) {
+        self.fetch_misses.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("cluster.fetch.miss", 1);
+    }
+
+    /// A peer fetch failed outright.
+    pub fn record_fetch_error(&self) {
+        self.fetch_errors.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("cluster.fetch.error", 1);
+    }
+
+    /// A cold characterization was forwarded to the owner.
+    pub fn record_forward(&self) {
+        self.forwards.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("cluster.forward", 1);
+    }
+
+    /// A forward failed and the node characterized locally instead.
+    pub fn record_forward_fallback(&self) {
+        self.forward_fallbacks.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("cluster.forward.fallback", 1);
+    }
+
+    /// A gossip round (every peer attempted once) completed.
+    pub fn record_gossip_round(&self) {
+        self.gossip_rounds.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("cluster.gossip.round", 1);
+    }
+
+    /// `n` warm keys were advertised to a peer.
+    pub fn record_warm_keys_sent(&self, n: u64) {
+        self.warm_keys_sent.fetch_add(n, Ordering::Relaxed);
+        telemetry::counter_add("cluster.warm.keys.sent", n);
+    }
+
+    /// `n` warm keys were learned from a peer.
+    pub fn record_warm_keys_learned(&self, n: u64) {
+        self.warm_keys_learned.fetch_add(n, Ordering::Relaxed);
+        telemetry::counter_add("cluster.warm.keys.learned", n);
+    }
+
+    /// A peer-fetched payload failed verification and was quarantined.
+    pub fn record_quarantine(&self) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("cluster.quarantine", 1);
+    }
+
+    /// Consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            fetch_hits: self.fetch_hits.load(Ordering::Relaxed),
+            fetch_misses: self.fetch_misses.load(Ordering::Relaxed),
+            fetch_errors: self.fetch_errors.load(Ordering::Relaxed),
+            forwards: self.forwards.load(Ordering::Relaxed),
+            forward_fallbacks: self.forward_fallbacks.load(Ordering::Relaxed),
+            gossip_rounds: self.gossip_rounds.load(Ordering::Relaxed),
+            warm_keys_sent: self.warm_keys_sent.load(Ordering::Relaxed),
+            warm_keys_learned: self.warm_keys_learned.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Outcome history of one peer, as shown on `/clusterz`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PeerStatus {
+    /// Operations against this peer that succeeded.
+    pub ok: u64,
+    /// Operations against this peer that failed.
+    pub errors: u64,
+    /// Whether the most recent operation succeeded.
+    pub reachable: bool,
+    /// Detail of the most recent failure, if any.
+    pub last_error: Option<String>,
+}
+
+/// Per-peer health bookkeeping, keyed by member id.
+#[derive(Debug, Default)]
+pub struct PeerHealth {
+    peers: Mutex<BTreeMap<String, PeerStatus>>,
+}
+
+impl PeerHealth {
+    /// Record a successful operation against `peer`.
+    pub fn record_ok(&self, peer: &str) {
+        let mut peers = self.peers.lock().expect("peer health lock");
+        let status = peers.entry(peer.to_string()).or_default();
+        status.ok += 1;
+        status.reachable = true;
+    }
+
+    /// Record a failed operation against `peer`.
+    pub fn record_error(&self, peer: &str, detail: impl Into<String>) {
+        let mut peers = self.peers.lock().expect("peer health lock");
+        let status = peers.entry(peer.to_string()).or_default();
+        status.errors += 1;
+        status.reachable = false;
+        status.last_error = Some(detail.into());
+    }
+
+    /// Snapshot of every peer seen so far, sorted by member id.
+    pub fn snapshot(&self) -> Vec<(String, PeerStatus)> {
+        let peers = self.peers.lock().expect("peer health lock");
+        peers
+            .iter()
+            .map(|(id, s)| (id.clone(), s.clone()))
+            .collect()
+    }
+}
+
+/// The pre-warm readiness gate: a fresh node reports `503 warming` on
+/// `/readyz` until its first gossip exchange has pre-warmed the cache,
+/// or until the configured warm timeout expires — whichever is first.
+#[derive(Debug)]
+pub struct WarmState {
+    started: Instant,
+    complete: AtomicBool,
+    prewarmed: AtomicU64,
+}
+
+impl Default for WarmState {
+    fn default() -> Self {
+        WarmState {
+            started: Instant::now(),
+            complete: AtomicBool::new(false),
+            prewarmed: AtomicU64::new(0),
+        }
+    }
+}
+
+impl WarmState {
+    /// Declare pre-warm complete (first useful gossip round finished, or
+    /// there is nothing to wait for).
+    pub fn mark_complete(&self) {
+        self.complete.store(true, Ordering::Release);
+    }
+
+    /// Whether pre-warm has been declared complete (ignoring the
+    /// timeout).
+    pub fn is_complete(&self) -> bool {
+        self.complete.load(Ordering::Acquire)
+    }
+
+    /// Count `n` models pre-warmed from peers before readiness.
+    pub fn record_prewarmed(&self, n: u64) {
+        self.prewarmed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Models pre-warmed from peers so far.
+    pub fn prewarmed(&self) -> u64 {
+        self.prewarmed.load(Ordering::Relaxed)
+    }
+
+    /// Whether the node may serve: pre-warm completed, or its budget
+    /// (`warm_timeout`) has expired.
+    pub fn ready(&self, warm_timeout: std::time::Duration) -> bool {
+        self.is_complete() || self.started.elapsed() >= warm_timeout
+    }
+}
+
+/// One node's complete cluster state: configuration, the ring derived
+/// from it, and all live bookkeeping. Built once at server start and
+/// shared (behind an `Arc`) by the request path, the gossip thread and
+/// the admin plane.
+#[derive(Debug)]
+pub struct ClusterState {
+    config: ClusterConfig,
+    ring: Ring,
+    stats: ClusterStats,
+    health: PeerHealth,
+    warm: WarmState,
+}
+
+impl ClusterState {
+    /// Validate `config` and derive the ring from its member set.
+    ///
+    /// # Errors
+    ///
+    /// The [`ClusterConfig::validate`] error, verbatim.
+    pub fn new(config: ClusterConfig) -> Result<ClusterState, String> {
+        config.validate()?;
+        let ring = Ring::new(config.member_ids(), config.replicas);
+        Ok(ClusterState {
+            config,
+            ring,
+            stats: ClusterStats::default(),
+            health: PeerHealth::default(),
+            warm: WarmState::default(),
+        })
+    }
+
+    /// The static configuration this state was built from.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The ownership ring over all member ids.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Cluster activity counters.
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
+    }
+
+    /// Per-peer health bookkeeping.
+    pub fn health(&self) -> &PeerHealth {
+        &self.health
+    }
+
+    /// The pre-warm readiness gate.
+    pub fn warm(&self) -> &WarmState {
+        &self.warm
+    }
+
+    /// Whether this node is the owner of `key`.
+    pub fn owns(&self, key: &str) -> bool {
+        self.ring.owner(key) == Some(self.config.node_id.as_str())
+    }
+
+    /// The remote holders of `key` (owner first, replicas after), i.e.
+    /// the peers this node may fetch `key` from — excludes itself.
+    pub fn holder_peers(&self, key: &str) -> Vec<&Peer> {
+        self.ring
+            .holders(key)
+            .into_iter()
+            .filter_map(|id| self.config.peer(id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ClusterState {
+        let peers = crate::parse_peers("node2=127.0.0.1:7002,node3=127.0.0.1:7003").unwrap();
+        ClusterState::new(ClusterConfig::new("node1", peers)).unwrap()
+    }
+
+    #[test]
+    fn state_derives_the_ring_from_all_members() {
+        let state = state();
+        assert_eq!(state.ring().members().len(), 3);
+        let key = "ripple_adder_8_cfg0123456789abcdef_sh8";
+        let holders = state.ring().holders(key);
+        assert_eq!(holders.len(), 2, "owner plus one replica by default");
+        assert_eq!(
+            state.owns(key),
+            holders[0] == "node1",
+            "owns() agrees with the ring"
+        );
+        // holder_peers never contains this node and preserves ring order.
+        let peer_ids: Vec<&str> = state
+            .holder_peers(key)
+            .iter()
+            .map(|p| p.id.as_str())
+            .collect();
+        assert!(!peer_ids.contains(&"node1"));
+        for id in &peer_ids {
+            assert!(holders.contains(id));
+        }
+    }
+
+    #[test]
+    fn stats_snapshot_reflects_recordings() {
+        let state = state();
+        state.stats().record_fetch_hit();
+        state.stats().record_fetch_miss();
+        state.stats().record_forward();
+        state.stats().record_forward_fallback();
+        state.stats().record_gossip_round();
+        state.stats().record_warm_keys_sent(3);
+        state.stats().record_warm_keys_learned(2);
+        state.stats().record_quarantine();
+        state.stats().record_fetch_error();
+        let snap = state.stats().snapshot();
+        assert_eq!(snap.fetch_hits, 1);
+        assert_eq!(snap.fetch_misses, 1);
+        assert_eq!(snap.fetch_errors, 1);
+        assert_eq!(snap.forwards, 1);
+        assert_eq!(snap.forward_fallbacks, 1);
+        assert_eq!(snap.gossip_rounds, 1);
+        assert_eq!(snap.warm_keys_sent, 3);
+        assert_eq!(snap.warm_keys_learned, 2);
+        assert_eq!(snap.quarantined, 1);
+    }
+
+    #[test]
+    fn peer_health_tracks_latest_outcome() {
+        let state = state();
+        state.health().record_ok("node2");
+        state.health().record_error("node2", "connect refused");
+        state.health().record_ok("node3");
+        let snapshot = state.health().snapshot();
+        assert_eq!(snapshot.len(), 2);
+        let node2 = &snapshot[0].1;
+        assert_eq!(snapshot[0].0, "node2");
+        assert_eq!((node2.ok, node2.errors), (1, 1));
+        assert!(!node2.reachable);
+        assert_eq!(node2.last_error.as_deref(), Some("connect refused"));
+        assert!(snapshot[1].1.reachable);
+    }
+
+    #[test]
+    fn warm_gate_opens_on_completion_or_timeout() {
+        let state = state();
+        let long = std::time::Duration::from_secs(3600);
+        assert!(!state.warm().ready(long));
+        assert!(
+            state.warm().ready(std::time::Duration::ZERO),
+            "an expired budget opens the gate without completion"
+        );
+        state.warm().record_prewarmed(4);
+        state.warm().mark_complete();
+        assert!(state.warm().ready(long));
+        assert_eq!(state.warm().prewarmed(), 4);
+    }
+}

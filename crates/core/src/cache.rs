@@ -218,6 +218,24 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn evictions(&self) -> u64 {
         self.evictions
     }
+
+    /// Up to `limit` keys ordered most-recently-used first — the
+    /// "hottest" working set. Does not touch recency or the counters;
+    /// cluster warm-key gossip uses this to tell peers what this cache
+    /// is actually serving.
+    pub fn hottest(&self, limit: usize) -> Vec<K> {
+        let mut entries: Vec<(&K, u64)> = self
+            .map
+            .iter()
+            .map(|(key, slot)| (key, slot.last_used))
+            .collect();
+        entries.sort_by_key(|&(_, last_used)| std::cmp::Reverse(last_used));
+        entries
+            .into_iter()
+            .take(limit)
+            .map(|(key, _)| key.clone())
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -487,6 +487,31 @@ impl PowerEngine {
         Ok(report)
     }
 
+    /// Up to `limit` cache keys ordered most-recently-used first — the
+    /// working set this engine is actually serving. Cluster warm-key
+    /// gossip advertises these to peers.
+    pub fn hottest_keys(&self, limit: usize) -> Vec<ModelKey> {
+        let inner = self.inner.lock().expect("engine lock");
+        inner.cache.hottest(limit)
+    }
+
+    /// Whether a model for `spec` is already available locally, in either
+    /// tier, without fetching (and in particular without characterizing).
+    /// Racy by nature — a concurrent eviction or store write can change
+    /// the answer — so callers treat it as a hint, not a guarantee.
+    pub fn has_model(&self, spec: ModuleSpec) -> bool {
+        let key = self.key_for(spec);
+        {
+            let inner = self.inner.lock().expect("engine lock");
+            if inner.cache.peek(&key).is_some() {
+                return true;
+            }
+        }
+        self.library
+            .as_ref()
+            .is_some_and(|library| library.contains(spec))
+    }
+
     /// Counter snapshot of the cache tiers and characterization activity.
     pub fn stats(&self) -> EngineStats {
         let inner = self.inner.lock().expect("engine lock");

@@ -64,6 +64,17 @@ pub struct EnvelopeMeta {
 }
 
 impl EnvelopeMeta {
+    /// The full identity of a [`crate::ModelKey`]: spec, configuration
+    /// fingerprint and shard count, all stated. Peer-fetch admits a
+    /// remote envelope only against this exact identity.
+    pub fn for_key(key: &crate::cache::ModelKey) -> EnvelopeMeta {
+        EnvelopeMeta {
+            spec: Some(key.spec.to_string()),
+            config_fingerprint: Some(key.config_hash),
+            shards: Some(key.shards),
+        }
+    }
+
     fn to_value(&self) -> Value {
         let mut fields = Vec::new();
         if let Some(spec) = &self.spec {
@@ -253,6 +264,106 @@ pub fn load_classified<T: DeserializeOwned>(
             kind,
             detail,
         }),
+    }
+}
+
+/// Read an artifact's raw envelope bytes for verbatim wire transfer,
+/// verifying them first exactly as [`load_classified`] would.
+///
+/// Only a current-version envelope with a verified checksum and an
+/// identity matching `expected` is returned; a legacy bare payload is
+/// refused (it carries no checksum to re-verify on the receiving side),
+/// so the bytes handed out here are always independently checkable by
+/// the peer that admits them.
+///
+/// # Errors
+///
+/// [`ModelError::Io`] if the file cannot be read, [`ModelError::Artifact`]
+/// if it does not verify as a current envelope for `expected`.
+pub fn read_envelope_bytes<T: DeserializeOwned>(
+    path: impl AsRef<Path>,
+    expected: &EnvelopeMeta,
+) -> Result<Vec<u8>, ModelError> {
+    let path = path.as_ref();
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            return Err(ModelError::Artifact {
+                path: path.to_path_buf(),
+                kind: ArtifactFaultKind::Truncated,
+                detail: format!("not readable as UTF-8 text: {e}"),
+            })
+        }
+        Err(e) => return Err(ModelError::Io(e)),
+    };
+    match classify_text::<T>(&text, expected) {
+        Classified::Valid {
+            status: EnvelopeStatus::Current,
+            ..
+        } => Ok(text.into_bytes()),
+        Classified::Valid {
+            status: EnvelopeStatus::LegacyPayload,
+            ..
+        } => Err(ModelError::Artifact {
+            path: path.to_path_buf(),
+            kind: ArtifactFaultKind::StaleVersion,
+            detail: "bare pre-envelope payload cannot be shipped verbatim (no checksum); \
+                     migrate it first"
+                .to_string(),
+        }),
+        Classified::Fault { kind, detail } => Err(ModelError::Artifact {
+            path: path.to_path_buf(),
+            kind,
+            detail,
+        }),
+    }
+}
+
+/// Admit envelope bytes received from a peer into the local store at
+/// `path`, verifying them first.
+///
+/// The bytes must parse as a current-version envelope whose checksum
+/// verifies and whose identity matches `expected`; legacy bare payloads
+/// are refused over the wire. On success the bytes are written verbatim
+/// via the same crash-safe atomic path as [`save_with_meta`], so the
+/// admitted artifact is byte-identical to the sender's. Nothing is
+/// written on any verification failure.
+///
+/// # Errors
+///
+/// [`ModelError::Artifact`] (typed, with `path` as the intended
+/// destination) when verification fails; [`ModelError::Io`] when the
+/// atomic write fails.
+pub fn admit_envelope_bytes<T: DeserializeOwned>(
+    bytes: &[u8],
+    expected: &EnvelopeMeta,
+    path: impl AsRef<Path>,
+) -> Result<(), ModelError> {
+    let path = path.as_ref();
+    let artifact_fault = |kind, detail: String| ModelError::Artifact {
+        path: path.to_path_buf(),
+        kind,
+        detail,
+    };
+    let text = std::str::from_utf8(bytes).map_err(|e| {
+        artifact_fault(
+            ArtifactFaultKind::Truncated,
+            format!("received bytes are not UTF-8 text: {e}"),
+        )
+    })?;
+    match classify_text::<T>(text, expected) {
+        Classified::Valid {
+            status: EnvelopeStatus::Current,
+            ..
+        } => write_atomic(path, bytes),
+        Classified::Valid {
+            status: EnvelopeStatus::LegacyPayload,
+            ..
+        } => Err(artifact_fault(
+            ArtifactFaultKind::StaleVersion,
+            "bare pre-envelope payload is not admissible over the wire (no checksum)".to_string(),
+        )),
+        Classified::Fault { kind, detail } => Err(artifact_fault(kind, detail)),
     }
 }
 
@@ -701,6 +812,101 @@ mod tests {
         save(&model(), &path).unwrap();
         let back: HdModel = load(&path).unwrap();
         assert_eq!(back, model());
+    }
+
+    #[test]
+    fn envelope_bytes_round_trip_verbatim_between_stores() {
+        let dir = TempDir::new("persist_wire");
+        let src = dir.path().join("src/model.json");
+        let dst = dir.path().join("dst/model.json");
+        let meta = EnvelopeMeta {
+            spec: Some("persist_test_3".into()),
+            config_fingerprint: Some(0xAB),
+            shards: Some(4),
+        };
+        save_with_meta(&model(), &meta, &src).unwrap();
+        let bytes = read_envelope_bytes::<HdModel>(&src, &meta).unwrap();
+        admit_envelope_bytes::<HdModel>(&bytes, &meta, &dst).unwrap();
+        assert_eq!(
+            std::fs::read(&src).unwrap(),
+            std::fs::read(&dst).unwrap(),
+            "admitted artifact is byte-identical to the source"
+        );
+        let (back, status) = load_classified::<HdModel>(&dst, &meta).unwrap();
+        assert_eq!(back, model());
+        assert_eq!(status, EnvelopeStatus::Current);
+    }
+
+    #[test]
+    fn corrupt_or_foreign_bytes_are_never_admitted() {
+        let dir = TempDir::new("persist_admit");
+        let src = dir.path().join("model.json");
+        let dst = dir.path().join("admitted.json");
+        let meta = EnvelopeMeta {
+            spec: Some("persist_test_3".into()),
+            config_fingerprint: Some(0xAB),
+            shards: Some(4),
+        };
+        save_with_meta(&model(), &meta, &src).unwrap();
+        let good = std::fs::read(&src).unwrap();
+        // Flipped payload byte: checksum mismatch.
+        let corrupt = String::from_utf8(good.clone())
+            .unwrap()
+            .replacen("1.5", "1.6", 1)
+            .into_bytes();
+        assert_ne!(good, corrupt);
+        match admit_envelope_bytes::<HdModel>(&corrupt, &meta, &dst) {
+            Err(ModelError::Artifact { kind, .. }) => {
+                assert_eq!(kind, ArtifactFaultKind::ChecksumMismatch);
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        assert!(!dst.exists(), "nothing written on verification failure");
+        // Envelope for a different key: foreign.
+        let foreign = EnvelopeMeta {
+            config_fingerprint: Some(0xCD),
+            ..meta.clone()
+        };
+        match admit_envelope_bytes::<HdModel>(&good, &foreign, &dst) {
+            Err(ModelError::Artifact { kind, .. }) => {
+                assert_eq!(kind, ArtifactFaultKind::Foreign);
+            }
+            other => panic!("expected foreign fault, got {other:?}"),
+        }
+        assert!(!dst.exists());
+        // Legacy bare payload: refused over the wire.
+        let legacy = to_json(&model()).unwrap().into_bytes();
+        match admit_envelope_bytes::<HdModel>(&legacy, &EnvelopeMeta::default(), &dst) {
+            Err(ModelError::Artifact { kind, .. }) => {
+                assert_eq!(kind, ArtifactFaultKind::StaleVersion);
+            }
+            other => panic!("expected stale-version refusal, got {other:?}"),
+        }
+        assert!(!dst.exists());
+    }
+
+    #[test]
+    fn legacy_artifacts_are_not_readable_as_wire_bytes() {
+        let dir = TempDir::new("persist_wire_legacy");
+        let path = dir.path().join("legacy.json");
+        std::fs::write(&path, to_json(&model()).unwrap()).unwrap();
+        match read_envelope_bytes::<HdModel>(&path, &EnvelopeMeta::default()) {
+            Err(ModelError::Artifact { kind, .. }) => {
+                assert_eq!(kind, ArtifactFaultKind::StaleVersion);
+            }
+            other => panic!("expected stale-version refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn meta_for_key_states_the_full_identity() {
+        let config = crate::CharacterizationConfig::default();
+        let spec = hdpm_netlist::ModuleSpec::new(hdpm_netlist::ModuleKind::RippleAdder, 8usize);
+        let key = crate::cache::ModelKey::new(spec, &config, 4);
+        let meta = EnvelopeMeta::for_key(&key);
+        assert_eq!(meta.spec.as_deref(), Some("ripple_adder_8"));
+        assert_eq!(meta.config_fingerprint, Some(key.config_hash));
+        assert_eq!(meta.shards, Some(4));
     }
 
     #[test]

@@ -39,12 +39,15 @@ pub const META_DIR: &str = "meta";
 // ---------------------------------------------------------------------------
 
 /// A held per-artifact advisory lock: a `<artifact>.lock` file created
-/// with `O_EXCL`, containing the holder's pid. Released (deleted) on drop.
+/// with `O_EXCL`, containing the holder's pid and process start time.
+/// Released (deleted) on drop.
 ///
 /// Two processes sharing a model directory use these to serialize
 /// characterize-and-store of the same key; a lock whose holder is no
 /// longer alive (checked via `/proc` on Linux) is treated as stale and
-/// broken.
+/// broken. Recording the start time guards against pid reuse: a live
+/// process that merely recycled a dead holder's pid has a different
+/// start time, so its presence does not keep the stale lock held.
 #[derive(Debug)]
 pub(crate) struct StoreLock {
     path: PathBuf,
@@ -77,9 +80,18 @@ impl StoreLock {
         loop {
             match OpenOptions::new().write(true).create_new(true).open(&path) {
                 Ok(mut file) => {
-                    // Best-effort: the pid is advisory metadata for
-                    // staleness checks and diagnostics, not correctness.
-                    let _ = write!(file, "{}", std::process::id());
+                    // Best-effort: the pid and start time are advisory
+                    // metadata for staleness checks and diagnostics, not
+                    // correctness.
+                    let pid = std::process::id();
+                    match proc_start_time(pid) {
+                        Some(start) => {
+                            let _ = write!(file, "{pid} {start}");
+                        }
+                        None => {
+                            let _ = write!(file, "{pid}");
+                        }
+                    }
                     let _ = file.sync_all();
                     return Ok(StoreLock { path });
                 }
@@ -92,10 +104,9 @@ impl StoreLock {
                     }
                     if start.elapsed() >= timeout {
                         let holder = fs::read_to_string(&path).unwrap_or_default();
-                        let detail = if holder.trim().is_empty() {
-                            "holder unknown".to_string()
-                        } else {
-                            format!("held by pid {}", holder.trim())
+                        let detail = match holder.split_whitespace().next() {
+                            None => "holder unknown".to_string(),
+                            Some(pid) => format!("held by pid {pid}"),
                         };
                         return Err(ModelError::StoreLock {
                             path,
@@ -119,14 +130,30 @@ impl Drop for StoreLock {
 
 /// Whether a lock file's recorded holder is provably dead. Conservative:
 /// unreadable/unparseable holders (e.g. a lock mid-write) are *not* stale.
+///
+/// A lock recording `pid start_time` is also stale when the pid is alive
+/// but its start time differs from the recorded one: the original holder
+/// died and an unrelated process recycled its pid. Locks recording only a
+/// pid (older writers) keep the conservative pid-liveness check.
 fn lock_is_stale(path: &Path) -> bool {
     let Ok(content) = fs::read_to_string(path) else {
         return false;
     };
-    let Ok(pid) = content.trim().parse::<u32>() else {
+    let mut parts = content.split_whitespace();
+    let Some(Ok(pid)) = parts.next().map(str::parse::<u32>) else {
         return false;
     };
-    pid_is_dead(pid)
+    if pid_is_dead(pid) {
+        return true;
+    }
+    if let Some(recorded) = parts.next().and_then(|t| t.parse::<u64>().ok()) {
+        if let Some(live) = proc_start_time(pid) {
+            // The pid is alive, but it is not the process that wrote the
+            // lock — the holder died and its pid was recycled.
+            return live != recorded;
+        }
+    }
+    false
 }
 
 #[cfg(target_os = "linux")]
@@ -139,6 +166,23 @@ fn pid_is_dead(_pid: u32) -> bool {
     // Without a portable liveness probe, never break a lock; waiters
     // fall back to the timeout error.
     false
+}
+
+/// Kernel start time of a process (`starttime`, clock ticks since boot),
+/// the field that distinguishes two incarnations of the same pid.
+#[cfg(target_os = "linux")]
+fn proc_start_time(pid: u32) -> Option<u64> {
+    let stat = fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    // Field 2 (comm) may itself contain spaces and parentheses, so split
+    // after the LAST ')': the remainder is whitespace-separated starting
+    // at field 3 (state). starttime is field 22, i.e. index 19 here.
+    let after_comm = stat.rsplit_once(')')?.1;
+    after_comm.split_whitespace().nth(19)?.parse().ok()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn proc_start_time(_pid: u32) -> Option<u64> {
+    None
 }
 
 // ---------------------------------------------------------------------------
@@ -400,10 +444,8 @@ fn classify_entry(path: &Path, file_name: &str, in_meta: bool) -> (FsckStatus, S
             (FsckStatus::StaleLock, "holder is dead".to_string())
         } else {
             let holder = fs::read_to_string(path).unwrap_or_default();
-            (
-                FsckStatus::HeldLock,
-                format!("holder pid {}", holder.trim()),
-            )
+            let pid = holder.split_whitespace().next().unwrap_or("").to_string();
+            (FsckStatus::HeldLock, format!("holder pid {pid}"))
         };
     }
     if in_meta {
@@ -603,6 +645,35 @@ mod tests {
         std::fs::write(lock_path(&artifact), "999999999").unwrap();
         let _lock = StoreLock::acquire(&artifact, Duration::from_millis(200))
             .expect("stale lock is broken, not waited out");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn recycled_pid_lock_is_broken_via_start_time() {
+        let dir = TempDir::new("store_recycled");
+        let artifact = dir.join("m.json");
+        // A live pid with a start time no real process has: models a lock
+        // whose holder died and whose pid was recycled by another process.
+        let pid = std::process::id();
+        std::fs::write(lock_path(&artifact), format!("{pid} {}", u64::MAX)).unwrap();
+        let _lock = StoreLock::acquire(&artifact, Duration::from_millis(200))
+            .expect("recycled-pid lock is broken, not waited out");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_holder_with_matching_start_time_keeps_the_lock() {
+        let dir = TempDir::new("store_live_holder");
+        let artifact = dir.join("m.json");
+        let pid = std::process::id();
+        let start = proc_start_time(pid).expect("own /proc stat is readable");
+        std::fs::write(lock_path(&artifact), format!("{pid} {start}")).unwrap();
+        match StoreLock::acquire(&artifact, Duration::from_millis(80)) {
+            Err(ModelError::StoreLock { detail, .. }) => {
+                assert!(detail.contains(&pid.to_string()), "{detail}");
+            }
+            other => panic!("expected a held lock timeout, got {other:?}"),
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! | `/healthz` | liveness: `200 ok` while the process serves HTTP         |
 //! | `/readyz`  | readiness: `200` only when not draining and the store probe passes; `503` otherwise |
 //! | `/tracez`  | JSON dump of the flight recorder (most recent traces last) |
+//! | `/clusterz`| cluster mode: ring view, warm-gate status, counters and peer health (404 when off) |
 //!
 //! The implementation is deliberately small: HTTP/1.0-style one request
 //! per connection, GET only, `Connection: close`, one short-lived thread
@@ -139,10 +140,18 @@ fn serve_one(mut stream: TcpStream, shared: &Arc<Shared>) {
                 ),
             },
             "/tracez" => respond("200 OK", "application/json", &tracez_body()),
+            "/clusterz" => match shared.clusterz_text() {
+                Some(body) => respond("200 OK", "application/json", &body),
+                None => respond(
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    "cluster mode is off (start with --node-id/--peers)\n",
+                ),
+            },
             _ => respond(
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                "unknown path (try /metrics /healthz /readyz /tracez)\n",
+                "unknown path (try /metrics /healthz /readyz /tracez /clusterz)\n",
             ),
         }
     };

@@ -626,6 +626,14 @@ fn decode_v2_ok(op: wire::Opcode, payload: &[u8]) -> Result<Response, ClientErro
                 Err(ClientError::Protocol("non-empty pong payload".into()))
             }
         }
+        // The cluster ops are node-to-node; this client never sends
+        // them, so a reply under one of their ids is a peer bug.
+        wire::Opcode::FetchModel | wire::Opcode::HaveModel | wire::Opcode::WarmKeys => {
+            Err(ClientError::Protocol(format!(
+                "unexpected {} reply (cluster ops are not client ops)",
+                op.as_str()
+            )))
+        }
     }
 }
 

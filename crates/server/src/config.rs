@@ -30,6 +30,7 @@
 use std::net::SocketAddr;
 use std::time::Duration;
 
+use hdpm_cluster::ClusterConfig;
 use hdpm_core::EngineOptions;
 
 /// A validated server configuration. Construct via
@@ -71,6 +72,10 @@ pub struct ServerConfig {
     /// End-to-end latency above which a completed request logs one
     /// `slow_request` line (tracing only).
     pub slow_threshold: Duration,
+    /// Cluster membership; `None` runs a standalone node. Requires a
+    /// disk-tier engine (`engine.disk_root`), because peer-fetched
+    /// artifacts are admitted through the on-disk store.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl ServerConfig {
@@ -94,6 +99,7 @@ impl ServerConfig {
                 admin_addr: None,
                 tracing: true,
                 slow_threshold: Duration::from_millis(250),
+                cluster: None,
             },
         }
     }
@@ -125,6 +131,15 @@ pub enum ConfigError {
     /// connection down while its one pending request was still within
     /// deadline. Carries `(deadline, idle_timeout)`.
     DeadlineExceedsIdleTimeout(Duration, Duration),
+    /// Cluster mode without a disk-tier engine: peer-fetched artifacts
+    /// are admitted through the on-disk store, so `--models` is
+    /// mandatory for cluster members.
+    ClusterNeedsDiskStore,
+    /// The cluster configuration itself is inconsistent (empty or
+    /// duplicate member ids, a peer claiming this node's id, a zero
+    /// gossip interval). Carries the description from
+    /// `hdpm_cluster::ClusterConfig::validate`.
+    InvalidCluster(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -147,6 +162,14 @@ impl std::fmt::Display for ConfigError {
                 deadline.as_millis(),
                 idle.as_millis()
             ),
+            ConfigError::ClusterNeedsDiskStore => write!(
+                f,
+                "cluster mode requires a disk-tier engine (--models): peer-fetched \
+                 artifacts are admitted through the on-disk store"
+            ),
+            ConfigError::InvalidCluster(detail) => {
+                write!(f, "invalid cluster configuration: {detail}")
+            }
         }
     }
 }
@@ -254,6 +277,13 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Join a cluster: this node's identity and its peers.
+    #[must_use]
+    pub fn cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.config.cluster = Some(cluster);
+        self
+    }
+
     /// Validate the assembled configuration.
     ///
     /// # Errors
@@ -283,6 +313,12 @@ impl ServerConfigBuilder {
                     c.idle_timeout,
                 ));
             }
+        }
+        if let Some(cluster) = &c.cluster {
+            if c.engine.disk_root.is_none() {
+                return Err(ConfigError::ClusterNeedsDiskStore);
+            }
+            cluster.validate().map_err(ConfigError::InvalidCluster)?;
         }
         Ok(c)
     }
@@ -379,6 +415,41 @@ mod tests {
                 Duration::from_secs(60)
             )
         );
+    }
+
+    #[test]
+    fn cluster_mode_requires_a_disk_store_and_a_sane_member_set() {
+        let peers = hdpm_cluster::parse_peers("node2=127.0.0.1:7002").unwrap();
+        let cluster = ClusterConfig::new("node1", peers.clone());
+        assert_eq!(
+            ServerConfig::builder()
+                .cluster(cluster.clone())
+                .build()
+                .unwrap_err(),
+            ConfigError::ClusterNeedsDiskStore
+        );
+        let disk_engine = EngineOptions {
+            disk_root: Some(std::path::PathBuf::from("/tmp/models")),
+            ..EngineOptions::default()
+        };
+        let config = ServerConfig::builder()
+            .engine(disk_engine.clone())
+            .cluster(cluster)
+            .build()
+            .unwrap();
+        assert_eq!(config.cluster.unwrap().node_id, "node1");
+        // An inconsistent member set surfaces the cluster crate's message.
+        let bad = ClusterConfig::new("node2", peers);
+        match ServerConfig::builder()
+            .engine(disk_engine)
+            .cluster(bad)
+            .build()
+        {
+            Err(ConfigError::InvalidCluster(detail)) => {
+                assert!(detail.contains("same id"), "{detail}");
+            }
+            other => panic!("expected InvalidCluster, got {other:?}"),
+        }
     }
 
     #[test]

@@ -65,6 +65,7 @@
 
 mod admin;
 pub mod client;
+mod cluster;
 mod config;
 pub mod protocol;
 mod queue;

@@ -287,6 +287,17 @@ pub fn trim_line(raw: &[u8]) -> &[u8] {
     raw.strip_suffix(b"\r").unwrap_or(raw)
 }
 
+/// The module spec a request addresses, when its op has one and the
+/// fields resolve — the cluster ensure-model hook keys on this before
+/// the request reaches the engine. Unresolvable requests return `None`
+/// and fail later with their usual structured error.
+pub(crate) fn request_spec(request: &Request) -> Option<ModuleSpec> {
+    match request.op.as_str() {
+        "estimate" | "characterize" => spec_of(request).ok(),
+        _ => None,
+    }
+}
+
 fn spec_of(request: &Request) -> Result<ModuleSpec, RequestError> {
     let bad = |message: String| (ErrorKind::BadRequest, message);
     let name = request

@@ -56,13 +56,15 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use hdpm_core::{resolve_threads, PowerEngine};
+use hdpm_core::persist::{self, EnvelopeMeta};
+use hdpm_core::{resolve_threads, Characterization, PowerEngine};
 use hdpm_telemetry as telemetry;
 use hdpm_telemetry::{trace as trace_mod, Stage, TraceCtx};
 use poller::Poller;
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 use crate::admin::AdminServer;
+use crate::cluster::{self, ClusterRuntime};
 use crate::config::ServerConfig;
 use crate::protocol::{self, ErrorKind};
 use crate::queue::{Bounded, PushError};
@@ -246,6 +248,9 @@ pub(crate) struct Shared {
     slow_threshold: Duration,
     /// The engine's disk tier root, probed by `/readyz`.
     store_root: Option<PathBuf>,
+    /// Cluster mode, when configured: the ring, peer health, counters
+    /// and this node's ensure gate.
+    cluster: Option<ClusterRuntime>,
 }
 
 impl Shared {
@@ -458,6 +463,11 @@ impl Shared {
                 return Some(outcome);
             }
         }
+        if let (Some(rt), Some(root)) = (&self.cluster, &self.store_root) {
+            if let Some(spec) = protocol::request_spec(&request) {
+                cluster::ensure_model(rt, &self.engine, root, spec);
+            }
+        }
         let (value, status) = match protocol::handle_traced(&self.engine, &request, trace) {
             Ok(reply) => {
                 self.totals.ok.fetch_add(1, Ordering::Relaxed);
@@ -520,9 +530,11 @@ impl Shared {
 
     // --- admin-plane probes (crate::admin) ------------------------------
 
-    /// Whether the server should report ready: not draining, and the
-    /// engine's disk tier (when configured) still present. The engine
-    /// stats probe doubles as a health check of the engine lock.
+    /// Whether the server should report ready: not draining, the
+    /// engine's disk tier (when configured) still present, and — in
+    /// cluster mode — the gossip pre-warm either complete or out of
+    /// budget. The engine stats probe doubles as a health check of the
+    /// engine lock.
     pub(crate) fn readiness(&self) -> Result<(), String> {
         if self.draining() {
             return Err("draining".to_string());
@@ -532,8 +544,104 @@ impl Shared {
                 return Err(format!("store root missing: {}", root.display()));
             }
         }
+        if let Some(rt) = &self.cluster {
+            let state = &rt.state;
+            if !state.warm().ready(state.config().warm_timeout) {
+                return Err(format!(
+                    "warming: gossip pre-warm in progress ({} models pre-warmed)",
+                    state.warm().prewarmed()
+                ));
+            }
+        }
         let _ = self.engine.stats();
         Ok(())
+    }
+
+    /// The `/clusterz` body: one JSON object with this node's ring view,
+    /// warm-gate status, cluster counters and per-peer health. `None`
+    /// when the server is not in cluster mode.
+    pub(crate) fn clusterz_text(&self) -> Option<String> {
+        let rt = self.cluster.as_ref()?;
+        let state = &rt.state;
+        let config = state.config();
+        let stats = state.stats().snapshot();
+        let ring = Value::Object(vec![
+            (
+                "members".into(),
+                Value::Array(
+                    state
+                        .ring()
+                        .members()
+                        .iter()
+                        .map(|m| Value::Str(m.clone()))
+                        .collect(),
+                ),
+            ),
+            ("replicas".into(), Value::Int(config.replicas as i64)),
+        ]);
+        let warm = Value::Object(vec![
+            ("complete".into(), Value::Bool(state.warm().is_complete())),
+            (
+                "ready".into(),
+                Value::Bool(state.warm().ready(config.warm_timeout)),
+            ),
+            (
+                "prewarmed".into(),
+                Value::Int(state.warm().prewarmed() as i64),
+            ),
+        ]);
+        let counters = Value::Object(vec![
+            ("fetch_hits".into(), Value::Int(stats.fetch_hits as i64)),
+            ("fetch_misses".into(), Value::Int(stats.fetch_misses as i64)),
+            ("fetch_errors".into(), Value::Int(stats.fetch_errors as i64)),
+            ("forwards".into(), Value::Int(stats.forwards as i64)),
+            (
+                "forward_fallbacks".into(),
+                Value::Int(stats.forward_fallbacks as i64),
+            ),
+            (
+                "gossip_rounds".into(),
+                Value::Int(stats.gossip_rounds as i64),
+            ),
+            (
+                "warm_keys_sent".into(),
+                Value::Int(stats.warm_keys_sent as i64),
+            ),
+            (
+                "warm_keys_learned".into(),
+                Value::Int(stats.warm_keys_learned as i64),
+            ),
+            ("quarantined".into(), Value::Int(stats.quarantined as i64)),
+        ]);
+        let peers = Value::Array(
+            state
+                .health()
+                .snapshot()
+                .into_iter()
+                .map(|(id, status)| {
+                    Value::Object(vec![
+                        ("id".into(), Value::Str(id)),
+                        ("reachable".into(), Value::Bool(status.reachable)),
+                        ("ok".into(), Value::Int(status.ok as i64)),
+                        ("errors".into(), Value::Int(status.errors as i64)),
+                        (
+                            "last_error".into(),
+                            status.last_error.map_or(Value::Null, Value::Str),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let body = Value::Object(vec![
+            ("node_id".into(), Value::Str(config.node_id.clone())),
+            ("ring".into(), ring),
+            ("warm".into(), warm),
+            ("counters".into(), counters),
+            ("peers".into(), peers),
+        ]);
+        let mut text = protocol::render(&body);
+        text.push('\n');
+        Some(text)
     }
 
     /// The `/metrics` exposition: live engine/server gauges rendered
@@ -574,6 +682,7 @@ pub struct Server {
     reactors: Vec<JoinHandle<()>>,
     reactor_handles: Vec<Arc<ReactorHandle>>,
     admin: Option<AdminServer>,
+    gossip: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -598,6 +707,12 @@ impl Server {
             config.reactors
         };
         let store_root = config.engine.disk_root.clone();
+        let cluster = config
+            .cluster
+            .clone()
+            .map(ClusterRuntime::new)
+            .transpose()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         let shared = Arc::new(Shared {
             engine: PowerEngine::new(config.engine),
             queue: Bounded::new(config.queue_depth),
@@ -613,7 +728,25 @@ impl Server {
             tracing: config.tracing,
             slow_threshold: config.slow_threshold.max(Duration::from_nanos(1)),
             store_root,
+            cluster,
         });
+        let gossip = if shared.cluster.is_some() {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("hdpm-gossip".into())
+                    .spawn(move || {
+                        let rt = shared.cluster.as_ref().expect("cluster configured");
+                        let root = shared
+                            .store_root
+                            .as_ref()
+                            .expect("cluster mode requires a disk store");
+                        cluster::run_gossip(&rt.state, &shared.engine, root, &|| shared.draining());
+                    })?,
+            )
+        } else {
+            None
+        };
         let admin = config
             .admin_addr
             .map(|admin_addr| AdminServer::start(admin_addr, Arc::clone(&shared)))
@@ -672,6 +805,7 @@ impl Server {
             reactors,
             reactor_handles,
             admin,
+            gossip,
         })
     }
 
@@ -713,6 +847,10 @@ impl Server {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // The gossip loop observes `draining` within one sleep slice.
+        if let Some(gossip) = self.gossip.take() {
+            let _ = gossip.join();
         }
         // Workers are done writing; let the reactors flush the last
         // buffered bytes (bounded by the write timeout) and exit.
@@ -976,6 +1114,9 @@ fn execute_frame(
         Some(wire::Opcode::Characterize) => exec_characterize(shared, payload, trace),
         Some(wire::Opcode::Stats) => Ok(wire::encode_stats_reply(&shared.engine.stats()).to_vec()),
         Some(wire::Opcode::Ping) => Ok(Vec::new()),
+        Some(wire::Opcode::FetchModel) => exec_fetch_model(shared, payload),
+        Some(wire::Opcode::HaveModel) => exec_have_model(shared, payload),
+        Some(wire::Opcode::WarmKeys) => exec_warm_keys(shared, payload),
         None => Err((
             ErrorKind::BadRequest,
             format!("unknown opcode {}", frame.op),
@@ -1030,6 +1171,9 @@ fn exec_estimate(
         }
     }
     let params = wire::decode_estimate_request(payload).map_err(|m| (ErrorKind::BadRequest, m))?;
+    if let (Some(rt), Some(root)) = (&shared.cluster, &shared.store_root) {
+        cluster::ensure_model(rt, &shared.engine, root, params.spec);
+    }
     let (m1, _) = params.spec.width.operand_widths();
     let dist = trace.time(Stage::Estimate, || {
         protocol::input_distribution(
@@ -1068,6 +1212,9 @@ fn exec_characterize(
 ) -> Result<Vec<u8>, (ErrorKind, String)> {
     let params =
         wire::decode_characterize_request(payload).map_err(|m| (ErrorKind::BadRequest, m))?;
+    if let (Some(rt), Some(root)) = (&shared.cluster, &shared.store_root) {
+        cluster::ensure_model(rt, &shared.engine, root, params.spec);
+    }
     let (characterization, source) = shared
         .engine
         .fetch_traced(params.spec, trace)
@@ -1079,6 +1226,70 @@ fn exec_characterize(
         source: wire::source_code(source),
     };
     Ok(wire::encode_characterize_reply(&reply).to_vec())
+}
+
+/// Serve a peer's fetch-model request: stream the stored artifact's
+/// envelope bytes verbatim, so the peer can re-verify the checksum
+/// independently. An empty ok payload means "not on disk" — envelope
+/// files are never empty, so the encoding is unambiguous.
+fn exec_fetch_model(shared: &Arc<Shared>, payload: &[u8]) -> Result<Vec<u8>, (ErrorKind, String)> {
+    let spec = wire::decode_spec_request(payload).map_err(|m| (ErrorKind::BadRequest, m))?;
+    let Some(root) = &shared.store_root else {
+        return Err((
+            ErrorKind::BadRequest,
+            "this node has no disk store to fetch from".to_string(),
+        ));
+    };
+    let key = shared.engine.key_for(spec);
+    let path = root.join(key.artifact_file_name());
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    match persist::read_envelope_bytes::<Characterization>(&path, &EnvelopeMeta::for_key(&key)) {
+        Ok(bytes) if bytes.len() > wire::MAX_PAYLOAD as usize => Err((
+            ErrorKind::Engine,
+            format!(
+                "artifact {} is {} bytes, over the {} byte frame cap",
+                path.display(),
+                bytes.len(),
+                wire::MAX_PAYLOAD
+            ),
+        )),
+        Ok(bytes) => Ok(bytes),
+        // A racing delete between the exists() probe and the read is the
+        // same "not on disk" answer.
+        Err(hdpm_core::ModelError::Io(e)) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err((ErrorKind::Engine, e.to_string())),
+    }
+}
+
+/// Serve a peer's have-model probe: one byte, present in either tier or
+/// absent.
+fn exec_have_model(shared: &Arc<Shared>, payload: &[u8]) -> Result<Vec<u8>, (ErrorKind, String)> {
+    let spec = wire::decode_spec_request(payload).map_err(|m| (ErrorKind::BadRequest, m))?;
+    let reply = if shared.engine.has_model(spec) {
+        wire::HaveModelReply::Present
+    } else {
+        wire::HaveModelReply::Absent
+    };
+    Ok(wire::encode_have_model_reply(reply).to_vec())
+}
+
+/// Serve a peer's warm-keys exchange: validate the advertised list (the
+/// sender's side of the gossip does the learning), reply with this
+/// node's hottest keys.
+fn exec_warm_keys(shared: &Arc<Shared>, payload: &[u8]) -> Result<Vec<u8>, (ErrorKind, String)> {
+    let _theirs = wire::decode_warm_keys(payload).map_err(|m| (ErrorKind::BadRequest, m))?;
+    let specs: Vec<hdpm_netlist::ModuleSpec> = shared
+        .engine
+        .hottest_keys(wire::WARM_KEYS_MAX)
+        .iter()
+        .map(|key| key.spec)
+        .collect();
+    if let Some(rt) = &shared.cluster {
+        rt.state.stats().record_warm_keys_sent(specs.len() as u64);
+    }
+    Ok(wire::encode_warm_keys(&specs))
 }
 
 #[cfg(test)]

@@ -73,6 +73,16 @@ pub enum Opcode {
     Stats = 3,
     /// Liveness no-op (empty payload, empty ok reply).
     Ping = 4,
+    /// Cluster peer-fetch: stream a stored artifact's envelope bytes
+    /// verbatim (payload: 5-byte spec; ok reply: the envelope, or empty
+    /// when the artifact is not on disk).
+    FetchModel = 5,
+    /// Cluster presence probe (payload: 5-byte spec; ok reply: one
+    /// [`HaveModelReply`] byte).
+    HaveModel = 6,
+    /// Cluster warm-key gossip: exchange hottest specs (payload and ok
+    /// reply: a warm-keys list, see [`encode_warm_keys`]).
+    WarmKeys = 7,
 }
 
 impl Opcode {
@@ -83,6 +93,9 @@ impl Opcode {
             2 => Some(Opcode::Characterize),
             3 => Some(Opcode::Stats),
             4 => Some(Opcode::Ping),
+            5 => Some(Opcode::FetchModel),
+            6 => Some(Opcode::HaveModel),
+            7 => Some(Opcode::WarmKeys),
             _ => None,
         }
     }
@@ -95,6 +108,9 @@ impl Opcode {
             Opcode::Characterize => "characterize",
             Opcode::Stats => "stats",
             Opcode::Ping => "ping",
+            Opcode::FetchModel => "fetch-model",
+            Opcode::HaveModel => "have-model",
+            Opcode::WarmKeys => "warm-keys",
         }
     }
 }
@@ -421,6 +437,114 @@ pub fn decode_characterize_reply(payload: &[u8]) -> Result<CharacterizeReply, St
     })
 }
 
+// --- cluster: fetch-model / have-model / warm-keys ---------------------
+
+/// Wire size of a fetch-model or have-model request payload (the 5-byte
+/// spec encoding shared with characterize requests).
+pub const SPEC_REQ_LEN: usize = 5;
+
+/// Render a fetch-model / have-model request payload (a bare spec).
+pub fn encode_spec_request(spec: ModuleSpec) -> [u8; SPEC_REQ_LEN] {
+    spec_bytes(spec)
+}
+
+/// Decode a fetch-model / have-model request payload.
+///
+/// # Errors
+///
+/// A message naming the malformed field.
+pub fn decode_spec_request(payload: &[u8]) -> Result<ModuleSpec, String> {
+    if payload.len() != SPEC_REQ_LEN {
+        return Err(format!(
+            "spec payload must be {SPEC_REQ_LEN} bytes, got {}",
+            payload.len()
+        ));
+    }
+    spec_from_bytes(payload)
+}
+
+/// An [`Opcode::HaveModel`] ok reply: whether (and where) the probed
+/// node holds the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum HaveModelReply {
+    /// Not present in either tier.
+    Absent = 0,
+    /// Present (memory or disk) and fetchable.
+    Present = 1,
+}
+
+/// Render a have-model ok-reply payload.
+pub fn encode_have_model_reply(reply: HaveModelReply) -> [u8; 1] {
+    [reply as u8]
+}
+
+/// Decode a have-model ok-reply payload.
+///
+/// # Errors
+///
+/// Wrong payload length or an unknown presence byte.
+pub fn decode_have_model_reply(payload: &[u8]) -> Result<HaveModelReply, String> {
+    match payload {
+        [0] => Ok(HaveModelReply::Absent),
+        [1] => Ok(HaveModelReply::Present),
+        [b] => Err(format!("unknown have-model byte {b}")),
+        _ => Err(format!(
+            "have-model reply must be 1 byte, got {}",
+            payload.len()
+        )),
+    }
+}
+
+/// Most specs one warm-keys frame may carry; senders truncate, receivers
+/// reject (a bigger list is protocol abuse, not load).
+pub const WARM_KEYS_MAX: usize = 256;
+
+/// Render a warm-keys list (request and ok reply share the layout):
+/// count `u16` followed by `count` 5-byte specs. Lists longer than
+/// [`WARM_KEYS_MAX`] are truncated — warm keys are ordered hottest
+/// first, so truncation drops the coldest.
+pub fn encode_warm_keys(specs: &[ModuleSpec]) -> Vec<u8> {
+    let take = specs.len().min(WARM_KEYS_MAX);
+    let mut out = Vec::with_capacity(2 + take * SPEC_REQ_LEN);
+    out.extend_from_slice(&(take as u16).to_le_bytes());
+    for spec in &specs[..take] {
+        out.extend_from_slice(&spec_bytes(*spec));
+    }
+    out
+}
+
+/// Decode a warm-keys list.
+///
+/// # Errors
+///
+/// A message naming the malformed field (short payload, count/length
+/// disagreement, oversized list, unknown module code).
+pub fn decode_warm_keys(payload: &[u8]) -> Result<Vec<ModuleSpec>, String> {
+    if payload.len() < 2 {
+        return Err(format!(
+            "warm-keys payload must be at least 2 bytes, got {}",
+            payload.len()
+        ));
+    }
+    let count = u16::from_le_bytes(payload[0..2].try_into().expect("2 bytes")) as usize;
+    if count > WARM_KEYS_MAX {
+        return Err(format!(
+            "warm-keys list of {count} specs exceeds the cap of {WARM_KEYS_MAX}"
+        ));
+    }
+    let body = &payload[2..];
+    if body.len() != count * SPEC_REQ_LEN {
+        return Err(format!(
+            "warm-keys body of {} bytes does not match {count} specs",
+            body.len()
+        ));
+    }
+    body.chunks_exact(SPEC_REQ_LEN)
+        .map(spec_from_bytes)
+        .collect()
+}
+
 // --- stats -------------------------------------------------------------
 
 /// Wire size of a stats ok-reply payload (9 × u64 in [`EngineStats`]
@@ -627,6 +751,50 @@ mod tests {
         assert!(decode_estimate_request(&bad_data)
             .unwrap_err()
             .contains("unknown data code 99"));
+    }
+
+    #[test]
+    fn cluster_op_payloads_round_trip() {
+        let spec = ModuleSpec::new(ModuleKind::BarrelShifter, ModuleWidth::Uniform(12));
+        assert_eq!(
+            decode_spec_request(&encode_spec_request(spec)).unwrap(),
+            spec
+        );
+        assert!(decode_spec_request(&[0u8; 2])
+            .unwrap_err()
+            .contains("5 bytes"));
+        for reply in [HaveModelReply::Absent, HaveModelReply::Present] {
+            assert_eq!(
+                decode_have_model_reply(&encode_have_model_reply(reply)).unwrap(),
+                reply
+            );
+        }
+        assert!(decode_have_model_reply(&[7]).is_err());
+        assert!(decode_have_model_reply(&[]).is_err());
+
+        let specs: Vec<ModuleSpec> = (4..9)
+            .map(|w| ModuleSpec::new(ModuleKind::RippleAdder, ModuleWidth::Uniform(w)))
+            .collect();
+        let wire = encode_warm_keys(&specs);
+        assert_eq!(wire.len(), 2 + specs.len() * SPEC_REQ_LEN);
+        assert_eq!(decode_warm_keys(&wire).unwrap(), specs);
+        assert_eq!(decode_warm_keys(&encode_warm_keys(&[])).unwrap(), vec![]);
+        // Oversized lists truncate on encode and are rejected on decode.
+        let many: Vec<ModuleSpec> = (0..WARM_KEYS_MAX + 40)
+            .map(|i| ModuleSpec::new(ModuleKind::RippleAdder, ModuleWidth::Uniform(4 + i % 60)))
+            .collect();
+        assert_eq!(
+            decode_warm_keys(&encode_warm_keys(&many)).unwrap().len(),
+            WARM_KEYS_MAX
+        );
+        let mut forged = encode_warm_keys(&specs);
+        forged[0..2].copy_from_slice(&(WARM_KEYS_MAX as u16 + 1).to_le_bytes());
+        assert!(decode_warm_keys(&forged).unwrap_err().contains("cap"));
+        let mut mismatched = encode_warm_keys(&specs);
+        mismatched.pop();
+        assert!(decode_warm_keys(&mismatched)
+            .unwrap_err()
+            .contains("does not match"));
     }
 
     #[test]
