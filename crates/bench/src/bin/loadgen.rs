@@ -68,6 +68,7 @@ fn request() -> Request {
         data: hdpm_server::protocol::data_type("counter").expect("known type"),
         cycles: 64,
         seed: 7,
+        floor: None,
     }
 }
 

@@ -12,7 +12,7 @@
 //! For serving over TCP (worker pool, backpressure, deadlines), use
 //! `hdpm server` instead.
 
-use hdpm_core::{CharacterizationConfig, EngineOptions, PowerEngine, ShardingConfig};
+use hdpm_core::{CharacterizationConfig, EngineOptions, Fidelity, PowerEngine, ShardingConfig};
 use hdpm_server::protocol;
 use hdpm_telemetry as telemetry;
 
@@ -20,8 +20,27 @@ use crate::args::ParsedArgs;
 
 /// Options shared by every engine-backed serving command.
 pub(crate) const ENGINE_OPTIONS: &[&str] = &[
-    "patterns", "seed", "shards", "threads", "capacity", "models",
+    "patterns",
+    "seed",
+    "shards",
+    "threads",
+    "capacity",
+    "models",
+    "fidelity-floor",
 ];
+
+/// Parse `--fidelity-floor` (default `full`, the historical blocking
+/// behavior).
+pub(crate) fn fidelity_floor_from(
+    args: &ParsedArgs,
+) -> Result<Fidelity, Box<dyn std::error::Error>> {
+    match args.option("fidelity-floor") {
+        None => Ok(Fidelity::Full),
+        Some(text) => text
+            .parse::<Fidelity>()
+            .map_err(|e| format!("--fidelity-floor: {e}").into()),
+    }
+}
 
 /// Run the serve loop over real stdin/stdout.
 pub fn cmd_serve(args: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
@@ -34,16 +53,17 @@ pub fn cmd_serve(args: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         &[],
         "networked serving is `hdpm server`",
     )?;
-    let engine = engine_from(args)?;
+    let floor = fidelity_floor_from(args)?;
+    let engine = std::sync::Arc::new(engine_from(args)?);
     eprintln!(
-        "hdpm serve: engine ready (capacity {}, {} patterns/model); one JSON request per line",
+        "hdpm serve: engine ready (capacity {}, {} patterns/model, fidelity floor {floor}); one JSON request per line",
         engine.options().capacity,
         engine.options().config.max_patterns
     );
     let _span = telemetry::span("cli.serve");
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    protocol::serve_lines(&engine, stdin.lock(), stdout.lock())?;
+    protocol::serve_lines_with_floor(&engine, floor, stdin.lock(), stdout.lock())?;
     Ok(())
 }
 

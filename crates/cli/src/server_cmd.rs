@@ -16,7 +16,7 @@ use hdpm_server::{Server, ServerConfig};
 use hdpm_telemetry as telemetry;
 
 use crate::args::ParsedArgs;
-use crate::serve::{engine_from, ENGINE_OPTIONS};
+use crate::serve::{engine_from, fidelity_floor_from, ENGINE_OPTIONS};
 
 const SERVER_OPTIONS: &[&str] = &[
     "addr",
@@ -94,6 +94,7 @@ fn options_from(args: &ParsedArgs) -> Result<ServerConfig, Box<dyn std::error::E
         )?))
         .max_connections(args.get_or("max-conns", defaults.max_connections)?)
         .engine(engine_from(args)?.options().clone())
+        .fidelity_floor(fidelity_floor_from(args)?)
         .tracing(tracing)
         .slow_threshold(Duration::from_millis(
             args.get_or("slow-ms", defaults.slow_threshold.as_millis() as u64)?,

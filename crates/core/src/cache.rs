@@ -219,6 +219,13 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.evictions
     }
 
+    /// Iterate over the live `(key, value)` pairs in unspecified order,
+    /// without touching recency or the counters. The engine's tier-B
+    /// family fit harvests characterized siblings through this.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(key, slot)| (key, &slot.value))
+    }
+
     /// Up to `limit` keys ordered most-recently-used first — the
     /// "hottest" working set. Does not touch recency or the counters;
     /// cluster warm-key gossip uses this to tell peers what this cache

@@ -32,13 +32,13 @@
 //! # }
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock, Weak};
 
 use hdpm_datamodel::HdDistribution;
-use hdpm_netlist::ModuleSpec;
+use hdpm_netlist::{ModuleKind, ModuleSpec};
 use hdpm_telemetry as telemetry;
 use hdpm_telemetry::{Stage, TraceCtx};
 use serde::Serialize;
@@ -48,7 +48,10 @@ use crate::characterize::{
     characterize, characterize_sharded, Characterization, CharacterizationConfig,
 };
 use crate::error::ModelError;
+use crate::fidelity::{self, Fidelity};
 use crate::library::{CorruptArtifactPolicy, LibrarySource, ModelLibrary};
+use crate::model::HdModel;
+use crate::regress::{ParameterizableModel, Prototype};
 use crate::shard::{parallel_map_ordered, resolve_threads, ShardingConfig};
 
 /// Construction options of a [`PowerEngine`].
@@ -91,6 +94,12 @@ pub enum CacheSource {
     Fresh,
     /// Coalesced onto another request's in-flight characterization.
     Coalesced,
+    /// No model at all: the tier-A closed-form structural estimate
+    /// answered (fidelity ladder, [`Fidelity::Analytic`]).
+    Analytic,
+    /// A §5 regression over characterized sibling widths answered
+    /// (fidelity ladder, [`Fidelity::Regressed`]).
+    Regressed,
 }
 
 impl CacheSource {
@@ -101,6 +110,8 @@ impl CacheSource {
             CacheSource::Disk => "disk",
             CacheSource::Fresh => "fresh",
             CacheSource::Coalesced => "coalesced",
+            CacheSource::Analytic => "analytic",
+            CacheSource::Regressed => "regressed",
         }
     }
 }
@@ -128,6 +139,15 @@ pub struct EngineStats {
     /// result has not been published yet). A live load indicator for
     /// servers sharing the engine, not a monotonic counter.
     pub inflight: usize,
+    /// Estimates answered by the tier-A analytic model (fidelity ladder).
+    pub analytic_served: u64,
+    /// Estimates answered by a tier-B sibling regression (fidelity
+    /// ladder).
+    pub regressed_served: u64,
+    /// Background fidelity upgrades completed (each one characterizes —
+    /// or, under a server upgrade hook, cluster-fetches — one spec that
+    /// was served below full fidelity).
+    pub upgrades_done: u64,
 }
 
 /// An analytic estimation reply: the §6.3 distribution estimate, the
@@ -142,6 +162,13 @@ pub struct Estimate {
     pub average_hd: f64,
     /// Which tier served the model.
     pub source: CacheSource,
+    /// Fidelity tier of the answer (the fidelity ladder's A/B/C label).
+    pub fidelity: Fidelity,
+    /// Confidence in `[0, 1]`: `1.0` for full-fidelity answers, the
+    /// in-sample [`ParameterizableModel::coefficient_errors`] figure for
+    /// tier B, and the fixed [`fidelity::ANALYTIC_CONFIDENCE`] prior for
+    /// tier A.
+    pub confidence: f64,
 }
 
 /// Outcome of [`PowerEngine::warm`]: how each requested spec was served.
@@ -211,6 +238,57 @@ struct EngineInner {
     inflight: HashMap<ModelKey, Arc<Flight>>,
 }
 
+/// Number of module families, indexing the per-kind sibling epochs.
+const KIND_COUNT: usize = ModuleKind::ALL.len();
+
+/// Position of a kind in the stable [`ModuleKind::ALL`] order.
+fn kind_index(kind: ModuleKind) -> usize {
+    ModuleKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every kind is in ModuleKind::ALL")
+}
+
+/// Bound of the background upgrade queue: beyond this, new upgrade
+/// requests are dropped (and counted) rather than queued — a cold burst
+/// must not build an unbounded characterization backlog.
+const UPGRADE_QUEUE_CAP: usize = 64;
+
+/// Entries memoized by the tier-A analytic-model cache.
+const ANALYTIC_CACHE_CAP: usize = 256;
+
+/// Memoized tier-B fit of one module family, tagged with the sibling
+/// epoch it was computed at. `fit: None` is a *negative* memo — too few
+/// siblings — which is just as important to cache: refitting on every
+/// cold request would rescan the disk tier.
+struct FamilyFit {
+    epoch: u64,
+    fit: Option<(Arc<ParameterizableModel>, f64)>,
+}
+
+/// Background-upgrade queue shared between the engine and its worker
+/// thread. Lives in its own `Arc` so the worker can observe shutdown
+/// even while the engine itself is being dropped.
+struct UpgradeShared {
+    state: Mutex<UpgradeState>,
+    cv: Condvar,
+}
+
+struct UpgradeState {
+    queue: VecDeque<ModuleSpec>,
+    /// Keys queued or currently being upgraded — the dedup set that
+    /// coalesces repeated low-fidelity serves of one spec into a single
+    /// background characterization.
+    pending: HashSet<ModelKey>,
+    shutdown: bool,
+    worker_running: bool,
+}
+
+/// What the upgrade worker runs per spec instead of the default local
+/// `fetch` — the server installs one that routes through cluster
+/// ownership first.
+type UpgradeHook = Arc<dyn Fn(&PowerEngine, ModuleSpec) + Send + Sync>;
+
 /// The long-lived estimation facade: a thread-safe, two-tier
 /// content-addressed cache of characterized models with single-flight
 /// miss handling. See the [module docs](self) for the full contract.
@@ -221,6 +299,20 @@ pub struct PowerEngine {
     disk_hits: AtomicU64,
     characterizations: AtomicU64,
     coalesced: AtomicU64,
+    // --- fidelity ladder ---
+    /// Memoized tier-A analytic models (netlist build + stats per spec).
+    analytic_cache: Mutex<LruCache<ModuleSpec, Arc<HdModel>>>,
+    /// Memoized tier-B per-family fits, invalidated by `sibling_epochs`.
+    family_fits: Mutex<HashMap<ModuleKind, FamilyFit>>,
+    /// Bumped whenever a characterization of the kind lands in the memory
+    /// cache; a family fit memoized at an older epoch refits.
+    sibling_epochs: [AtomicU64; KIND_COUNT],
+    analytic_served: AtomicU64,
+    regressed_served: AtomicU64,
+    upgrades_done: AtomicU64,
+    upgrade: Arc<UpgradeShared>,
+    upgrade_worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+    upgrade_hook: RwLock<Option<UpgradeHook>>,
 }
 
 impl std::fmt::Debug for PowerEngine {
@@ -259,6 +351,23 @@ impl PowerEngine {
             disk_hits: AtomicU64::new(0),
             characterizations: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            analytic_cache: Mutex::new(LruCache::new(ANALYTIC_CACHE_CAP)),
+            family_fits: Mutex::new(HashMap::new()),
+            sibling_epochs: std::array::from_fn(|_| AtomicU64::new(0)),
+            analytic_served: AtomicU64::new(0),
+            regressed_served: AtomicU64::new(0),
+            upgrades_done: AtomicU64::new(0),
+            upgrade: Arc::new(UpgradeShared {
+                state: Mutex::new(UpgradeState {
+                    queue: VecDeque::new(),
+                    pending: HashSet::new(),
+                    shutdown: false,
+                    worker_running: false,
+                }),
+                cv: Condvar::new(),
+            }),
+            upgrade_worker: Mutex::new(None),
+            upgrade_hook: RwLock::new(None),
         }
     }
 
@@ -362,6 +471,9 @@ impl PowerEngine {
                                 &[("key", evicted.to_string().into())],
                             );
                         }
+                        // A new characterized sibling landed: any tier-B
+                        // family fit memoized for this kind is stale.
+                        self.sibling_epochs[kind_index(spec.kind)].fetch_add(1, Ordering::Release);
                         flight.resolve(Ok(Arc::clone(c)));
                     }
                     Err(e) => flight.resolve(Err(e.to_string())),
@@ -454,8 +566,272 @@ impl PowerEngine {
                 via_average: model.estimate_interpolated(dist.mean()),
                 average_hd: dist.mean(),
                 source,
+                fidelity: Fidelity::Full,
+                confidence: 1.0,
             })
         })
+    }
+
+    /// [`PowerEngine::estimate`] under a fidelity floor: answer from the
+    /// **best tier instantly available** that is at least `floor`, and
+    /// upgrade toward full fidelity in the background.
+    ///
+    /// * A model already in memory or on disk answers at
+    ///   [`Fidelity::Full`] exactly like [`PowerEngine::estimate`].
+    /// * Otherwise, with `floor <= Regressed` and enough characterized
+    ///   sibling widths of the family, a §5 regression answers at
+    ///   [`Fidelity::Regressed`] in microseconds.
+    /// * Otherwise, with `floor == Analytic`, the closed-form
+    ///   [`fidelity::analytic_model`] answers at [`Fidelity::Analytic`]
+    ///   in nanoseconds-to-microseconds.
+    /// * Only when the floor cannot be met instantly does the call block
+    ///   on a characterization (`floor == Full` always does; `floor ==
+    ///   Regressed` does when the family has too few siblings).
+    ///
+    /// After any below-full answer the spec is queued for a **background
+    /// upgrade** (bounded, deduplicated by cache key): a worker thread
+    /// characterizes it — or runs the server-installed
+    /// [`PowerEngine::set_upgrade_hook`] — so the next request for the
+    /// same key answers at full fidelity. Requires `Arc<Self>` because
+    /// the worker holds a weak reference to the engine.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PowerEngine::estimate`]; tier-A/B failures surface the
+    /// same structured netlist/width errors the full path would.
+    pub fn estimate_with_floor(
+        self: &Arc<Self>,
+        spec: ModuleSpec,
+        dist: &HdDistribution,
+        floor: Fidelity,
+    ) -> Result<Estimate, ModelError> {
+        self.estimate_with_floor_traced(spec, dist, floor, &mut TraceCtx::disabled())
+    }
+
+    /// [`PowerEngine::estimate_with_floor`] with per-stage timing
+    /// recorded into `trace`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PowerEngine::estimate_with_floor`].
+    pub fn estimate_with_floor_traced(
+        self: &Arc<Self>,
+        spec: ModuleSpec,
+        dist: &HdDistribution,
+        floor: Fidelity,
+        trace: &mut TraceCtx,
+    ) -> Result<Estimate, ModelError> {
+        if floor == Fidelity::Full {
+            return self.estimate_traced(spec, dist, trace);
+        }
+        // Full fidelity already local? Serve it — better than any floor
+        // and still instant (memory lookup / one artifact read).
+        let key = self.key_for(spec);
+        let cached = trace.time(Stage::CacheLookup, || {
+            let mut inner = self.inner.lock().expect("engine lock");
+            inner.cache.get(&key).map(Arc::clone)
+        });
+        if let Some(c) = cached {
+            telemetry::counter_add("engine.cache.hit", 1);
+            return trace.time(Stage::Estimate, || {
+                full_estimate(&c.model, dist, CacheSource::Memory)
+            });
+        }
+        if self.library.as_ref().is_some_and(|l| l.contains(spec)) {
+            return self.estimate_traced(spec, dist, trace);
+        }
+        // Tier B: regression over characterized siblings, if the family
+        // has enough of them.
+        if let Some((family, confidence)) = self.family_fit(spec.kind) {
+            let estimate = trace.time(Stage::Estimate, || -> Result<Estimate, ModelError> {
+                let predicted = family.predict_model(spec.width);
+                Ok(Estimate {
+                    charge_per_cycle: predicted.estimate_distribution(dist)?,
+                    via_average: predicted.estimate_interpolated(dist.mean()),
+                    average_hd: dist.mean(),
+                    source: CacheSource::Regressed,
+                    fidelity: Fidelity::Regressed,
+                    confidence,
+                })
+            })?;
+            self.regressed_served.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add("engine.fidelity.regressed", 1);
+            self.enqueue_upgrade(spec);
+            return Ok(estimate);
+        }
+        // Tier A: the closed-form structural estimate, floor permitting.
+        if floor == Fidelity::Analytic {
+            let model = self.analytic_model_for(spec)?;
+            let estimate = trace.time(Stage::Estimate, || -> Result<Estimate, ModelError> {
+                Ok(Estimate {
+                    charge_per_cycle: model.estimate_distribution(dist)?,
+                    via_average: model.estimate_interpolated(dist.mean()),
+                    average_hd: dist.mean(),
+                    source: CacheSource::Analytic,
+                    fidelity: Fidelity::Analytic,
+                    confidence: fidelity::ANALYTIC_CONFIDENCE,
+                })
+            })?;
+            self.analytic_served.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add("engine.fidelity.analytic", 1);
+            self.enqueue_upgrade(spec);
+            return Ok(estimate);
+        }
+        // floor == Regressed with no family fit: the floor cannot be met
+        // instantly, so pay the full characterization.
+        self.estimate_traced(spec, dist, trace)
+    }
+
+    /// The memoized tier-B fit of a family, refitted when a new
+    /// characterized sibling has landed since the memo was taken.
+    /// Returns the fit and its confidence figure, or `None` when the
+    /// family has too few characterized siblings (also memoized).
+    fn family_fit(&self, kind: ModuleKind) -> Option<(Arc<ParameterizableModel>, f64)> {
+        let epoch = self.sibling_epochs[kind_index(kind)].load(Ordering::Acquire);
+        {
+            let fits = self.family_fits.lock().expect("family fits lock");
+            if let Some(memo) = fits.get(&kind) {
+                if memo.epoch == epoch {
+                    return memo.fit.clone();
+                }
+            }
+        }
+        // Harvest characterized siblings: memory tier first, then any
+        // disk artifacts of this configuration not already seen.
+        let mut prototypes: Vec<Prototype> = {
+            let inner = self.inner.lock().expect("engine lock");
+            inner
+                .cache
+                .iter()
+                .filter(|(key, _)| key.spec.kind == kind)
+                .map(|(key, c)| Prototype {
+                    spec: key.spec,
+                    model: c.model.clone(),
+                })
+                .collect()
+        };
+        if let Some(library) = &self.library {
+            for spec in library.stored_specs() {
+                if spec.kind != kind || prototypes.iter().any(|p| p.spec == spec) {
+                    continue;
+                }
+                if let Some(c) = library.load_if_present(spec) {
+                    prototypes.push(Prototype {
+                        spec,
+                        model: c.model,
+                    });
+                }
+            }
+        }
+        let fit = ParameterizableModel::fit(&prototypes).ok().map(|fit| {
+            let confidence = regressed_confidence(&fit, &prototypes);
+            (Arc::new(fit), confidence)
+        });
+        if fit.is_some() {
+            telemetry::counter_add("engine.fidelity.family_fit", 1);
+        }
+        let mut fits = self.family_fits.lock().expect("family fits lock");
+        fits.insert(
+            kind,
+            FamilyFit {
+                epoch,
+                fit: fit.clone(),
+            },
+        );
+        fit
+    }
+
+    /// The memoized tier-A analytic model of a spec.
+    fn analytic_model_for(&self, spec: ModuleSpec) -> Result<Arc<HdModel>, ModelError> {
+        {
+            let mut cache = self.analytic_cache.lock().expect("analytic cache lock");
+            if let Some(model) = cache.get(&spec) {
+                return Ok(Arc::clone(model));
+            }
+        }
+        let model = Arc::new(fidelity::analytic_model(spec)?);
+        self.analytic_cache
+            .lock()
+            .expect("analytic cache lock")
+            .insert(spec, Arc::clone(&model));
+        Ok(model)
+    }
+
+    /// Install the action the background upgrade worker runs per spec in
+    /// place of the default local [`PowerEngine::fetch`]. The server uses
+    /// this to route upgrades through cluster ownership (peer fetch /
+    /// forward to owner) before characterizing locally.
+    pub fn set_upgrade_hook<F>(&self, hook: F)
+    where
+        F: Fn(&PowerEngine, ModuleSpec) + Send + Sync + 'static,
+    {
+        *self.upgrade_hook.write().expect("upgrade hook lock") = Some(Arc::new(hook));
+    }
+
+    /// Upgrade requests queued or running right now — a test/ops hook,
+    /// racy by nature.
+    pub fn pending_upgrades(&self) -> usize {
+        self.upgrade
+            .state
+            .lock()
+            .expect("upgrade lock")
+            .pending
+            .len()
+    }
+
+    /// Queue a background fidelity upgrade for `spec`: bounded, and
+    /// deduplicated by cache key so repeated low-fidelity serves of one
+    /// spec coalesce into a single characterization.
+    fn enqueue_upgrade(self: &Arc<Self>, spec: ModuleSpec) {
+        let key = self.key_for(spec);
+        let spawn_worker = {
+            let mut state = self.upgrade.state.lock().expect("upgrade lock");
+            if state.shutdown || state.pending.contains(&key) {
+                return;
+            }
+            if state.queue.len() >= UPGRADE_QUEUE_CAP {
+                telemetry::counter_add("engine.upgrade.dropped", 1);
+                return;
+            }
+            state.pending.insert(key);
+            state.queue.push_back(spec);
+            telemetry::counter_add("engine.upgrade.enqueued", 1);
+            !std::mem::replace(&mut state.worker_running, true)
+        };
+        self.upgrade.cv.notify_one();
+        if spawn_worker {
+            let weak = Arc::downgrade(self);
+            let shared = Arc::clone(&self.upgrade);
+            let handle = std::thread::Builder::new()
+                .name("hdpm-upgrade".into())
+                .spawn(move || upgrade_worker(&weak, &shared))
+                .expect("spawn upgrade worker");
+            *self.upgrade_worker.lock().expect("upgrade worker lock") = Some(handle);
+        }
+    }
+
+    /// One background upgrade: the installed hook, or a plain local
+    /// fetch (which characterizes, caches and — with a disk tier —
+    /// persists the spec).
+    fn run_upgrade(&self, spec: ModuleSpec) {
+        let hook = self.upgrade_hook.read().expect("upgrade hook lock").clone();
+        match hook {
+            Some(hook) => hook(self, spec),
+            None => {
+                if let Err(e) = self.fetch(spec) {
+                    telemetry::event(
+                        telemetry::Level::Warn,
+                        "engine.upgrade.failed",
+                        &[
+                            ("spec", spec.to_string().into()),
+                            ("error", e.to_string().into()),
+                        ],
+                    );
+                }
+            }
+        }
+        self.upgrades_done.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("engine.upgrade.done", 1);
     }
 
     /// Pre-populate the cache for `specs` on up to `threads` worker
@@ -482,6 +858,8 @@ impl PowerEngine {
                 CacheSource::Disk => report.disk += 1,
                 CacheSource::Fresh => report.characterized += 1,
                 CacheSource::Coalesced => report.coalesced += 1,
+                // `fetch` always resolves a real model.
+                CacheSource::Analytic | CacheSource::Regressed => unreachable!(),
             }
         }
         Ok(report)
@@ -525,7 +903,102 @@ impl PowerEngine {
             characterizations: self.characterizations.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             inflight: inner.inflight.len(),
+            analytic_served: self.analytic_served.load(Ordering::Relaxed),
+            regressed_served: self.regressed_served.load(Ordering::Relaxed),
+            upgrades_done: self.upgrades_done.load(Ordering::Relaxed),
         }
+    }
+}
+
+impl Drop for PowerEngine {
+    /// Stop the background upgrade worker. Joins unless the engine is
+    /// being dropped *on* the worker thread (the worker held the last
+    /// `Arc`), where a self-join would deadlock — the thread just
+    /// detaches and exits on the shutdown flag it already observed.
+    fn drop(&mut self) {
+        {
+            let mut state = self.upgrade.state.lock().expect("upgrade lock");
+            state.shutdown = true;
+        }
+        self.upgrade.cv.notify_all();
+        let handle = self
+            .upgrade_worker
+            .lock()
+            .expect("upgrade worker lock")
+            .take();
+        if let Some(handle) = handle {
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// A full-fidelity estimate from a characterized model.
+fn full_estimate(
+    model: &HdModel,
+    dist: &HdDistribution,
+    source: CacheSource,
+) -> Result<Estimate, ModelError> {
+    Ok(Estimate {
+        charge_per_cycle: model.estimate_distribution(dist)?,
+        via_average: model.estimate_interpolated(dist.mean()),
+        average_hd: dist.mean(),
+        source,
+        fidelity: Fidelity::Full,
+        confidence: 1.0,
+    })
+}
+
+/// Confidence of a tier-B fit: the mean in-sample
+/// [`ParameterizableModel::coefficient_errors`] percentage across the
+/// prototypes it was fitted on, mapped to `(0, 0.95]` via
+/// `1 / (1 + mean/100)` — an exact fit approaches 0.95 (never the 1.0
+/// reserved for full fidelity), a 100%-off fit reports 0.5.
+fn regressed_confidence(fit: &ParameterizableModel, prototypes: &[Prototype]) -> f64 {
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for prototype in prototypes {
+        if let Ok(errors) = fit.coefficient_errors(prototype.spec, &prototype.model) {
+            total += errors.iter().sum::<f64>();
+            count += errors.len();
+        }
+    }
+    let mean_pct = if count > 0 { total / count as f64 } else { 0.0 };
+    (1.0 / (1.0 + mean_pct / 100.0)).min(0.95)
+}
+
+/// The background upgrade loop: pop specs, upgrade them through the
+/// engine, exit on shutdown or once the engine itself is gone. Holds
+/// only a weak engine reference so a dropped engine is never kept alive
+/// by its own worker.
+fn upgrade_worker(engine: &Weak<PowerEngine>, shared: &Arc<UpgradeShared>) {
+    loop {
+        let spec = {
+            let mut state = shared.state.lock().expect("upgrade lock");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(spec) = state.queue.pop_front() {
+                    break spec;
+                }
+                state = shared.cv.wait(state).expect("upgrade lock");
+            }
+        };
+        let Some(engine) = engine.upgrade() else {
+            return;
+        };
+        let key = engine.key_for(spec);
+        engine.run_upgrade(spec);
+        shared
+            .state
+            .lock()
+            .expect("upgrade lock")
+            .pending
+            .remove(&key);
+        // `engine` (possibly the last Arc) drops here; PowerEngine::drop
+        // detects the self-join case.
     }
 }
 
@@ -735,6 +1208,164 @@ mod tests {
             assert!(waited.stage_ns(Stage::SingleFlightWait) > 0);
             assert_eq!(waited.stage_ns(Stage::Characterize), 0);
         }
+    }
+
+    /// Uniform dist over `bits` input bits for ladder tests.
+    fn flat_dist(bits: usize) -> HdDistribution {
+        HdDistribution::from_bit_activities(&vec![0.5; bits])
+    }
+
+    /// Poll until the engine has completed `n` background upgrades.
+    fn await_upgrades(engine: &PowerEngine, n: u64) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        while engine.stats().upgrades_done < n {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background upgrade never completed: {:?}",
+                engine.stats()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn analytic_floor_answers_instantly_then_upgrades_in_background() {
+        let engine = Arc::new(PowerEngine::new(quick_options()));
+        let spec = ModuleSpec::new(ModuleKind::RippleAdder, 4usize);
+        let dist = flat_dist(8);
+        let cold = engine
+            .estimate_with_floor(spec, &dist, Fidelity::Analytic)
+            .unwrap();
+        assert_eq!(cold.fidelity, Fidelity::Analytic);
+        assert_eq!(cold.source, CacheSource::Analytic);
+        assert_eq!(cold.confidence, fidelity::ANALYTIC_CONFIDENCE);
+        assert!(cold.charge_per_cycle > 0.0);
+        assert_eq!(engine.stats().analytic_served, 1);
+        // The background upgrade characterizes exactly once; the repeat
+        // request then serves at full fidelity from memory.
+        await_upgrades(&engine, 1);
+        let warm = engine
+            .estimate_with_floor(spec, &dist, Fidelity::Analytic)
+            .unwrap();
+        assert_eq!(warm.fidelity, Fidelity::Full);
+        assert_eq!(warm.source, CacheSource::Memory);
+        assert_eq!(warm.confidence, 1.0);
+        assert_eq!(engine.stats().characterizations, 1);
+    }
+
+    #[test]
+    fn regressed_floor_serves_from_sibling_fit() {
+        let engine = Arc::new(PowerEngine::new(quick_options()));
+        for width in [4usize, 6] {
+            engine
+                .model(ModuleSpec::new(ModuleKind::RippleAdder, width))
+                .unwrap();
+        }
+        let spec = ModuleSpec::new(ModuleKind::RippleAdder, 5usize);
+        let dist = flat_dist(10);
+        let estimate = engine
+            .estimate_with_floor(spec, &dist, Fidelity::Regressed)
+            .unwrap();
+        assert_eq!(estimate.fidelity, Fidelity::Regressed);
+        assert_eq!(estimate.source, CacheSource::Regressed);
+        assert!(
+            estimate.confidence > 0.0 && estimate.confidence <= 0.95,
+            "{}",
+            estimate.confidence
+        );
+        assert!(estimate.charge_per_cycle > 0.0);
+        // Tier B is also the best instant tier under an analytic floor.
+        let spec7 = ModuleSpec::new(ModuleKind::RippleAdder, 7usize);
+        let best = engine
+            .estimate_with_floor(spec7, &flat_dist(14), Fidelity::Analytic)
+            .unwrap();
+        assert_eq!(best.fidelity, Fidelity::Regressed);
+        assert_eq!(engine.stats().regressed_served, 2);
+        // Neither tier-B answer blocked on a characterization; both
+        // enqueued one instead. Once those upgrades drain, exactly the
+        // two seeds plus the two upgraded widths have been characterized.
+        await_upgrades(&engine, 2);
+        assert_eq!(engine.stats().characterizations, 4);
+    }
+
+    #[test]
+    fn regressed_floor_without_siblings_blocks_to_full() {
+        let engine = Arc::new(PowerEngine::new(quick_options()));
+        let spec = ModuleSpec::new(ModuleKind::RippleAdder, 4usize);
+        let estimate = engine
+            .estimate_with_floor(spec, &flat_dist(8), Fidelity::Regressed)
+            .unwrap();
+        assert_eq!(estimate.fidelity, Fidelity::Full);
+        assert_eq!(estimate.source, CacheSource::Fresh);
+        assert_eq!(engine.stats().characterizations, 1);
+    }
+
+    #[test]
+    fn family_fit_refits_when_a_new_sibling_lands() {
+        let engine = Arc::new(PowerEngine::new(quick_options()));
+        for width in [4usize, 6] {
+            engine
+                .model(ModuleSpec::new(ModuleKind::RippleAdder, width))
+                .unwrap();
+        }
+        let (first_fit, _) = engine.family_fit(ModuleKind::RippleAdder).unwrap();
+        // Memoized: same Arc while no sibling lands.
+        let (again, _) = engine.family_fit(ModuleKind::RippleAdder).unwrap();
+        assert!(Arc::ptr_eq(&first_fit, &again));
+        engine
+            .model(ModuleSpec::new(ModuleKind::RippleAdder, 8usize))
+            .unwrap();
+        let (refit, _) = engine.family_fit(ModuleKind::RippleAdder).unwrap();
+        assert!(
+            !Arc::ptr_eq(&first_fit, &refit),
+            "a new characterized sibling must invalidate the family fit"
+        );
+        assert_eq!(refit.kind(), ModuleKind::RippleAdder);
+    }
+
+    #[test]
+    fn upgrade_queue_deduplicates_by_key() {
+        let engine = Arc::new(PowerEngine::new(quick_options()));
+        let spec = ModuleSpec::new(ModuleKind::RippleAdder, 4usize);
+        let dist = flat_dist(8);
+        for _ in 0..5 {
+            engine
+                .estimate_with_floor(spec, &dist, Fidelity::Analytic)
+                .unwrap();
+        }
+        await_upgrades(&engine, 1);
+        // Five analytic serves, one upgrade, one characterization.
+        let stats = engine.stats();
+        assert_eq!(stats.characterizations, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn disk_siblings_feed_the_family_fit() {
+        let root = crate::test_support::TempDir::new("engine_fit_disk");
+        let options = EngineOptions {
+            disk_root: Some(root.path().to_path_buf()),
+            ..quick_options()
+        };
+        {
+            let warmup = PowerEngine::new(options.clone());
+            for width in [4usize, 6] {
+                warmup
+                    .model(ModuleSpec::new(ModuleKind::RippleAdder, width))
+                    .unwrap();
+            }
+        }
+        // A cold engine (empty memory tier) fits tier B from the disk
+        // artifacts alone.
+        let engine = Arc::new(PowerEngine::new(options));
+        let estimate = engine
+            .estimate_with_floor(
+                ModuleSpec::new(ModuleKind::RippleAdder, 5usize),
+                &flat_dist(10),
+                Fidelity::Regressed,
+            )
+            .unwrap();
+        assert_eq!(estimate.fidelity, Fidelity::Regressed);
+        assert_eq!(engine.stats().characterizations, 0);
     }
 
     #[test]

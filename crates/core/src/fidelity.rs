@@ -1,0 +1,257 @@
+//! The fidelity ladder: tier labels and the tier-A analytic model.
+//!
+//! [`crate::PowerEngine`] answers every estimate from the best tier it
+//! can reach instantly, bounded below by a per-request [`Fidelity`]
+//! floor:
+//!
+//! * **tier A — [`Fidelity::Analytic`]** (nanoseconds): a closed-form §6
+//!   Hd-distribution estimate built from netlist structure alone
+//!   ([`analytic_model`]) — switched capacitance scales linearly with the
+//!   Hamming distance of the inputs, calibrated per module family;
+//! * **tier B — [`Fidelity::Regressed`]** (microseconds): a
+//!   [`crate::ParameterizableModel`] fitted on the fly from
+//!   already-characterized sibling widths of the same family (eq. 6–10),
+//!   memoized per family and invalidated when a new sibling lands;
+//! * **tier C — [`Fidelity::Full`]** (milliseconds): the characterized
+//!   model itself.
+//!
+//! Replies are labeled with their fidelity and a confidence figure so a
+//! client can tell an instant approximation from the real thing; the
+//! engine upgrades served specs toward tier C in the background.
+
+use hdpm_netlist::{ModuleKind, ModuleSpec, NetlistStats};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::model::HdModel;
+
+/// Fidelity tier of a served estimate, ordered worst to best:
+/// `Analytic < Regressed < Full`. A request's fidelity *floor* is the
+/// minimum tier it accepts.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Fidelity {
+    /// Tier A: the closed-form structural estimate of [`analytic_model`].
+    Analytic,
+    /// Tier B: §5 regression over characterized sibling widths.
+    Regressed,
+    /// Tier C: the fully characterized model.
+    #[default]
+    Full,
+}
+
+impl Fidelity {
+    /// Lower-case wire name, shared by protocol v1 JSON and the CLI
+    /// `--fidelity-floor` flag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Fidelity::Analytic => "analytic",
+            Fidelity::Regressed => "regressed",
+            Fidelity::Full => "full",
+        }
+    }
+
+    /// Parse the wire name back; `None` for anything else.
+    pub fn parse(text: &str) -> Option<Fidelity> {
+        match text {
+            "analytic" => Some(Fidelity::Analytic),
+            "regressed" => Some(Fidelity::Regressed),
+            "full" => Some(Fidelity::Full),
+            _ => None,
+        }
+    }
+
+    /// Protocol v2 wire code (`0` is reserved for "server default" in
+    /// request frames, so tiers start at 1).
+    pub fn code(self) -> u8 {
+        match self {
+            Fidelity::Analytic => 1,
+            Fidelity::Regressed => 2,
+            Fidelity::Full => 3,
+        }
+    }
+
+    /// Inverse of [`Fidelity::code`]; `None` for unassigned codes.
+    pub fn from_code(code: u8) -> Option<Fidelity> {
+        match code {
+            1 => Some(Fidelity::Analytic),
+            2 => Some(Fidelity::Regressed),
+            3 => Some(Fidelity::Full),
+            _ => None,
+        }
+    }
+}
+
+impl std::str::FromStr for Fidelity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Fidelity::parse(s).ok_or_else(|| format!("expected analytic, regressed or full, not `{s}`"))
+    }
+}
+
+impl std::fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Confidence reported with tier-A answers. Analytic estimates carry no
+/// per-instance error feedback, so the figure is a fixed, documented
+/// prior: the §4 evaluation places structural estimates within a factor
+/// of a few of the characterized charge, far outside the regression
+/// tier's percent-level band.
+pub const ANALYTIC_CONFIDENCE: f64 = 0.25;
+
+/// Per-family charge slope κ of the tier-A model, calibrated offline
+/// against characterized width-{4,8} references (1500 patterns, 4
+/// shards — the `calibrate_analytic_kappa` harness below): the
+/// least-squares slope of `p_i` against `C_total · i / m`. Units:
+/// charge per (capacitance·normalized-Hd).
+fn analytic_kappa(kind: ModuleKind) -> f64 {
+    match kind {
+        ModuleKind::RippleAdder => 1.193,
+        ModuleKind::ClaAdder => 0.856,
+        ModuleKind::AbsVal => 0.867,
+        ModuleKind::CsaMultiplier => 6.183,
+        ModuleKind::BoothWallaceMultiplier => 2.611,
+        ModuleKind::Incrementer => 1.554,
+        ModuleKind::Subtractor => 2.454,
+        ModuleKind::Comparator => 0.883,
+        ModuleKind::CarrySelectAdder => 1.118,
+        ModuleKind::CarrySkipAdder => 1.100,
+        ModuleKind::BarrelShifter => 1.344,
+        ModuleKind::GfMultiplier => 1.372,
+        ModuleKind::Mac => 7.143,
+        ModuleKind::Divider => 4.392,
+    }
+}
+
+/// Tier A: a closed-form [`HdModel`] for `spec` from netlist structure
+/// alone — no simulation, no characterization, no siblings.
+///
+/// The model is linear in the Hamming distance: `p_i = κ · C · i / m`,
+/// where `C` is the module's total capacitance ([`NetlistStats`]), `m`
+/// its input bits and κ the per-family slope above. That is exactly the
+/// shape eq. 2 degenerates to when every input transition switches a
+/// proportional slice of the module, which holds to first order for the
+/// datapath generators here; the per-family κ absorbs how far each
+/// structure deviates from it.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Netlist`] when the spec cannot be built (the
+/// same specs the characterization path rejects).
+pub fn analytic_model(spec: ModuleSpec) -> Result<HdModel, ModelError> {
+    let netlist = spec.build()?;
+    let stats = NetlistStats::of(&netlist);
+    let m = stats.input_bits;
+    let slope = analytic_kappa(spec.kind) * stats.total_capacitance / m as f64;
+    let coeffs: Vec<f64> = (0..=m).map(|i| slope * i as f64).collect();
+    Ok(HdModel::from_parts(
+        format!("{spec}(analytic)"),
+        m,
+        coeffs,
+        vec![0.0; m + 1],
+        // Synthetic counts: every class "populated" so no gap-filling
+        // reshapes the closed form.
+        std::iter::once(0)
+            .chain(std::iter::repeat_n(1, m))
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdpm_datamodel::HdDistribution;
+
+    #[test]
+    fn fidelity_orders_worst_to_best_and_round_trips() {
+        assert!(Fidelity::Analytic < Fidelity::Regressed);
+        assert!(Fidelity::Regressed < Fidelity::Full);
+        for f in [Fidelity::Analytic, Fidelity::Regressed, Fidelity::Full] {
+            assert_eq!(Fidelity::parse(f.as_str()), Some(f));
+            assert_eq!(Fidelity::from_code(f.code()), Some(f));
+            assert_eq!(f.as_str().parse::<Fidelity>().unwrap(), f);
+        }
+        assert_eq!(Fidelity::parse("fast"), None);
+        assert_eq!(Fidelity::from_code(0), None);
+        assert_eq!(Fidelity::default(), Fidelity::Full);
+    }
+
+    #[test]
+    fn analytic_model_is_linear_monotone_and_instant() {
+        let spec = ModuleSpec::new(ModuleKind::RippleAdder, 8usize);
+        let model = analytic_model(spec).unwrap();
+        assert_eq!(model.input_bits(), 16);
+        assert_eq!(model.coefficient(0), 0.0);
+        for i in 1..=16 {
+            assert!(model.coefficient(i) > model.coefficient(i - 1));
+        }
+        // Linear: p_8 is exactly half of p_16.
+        let half = model.coefficient(8) / model.coefficient(16);
+        assert!((half - 0.5).abs() < 1e-12, "{half}");
+        let dist = HdDistribution::from_bit_activities(&[0.5; 16]);
+        assert!(model.estimate_distribution(&dist).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn analytic_model_rejects_unbuildable_specs() {
+        let bad = ModuleSpec::new(ModuleKind::CsaMultiplier, 1usize);
+        assert!(matches!(analytic_model(bad), Err(ModelError::Netlist(_))));
+    }
+
+    #[test]
+    fn every_family_has_an_analytic_model() {
+        for kind in ModuleKind::ALL {
+            let spec = ModuleSpec::new(kind, 8usize);
+            let model = analytic_model(spec).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(model.coefficient(model.input_bits()) > 0.0, "{kind}");
+        }
+    }
+
+    /// Offline calibration harness for the κ table: characterize each
+    /// family at widths 4 and 8 and print the least-squares slope of
+    /// `p_i` against `C_total · i / m`. Run manually after changing the
+    /// generators or the characterization defaults:
+    ///
+    /// ```sh
+    /// cargo test --release -p hdpm-core calibrate_analytic_kappa -- --ignored --nocapture
+    /// ```
+    #[test]
+    #[ignore = "offline calibration harness; prints the κ table"]
+    fn calibrate_analytic_kappa() {
+        use crate::characterize::{characterize_sharded, CharacterizationConfig};
+        use crate::shard::ShardingConfig;
+        let config = CharacterizationConfig {
+            max_patterns: 1500,
+            ..CharacterizationConfig::default()
+        };
+        let sharding = ShardingConfig {
+            shards: 4,
+            threads: 1,
+        };
+        for kind in ModuleKind::ALL {
+            let mut num = 0.0f64;
+            let mut den = 0.0f64;
+            for width in [4usize, 8] {
+                let spec = ModuleSpec::new(kind, width);
+                let netlist = match spec.build().and_then(|n| n.validate()) {
+                    Ok(n) => n,
+                    Err(_) => continue,
+                };
+                let stats = NetlistStats::of(netlist.netlist());
+                let c = characterize_sharded(&netlist, &config, &sharding).unwrap();
+                let m = c.model.input_bits();
+                for i in 1..=m {
+                    let x = stats.total_capacitance * i as f64 / m as f64;
+                    num += c.model.coefficient(i) * x;
+                    den += x * x;
+                }
+            }
+            println!("ModuleKind::{kind:?} => {:.3},", num / den);
+        }
+    }
+}

@@ -53,6 +53,7 @@ mod characterize;
 mod engine;
 mod error;
 mod estimate;
+mod fidelity;
 mod library;
 pub mod linalg;
 mod model;
@@ -79,6 +80,7 @@ pub use estimate::{
 };
 #[allow(deprecated)]
 pub use estimate::{evaluate_enhanced, evaluate_enhanced_batch, predict_trace_enhanced};
+pub use fidelity::{analytic_model, Fidelity, ANALYTIC_CONFIDENCE};
 pub use library::{CorruptArtifactPolicy, LibrarySource, ModelLibrary, DEFAULT_LOCK_TIMEOUT};
 pub use model::{EnhancedHdModel, HdModel, ZeroClustering};
 pub use regress::{ParameterizableModel, Prototype, PrototypeSet};
@@ -103,7 +105,7 @@ pub mod prelude {
     //! ```
     pub use crate::{
         characterize, evaluate, evaluate_batch, AccuracyReport, CacheSource, Characterization,
-        CharacterizationConfig, EngineOptions, EnhancedHdModel, Estimate, Estimator, HdModel,
-        ModelError, ModelLibrary, PowerEngine,
+        CharacterizationConfig, EngineOptions, EnhancedHdModel, Estimate, Estimator, Fidelity,
+        HdModel, ModelError, ModelLibrary, PowerEngine,
     };
 }

@@ -284,6 +284,45 @@ impl ModelLibrary {
             .collect()
     }
 
+    /// Every spec with an artifact on disk under **this** library's
+    /// configuration and shard count, recovered from the artifact file
+    /// names ([`ModelKey`] display form). Artifacts written by other
+    /// configurations are skipped — their fingerprint suffix differs.
+    /// Order is deterministic (sorted by spec name); a missing or
+    /// unreadable root yields an empty list.
+    pub fn stored_specs(&self) -> Vec<ModuleSpec> {
+        let Ok(entries) = std::fs::read_dir(&self.root) else {
+            return Vec::new();
+        };
+        let fingerprint = crate::cache::config_fingerprint(&self.config);
+        let shards = self.sharding.as_ref().map_or(0, |s| s.shards);
+        let suffix = format!("_cfg{fingerprint:016x}_sh{shards}.json");
+        let mut specs: Vec<ModuleSpec> = entries
+            .flatten()
+            .filter_map(|entry| {
+                let name = entry.file_name();
+                let spec_text = name.to_str()?.strip_suffix(&suffix)?;
+                ModuleSpec::parse(spec_text)
+            })
+            .collect();
+        specs.sort_by_key(|spec| spec.to_string());
+        specs
+    }
+
+    /// Load the artifact of `spec` if a **valid** one is already on disk;
+    /// `None` otherwise. Never characterizes, never migrates, never
+    /// quarantines — a read-only probe for opportunistic consumers (the
+    /// engine's tier-B sibling harvest) that must not pay or mutate
+    /// anything on a miss.
+    pub fn load_if_present(&self, spec: ModuleSpec) -> Option<Characterization> {
+        let path = self.path_for(spec);
+        let expected = self.expected_meta(spec);
+        match persist::load_classified::<Characterization>(&path, &expected) {
+            Ok((c, EnvelopeStatus::Current)) => Some(c),
+            _ => None,
+        }
+    }
+
     /// The library root directory.
     pub fn root(&self) -> &Path {
         &self.root

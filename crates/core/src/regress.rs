@@ -44,13 +44,24 @@ impl PrototypeSet {
     }
 
     /// Select the sub-set of a width list this set keeps.
+    ///
+    /// The widest prototype is always retained even when the stride would
+    /// skip it: dropping it silently turns every top-of-range prediction
+    /// into an extrapolation, which is exactly the regime where the §5
+    /// regression is weakest.
     pub fn select(self, widths: &[usize]) -> Vec<usize> {
         let stride = match self {
             PrototypeSet::All => 1,
             PrototypeSet::Sec => 2,
             PrototypeSet::Thi => 3,
         };
-        widths.iter().copied().step_by(stride).collect()
+        let mut kept: Vec<usize> = widths.iter().copied().step_by(stride).collect();
+        if let Some(widest) = widths.iter().copied().max() {
+            if !kept.contains(&widest) {
+                kept.push(widest);
+            }
+        }
+        kept
     }
 }
 
@@ -244,7 +255,9 @@ impl ParameterizableModel {
                 if inst == 0.0 {
                     0.0
                 } else {
-                    100.0 * (self.predict_coefficient(spec.width, i) - inst).abs() / inst
+                    // Divide by |p_i|: a negative characterized coefficient
+                    // must still yield a positive percent error.
+                    100.0 * (self.predict_coefficient(spec.width, i) - inst).abs() / inst.abs()
                 }
             })
             .collect())
@@ -319,6 +332,66 @@ mod tests {
         assert_eq!(PrototypeSet::All.select(&widths), widths);
         assert_eq!(PrototypeSet::Sec.select(&widths), vec![4, 8, 12, 16]);
         assert_eq!(PrototypeSet::Thi.select(&widths), vec![4, 10, 16]);
+    }
+
+    #[test]
+    fn prototype_sets_always_retain_the_widest_width() {
+        // Regression: striding from the front used to drop the largest
+        // width on lists whose length is not stride-aligned — SEC on
+        // [4, 8, 12, 16] kept [4, 12], turning 16-bit predictions into
+        // extrapolations.
+        assert_eq!(PrototypeSet::Sec.select(&[4, 8, 12, 16]), vec![4, 12, 16]);
+        assert_eq!(
+            PrototypeSet::Thi.select(&[4, 6, 8, 10, 12, 14]),
+            vec![4, 10, 14]
+        );
+        assert_eq!(PrototypeSet::Thi.select(&[4, 8, 12, 16]), vec![4, 16]);
+        for set in [PrototypeSet::All, PrototypeSet::Sec, PrototypeSet::Thi] {
+            for len in 1..=9usize {
+                let widths: Vec<usize> = (0..len).map(|k| 4 + 2 * k).collect();
+                let kept = set.select(&widths);
+                assert_eq!(
+                    kept.last(),
+                    widths.last(),
+                    "{} on {widths:?} kept {kept:?}",
+                    set.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negative_instance_coefficients_yield_positive_percent_errors() {
+        // Regression: the error used to divide by the raw (signed)
+        // instance coefficient, so a negative characterized p_i reported
+        // a negative "percent error" that cancelled in aggregates.
+        let prototypes: Vec<Prototype> = [4usize, 6, 8, 10]
+            .iter()
+            .map(|&w| synthetic_prototype(ModuleKind::RippleAdder, w))
+            .collect();
+        let model = ParameterizableModel::fit(&prototypes).unwrap();
+        let spec = ModuleSpec::new(ModuleKind::RippleAdder, 7usize);
+        let m = spec.kind.input_bits(spec.width);
+        // An instance whose every coefficient is negative.
+        let coeffs: Vec<f64> = (0..=m).map(|i| -(i as f64) - 1.0).collect();
+        let instance = HdModel::from_parts(
+            spec.to_string(),
+            m,
+            coeffs,
+            vec![0.0; m + 1],
+            std::iter::once(0)
+                .chain(std::iter::repeat_n(1, m))
+                .collect(),
+        );
+        let errors = model.coefficient_errors(spec, &instance).unwrap();
+        assert_eq!(errors.len(), m);
+        for (i, e) in errors.iter().enumerate() {
+            assert!(
+                *e > 0.0,
+                "class {} error {e}% must be positive for a negative p_i",
+                i + 1
+            );
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use hdpm_core::Fidelity;
 use hdpm_netlist::{ModuleSpec, ModuleWidth};
 use hdpm_streams::DataType;
 
@@ -88,6 +89,9 @@ pub enum Request {
         cycles: u32,
         /// Stream generator seed.
         seed: u64,
+        /// Minimum fidelity tier accepted; `None` defers to the
+        /// server's configured floor.
+        floor: Option<Fidelity>,
     },
     /// Force a model into the cache (characterize if absent).
     Characterize {
@@ -121,8 +125,13 @@ pub struct EstimateAnswer {
     /// Mean input Hamming distance of the fitted distribution.
     pub average_hd: f64,
     /// Where the model came from: `memory`, `disk`, `fresh`,
-    /// `coalesced`, or `memo` (v2 reply-memo hit).
+    /// `coalesced`, `memo` (v2 reply-memo hit), `analytic` or
+    /// `regressed` (fidelity-ladder tiers).
     pub source: String,
+    /// Fidelity tier of the answer.
+    pub fidelity: Fidelity,
+    /// Confidence in `[0, 1]` (1.0 for full fidelity).
+    pub confidence: f64,
 }
 
 /// A characterize answer.
@@ -159,6 +168,12 @@ pub struct StatsAnswer {
     pub coalesced: u64,
     /// Characterizations in flight.
     pub inflight: u64,
+    /// Estimates answered by the tier-A analytic model.
+    pub analytic_served: u64,
+    /// Estimates answered by a tier-B sibling regression.
+    pub regressed_served: u64,
+    /// Background fidelity upgrades completed.
+    pub upgrades_done: u64,
 }
 
 /// One decoded reply body.
@@ -317,11 +332,13 @@ impl Client {
                         data,
                         cycles,
                         seed,
+                        floor,
                     } => wire::encode_estimate_request(&wire::EstimateParams {
                         spec: *spec,
                         data: *data,
                         cycles: *cycles,
                         seed: *seed,
+                        floor: *floor,
                     })
                     .to_vec(),
                     Request::Characterize { spec } => {
@@ -487,6 +504,7 @@ fn encode_v1(request: &Request, deadline_ms: Option<u32>) -> Result<String, Clie
             data,
             cycles,
             seed,
+            floor,
         } => {
             write!(
                 line,
@@ -496,6 +514,9 @@ fn encode_v1(request: &Request, deadline_ms: Option<u32>) -> Result<String, Clie
                 data.name(),
             )
             .expect("write to string");
+            if let Some(floor) = floor {
+                write!(line, ",\"fidelity_floor\":\"{floor}\"").expect("write to string");
+            }
         }
         Request::Characterize { spec } => {
             write!(
@@ -541,12 +562,19 @@ fn decode_v1(line: &str) -> Result<Response, ClientError> {
         });
     }
     match value.get("op").and_then(serde_json::Value::as_str) {
-        Some("estimate") => Ok(Response::Estimate(EstimateAnswer {
-            charge_per_cycle: f64_field(&value, "charge_per_cycle")?,
-            via_average: f64_field(&value, "via_average")?,
-            average_hd: f64_field(&value, "average_hd")?,
-            source: str_field(&value, "source")?,
-        })),
+        Some("estimate") => {
+            let fidelity_str = str_field(&value, "fidelity")?;
+            Ok(Response::Estimate(EstimateAnswer {
+                charge_per_cycle: f64_field(&value, "charge_per_cycle")?,
+                via_average: f64_field(&value, "via_average")?,
+                average_hd: f64_field(&value, "average_hd")?,
+                source: str_field(&value, "source")?,
+                fidelity: Fidelity::parse(&fidelity_str).ok_or_else(|| {
+                    ClientError::Protocol(format!("unknown fidelity `{fidelity_str}`"))
+                })?,
+                confidence: f64_field(&value, "confidence")?,
+            }))
+        }
         Some("characterize") => {
             Ok(Response::Characterize(CharacterizeAnswer {
                 input_bits: u64_field(&value, "input_bits")? as u32,
@@ -570,6 +598,9 @@ fn decode_v1(line: &str) -> Result<Response, ClientError> {
             characterizations: u64_field(&value, "characterizations")?,
             coalesced: u64_field(&value, "coalesced")?,
             inflight: u64_field(&value, "inflight")?,
+            analytic_served: u64_field(&value, "analytic_served")?,
+            regressed_served: u64_field(&value, "regressed_served")?,
+            upgrades_done: u64_field(&value, "upgrades_done")?,
         })),
         other => Err(ClientError::Protocol(format!(
             "v1 reply with unexpected op {other:?}"
@@ -590,6 +621,8 @@ fn decode_v2_ok(op: wire::Opcode, payload: &[u8]) -> Result<Response, ClientErro
                         ClientError::Protocol(format!("unknown source code {}", reply.source))
                     })?
                     .to_string(),
+                fidelity: reply.fidelity,
+                confidence: reply.confidence,
             }))
         }
         wire::Opcode::Characterize => {
@@ -617,6 +650,9 @@ fn decode_v2_ok(op: wire::Opcode, payload: &[u8]) -> Result<Response, ClientErro
                 characterizations: reply.characterizations,
                 coalesced: reply.coalesced,
                 inflight: reply.inflight,
+                analytic_served: reply.analytic_served,
+                regressed_served: reply.regressed_served,
+                upgrades_done: reply.upgrades_done,
             }))
         }
         wire::Opcode::Ping => {
@@ -673,6 +709,7 @@ mod tests {
                 data: crate::protocol::data_type("speech").expect("known type"),
                 cycles: 1500,
                 seed: 11,
+                floor: Some(Fidelity::Analytic),
             },
             Some(250),
         )
@@ -688,6 +725,21 @@ mod tests {
         assert_eq!(request.cycles, Some(1500));
         assert_eq!(request.seed, Some(11));
         assert_eq!(request.deadline_ms, Some(250));
+        assert_eq!(request.fidelity_floor.as_deref(), Some("analytic"));
+
+        // No floor named → no field on the wire (server default applies).
+        let line = encode_v1(
+            &Request::Estimate {
+                spec: ModuleSpec::new(ModuleKind::RippleAdder, 8),
+                data: crate::protocol::data_type("random").expect("known type"),
+                cycles: 500,
+                seed: 1,
+                floor: None,
+            },
+            None,
+        )
+        .expect("encodable");
+        assert!(!line.contains("fidelity_floor"), "{line}");
     }
 
     #[test]
@@ -724,12 +776,23 @@ mod tests {
     #[test]
     fn v1_replies_decode_to_typed_responses() {
         let estimate = decode_v1(
-            "{\"ok\":true,\"op\":\"estimate\",\"module\":\"ripple_adder_4\",\"data\":\"V (counter)\",\"charge_per_cycle\":67.77,\"via_average\":70.92,\"average_hd\":3.2,\"source\":\"memory\"}",
+            "{\"ok\":true,\"op\":\"estimate\",\"module\":\"ripple_adder_4\",\"data\":\"V (counter)\",\"charge_per_cycle\":67.77,\"via_average\":70.92,\"average_hd\":3.2,\"source\":\"memory\",\"fidelity\":\"full\",\"confidence\":1.0}",
         )
         .expect("decodes");
         assert!(matches!(
             estimate,
-            Response::Estimate(EstimateAnswer { ref source, .. }) if source == "memory"
+            Response::Estimate(EstimateAnswer { ref source, fidelity: Fidelity::Full, .. })
+                if source == "memory"
+        ));
+
+        let tiered = decode_v1(
+            "{\"ok\":true,\"op\":\"estimate\",\"module\":\"ripple_adder_4\",\"data\":\"random\",\"charge_per_cycle\":60.0,\"via_average\":61.0,\"average_hd\":3.1,\"source\":\"analytic\",\"fidelity\":\"analytic\",\"confidence\":0.25}",
+        )
+        .expect("decodes");
+        assert!(matches!(
+            tiered,
+            Response::Estimate(EstimateAnswer { fidelity: Fidelity::Analytic, confidence, .. })
+                if confidence == 0.25
         ));
 
         let characterize = decode_v1(

@@ -31,7 +31,7 @@ use std::net::SocketAddr;
 use std::time::Duration;
 
 use hdpm_cluster::ClusterConfig;
-use hdpm_core::EngineOptions;
+use hdpm_core::{EngineOptions, Fidelity};
 
 /// A validated server configuration. Construct via
 /// [`ServerConfig::builder`]; the fields are public for reading (the CLI
@@ -76,6 +76,11 @@ pub struct ServerConfig {
     /// disk-tier engine (`engine.disk_root`), because peer-fetched
     /// artifacts are admitted through the on-disk store.
     pub cluster: Option<ClusterConfig>,
+    /// Fidelity floor applied to estimate requests that don't carry
+    /// their own: `Full` (the default) preserves the historical
+    /// blocking behavior; lower floors let cold specs answer instantly
+    /// from the fidelity ladder and upgrade in the background.
+    pub fidelity_floor: Fidelity,
 }
 
 impl ServerConfig {
@@ -100,6 +105,7 @@ impl ServerConfig {
                 tracing: true,
                 slow_threshold: Duration::from_millis(250),
                 cluster: None,
+                fidelity_floor: Fidelity::Full,
             },
         }
     }
@@ -284,6 +290,13 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Fidelity floor for estimate requests without one of their own.
+    #[must_use]
+    pub fn fidelity_floor(mut self, fidelity_floor: Fidelity) -> Self {
+        self.config.fidelity_floor = fidelity_floor;
+        self
+    }
+
     /// Validate the assembled configuration.
     ///
     /// # Errors
@@ -340,6 +353,7 @@ mod tests {
         assert_eq!(config.reactors, 0, "auto");
         assert!(config.tracing);
         assert!(config.admin_addr.is_none());
+        assert_eq!(config.fidelity_floor, Fidelity::Full);
     }
 
     #[test]
@@ -356,6 +370,7 @@ mod tests {
             .admin_addr(SocketAddr::from(([127, 0, 0, 1], 4322)))
             .tracing(false)
             .slow_threshold(Duration::from_millis(10))
+            .fidelity_floor(Fidelity::Analytic)
             .build()
             .unwrap();
         assert_eq!(config.addr.port(), 4321);
@@ -369,6 +384,7 @@ mod tests {
         assert_eq!(config.admin_addr.unwrap().port(), 4322);
         assert!(!config.tracing);
         assert_eq!(config.slow_threshold, Duration::from_millis(10));
+        assert_eq!(config.fidelity_floor, Fidelity::Analytic);
     }
 
     #[test]

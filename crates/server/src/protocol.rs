@@ -17,8 +17,9 @@
 //! (`crates/server/tests/golden.rs`).
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
-use hdpm_core::PowerEngine;
+use hdpm_core::{Fidelity, PowerEngine};
 use hdpm_datamodel::{region_model, HdDistribution, WordModel};
 use hdpm_netlist::{ModuleKind, ModuleSpec};
 use hdpm_streams::{DataType, ALL_DATA_TYPES};
@@ -71,6 +72,28 @@ pub struct Request {
     /// Per-request deadline in milliseconds, honoured by the TCP server
     /// (capped by the server's own deadline); ignored on stdin.
     pub deadline_ms: Option<u64>,
+    /// Minimum acceptable fidelity tier for `estimate` (`analytic`,
+    /// `regressed` or `full`); absent = the transport's default floor
+    /// (`full` on stdin, the `--fidelity-floor` flag on the TCP server).
+    pub fidelity_floor: Option<String>,
+}
+
+/// Resolve a request's effective fidelity floor against the transport
+/// default.
+///
+/// # Errors
+///
+/// [`ErrorKind::BadRequest`] naming an unknown floor spelling.
+pub fn effective_floor(request: &Request, default: Fidelity) -> Result<Fidelity, RequestError> {
+    match request.fidelity_floor.as_deref() {
+        None => Ok(default),
+        Some(text) => Fidelity::parse(text).ok_or_else(|| {
+            (
+                ErrorKind::BadRequest,
+                format!("unknown fidelity floor `{text}` (expected analytic, regressed or full)"),
+            )
+        }),
+    }
 }
 
 /// Classification of a failed request, carried on the wire as
@@ -198,7 +221,7 @@ pub fn decode(raw: &[u8]) -> Result<Option<Request>, RequestError> {
 ///
 /// [`ErrorKind::BadRequest`] for unresolvable request fields,
 /// [`ErrorKind::Engine`] for engine failures.
-pub fn handle(engine: &PowerEngine, request: &Request) -> Result<Value, RequestError> {
+pub fn handle(engine: &Arc<PowerEngine>, request: &Request) -> Result<Value, RequestError> {
     handle_traced(engine, request, &mut TraceCtx::disabled())
 }
 
@@ -210,12 +233,29 @@ pub fn handle(engine: &PowerEngine, request: &Request) -> Result<Value, RequestE
 ///
 /// As for [`handle`].
 pub fn handle_traced(
-    engine: &PowerEngine,
+    engine: &Arc<PowerEngine>,
     request: &Request,
     trace: &mut TraceCtx,
 ) -> Result<Value, RequestError> {
+    handle_traced_with_floor(engine, request, Fidelity::Full, trace)
+}
+
+/// [`handle_traced`] under a transport-level default fidelity floor
+/// (overridable per request via `fidelity_floor`). The TCP server passes
+/// its `--fidelity-floor`; the stdin transport always defaults to
+/// `full`, keeping its golden transcript semantics.
+///
+/// # Errors
+///
+/// As for [`handle`].
+pub fn handle_traced_with_floor(
+    engine: &Arc<PowerEngine>,
+    request: &Request,
+    default_floor: Fidelity,
+    trace: &mut TraceCtx,
+) -> Result<Value, RequestError> {
     match request.op.as_str() {
-        "estimate" => op_estimate(engine, request, trace),
+        "estimate" => op_estimate(engine, request, default_floor, trace),
         "characterize" => op_characterize(engine, request, trace),
         "stats" => Ok(op_stats(engine)),
         other => Err((
@@ -241,13 +281,29 @@ pub fn request_detail(request: &Request) -> String {
 
 /// Decode and execute one raw line, rendering the reply. Returns `None`
 /// for blank lines. This is the single entry point both transports call.
-pub fn handle_line(engine: &PowerEngine, raw: &[u8]) -> Option<String> {
+pub fn handle_line(engine: &Arc<PowerEngine>, raw: &[u8]) -> Option<String> {
+    handle_line_with_floor(engine, raw, Fidelity::Full)
+}
+
+/// [`handle_line`] under a transport-level default fidelity floor.
+pub fn handle_line_with_floor(
+    engine: &Arc<PowerEngine>,
+    raw: &[u8],
+    default_floor: Fidelity,
+) -> Option<String> {
     let reply = match decode(raw) {
         Ok(None) => return None,
-        Ok(Some(request)) => match handle(engine, &request) {
-            Ok(reply) => reply,
-            Err((kind, message)) => error_value(kind, &message),
-        },
+        Ok(Some(request)) => {
+            match handle_traced_with_floor(
+                engine,
+                &request,
+                default_floor,
+                &mut TraceCtx::disabled(),
+            ) {
+                Ok(reply) => reply,
+                Err((kind, message)) => error_value(kind, &message),
+            }
+        }
         Err((kind, message)) => error_value(kind, &message),
     };
     Some(render(&reply))
@@ -257,12 +313,29 @@ pub fn handle_line(engine: &PowerEngine, raw: &[u8]) -> Option<String> {
 /// also driven in-memory by tests and the golden-transcript replay.
 /// Reads raw bytes (not [`BufRead::lines`]) so invalid UTF-8 yields a
 /// structured reply instead of an `io::Error` that would end the loop.
+/// The default fidelity floor is `full`, preserving the golden
+/// transcript; [`serve_lines_with_floor`] lowers it.
 ///
 /// # Errors
 ///
 /// Only transport failures (reading input, writing output) end the loop.
 pub fn serve_lines<R: BufRead, W: Write>(
-    engine: &PowerEngine,
+    engine: &Arc<PowerEngine>,
+    input: R,
+    output: W,
+) -> std::io::Result<()> {
+    serve_lines_with_floor(engine, Fidelity::Full, input, output)
+}
+
+/// [`serve_lines`] with a transport-level default fidelity floor — the
+/// engine room of `hdpm serve --fidelity-floor`.
+///
+/// # Errors
+///
+/// Only transport failures (reading input, writing output) end the loop.
+pub fn serve_lines_with_floor<R: BufRead, W: Write>(
+    engine: &Arc<PowerEngine>,
+    default_floor: Fidelity,
     mut input: R,
     mut output: W,
 ) -> std::io::Result<()> {
@@ -273,7 +346,7 @@ pub fn serve_lines<R: BufRead, W: Write>(
         if input.read_until(b'\n', &mut raw)? == 0 {
             return Ok(());
         }
-        if let Some(reply) = handle_line(engine, trim_line(&raw)) {
+        if let Some(reply) = handle_line_with_floor(engine, trim_line(&raw), default_floor) {
             output.write_all(reply.as_bytes())?;
             output.write_all(b"\n")?;
             output.flush()?;
@@ -334,13 +407,23 @@ pub(crate) fn input_distribution(
 ) -> HdDistribution {
     use hdpm_telemetry as telemetry;
     type DistKey = (&'static str, usize, usize, usize, u64);
+    struct DistCache {
+        tick: u64,
+        map: std::collections::HashMap<DistKey, (u64, HdDistribution)>,
+    }
     thread_local! {
-        static DISTRIBUTIONS: std::cell::RefCell<std::collections::HashMap<DistKey, HdDistribution>> =
-            std::cell::RefCell::new(std::collections::HashMap::new());
+        static DISTRIBUTIONS: std::cell::RefCell<DistCache> = std::cell::RefCell::new(DistCache {
+            tick: 0,
+            map: std::collections::HashMap::new(),
+        });
     }
     let key = (dt.name(), operands, m1, cycles, seed);
     DISTRIBUTIONS.with(|cache| {
-        if let Some(dist) = cache.borrow().get(&key) {
+        let mut cache = cache.borrow_mut();
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some((last_used, dist)) = cache.map.get_mut(&key) {
+            *last_used = tick;
             telemetry::counter_add("protocol.dist_cache.hit", 1);
             return dist.clone();
         }
@@ -351,23 +434,34 @@ pub(crate) fn input_distribution(
             .map(|w| HdDistribution::from_regions(&region_model(&WordModel::from_words(w, m1))))
             .collect();
         let dist = HdDistribution::convolve_all(&dists);
-        let mut cache = cache.borrow_mut();
-        // A blunt bound beats an LRU here: distinct keys are rare (module
-        // widths × data types), so eviction almost never fires.
-        if cache.len() >= 128 {
-            cache.clear();
+        // Bounded, one cold entry at a time: evicting the least recently
+        // used key keeps the warm working set intact when the 129th
+        // distinct key lands, instead of dropping the whole memo and
+        // refitting ~100 µs per entry on the next pass over it.
+        if cache.map.len() >= 128 {
+            if let Some(victim) = cache
+                .map
+                .iter()
+                .min_by_key(|(_, (last_used, _))| *last_used)
+                .map(|(k, _)| *k)
+            {
+                cache.map.remove(&victim);
+                telemetry::counter_add("protocol.dist_cache.evict", 1);
+            }
         }
-        cache.insert(key, dist.clone());
+        cache.map.insert(key, (tick, dist.clone()));
         dist
     })
 }
 
 fn op_estimate(
-    engine: &PowerEngine,
+    engine: &Arc<PowerEngine>,
     request: &Request,
+    default_floor: Fidelity,
     trace: &mut TraceCtx,
 ) -> Result<Value, RequestError> {
     let spec = spec_of(request)?;
+    let floor = effective_floor(request, default_floor)?;
     let dt = data_type(request.data.as_deref().unwrap_or("random"))
         .map_err(|m| (ErrorKind::BadRequest, m))?;
     let cycles = request.cycles.unwrap_or(2000);
@@ -381,7 +475,7 @@ fn op_estimate(
     });
 
     let estimate = engine
-        .estimate_traced(spec, &dist, trace)
+        .estimate_with_floor_traced(spec, &dist, floor, trace)
         .map_err(engine_error)?;
     Ok(Value::Object(vec![
         ("ok".into(), Value::Bool(true)),
@@ -395,11 +489,16 @@ fn op_estimate(
         ("via_average".into(), Value::Float(estimate.via_average)),
         ("average_hd".into(), Value::Float(estimate.average_hd)),
         ("source".into(), Value::Str(estimate.source.as_str().into())),
+        (
+            "fidelity".into(),
+            Value::Str(estimate.fidelity.as_str().into()),
+        ),
+        ("confidence".into(), Value::Float(estimate.confidence)),
     ]))
 }
 
 fn op_characterize(
-    engine: &PowerEngine,
+    engine: &Arc<PowerEngine>,
     request: &Request,
     trace: &mut TraceCtx,
 ) -> Result<Value, RequestError> {
@@ -425,10 +524,14 @@ fn op_characterize(
             },
         ),
         ("source".into(), Value::Str(source.as_str().into())),
+        (
+            "fidelity".into(),
+            Value::Str(Fidelity::Full.as_str().into()),
+        ),
     ]))
 }
 
-fn op_stats(engine: &PowerEngine) -> Value {
+fn op_stats(engine: &Arc<PowerEngine>) -> Value {
     let stats = engine.stats();
     Value::Object(vec![
         ("ok".into(), Value::Bool(true)),
@@ -445,6 +548,18 @@ fn op_stats(engine: &PowerEngine) -> Value {
         ),
         ("coalesced".into(), Value::Int(stats.coalesced as i64)),
         ("inflight".into(), Value::Int(stats.inflight as i64)),
+        (
+            "analytic_served".into(),
+            Value::Int(stats.analytic_served as i64),
+        ),
+        (
+            "regressed_served".into(),
+            Value::Int(stats.regressed_served as i64),
+        ),
+        (
+            "upgrades_done".into(),
+            Value::Int(stats.upgrades_done as i64),
+        ),
     ])
 }
 
@@ -472,8 +587,8 @@ mod tests {
         }
     }
 
-    fn quick_engine() -> PowerEngine {
-        PowerEngine::new(EngineOptions {
+    fn quick_engine() -> Arc<PowerEngine> {
+        Arc::new(PowerEngine::new(EngineOptions {
             config: CharacterizationConfig::builder()
                 .max_patterns(1500)
                 .build()
@@ -484,10 +599,10 @@ mod tests {
             }),
             disk_root: None,
             capacity: 8,
-        })
+        }))
     }
 
-    fn run(engine: &PowerEngine, script: &[u8]) -> Vec<String> {
+    fn run(engine: &Arc<PowerEngine>, script: &[u8]) -> Vec<String> {
         let mut out = Vec::new();
         serve_lines(engine, script, &mut out).unwrap();
         String::from_utf8(out)
@@ -578,5 +693,81 @@ mod tests {
             b"{\"op\":\"estimate\",\"module\":\"ripple_adder\",\"width\":4,\"data\":\"speech\"}\n\
               {\"op\":\"stats\"}\n";
         assert_eq!(run(&quick_engine(), script), run(&quick_engine(), script));
+    }
+
+    #[test]
+    fn default_floor_replies_are_labeled_full() {
+        let engine = quick_engine();
+        let replies = run(
+            &engine,
+            b"{\"op\":\"estimate\",\"module\":\"ripple_adder\",\"width\":4}\n",
+        );
+        assert!(
+            replies[0].contains("\"fidelity\":\"full\""),
+            "{}",
+            replies[0]
+        );
+        assert!(replies[0].contains("\"confidence\":1"), "{}", replies[0]);
+    }
+
+    #[test]
+    fn per_request_floor_serves_an_instant_analytic_answer() {
+        let engine = quick_engine();
+        let replies = run(
+            &engine,
+            b"{\"op\":\"estimate\",\"module\":\"ripple_adder\",\"width\":4,\"fidelity_floor\":\"analytic\"}\n",
+        );
+        assert!(
+            replies[0].contains("\"fidelity\":\"analytic\""),
+            "{}",
+            replies[0]
+        );
+        assert!(
+            replies[0].contains("\"source\":\"analytic\""),
+            "{}",
+            replies[0]
+        );
+    }
+
+    #[test]
+    fn unknown_floor_spellings_are_bad_requests() {
+        let engine = quick_engine();
+        let replies = run(
+            &engine,
+            b"{\"op\":\"estimate\",\"module\":\"ripple_adder\",\"width\":4,\"fidelity_floor\":\"fast\"}\n",
+        );
+        assert!(
+            replies[0].contains("\"kind\":\"bad_request\""),
+            "{}",
+            replies[0]
+        );
+        assert!(
+            replies[0].contains("unknown fidelity floor `fast`"),
+            "{}",
+            replies[0]
+        );
+    }
+
+    #[test]
+    fn characterize_replies_are_labeled_full_fidelity() {
+        let engine = quick_engine();
+        let replies = run(
+            &engine,
+            b"{\"op\":\"characterize\",\"module\":\"ripple_adder\",\"width\":4}\n",
+        );
+        assert!(
+            replies[0].contains("\"fidelity\":\"full\""),
+            "{}",
+            replies[0]
+        );
+    }
+
+    #[test]
+    fn stats_reports_the_fidelity_counters() {
+        let engine = quick_engine();
+        let replies = run(&engine, b"{\"op\":\"stats\"}\n");
+        for field in ["analytic_served", "regressed_served", "upgrades_done"] {
+            assert!(replies[0].contains(field), "{}", replies[0]);
+        }
     }
 }

@@ -57,7 +57,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use hdpm_core::persist::{self, EnvelopeMeta};
-use hdpm_core::{resolve_threads, Characterization, PowerEngine};
+use hdpm_core::{resolve_threads, Characterization, Fidelity, PowerEngine};
 use hdpm_telemetry as telemetry;
 use hdpm_telemetry::{trace as trace_mod, Stage, TraceCtx};
 use poller::Poller;
@@ -231,7 +231,10 @@ struct Outcome {
 }
 
 pub(crate) struct Shared {
-    engine: PowerEngine,
+    engine: Arc<PowerEngine>,
+    /// Fidelity floor applied to estimate requests that don't name one
+    /// ([`ServerConfig::fidelity_floor`]).
+    default_floor: Fidelity,
     queue: Bounded<Job>,
     draining: AtomicBool,
     /// Workers joined; reactors flush what remains and exit.
@@ -463,12 +466,26 @@ impl Shared {
                 return Some(outcome);
             }
         }
+        // Below-full estimate floors are served instantly from the
+        // local fidelity ladder even on non-owner nodes — the background
+        // upgrade hook routes ownership afterwards. Full-fidelity
+        // estimates and every other spec-bearing op still block on
+        // cluster ensure as before.
+        let floor =
+            protocol::effective_floor(&request, self.default_floor).unwrap_or(Fidelity::Full);
         if let (Some(rt), Some(root)) = (&self.cluster, &self.store_root) {
             if let Some(spec) = protocol::request_spec(&request) {
-                cluster::ensure_model(rt, &self.engine, root, spec);
+                if request.op != "estimate" || floor == Fidelity::Full {
+                    cluster::ensure_model(rt, &self.engine, root, spec);
+                }
             }
         }
-        let (value, status) = match protocol::handle_traced(&self.engine, &request, trace) {
+        let (value, status) = match protocol::handle_traced_with_floor(
+            &self.engine,
+            &request,
+            self.default_floor,
+            trace,
+        ) {
             Ok(reply) => {
                 self.totals.ok.fetch_add(1, Ordering::Relaxed);
                 telemetry::counter_add("server.request.ok", 1);
@@ -714,7 +731,8 @@ impl Server {
             .transpose()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         let shared = Arc::new(Shared {
-            engine: PowerEngine::new(config.engine),
+            engine: Arc::new(PowerEngine::new(config.engine)),
+            default_floor: config.fidelity_floor,
             queue: Bounded::new(config.queue_depth),
             draining: AtomicBool::new(false),
             finished: AtomicBool::new(false),
@@ -730,6 +748,22 @@ impl Server {
             store_root,
             cluster,
         });
+        if shared.cluster.is_some() {
+            // Background fidelity upgrades must respect cluster
+            // ownership: route through ensure_model (peer fetch /
+            // forward to the owner) and only then make the model
+            // locally resident. `Weak` so the hook never keeps a
+            // dropped server's Shared alive through the engine.
+            let weak = Arc::downgrade(&shared);
+            shared.engine.set_upgrade_hook(move |engine, spec| {
+                if let Some(shared) = weak.upgrade() {
+                    if let (Some(rt), Some(root)) = (&shared.cluster, &shared.store_root) {
+                        cluster::ensure_model(rt, engine, root, spec);
+                    }
+                }
+                let _ = engine.fetch(spec);
+            });
+        }
         let gossip = if shared.cluster.is_some() {
             let shared = Arc::clone(&shared);
             Some(
@@ -1164,15 +1198,31 @@ fn exec_estimate(
         static MEMO: RefCell<HashMap<[u8; wire::ESTIMATE_REQ_LEN], [u8; wire::ESTIMATE_REPLY_LEN]>> =
             RefCell::new(HashMap::new());
     }
-    if let Ok(key) = <[u8; wire::ESTIMATE_REQ_LEN]>::try_from(payload) {
+    // Legacy 18-byte payloads key as their 19-byte form with floor 0
+    // ("server default") — the memo must not fork on encoding.
+    let key: Option<[u8; wire::ESTIMATE_REQ_LEN]> = match payload.len() {
+        wire::ESTIMATE_REQ_LEN => payload.try_into().ok(),
+        wire::LEGACY_ESTIMATE_REQ_LEN => {
+            let mut padded = [0u8; wire::ESTIMATE_REQ_LEN];
+            padded[..wire::LEGACY_ESTIMATE_REQ_LEN].copy_from_slice(payload);
+            Some(padded)
+        }
+        _ => None,
+    };
+    if let Some(key) = key {
         if let Some(hit) = MEMO.with(|memo| memo.borrow().get(&key).copied()) {
             telemetry::counter_add("server.memo.hit", 1);
             return Ok(hit.to_vec());
         }
     }
     let params = wire::decode_estimate_request(payload).map_err(|m| (ErrorKind::BadRequest, m))?;
-    if let (Some(rt), Some(root)) = (&shared.cluster, &shared.store_root) {
-        cluster::ensure_model(rt, &shared.engine, root, params.spec);
+    let floor = params.floor.unwrap_or(shared.default_floor);
+    // Below-full floors answer from the local ladder immediately; the
+    // upgrade hook routes cluster ownership in the background.
+    if floor == Fidelity::Full {
+        if let (Some(rt), Some(root)) = (&shared.cluster, &shared.store_root) {
+            cluster::ensure_model(rt, &shared.engine, root, params.spec);
+        }
     }
     let (m1, _) = params.spec.width.operand_widths();
     let dist = trace.time(Stage::Estimate, || {
@@ -1186,22 +1236,28 @@ fn exec_estimate(
     });
     let estimate = shared
         .engine
-        .estimate_traced(params.spec, &dist, trace)
+        .estimate_with_floor_traced(params.spec, &dist, floor, trace)
         .map_err(|e| (ErrorKind::Engine, e.to_string()))?;
     let reply = wire::encode_estimate_reply(&estimate, wire::source_code(estimate.source));
     telemetry::counter_add("server.memo.miss", 1);
-    MEMO.with(|memo| {
-        let mut memo = memo.borrow_mut();
-        // Blunt bound, like the distribution memo: distinct estimate
-        // payloads are rare (catalogue × widths × data types).
-        if memo.len() >= 4096 {
-            memo.clear();
+    // Only full-fidelity replies are memoizable: a tier-A/B answer for
+    // this key is expected to improve once the background upgrade
+    // lands, and a memo hit would pin the stale tier forever.
+    if estimate.fidelity == Fidelity::Full {
+        if let Some(key) = key {
+            MEMO.with(|memo| {
+                let mut memo = memo.borrow_mut();
+                // Blunt bound, like the distribution memo: distinct estimate
+                // payloads are rare (catalogue × widths × data types).
+                if memo.len() >= 4096 {
+                    memo.clear();
+                }
+                let mut memoized = reply;
+                memoized[wire::ESTIMATE_REPLY_SOURCE_OFFSET] = wire::SOURCE_MEMO;
+                memo.insert(key, memoized);
+            });
         }
-        let key: [u8; wire::ESTIMATE_REQ_LEN] = payload.try_into().expect("validated length");
-        let mut memoized = reply;
-        memoized[wire::ESTIMATE_REPLY_LEN - 1] = wire::SOURCE_MEMO;
-        memo.insert(key, memoized);
-    });
+    }
     Ok(reply.to_vec())
 }
 

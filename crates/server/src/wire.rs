@@ -36,7 +36,7 @@
 //! payloads are the UTF-8 error message, with the [`ErrorKind`] carried
 //! as the status byte. Full field tables: `docs/protocol.md`.
 
-use hdpm_core::{CacheSource, EngineStats, Estimate};
+use hdpm_core::{CacheSource, EngineStats, Estimate, Fidelity};
 use hdpm_netlist::{ModuleKind, ModuleSpec, ModuleWidth};
 use hdpm_streams::{DataType, ALL_DATA_TYPES};
 
@@ -150,6 +150,8 @@ pub fn source_code(source: CacheSource) -> u8 {
         CacheSource::Disk => 2,
         CacheSource::Fresh => 3,
         CacheSource::Coalesced => 4,
+        CacheSource::Analytic => 6,
+        CacheSource::Regressed => 7,
     }
 }
 
@@ -164,6 +166,8 @@ pub fn source_str(code: u8) -> Option<&'static str> {
         3 => Some("fresh"),
         4 => Some("coalesced"),
         5 => Some("memo"),
+        6 => Some("analytic"),
+        7 => Some("regressed"),
         _ => None,
     }
 }
@@ -205,9 +209,11 @@ pub fn encode_frame(out: &mut Vec<u8>, id: u64, op: u8, extra: u32, payload: &[u
 
 // --- estimate ----------------------------------------------------------
 
-/// Decoded payload of an [`Opcode::Estimate`] request (18 bytes on the
+/// Decoded payload of an [`Opcode::Estimate`] request (19 bytes on the
 /// wire: module `u8`, m1 `u16`, m2 `u16` (0 = uniform), data `u8`,
-/// cycles `u32`, seed `u64`).
+/// cycles `u32`, seed `u64`, fidelity floor `u8` with 0 = server
+/// default). Pre-fidelity 18-byte payloads are still accepted and read
+/// as "server default".
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EstimateParams {
     /// Module under estimation.
@@ -218,10 +224,17 @@ pub struct EstimateParams {
     pub cycles: u32,
     /// Stream generator seed.
     pub seed: u64,
+    /// Minimum fidelity tier the client accepts; `None` defers to the
+    /// server's configured floor.
+    pub floor: Option<Fidelity>,
 }
 
 /// Wire size of an estimate request payload.
-pub const ESTIMATE_REQ_LEN: usize = 18;
+pub const ESTIMATE_REQ_LEN: usize = 19;
+
+/// Wire size of a pre-fidelity estimate request (no floor byte);
+/// accepted for compatibility and treated as floor = server default.
+pub const LEGACY_ESTIMATE_REQ_LEN: usize = 18;
 
 fn module_code(kind: ModuleKind) -> u8 {
     // Position in the stable `ModuleKind::ALL` order (the `hdpm list`
@@ -278,44 +291,61 @@ pub fn encode_estimate_request(params: &EstimateParams) -> [u8; ESTIMATE_REQ_LEN
     out[5] = data_code(params.data);
     out[6..10].copy_from_slice(&params.cycles.to_le_bytes());
     out[10..18].copy_from_slice(&params.seed.to_le_bytes());
+    out[18] = params.floor.map_or(0, Fidelity::code);
     out
 }
 
-/// Decode an estimate request payload.
+/// Decode an estimate request payload (current 19-byte or legacy
+/// 18-byte layout).
 ///
 /// # Errors
 ///
-/// A message naming the malformed field (wrong length, unknown module or
-/// data code) — replied as [`ErrorKind::BadRequest`].
+/// A message naming the malformed field (wrong length, unknown module,
+/// data or fidelity code) — replied as [`ErrorKind::BadRequest`].
 pub fn decode_estimate_request(payload: &[u8]) -> Result<EstimateParams, String> {
-    if payload.len() != ESTIMATE_REQ_LEN {
+    if payload.len() != ESTIMATE_REQ_LEN && payload.len() != LEGACY_ESTIMATE_REQ_LEN {
         return Err(format!(
-            "estimate payload must be {ESTIMATE_REQ_LEN} bytes, got {}",
+            "estimate payload must be {ESTIMATE_REQ_LEN} bytes ({LEGACY_ESTIMATE_REQ_LEN} legacy), got {}",
             payload.len()
         ));
     }
     let spec = spec_from_bytes(&payload[0..5])?;
     let data =
         data_from_code(payload[5]).ok_or_else(|| format!("unknown data code {}", payload[5]))?;
+    let floor = match payload.get(18).copied().unwrap_or(0) {
+        0 => None,
+        code => {
+            Some(Fidelity::from_code(code).ok_or_else(|| format!("unknown fidelity code {code}"))?)
+        }
+    };
     Ok(EstimateParams {
         spec,
         data,
         cycles: u32::from_le_bytes(payload[6..10].try_into().expect("4 bytes")),
         seed: u64::from_le_bytes(payload[10..18].try_into().expect("8 bytes")),
+        floor,
     })
 }
 
-/// Wire size of an estimate ok-reply payload (3 × f64 + source byte).
-pub const ESTIMATE_REPLY_LEN: usize = 25;
+/// Wire size of an estimate ok-reply payload (3 × f64, source byte,
+/// fidelity byte, confidence f64).
+pub const ESTIMATE_REPLY_LEN: usize = 34;
+
+/// Byte offset of the source code in an estimate ok reply — the one
+/// byte the server's reply memo rewrites to [`SOURCE_MEMO`].
+pub const ESTIMATE_REPLY_SOURCE_OFFSET: usize = 24;
 
 /// Render an estimate ok-reply payload. `source` is a wire source code
-/// ([`source_code`] or [`SOURCE_MEMO`]).
+/// ([`source_code`] or [`SOURCE_MEMO`]); fidelity and confidence come
+/// from the estimate itself.
 pub fn encode_estimate_reply(estimate: &Estimate, source: u8) -> [u8; ESTIMATE_REPLY_LEN] {
     let mut out = [0u8; ESTIMATE_REPLY_LEN];
     out[0..8].copy_from_slice(&estimate.charge_per_cycle.to_le_bytes());
     out[8..16].copy_from_slice(&estimate.via_average.to_le_bytes());
     out[16..24].copy_from_slice(&estimate.average_hd.to_le_bytes());
     out[24] = source;
+    out[25] = estimate.fidelity.code();
+    out[26..34].copy_from_slice(&estimate.confidence.to_le_bytes());
     out
 }
 
@@ -330,13 +360,17 @@ pub struct EstimateReply {
     pub average_hd: f64,
     /// Wire source code (see [`source_str`]).
     pub source: u8,
+    /// Fidelity tier of the answer.
+    pub fidelity: Fidelity,
+    /// Confidence in `[0, 1]` (1.0 for full fidelity).
+    pub confidence: f64,
 }
 
 /// Decode an estimate ok-reply payload.
 ///
 /// # Errors
 ///
-/// Wrong payload length.
+/// Wrong payload length or an unassigned fidelity code.
 pub fn decode_estimate_reply(payload: &[u8]) -> Result<EstimateReply, String> {
     if payload.len() != ESTIMATE_REPLY_LEN {
         return Err(format!(
@@ -344,11 +378,15 @@ pub fn decode_estimate_reply(payload: &[u8]) -> Result<EstimateReply, String> {
             payload.len()
         ));
     }
+    let fidelity = Fidelity::from_code(payload[25])
+        .ok_or_else(|| format!("unknown fidelity code {}", payload[25]))?;
     Ok(EstimateReply {
         charge_per_cycle: f64::from_le_bytes(payload[0..8].try_into().expect("8 bytes")),
         via_average: f64::from_le_bytes(payload[8..16].try_into().expect("8 bytes")),
         average_hd: f64::from_le_bytes(payload[16..24].try_into().expect("8 bytes")),
         source: payload[24],
+        fidelity,
+        confidence: f64::from_le_bytes(payload[26..34].try_into().expect("8 bytes")),
     })
 }
 
@@ -547,13 +585,13 @@ pub fn decode_warm_keys(payload: &[u8]) -> Result<Vec<ModuleSpec>, String> {
 
 // --- stats -------------------------------------------------------------
 
-/// Wire size of a stats ok-reply payload (9 × u64 in [`EngineStats`]
+/// Wire size of a stats ok-reply payload (12 × u64 in [`EngineStats`]
 /// field order).
-pub const STATS_REPLY_LEN: usize = 72;
+pub const STATS_REPLY_LEN: usize = 96;
 
 /// Render a stats ok-reply payload.
 pub fn encode_stats_reply(stats: &EngineStats) -> [u8; STATS_REPLY_LEN] {
-    let fields: [u64; 9] = [
+    let fields: [u64; 12] = [
         stats.entries as u64,
         stats.capacity as u64,
         stats.hits,
@@ -563,6 +601,9 @@ pub fn encode_stats_reply(stats: &EngineStats) -> [u8; STATS_REPLY_LEN] {
         stats.characterizations,
         stats.coalesced,
         stats.inflight as u64,
+        stats.analytic_served,
+        stats.regressed_served,
+        stats.upgrades_done,
     ];
     let mut out = [0u8; STATS_REPLY_LEN];
     for (slot, field) in out.chunks_exact_mut(8).zip(fields) {
@@ -592,6 +633,12 @@ pub struct StatsReply {
     pub coalesced: u64,
     /// Characterizations currently in flight.
     pub inflight: u64,
+    /// Estimates answered by the tier-A analytic model.
+    pub analytic_served: u64,
+    /// Estimates answered by a tier-B sibling regression.
+    pub regressed_served: u64,
+    /// Background fidelity upgrades completed.
+    pub upgrades_done: u64,
 }
 
 /// Decode a stats ok-reply payload.
@@ -606,7 +653,7 @@ pub fn decode_stats_reply(payload: &[u8]) -> Result<StatsReply, String> {
             payload.len()
         ));
     }
-    let mut fields = [0u64; 9];
+    let mut fields = [0u64; 12];
     for (field, slot) in fields.iter_mut().zip(payload.chunks_exact(8)) {
         *field = u64::from_le_bytes(slot.try_into().expect("8 bytes"));
     }
@@ -620,6 +667,9 @@ pub fn decode_stats_reply(payload: &[u8]) -> Result<StatsReply, String> {
         characterizations: fields[6],
         coalesced: fields[7],
         inflight: fields[8],
+        analytic_served: fields[9],
+        regressed_served: fields[10],
+        upgrades_done: fields[11],
     })
 }
 
@@ -659,15 +709,37 @@ mod tests {
             ModuleSpec::new(ModuleKind::RippleAdder, ModuleWidth::Uniform(16)),
             ModuleSpec::new(ModuleKind::CsaMultiplier, ModuleWidth::Rect(12, 8)),
         ] {
-            let params = EstimateParams {
-                spec,
-                data: DataType::Speech,
-                cycles: 2000,
-                seed: 7,
-            };
-            let wire = encode_estimate_request(&params);
-            assert_eq!(decode_estimate_request(&wire).unwrap(), params);
+            for floor in [None, Some(Fidelity::Analytic), Some(Fidelity::Full)] {
+                let params = EstimateParams {
+                    spec,
+                    data: DataType::Speech,
+                    cycles: 2000,
+                    seed: 7,
+                    floor,
+                };
+                let wire = encode_estimate_request(&params);
+                assert_eq!(decode_estimate_request(&wire).unwrap(), params);
+            }
         }
+    }
+
+    #[test]
+    fn legacy_18_byte_estimate_requests_decode_with_default_floor() {
+        let params = EstimateParams {
+            spec: ModuleSpec::new(ModuleKind::RippleAdder, ModuleWidth::Uniform(8)),
+            data: DataType::Random,
+            cycles: 512,
+            seed: 11,
+            floor: None,
+        };
+        let wire = encode_estimate_request(&params);
+        let legacy = &wire[..LEGACY_ESTIMATE_REQ_LEN];
+        assert_eq!(decode_estimate_request(legacy).unwrap(), params);
+        let mut bad_floor = wire;
+        bad_floor[18] = 9;
+        assert!(decode_estimate_request(&bad_floor)
+            .unwrap_err()
+            .contains("unknown fidelity code 9"));
     }
 
     #[test]
@@ -677,13 +749,47 @@ mod tests {
             via_average: 120.0,
             average_hd: 3.25,
             source: CacheSource::Fresh,
+            fidelity: Fidelity::Full,
+            confidence: 1.0,
         };
         let wire = encode_estimate_reply(&estimate, source_code(estimate.source));
+        assert_eq!(
+            wire[ESTIMATE_REPLY_SOURCE_OFFSET],
+            source_code(CacheSource::Fresh)
+        );
         let decoded = decode_estimate_reply(&wire).unwrap();
         assert_eq!(decoded.charge_per_cycle, estimate.charge_per_cycle);
         assert_eq!(decoded.via_average, estimate.via_average);
         assert_eq!(decoded.average_hd, estimate.average_hd);
         assert_eq!(source_str(decoded.source), Some("fresh"));
+        assert_eq!(decoded.fidelity, Fidelity::Full);
+        assert_eq!(decoded.confidence, 1.0);
+    }
+
+    #[test]
+    fn tiered_estimate_replies_carry_their_fidelity() {
+        let estimate = Estimate {
+            charge_per_cycle: 4.5,
+            via_average: 4.4,
+            average_hd: 2.0,
+            source: CacheSource::Analytic,
+            fidelity: Fidelity::Analytic,
+            confidence: 0.25,
+        };
+        let wire = encode_estimate_reply(&estimate, source_code(estimate.source));
+        let decoded = decode_estimate_reply(&wire).unwrap();
+        assert_eq!(source_str(decoded.source), Some("analytic"));
+        assert_eq!(decoded.fidelity, Fidelity::Analytic);
+        assert_eq!(decoded.confidence, 0.25);
+        assert_eq!(
+            source_str(source_code(CacheSource::Regressed)),
+            Some("regressed")
+        );
+        let mut bad = wire;
+        bad[25] = 0;
+        assert!(decode_estimate_reply(&bad)
+            .unwrap_err()
+            .contains("unknown fidelity code 0"));
     }
 
     #[test]
@@ -717,6 +823,9 @@ mod tests {
             characterizations: 2,
             coalesced: 9,
             inflight: 1,
+            analytic_served: 5,
+            regressed_served: 6,
+            upgrades_done: 4,
         };
         let decoded = decode_stats_reply(&encode_stats_reply(&stats)).unwrap();
         assert_eq!(decoded.entries, 3);
@@ -724,18 +833,22 @@ mod tests {
         assert_eq!(decoded.hits, 100);
         assert_eq!(decoded.coalesced, 9);
         assert_eq!(decoded.inflight, 1);
+        assert_eq!(decoded.analytic_served, 5);
+        assert_eq!(decoded.regressed_served, 6);
+        assert_eq!(decoded.upgrades_done, 4);
     }
 
     #[test]
     fn malformed_payloads_name_the_problem() {
         assert!(decode_estimate_request(&[0u8; 3])
             .unwrap_err()
-            .contains("18 bytes"));
+            .contains("19 bytes"));
         let mut bad_module = encode_estimate_request(&EstimateParams {
             spec: ModuleSpec::new(ModuleKind::RippleAdder, ModuleWidth::Uniform(4)),
             data: DataType::Random,
             cycles: 64,
             seed: 7,
+            floor: None,
         });
         bad_module[0] = 200;
         assert!(decode_estimate_request(&bad_module)
@@ -746,6 +859,7 @@ mod tests {
             data: DataType::Random,
             cycles: 64,
             seed: 7,
+            floor: None,
         });
         bad_data[5] = 99;
         assert!(decode_estimate_request(&bad_data)

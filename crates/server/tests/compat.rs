@@ -87,6 +87,7 @@ fn every_op_agrees_across_protocol_versions() {
                 data: hdpm_server::protocol::data_type(data).expect("known type"),
                 cycles: 256,
                 seed: 11,
+                floor: None,
             };
             let e1 = match v1.call(&request, None).expect("v1 estimate").response {
                 Response::Estimate(e) => e,
@@ -201,6 +202,7 @@ fn v1_ordering_survives_concurrent_v2_load() {
                     data: hdpm_server::protocol::data_type("counter").expect("known"),
                     cycles: 64,
                     seed: 7,
+                    floor: None,
                 };
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                     client.call(&request, None).expect("v2 estimate");

@@ -56,7 +56,7 @@ fn doc_transcript() -> (Vec<String>, Vec<String>) {
 
 /// Replay through the stdio loop with a fresh engine.
 fn replay_stdio(requests: &[String]) -> Vec<String> {
-    let engine = PowerEngine::new(golden_engine_options());
+    let engine = std::sync::Arc::new(PowerEngine::new(golden_engine_options()));
     let script = requests.join("\n") + "\n";
     let mut out = Vec::new();
     protocol::serve_lines(&engine, script.as_bytes(), &mut out).expect("serve_lines");

@@ -50,6 +50,7 @@ fn estimate(width: usize) -> Request {
         data: hdpm_server::protocol::data_type("counter").expect("known type"),
         cycles: 64,
         seed: 7,
+        floor: None,
     }
 }
 
